@@ -1,0 +1,51 @@
+"""Ablation — the adaptive hybrid (paper lesson 1) vs fixed codecs.
+
+Sweeps densities across the paper's 1/5 crossover: the adaptive codec
+should match Roaring above it and SIMDPforDelta* below it, never losing
+a regime.
+"""
+
+import pytest
+
+from repro import get_codec
+from repro.datagen import uniform_list
+from repro.hybrid import AdaptiveCodec
+
+from conftest import DOMAIN, SEED
+
+_DENSITIES = (0.01, 0.1, 0.4)
+_CACHE: dict = {}
+
+
+def _prepared(kind: str, density: float):
+    key = (kind, density)
+    if key not in _CACHE:
+        codec = (
+            AdaptiveCodec()
+            if kind == "adaptive"
+            else get_codec("Roaring" if kind == "bitmap" else "SIMDPforDelta*")
+        )
+        n = int(density * DOMAIN)
+        a = uniform_list(n, DOMAIN, rng=SEED)
+        b = uniform_list(n, DOMAIN, rng=SEED + 1)
+        _CACHE[key] = (
+            codec,
+            codec.compress(a, universe=DOMAIN),
+            codec.compress(b, universe=DOMAIN),
+        )
+    return _CACHE[key]
+
+
+@pytest.mark.parametrize("kind", ["adaptive", "bitmap", "list"])
+@pytest.mark.parametrize("density", _DENSITIES)
+def test_intersection(benchmark, kind, density):
+    codec, ca, cb = _prepared(kind, density)
+    benchmark.extra_info["space_bytes"] = ca.size_bytes + cb.size_bytes
+    benchmark(codec.intersect, ca, cb)
+
+
+@pytest.mark.parametrize("kind", ["adaptive", "bitmap", "list"])
+@pytest.mark.parametrize("density", _DENSITIES)
+def test_decompression(benchmark, kind, density):
+    codec, ca, _ = _prepared(kind, density)
+    benchmark(codec.decompress, ca)

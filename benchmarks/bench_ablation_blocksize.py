@@ -1,0 +1,44 @@
+"""Ablation — block size around the paper's footnote-5 choice of 128.
+
+Smaller blocks decode less per probe but pay more skip-pointer space and
+per-block overhead; larger blocks amortise metadata but over-decode.
+"""
+
+import pytest
+
+from repro.datagen import list_pair
+from repro.invlists.pfordelta import SIMDPforDeltaStarCodec
+from repro.invlists.vb import VBCodec
+
+from conftest import DOMAIN, SEED
+
+_PAIR = list_pair("uniform", 30_000, 1000, DOMAIN, rng=SEED)
+_CACHE: dict = {}
+
+
+def _prepared(cls, block_size: int):
+    key = (cls.__name__, block_size)
+    if key not in _CACHE:
+        codec = cls(block_size=block_size)
+        short, long_ = _PAIR
+        _CACHE[key] = (
+            codec,
+            codec.compress(short, universe=DOMAIN),
+            codec.compress(long_, universe=DOMAIN),
+        )
+    return _CACHE[key]
+
+
+@pytest.mark.parametrize("cls", [VBCodec, SIMDPforDeltaStarCodec], ids=lambda c: c.name)
+@pytest.mark.parametrize("block_size", [32, 64, 128, 256, 512])
+def test_intersection_vs_block_size(benchmark, cls, block_size):
+    codec, ca, cb = _prepared(cls, block_size)
+    benchmark.extra_info["space_bytes"] = ca.size_bytes + cb.size_bytes
+    benchmark(codec.intersect, ca, cb)
+
+
+@pytest.mark.parametrize("cls", [VBCodec, SIMDPforDeltaStarCodec], ids=lambda c: c.name)
+@pytest.mark.parametrize("block_size", [32, 128, 512])
+def test_decompression_vs_block_size(benchmark, cls, block_size):
+    codec, _, cb = _prepared(cls, block_size)
+    benchmark(codec.decompress, cb)

@@ -1,0 +1,41 @@
+"""Ablation — uniform 128-element PEF partitions (the library's
+registered simplification) vs the original system's optimised variable
+partitions (`repro.invlists.pef_optimal`)."""
+
+import pytest
+
+from repro import get_codec
+from repro.datagen import list_pair, markov_list
+from repro.invlists.pef_optimal import OptimalPEFCodec
+
+from conftest import DOMAIN, SEED
+
+_VALUES = markov_list(30_000, DOMAIN, rng=SEED)
+_PAIR = list_pair("markov", 30_000, 1000, DOMAIN, rng=SEED)
+_CACHE: dict = {}
+
+
+def _prepared(kind: str):
+    if kind not in _CACHE:
+        codec = get_codec("PEF") if kind == "uniform" else OptimalPEFCodec()
+        short, long_ = _PAIR
+        _CACHE[kind] = (
+            codec,
+            codec.compress(_VALUES, universe=DOMAIN),
+            codec.compress(short, universe=DOMAIN),
+            codec.compress(long_, universe=DOMAIN),
+        )
+    return _CACHE[kind]
+
+
+@pytest.mark.parametrize("kind", ["uniform", "optimal"])
+def test_decompression(benchmark, kind):
+    codec, cs, _, _ = _prepared(kind)
+    benchmark.extra_info["space_bytes"] = cs.size_bytes
+    benchmark(codec.decompress, cs)
+
+
+@pytest.mark.parametrize("kind", ["uniform", "optimal"])
+def test_intersection(benchmark, kind):
+    codec, _, ca, cb = _prepared(kind)
+    benchmark(codec.intersect, ca, cb)

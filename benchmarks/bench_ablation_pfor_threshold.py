@@ -1,0 +1,41 @@
+"""Ablation — PforDelta's regular-value fraction (paper default 90 %).
+
+100 % is PforDelta*; the optimum per block is OptPforDelta.  Sweeping the
+fraction shows the space/decode-time trade the paper's Section 3.3–3.5
+narrative describes.
+"""
+
+import pytest
+
+from repro.datagen import uniform_list
+from repro.invlists.pfordelta import PforDeltaCodec, choose_b_90
+
+from conftest import DOMAIN, SEED
+
+_VALUES = uniform_list(30_000, DOMAIN, rng=SEED)
+_CACHE: dict = {}
+
+
+class _FractionPforDelta(PforDeltaCodec):
+    """PforDelta with a configurable regular fraction (not registered)."""
+
+    def __init__(self, fraction: float, **kwargs):
+        super().__init__(**kwargs)
+        self.fraction = fraction
+
+    def _choose_b(self, values):
+        return choose_b_90(values, fraction=self.fraction)
+
+
+def _prepared(fraction: float):
+    if fraction not in _CACHE:
+        codec = _FractionPforDelta(fraction)
+        _CACHE[fraction] = (codec, codec.compress(_VALUES, universe=DOMAIN))
+    return _CACHE[fraction]
+
+
+@pytest.mark.parametrize("fraction", [0.70, 0.80, 0.90, 0.95, 1.00])
+def test_decompression_vs_fraction(benchmark, fraction):
+    codec, cs = _prepared(fraction)
+    benchmark.extra_info["space_bytes"] = cs.size_bytes
+    benchmark(codec.decompress, cs)

@@ -1,0 +1,37 @@
+"""Ablation — Roaring's array→bitmap container threshold (paper: 4096,
+chosen so no element ever costs more than 16 bits)."""
+
+import pytest
+
+from repro.bitmaps.roaring import RoaringCodec
+from repro.datagen import list_pair
+
+from conftest import DOMAIN, SEED
+
+_PAIR = list_pair("uniform", 100_000, 10, DOMAIN, rng=SEED)
+_CACHE: dict = {}
+
+
+def _prepared(limit: int):
+    if limit not in _CACHE:
+        codec = RoaringCodec(array_limit=limit)
+        short, long_ = _PAIR
+        _CACHE[limit] = (
+            codec,
+            codec.compress(short, universe=DOMAIN),
+            codec.compress(long_, universe=DOMAIN),
+        )
+    return _CACHE[limit]
+
+
+@pytest.mark.parametrize("limit", [512, 1024, 4096, 16384, 65536])
+def test_intersection_vs_threshold(benchmark, limit):
+    codec, ca, cb = _prepared(limit)
+    benchmark.extra_info["space_bytes"] = ca.size_bytes + cb.size_bytes
+    benchmark(codec.intersect, ca, cb)
+
+
+@pytest.mark.parametrize("limit", [512, 4096, 65536])
+def test_decompression_vs_threshold(benchmark, limit):
+    codec, _, cb = _prepared(limit)
+    benchmark(codec.decompress, cb)

@@ -1,0 +1,50 @@
+"""Ablation — SvS skip-probing vs merge-everything intersection
+(paper footnote 8: 'if two lists are of similar size, we switch to
+merge-based intersection')."""
+
+import pytest
+
+from repro import get_codec
+from repro.datagen import list_pair
+from repro.ops import merge_intersect, svs_intersect
+
+from conftest import DOMAIN, SEED
+
+_CODECS = ("VB", "SIMDPforDelta*", "PEF", "Roaring")
+_CACHE: dict = {}
+
+
+def _sets(codec_name: str, ratio: int):
+    key = (codec_name, ratio)
+    if key not in _CACHE:
+        short, long_ = list_pair("uniform", 30_000, ratio, DOMAIN, rng=SEED)
+        codec = get_codec(codec_name)
+        _CACHE[key] = [
+            codec.compress(short, universe=DOMAIN),
+            codec.compress(long_, universe=DOMAIN),
+        ]
+    return _CACHE[key]
+
+
+@pytest.mark.parametrize("codec_name", _CODECS)
+@pytest.mark.parametrize("ratio", [1000])
+def test_svs_unequal_sizes(benchmark, codec_name, ratio):
+    benchmark(svs_intersect, _sets(codec_name, ratio))
+
+
+@pytest.mark.parametrize("codec_name", _CODECS)
+@pytest.mark.parametrize("ratio", [1000])
+def test_merge_unequal_sizes(benchmark, codec_name, ratio):
+    benchmark(merge_intersect, _sets(codec_name, ratio))
+
+
+@pytest.mark.parametrize("codec_name", _CODECS)
+@pytest.mark.parametrize("ratio", [2])
+def test_svs_similar_sizes(benchmark, codec_name, ratio):
+    benchmark(svs_intersect, _sets(codec_name, ratio))
+
+
+@pytest.mark.parametrize("codec_name", _CODECS)
+@pytest.mark.parametrize("ratio", [2])
+def test_merge_similar_sizes(benchmark, codec_name, ratio):
+    benchmark(merge_intersect, _sets(codec_name, ratio))

@@ -1,0 +1,30 @@
+"""Figure 10 — Berkeleyearth Q1 (dense clustered) and Q2 (sparse probe).
+
+Full version: ``python -m repro.bench fig10``.
+"""
+
+import pytest
+
+from repro import all_codec_names, get_codec
+from repro.datasets import berkeleyearth_queries
+from repro.ops import svs_intersect
+
+_QUERIES = {q.name: q for q in berkeleyearth_queries(rng=20170514)}
+_CACHE: dict = {}
+
+
+def _sets(codec_name: str, qname: str):
+    key = (codec_name, qname)
+    if key not in _CACHE:
+        codec = get_codec(codec_name)
+        q = _QUERIES[qname]
+        _CACHE[key] = [codec.compress(lst, universe=q.domain) for lst in q.lists]
+    return _CACHE[key]
+
+
+@pytest.mark.parametrize("codec_name", all_codec_names())
+@pytest.mark.parametrize("qname", ["Q1", "Q2"])
+def test_berkeleyearth_intersection(benchmark, codec_name, qname):
+    sets = _sets(codec_name, qname)
+    benchmark.extra_info["space_bytes"] = sum(cs.size_bytes for cs in sets)
+    benchmark(svs_intersect, sets)

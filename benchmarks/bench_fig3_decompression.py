@@ -1,0 +1,31 @@
+"""Figure 3 — decompression time (and space via extra_info).
+
+Paper: 12 panels of {uniform, zipf, markov} × list sizes 1M…1B.  Here:
+every codec at the representative uniform/30K panel, plus markov for the
+clustered regime.  Full sweep: ``python -m repro.bench fig3``.
+"""
+
+import pytest
+
+from repro import all_codec_names, get_codec
+from repro.datagen import markov_list, uniform_list
+
+from conftest import DOMAIN, LONG_SIZE, SEED
+
+
+@pytest.mark.parametrize("codec_name", all_codec_names())
+def test_decompress_uniform(benchmark, codec_name, compressed_cache, uniform_list_data):
+    codec = get_codec(codec_name)
+    cs = compressed_cache(codec_name, "fig3-uniform", uniform_list_data)
+    benchmark.extra_info["space_bytes"] = cs.size_bytes
+    benchmark.extra_info["n"] = cs.n
+    benchmark(codec.decompress, cs)
+
+
+@pytest.mark.parametrize("codec_name", all_codec_names())
+def test_decompress_markov(benchmark, codec_name, compressed_cache):
+    codec = get_codec(codec_name)
+    values = markov_list(LONG_SIZE, DOMAIN, rng=SEED)
+    cs = compressed_cache(codec_name, "fig3-markov", values)
+    benchmark.extra_info["space_bytes"] = cs.size_bytes
+    benchmark(codec.decompress, cs)

@@ -1,0 +1,36 @@
+"""Figure 7 — skip pointers on/off for the five codecs the paper picks.
+
+Full version (uniform + zipf, space deltas): ``python -m repro.bench fig7``.
+"""
+
+import pytest
+
+from repro import get_codec
+from repro.datagen import list_pair
+
+from conftest import DOMAIN, SEED
+
+_CODECS = ("VB", "PforDelta", "SIMDPforDelta", "SIMDPforDelta*", "GroupVB")
+_PAIR = list_pair("uniform", 10_000, 1000, DOMAIN, rng=SEED)
+_CACHE: dict = {}
+
+
+def _prepared(codec_name: str, skips: bool):
+    key = (codec_name, skips)
+    if key not in _CACHE:
+        codec = type(get_codec(codec_name))(skip_pointers=skips)
+        short, long_ = _PAIR
+        _CACHE[key] = (
+            codec,
+            codec.compress(short, universe=DOMAIN),
+            codec.compress(long_, universe=DOMAIN),
+        )
+    return _CACHE[key]
+
+
+@pytest.mark.parametrize("codec_name", _CODECS)
+@pytest.mark.parametrize("skips", [True, False], ids=["skips", "noskips"])
+def test_intersection_skip_toggle(benchmark, codec_name, skips):
+    codec, ca, cb = _prepared(codec_name, skips)
+    benchmark.extra_info["space_bytes"] = ca.size_bytes + cb.size_bytes
+    benchmark(codec.intersect, ca, cb)

@@ -1,0 +1,19 @@
+"""Table 1 — intersection time with |L2|/|L1| = 1000.
+
+Paper: 3 distributions × sizes 1M…1B.  Here: every codec at the
+uniform/30K panel.  Full grid: ``python -m repro.bench tab1``.
+"""
+
+import pytest
+
+from repro import all_codec_names, get_codec
+
+
+@pytest.mark.parametrize("codec_name", all_codec_names())
+def test_intersect_ratio_1000(benchmark, codec_name, compressed_cache, uniform_pair):
+    short, long_ = uniform_pair
+    codec = get_codec(codec_name)
+    ca = compressed_cache(codec_name, "tab1-short", short)
+    cb = compressed_cache(codec_name, "tab1-long", long_)
+    result = benchmark(codec.intersect, ca, cb)
+    benchmark.extra_info["result_size"] = int(result.size)

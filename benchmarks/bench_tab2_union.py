@@ -1,0 +1,18 @@
+"""Table 2 — union time with |L2|/|L1| = 1000.
+
+Full grid: ``python -m repro.bench tab2``.
+"""
+
+import pytest
+
+from repro import all_codec_names, get_codec
+
+
+@pytest.mark.parametrize("codec_name", all_codec_names())
+def test_union_ratio_1000(benchmark, codec_name, compressed_cache, uniform_pair):
+    short, long_ = uniform_pair
+    codec = get_codec(codec_name)
+    ca = compressed_cache(codec_name, "tab1-short", short)
+    cb = compressed_cache(codec_name, "tab1-long", long_)
+    result = benchmark(codec.union, ca, cb)
+    benchmark.extra_info["result_size"] = int(result.size)

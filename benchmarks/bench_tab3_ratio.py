@@ -1,0 +1,21 @@
+"""Table 3 — intersection at similar list sizes (θ = 1), the merge regime
+where the paper finds bitmaps ahead of lists.
+
+Full grid (θ ∈ {1, 10} × 3 distributions): ``python -m repro.bench tab3``.
+"""
+
+import pytest
+
+from repro import all_codec_names, get_codec
+from repro.datagen import list_pair
+
+from conftest import DOMAIN, LONG_SIZE, SEED
+
+
+@pytest.mark.parametrize("codec_name", all_codec_names())
+def test_intersect_theta_1(benchmark, codec_name, compressed_cache):
+    short, long_ = list_pair("uniform", LONG_SIZE, 1, DOMAIN, rng=SEED)
+    codec = get_codec(codec_name)
+    ca = compressed_cache(codec_name, "tab3-a", short)
+    cb = compressed_cache(codec_name, "tab3-b", long_)
+    benchmark(codec.intersect, ca, cb)

@@ -1,0 +1,57 @@
+"""Reproduce the paper's headline guideline interactively: where is the
+density crossover between bitmap compression and inverted-list
+compression?
+
+Section 7.1 of the paper: inverted lists win space below roughly
+n/d = 1/5 (uniform/markov data); bitmaps win above.  This script sweeps
+density for one bitmap champion (Roaring) and one list champion
+(SIMDPforDelta*) and prints bits-per-integer side by side, marking the
+crossover it finds.
+
+Run with::
+
+    python examples/density_crossover.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import get_codec
+from repro.datagen import uniform_list
+
+DOMAIN = 2**20
+DENSITIES = (0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7)
+
+
+def bits_per_int(codec_name: str, values: np.ndarray) -> float:
+    cs = get_codec(codec_name).compress(values, universe=DOMAIN)
+    return 8 * cs.size_bytes / max(1, cs.n)
+
+
+def main() -> None:
+    rng = np.random.default_rng(1)
+    print(f"domain d = {DOMAIN:,} (uniform data)\n")
+    print(f"{'density n/d':>12s} {'Roaring':>9s} {'SIMDPforDelta*':>15s}  winner")
+    print("-" * 48)
+    crossover = None
+    for density in DENSITIES:
+        n = int(density * DOMAIN)
+        values = uniform_list(n, DOMAIN, rng=rng)
+        bitmap = bits_per_int("Roaring", values)
+        invlist = bits_per_int("SIMDPforDelta*", values)
+        winner = "bitmap" if bitmap < invlist else "list"
+        if winner == "bitmap" and crossover is None:
+            crossover = density
+        print(f"{density:>12.4f} {bitmap:>9.2f} {invlist:>15.2f}  {winner}")
+    if crossover is not None:
+        print(
+            f"\nbitmaps take over near n/d ≈ {crossover:.2f} "
+            f"(paper's guideline: 1/5 = 0.20)"
+        )
+    else:
+        print("\nno crossover in the swept range")
+
+
+if __name__ == "__main__":
+    main()

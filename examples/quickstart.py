@@ -1,0 +1,45 @@
+"""Quickstart: compress a posting list, inspect sizes, run set operations.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import all_codec_names, get_codec
+
+
+def main() -> None:
+    # A sorted set of integers — a posting list, or equivalently the
+    # positions of 1-bits in a bitmap.
+    rng = np.random.default_rng(7)
+    postings = np.sort(rng.choice(1_000_000, size=50_000, replace=False))
+    other = np.sort(rng.choice(1_000_000, size=80_000, replace=False))
+
+    print(f"{postings.size} postings over a domain of 1M "
+          f"({postings.size / 1e6:.1%} density)\n")
+
+    # Every codec implements the same four-method interface.
+    print(f"{'codec':15s} {'bytes':>10s} {'bits/int':>9s}  |intersection|")
+    print("-" * 52)
+    for name in all_codec_names():
+        codec = get_codec(name)
+        cs = codec.compress(postings, universe=1_000_000)
+        co = codec.compress(other, universe=1_000_000)
+
+        # Operations run directly on the compressed form and return a
+        # plain numpy array.
+        common = codec.intersect(cs, co)
+
+        bits_per_int = 8 * cs.size_bytes / cs.n
+        print(f"{name:15s} {cs.size_bytes:>10,d} {bits_per_int:>9.2f}  {common.size}")
+
+    # Round-tripping recovers the exact input.
+    roaring = get_codec("Roaring")
+    assert np.array_equal(roaring.roundtrip(postings), postings)
+    print("\nRoaring round-trip verified.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+All metadata lives in pyproject.toml; this file only exists so
+``pip install -e .`` works on environments whose setuptools predates
+PEP 660 editable installs (or lacks the `wheel` package).
+"""
+
+from setuptools import setup
+
+setup()

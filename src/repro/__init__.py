@@ -1,0 +1,47 @@
+"""repro — a reproduction of *An Experimental Study of Bitmap Compression
+vs. Inverted List Compression* (Wang, Lin, Papakonstantinou, Swanson;
+SIGMOD 2017).
+
+The library implements the paper's 9 bitmap compression codecs and 15
+inverted-list compression codecs behind one interface
+(:class:`repro.core.IntegerSetCodec`), the query operations the paper
+measures (intersection via SvS with skip pointers, merge-based union,
+boolean expression plans), the synthetic workload generators
+(uniform / zipf / markov), simulators for the 8 real datasets, and a
+benchmark harness that regenerates every table and figure of the
+evaluation section.
+
+Quickstart::
+
+    import numpy as np
+    from repro import get_codec
+
+    postings = np.array([2, 5, 10, 100, 65536])
+    roaring = get_codec("Roaring")
+    cs = roaring.compress(postings)
+    assert np.array_equal(roaring.decompress(cs), postings)
+    print(cs.size_bytes, "bytes")
+"""
+
+from repro.core import (
+    CompressedIntegerSet,
+    IntegerSetCodec,
+    ReproError,
+    all_codec_names,
+    bitmap_codec_names,
+    get_codec,
+    invlist_codec_names,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompressedIntegerSet",
+    "IntegerSetCodec",
+    "ReproError",
+    "get_codec",
+    "all_codec_names",
+    "bitmap_codec_names",
+    "invlist_codec_names",
+    "__version__",
+]

@@ -1,0 +1,24 @@
+"""Benchmark harness regenerating every table and figure of the paper.
+
+See :mod:`repro.bench.experiments` for the experiment index and
+``python -m repro.bench --help`` for the CLI.
+"""
+
+from repro.bench.harness import (
+    MetricRow,
+    bench_decompression,
+    bench_pair,
+    bench_query,
+    bench_query_union,
+)
+from repro.bench.timing import measure, measure_ms
+
+__all__ = [
+    "MetricRow",
+    "bench_decompression",
+    "bench_pair",
+    "bench_query",
+    "bench_query_union",
+    "measure",
+    "measure_ms",
+]

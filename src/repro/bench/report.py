@@ -1,0 +1,182 @@
+"""Rendering of experiment results as paper-style tables.
+
+The experiment functions return lists of :class:`~repro.bench.harness.
+MetricRow`; this module pivots and prints them the way the paper lays out
+its tables (codecs as rows in legend order, workloads as columns) and can
+also dump raw CSV for downstream plotting.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Callable
+
+from repro.bench.harness import MetricRow
+from repro.core.registry import all_codec_names, history
+
+
+def pivot(
+    rows: list[MetricRow],
+    value: str = "intersect_ms",
+) -> tuple[list[str], list[str], dict[tuple[str, str], float]]:
+    """(codecs, workloads, cell values) pivot of one metric."""
+    codecs = [
+        name
+        for name in all_codec_names()
+        if any(r.codec == name for r in rows)
+    ]
+    extra = [r.codec for r in rows if r.codec not in codecs]
+    codecs += list(dict.fromkeys(extra))
+    workloads = list(dict.fromkeys(r.workload for r in rows))
+    cells = {(r.codec, r.workload): getattr(r, value) for r in rows}
+    return codecs, workloads, cells
+
+
+def format_table(
+    rows: list[MetricRow],
+    value: str = "intersect_ms",
+    title: str = "",
+    fmt: Callable[[float], str] | None = None,
+) -> str:
+    """Render one metric as an aligned text table."""
+    if fmt is None:
+        fmt = _default_format(value)
+    codecs, workloads, cells = pivot(rows, value)
+    name_width = max([len("codec")] + [len(c) for c in codecs])
+    col_widths = [
+        max(len(w), *(len(fmt(cells.get((c, w), float("nan")))) for c in codecs))
+        for w in workloads
+    ]
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    header = "codec".ljust(name_width) + "  " + "  ".join(
+        w.rjust(cw) for w, cw in zip(workloads, col_widths)
+    )
+    out.write(header + "\n")
+    out.write("-" * len(header) + "\n")
+    for c in codecs:
+        line = c.ljust(name_width) + "  " + "  ".join(
+            fmt(cells.get((c, w), float("nan"))).rjust(cw)
+            for w, cw in zip(workloads, col_widths)
+        )
+        out.write(line + "\n")
+    return out.getvalue()
+
+
+def _default_format(value: str) -> Callable[[float], str]:
+    if value == "space_bytes":
+        return format_bytes
+    return format_ms
+
+
+def format_ms(x: float) -> str:
+    if x != x:  # NaN
+        return "-"
+    if x >= 100:
+        return f"{x:.0f}"
+    if x >= 1:
+        return f"{x:.1f}"
+    return f"{x:.3f}"
+
+
+def format_bytes(x: float) -> str:
+    if x != x:
+        return "-"
+    x = float(x)
+    for unit in ("B", "KB", "MB", "GB"):
+        if x < 1024 or unit == "GB":
+            return f"{x:.1f}{unit}" if unit != "B" else f"{x:.0f}B"
+        x /= 1024
+    return f"{x:.1f}GB"  # pragma: no cover
+
+
+def to_csv(rows: list[MetricRow]) -> str:
+    """Raw CSV dump of every measurement."""
+    keys: list[str] = []
+    dicts = [r.as_dict() for r in rows]
+    for d in dicts:
+        for k in d:
+            if k not in keys:
+                keys.append(k)
+    out = io.StringIO()
+    out.write(",".join(keys) + "\n")
+    for d in dicts:
+        out.write(",".join(str(d.get(k, "")) for k in keys) + "\n")
+    return out.getvalue()
+
+
+_MARKERS = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+
+def scatter_plot(
+    rows: list[MetricRow],
+    workload: str,
+    x: str = "space_bytes",
+    y: str = "intersect_ms",
+    width: int = 64,
+    height: int = 18,
+) -> str:
+    """ASCII time-vs-space scatter for one workload — the shape of the
+    paper's Figures 4–12 panels (each codec is one labelled point;
+    lower-left is better).
+
+    Axes are log-scaled, matching how the paper's panels spread codecs
+    that differ by orders of magnitude.
+    """
+    points = []
+    for row in rows:
+        if row.workload != workload:
+            continue
+        xv = getattr(row, x)
+        yv = getattr(row, y)
+        if xv != xv or yv != yv or xv <= 0 or yv <= 0:  # NaN / non-positive
+            continue
+        points.append((row.codec, float(xv), float(yv)))
+    if not points:
+        return f"(no data for workload {workload!r})\n"
+
+    import math
+
+    xs = [math.log10(p[1]) for p in points]
+    ys = [math.log10(p[2]) for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for idx, (codec, xv, yv) in enumerate(points):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        col = round((math.log10(xv) - x_lo) / x_span * (width - 1))
+        line = round((math.log10(yv) - y_lo) / y_span * (height - 1))
+        cell = grid[height - 1 - line][col]
+        grid[height - 1 - line][col] = marker if cell == " " else "*"
+        legend.append(
+            f"  {marker} {codec:15s} {format_ms(yv):>8s} ms  "
+            f"{format_bytes(xv):>9s}"
+        )
+
+    out = io.StringIO()
+    out.write(f"{workload}: {_ms_label(y)} (log) vs space (log); * = overlap\n")
+    for row_chars in grid:
+        out.write("|" + "".join(row_chars) + "\n")
+    out.write("+" + "-" * width + "\n")
+    for entry in legend:
+        out.write(entry + "\n")
+    return out.getvalue()
+
+
+def _ms_label(metric: str) -> str:
+    return metric.replace("_ms", " time").replace("_", " ")
+
+
+def history_table() -> str:
+    """The Figure-1 timeline: year, family, codec."""
+    out = io.StringIO()
+    out.write("year  family   codec\n")
+    out.write("--------------------\n")
+    for year, family, name in history():
+        out.write(f"{year}  {family:7s}  {name}\n")
+    return out.getvalue()

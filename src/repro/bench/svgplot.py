@@ -1,0 +1,271 @@
+"""Dependency-free SVG rendering of experiment results.
+
+The paper presents its per-query results as time-vs-space scatter plots
+(Figures 4–12) and its sweeps as line/point panels (Figure 3).  This
+module renders both styles straight from :class:`MetricRow` lists —
+plain SVG strings, no plotting library required — so
+``python -m repro.bench fig4 --svg results/`` leaves behind
+paper-style figures.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.bench.harness import MetricRow
+from repro.bench.report import format_bytes, format_ms
+from repro.core.registry import all_codec_names
+
+_W, _H = 640, 420
+_MARGIN_L, _MARGIN_R, _MARGIN_T, _MARGIN_B = 70, 180, 30, 50
+_PLOT_W = _W - _MARGIN_L - _MARGIN_R
+_PLOT_H = _H - _MARGIN_T - _MARGIN_B
+
+#: A colour per codec family plus a rotating hue within the family.
+_BITMAP_COLOURS = [
+    "#b2182b", "#d6604d", "#f4a582", "#c51b7d", "#de77ae",
+    "#8c510a", "#bf812d", "#dfc27d", "#e08214",
+]
+_INVLIST_COLOURS = [
+    "#2166ac", "#4393c3", "#92c5de", "#01665e", "#35978f",
+    "#80cdc1", "#542788", "#8073ac", "#b2abd2", "#1b7837",
+    "#5aae61", "#a6dba0", "#4d4d4d", "#878787", "#bababa",
+]
+
+
+def _colour_for(codec: str, family: str) -> str:
+    names = all_codec_names()
+    try:
+        idx = names.index(codec)
+    except ValueError:
+        idx = 0
+    if family == "bitmap":
+        return _BITMAP_COLOURS[idx % len(_BITMAP_COLOURS)]
+    return _INVLIST_COLOURS[idx % len(_INVLIST_COLOURS)]
+
+
+def _log_ticks(lo: float, hi: float) -> list[float]:
+    """Decade tick positions covering [lo, hi]."""
+    first = math.floor(math.log10(lo))
+    last = math.ceil(math.log10(hi))
+    return [10.0**e for e in range(first, last + 1)]
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+def scatter_svg(
+    rows: Sequence[MetricRow],
+    workload: str,
+    x: str = "space_bytes",
+    y: str = "intersect_ms",
+    title: str | None = None,
+) -> str:
+    """A log-log time-vs-space scatter for one workload (one paper panel).
+
+    Returns the SVG document as a string; empty-data inputs yield a
+    minimal SVG with a notice so the caller can always write a file.
+    """
+    points = []
+    for row in rows:
+        if row.workload != workload:
+            continue
+        xv, yv = getattr(row, x), getattr(row, y)
+        if xv != xv or yv != yv or xv <= 0 or yv <= 0:
+            continue
+        points.append((row.codec, row.family, float(xv), float(yv)))
+
+    title = title or workload
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_W}" '
+        f'height="{_H}" viewBox="0 0 {_W} {_H}">',
+        f'<rect width="{_W}" height="{_H}" fill="white"/>',
+        f'<text x="{_MARGIN_L}" y="20" font-family="sans-serif" '
+        f'font-size="14" font-weight="bold">{_escape(title)}</text>',
+    ]
+    if not points:
+        parts.append(
+            f'<text x="{_W // 2}" y="{_H // 2}" text-anchor="middle" '
+            f'font-family="sans-serif" font-size="13">no data</text></svg>'
+        )
+        return "".join(parts)
+
+    x_lo = min(p[2] for p in points) / 1.3
+    x_hi = max(p[2] for p in points) * 1.3
+    y_lo = min(p[3] for p in points) / 1.3
+    y_hi = max(p[3] for p in points) * 1.3
+
+    def sx(v: float) -> float:
+        return _MARGIN_L + (math.log10(v) - math.log10(x_lo)) / (
+            math.log10(x_hi) - math.log10(x_lo)
+        ) * _PLOT_W
+
+    def sy(v: float) -> float:
+        return (
+            _MARGIN_T
+            + _PLOT_H
+            - (math.log10(v) - math.log10(y_lo))
+            / (math.log10(y_hi) - math.log10(y_lo))
+            * _PLOT_H
+        )
+
+    # Axes + decade gridlines.
+    parts.append(
+        f'<rect x="{_MARGIN_L}" y="{_MARGIN_T}" width="{_PLOT_W}" '
+        f'height="{_PLOT_H}" fill="none" stroke="#333"/>'
+    )
+    for tick in _log_ticks(x_lo, x_hi):
+        if not x_lo <= tick <= x_hi:
+            continue
+        px = sx(tick)
+        parts.append(
+            f'<line x1="{px:.1f}" y1="{_MARGIN_T}" x2="{px:.1f}" '
+            f'y2="{_MARGIN_T + _PLOT_H}" stroke="#ddd"/>'
+            f'<text x="{px:.1f}" y="{_MARGIN_T + _PLOT_H + 16}" '
+            f'text-anchor="middle" font-family="sans-serif" font-size="10">'
+            f"{format_bytes(tick)}</text>"
+        )
+    for tick in _log_ticks(y_lo, y_hi):
+        if not y_lo <= tick <= y_hi:
+            continue
+        py = sy(tick)
+        parts.append(
+            f'<line x1="{_MARGIN_L}" y1="{py:.1f}" '
+            f'x2="{_MARGIN_L + _PLOT_W}" y2="{py:.1f}" stroke="#ddd"/>'
+            f'<text x="{_MARGIN_L - 6}" y="{py + 3:.1f}" text-anchor="end" '
+            f'font-family="sans-serif" font-size="10">{format_ms(tick)}</text>'
+        )
+    parts.append(
+        f'<text x="{_MARGIN_L + _PLOT_W / 2}" y="{_H - 8}" '
+        f'text-anchor="middle" font-family="sans-serif" font-size="11">'
+        f"space (log)</text>"
+        f'<text x="16" y="{_MARGIN_T + _PLOT_H / 2}" text-anchor="middle" '
+        f'font-family="sans-serif" font-size="11" '
+        f'transform="rotate(-90 16 {_MARGIN_T + _PLOT_H / 2})">'
+        f"time, ms (log)</text>"
+    )
+
+    # Points: circles for bitmaps, squares for inverted lists.
+    legend_y = _MARGIN_T
+    for codec, family, xv, yv in points:
+        colour = _colour_for(codec, family)
+        px, py = sx(xv), sy(yv)
+        if family == "bitmap":
+            parts.append(
+                f'<circle cx="{px:.1f}" cy="{py:.1f}" r="4.5" '
+                f'fill="{colour}" stroke="#222" stroke-width="0.5">'
+                f"<title>{_escape(codec)}: {format_ms(yv)} ms, "
+                f"{format_bytes(xv)}</title></circle>"
+            )
+        else:
+            parts.append(
+                f'<rect x="{px - 4:.1f}" y="{py - 4:.1f}" width="8" '
+                f'height="8" fill="{colour}" stroke="#222" '
+                f'stroke-width="0.5"><title>{_escape(codec)}: '
+                f"{format_ms(yv)} ms, {format_bytes(xv)}</title></rect>"
+            )
+        lx = _W - _MARGIN_R + 12
+        marker = (
+            f'<circle cx="{lx}" cy="{legend_y + 4}" r="4" fill="{colour}"/>'
+            if family == "bitmap"
+            else f'<rect x="{lx - 4}" y="{legend_y}" width="8" height="8" '
+            f'fill="{colour}"/>'
+        )
+        parts.append(
+            marker
+            + f'<text x="{lx + 10}" y="{legend_y + 8}" '
+            f'font-family="sans-serif" font-size="10">{_escape(codec)}</text>'
+        )
+        legend_y += 15
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def series_svg(
+    rows: Sequence[MetricRow],
+    metric: str = "decompress_ms",
+    title: str = "",
+) -> str:
+    """One line per codec across the workloads, log-scaled y — the shape
+    of the paper's Figure-3 sweep panels."""
+    workloads = list(dict.fromkeys(r.workload for r in rows))
+    by_codec: dict[tuple[str, str], dict[str, float]] = {}
+    for row in rows:
+        v = getattr(row, metric)
+        if v == v and v > 0:
+            by_codec.setdefault((row.codec, row.family), {})[row.workload] = v
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_W}" '
+        f'height="{_H}" viewBox="0 0 {_W} {_H}">',
+        f'<rect width="{_W}" height="{_H}" fill="white"/>',
+        f'<text x="{_MARGIN_L}" y="20" font-family="sans-serif" '
+        f'font-size="14" font-weight="bold">{_escape(title or metric)}</text>',
+    ]
+    if not by_codec or not workloads:
+        parts.append("</svg>")
+        return "".join(parts)
+    values = [v for series in by_codec.values() for v in series.values()]
+    y_lo, y_hi = min(values) / 1.3, max(values) * 1.3
+
+    def sx(i: int) -> float:
+        if len(workloads) == 1:
+            return _MARGIN_L + _PLOT_W / 2
+        return _MARGIN_L + i / (len(workloads) - 1) * _PLOT_W
+
+    def sy(v: float) -> float:
+        return (
+            _MARGIN_T
+            + _PLOT_H
+            - (math.log10(v) - math.log10(y_lo))
+            / (math.log10(y_hi) - math.log10(y_lo))
+            * _PLOT_H
+        )
+
+    parts.append(
+        f'<rect x="{_MARGIN_L}" y="{_MARGIN_T}" width="{_PLOT_W}" '
+        f'height="{_PLOT_H}" fill="none" stroke="#333"/>'
+    )
+    for i, w in enumerate(workloads):
+        parts.append(
+            f'<text x="{sx(i):.1f}" y="{_MARGIN_T + _PLOT_H + 16}" '
+            f'text-anchor="middle" font-family="sans-serif" font-size="9">'
+            f"{_escape(w)}</text>"
+        )
+    for tick in _log_ticks(y_lo, y_hi):
+        if not y_lo <= tick <= y_hi:
+            continue
+        py = sy(tick)
+        parts.append(
+            f'<line x1="{_MARGIN_L}" y1="{py:.1f}" '
+            f'x2="{_MARGIN_L + _PLOT_W}" y2="{py:.1f}" stroke="#eee"/>'
+            f'<text x="{_MARGIN_L - 6}" y="{py + 3:.1f}" text-anchor="end" '
+            f'font-family="sans-serif" font-size="10">{format_ms(tick)}</text>'
+        )
+    legend_y = _MARGIN_T
+    for (codec, family), series in by_codec.items():
+        colour = _colour_for(codec, family)
+        coords = [
+            f"{sx(i):.1f},{sy(series[w]):.1f}"
+            for i, w in enumerate(workloads)
+            if w in series
+        ]
+        if len(coords) > 1:
+            parts.append(
+                f'<polyline points="{" ".join(coords)}" fill="none" '
+                f'stroke="{colour}" stroke-width="1.4">'
+                f"<title>{_escape(codec)}</title></polyline>"
+            )
+        lx = _W - _MARGIN_R + 12
+        parts.append(
+            f'<line x1="{lx - 4}" y1="{legend_y + 4}" x2="{lx + 6}" '
+            f'y2="{legend_y + 4}" stroke="{colour}" stroke-width="2"/>'
+            f'<text x="{lx + 10}" y="{legend_y + 8}" '
+            f'font-family="sans-serif" font-size="10">{_escape(codec)}</text>'
+        )
+        legend_y += 15
+    parts.append("</svg>")
+    return "".join(parts)

@@ -1,0 +1,33 @@
+"""Wall-clock measurement helpers.
+
+Mirrors the paper's methodology (Section 4.1): operations are timed
+in-memory only — compressed inputs are fully materialised before the
+clock starts, and loading/compression time is excluded.  Each measurement
+is the minimum over ``repeat`` runs to suppress scheduler noise.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable
+
+
+def measure(
+    fn: Callable[[], Any], repeat: int = 3, warmup: int = 1
+) -> float:
+    """Best-of-*repeat* wall time of ``fn()`` in seconds."""
+    for _ in range(warmup):
+        fn()
+    best = float("inf")
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - t0
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def measure_ms(fn: Callable[[], Any], repeat: int = 3, warmup: int = 1) -> float:
+    """Best-of-*repeat* wall time in milliseconds (the paper's unit)."""
+    return measure(fn, repeat=repeat, warmup=warmup) * 1000.0

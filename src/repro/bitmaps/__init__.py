@@ -1,0 +1,27 @@
+"""Bitmap compression codecs (paper Section 2).
+
+Importing this package registers all nine bitmap codecs:
+Bitset, BBC, WAH, EWAH, PLWAH, CONCISE, VALWAH, SBH, and Roaring.
+"""
+
+from repro.bitmaps.bbc import BBCCodec
+from repro.bitmaps.bitset import BitsetCodec
+from repro.bitmaps.concise import CONCISECodec
+from repro.bitmaps.ewah import EWAHCodec
+from repro.bitmaps.plwah import PLWAHCodec
+from repro.bitmaps.roaring import RoaringCodec
+from repro.bitmaps.sbh import SBHCodec
+from repro.bitmaps.valwah import VALWAHCodec
+from repro.bitmaps.wah import WAHCodec
+
+__all__ = [
+    "BitsetCodec",
+    "BBCCodec",
+    "WAHCodec",
+    "EWAHCodec",
+    "PLWAHCodec",
+    "CONCISECodec",
+    "VALWAHCodec",
+    "SBHCodec",
+    "RoaringCodec",
+]

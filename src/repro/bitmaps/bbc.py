@@ -1,0 +1,249 @@
+"""BBC — Byte-aligned Bitmap Code (Antoshenkov, 1995).
+
+Paper Section 2.8.  The bitmap is cut into 8-bit groups (bytes) and a run
+of fill bytes plus its trailing literal bytes is encoded as one of four
+patterns, distinguished by the header byte's leading bits:
+
+* Pattern 1 (``1 p kk qqqq``): up to 3 fill bytes and up to 15 literal
+  bytes; the literals follow verbatim.
+* Pattern 2 (``01 p kk ooo``): up to 3 fill bytes followed by a single
+  *odd byte* — a byte differing from the fill pattern in exactly one bit,
+  at position ``ooo``.
+* Pattern 3 (``001 p qqqq`` + VB counter): at least 4 fill bytes (count
+  stored as a variable-byte integer) and up to 15 literal bytes.
+* Pattern 4 (``0001 p ooo`` + VB counter): at least 4 fill bytes followed
+  by a single odd byte.
+
+The four-way case analysis gives BBC nearly the smallest space of the RLE
+bitmap family, at the cost of the slowest decoding — both effects the
+paper measures (finding (6) in Section 5.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bitmaps.rle_base import RLEBitmapCodec
+from repro.bitmaps.rle_ops import (
+    FILL0,
+    FILL1,
+    LITERAL,
+    RunStream,
+    gather_ranges,
+    merge_runs,
+)
+from repro.core.errors import CorruptPayloadError
+from repro.core.registry import register_codec
+
+
+def _vb_from_list(dl: list[int], i: int, n: int) -> tuple[int, int]:
+    """Decode one VB counter from a Python-int byte list."""
+    value = 0
+    shift = 0
+    while True:
+        if i >= n:
+            raise CorruptPayloadError("truncated VB counter")
+        byte = dl[i]
+        i += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, i
+        shift += 7
+
+
+def _gather_literals(
+    data: np.ndarray, lit_refs: list[tuple[int, int]]
+) -> np.ndarray:
+    """Materialise the literal byte values referenced during decoding."""
+    if not lit_refs:
+        return np.empty(0, dtype=np.uint64)
+    refs = np.array(lit_refs, dtype=np.int64)
+    starts, lengths = refs[:, 0], refs[:, 1]
+    verbatim = starts >= 0
+    # Stream stretches gather in one pass; synthesised odd bytes are the
+    # encoded negatives.
+    out_counts = np.where(verbatim, lengths, 1)
+    out = np.empty(int(out_counts.sum()), dtype=np.uint64)
+    dest_start = np.cumsum(out_counts) - out_counts
+    if verbatim.any():
+        idx = gather_ranges(starts[verbatim], lengths[verbatim])
+        dest = gather_ranges(dest_start[verbatim], lengths[verbatim])
+        out[dest] = data[idx].astype(np.uint64)
+    odd = ~verbatim
+    if odd.any():
+        out[dest_start[odd]] = (-starts[odd] - 1).astype(np.uint64)
+    return out
+
+_MAX_SHORT_FILL = 3
+_MAX_LITERALS = 15
+
+
+def encode_vb_int(value: int) -> list[int]:
+    """Variable-byte encode a non-negative int (little-endian 7-bit groups,
+    MSB set on every byte except the last) — paper Section 3.1."""
+    out = []
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return out
+
+
+def decode_vb_int(data: np.ndarray, i: int) -> tuple[int, int]:
+    """Decode one VB integer from *data* starting at index *i*.
+
+    Returns (value, next_index).
+    """
+    value = 0
+    shift = 0
+    n = data.size
+    while True:
+        if i >= n:
+            raise CorruptPayloadError("truncated VB counter")
+        byte = int(data[i])
+        i += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, i
+        shift += 7
+
+
+@register_codec
+class BBCCodec(RLEBitmapCodec):
+    """Byte-aligned Bitmap Code with the four header patterns."""
+
+    name = "BBC"
+    year = 1995
+    group_bits = 8
+
+    # ------------------------------------------------------------------
+    # Encode
+    # ------------------------------------------------------------------
+    def _encode(self, rs: RunStream) -> np.ndarray:
+        out = bytearray()
+        kinds, counts = rs.kinds, rs.counts
+        n_runs = len(kinds)
+        i = 0
+        lit = 0
+        while i < n_runs:
+            if int(kinds[i]) != LITERAL:
+                polarity = 1 if int(kinds[i]) == FILL1 else 0
+                fills = int(counts[i])
+                i += 1
+            else:
+                polarity, fills = 0, 0
+            if i < n_runs and int(kinds[i]) == LITERAL:
+                c = int(counts[i])
+                literals = rs.literals[lit : lit + c]
+                lit += c
+                i += 1
+            else:
+                literals = rs.literals[:0]
+            self._encode_item(out, polarity, fills, literals)
+        return np.frombuffer(bytes(out), dtype=np.uint8)
+
+    def _encode_item(
+        self, out: bytearray, polarity: int, fills: int, literals: np.ndarray
+    ) -> None:
+        """Encode one (fill run, literal run) item as patterns 1–4."""
+        pattern = 0xFF if polarity else 0x00
+        odd_pos = None
+        if literals.size == 1:
+            diff = int(literals[0]) ^ pattern
+            if diff and (diff & (diff - 1)) == 0:
+                odd_pos = diff.bit_length() - 1
+
+        if odd_pos is not None and 1 <= fills <= _MAX_SHORT_FILL:
+            out.append(0x40 | (polarity << 5) | (fills << 3) | odd_pos)
+            return
+        if odd_pos is not None and fills > _MAX_SHORT_FILL:
+            out.append(0x10 | (polarity << 3) | odd_pos)
+            out.extend(encode_vb_int(fills))
+            return
+
+        # General case: one header for the fill run plus the first literal
+        # chunk, then plain pattern-1 headers for the remaining literals.
+        first = literals[: _MAX_LITERALS]
+        rest = literals[_MAX_LITERALS:]
+        if fills > _MAX_SHORT_FILL:
+            out.append(0x20 | (polarity << 4) | first.size)
+            out.extend(encode_vb_int(fills))
+        else:
+            out.append(0x80 | (polarity << 6) | (fills << 4) | first.size)
+        out.extend(first.astype(np.uint8).tobytes())
+        while rest.size:
+            chunk = rest[: _MAX_LITERALS]
+            rest = rest[_MAX_LITERALS:]
+            out.append(0x80 | chunk.size)
+            out.extend(chunk.astype(np.uint8).tobytes())
+
+    # ------------------------------------------------------------------
+    # Decode
+    # ------------------------------------------------------------------
+    def _decode(self, payload: np.ndarray) -> RunStream:
+        # The header walk is sequential (each header determines how many
+        # counter/literal bytes follow).  It runs over plain Python ints
+        # and records *runs* — literal stretches as (start, length)
+        # references into the byte stream, gathered vectorised afterwards.
+        data = payload
+        n = int(data.size)
+        dl = data.tolist()
+        kinds: list[int] = []
+        counts: list[int] = []
+        #: (byte offset, length) for verbatim literal stretches; an odd
+        #: byte (patterns 2/4) is recorded as (-value - 1, 1) instead.
+        lit_refs: list[tuple[int, int]] = []
+        i = 0
+        while i < n:
+            header = dl[i]
+            i += 1
+            if header & 0x80:  # Pattern 1
+                polarity = (header >> 6) & 1
+                fills = (header >> 4) & 3
+                q = header & 0x0F
+            elif header & 0x40:  # Pattern 2
+                polarity = (header >> 5) & 1
+                fills = (header >> 3) & 3
+                q = -1  # odd byte
+            elif header & 0x20:  # Pattern 3
+                polarity = (header >> 4) & 1
+                q = header & 0x0F
+                fills, i = _vb_from_list(dl, i, n)
+            elif header & 0x10:  # Pattern 4
+                polarity = (header >> 3) & 1
+                fills, i = _vb_from_list(dl, i, n)
+                q = -1
+            else:
+                raise CorruptPayloadError(
+                    f"invalid BBC header byte {header:#04x}"
+                )
+            if fills:
+                kinds.append(FILL1 if polarity else FILL0)
+                counts.append(fills)
+            if q > 0:
+                if i + q > n:
+                    raise CorruptPayloadError(
+                        "BBC header overruns the byte stream"
+                    )
+                kinds.append(LITERAL)
+                counts.append(q)
+                lit_refs.append((i, q))
+                i += q
+            elif q < 0:
+                pattern = 0xFF if polarity else 0x00
+                kinds.append(LITERAL)
+                counts.append(1)
+                lit_refs.append((-(pattern ^ (1 << (header & 7))) - 1, 1))
+        literals = _gather_literals(data, lit_refs)
+        return merge_runs(
+            self.group_bits,
+            np.array(kinds, dtype=np.int8),
+            np.array(counts, dtype=np.int64),
+            literals,
+        )
+
+    def _payload_bytes(self, payload: np.ndarray) -> int:
+        return int(payload.nbytes)

@@ -1,0 +1,166 @@
+"""CONCISE — Compressed 'N' Composable Integer Set (Colantonio & Di
+Pietro, 2010).
+
+Paper Section 2.3.  Like WAH the bitmap is cut into 31-bit groups, but a
+fill word can absorb a *mixed fill group*: a literal group immediately
+**preceding** the fill that differs from the fill pattern in exactly one
+bit (the *odd bit*).
+
+Wire format (32-bit words):
+
+* literal word: bit 31 = 1, bits 0..30 = the group;
+* fill word: bit 31 = 0, bit 30 = polarity, bits 29..25 = odd-bit position
+  field (0 = pure fill; otherwise the **first** group of the run is the
+  fill pattern with bit ``field - 1`` flipped), bits 24..0 = number of
+  covered groups minus one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bitmaps.rle_base import RLEBitmapCodec, split_runs
+from repro.bitmaps.rle_ops import FILL1, LITERAL, RunStream, build_runstream
+from repro.core.registry import register_codec
+
+_FLAG_LITERAL = 1 << 31
+_FLAG_ONE = 1 << 30
+_POS_SHIFT = 25
+_POS_MASK = 0b11111
+_COUNT_MASK = (1 << 25) - 1
+_MAX_GROUPS = 1 << 25  # count field stores count - 1
+_GROUP_FULL = (1 << 31) - 1
+
+
+def _fill_pattern(polarity: int) -> int:
+    return _GROUP_FULL if polarity else 0
+
+
+def _single_bit_position(diff: int) -> int | None:
+    """Bit index if *diff* has exactly one set bit, else None."""
+    if diff and (diff & (diff - 1)) == 0:
+        return diff.bit_length() - 1
+    return None
+
+
+@register_codec
+class CONCISECodec(RLEBitmapCodec):
+    """CONCISE: WAH with odd-bit absorption into the following fill."""
+
+    name = "CONCISE"
+    year = 2010
+    group_bits = 31
+
+    # ------------------------------------------------------------------
+    # Encode
+    # ------------------------------------------------------------------
+    def _encode(self, rs: RunStream) -> np.ndarray:
+        out: list[np.ndarray] = []
+        kinds, counts = rs.kinds, rs.counts
+        n_runs = len(kinds)
+        i = 0
+        lit = 0
+        while i < n_runs:
+            kind = int(kinds[i])
+            count = int(counts[i])
+            if kind != LITERAL:
+                out.append(self._fill_words(kind == FILL1, count, odd_bit=None))
+                i += 1
+                continue
+            groups = rs.literals[lit : lit + count]
+            lit += count
+            # Try to absorb the last literal group into the following fill.
+            if i + 1 < n_runs and int(kinds[i + 1]) != LITERAL:
+                next_polarity = int(kinds[i + 1]) == FILL1
+                diff = int(groups[-1]) ^ _fill_pattern(next_polarity)
+                pos = _single_bit_position(diff)
+                if pos is not None:
+                    if groups.size > 1:
+                        out.append(self._literal_words(groups[:-1]))
+                    total = int(counts[i + 1]) + 1  # mixed group + fills
+                    out.append(
+                        self._fill_words(next_polarity, total, odd_bit=pos)
+                    )
+                    i += 2
+                    continue
+            out.append(self._literal_words(groups))
+            i += 1
+        if not out:
+            return np.empty(0, dtype=np.uint32)
+        return np.concatenate(out)
+
+    @staticmethod
+    def _literal_words(groups: np.ndarray) -> np.ndarray:
+        return (groups.astype(np.uint32) | np.uint32(_FLAG_LITERAL))
+
+    @staticmethod
+    def _fill_words(
+        polarity: bool, total_groups: int, odd_bit: int | None
+    ) -> np.ndarray:
+        """Fill words covering *total_groups*; only the first chunk carries
+        the odd-bit marker (the mixed group is the first group of the run).
+        """
+        base = _FLAG_ONE if polarity else 0
+        chunks = split_runs(total_groups, _MAX_GROUPS)
+        words = np.empty(len(chunks), dtype=np.uint32)
+        for j, chunk in enumerate(chunks):
+            pos_field = (odd_bit + 1) if (j == 0 and odd_bit is not None) else 0
+            words[j] = base | (pos_field << _POS_SHIFT) | (chunk - 1)
+        return words
+
+    # ------------------------------------------------------------------
+    # Decode
+    # ------------------------------------------------------------------
+    def _decode(self, payload: np.ndarray) -> RunStream:
+        words = payload.astype(np.int64, copy=False)
+        n = words.size
+        if n == 0:
+            return build_runstream(
+                self.group_bits,
+                np.empty(0, dtype=np.int8),
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.uint64),
+            )
+        is_literal = (words & _FLAG_LITERAL) != 0
+        is_fill = ~is_literal
+        polarity = ((words & _FLAG_ONE) != 0).astype(np.int8)
+        pos = (words >> _POS_SHIFT) & _POS_MASK
+        total = (words & _COUNT_MASK) + 1
+        pattern = np.where(polarity == 1, _GROUP_FULL, 0).astype(np.int64)
+        mixed_val = (pattern ^ (np.int64(1) << np.maximum(pos - 1, 0))).astype(
+            np.uint64
+        )
+
+        # A fill word with an odd bit expands into [mixed literal, fill];
+        # when it covers a single group, the fill part is empty.
+        two_units = is_fill & (pos > 0) & (total > 1)
+        units_per_word = np.ones(n, dtype=np.int64)
+        units_per_word[two_units] = 2
+        off = np.cumsum(units_per_word) - units_per_word
+        total_units = int(units_per_word.sum())
+
+        unit_kinds = np.empty(total_units, dtype=np.int8)
+        unit_counts = np.ones(total_units, dtype=np.int64)
+        unit_lits = np.zeros(total_units, dtype=np.uint64)
+
+        lw = is_literal
+        unit_kinds[off[lw]] = LITERAL
+        unit_lits[off[lw]] = (words[lw] & _GROUP_FULL).astype(np.uint64)
+
+        pure = is_fill & (pos == 0)
+        unit_kinds[off[pure]] = polarity[pure]
+        unit_counts[off[pure]] = total[pure]
+
+        mixed_only = is_fill & (pos > 0) & (total == 1)
+        unit_kinds[off[mixed_only]] = LITERAL
+        unit_lits[off[mixed_only]] = mixed_val[mixed_only]
+
+        unit_kinds[off[two_units]] = LITERAL
+        unit_lits[off[two_units]] = mixed_val[two_units]
+        unit_kinds[off[two_units] + 1] = polarity[two_units]
+        unit_counts[off[two_units] + 1] = total[two_units] - 1
+
+        return build_runstream(self.group_bits, unit_kinds, unit_counts, unit_lits)
+
+    def _payload_bytes(self, payload: np.ndarray) -> int:
+        return int(payload.nbytes)

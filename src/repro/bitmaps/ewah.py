@@ -1,0 +1,142 @@
+"""EWAH — Enhanced Word-Aligned Hybrid (Lemire, Kaser, Aouiche, 2010).
+
+Paper Section 2.2.  The bitmap is cut into 32-bit groups.  The stream is a
+sequence of *marker words*, each followed by the literal words it
+announces.  A marker encodes: bit 31 = fill polarity, bits 30..15 = number
+of fill groups p (p ≤ 65535), bits 14..0 = number of following literal
+words q (q ≤ 32767).  Unlike WAH, literal groups keep all 32 bits, so EWAH
+never loses a bit per word to the flag.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bitmaps.rle_base import RLEBitmapCodec
+from repro.bitmaps.rle_ops import (
+    FILL0,
+    FILL1,
+    LITERAL,
+    RunStream,
+    gather_ranges,
+    merge_runs,
+)
+from repro.core.errors import CorruptPayloadError
+from repro.core.registry import register_codec
+
+_MAX_FILLS = (1 << 16) - 1  # 65535
+_MAX_LITERALS = (1 << 15) - 1  # 32767
+
+
+def _marker(polarity: int, p: int, q: int) -> int:
+    return (polarity << 31) | (p << 15) | q
+
+
+@register_codec
+class EWAHCodec(RLEBitmapCodec):
+    """Enhanced WAH: 32-bit groups, marker word + verbatim literal words."""
+
+    name = "EWAH"
+    year = 2010
+    group_bits = 32
+
+    def _encode(self, rs: RunStream) -> np.ndarray:
+        # Normalise the stream into (fill_run, literal_run) pairs and emit
+        # marker + literals for each, splitting runs that exceed the
+        # marker's field widths.
+        arrays: list[np.ndarray] = []
+
+        def emit(polarity: int, fills: int, literals: np.ndarray) -> None:
+            """Emit one logical (fill run, literal run) pair."""
+            while fills > _MAX_FILLS:
+                _flush_word(_marker(polarity, _MAX_FILLS, 0))
+                fills -= _MAX_FILLS
+            while literals.size > _MAX_LITERALS:
+                _flush_word(_marker(polarity, fills, _MAX_LITERALS))
+                _flush_literals(literals[:_MAX_LITERALS])
+                literals = literals[_MAX_LITERALS:]
+                fills = 0
+                polarity = 0
+            _flush_word(_marker(polarity, fills, int(literals.size)))
+            _flush_literals(literals)
+
+        def _flush_word(w: int) -> None:
+            arrays.append(np.array([w], dtype=np.uint32))
+
+        def _flush_literals(lits: np.ndarray) -> None:
+            if lits.size:
+                arrays.append(lits.astype(np.uint32))
+
+        pending_polarity = 0
+        pending_fills = 0
+        lit = 0
+        for kind, count in zip(rs.kinds, rs.counts):
+            count = int(count)
+            if kind == LITERAL:
+                literals = rs.literals[lit : lit + count]
+                lit += count
+                emit(pending_polarity, pending_fills, literals)
+                pending_fills = 0
+                pending_polarity = 0
+            else:
+                if pending_fills:
+                    # Two adjacent fill runs of different polarity: flush
+                    # the first with zero literals.
+                    emit(pending_polarity, pending_fills, np.empty(0, np.uint32))
+                pending_polarity = 1 if kind == FILL1 else 0
+                pending_fills = count
+        if pending_fills:
+            emit(pending_polarity, pending_fills, np.empty(0, np.uint32))
+        if not arrays:
+            # EWAH always starts with a marker word, even for empty input.
+            return np.array([_marker(0, 0, 0)], dtype=np.uint32)
+        return np.concatenate(arrays)
+
+    def _decode(self, payload: np.ndarray) -> RunStream:
+        # The marker walk is inherently sequential (each marker's literal
+        # count determines where the next one is), so a minimal scalar
+        # loop collects the marker fields; everything else — gathering
+        # literal words and assembling runs — is vectorised.
+        words = payload
+        n = int(words.size)
+        wl = words.tolist()
+        polarities: list[int] = []
+        fills: list[int] = []
+        lit_counts: list[int] = []
+        lit_starts: list[int] = []
+        i = 0
+        while i < n:
+            marker = wl[i]
+            i += 1
+            q = marker & _MAX_LITERALS
+            if i + q > n:
+                raise CorruptPayloadError(
+                    f"EWAH marker announces {q} literals but only "
+                    f"{n - i} words remain"
+                )
+            polarities.append(marker >> 31)
+            fills.append((marker >> 15) & _MAX_FILLS)
+            lit_counts.append(q)
+            lit_starts.append(i)
+            i += q
+        p_arr = np.array(fills, dtype=np.int64)
+        q_arr = np.array(lit_counts, dtype=np.int64)
+        pol = np.array(polarities, dtype=np.int8)
+        # Two potential runs per marker: the fill run, then the literals.
+        m = p_arr.size
+        kinds = np.empty(2 * m, dtype=np.int8)
+        counts = np.empty(2 * m, dtype=np.int64)
+        kinds[0::2] = np.where(pol == 1, FILL1, FILL0)
+        counts[0::2] = p_arr
+        kinds[1::2] = LITERAL
+        counts[1::2] = q_arr
+        keep = counts > 0
+        literals = words[
+            gather_ranges(np.array(lit_starts, dtype=np.int64), q_arr)
+        ].astype(np.uint64)
+        return merge_runs(
+            self.group_bits, kinds[keep], counts[keep], literals
+        )
+
+    def _payload_bytes(self, payload: np.ndarray) -> int:
+        return int(payload.nbytes)

@@ -1,0 +1,155 @@
+"""PLWAH — Position List Word-Aligned Hybrid (Deliège & Pedersen, 2010).
+
+Paper Section 2.4.  The mirror image of CONCISE: a fill word can absorb a
+literal group that immediately **follows** the fill run and differs from
+the fill pattern in exactly one bit.
+
+Wire format (32-bit words):
+
+* literal word: bit 31 = 0, bits 0..30 = the group (as in WAH);
+* fill word: bit 31 = 1, bit 30 = polarity, bits 29..25 = odd-bit position
+  field (0 = pure fill; otherwise one extra literal group follows the run,
+  equal to the fill pattern with bit ``field - 1`` flipped), bits 24..0 =
+  the number of fill groups.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bitmaps.rle_base import RLEBitmapCodec, split_runs
+from repro.bitmaps.rle_ops import FILL1, LITERAL, RunStream, build_runstream
+from repro.core.registry import register_codec
+
+_FLAG_FILL = 1 << 31
+_FLAG_ONE = 1 << 30
+_POS_SHIFT = 25
+_POS_MASK = 0b11111
+_COUNT_MASK = (1 << 25) - 1
+_MAX_FILL = (1 << 25) - 1
+_GROUP_FULL = (1 << 31) - 1
+
+
+def _fill_pattern(polarity: bool) -> int:
+    return _GROUP_FULL if polarity else 0
+
+
+def _single_bit_position(diff: int) -> int | None:
+    if diff and (diff & (diff - 1)) == 0:
+        return diff.bit_length() - 1
+    return None
+
+
+@register_codec
+class PLWAHCodec(RLEBitmapCodec):
+    """PLWAH: WAH with odd-bit absorption into the preceding fill."""
+
+    name = "PLWAH"
+    year = 2010
+    group_bits = 31
+
+    # ------------------------------------------------------------------
+    # Encode
+    # ------------------------------------------------------------------
+    def _encode(self, rs: RunStream) -> np.ndarray:
+        out: list[np.ndarray] = []
+        kinds, counts = rs.kinds, rs.counts
+        n_runs = len(kinds)
+        i = 0
+        lit = 0
+        while i < n_runs:
+            kind = int(kinds[i])
+            count = int(counts[i])
+            if kind == LITERAL:
+                groups = rs.literals[lit : lit + count]
+                lit += count
+                out.append(self._literal_words(groups))
+                i += 1
+                continue
+            polarity = kind == FILL1
+            # Try to absorb the first group of the next literal run.
+            if i + 1 < n_runs and int(kinds[i + 1]) == LITERAL:
+                next_count = int(counts[i + 1])
+                first = int(rs.literals[lit])
+                pos = _single_bit_position(first ^ _fill_pattern(polarity))
+                if pos is not None:
+                    out.append(self._fill_words(polarity, count, odd_bit=pos))
+                    rest = rs.literals[lit + 1 : lit + next_count]
+                    lit += next_count
+                    if rest.size:
+                        out.append(self._literal_words(rest))
+                    i += 2
+                    continue
+            out.append(self._fill_words(polarity, count, odd_bit=None))
+            i += 1
+        if not out:
+            return np.empty(0, dtype=np.uint32)
+        return np.concatenate(out)
+
+    @staticmethod
+    def _literal_words(groups: np.ndarray) -> np.ndarray:
+        return groups.astype(np.uint32)  # bit 31 already 0
+
+    @staticmethod
+    def _fill_words(polarity: bool, fills: int, odd_bit: int | None) -> np.ndarray:
+        """Fill words for *fills* groups; only the LAST chunk carries the
+        odd-bit marker (the absorbed literal follows the run)."""
+        base = _FLAG_FILL | (_FLAG_ONE if polarity else 0)
+        chunks = split_runs(fills, _MAX_FILL)
+        words = np.empty(len(chunks), dtype=np.uint32)
+        last = len(chunks) - 1
+        for j, chunk in enumerate(chunks):
+            pos_field = (odd_bit + 1) if (j == last and odd_bit is not None) else 0
+            words[j] = base | (pos_field << _POS_SHIFT) | chunk
+        return words
+
+    # ------------------------------------------------------------------
+    # Decode
+    # ------------------------------------------------------------------
+    def _decode(self, payload: np.ndarray) -> RunStream:
+        words = payload.astype(np.int64, copy=False)
+        n = words.size
+        if n == 0:
+            return build_runstream(
+                self.group_bits,
+                np.empty(0, dtype=np.int8),
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.uint64),
+            )
+        is_fill = (words & _FLAG_FILL) != 0
+        polarity = ((words & _FLAG_ONE) != 0).astype(np.int8)
+        pos = (words >> _POS_SHIFT) & _POS_MASK
+        fills = words & _COUNT_MASK
+        pattern = np.where(polarity == 1, _GROUP_FULL, 0).astype(np.int64)
+        mixed_val = (pattern ^ (np.int64(1) << np.maximum(pos - 1, 0))).astype(
+            np.uint64
+        )
+
+        # A fill word with an odd bit expands into [fill, mixed literal].
+        two_units = is_fill & (pos > 0)
+        units_per_word = np.ones(n, dtype=np.int64)
+        units_per_word[two_units] = 2
+        off = np.cumsum(units_per_word) - units_per_word
+        total_units = int(units_per_word.sum())
+
+        unit_kinds = np.empty(total_units, dtype=np.int8)
+        unit_counts = np.ones(total_units, dtype=np.int64)
+        unit_lits = np.zeros(total_units, dtype=np.uint64)
+
+        lw = ~is_fill
+        unit_kinds[off[lw]] = LITERAL
+        unit_lits[off[lw]] = (words[lw] & _GROUP_FULL).astype(np.uint64)
+
+        pure = is_fill & (pos == 0)
+        unit_kinds[off[pure]] = polarity[pure]
+        unit_counts[off[pure]] = fills[pure]
+
+        unit_kinds[off[two_units]] = polarity[two_units]
+        unit_counts[off[two_units]] = fills[two_units]
+        unit_kinds[off[two_units] + 1] = LITERAL
+        unit_lits[off[two_units] + 1] = mixed_val[two_units]
+
+        return build_runstream(self.group_bits, unit_kinds, unit_counts, unit_lits)
+
+    def _payload_bytes(self, payload: np.ndarray) -> int:
+        return int(payload.nbytes)

@@ -1,0 +1,379 @@
+"""Roaring bitmaps (Chambi, Lemire, Kaser, Godin, 2016).
+
+Paper Section 2.7.  Roaring is the one bitmap codec in the study that is
+*not* run-length based.  The universe is split into 2^16-wide chunks keyed
+by the 16 high bits.  Each non-empty chunk is stored as either
+
+* an **array container** — a sorted ``uint16`` array of the low 16 bits,
+  used when the chunk holds at most 4096 elements, or
+* a **bitmap container** — an uncompressed 65536-bit bitmap (1024 64-bit
+  words), used above 4096 elements,
+
+which guarantees at most 16 bits per stored integer.  Intersection and
+union proceed chunk-by-chunk over matching keys with the four container
+combinations (array×array, array×bitmap, bitmap×array, bitmap×bitmap);
+non-matching chunks are skipped entirely, which is Roaring's "bucket-level
+skipping" advantage the paper highlights for intersections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.base import (
+    CompressedIntegerSet,
+    IntegerSetCodec,
+    difference_sorted_arrays,
+    xor_sorted_arrays,
+)
+from repro.core.registry import register_codec
+
+#: Array→bitmap switch-over cardinality (paper Section 2.7 explains why
+#: 4096: above it the 8 KiB bitmap container is at most 16 bits/element).
+ARRAY_LIMIT = 4096
+
+_CHUNK_BITS = 16
+_CHUNK_SIZE = 1 << _CHUNK_BITS
+_BITMAP_WORDS = _CHUNK_SIZE // 64
+#: Bookkeeping bytes per container: 2-byte key + 2-byte cardinality,
+#: mirroring the roaring portable format's descriptor cost.
+_CONTAINER_OVERHEAD = 4
+
+
+@dataclass(frozen=True)
+class RoaringPayload:
+    """Keys plus one container per key (parallel lists)."""
+
+    keys: np.ndarray  # int64, sorted high-16-bit chunk keys
+    containers: tuple  # tuple of ("array", uint16[]) | ("bitmap", uint64[1024])
+
+
+@register_codec
+class RoaringCodec(IntegerSetCodec):
+    """Hybrid array/bitmap containers over 2^16-wide chunks."""
+
+    name = "Roaring"
+    family = "bitmap"
+    year = 2016
+
+    def __init__(self, array_limit: int = ARRAY_LIMIT) -> None:
+        #: Exposed for the ablation bench sweeping the 4096 threshold.
+        self.array_limit = array_limit
+
+    # ------------------------------------------------------------------
+    def compress(
+        self, values: Iterable[int] | np.ndarray, universe: int | None = None
+    ) -> CompressedIntegerSet:
+        arr, universe = self._prepare(values, universe)
+        if arr.size == 0:
+            payload = RoaringPayload(np.empty(0, dtype=np.int64), ())
+            return CompressedIntegerSet(self.name, payload, 0, universe, 0)
+        high = arr >> _CHUNK_BITS
+        low = (arr & (_CHUNK_SIZE - 1)).astype(np.uint16)
+        boundaries = np.empty(high.size, dtype=bool)
+        boundaries[0] = True
+        boundaries[1:] = high[1:] != high[:-1]
+        starts = np.flatnonzero(boundaries)
+        ends = np.append(starts[1:], high.size)
+        keys = high[starts]
+        containers = []
+        size = 0
+        for s, e in zip(starts, ends):
+            lows = low[s:e]
+            if lows.size > self.array_limit:
+                words = np.zeros(_BITMAP_WORDS, dtype=np.uint64)
+                widx = lows.astype(np.int64) // 64
+                bit = np.uint64(1) << (lows.astype(np.uint64) % np.uint64(64))
+                np.bitwise_or.at(words, widx, bit)
+                containers.append(("bitmap", words))
+                size += words.nbytes
+            else:
+                containers.append(("array", lows.copy()))
+                size += lows.nbytes
+            size += _CONTAINER_OVERHEAD
+        payload = RoaringPayload(keys, tuple(containers))
+        return CompressedIntegerSet(
+            self.name, payload, int(arr.size), universe, int(size)
+        )
+
+    def decompress(self, cs: CompressedIntegerSet) -> np.ndarray:
+        payload: RoaringPayload = cs.payload
+        parts = []
+        for key, (kind, data) in zip(payload.keys, payload.containers):
+            base = int(key) << _CHUNK_BITS
+            if kind == "array":
+                parts.append(base + data.astype(np.int64))
+            else:
+                parts.append(base + _bitmap_positions(data))
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(parts)
+
+    # ------------------------------------------------------------------
+    def intersect(
+        self, a: CompressedIntegerSet, b: CompressedIntegerSet
+    ) -> np.ndarray:
+        pa: RoaringPayload = a.payload
+        pb: RoaringPayload = b.payload
+        # Chunk-level skipping: only keys present in both sides matter.
+        common, ia, ib = np.intersect1d(
+            pa.keys, pb.keys, assume_unique=True, return_indices=True
+        )
+        parts = []
+        for key, i, j in zip(common, ia, ib):
+            lows = _intersect_containers(pa.containers[i], pb.containers[j])
+            if lows.size:
+                parts.append((int(key) << _CHUNK_BITS) + lows)
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(parts)
+
+    def union(self, a: CompressedIntegerSet, b: CompressedIntegerSet) -> np.ndarray:
+        pa: RoaringPayload = a.payload
+        pb: RoaringPayload = b.payload
+        all_keys = np.union1d(pa.keys, pb.keys)
+        map_a = {int(k): c for k, c in zip(pa.keys, pa.containers)}
+        map_b = {int(k): c for k, c in zip(pb.keys, pb.containers)}
+        parts = []
+        for key in all_keys:
+            ca = map_a.get(int(key))
+            cb = map_b.get(int(key))
+            if ca is None:
+                lows = _container_positions(cb)
+            elif cb is None:
+                lows = _container_positions(ca)
+            else:
+                lows = _union_containers(ca, cb)
+            if lows.size:
+                parts.append((int(key) << _CHUNK_BITS) + lows)
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(parts)
+
+    def rank(self, cs: CompressedIntegerSet, value: int) -> int:
+        """Elements ≤ *value* via per-container cardinalities."""
+        payload: RoaringPayload = cs.payload
+        if payload.keys.size == 0 or value < 0:
+            return 0
+        high = value >> _CHUNK_BITS
+        low = value & (_CHUNK_SIZE - 1)
+        total = 0
+        for key, container in zip(payload.keys, payload.containers):
+            if key > high:
+                break
+            if key < high:
+                total += _container_cardinality(container)
+                continue
+            kind, data = container
+            if kind == "array":
+                total += int(np.searchsorted(data, low, side="right"))
+            else:
+                full_words = low // 64
+                total += int(np.bitwise_count(data[:full_words]).sum())
+                rem = (low % 64) + 1
+                mask = (
+                    ~np.uint64(0)
+                    if rem == 64
+                    else np.uint64((1 << rem) - 1)
+                )
+                total += int(data[full_words] & mask).bit_count()
+        return total
+
+    def select(self, cs: CompressedIntegerSet, index: int) -> int:
+        """The *index*-th element: walk container cardinalities, then
+        resolve within one container."""
+        if index < 0 or index >= cs.n:
+            raise IndexError(f"select index {index} out of range [0, {cs.n})")
+        payload: RoaringPayload = cs.payload
+        remaining = index
+        for key, container in zip(payload.keys, payload.containers):
+            card = _container_cardinality(container)
+            if remaining >= card:
+                remaining -= card
+                continue
+            kind, data = container
+            if kind == "array":
+                low = int(data[remaining])
+            else:
+                low = int(_bitmap_positions(data)[remaining])
+            return (int(key) << _CHUNK_BITS) | low
+        raise AssertionError("unreachable: index within n but not located")
+
+    def difference(
+        self, a: CompressedIntegerSet, b: CompressedIntegerSet
+    ) -> np.ndarray:
+        """ANDNOT chunk by chunk: chunks absent from *b* pass through."""
+        pa: RoaringPayload = a.payload
+        pb: RoaringPayload = b.payload
+        map_b = {int(k): c for k, c in zip(pb.keys, pb.containers)}
+        parts = []
+        for key, ca in zip(pa.keys, pa.containers):
+            cb = map_b.get(int(key))
+            lows = (
+                _container_positions(ca)
+                if cb is None
+                else _andnot_containers(ca, cb)
+            )
+            if lows.size:
+                parts.append((int(key) << _CHUNK_BITS) + lows)
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(parts)
+
+    def symmetric_difference(
+        self, a: CompressedIntegerSet, b: CompressedIntegerSet
+    ) -> np.ndarray:
+        """XOR chunk by chunk over the union of chunk keys."""
+        pa: RoaringPayload = a.payload
+        pb: RoaringPayload = b.payload
+        map_a = {int(k): c for k, c in zip(pa.keys, pa.containers)}
+        map_b = {int(k): c for k, c in zip(pb.keys, pb.containers)}
+        parts = []
+        for key in np.union1d(pa.keys, pb.keys):
+            ca = map_a.get(int(key))
+            cb = map_b.get(int(key))
+            if ca is None:
+                lows = _container_positions(cb)
+            elif cb is None:
+                lows = _container_positions(ca)
+            else:
+                lows = _xor_containers(ca, cb)
+            if lows.size:
+                parts.append((int(key) << _CHUNK_BITS) + lows)
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(parts)
+
+    def intersect_with_array(
+        self, cs: CompressedIntegerSet, values: np.ndarray
+    ) -> np.ndarray:
+        """Probe an uncompressed sorted array against the containers.
+
+        Used by SvS-style multi-list intersection: only the chunks the
+        candidate values fall into are touched.
+        """
+        payload: RoaringPayload = cs.payload
+        if values.size == 0 or payload.keys.size == 0:
+            return np.empty(0, dtype=np.int64)
+        high = values >> _CHUNK_BITS
+        low = (values & (_CHUNK_SIZE - 1)).astype(np.uint16)
+        boundaries = np.empty(high.size, dtype=bool)
+        boundaries[0] = True
+        boundaries[1:] = high[1:] != high[:-1]
+        starts = np.flatnonzero(boundaries)
+        ends = np.append(starts[1:], high.size)
+        key_index = {int(k): idx for idx, k in enumerate(payload.keys)}
+        parts = []
+        for s, e in zip(starts, ends):
+            idx = key_index.get(int(high[s]))
+            if idx is None:
+                continue
+            kind, data = payload.containers[idx]
+            lows = low[s:e]
+            if kind == "array":
+                hit = lows[np.isin(lows, data, assume_unique=True)]
+            else:
+                li = lows.astype(np.int64)
+                mask = (data[li // 64] >> (li % 64).astype(np.uint64)) & np.uint64(1)
+                hit = lows[mask.astype(bool)]
+            if hit.size:
+                parts.append(
+                    (int(high[s]) << _CHUNK_BITS) + hit.astype(np.int64)
+                )
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(parts)
+
+
+# ----------------------------------------------------------------------
+# Container-level kernels (the paper's four combinations)
+# ----------------------------------------------------------------------
+def _intersect_containers(ca: tuple, cb: tuple) -> np.ndarray:
+    kind_a, da = ca
+    kind_b, db = cb
+    if kind_a == "array" and kind_b == "array":
+        return np.intersect1d(da, db, assume_unique=True).astype(np.int64)
+    if kind_a == "array":
+        return _array_vs_bitmap(da, db)
+    if kind_b == "array":
+        return _array_vs_bitmap(db, da)
+    return _bitmap_positions(da & db)
+
+
+def _union_containers(ca: tuple, cb: tuple) -> np.ndarray:
+    kind_a, da = ca
+    kind_b, db = cb
+    if kind_a == "array" and kind_b == "array":
+        return np.union1d(da, db).astype(np.int64)
+    if kind_a == "bitmap" and kind_b == "bitmap":
+        return _bitmap_positions(da | db)
+    arr, words = (da, db) if kind_a == "array" else (db, da)
+    merged = words.copy()
+    idx = arr.astype(np.int64) // 64
+    bit = np.uint64(1) << (arr.astype(np.uint64) % np.uint64(64))
+    np.bitwise_or.at(merged, idx, bit)
+    return _bitmap_positions(merged)
+
+
+def _andnot_containers(ca: tuple, cb: tuple) -> np.ndarray:
+    kind_a, da = ca
+    kind_b, db = cb
+    if kind_a == "array" and kind_b == "array":
+        return difference_sorted_arrays(
+            da.astype(np.int64), db.astype(np.int64)
+        )
+    if kind_a == "array":  # array minus bitmap: keep unset bits
+        idx = da.astype(np.int64)
+        mask = (db[idx // 64] >> (idx % 64).astype(np.uint64)) & np.uint64(1)
+        return idx[~mask.astype(bool)]
+    if kind_b == "array":  # bitmap minus array: clear the array's bits
+        words = da.copy()
+        idx = db.astype(np.int64) // 64
+        bit = np.uint64(1) << (db.astype(np.uint64) % np.uint64(64))
+        np.bitwise_and.at(words, idx, ~bit)
+        return _bitmap_positions(words)
+    return _bitmap_positions(da & ~db)
+
+
+def _xor_containers(ca: tuple, cb: tuple) -> np.ndarray:
+    kind_a, da = ca
+    kind_b, db = cb
+    if kind_a == "array" and kind_b == "array":
+        return xor_sorted_arrays(da.astype(np.int64), db.astype(np.int64))
+    if kind_a == "bitmap" and kind_b == "bitmap":
+        return _bitmap_positions(da ^ db)
+    arr, words = (da, db) if kind_a == "array" else (db, da)
+    flipped = words.copy()
+    idx = arr.astype(np.int64) // 64
+    bit = np.uint64(1) << (arr.astype(np.uint64) % np.uint64(64))
+    np.bitwise_xor.at(flipped, idx, bit)
+    return _bitmap_positions(flipped)
+
+
+def _container_cardinality(container: tuple) -> int:
+    kind, data = container
+    if kind == "array":
+        return int(data.size)
+    return int(np.bitwise_count(data).sum())
+
+
+def _container_positions(container: tuple) -> np.ndarray:
+    kind, data = container
+    if kind == "array":
+        return data.astype(np.int64)
+    return _bitmap_positions(data)
+
+
+def _array_vs_bitmap(arr: np.ndarray, words: np.ndarray) -> np.ndarray:
+    """Keep the array values whose bit is set in the bitmap container."""
+    idx = arr.astype(np.int64)
+    mask = (words[idx // 64] >> (idx % 64).astype(np.uint64)) & np.uint64(1)
+    return idx[mask.astype(bool)]
+
+
+def _bitmap_positions(words: np.ndarray) -> np.ndarray:
+    bits = np.unpackbits(words.view(np.uint8), bitorder="little")
+    return np.flatnonzero(bits).astype(np.int64)

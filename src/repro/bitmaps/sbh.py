@@ -1,0 +1,109 @@
+"""SBH — Super Byte-aligned Hybrid bitmap compression (Kim et al., 2016).
+
+Paper Section 2.6.  The bitmap is cut into **7-bit** groups and encoded as
+a byte stream:
+
+* literal byte: bit 7 = 0, bits 0..6 = the group;
+* fill run of k groups (k ≤ 63): one byte — bit 7 = 1, bit 6 = polarity,
+  bits 0..5 = k;
+* fill run of k groups (63 < k ≤ 4093): two bytes of the same polarity —
+  the first carries the low 6 bits of k, the second the high 6 bits.
+
+The decoder cannot tell a 1-byte fill from the first byte of a 2-byte fill
+without peeking at the next byte — the exact structural property the paper
+blames for SBH's slow decoding ("SBH needs to access the first two bits of
+the current and next byte during each iteration").  Runs longer than 4093
+are chunked 2-byte-first so the left-to-right greedy pairing the decoder
+performs is unambiguous.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bitmaps.rle_base import RLEBitmapCodec, split_runs
+from repro.bitmaps.rle_ops import FILL1, LITERAL, RunStream, build_runstream
+from repro.core.errors import CorruptPayloadError
+from repro.core.registry import register_codec
+
+_MAX_SHORT = 63
+_MAX_FILL = 4093
+
+
+@register_codec
+class SBHCodec(RLEBitmapCodec):
+    """Super Byte-aligned Hybrid: 7-bit groups, 1–2 byte fill counters."""
+
+    name = "SBH"
+    year = 2016
+    group_bits = 7
+
+    # ------------------------------------------------------------------
+    def _encode(self, rs: RunStream) -> np.ndarray:
+        out: list[np.ndarray] = []
+        lit = 0
+        for kind, count in zip(rs.kinds, rs.counts):
+            count = int(count)
+            if kind == LITERAL:
+                out.append(rs.literals[lit : lit + count].astype(np.uint8))
+                lit += count
+                continue
+            polarity = 0x40 if kind == FILL1 else 0x00
+            for chunk in split_runs(count, _MAX_FILL):
+                if chunk <= _MAX_SHORT:
+                    out.append(np.array([0x80 | polarity | chunk], dtype=np.uint8))
+                else:
+                    low = 0x80 | polarity | (chunk & 0x3F)
+                    high = 0x80 | polarity | (chunk >> 6)
+                    out.append(np.array([low, high], dtype=np.uint8))
+        if not out:
+            return np.empty(0, dtype=np.uint8)
+        return np.concatenate(out)
+
+    # ------------------------------------------------------------------
+    def _decode(self, payload: np.ndarray) -> RunStream:
+        b = payload
+        n = int(b.size)
+        if n == 0:
+            return build_runstream(
+                self.group_bits,
+                np.empty(0, dtype=np.int8),
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.uint64),
+            )
+        is_fill = b >= 0x80
+        polarity = ((b >> 6) & 1).astype(np.int8)
+        val6 = (b & 0x3F).astype(np.int64)
+
+        # Maximal same-polarity fill-byte stretches; greedy pairing within.
+        boundary = np.empty(n, dtype=bool)
+        boundary[0] = True
+        boundary[1:] = (is_fill[1:] != is_fill[:-1]) | (
+            is_fill[1:] & (polarity[1:] != polarity[:-1])
+        )
+        run_id = np.cumsum(boundary) - 1
+        run_starts = np.flatnonzero(boundary)
+        run_lens = np.diff(np.append(run_starts, n))
+        within = np.arange(n, dtype=np.int64) - run_starts[run_id]
+        stretch_len = run_lens[run_id]
+
+        is_head = (~is_fill) | (within % 2 == 0)
+        heads = np.flatnonzero(is_head)
+        head_fill = is_fill[heads]
+        two_byte = head_fill & (within[heads] + 1 < stretch_len[heads])
+
+        counts = np.ones(heads.size, dtype=np.int64)
+        k = val6[heads].copy()
+        k[two_byte] = val6[heads[two_byte]] | (val6[heads[two_byte] + 1] << 6)
+        counts[head_fill] = k[head_fill]
+        if (counts[head_fill] == 0).any():
+            raise CorruptPayloadError("SBH fill byte with zero run length")
+
+        kinds = np.full(heads.size, LITERAL, dtype=np.int8)
+        kinds[head_fill] = polarity[heads][head_fill]
+        litvals = (b[heads] & 0x7F).astype(np.uint64)
+        litvals[head_fill] = 0
+        return build_runstream(self.group_bits, kinds, counts, litvals)
+
+    def _payload_bytes(self, payload: np.ndarray) -> int:
+        return int(payload.nbytes)

@@ -1,0 +1,47 @@
+"""Common substrate shared by every codec: base classes, bit utilities,
+input validation, and the codec registry.
+
+The public surface re-exported here is what the rest of the library (and
+downstream users writing their own codecs) build against.
+"""
+
+from repro.core.base import CompressedIntegerSet, IntegerSetCodec
+from repro.core.errors import (
+    CodecError,
+    CorruptPayloadError,
+    DomainOverflowError,
+    InvalidInputError,
+    ReproError,
+    UnknownCodecError,
+)
+from repro.core.registry import (
+    all_codec_names,
+    bitmap_codec_names,
+    get_codec,
+    invlist_codec_names,
+    register_codec,
+)
+from repro.core.serialize import dump, dumps, load, loads
+from repro.core.validation import as_posting_array, ensure_sorted_unique
+
+__all__ = [
+    "CompressedIntegerSet",
+    "IntegerSetCodec",
+    "ReproError",
+    "CodecError",
+    "InvalidInputError",
+    "CorruptPayloadError",
+    "DomainOverflowError",
+    "UnknownCodecError",
+    "register_codec",
+    "get_codec",
+    "all_codec_names",
+    "bitmap_codec_names",
+    "invlist_codec_names",
+    "as_posting_array",
+    "ensure_sorted_unique",
+    "dumps",
+    "loads",
+    "dump",
+    "load",
+]

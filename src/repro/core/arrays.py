@@ -1,0 +1,26 @@
+"""Small vectorised array helpers shared across the library."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def gather_ranges(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Flat indices covering ``[starts[i], starts[i] + lengths[i])`` per i.
+
+    The workhorse of the batched decoders: turns per-segment (start,
+    length) descriptors into one fancy-index array so many stream ranges
+    gather in a single pass.
+    """
+    total = int(lengths.sum())
+    ramp = np.arange(total, dtype=np.int64)
+    seg_start = np.cumsum(lengths) - lengths
+    return np.repeat(starts, lengths) + (ramp - np.repeat(seg_start, lengths))
+
+
+def segment_ramp(lengths: np.ndarray) -> np.ndarray:
+    """``[0..l0-1, 0..l1-1, ...]`` for the given segment lengths."""
+    total = int(lengths.sum())
+    ramp = np.arange(total, dtype=np.int64)
+    seg_start = np.cumsum(lengths) - lengths
+    return ramp - np.repeat(seg_start, lengths)

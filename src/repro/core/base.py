@@ -1,0 +1,264 @@
+"""Abstract base classes every compression codec implements.
+
+The paper frames both bitmap compression and inverted list compression as
+solutions to one problem: *store a set of sorted integers in as few bits as
+possible, and answer intersection/union as fast as possible*.  This module
+defines that contract.
+
+Every codec turns a validated posting array into a
+:class:`CompressedIntegerSet` and back, reports its wire size, and answers
+``intersect``/``union`` between two of its own compressed sets.  Following
+the paper (Section 4.3), the result of an intersection or union is always an
+*uncompressed* integer array so it can be returned to the user or fed into
+the next operator of a query plan.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, ClassVar, Iterable
+
+import numpy as np
+
+from repro.core.validation import as_posting_array
+
+
+@dataclass(frozen=True)
+class CompressedIntegerSet:
+    """A compressed representation of a sorted integer set.
+
+    Attributes:
+        codec_name: registry name of the codec that produced the payload.
+        payload: codec-specific compressed data (opaque to callers).
+        n: number of integers in the original set.
+        universe: exclusive upper bound on the values (the bitmap length /
+            the paper's "domain size").
+        size_bytes: size of the compressed payload on the wire, excluding
+            Python object overhead.  This is the paper's "space overhead"
+            metric.
+    """
+
+    codec_name: str
+    payload: Any
+    n: int
+    universe: int
+    size_bytes: int
+
+    def __len__(self) -> int:
+        return self.n
+
+
+class IntegerSetCodec(abc.ABC):
+    """Base class for every bitmap and inverted-list compression codec.
+
+    Subclasses set the class attributes and implement :meth:`compress`,
+    :meth:`decompress`, :meth:`intersect`, and :meth:`union`.
+
+    Class attributes:
+        name: unique registry name, matching the paper's legend labels
+            (e.g. ``"WAH"``, ``"SIMDBP128*"``).
+        family: ``"bitmap"`` or ``"invlist"`` — which side of the study
+            the codec belongs to.
+        year: publication year, used only for the Figure-1 style history
+            metadata.
+    """
+
+    name: ClassVar[str]
+    family: ClassVar[str]
+    year: ClassVar[int]
+
+    # ------------------------------------------------------------------
+    # Core contract
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def compress(
+        self, values: Iterable[int] | np.ndarray, universe: int | None = None
+    ) -> CompressedIntegerSet:
+        """Compress a strictly increasing sequence of non-negative ints.
+
+        Args:
+            values: the posting list.
+            universe: exclusive upper bound on values.  Bitmap codecs use
+                it as the uncompressed bitmap length; when omitted it
+                defaults to ``max(values) + 1`` (or 1 for an empty list).
+        """
+
+    @abc.abstractmethod
+    def decompress(self, cs: CompressedIntegerSet) -> np.ndarray:
+        """Recover the original posting list as an ``int64`` array."""
+
+    @abc.abstractmethod
+    def intersect(
+        self, a: CompressedIntegerSet, b: CompressedIntegerSet
+    ) -> np.ndarray:
+        """AND two compressed sets, returning an uncompressed array."""
+
+    @abc.abstractmethod
+    def union(self, a: CompressedIntegerSet, b: CompressedIntegerSet) -> np.ndarray:
+        """OR two compressed sets, returning an uncompressed array."""
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    def size_in_bytes(self, cs: CompressedIntegerSet) -> int:
+        """Wire size of a compressed set (the space-overhead metric)."""
+        return cs.size_bytes
+
+    def intersect_many(self, sets: list[CompressedIntegerSet]) -> np.ndarray:
+        """Intersect k compressed sets, shortest-first (SvS ordering).
+
+        Per the paper's Appendix B.1: the first two sets are intersected on
+        their compressed forms; the running (uncompressed) result is then
+        intersected against each remaining compressed set via
+        :meth:`intersect_with_array`.
+        """
+        if not sets:
+            return np.empty(0, dtype=np.int64)
+        ordered = sorted(sets, key=len)
+        if len(ordered) == 1:
+            return self.decompress(ordered[0])
+        result = self.intersect(ordered[0], ordered[1])
+        for cs in ordered[2:]:
+            if result.size == 0:
+                break
+            result = self.intersect_with_array(cs, result)
+        return result
+
+    def intersect_with_array(
+        self, cs: CompressedIntegerSet, values: np.ndarray
+    ) -> np.ndarray:
+        """Intersect a compressed set with an uncompressed sorted array.
+
+        The default decompresses and merges; codecs with random access
+        (Roaring, PEF, blocked lists with skip pointers) override this to
+        probe without full decompression.
+        """
+        if values.size == 0:
+            return values
+        mine = self.decompress(cs)
+        return intersect_sorted_arrays(mine, values)
+
+    def rank(self, cs: CompressedIntegerSet, value: int) -> int:
+        """Number of stored elements ≤ *value*.
+
+        Default implementation decompresses; random-access codecs
+        (blocked lists, Roaring) override with sub-linear versions.
+        """
+        arr = self.decompress(cs)
+        return int(np.searchsorted(arr, value, side="right"))
+
+    def select(self, cs: CompressedIntegerSet, index: int) -> int:
+        """The *index*-th smallest stored element (0-based).
+
+        Raises IndexError outside ``[0, n)``.
+        """
+        if index < 0 or index >= cs.n:
+            raise IndexError(f"select index {index} out of range [0, {cs.n})")
+        return int(self.decompress(cs)[index])
+
+    def difference(
+        self, a: CompressedIntegerSet, b: CompressedIntegerSet
+    ) -> np.ndarray:
+        """ANDNOT: elements of *a* absent from *b* (uncompressed result).
+
+        Not one of the paper's measured operations, but standard in
+        production bitmap libraries; bitmap codecs override this to run
+        on the compressed form.
+        """
+        return difference_sorted_arrays(self.decompress(a), self.decompress(b))
+
+    def symmetric_difference(
+        self, a: CompressedIntegerSet, b: CompressedIntegerSet
+    ) -> np.ndarray:
+        """XOR: elements in exactly one of the two sets."""
+        return xor_sorted_arrays(self.decompress(a), self.decompress(b))
+
+    def union_many(self, sets: list[CompressedIntegerSet]) -> np.ndarray:
+        """Union k compressed sets via pairwise folding."""
+        if not sets:
+            return np.empty(0, dtype=np.int64)
+        if len(sets) == 1:
+            return self.decompress(sets[0])
+        result = self.union(sets[0], sets[1])
+        for cs in sets[2:]:
+            result = union_sorted_arrays(result, self.decompress(cs))
+        return result
+
+    # Convenience wrappers -------------------------------------------------
+    def roundtrip(self, values: Iterable[int] | np.ndarray) -> np.ndarray:
+        """Compress then decompress, for testing and sanity checks."""
+        return self.decompress(self.compress(values))
+
+    @staticmethod
+    def _prepare(
+        values: Iterable[int] | np.ndarray, universe: int | None
+    ) -> tuple[np.ndarray, int]:
+        """Validate input and resolve the universe bound."""
+        arr = as_posting_array(values)
+        if universe is None:
+            universe = int(arr[-1]) + 1 if arr.size else 1
+        elif arr.size and universe <= int(arr[-1]):
+            raise ValueError(
+                f"universe {universe} too small for max value {int(arr[-1])}"
+            )
+        return arr, int(universe)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} name={self.name!r} family={self.family!r}>"
+
+
+def intersect_sorted_arrays(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Intersection of two sorted-unique int arrays (vectorised merge).
+
+    A stable sort of the concatenation is a linear two-run merge
+    (timsort detects the pre-sorted runs), after which duplicates mark
+    the common elements — much cheaper than hash-based set ops.
+    """
+    if a.size == 0 or b.size == 0:
+        return np.empty(0, dtype=np.int64)
+    aux = np.concatenate((a, b))
+    aux.sort(kind="stable")
+    return aux[:-1][aux[1:] == aux[:-1]].astype(np.int64, copy=False)
+
+
+def union_sorted_arrays(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Union of two sorted-unique int arrays (vectorised merge)."""
+    if a.size == 0:
+        return b.astype(np.int64, copy=False)
+    if b.size == 0:
+        return a.astype(np.int64, copy=False)
+    out = np.concatenate((a, b))
+    out.sort(kind="stable")
+    keep = np.empty(out.size, dtype=bool)
+    keep[0] = True
+    keep[1:] = out[1:] != out[:-1]
+    return out[keep].astype(np.int64, copy=False)
+
+
+def difference_sorted_arrays(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """a \\ b for sorted-unique int arrays (binary-search membership)."""
+    if a.size == 0 or b.size == 0:
+        return a.astype(np.int64, copy=False)
+    idx = np.searchsorted(b, a)
+    idx[idx == b.size] = b.size - 1
+    return a[b[idx] != a].astype(np.int64, copy=False)
+
+
+def xor_sorted_arrays(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Symmetric difference for sorted-unique int arrays.
+
+    In the sorted concatenation, shared elements appear exactly twice and
+    adjacent; singletons are the answer.
+    """
+    if a.size == 0:
+        return b.astype(np.int64, copy=False)
+    if b.size == 0:
+        return a.astype(np.int64, copy=False)
+    aux = np.concatenate((a, b))
+    aux.sort(kind="stable")
+    keep = np.ones(aux.size, dtype=bool)
+    dup = aux[1:] == aux[:-1]
+    keep[1:] &= ~dup
+    keep[:-1] &= ~dup
+    return aux[keep].astype(np.int64, copy=False)

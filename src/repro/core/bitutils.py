@@ -1,0 +1,108 @@
+"""Low-level bit manipulation helpers.
+
+The C++ implementations in the paper lean on ``popcnt`` and ``ctz`` CPU
+instructions (Appendix B.1).  Here the same roles are played by NumPy
+vectorised kernels (for whole arrays of words) and by Python ``int``
+operations (for single words inside codec inner loops — CPython's
+``int.bit_count`` compiles down to the same ``popcnt``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Bit widths used throughout the bitmap codecs.
+WORD_BITS = 32
+
+_BIT_POWERS_64 = (np.uint64(1) << np.arange(64, dtype=np.uint64))
+
+
+def popcount(word: int) -> int:
+    """Number of set bits in a non-negative Python int."""
+    return word.bit_count()
+
+
+def ctz(word: int, width: int = WORD_BITS) -> int:
+    """Count trailing zeros of *word*; returns *width* when word == 0."""
+    if word == 0:
+        return width
+    return (word & -word).bit_length() - 1
+
+
+def popcount_array(words: np.ndarray) -> np.ndarray:
+    """Vectorised popcount over an unsigned-integer array."""
+    return np.bitwise_count(words)
+
+
+def bits_to_positions(bits: np.ndarray, offset: int = 0) -> np.ndarray:
+    """Positions of True entries in a boolean array, plus *offset*."""
+    pos = np.flatnonzero(bits).astype(np.int64)
+    if offset:
+        pos += offset
+    return pos
+
+
+def positions_to_bits(positions: np.ndarray, length: int) -> np.ndarray:
+    """Boolean array of *length* with True at each position."""
+    bits = np.zeros(length, dtype=bool)
+    if positions.size:
+        bits[positions] = True
+    return bits
+
+
+def pack_groups(bits: np.ndarray, group_bits: int) -> np.ndarray:
+    """Pack a boolean bit array into integer groups of *group_bits* bits.
+
+    The array is zero-padded to a multiple of *group_bits*.  Bit 0 of each
+    group corresponds to the lowest position in that group (little-endian
+    within the group), matching how the word-aligned codecs number bits.
+
+    Returns a ``uint64`` array of group values (valid for group_bits <= 63).
+    """
+    if group_bits > 63:
+        raise ValueError("pack_groups supports at most 63-bit groups")
+    n = bits.size
+    n_groups = (n + group_bits - 1) // group_bits if n else 0
+    if n_groups == 0:
+        return np.empty(0, dtype=np.uint64)
+    padded = np.zeros(n_groups * group_bits, dtype=bool)
+    padded[:n] = bits
+    matrix = padded.reshape(n_groups, group_bits).astype(np.uint64)
+    return matrix @ _BIT_POWERS_64[:group_bits]
+
+
+def unpack_groups(groups: np.ndarray, group_bits: int) -> np.ndarray:
+    """Inverse of :func:`pack_groups`: expand group values into a bit array."""
+    if groups.size == 0:
+        return np.empty(0, dtype=bool)
+    g = groups.astype(np.uint64, copy=False)[:, None]
+    return ((g >> np.arange(group_bits, dtype=np.uint64)) & np.uint64(1)).astype(
+        bool
+    ).reshape(-1)
+
+
+def positions_from_words(
+    words: np.ndarray, word_bits: int, base: int = 0
+) -> np.ndarray:
+    """Set-bit positions across an array of fixed-width words.
+
+    Word ``i`` covers positions ``base + i*word_bits .. base + (i+1)*word_bits - 1``
+    with bit 0 the lowest position.
+    """
+    if words.size == 0:
+        return np.empty(0, dtype=np.int64)
+    bits = unpack_groups(words, word_bits)
+    return bits_to_positions(bits, base)
+
+
+def group_classify(groups: np.ndarray, group_bits: int) -> np.ndarray:
+    """Classify groups: 0 = 0-fill, 1 = 1-fill, 2 = literal.
+
+    A group is a fill when all its *group_bits* bits are identical — the
+    shared definition used by WAH, CONCISE, PLWAH, VALWAH, SBH, and BBC.
+    """
+    full = np.uint64((1 << group_bits) - 1)
+    kinds = np.full(groups.shape, 2, dtype=np.int8)
+    kinds[groups == 0] = 0
+    kinds[groups == full] = 1
+    return kinds

@@ -1,0 +1,35 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still distinguishing user mistakes (:class:`InvalidInputError`) from data
+corruption (:class:`CorruptPayloadError`).
+"""
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the repro library."""
+
+
+class CodecError(ReproError):
+    """Base class for errors raised while compressing or decompressing."""
+
+
+class InvalidInputError(CodecError, ValueError):
+    """The caller supplied an input the codec cannot accept.
+
+    Typical causes: unsorted or duplicated posting lists, negative values,
+    or values outside the codec's representable domain.
+    """
+
+
+class DomainOverflowError(InvalidInputError):
+    """A value exceeds the maximum the codec's wire format can represent."""
+
+
+class CorruptPayloadError(CodecError):
+    """A compressed payload failed structural validation during decoding."""
+
+
+class UnknownCodecError(ReproError, KeyError):
+    """A codec name was requested that is not present in the registry."""

@@ -1,0 +1,109 @@
+"""Codec registry.
+
+Codecs self-register at import time via :func:`register_codec`.  The
+benchmark harness and the figures iterate over the registry instead of
+hard-coding codec lists, so adding a new codec automatically enrols it in
+every experiment — the same property the paper's C++ harness had.
+
+The registry also carries the Figure-1 history metadata (publication year
+and family) so ``repro.bench.report.history_table()`` can regenerate the
+timeline.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Type
+
+from repro.core.base import IntegerSetCodec
+from repro.core.errors import UnknownCodecError
+
+_REGISTRY: dict[str, IntegerSetCodec] = {}
+
+
+def register_codec(cls: Type[IntegerSetCodec]) -> Type[IntegerSetCodec]:
+    """Class decorator registering a codec singleton under ``cls.name``."""
+    name = getattr(cls, "name", None)
+    if not name:
+        raise ValueError(f"{cls.__name__} must define a non-empty `name`")
+    if name in _REGISTRY:
+        raise ValueError(f"duplicate codec name {name!r}")
+    if cls.family not in ("bitmap", "invlist"):
+        raise ValueError(f"{cls.__name__}.family must be 'bitmap' or 'invlist'")
+    _REGISTRY[name] = cls()
+    return cls
+
+
+def get_codec(name: str) -> IntegerSetCodec:
+    """Look up a codec instance by its registry name (paper legend label)."""
+    _ensure_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise UnknownCodecError(f"unknown codec {name!r}; known: {known}") from None
+
+
+def all_codec_names() -> list[str]:
+    """Every registered codec name, bitmaps first then inverted lists,
+    each group in paper-legend order (roughly chronological)."""
+    _ensure_loaded()
+    return bitmap_codec_names() + invlist_codec_names()
+
+
+def bitmap_codec_names() -> list[str]:
+    """Registered bitmap codec names in paper-legend order."""
+    _ensure_loaded()
+    return _family_names("bitmap")
+
+
+def invlist_codec_names() -> list[str]:
+    """Registered inverted-list codec names in paper-legend order."""
+    _ensure_loaded()
+    return _family_names("invlist")
+
+
+def iter_codecs() -> Iterator[IntegerSetCodec]:
+    """Iterate codec instances in :func:`all_codec_names` order."""
+    for name in all_codec_names():
+        yield _REGISTRY[name]
+
+
+def history() -> list[tuple[int, str, str]]:
+    """(year, family, name) triples — the Figure 1 timeline data."""
+    _ensure_loaded()
+    return sorted((c.year, c.family, c.name) for c in _REGISTRY.values())
+
+
+# Legend order taken from the paper's figures (Figure 3 legend).
+_BITMAP_ORDER = [
+    "Bitset", "BBC", "WAH", "EWAH", "PLWAH", "CONCISE", "VALWAH", "SBH",
+    "Roaring",
+]
+_INVLIST_ORDER = [
+    "List", "VB", "Simple9", "PforDelta", "NewPforDelta", "OptPforDelta",
+    "Simple16", "GroupVB", "Simple8b", "PEF", "SIMDPforDelta", "SIMDBP128",
+    "PforDelta*", "SIMDPforDelta*", "SIMDBP128*",
+]
+
+
+def _family_names(family: str) -> list[str]:
+    order = _BITMAP_ORDER if family == "bitmap" else _INVLIST_ORDER
+    present = [n for n in order if n in _REGISTRY]
+    extras = sorted(
+        n for n, c in _REGISTRY.items() if c.family == family and n not in order
+    )
+    return present + extras
+
+
+_LOADED = False
+
+
+def _ensure_loaded() -> None:
+    """Import the codec packages so their @register_codec decorators run."""
+    global _LOADED
+    if _LOADED:
+        return
+    _LOADED = True
+    # Imported lazily to avoid a circular import at package init time.
+    import repro.bitmaps  # noqa: F401
+    import repro.invlists  # noqa: F401

@@ -1,0 +1,263 @@
+"""Binary serialisation of compressed sets.
+
+A downstream system wants to build an index once and load it later, so
+every codec's payload round-trips through a self-describing binary
+format::
+
+    from repro.core.serialize import dumps, loads
+
+    blob = dumps(codec.compress(values))
+    cs = loads(blob)                      # ready for intersect/decompress
+
+Format (little-endian):
+
+* magic ``RPRO``, format version (u8);
+* codec name (u16 length + UTF-8);
+* ``n`` (u64), ``universe`` (u64), ``size_bytes`` (u64);
+* a payload section of *tagged fields*, each ``(u8 kind, body)`` where
+  kind 0 = i64 scalar, kind 1 = numpy array (dtype code + u64 length +
+  raw bytes), kind 2 = container list (Roaring).
+
+The wire `size_bytes` recorded at compression time is preserved, so the
+paper's space metric survives a save/load cycle exactly.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.core.base import CompressedIntegerSet
+from repro.core.errors import CorruptPayloadError
+from repro.core.registry import get_codec
+
+_MAGIC = b"RPRO"
+_VERSION = 1
+
+_DTYPE_CODES: dict[str, int] = {
+    "uint8": 0,
+    "uint16": 1,
+    "uint32": 2,
+    "uint64": 3,
+    "int32": 4,
+    "int64": 5,
+}
+_CODES_DTYPE = {v: np.dtype(k) for k, v in _DTYPE_CODES.items()}
+
+_KIND_SCALAR = 0
+_KIND_ARRAY = 1
+_KIND_CONTAINERS = 2
+
+
+# ----------------------------------------------------------------------
+# Field-level primitives
+# ----------------------------------------------------------------------
+def _write_scalar(out: bytearray, value: int) -> None:
+    out.append(_KIND_SCALAR)
+    out += struct.pack("<q", int(value))
+
+
+def _write_array(out: bytearray, arr: np.ndarray) -> None:
+    code = _DTYPE_CODES.get(arr.dtype.name)
+    if code is None:
+        raise ValueError(f"unsupported payload dtype {arr.dtype}")
+    out.append(_KIND_ARRAY)
+    out.append(code)
+    out += struct.pack("<Q", arr.size)
+    out += np.ascontiguousarray(arr).tobytes()
+
+
+def _write_containers(out: bytearray, containers: tuple) -> None:
+    out.append(_KIND_CONTAINERS)
+    out += struct.pack("<Q", len(containers))
+    for kind, data in containers:
+        out.append(0 if kind == "array" else 1)
+        _write_array(out, data)
+
+
+class _Reader:
+    def __init__(self, data: bytes, pos: int = 0) -> None:
+        self.data = data
+        self.pos = pos
+
+    def take(self, n: int) -> bytes:
+        if self.pos + n > len(self.data):
+            raise CorruptPayloadError("serialised set is truncated")
+        chunk = self.data[self.pos : self.pos + n]
+        self.pos += n
+        return chunk
+
+    def u8(self) -> int:
+        return self.take(1)[0]
+
+    def u64(self) -> int:
+        return struct.unpack("<Q", self.take(8))[0]
+
+    def i64(self) -> int:
+        return struct.unpack("<q", self.take(8))[0]
+
+    def field(self):
+        kind = self.u8()
+        if kind == _KIND_SCALAR:
+            return self.i64()
+        if kind == _KIND_ARRAY:
+            return self._array()
+        if kind == _KIND_CONTAINERS:
+            count = self.u64()
+            out = []
+            for _ in range(count):
+                ckind = "array" if self.u8() == 0 else "bitmap"
+                marker = self.u8()
+                if marker != _KIND_ARRAY:
+                    raise CorruptPayloadError("container body must be an array")
+                out.append((ckind, self._array()))
+            return tuple(out)
+        raise CorruptPayloadError(f"unknown field kind {kind}")
+
+    def _array(self) -> np.ndarray:
+        code = self.u8()
+        dtype = _CODES_DTYPE.get(code)
+        if dtype is None:
+            raise CorruptPayloadError(f"unknown dtype code {code}")
+        size = self.u64()
+        raw = self.take(size * dtype.itemsize)
+        return np.frombuffer(raw, dtype=dtype).copy()
+
+
+# ----------------------------------------------------------------------
+# Payload codecs (by payload class name)
+# ----------------------------------------------------------------------
+def _pack_payload(out: bytearray, payload) -> None:
+    from repro.bitmaps.roaring import RoaringPayload
+    from repro.bitmaps.valwah import VALWAHPayload
+    from repro.invlists.blocks import BlockedPayload
+    from repro.invlists.pef_optimal import OptimalPEFPayload
+
+    if isinstance(payload, CompressedIntegerSet):
+        # Wrapper codecs (e.g. the adaptive hybrid) nest a full set.
+        out += b"C"
+        nested = dumps(payload)
+        out += struct.pack("<Q", len(nested))
+        out += nested
+    elif isinstance(payload, OptimalPEFPayload):
+        out += b"P"
+        _write_array(out, payload.stream)
+        _write_array(out, payload.offsets)
+        _write_array(out, payload.firsts)
+        _write_array(out, payload.counts)
+        _write_scalar(out, payload.wire_bytes)
+    elif isinstance(payload, np.ndarray):
+        out += b"A"
+        _write_array(out, payload)
+    elif isinstance(payload, BlockedPayload):
+        out += b"B"
+        _write_array(out, payload.stream)
+        _write_array(out, payload.offsets)
+        _write_array(out, payload.firsts)
+        _write_scalar(out, payload.wire_bytes)
+    elif isinstance(payload, RoaringPayload):
+        out += b"R"
+        _write_array(out, payload.keys)
+        _write_containers(out, payload.containers)
+    elif isinstance(payload, VALWAHPayload):
+        out += b"V"
+        _write_scalar(out, payload.segment_bits)
+        _write_scalar(out, payload.n_units)
+        _write_array(out, payload.packed)
+    else:
+        raise ValueError(
+            f"cannot serialise payload of type {type(payload).__name__}"
+        )
+
+
+def _unpack_payload(reader: _Reader):
+    from repro.bitmaps.roaring import RoaringPayload
+    from repro.bitmaps.valwah import VALWAHPayload
+    from repro.invlists.blocks import BlockedPayload
+    from repro.invlists.pef_optimal import OptimalPEFPayload
+
+    tag = reader.take(1)
+    if tag == b"C":
+        length = reader.u64()
+        return loads(reader.take(length))
+    if tag == b"P":
+        return OptimalPEFPayload(
+            stream=reader.field(),
+            offsets=reader.field(),
+            firsts=reader.field(),
+            counts=reader.field(),
+            wire_bytes=reader.field(),
+        )
+    if tag == b"A":
+        return reader.field()
+    if tag == b"B":
+        return BlockedPayload(
+            stream=reader.field(),
+            offsets=reader.field(),
+            firsts=reader.field(),
+            wire_bytes=reader.field(),
+        )
+    if tag == b"R":
+        return RoaringPayload(keys=reader.field(), containers=reader.field())
+    if tag == b"V":
+        return VALWAHPayload(
+            segment_bits=reader.field(),
+            n_units=reader.field(),
+            packed=reader.field(),
+        )
+    raise CorruptPayloadError(f"unknown payload tag {tag!r}")
+
+
+# ----------------------------------------------------------------------
+# Public API
+# ----------------------------------------------------------------------
+def dumps(cs: CompressedIntegerSet) -> bytes:
+    """Serialise a compressed set to a self-describing byte string."""
+    out = bytearray()
+    out += _MAGIC
+    out.append(_VERSION)
+    name = cs.codec_name.encode("utf-8")
+    out += struct.pack("<H", len(name))
+    out += name
+    out += struct.pack("<QQQ", cs.n, cs.universe, cs.size_bytes)
+    _pack_payload(out, cs.payload)
+    return bytes(out)
+
+
+def loads(data: bytes) -> CompressedIntegerSet:
+    """Parse :func:`dumps` output back into a live compressed set.
+
+    The codec must be present in the registry (it is looked up by name so
+    the returned set plugs straight into ``get_codec(...).decompress``).
+    """
+    reader = _Reader(data)
+    if reader.take(4) != _MAGIC:
+        raise CorruptPayloadError("not a repro serialised set (bad magic)")
+    version = reader.u8()
+    if version != _VERSION:
+        raise CorruptPayloadError(f"unsupported format version {version}")
+    name_len = struct.unpack("<H", reader.take(2))[0]
+    codec_name = reader.take(name_len).decode("utf-8")
+    n, universe, size_bytes = struct.unpack("<QQQ", reader.take(24))
+    tag = reader.data[reader.pos : reader.pos + 1]
+    if tag not in (b"C", b"P"):
+        # Core payloads decode through the registry, so an unknown codec
+        # name is an early, clear error.  Wrapper/extension payloads
+        # ("C"/"P") belong to unregistered codecs the caller holds an
+        # instance of (AdaptiveCodec, OptimalPEFCodec).
+        get_codec(codec_name)
+    payload = _unpack_payload(reader)
+    return CompressedIntegerSet(codec_name, payload, n, universe, size_bytes)
+
+
+def dump(cs: CompressedIntegerSet, path) -> None:
+    """Write :func:`dumps` output to a file path."""
+    with open(path, "wb") as fh:
+        fh.write(dumps(cs))
+
+
+def load(path) -> CompressedIntegerSet:
+    """Read a compressed set previously written with :func:`dump`."""
+    with open(path, "rb") as fh:
+        return loads(fh.read())

@@ -1,0 +1,77 @@
+"""Input validation helpers shared by every codec.
+
+The study operates on *posting lists*: strictly increasing sequences of
+non-negative integers (equivalently, sets of positions of 1-bits in a
+bitmap).  Every codec normalises its input through
+:func:`as_posting_array` so downstream code can assume a well-formed
+``numpy.int64`` array.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.errors import InvalidInputError
+
+#: Largest value any codec in this library accepts (the paper uses
+#: INTMAX = 2**31 - 1 as the domain bound).
+MAX_VALUE = 2**31 - 1
+
+
+def as_posting_array(values: Iterable[int] | np.ndarray) -> np.ndarray:
+    """Normalise *values* into a validated ``int64`` posting array.
+
+    Accepts any iterable of integers or a NumPy array.  The result is a
+    C-contiguous ``numpy.int64`` array that is strictly increasing and
+    bounded by :data:`MAX_VALUE`.  When the input is already a conforming
+    array it is returned as-is (no copy); codecs never mutate it and
+    never alias it into a compressed payload.
+
+    Raises:
+        InvalidInputError: if the input contains negative values,
+            duplicates, is not sorted, or exceeds :data:`MAX_VALUE`.
+    """
+    arr = np.asarray(values)
+    if arr.ndim == 0:
+        raise InvalidInputError("posting list must be a sequence, got a scalar")
+    if arr.ndim != 1:
+        raise InvalidInputError(f"posting list must be 1-D, got shape {arr.shape}")
+    if arr.size and not np.issubdtype(arr.dtype, np.integer):
+        # Allow float arrays that are exactly integral (common when data
+        # comes out of pandas/scipy), reject anything lossy.
+        if not np.issubdtype(arr.dtype, np.floating):
+            raise InvalidInputError(f"posting list must be integral, got dtype {arr.dtype}")
+        as_int = arr.astype(np.int64)
+        if not np.array_equal(as_int, arr):
+            raise InvalidInputError("posting list contains non-integral values")
+        arr = as_int
+    arr = np.ascontiguousarray(arr, dtype=np.int64)
+    ensure_sorted_unique(arr)
+    return arr
+
+
+def ensure_sorted_unique(arr: np.ndarray) -> None:
+    """Validate that *arr* is a well-formed posting array.
+
+    Raises:
+        InvalidInputError: on negative values, values above
+            :data:`MAX_VALUE`, or a non-strictly-increasing order.
+    """
+    if arr.size == 0:
+        return
+    if arr[0] < 0:
+        raise InvalidInputError(f"posting list contains negative value {int(arr[0])}")
+    if arr[-1] > MAX_VALUE:
+        raise InvalidInputError(
+            f"posting list value {int(arr[-1])} exceeds the 2^31-1 domain bound"
+        )
+    if arr.size > 1:
+        deltas = np.diff(arr)
+        if not (deltas > 0).all():
+            bad = int(np.flatnonzero(deltas <= 0)[0])
+            raise InvalidInputError(
+                "posting list must be strictly increasing; "
+                f"violation at index {bad}: {int(arr[bad])} -> {int(arr[bad + 1])}"
+            )

@@ -1,0 +1,27 @@
+"""Synthetic posting-list generators (paper Section 5).
+
+Three distributions over a domain of size d:
+
+* **uniform** — every value included with equal probability;
+* **zipf** — value k included with probability ∝ 1/k^f (skew f), so the
+  list concentrates at the start of the domain;
+* **markov** — a two-state chain with transition probabilities
+  p = 1/f (0→1) and q = ω / ((1−ω)·f) (1→0), clustering factor f and
+  density ω, producing runs of consecutive values (Wu et al.'s model).
+
+Plus :func:`list_pair` / :func:`list_group` helpers to build the
+correlated workloads the intersection/union experiments need.
+"""
+
+from repro.datagen.markov import markov_list
+from repro.datagen.pairs import list_group, list_pair
+from repro.datagen.uniform import uniform_list
+from repro.datagen.zipf import zipf_list
+
+__all__ = [
+    "uniform_list",
+    "zipf_list",
+    "markov_list",
+    "list_pair",
+    "list_group",
+]

@@ -1,0 +1,98 @@
+"""Markov (clustered) posting-list generator (paper Section 5, following
+Wu, Otoo & Shoshani's model).
+
+A two-state chain walks the domain: from state 0 it switches to 1 with
+probability ``p = 1/f``; from state 1 it switches back with probability
+``q = ω / ((1 − ω) · f)`` where f is the clustering factor (the paper
+uses f = 8) and ω the target density n/d.  Positions visited in state 1
+form the list, so 1-bits arrive in runs of expected length ≈ f — the
+clustered structure that favours run-length bitmap codecs.
+
+The chain is simulated run-by-run (alternating geometric sojourn times),
+which is exact and vectorises; the result is then adjusted by at most a
+few elements to hit the requested length n precisely.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: The paper's clustering factor ("which is 8 in our experiments").
+DEFAULT_CLUSTERING = 8.0
+
+
+def markov_list(
+    n: int,
+    domain: int,
+    clustering: float = DEFAULT_CLUSTERING,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """*n* distinct values from ``[0, domain)`` with Markov clustering."""
+    if n > domain:
+        raise ValueError(f"cannot draw {n} distinct values from [0, {domain})")
+    rng = np.random.default_rng(rng)
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    if n == domain:
+        return np.arange(domain, dtype=np.int64)
+    omega = n / domain
+    # The paper prints p = 1/f and q = ω/((1−ω)f), but that assignment
+    # yields stationary density 1−ω instead of ω (π₁ = p/(p+q)); the
+    # formulas are swapped in the text.  With p(0→1) = ω/((1−ω)f) and
+    # q(1→0) = 1/f the density is exactly ω and 1-runs average f — the
+    # behaviour Wu et al.'s model intends.
+    p = omega / ((1.0 - omega) * clustering)
+    q = 1.0 / clustering
+    p = min(p, 1.0)
+    positions = _simulate_runs(rng, domain, p, q)
+    return _adjust_to_length(rng, positions, n, domain)
+
+
+def _simulate_runs(
+    rng: np.random.Generator, domain: int, p: float, q: float
+) -> np.ndarray:
+    """1-positions of the chain over [0, domain), via geometric sojourns."""
+    # Expected sojourns: 1/p in state 0, 1/q in state 1.  Draw batches of
+    # alternating runs until the walk covers the domain.
+    expected_cycle = 1.0 / p + 1.0 / q
+    batch = max(16, int(domain / expected_cycle * 1.3) + 16)
+    zero_runs = rng.geometric(p, size=batch).astype(np.int64)
+    one_runs = rng.geometric(q, size=batch).astype(np.int64)
+    while int(zero_runs.sum() + one_runs.sum()) < domain:
+        zero_runs = np.concatenate(
+            (zero_runs, rng.geometric(p, size=batch).astype(np.int64))
+        )
+        one_runs = np.concatenate(
+            (one_runs, rng.geometric(q, size=batch).astype(np.int64))
+        )
+    # Interleave: z0, o0, z1, o1, ... and locate each 1-run's start.
+    interleaved = np.empty(zero_runs.size + one_runs.size, dtype=np.int64)
+    interleaved[0::2] = zero_runs
+    interleaved[1::2] = one_runs
+    starts = np.cumsum(interleaved) - interleaved
+    one_starts = starts[1::2]
+    keep = one_starts < domain
+    one_starts = one_starts[keep]
+    one_lens = one_runs[: one_starts.size]
+    one_lens = np.minimum(one_lens, domain - one_starts)
+    total = int(one_lens.sum())
+    ramp = np.arange(total, dtype=np.int64)
+    seg = np.cumsum(one_lens) - one_lens
+    return np.repeat(one_starts, one_lens) + (ramp - np.repeat(seg, one_lens))
+
+
+def _adjust_to_length(
+    rng: np.random.Generator, positions: np.ndarray, n: int, domain: int
+) -> np.ndarray:
+    """Trim or top up a clustered draw to exactly *n* elements."""
+    if positions.size > n:
+        keep = np.sort(rng.choice(positions.size, size=n, replace=False))
+        return positions[keep]
+    missing = n - positions.size
+    if missing:
+        present = np.zeros(domain, dtype=bool)
+        present[positions] = True
+        absent = np.flatnonzero(~present)
+        extra = rng.choice(absent.size, size=missing, replace=False)
+        positions = np.sort(np.concatenate((positions, absent[extra])))
+    return positions.astype(np.int64)

@@ -1,0 +1,60 @@
+"""Correlated list workloads for the intersection/union experiments.
+
+Tables 1–3 of the paper intersect two lists drawn from the same
+distribution with a controlled size ratio θ = |L2| / |L1|; this module
+packages that construction.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.datagen.markov import markov_list
+from repro.datagen.uniform import uniform_list
+from repro.datagen.zipf import zipf_list
+
+_GENERATORS: dict[str, Callable[..., np.ndarray]] = {
+    "uniform": uniform_list,
+    "zipf": zipf_list,
+    "markov": markov_list,
+}
+
+
+def generator(distribution: str) -> Callable[..., np.ndarray]:
+    """Look up a generator by the paper's distribution name."""
+    try:
+        return _GENERATORS[distribution]
+    except KeyError:
+        known = ", ".join(sorted(_GENERATORS))
+        raise ValueError(
+            f"unknown distribution {distribution!r}; known: {known}"
+        ) from None
+
+
+def list_pair(
+    distribution: str,
+    n_long: int,
+    ratio: int,
+    domain: int,
+    rng: np.random.Generator | int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """(short, long) lists with |long| = n_long and |long|/|short| = ratio."""
+    rng = np.random.default_rng(rng)
+    gen = generator(distribution)
+    long_ = gen(n_long, domain, rng=rng)
+    short = gen(max(1, n_long // ratio), domain, rng=rng)
+    return short, long_
+
+
+def list_group(
+    distribution: str,
+    sizes: list[int],
+    domain: int,
+    rng: np.random.Generator | int | None = None,
+) -> list[np.ndarray]:
+    """Independent same-distribution lists with the given sizes."""
+    rng = np.random.default_rng(rng)
+    gen = generator(distribution)
+    return [gen(size, domain, rng=rng) for size in sizes]

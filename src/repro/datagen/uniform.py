@@ -1,0 +1,32 @@
+"""Uniform posting-list generator (paper Section 5: "each value is
+selected with the same probability")."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def uniform_list(
+    n: int, domain: int, rng: np.random.Generator | int | None = None
+) -> np.ndarray:
+    """*n* distinct values drawn uniformly from ``[0, domain)``, sorted.
+
+    Args:
+        n: list length (≤ domain).
+        domain: exclusive upper bound (the paper's domain size d).
+        rng: a Generator, a seed, or None for fresh entropy.
+    """
+    if n > domain:
+        raise ValueError(f"cannot draw {n} distinct values from [0, {domain})")
+    rng = np.random.default_rng(rng)
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    # For sparse draws, rejection sampling beats materialising the domain.
+    if n < domain // 4:
+        picked = np.unique(rng.integers(0, domain, size=int(n * 1.2) + 16))
+        while picked.size < n:
+            extra = rng.integers(0, domain, size=n)
+            picked = np.unique(np.concatenate((picked, extra)))
+        idx = rng.choice(picked.size, size=n, replace=False)
+        return np.sort(picked[idx]).astype(np.int64)
+    return np.sort(rng.choice(domain, size=n, replace=False)).astype(np.int64)

@@ -1,0 +1,34 @@
+"""Real-dataset workload simulators (paper Section 6 and Appendix C).
+
+The original datasets (SSB, TPCH, ClueWeb12, Twitter, KDDCup,
+Berkeleyearth, Higgs, Kegg) are not redistributable here; each simulator
+reproduces the published (list size, domain size, query shape) signature
+that actually reaches the codecs — see DESIGN.md's substitution table.
+"""
+
+from repro.datasets.berkeleyearth import berkeleyearth_queries
+from repro.datasets.common import DatasetQuery, selectivity_lists, sized_lists
+from repro.datasets.graph import graph_queries, graph_query
+from repro.datasets.higgs import higgs_queries
+from repro.datasets.kddcup import kddcup_queries
+from repro.datasets.kegg import kegg_queries
+from repro.datasets.ssb import ssb_queries, ssb_query
+from repro.datasets.tpch import tpch_queries, tpch_query
+from repro.datasets.web import web_workload
+
+__all__ = [
+    "DatasetQuery",
+    "selectivity_lists",
+    "sized_lists",
+    "ssb_query",
+    "ssb_queries",
+    "tpch_query",
+    "tpch_queries",
+    "web_workload",
+    "graph_query",
+    "graph_queries",
+    "kddcup_queries",
+    "berkeleyearth_queries",
+    "higgs_queries",
+    "kegg_queries",
+]

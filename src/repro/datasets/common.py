@@ -1,0 +1,105 @@
+"""Shared infrastructure for the real-dataset simulators (paper Section 6
+and Appendix C).
+
+The codecs in this study never see the original tables — each benchmark
+query reduces to a handful of **sorted row-id sets** of known size over a
+known domain, combined by a boolean expression.  The simulators therefore
+reproduce each dataset's published (list size, domain size) signature:
+a predicate with selectivity s over an N-row table becomes a uniform
+random subset of ``[0, N)`` of size ``round(s · N)``, which exercises the
+identical density regime the paper measured.  Datasets whose structure
+matters beyond density (Web term lists, graph adjacency) get dedicated
+generators instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+import numpy as np
+
+from repro.datagen.uniform import uniform_list
+
+
+@dataclass(frozen=True)
+class DatasetQuery:
+    """One benchmark query: named row-id lists plus a boolean shape.
+
+    Attributes:
+        name: the paper's query label (e.g. ``"Q3.4"``).
+        lists: the row-id sets, in the order the expression refers to them.
+        expression: a nested tuple tree over list indices, e.g.
+            ``("and", ("or", 0, 1), ("or", 2, 3), 4)`` for
+            ``(L1 ∪ L2) ∩ (L3 ∪ L4) ∩ L5``.
+        domain: the fact-table row count (bitmap length).
+    """
+
+    name: str
+    lists: tuple[np.ndarray, ...]
+    expression: tuple | int
+    domain: int
+
+    @property
+    def list_sizes(self) -> tuple[int, ...]:
+        return tuple(int(lst.size) for lst in self.lists)
+
+
+def selectivity_lists(
+    domain: int,
+    selectivities: list[Fraction | float],
+    rng: np.random.Generator | int | None = None,
+) -> tuple[np.ndarray, ...]:
+    """One uniform row-id set per selectivity over an N-row table."""
+    rng = np.random.default_rng(rng)
+    out = []
+    for s in selectivities:
+        size = int(round(float(s) * domain))
+        size = max(1, min(size, domain))
+        out.append(uniform_list(size, domain, rng=rng))
+    return tuple(out)
+
+
+def sized_lists(
+    domain: int,
+    sizes: list[int],
+    rng: np.random.Generator | int | None = None,
+) -> tuple[np.ndarray, ...]:
+    """One uniform row-id set per explicit size over the domain."""
+    rng = np.random.default_rng(rng)
+    return tuple(uniform_list(min(size, domain), domain, rng=rng) for size in sizes)
+
+
+def scale_size(published: int, published_domain: int, domain: int) -> int:
+    """Scale a paper-published list size to a scaled-down domain,
+    preserving the density (list size / domain)."""
+    return max(1, int(round(published * domain / published_domain)))
+
+
+def published_pair_queries(
+    published_domain: int,
+    published_queries: list[tuple[str, list[int]]],
+    domain: int,
+    distribution: str = "uniform",
+    rng: np.random.Generator | int | None = None,
+) -> list[DatasetQuery]:
+    """Intersection queries from a dataset's published list sizes.
+
+    Used by the Appendix C datasets (KDDCup, Berkeleyearth, Higgs, Kegg):
+    each query's lists keep the paper's exact size-to-domain densities,
+    scaled to *domain*; *distribution* selects how values spread
+    ("uniform" or "markov" for clustered columns).
+    """
+    from repro.datagen.pairs import generator  # local import: avoid cycle
+
+    rng = np.random.default_rng(rng)
+    gen = generator(distribution)
+    out = []
+    for name, sizes in published_queries:
+        scaled = [
+            min(scale_size(s, published_domain, domain), domain) for s in sizes
+        ]
+        lists = tuple(gen(s, domain, rng=rng) for s in scaled)
+        expression = ("and", *range(len(lists)))
+        out.append(DatasetQuery(name, lists, expression, domain))
+    return out

@@ -1,0 +1,33 @@
+"""Kegg workload simulator (paper Appendix C.7).
+
+KEGG Metabolic pathway relations, 53,414 rows — small enough that no
+down-scaling is needed.  Two published intersection queries:
+
+* Q1 — |L1| = 16,965, |L2| = 47,783 (dense: 0.32 / 0.89),
+* Q2 — |L1| = 1,082, |L2| = 1,438 (sparse).
+
+Per the paper, Roaring/Bitset win Q1 and SIMDBP128*/SIMDPforDelta* win
+Q2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.common import DatasetQuery, published_pair_queries
+
+KEGG_ROWS = 53_414
+KEGG_QUERIES: list[tuple[str, list[int]]] = [
+    ("Q1", [16_965, 47_783]),
+    ("Q2", [1_082, 1_438]),
+]
+
+
+def kegg_queries(
+    domain: int = KEGG_ROWS,
+    rng: np.random.Generator | int | None = None,
+) -> list[DatasetQuery]:
+    """Both Kegg queries (unscaled by default — the dataset is small)."""
+    return published_pair_queries(
+        KEGG_ROWS, KEGG_QUERIES, domain, distribution="uniform", rng=rng
+    )

@@ -1,0 +1,83 @@
+"""SSB — Star Schema Benchmark simulator (paper Section 6.1).
+
+The paper runs Q1.1, Q2.1, Q3.4, and Q4.1 over the LINEORDER fact table
+(≈ 6 million rows × scale factor) and publishes each query's predicate
+selectivities; only the resulting row-id sets reach the codecs.  This
+simulator reproduces exactly those (selectivity, expression) signatures:
+
+* Q1.1 — 3 lists at 1/7, 1/2, 3/11; ``L1 ∩ L2 ∩ L3``.
+* Q2.1 — 2 lists at 1/25, 1/5; ``L1 ∩ L2``.
+* Q3.4 — 5 lists at 1/250 ×4 and 1/364; ``(L1 ∪ L2) ∩ (L3 ∪ L4) ∩ L5``.
+* Q4.1 — 4 lists at 1/5 each; ``L1 ∩ L2 ∩ (L3 ∪ L4)``.
+
+``scale`` shrinks the row count while preserving all densities (the
+default 1/100 maps the paper's SF = 1 to 60 000 rows).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+
+from repro.datasets.common import DatasetQuery, selectivity_lists
+
+#: LINEORDER rows at scale factor 1.
+ROWS_PER_SF = 6_000_000
+
+#: (query name, selectivities, expression over list indices)
+SSB_QUERIES: list[tuple[str, list[Fraction], tuple | int]] = [
+    (
+        "Q1.1",
+        [Fraction(1, 7), Fraction(1, 2), Fraction(3, 11)],
+        ("and", 0, 1, 2),
+    ),
+    ("Q2.1", [Fraction(1, 25), Fraction(1, 5)], ("and", 0, 1)),
+    (
+        "Q3.4",
+        [Fraction(1, 250)] * 4 + [Fraction(1, 364)],
+        ("and", ("or", 0, 1), ("or", 2, 3), 4),
+    ),
+    (
+        "Q4.1",
+        [Fraction(1, 5)] * 4,
+        ("and", 0, 1, ("or", 2, 3)),
+    ),
+]
+
+
+def ssb_query(
+    name: str,
+    scale_factor: int = 1,
+    scale: float = 0.01,
+    rng: np.random.Generator | int | None = None,
+) -> DatasetQuery:
+    """Build one SSB query workload.
+
+    Args:
+        name: "Q1.1", "Q2.1", "Q3.4", or "Q4.1".
+        scale_factor: the paper's SF (1, 10, or 100).
+        scale: additional down-scaling of the row count (density-
+            preserving); 0.01 keeps SF = 100 at 6M rows.
+        rng: generator or seed.
+    """
+    for qname, sels, expr in SSB_QUERIES:
+        if qname == name:
+            domain = max(1000, int(ROWS_PER_SF * scale_factor * scale))
+            lists = selectivity_lists(domain, sels, rng=rng)
+            return DatasetQuery(qname, lists, expr, domain)
+    known = ", ".join(q[0] for q in SSB_QUERIES)
+    raise ValueError(f"unknown SSB query {name!r}; known: {known}")
+
+
+def ssb_queries(
+    scale_factor: int = 1,
+    scale: float = 0.01,
+    rng: np.random.Generator | int | None = None,
+) -> list[DatasetQuery]:
+    """All four SSB benchmark queries at one scale factor."""
+    rng = np.random.default_rng(rng)
+    return [
+        ssb_query(name, scale_factor, scale, rng=rng)
+        for name, _, _ in SSB_QUERIES
+    ]

@@ -1,0 +1,61 @@
+"""TPCH simulator (paper Section 6.2).
+
+The paper follows Athanassoulis et al.'s UpBit variants of Q6 and Q12
+over LINEITEM (≈ 6 million rows × scale factor):
+
+* Q6 — 3 lists at 1/7, 3/11, 1/50; ``L1 ∩ L2 ∩ L3``.
+* Q12 — 3 lists at 1/10, 1/10, 1/364; ``(L1 ∪ L2) ∩ L3``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+
+from repro.datasets.common import DatasetQuery, selectivity_lists
+
+#: LINEITEM rows at scale factor 1.
+ROWS_PER_SF = 6_000_000
+
+TPCH_QUERIES: list[tuple[str, list[Fraction], tuple | int]] = [
+    (
+        "Q6",
+        [Fraction(1, 7), Fraction(3, 11), Fraction(1, 50)],
+        ("and", 0, 1, 2),
+    ),
+    (
+        "Q12",
+        [Fraction(1, 10), Fraction(1, 10), Fraction(1, 364)],
+        ("and", ("or", 0, 1), 2),
+    ),
+]
+
+
+def tpch_query(
+    name: str,
+    scale_factor: int = 1,
+    scale: float = 0.01,
+    rng: np.random.Generator | int | None = None,
+) -> DatasetQuery:
+    """Build one TPCH query workload ("Q6" or "Q12")."""
+    for qname, sels, expr in TPCH_QUERIES:
+        if qname == name:
+            domain = max(1000, int(ROWS_PER_SF * scale_factor * scale))
+            lists = selectivity_lists(domain, sels, rng=rng)
+            return DatasetQuery(qname, lists, expr, domain)
+    known = ", ".join(q[0] for q in TPCH_QUERIES)
+    raise ValueError(f"unknown TPCH query {name!r}; known: {known}")
+
+
+def tpch_queries(
+    scale_factor: int = 1,
+    scale: float = 0.01,
+    rng: np.random.Generator | int | None = None,
+) -> list[DatasetQuery]:
+    """Both TPCH benchmark queries at one scale factor."""
+    rng = np.random.default_rng(rng)
+    return [
+        tpch_query(name, scale_factor, scale, rng=rng)
+        for name, _, _ in TPCH_QUERIES
+    ]

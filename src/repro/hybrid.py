@@ -1,0 +1,150 @@
+"""Adaptive hybrid codec — the paper's lesson 1, implemented.
+
+Section 7.2's first lesson is that neither family wins outright and
+"both techniques can learn from each other to develop a better unified
+compression method".  Its own guidelines give the decision procedure:
+
+* space: inverted lists win below density n/d ≈ 1/5, bitmaps above
+  (guideline 1);
+* Roaring is the bitmap to use (lesson 3), SIMDPforDelta* /
+  SIMDBP128* the lists to use (lesson 5).
+
+:class:`AdaptiveCodec` applies exactly that rule per list: dense lists
+are stored as Roaring bitmaps, sparse lists as SIMDPforDelta* blocks,
+and every operation dispatches to the underlying representation —
+mixed-representation operations fall back to the probe/merge paths both
+sides expose.  The result tracks the better family's space at *every*
+density (see ``tests/test_hybrid.py``) instead of losing one regime.
+
+This is an extension beyond the paper's measured roster, so it is not
+registered in the 24-codec registry.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.base import (
+    CompressedIntegerSet,
+    IntegerSetCodec,
+    intersect_sorted_arrays,
+    union_sorted_arrays,
+)
+from repro.core.registry import get_codec
+
+#: The paper's density crossover (guideline 1 of Section 7.1).
+DENSITY_THRESHOLD = 1 / 5
+
+
+class AdaptiveCodec(IntegerSetCodec):
+    """Per-list representation choice driven by the paper's guidelines."""
+
+    name = "Adaptive"
+    family = "invlist"  # arbitrary; not registered
+    year = 2017
+
+    def __init__(
+        self,
+        threshold: float = DENSITY_THRESHOLD,
+        dense_codec: str = "Roaring",
+        sparse_codec: str = "SIMDPforDelta*",
+    ) -> None:
+        self.threshold = threshold
+        self.dense = get_codec(dense_codec)
+        self.sparse = get_codec(sparse_codec)
+
+    # ------------------------------------------------------------------
+    def compress(
+        self, values: Iterable[int] | np.ndarray, universe: int | None = None
+    ) -> CompressedIntegerSet:
+        arr, universe = self._prepare(values, universe)
+        density = arr.size / universe if universe else 0.0
+        inner_codec = self.dense if density >= self.threshold else self.sparse
+        inner = inner_codec.compress(arr, universe=universe)
+        return CompressedIntegerSet(
+            codec_name=self.name,
+            payload=inner,
+            n=inner.n,
+            universe=universe,
+            size_bytes=inner.size_bytes,
+        )
+
+    def _inner(self, cs: CompressedIntegerSet) -> tuple[IntegerSetCodec, CompressedIntegerSet]:
+        inner: CompressedIntegerSet = cs.payload
+        return get_codec(inner.codec_name), inner
+
+    def representation(self, cs: CompressedIntegerSet) -> str:
+        """Which underlying codec a set landed on (for inspection)."""
+        return cs.payload.codec_name
+
+    # ------------------------------------------------------------------
+    def decompress(self, cs: CompressedIntegerSet) -> np.ndarray:
+        codec, inner = self._inner(cs)
+        return codec.decompress(inner)
+
+    def intersect(
+        self, a: CompressedIntegerSet, b: CompressedIntegerSet
+    ) -> np.ndarray:
+        codec_a, inner_a = self._inner(a)
+        codec_b, inner_b = self._inner(b)
+        if codec_a is codec_b:
+            return codec_a.intersect(inner_a, inner_b)
+        # Mixed representations: probe the (denser) side with the sparser
+        # side's values — both codecs expose sub-linear probe paths.
+        if inner_a.n <= inner_b.n:
+            probe = codec_a.decompress(inner_a)
+            return codec_b.intersect_with_array(inner_b, probe)
+        probe = codec_b.decompress(inner_b)
+        return codec_a.intersect_with_array(inner_a, probe)
+
+    def union(self, a: CompressedIntegerSet, b: CompressedIntegerSet) -> np.ndarray:
+        codec_a, inner_a = self._inner(a)
+        codec_b, inner_b = self._inner(b)
+        if codec_a is codec_b:
+            return codec_a.union(inner_a, inner_b)
+        return union_sorted_arrays(
+            codec_a.decompress(inner_a), codec_b.decompress(inner_b)
+        )
+
+    def intersect_with_array(
+        self, cs: CompressedIntegerSet, values: np.ndarray
+    ) -> np.ndarray:
+        codec, inner = self._inner(cs)
+        return codec.intersect_with_array(inner, values)
+
+    def rank(self, cs: CompressedIntegerSet, value: int) -> int:
+        codec, inner = self._inner(cs)
+        return codec.rank(inner, value)
+
+    def select(self, cs: CompressedIntegerSet, index: int) -> int:
+        if index < 0 or index >= cs.n:
+            raise IndexError(f"select index {index} out of range [0, {cs.n})")
+        codec, inner = self._inner(cs)
+        return codec.select(inner, index)
+
+    def difference(
+        self, a: CompressedIntegerSet, b: CompressedIntegerSet
+    ) -> np.ndarray:
+        codec_a, inner_a = self._inner(a)
+        codec_b, inner_b = self._inner(b)
+        if codec_a is codec_b:
+            return codec_a.difference(inner_a, inner_b)
+        mine = codec_a.decompress(inner_a)
+        common = codec_b.intersect_with_array(inner_b, mine)
+        return np.setdiff1d(mine, common, assume_unique=True)
+
+    def symmetric_difference(
+        self, a: CompressedIntegerSet, b: CompressedIntegerSet
+    ) -> np.ndarray:
+        codec_a, inner_a = self._inner(a)
+        codec_b, inner_b = self._inner(b)
+        if codec_a is codec_b:
+            return codec_a.symmetric_difference(inner_a, inner_b)
+        va = codec_a.decompress(inner_a)
+        vb = codec_b.decompress(inner_b)
+        common = intersect_sorted_arrays(va, vb)
+        return np.setdiff1d(
+            union_sorted_arrays(va, vb), common, assume_unique=True
+        )

@@ -1,0 +1,47 @@
+"""Inverted-list compression codecs (paper Section 3).
+
+Importing this package registers all fifteen inverted-list codecs:
+List, VB, GroupVB, Simple9, Simple16, Simple8b, PforDelta, PforDelta*,
+NewPforDelta, OptPforDelta, PEF, SIMDPforDelta, SIMDPforDelta*,
+SIMDBP128, and SIMDBP128*.
+"""
+
+from repro.invlists.blocks import BlockedInvListCodec, BlockedPayload
+from repro.invlists.groupvb import GroupVBCodec
+from repro.invlists.newpfordelta import NewPforDeltaCodec
+from repro.invlists.optpfordelta import OptPforDeltaCodec
+from repro.invlists.pef import PEFCodec
+from repro.invlists.pfordelta import (
+    PforDeltaCodec,
+    PforDeltaStarCodec,
+    SIMDPforDeltaCodec,
+    SIMDPforDeltaStarCodec,
+)
+from repro.invlists.simdbp128 import SIMDBP128Codec, SIMDBP128StarCodec
+from repro.invlists.simple_family import (
+    Simple8bCodec,
+    Simple9Codec,
+    Simple16Codec,
+)
+from repro.invlists.uncompressed import UncompressedListCodec
+from repro.invlists.vb import VBCodec
+
+__all__ = [
+    "BlockedInvListCodec",
+    "BlockedPayload",
+    "UncompressedListCodec",
+    "VBCodec",
+    "GroupVBCodec",
+    "Simple9Codec",
+    "Simple16Codec",
+    "Simple8bCodec",
+    "PforDeltaCodec",
+    "PforDeltaStarCodec",
+    "NewPforDeltaCodec",
+    "OptPforDeltaCodec",
+    "PEFCodec",
+    "SIMDPforDeltaCodec",
+    "SIMDPforDeltaStarCodec",
+    "SIMDBP128Codec",
+    "SIMDBP128StarCodec",
+]

@@ -1,0 +1,300 @@
+"""Blocked inverted-list storage with skip pointers.
+
+Per the paper (Section 3 overview and the Section 5 preamble): every
+inverted-list codec except the uncompressed list partitions the d-gaps
+into blocks of 128 elements and keeps one *skip pointer* per block — a
+32-bit offset into the encoded stream plus the block's 32-bit start value
+(8 bytes per block).  Skip pointers let the SvS intersection decode only
+the blocks that can contain a probe value (Appendix B); Figure 7 measures
+exactly this trade-off, which the ``skip_pointers`` switch reproduces.
+
+:class:`BlockedInvListCodec` implements the whole pipeline; a concrete
+codec only supplies ``_encode_block`` / ``_decode_block`` over one block's
+residuals (d-gaps by default, or first-value offsets for codecs with
+``block_relative = True`` such as SIMDBP128*).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import ClassVar, Iterable
+
+import numpy as np
+
+from repro.core.arrays import gather_ranges as _gather_ranges
+from repro.core.base import (
+    CompressedIntegerSet,
+    IntegerSetCodec,
+    intersect_sorted_arrays,
+    union_sorted_arrays,
+)
+from repro.invlists.dgaps import to_dgaps
+
+#: The paper's block size (footnote 5: "several existing works suggest 128").
+DEFAULT_BLOCK_SIZE = 128
+#: Skip pointer cost: 32-bit offset + 32-bit start value.
+SKIP_POINTER_BYTES = 8
+#: Above this |longer| / |shorter| ratio, SvS probing beats merging; below
+#: it, both lists are of "similar size" and we merge (paper footnote 8).
+SVS_RATIO_THRESHOLD = 32
+
+
+@dataclass(frozen=True)
+class BlockedPayload:
+    """Encoded stream plus per-block skip metadata.
+
+    The ``offsets``/``firsts`` arrays exist even when skip pointers are
+    disabled (decoding a block needs them) — but then they are neither
+    *used* for probing nor *counted* in the wire size, which is what the
+    paper's "no skip pointers" configuration means.
+    """
+
+    stream: np.ndarray  # codec-specific dtype
+    offsets: np.ndarray  # int64 start index into `stream` per block
+    firsts: np.ndarray  # int64 first value of each block
+    wire_bytes: int  # logical encoded size excluding skip pointers
+
+
+class BlockedInvListCodec(IntegerSetCodec):
+    """Base class for the blocked, skip-pointered inverted-list codecs."""
+
+    family: ClassVar[str] = "invlist"
+    #: dtype of the encoded stream (uint8 for byte codecs, uint32/uint64
+    #: for word codecs).
+    stream_dtype: ClassVar[type] = np.uint32
+    #: When True, blocks encode ``value - block_first`` offsets instead of
+    #: d-gaps (no prefix sum at decode; see SIMDBP128*).
+    block_relative: ClassVar[bool] = False
+
+    def __init__(
+        self,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        skip_pointers: bool = True,
+    ) -> None:
+        if block_size < 1:
+            raise ValueError("block_size must be positive")
+        self.block_size = block_size
+        self.skip_pointers = skip_pointers
+
+    # ------------------------------------------------------------------
+    # Codec-specific hooks
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _encode_block(self, residuals: np.ndarray) -> tuple[np.ndarray, int]:
+        """Encode one block of residuals.
+
+        Returns ``(stream_chunk, wire_bytes)`` — the chunk in
+        ``stream_dtype`` plus the block's logical size in bytes (which may
+        be smaller than ``stream_chunk.nbytes`` when the numpy
+        representation pads, e.g. a bit-width byte stored in a full word).
+        """
+
+    @abc.abstractmethod
+    def _decode_block(
+        self, stream: np.ndarray, offset: int, count: int
+    ) -> np.ndarray:
+        """Decode *count* residuals of the block starting at *offset*."""
+
+    # ------------------------------------------------------------------
+    # Compression
+    # ------------------------------------------------------------------
+    def compress(
+        self, values: Iterable[int] | np.ndarray, universe: int | None = None
+    ) -> CompressedIntegerSet:
+        arr, universe = self._prepare(values, universe)
+        bs = self.block_size
+        n = int(arr.size)
+        n_blocks = (n + bs - 1) // bs
+        chunks: list[np.ndarray] = []
+        offsets = np.zeros(n_blocks, dtype=np.int64)
+        firsts = np.zeros(n_blocks, dtype=np.int64)
+        wire_bytes = 0
+        pos = 0
+        residual_source = arr if self.block_relative else to_dgaps(arr)
+        for k in range(n_blocks):
+            lo, hi = k * bs, min((k + 1) * bs, n)
+            firsts[k] = arr[lo]
+            offsets[k] = pos
+            block = residual_source[lo:hi]
+            if self.block_relative:
+                block = block - arr[lo]
+            chunk, nbytes = self._encode_block(block)
+            chunks.append(chunk)
+            pos += int(chunk.size)
+            wire_bytes += nbytes
+        stream = (
+            np.concatenate(chunks)
+            if chunks
+            else np.empty(0, dtype=self.stream_dtype)
+        )
+        payload = BlockedPayload(stream, offsets, firsts, wire_bytes)
+        size = wire_bytes + (SKIP_POINTER_BYTES * n_blocks if self.skip_pointers else 0)
+        return CompressedIntegerSet(self.name, payload, n, universe, size)
+
+    # ------------------------------------------------------------------
+    # Decompression
+    # ------------------------------------------------------------------
+    def decompress(self, cs: CompressedIntegerSet) -> np.ndarray:
+        payload: BlockedPayload = cs.payload
+        n = cs.n
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        residuals = self._decode_all(payload, n)
+        if self.block_relative:
+            return residuals + np.repeat(
+                payload.firsts, self._block_counts(n)
+            )
+        return np.cumsum(residuals, dtype=np.int64)
+
+    def _decode_all(self, payload: BlockedPayload, n: int) -> np.ndarray:
+        """All residuals of the list, in order.
+
+        Default: block-by-block loop.  Codecs override this with batched
+        whole-list decoders (many blocks decoded in one vectorised pass),
+        which is the analogue of the C++ implementations' tight decode
+        loops — without it, per-block interpreter overhead would swamp
+        the codec differences the paper measures.
+        """
+        bs = self.block_size
+        parts = []
+        for k in range(payload.offsets.size):
+            count = min(bs, n - k * bs)
+            parts.append(
+                self._decode_block(payload.stream, int(payload.offsets[k]), count)
+            )
+        return np.concatenate(parts)
+
+    def _block_counts(self, n: int) -> np.ndarray:
+        bs = self.block_size
+        n_blocks = (n + bs - 1) // bs
+        counts = np.full(n_blocks, bs, dtype=np.int64)
+        if n % bs:
+            counts[-1] = n % bs
+        return counts
+
+    def _decode_one_block(
+        self, cs: CompressedIntegerSet, k: int
+    ) -> np.ndarray:
+        """Absolute values of block *k*, decoded in isolation via its skip
+        pointer's start value."""
+        payload: BlockedPayload = cs.payload
+        bs = self.block_size
+        count = min(bs, cs.n - k * bs)
+        residuals = self._decode_block(
+            payload.stream, int(payload.offsets[k]), count
+        )
+        first = int(payload.firsts[k])
+        if self.block_relative:
+            return residuals + first
+        # Chain gaps within the block; the first gap is replaced by the
+        # skip pointer's start value.
+        out = np.cumsum(residuals, dtype=np.int64)
+        return out - int(residuals[0]) + first
+
+    # ------------------------------------------------------------------
+    # Query operations
+    # ------------------------------------------------------------------
+    def intersect(
+        self, a: CompressedIntegerSet, b: CompressedIntegerSet
+    ) -> np.ndarray:
+        """SvS when sizes differ enough to make skipping pay, else merge
+        (the paper's footnote-8 strategy)."""
+        short, long_ = (a, b) if a.n <= b.n else (b, a)
+        if short.n == 0:
+            return np.empty(0, dtype=np.int64)
+        if long_.n < short.n * SVS_RATIO_THRESHOLD or not self.skip_pointers:
+            return intersect_sorted_arrays(
+                self.decompress(short), self.decompress(long_)
+            )
+        return self.intersect_with_array(long_, self.decompress(short))
+
+    def intersect_with_array(
+        self, cs: CompressedIntegerSet, values: np.ndarray
+    ) -> np.ndarray:
+        """Probe sorted *values* against the compressed list.
+
+        With skip pointers only the candidate blocks are decoded (all of
+        them in one batched pass); without skip pointers the whole list
+        must be decompressed first (Figure 7's baseline).
+        """
+        if values.size == 0 or cs.n == 0:
+            return np.empty(0, dtype=np.int64)
+        if not self.skip_pointers:
+            return intersect_sorted_arrays(self.decompress(cs), values)
+        payload: BlockedPayload = cs.payload
+        blk = np.searchsorted(payload.firsts, values, side="right") - 1
+        blk = blk[blk >= 0]
+        if blk.size == 0:
+            return np.empty(0, dtype=np.int64)
+        needed = np.unique(blk)
+        block_values = self._decode_blocks(cs, needed)
+        return intersect_sorted_arrays(block_values, values)
+
+    def _decode_blocks(
+        self, cs: CompressedIntegerSet, block_ids: np.ndarray
+    ) -> np.ndarray:
+        """Absolute values of the given (sorted) block ids, decoded via
+        one batched pass over a gathered sub-stream.
+
+        Works because every block's encoding is self-contained: the
+        blocks' stream ranges are gathered into a contiguous sub-stream
+        with recomputed offsets, fed to the codec's ``_decode_all``, and
+        re-based on the skip pointers' start values.
+        """
+        payload: BlockedPayload = cs.payload
+        bs = self.block_size
+        n_blocks = payload.offsets.size
+        if block_ids.size == n_blocks:
+            return self.decompress(cs)
+        ends = np.append(payload.offsets[1:], payload.stream.size)
+        lengths = ends[block_ids] - payload.offsets[block_ids]
+        stream = payload.stream[
+            _gather_ranges(payload.offsets[block_ids], lengths)
+        ]
+        sub_offsets = np.cumsum(lengths) - lengths
+        firsts = payload.firsts[block_ids]
+        last_global = n_blocks - 1
+        if block_ids[-1] == last_global:
+            last_count = cs.n - last_global * bs
+        else:
+            last_count = bs
+        n_sub = (block_ids.size - 1) * bs + last_count
+        sub_payload = BlockedPayload(stream, sub_offsets, firsts, 0)
+        residuals = self._decode_all(sub_payload, n_sub)
+        counts = np.full(block_ids.size, bs, dtype=np.int64)
+        counts[-1] = last_count
+        if self.block_relative:
+            return residuals + np.repeat(firsts, counts)
+        # Segmented prefix sum, re-based on each block's start value.
+        cum = np.cumsum(residuals, dtype=np.int64)
+        seg_start = np.cumsum(counts) - counts
+        base = firsts - cum[seg_start]
+        return cum + np.repeat(base, counts)
+
+    def union(self, a: CompressedIntegerSet, b: CompressedIntegerSet) -> np.ndarray:
+        """Decompress-then-merge, per the paper's union implementation."""
+        return union_sorted_arrays(self.decompress(a), self.decompress(b))
+
+    # ------------------------------------------------------------------
+    # Positional access (library extension; sub-linear via skip pointers)
+    # ------------------------------------------------------------------
+    def rank(self, cs: CompressedIntegerSet, value: int) -> int:
+        """Elements ≤ *value*: locate the block by skip pointer, decode it
+        alone, and binary-search inside."""
+        if cs.n == 0:
+            return 0
+        payload: BlockedPayload = cs.payload
+        k = int(np.searchsorted(payload.firsts, value, side="right")) - 1
+        if k < 0:
+            return 0
+        block_vals = self._decode_one_block(cs, k)
+        within = int(np.searchsorted(block_vals, value, side="right"))
+        return k * self.block_size + within
+
+    def select(self, cs: CompressedIntegerSet, index: int) -> int:
+        """The *index*-th element: exactly one block decode."""
+        if index < 0 or index >= cs.n:
+            raise IndexError(f"select index {index} out of range [0, {cs.n})")
+        k, within = divmod(index, self.block_size)
+        return int(self._decode_one_block(cs, k)[within])

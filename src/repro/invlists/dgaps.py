@@ -1,0 +1,24 @@
+"""d-gap transform shared by the delta-based inverted-list codecs.
+
+Per the paper's Section 3 overview: ``L'[0] = L[0]`` and
+``L'[i] = L[i] - L[i-1]``, so the gaps of a strictly increasing list are
+all ≥ 1 except possibly the first.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def to_dgaps(values: np.ndarray) -> np.ndarray:
+    """Delta-encode a strictly increasing int64 array."""
+    if values.size == 0:
+        return values.astype(np.int64, copy=False)
+    return np.diff(values, prepend=0).astype(np.int64, copy=False)
+
+
+def from_dgaps(gaps: np.ndarray) -> np.ndarray:
+    """Invert :func:`to_dgaps` via a prefix sum."""
+    if gaps.size == 0:
+        return gaps.astype(np.int64, copy=False)
+    return np.cumsum(gaps, dtype=np.int64)

@@ -1,0 +1,132 @@
+"""GroupVB — Group Varint Encoding (Dean / Google, 2009).
+
+Paper Section 3.2.  Four d-gaps are encoded together: a header byte holds
+four 2-bit length descriptors (value i uses ``1 + descriptor`` bytes,
+little-endian), followed by the four values' data bytes.  Factoring the
+flags out of the data stream removes the per-byte branch that slows VB
+down — the property that makes GroupVB's decompression "much better than
+PforDelta" in the paper's Figure 3.
+
+Layout note: within each 128-gap block all of the block's header bytes are
+stored first, then all data bytes.  The byte count is identical to the
+classic interleaved layout (one header byte per 4 values); keeping the
+headers contiguous is what lets the decoder compute every value's data
+offset in one vectorised pass — the same "decompress multiple integers
+simultaneously" effect the paper attributes to the factored flags.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import CorruptPayloadError, DomainOverflowError
+from repro.core.registry import register_codec
+from repro.invlists.blocks import BlockedInvListCodec
+
+_LEN_THRESHOLDS = (1 << 8, 1 << 16, 1 << 24)
+
+
+@register_codec
+class GroupVBCodec(BlockedInvListCodec):
+    """Group Varint with per-block factored header bytes."""
+
+    name = "GroupVB"
+    year = 2009
+    stream_dtype = np.uint8
+
+    def _encode_block(self, residuals: np.ndarray) -> tuple[np.ndarray, int]:
+        v = residuals.astype(np.int64, copy=False)
+        n = int(v.size)
+        n_groups = (n + 3) // 4
+        padded = np.zeros(n_groups * 4, dtype=np.int64)
+        padded[:n] = v
+        if n and int(v.max()) >> 32:
+            raise DomainOverflowError(
+                f"GroupVB gap {int(v.max())} exceeds 32 bits"
+            )
+        # Length descriptor per value: bytes - 1, in 0..3.
+        desc = np.zeros(padded.size, dtype=np.int64)
+        for t in _LEN_THRESHOLDS:
+            desc += padded >= t
+        lens = desc + 1
+        # Header byte per group of four: descriptors in bit pairs 0,2,4,6.
+        d = desc.reshape(n_groups, 4)
+        headers = (d[:, 0] | (d[:, 1] << 2) | (d[:, 2] << 4) | (d[:, 3] << 6)).astype(
+            np.uint8
+        )
+        # Data bytes, little-endian per value, concatenated in value order.
+        starts = np.cumsum(lens) - lens
+        data = np.zeros(int(lens.sum()), dtype=np.uint8)
+        for k in range(4):
+            mask = lens > k
+            if not mask.any():
+                break
+            data[starts[mask] + k] = (padded[mask] >> (8 * k)) & 0xFF
+        chunk = np.concatenate((headers, data))
+        return chunk, int(chunk.nbytes)
+
+    def _decode_block(
+        self, stream: np.ndarray, offset: int, count: int
+    ) -> np.ndarray:
+        n_groups = (count + 3) // 4
+        headers = stream[offset : offset + n_groups].astype(np.int64)
+        if headers.size < n_groups:
+            raise CorruptPayloadError("GroupVB block header truncated")
+        desc = np.empty(n_groups * 4, dtype=np.int64)
+        desc[0::4] = headers & 3
+        desc[1::4] = (headers >> 2) & 3
+        desc[2::4] = (headers >> 4) & 3
+        desc[3::4] = (headers >> 6) & 3
+        lens = desc + 1
+        starts = np.cumsum(lens) - lens
+        data_start = offset + n_groups
+        data = stream[data_start : data_start + int(lens.sum())].astype(np.int64)
+        if data.size < int(lens.sum()):
+            raise CorruptPayloadError("GroupVB block data truncated")
+        values = np.zeros(n_groups * 4, dtype=np.int64)
+        for k in range(4):
+            mask = lens > k
+            if not mask.any():
+                break
+            values[mask] |= data[starts[mask] + k] << (8 * k)
+        return values[:count]
+
+    def _decode_all(self, payload, n: int) -> np.ndarray:
+        """Batched whole-list decode.
+
+        Full blocks all have the same header-block shape, so their
+        descriptors, per-value byte offsets, and data gathers are plain
+        2-D array operations; only a partial trailing block falls back to
+        the single-block decoder.
+        """
+        bs = self.block_size
+        stream = payload.stream.astype(np.int64, copy=False)
+        offsets = payload.offsets
+        nb = offsets.size
+        nb_full = nb if n % bs == 0 else nb - 1
+        groups_per_block = bs // 4
+        parts = []
+        if nb_full:
+            off = offsets[:nb_full, None]
+            headers = stream[off + np.arange(groups_per_block)]
+            desc = np.empty((nb_full, bs), dtype=np.int64)
+            desc[:, 0::4] = headers & 3
+            desc[:, 1::4] = (headers >> 2) & 3
+            desc[:, 2::4] = (headers >> 4) & 3
+            desc[:, 3::4] = (headers >> 6) & 3
+            lens = desc + 1
+            within = np.cumsum(lens, axis=1) - lens
+            data_start = off + groups_per_block + within
+            values = stream[data_start]  # first byte of every value
+            for k in range(1, 4):
+                mask = lens > k
+                if not mask.any():
+                    break
+                values[mask] |= stream[data_start[mask] + k] << (8 * k)
+            parts.append(values.reshape(-1))
+        if nb_full < nb:
+            k = nb - 1
+            parts.append(
+                self._decode_block(payload.stream, int(offsets[k]), n - k * bs)
+            )
+        return parts[0] if len(parts) == 1 else np.concatenate(parts)

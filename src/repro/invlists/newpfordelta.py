@@ -1,0 +1,167 @@
+"""NewPforDelta (Yan, Ding, Suel, 2009; paper Section 3.4).
+
+PforDelta wastes space when exceptions are far apart, because the slot
+linked list needs forced exceptions.  NewPforDelta removes the chain
+entirely: an exception's slot keeps the **low b bits** of its value, and
+two side arrays store (a) the exception positions and (b) the overflow
+high bits, both compressed (here with VB — the original used Simple16;
+VB is used so arbitrary 32-bit overflows remain encodable).
+
+Block wire layout (32-bit words):
+``[header0][header1][packed slots][VB positions | VB highs, byte-packed]``
+where header0 = ``b | n_exceptions << 8`` and header1 =
+``pos_bytes | high_bytes << 16``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.registry import register_codec
+from repro.invlists.bitpack import (
+    pack_bits,
+    unpack_bits_scalar,
+    unpack_bits_scalar_blocks,
+)
+from repro.invlists.blocks import BlockedInvListCodec
+from repro.invlists.pfordelta import choose_b_90
+from repro.invlists.vb import vb_decode_array, vb_encode_array
+
+
+def encode_newpfor_block(values: np.ndarray, b: int) -> tuple[np.ndarray, int]:
+    """Encode one block at width *b*.
+
+    Returns ``(words, wire_bytes)``; wire bytes count the two headers, the
+    packed slots, and the actual VB bytes (the word stream pads the VB
+    section to a whole number of 32-bit words).
+    """
+    limit = 1 << b
+    exc_pos = np.flatnonzero(values >= limit)
+    slots = values & (limit - 1)
+    highs = values[exc_pos] >> b
+    pos_deltas = np.diff(exc_pos, prepend=0) if exc_pos.size else exc_pos
+    pos_bytes = vb_encode_array(pos_deltas)
+    high_bytes = vb_encode_array(highs)
+    side = np.concatenate((pos_bytes, high_bytes))
+    pad = (-side.size) % 4
+    if pad:
+        side = np.concatenate((side, np.zeros(pad, dtype=np.uint8)))
+    side_words = side.view(np.uint32) if side.size else np.empty(0, np.uint32)
+    header0 = np.uint32(b | (exc_pos.size << 8))
+    header1 = np.uint32(pos_bytes.size | (high_bytes.size << 16))
+    packed = pack_bits(slots, b)
+    words = np.concatenate(
+        (np.array([header0, header1], dtype=np.uint32), packed, side_words)
+    )
+    wire = 8 + packed.nbytes + int(pos_bytes.size) + int(high_bytes.size)
+    return words, wire
+
+
+def decode_newpfor_block(
+    stream: np.ndarray, offset: int, count: int, unpack
+) -> np.ndarray:
+    header0 = int(stream[offset])
+    header1 = int(stream[offset + 1])
+    b = header0 & 0xFF
+    n_exc = header0 >> 8
+    pos_bytes = header1 & 0xFFFF
+    high_bytes = header1 >> 16
+    n_words = (count * b + 31) // 32
+    slots_start = offset + 2
+    values = unpack(stream[slots_start : slots_start + n_words], count, b)
+    if n_exc:
+        side_words = (pos_bytes + high_bytes + 3) // 4
+        side = stream[
+            slots_start + n_words : slots_start + n_words + side_words
+        ].view(np.uint8)
+        pos_deltas, end = vb_decode_array(side, n_exc, 0)
+        highs, _ = vb_decode_array(side, n_exc, pos_bytes)
+        positions = np.cumsum(pos_deltas)
+        values[positions] |= highs << b
+    return values
+
+
+@register_codec
+class NewPforDeltaCodec(BlockedInvListCodec):
+    """NewPforDelta: low-bits slots + two compressed side arrays."""
+
+    name = "NewPforDelta"
+    year = 2009
+    stream_dtype = np.uint32
+    _unpack = staticmethod(unpack_bits_scalar)
+
+    def _choose_b(self, values: np.ndarray) -> int:
+        return choose_b_90(values)
+
+    def _encode_block(self, residuals: np.ndarray) -> tuple[np.ndarray, int]:
+        return encode_newpfor_block(residuals, self._choose_b(residuals))
+
+    def _decode_block(
+        self, stream: np.ndarray, offset: int, count: int
+    ) -> np.ndarray:
+        return decode_newpfor_block(stream, offset, count, self._unpack)
+
+    def _decode_all(self, payload, n: int) -> np.ndarray:
+        """Batched whole-list decode: slots of same-width full blocks are
+        unpacked together; the VB side arrays are then applied per block
+        (only blocks that actually have exceptions)."""
+        bs = self.block_size
+        stream = payload.stream
+        offsets = payload.offsets
+        nb = offsets.size
+        header0 = stream[offsets].astype(np.int64)
+        header1 = stream[offsets + 1].astype(np.int64)
+        b_arr = header0 & 0xFF
+        n_exc = header0 >> 8
+        pos_bytes = header1 & 0xFFFF
+        out = np.empty(n, dtype=np.int64)
+        full = np.ones(nb, dtype=bool)
+        if n % bs:
+            full[-1] = False
+        for b in np.unique(b_arr[full]):
+            idx = np.flatnonzero(full & (b_arr == b))
+            w = (bs * int(b) + 31) // 32
+            mat = stream[offsets[idx][:, None] + 2 + np.arange(w)]
+            vals = unpack_bits_scalar_blocks(mat, bs, int(b))
+            dest = (idx[:, None] * bs + np.arange(bs)).reshape(-1)
+            out[dest] = vals.reshape(-1)
+        if not full[-1]:
+            k = nb - 1
+            out[k * bs :] = self._decode_block(
+                stream, int(offsets[k]), n - k * bs
+            )
+        # Batched exception patch: every block's VB side segments are
+        # gathered into two concatenated streams and decoded in one pass
+        # each (segments align on value boundaries), then a segmented
+        # prefix sum rebuilds the per-block exception positions.
+        exc_blocks = np.flatnonzero((n_exc > 0) & full)
+        if exc_blocks.size:
+            sbytes = stream.view(np.uint8)
+            w_arr = (bs * b_arr[exc_blocks] + 31) // 32
+            side_byte_start = (offsets[exc_blocks] + 2 + w_arr) * 4
+            pos_lens = pos_bytes[exc_blocks]
+            high_lens = (header1[exc_blocks] >> 16).astype(np.int64)
+            pos_concat = sbytes[_gather_ranges(side_byte_start, pos_lens)]
+            high_concat = sbytes[
+                _gather_ranges(side_byte_start + pos_lens, high_lens)
+            ]
+            total = int(n_exc[exc_blocks].sum())
+            deltas, _ = vb_decode_array(pos_concat, total, 0)
+            highs, _ = vb_decode_array(high_concat, total, 0)
+            seg_counts = n_exc[exc_blocks]
+            seg = np.repeat(np.arange(exc_blocks.size), seg_counts)
+            cum = np.cumsum(deltas)
+            seg_first = np.cumsum(seg_counts) - seg_counts
+            seg_base = cum[seg_first] - deltas[seg_first]
+            within = cum - seg_base[seg]
+            dest = exc_blocks[seg] * bs + within
+            out[dest] |= highs << b_arr[exc_blocks][seg]
+        return out
+
+
+def _gather_ranges(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Flat indices covering [starts[i], starts[i] + lengths[i]) per i."""
+    total = int(lengths.sum())
+    ramp = np.arange(total, dtype=np.int64)
+    seg_start = np.cumsum(lengths) - lengths
+    return np.repeat(starts, lengths) + (ramp - np.repeat(seg_start, lengths))

@@ -1,0 +1,199 @@
+"""Variable-partition PEF — the partition *optimisation* of Ottaviano &
+Venturini's original system.
+
+The registered :class:`~repro.invlists.pef.PEFCodec` uses fixed
+128-element partitions (documented simplification).  This extension
+restores the original's key idea: choose partition boundaries to
+minimise total encoded bits, so clustered stretches get long, dense
+partitions and scattered stretches get short ones.
+
+The partition choice here is a dynamic program over cut points at
+multiples of 32 with power-of-two window sizes (32…8192) — the same
+style of bounded-candidate approximation the original paper uses to
+make the DP linear-time.  Encoded partitions reuse the Elias-Fano block
+format of :mod:`repro.invlists.pef`, and probing reuses its
+partial-access kernel.
+
+Not registered in the codec registry (it is an extension beyond the
+study's roster); compare it against uniform PEF with
+``benchmarks/bench_ablation_pef_partitioning.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.base import (
+    CompressedIntegerSet,
+    IntegerSetCodec,
+    intersect_sorted_arrays,
+    union_sorted_arrays,
+)
+from repro.invlists.blocks import SVS_RATIO_THRESHOLD
+from repro.invlists.pef import PEFCodec, decode_ef_block, encode_ef_block
+
+#: Cut-point granularity and window candidates for the partition DP.
+STEP = 32
+WINDOWS = (32, 64, 128, 256, 512, 1024, 2048, 4096, 8192)
+
+
+@dataclass(frozen=True)
+class OptimalPEFPayload:
+    stream: np.ndarray  # uint32 EF blocks back to back
+    offsets: np.ndarray  # int64 word offset per partition
+    firsts: np.ndarray  # int64 first value per partition
+    counts: np.ndarray  # int64 elements per partition
+    wire_bytes: int
+
+
+def partition_cost_bits(values: np.ndarray, i: int, j: int) -> int:
+    """Exact encoded bits of EF-encoding values[i:j] as one partition."""
+    n = j - i
+    span = int(values[j - 1]) - int(values[i]) + 1
+    b = max(0, (span // n).bit_length() - 1) if span > n else 0
+    high_len = n + (span - 1 >> b) + 1
+    return 32 + n * b + high_len  # header + lows + high bitvector
+
+
+def choose_partitions(values: np.ndarray) -> np.ndarray:
+    """Partition end indices minimising total bits over the candidate
+    windows (always includes the final boundary at n)."""
+    n = int(values.size)
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    # DP over cut positions k ∈ {STEP, 2*STEP, ..., n}.
+    positions = list(range(STEP, n, STEP)) + [n]
+    index_of = {pos: idx for idx, pos in enumerate(positions)}
+    best = [np.inf] * len(positions)
+    prev = [None] * len(positions)
+    max_window = WINDOWS[-1]
+    for idx, pos in enumerate(positions):
+        if pos <= max_window:
+            # The prefix as a single partition is always a candidate.
+            cost = partition_cost_bits(values, 0, pos)
+            if cost < best[idx]:
+                best[idx] = cost
+                prev[idx] = 0
+        if pos % STEP == 0:
+            candidates = (pos - w for w in WINDOWS)
+        else:
+            # The final (unaligned) position may end a partition at any
+            # aligned cut within the window range.
+            lo = max(STEP, pos - max_window)
+            candidates = range(
+                (lo + STEP - 1) // STEP * STEP, pos, STEP
+            )
+        for start in candidates:
+            base_idx = index_of.get(start)
+            if base_idx is None or start <= 0:
+                continue
+            cost = best[base_idx] + partition_cost_bits(values, start, pos)
+            if cost < best[idx]:
+                best[idx] = cost
+                prev[idx] = start
+    # Walk the predecessors back from n.
+    bounds = []
+    pos = n
+    while pos > 0:
+        bounds.append(pos)
+        pos = prev[index_of[pos]]
+    return np.array(sorted(bounds), dtype=np.int64)
+
+
+class OptimalPEFCodec(IntegerSetCodec):
+    """Partitioned Elias-Fano with DP-chosen variable partitions."""
+
+    name = "PEF-opt"
+    family = "invlist"
+    year = 2014
+
+    def compress(
+        self, values: Iterable[int] | np.ndarray, universe: int | None = None
+    ) -> CompressedIntegerSet:
+        arr, universe = self._prepare(values, universe)
+        ends = choose_partitions(arr)
+        starts = np.concatenate(([0], ends[:-1])) if ends.size else ends
+        chunks = []
+        offsets = np.zeros(ends.size, dtype=np.int64)
+        firsts = np.zeros(ends.size, dtype=np.int64)
+        wire = 0
+        pos = 0
+        for k, (lo, hi) in enumerate(zip(starts, ends)):
+            lo, hi = int(lo), int(hi)
+            firsts[k] = arr[lo]
+            offsets[k] = pos
+            words, nbytes = encode_ef_block(arr[lo:hi] - arr[lo])
+            chunks.append(words)
+            pos += int(words.size)
+            wire += nbytes
+        stream = (
+            np.concatenate(chunks) if chunks else np.empty(0, dtype=np.uint32)
+        )
+        counts = (ends - starts).astype(np.int64)
+        payload = OptimalPEFPayload(stream, offsets, firsts, counts, wire)
+        # Partition directory: 8 bytes each (offset + first), like skips.
+        size = wire + 8 * int(ends.size)
+        return CompressedIntegerSet(self.name, payload, int(arr.size), universe, size)
+
+    def decompress(self, cs: CompressedIntegerSet) -> np.ndarray:
+        payload: OptimalPEFPayload = cs.payload
+        parts = []
+        for k in range(payload.offsets.size):
+            residuals = decode_ef_block(
+                payload.stream, int(payload.offsets[k]), int(payload.counts[k])
+            )
+            parts.append(residuals + int(payload.firsts[k]))
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(parts)
+
+    def intersect(
+        self, a: CompressedIntegerSet, b: CompressedIntegerSet
+    ) -> np.ndarray:
+        short, long_ = (a, b) if a.n <= b.n else (b, a)
+        if short.n == 0:
+            return np.empty(0, dtype=np.int64)
+        if long_.n < short.n * SVS_RATIO_THRESHOLD:
+            return intersect_sorted_arrays(
+                self.decompress(short), self.decompress(long_)
+            )
+        return self.intersect_with_array(long_, self.decompress(short))
+
+    def intersect_with_array(
+        self, cs: CompressedIntegerSet, values: np.ndarray
+    ) -> np.ndarray:
+        """Partition-skipping probe with PEF's partial-access kernel."""
+        if values.size == 0 or cs.n == 0:
+            return np.empty(0, dtype=np.int64)
+        payload: OptimalPEFPayload = cs.payload
+        blk = np.searchsorted(payload.firsts, values, side="right") - 1
+        valid = blk >= 0
+        values, blk = values[valid], blk[valid]
+        if values.size == 0:
+            return np.empty(0, dtype=np.int64)
+        parts = []
+        boundaries = np.empty(blk.size, dtype=bool)
+        boundaries[0] = True
+        boundaries[1:] = blk[1:] != blk[:-1]
+        starts = np.flatnonzero(boundaries)
+        ends = np.append(starts[1:], blk.size)
+        for s, e in zip(starts, ends):
+            k = int(blk[s])
+            hit = PEFCodec._probe_partition(
+                payload.stream,
+                int(payload.offsets[k]),
+                int(payload.counts[k]),
+                int(payload.firsts[k]),
+                values[s:e],
+            )
+            if hit.size:
+                parts.append(hit)
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(parts)
+
+    def union(self, a: CompressedIntegerSet, b: CompressedIntegerSet) -> np.ndarray:
+        return union_sorted_arrays(self.decompress(a), self.decompress(b))

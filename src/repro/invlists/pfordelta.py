@@ -1,0 +1,231 @@
+"""PforDelta and PforDelta* (Zukowski et al., 2006; paper Section 3.3).
+
+**PforDelta** compresses a 128-gap block by choosing the smallest bit
+width ``b`` such that at least 90 % of the block's values fit in ``b``
+bits (the *regular* values).  The block stores 128 b-bit slots plus an
+exception area of 32-bit values.  Exception slots are chained into a
+linked list threaded through the unused b-bit slots: each exception's
+slot holds the distance (minus one) to the next exception, and when two
+exceptions are more than ``2^b`` slots apart *forced exceptions* are
+inserted between them.
+
+**PforDelta*** is the paper's 100 %-regular variant: ``b`` covers every
+value, so there are no exceptions and no patch loop — the ultra-fast
+decode path the paper highlights.
+
+Block wire layout (32-bit words):
+``[header][packed slots][exceptions ...]`` with the header packing
+``b`` (bits 0–7), the exception count (bits 8–15), and the index of the
+first exception (bits 16–23, 0xFF = none).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import CorruptPayloadError
+from repro.core.registry import register_codec
+from repro.invlists.bitpack import (
+    pack_bits,
+    required_bits,
+    unpack_bits_scalar,
+    unpack_bits_scalar_blocks,
+    unpack_bits_simd,
+    unpack_bits_simd_blocks,
+)
+from repro.invlists.blocks import BlockedInvListCodec
+
+#: Fraction of a block that must be regular (paper: "say the threshold
+#: is 90%").
+REGULAR_FRACTION = 0.90
+_NO_EXCEPTION = 0xFF
+
+
+def choose_b_90(values: np.ndarray, fraction: float = REGULAR_FRACTION) -> int:
+    """Smallest b such that ≥ *fraction* of values fit in b bits."""
+    if values.size == 0:
+        return 1
+    ordered = np.sort(values)
+    cutoff = ordered[
+        min(values.size - 1, int(np.ceil(fraction * values.size)) - 1)
+    ]
+    return max(1, int(cutoff).bit_length())
+
+
+def plan_exceptions(values: np.ndarray, b: int) -> np.ndarray:
+    """Exception slot indices for width *b*, including forced exceptions.
+
+    Real exceptions are the values that do not fit in *b* bits; forced
+    exceptions are inserted whenever two consecutive exceptions are more
+    than ``2^b`` slots apart (the slot link stores distance − 1).
+    """
+    limit = 1 << b  # maximum representable distance (stored as d - 1)
+    real = np.flatnonzero(values >= limit)
+    if real.size == 0:
+        return real
+    out: list[int] = []
+    prev = int(real[0])
+    out.append(prev)
+    for nxt in real[1:]:
+        nxt = int(nxt)
+        while nxt - prev > limit:
+            prev += limit
+            out.append(prev)  # forced exception
+        out.append(nxt)
+        prev = nxt
+    return np.array(out, dtype=np.int64)
+
+
+def encode_pfor_block(values: np.ndarray, b: int) -> np.ndarray:
+    """Encode one block at width *b* into header + slots + exceptions."""
+    n = int(values.size)
+    exceptions = plan_exceptions(values, b)
+    slots = values.copy()
+    if exceptions.size:
+        # Thread the linked list: each exception slot stores the distance
+        # (minus 1) to the next exception; the last stores 0.
+        nxt = np.append(exceptions[1:], exceptions[-1] + 1)
+        slots[exceptions] = nxt - exceptions - 1
+        first = int(exceptions[0])
+    else:
+        first = _NO_EXCEPTION
+    if exceptions.size > 0xFF:
+        raise CorruptPayloadError("too many exceptions for an 8-bit count")
+    header = np.array(
+        [b | (exceptions.size << 8) | (first << 16)], dtype=np.uint32
+    )
+    packed = pack_bits(slots, b)
+    exc_words = values[exceptions].astype(np.uint32)
+    return np.concatenate((header, packed, exc_words))
+
+
+def decode_pfor_block(
+    stream: np.ndarray, offset: int, count: int, unpack
+) -> np.ndarray:
+    """Decode one block; *unpack* is the scalar or SIMD bit-unpack kernel."""
+    header = int(stream[offset])
+    b = header & 0xFF
+    n_exc = (header >> 8) & 0xFF
+    first = (header >> 16) & 0xFF
+    n_words = (count * b + 31) // 32
+    slots_start = offset + 1
+    values = unpack(stream[slots_start : slots_start + n_words], count, b)
+    if n_exc:
+        if first == _NO_EXCEPTION:
+            raise CorruptPayloadError("PforDelta exception count without chain")
+        exc = stream[slots_start + n_words : slots_start + n_words + n_exc]
+        pos = first
+        for e in exc:
+            if pos >= count:
+                raise CorruptPayloadError("PforDelta exception chain overruns")
+            nxt = pos + int(values[pos]) + 1
+            values[pos] = int(e)
+            pos = nxt
+    return values
+
+
+@register_codec
+class PforDeltaCodec(BlockedInvListCodec):
+    """PforDelta: 90 %-regular slots with a patched exception chain."""
+
+    name = "PforDelta"
+    year = 2006
+    stream_dtype = np.uint32
+    #: Bit-unpack kernels; the SIMD subclasses swap in the vector ones.
+    _unpack = staticmethod(unpack_bits_scalar)
+    _unpack_blocks = staticmethod(unpack_bits_scalar_blocks)
+
+    def _choose_b(self, values: np.ndarray) -> int:
+        return choose_b_90(values)
+
+    def _encode_block(self, residuals: np.ndarray) -> tuple[np.ndarray, int]:
+        words = encode_pfor_block(residuals, self._choose_b(residuals))
+        return words, int(words.nbytes)
+
+    def _decode_block(
+        self, stream: np.ndarray, offset: int, count: int
+    ) -> np.ndarray:
+        return decode_pfor_block(stream, offset, count, self._unpack)
+
+    def _decode_all(self, payload, n: int) -> np.ndarray:
+        """Batched whole-list decode: full blocks sharing a bit width are
+        unpacked together in one vectorised pass; the exception chains are
+        then patched block by block (the per-exception traversal the
+        paper's PforDelta* variant exists to avoid)."""
+        bs = self.block_size
+        stream = payload.stream
+        offsets = payload.offsets
+        nb = offsets.size
+        headers = stream[offsets].astype(np.int64)
+        b_arr = headers & 0xFF
+        n_exc = (headers >> 8) & 0xFF
+        first = (headers >> 16) & 0xFF
+        out = np.empty(n, dtype=np.int64)
+        full = np.ones(nb, dtype=bool)
+        if n % bs:
+            full[-1] = False
+        for b in np.unique(b_arr[full]):
+            idx = np.flatnonzero(full & (b_arr == b))
+            w = (bs * int(b) + 31) // 32
+            mat = stream[offsets[idx][:, None] + 1 + np.arange(w)]
+            vals = self._unpack_blocks(mat, bs, int(b))
+            dest = (idx[:, None] * bs + np.arange(bs)).reshape(-1)
+            out[dest] = vals.reshape(-1)
+        if not full[-1]:
+            k = nb - 1
+            out[k * bs :] = self._decode_block(
+                stream, int(offsets[k]), n - k * bs
+            )
+        # Patch exception chains of the batch-decoded blocks.  Chains are
+        # sequential *within* a block but independent *across* blocks, so
+        # the walk advances all blocks' chains in lock step: iteration j
+        # patches the j-th exception of every block that has one.
+        exc_blocks = np.flatnonzero((n_exc > 0) & full)
+        if exc_blocks.size:
+            w_arr = (bs * b_arr[exc_blocks] + 31) // 32
+            exc_start = offsets[exc_blocks] + 1 + w_arr
+            counts = n_exc[exc_blocks]
+            pos = first[exc_blocks].copy()
+            base = exc_blocks * bs
+            for j in range(int(counts.max())):
+                sel = counts > j
+                slot = base[sel] + pos[sel]
+                links = out[slot]
+                out[slot] = stream[exc_start[sel] + j]
+                pos[sel] += links + 1
+        return out
+
+
+@register_codec
+class PforDeltaStarCodec(PforDeltaCodec):
+    """PforDelta*: b covers 100 % of each block — no exceptions at all."""
+
+    name = "PforDelta*"
+    year = 2017  # introduced by this paper's study
+
+    def _choose_b(self, values: np.ndarray) -> int:
+        return required_bits(values)
+
+
+@register_codec
+class SIMDPforDeltaCodec(PforDeltaCodec):
+    """SIMDPforDelta (Lemire & Boytsov, 2015): same wire format and hence
+    the same space as PforDelta, decoded with the vectorised lane kernel
+    (this library's SIMD substitution — see
+    :mod:`repro.invlists.bitpack`)."""
+
+    name = "SIMDPforDelta"
+    year = 2015
+    _unpack = staticmethod(unpack_bits_simd)
+    _unpack_blocks = staticmethod(unpack_bits_simd_blocks)
+
+
+@register_codec
+class SIMDPforDeltaStarCodec(PforDeltaStarCodec):
+    """SIMDPforDelta*: the exception-free variant with the vectorised
+    lane kernel — one of the paper's three overall recommendations."""
+
+    name = "SIMDPforDelta*"
+    year = 2017
+    _unpack = staticmethod(unpack_bits_simd)
+    _unpack_blocks = staticmethod(unpack_bits_simd_blocks)

@@ -1,0 +1,403 @@
+"""The Simple codec family (paper Sections 3.6–3.8).
+
+All three codecs pack as many small integers as possible into one
+machine word behind a 4-bit selector:
+
+* **Simple9** (Anh & Moffat, 2005): 32-bit words, 28 data bits, 9
+  packings from 28×1-bit to 1×28-bit.
+* **Simple16** (Zhang, Long, Suel, 2008): 32-bit words, all 16 selector
+  values used, with split cases (e.g. 3×6 then 2×5, and 2×5 then 3×6)
+  that waste no data bits.
+* **Simple8b** (Anh & Moffat, 2010): 64-bit words with 60 data bits, so
+  only 4 selector bits are paid per 60 (not per 28) data bits; selectors
+  0 and 1 encode runs of 240/120 ones with no data bits at all.
+
+Encoding is greedy: at each position the codec picks the selector that
+packs the most values such that all of them fit.  At a block tail a
+selector may cover more slots than values remain; the decoder truncates
+by the block's known element count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import CorruptPayloadError, DomainOverflowError
+from repro.core.registry import register_codec
+from repro.invlists.blocks import BlockedInvListCodec
+
+# (count, bits per value) per selector, biggest count first.
+S9_CASES: list[tuple[int, int]] = [
+    (28, 1), (14, 2), (9, 3), (7, 4), (5, 5), (4, 7), (3, 9), (2, 14), (1, 28),
+]
+
+# Simple16: per-selector tuple of per-slot bit widths (sum ≤ 28).
+S16_CASES: list[tuple[int, ...]] = [
+    (1,) * 28,
+    (2,) * 7 + (1,) * 14,
+    (1,) * 7 + (2,) * 7 + (1,) * 7,
+    (1,) * 14 + (2,) * 7,
+    (2,) * 14,
+    (4,) * 1 + (3,) * 8,
+    (3,) * 1 + (4,) * 4 + (3,) * 3,
+    (4,) * 7,
+    (5,) * 4 + (4,) * 2,
+    (4,) * 2 + (5,) * 4,
+    (6,) * 3 + (5,) * 2,
+    (5,) * 2 + (6,) * 3,
+    (7,) * 4,
+    (10,) * 1 + (9,) * 2,
+    (14,) * 2,
+    (28,) * 1,
+]
+
+# Simple8b: selectors 0/1 are runs of ones; 2..15 are uniform packings.
+S8B_RUN_CASES: list[int] = [240, 120]  # selector 0 and 1
+S8B_PACK_CASES: list[tuple[int, int]] = [
+    (60, 1), (30, 2), (20, 3), (15, 4), (12, 5), (10, 6), (8, 7), (7, 8),
+    (6, 10), (5, 12), (4, 15), (3, 20), (2, 30), (1, 60),
+]
+
+_S16_SHIFTS = [
+    np.cumsum((0,) + widths[:-1]).astype(np.int64) for widths in S16_CASES
+]
+_S16_WIDTHS = [np.array(widths, dtype=np.int64) for widths in S16_CASES]
+_S16_MAX = [np.int64(1) << w for w in _S16_WIDTHS]
+
+_S9_COUNTS = np.array([c for c, _ in S9_CASES], dtype=np.int64)
+_S16_COUNTS = np.array([len(w) for w in S16_CASES], dtype=np.int64)
+_S8B_COUNTS = np.array(
+    S8B_RUN_CASES + [c for c, _ in S8B_PACK_CASES], dtype=np.int64
+)
+
+
+def _decode_all_simple(
+    payload, n: int, block_size: int, counts_lut: np.ndarray, extract, shift: int
+) -> np.ndarray:
+    """Batched whole-stream decode shared by the Simple family.
+
+    Words are grouped by selector and each group unpacks in one
+    vectorised pass; a word's *valid* slot count (smaller than the
+    selector's slot count only at a block tail) is derived from the
+    per-block value budget, so padded tail slots are dropped without any
+    per-block loop.
+    """
+    stream = payload.stream
+    offsets = payload.offsets
+    nb = offsets.size
+    sel = (stream >> shift).astype(np.int64)
+    cnt = counts_lut[sel]
+    words_per_block = np.diff(np.append(offsets, stream.size))
+    block_of_word = np.repeat(np.arange(nb), words_per_block)
+    cum = np.cumsum(cnt) - cnt
+    emitted_before = cum - cum[offsets][block_of_word]
+    block_count = np.full(nb, block_size, dtype=np.int64)
+    if n % block_size:
+        block_count[-1] = n % block_size
+    valid = np.clip(block_count[block_of_word] - emitted_before, 0, cnt)
+    dest_start = block_of_word * block_size + emitted_before
+    out = np.empty(n, dtype=np.int64)
+    for s in np.unique(sel):
+        widx = np.flatnonzero(sel == s)
+        vals = extract(stream[widx], int(s))
+        slots = np.arange(vals.shape[1], dtype=np.int64)
+        mask = slots < valid[widx][:, None]
+        positions = dest_start[widx][:, None] + slots
+        out[positions[mask]] = vals[mask]
+    return out
+
+
+def _s9_extract(words: np.ndarray, selector: int) -> np.ndarray:
+    count, width = S9_CASES[selector]
+    payload = (words & np.uint32((1 << 28) - 1)).astype(np.int64)
+    shifts = width * np.arange(count, dtype=np.int64)
+    return (payload[:, None] >> shifts) & ((1 << width) - 1)
+
+
+def _s16_extract(words: np.ndarray, selector: int) -> np.ndarray:
+    widths = _S16_WIDTHS[selector]
+    payload = (words & np.uint32((1 << 28) - 1)).astype(np.int64)
+    return (payload[:, None] >> _S16_SHIFTS[selector]) & (
+        (np.int64(1) << widths) - 1
+    )
+
+
+def _s8b_extract(words: np.ndarray, selector: int) -> np.ndarray:
+    if selector < 2:
+        return np.ones((words.size, S8B_RUN_CASES[selector]), dtype=np.int64)
+    count, width = S8B_PACK_CASES[selector - 2]
+    payload = (words & np.uint64((1 << 60) - 1)).astype(np.int64)
+    shifts = width * np.arange(count, dtype=np.int64)
+    return (payload[:, None] >> shifts) & ((1 << width) - 1)
+
+
+# ----------------------------------------------------------------------
+# Simple9
+# ----------------------------------------------------------------------
+def s9_encode(values: np.ndarray) -> np.ndarray:
+    """Greedy Simple9 encoding of an int64 array into uint32 words."""
+    if values.size and int(values.max()) >> 28:
+        raise DomainOverflowError(
+            "Simple9 cannot encode values of 28+ bits "
+            f"(got {int(values.max())})"
+        )
+    v = values
+    n = int(v.size)
+    out: list[int] = []
+    i = 0
+    while i < n:
+        for selector, (count, width) in enumerate(S9_CASES):
+            take = min(count, n - i)
+            chunk = v[i : i + take]
+            if int(chunk.max()) < (1 << width):
+                word = selector << 28
+                shifts = width * np.arange(take, dtype=np.int64)
+                word |= int(np.bitwise_or.reduce(chunk << shifts))
+                out.append(word)
+                i += take
+                break
+        else:  # pragma: no cover - (1, 28) always fits after the check
+            raise AssertionError("Simple9 selector selection failed")
+    return np.array(out, dtype=np.uint32)
+
+
+def s9_decode(words: np.ndarray, count: int) -> np.ndarray:
+    """Decode *count* values from Simple9 words."""
+    out = np.empty(count, dtype=np.int64)
+    pos = 0
+    for word in words:
+        if pos >= count:
+            break
+        word = int(word)
+        c, width = S9_CASES[word >> 28]
+        take = min(c, count - pos)
+        payload = word & ((1 << 28) - 1)
+        shifts = width * np.arange(take, dtype=np.int64)
+        out[pos : pos + take] = (payload >> shifts) & ((1 << width) - 1)
+        pos += take
+    if pos < count:
+        raise CorruptPayloadError("Simple9 stream ended early")
+    return out
+
+
+def s9_words_needed(words: np.ndarray, count: int) -> int:
+    """Number of leading words that decode to *count* values."""
+    pos = 0
+    for used, word in enumerate(words, start=1):
+        pos += S9_CASES[int(word) >> 28][0]
+        if pos >= count:
+            return used
+    raise CorruptPayloadError("Simple9 stream ended early")
+
+
+# ----------------------------------------------------------------------
+# Simple16
+# ----------------------------------------------------------------------
+def s16_encode(values: np.ndarray) -> np.ndarray:
+    """Greedy Simple16 encoding of an int64 array into uint32 words."""
+    if values.size and int(values.max()) >> 28:
+        raise DomainOverflowError(
+            "Simple16 cannot encode values of 28+ bits "
+            f"(got {int(values.max())})"
+        )
+    v = values
+    n = int(v.size)
+    out: list[int] = []
+    i = 0
+    while i < n:
+        for selector in range(16):
+            widths = _S16_WIDTHS[selector]
+            take = min(widths.size, n - i)
+            chunk = v[i : i + take]
+            if bool((chunk < _S16_MAX[selector][:take]).all()):
+                word = selector << 28
+                word |= int(
+                    np.bitwise_or.reduce(chunk << _S16_SHIFTS[selector][:take])
+                )
+                out.append(word)
+                i += take
+                break
+        else:  # pragma: no cover - selector 15 (1×28) always fits
+            raise AssertionError("Simple16 selector selection failed")
+    return np.array(out, dtype=np.uint32)
+
+
+def s16_decode(words: np.ndarray, count: int) -> np.ndarray:
+    """Decode *count* values from Simple16 words."""
+    out = np.empty(count, dtype=np.int64)
+    pos = 0
+    for word in words:
+        if pos >= count:
+            break
+        word = int(word)
+        selector = word >> 28
+        widths = _S16_WIDTHS[selector]
+        take = min(widths.size, count - pos)
+        payload = word & ((1 << 28) - 1)
+        out[pos : pos + take] = (payload >> _S16_SHIFTS[selector][:take]) & (
+            (np.int64(1) << widths[:take]) - 1
+        )
+        pos += take
+    if pos < count:
+        raise CorruptPayloadError("Simple16 stream ended early")
+    return out
+
+
+def s16_words_needed(words: np.ndarray, count: int) -> int:
+    pos = 0
+    for used, word in enumerate(words, start=1):
+        pos += _S16_WIDTHS[int(word) >> 28].size
+        if pos >= count:
+            return used
+    raise CorruptPayloadError("Simple16 stream ended early")
+
+
+# ----------------------------------------------------------------------
+# Simple8b
+# ----------------------------------------------------------------------
+def s8b_encode(values: np.ndarray) -> np.ndarray:
+    """Greedy Simple8b encoding of an int64 array into uint64 words."""
+    if values.size and int(values.max()) >> 60:
+        raise DomainOverflowError("Simple8b cannot encode values of 60+ bits")
+    v = values
+    n = int(v.size)
+    out: list[int] = []
+    i = 0
+    while i < n:
+        emitted = False
+        for selector, run in enumerate(S8B_RUN_CASES):
+            take = min(run, n - i)
+            chunk = v[i : i + take]
+            if bool((chunk == 1).all()):
+                out.append(selector << 60)
+                i += take
+                emitted = True
+                break
+        if emitted:
+            continue
+        for idx, (count, width) in enumerate(S8B_PACK_CASES):
+            selector = idx + 2
+            take = min(count, n - i)
+            chunk = v[i : i + take]
+            if int(chunk.max()) < (1 << width):
+                word = selector << 60
+                shifts = width * np.arange(take, dtype=np.int64)
+                # shift + width never exceeds the 60-bit payload, so the
+                # int64 intermediate cannot overflow.
+                word |= int(np.bitwise_or.reduce(chunk << shifts))
+                out.append(word)
+                i += take
+                break
+        else:  # pragma: no cover - (1, 60) always fits after the check
+            raise AssertionError("Simple8b selector selection failed")
+    return np.array(out, dtype=np.uint64)
+
+
+def s8b_decode(words: np.ndarray, count: int) -> np.ndarray:
+    """Decode *count* values from Simple8b words."""
+    out = np.empty(count, dtype=np.int64)
+    pos = 0
+    for word in words:
+        if pos >= count:
+            break
+        word = int(word)
+        selector = word >> 60
+        if selector < 2:
+            take = min(S8B_RUN_CASES[selector], count - pos)
+            out[pos : pos + take] = 1
+            pos += take
+            continue
+        c, width = S8B_PACK_CASES[selector - 2]
+        take = min(c, count - pos)
+        payload = word & ((1 << 60) - 1)
+        shifts = width * np.arange(take, dtype=np.int64)
+        out[pos : pos + take] = (payload >> shifts) & ((1 << width) - 1)
+        pos += take
+    if pos < count:
+        raise CorruptPayloadError("Simple8b stream ended early")
+    return out
+
+
+def s8b_words_needed(words: np.ndarray, count: int) -> int:
+    pos = 0
+    for used, word in enumerate(words, start=1):
+        selector = int(word) >> 60
+        if selector < 2:
+            pos += S8B_RUN_CASES[selector]
+        else:
+            pos += S8B_PACK_CASES[selector - 2][0]
+        if pos >= count:
+            return used
+    raise CorruptPayloadError("Simple8b stream ended early")
+
+
+# ----------------------------------------------------------------------
+# Codec classes
+# ----------------------------------------------------------------------
+@register_codec
+class Simple9Codec(BlockedInvListCodec):
+    """Simple9 over 128-gap blocks."""
+
+    name = "Simple9"
+    year = 2005
+    stream_dtype = np.uint32
+
+    def _encode_block(self, residuals: np.ndarray) -> tuple[np.ndarray, int]:
+        words = s9_encode(residuals)
+        return words, int(words.nbytes)
+
+    def _decode_block(
+        self, stream: np.ndarray, offset: int, count: int
+    ) -> np.ndarray:
+        return s9_decode(stream[offset:], count)
+
+    def _decode_all(self, payload, n: int) -> np.ndarray:
+        return _decode_all_simple(
+            payload, n, self.block_size, _S9_COUNTS, _s9_extract, 28
+        )
+
+
+@register_codec
+class Simple16Codec(BlockedInvListCodec):
+    """Simple16 over 128-gap blocks."""
+
+    name = "Simple16"
+    year = 2008
+    stream_dtype = np.uint32
+
+    def _encode_block(self, residuals: np.ndarray) -> tuple[np.ndarray, int]:
+        words = s16_encode(residuals)
+        return words, int(words.nbytes)
+
+    def _decode_block(
+        self, stream: np.ndarray, offset: int, count: int
+    ) -> np.ndarray:
+        return s16_decode(stream[offset:], count)
+
+    def _decode_all(self, payload, n: int) -> np.ndarray:
+        return _decode_all_simple(
+            payload, n, self.block_size, _S16_COUNTS, _s16_extract, 28
+        )
+
+
+@register_codec
+class Simple8bCodec(BlockedInvListCodec):
+    """Simple8b over 128-gap blocks (64-bit words)."""
+
+    name = "Simple8b"
+    year = 2010
+    stream_dtype = np.uint64
+
+    def _encode_block(self, residuals: np.ndarray) -> tuple[np.ndarray, int]:
+        words = s8b_encode(residuals)
+        return words, int(words.nbytes)
+
+    def _decode_block(
+        self, stream: np.ndarray, offset: int, count: int
+    ) -> np.ndarray:
+        return s8b_decode(stream[offset:], count)
+
+    def _decode_all(self, payload, n: int) -> np.ndarray:
+        return _decode_all_simple(
+            payload, n, self.block_size, _S8B_COUNTS, _s8b_extract, 60
+        )

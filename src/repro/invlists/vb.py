@@ -1,0 +1,91 @@
+"""VB — Variable Byte encoding (Cutting & Pedersen, 1990).
+
+Paper Section 3.1.  Each d-gap is stored in 1–5 bytes, little-endian
+7-bit groups; the byte's most significant bit is a continuation flag
+(1 = more bytes belong to this integer).  E.g. 16385 encodes as
+``10000001 10000000 00000001``, matching the paper's worked example.
+
+Both the encoder and the block decoder are expressed as whole-array NumPy
+passes — VB is byte-aligned, which is exactly why the paper finds it
+surprisingly competitive ("the advantage of VB comes from byte accesses
+instead of bit accesses", finding (5) of Section 5.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import CorruptPayloadError
+from repro.core.registry import register_codec
+from repro.invlists.blocks import BlockedInvListCodec
+
+_THRESHOLDS = (1 << 7, 1 << 14, 1 << 21, 1 << 28)
+
+
+def vb_encode_array(values: np.ndarray) -> np.ndarray:
+    """Encode an int64 array (< 2^35 each) into a VB byte stream."""
+    if values.size == 0:
+        return np.empty(0, dtype=np.uint8)
+    v = values.astype(np.int64, copy=False)
+    nbytes = np.ones(v.size, dtype=np.int64)
+    for t in _THRESHOLDS:
+        nbytes += v >= t
+    starts = np.cumsum(nbytes) - nbytes
+    out = np.zeros(int(nbytes.sum()), dtype=np.uint8)
+    for k in range(5):
+        mask = nbytes > k
+        if not mask.any():
+            break
+        chunk = (v[mask] >> (7 * k)) & 0x7F
+        cont = np.where(nbytes[mask] > k + 1, 0x80, 0)
+        out[starts[mask] + k] = chunk | cont
+    return out
+
+
+def vb_decode_array(data: np.ndarray, count: int, offset: int = 0) -> tuple[np.ndarray, int]:
+    """Decode *count* VB integers from *data* starting at *offset*.
+
+    Returns ``(values, end_offset)``.
+    """
+    if count == 0:
+        return np.empty(0, dtype=np.int64), offset
+    # A VB value is at most 5 bytes, so the scan window is bounded — this
+    # keeps block decoding O(block) instead of O(rest of stream).
+    view = data[offset : offset + 5 * count]
+    terminators = np.flatnonzero(view < 0x80)
+    if terminators.size < count:
+        raise CorruptPayloadError("VB stream ends before expected value count")
+    end = int(terminators[count - 1]) + 1
+    chunk = view[:end].astype(np.int64)
+    term = chunk < 0x80
+    value_starts = np.concatenate(([0], np.flatnonzero(term)[:-1] + 1))
+    lens = np.diff(np.append(value_starts, end))
+    byte_pos = np.arange(end, dtype=np.int64) - np.repeat(value_starts, lens)
+    contributions = (chunk & 0x7F) << (7 * byte_pos)
+    values = np.add.reduceat(contributions, value_starts)
+    return values, offset + end
+
+
+@register_codec
+class VBCodec(BlockedInvListCodec):
+    """Variable Byte over 128-gap blocks with skip pointers."""
+
+    name = "VB"
+    year = 1990
+    stream_dtype = np.uint8
+
+    def _encode_block(self, residuals: np.ndarray) -> tuple[np.ndarray, int]:
+        chunk = vb_encode_array(residuals)
+        return chunk, int(chunk.nbytes)
+
+    def _decode_block(
+        self, stream: np.ndarray, offset: int, count: int
+    ) -> np.ndarray:
+        values, _ = vb_decode_array(stream, count, offset)
+        return values
+
+    def _decode_all(self, payload, n: int) -> np.ndarray:
+        # Blocks are contiguous in the byte stream, so the whole list
+        # decodes in one vectorised pass.
+        values, _ = vb_decode_array(payload.stream, n, 0)
+        return values

@@ -1,0 +1,107 @@
+"""Boolean query expressions over compressed sets.
+
+The SSB/TPCH workloads in the paper's Section 6 are not flat
+intersections: Q3.4 is ``(L1 ∪ L2) ∩ (L3 ∪ L4) ∩ L5``, Q4.1 is
+``L1 ∩ L2 ∩ (L3 ∪ L4)``, TPCH Q12 is ``(L1 ∪ L2) ∩ L3``.  This module
+gives those shapes a tiny expression tree with an evaluator that follows
+the paper's operator implementations:
+
+* ``Or`` nodes union their children (compressed OR for bitmaps,
+  decompress-and-merge for lists);
+* ``And`` nodes intersect, evaluating compressed leaves SvS-style —
+  smallest intermediate first, probing the remaining *compressed* leaves
+  via ``intersect_with_array`` so skip pointers / chunk keys still help.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from repro.core.base import (
+    CompressedIntegerSet,
+    intersect_sorted_arrays,
+    union_sorted_arrays,
+)
+from repro.core.registry import get_codec
+
+
+@dataclass(frozen=True)
+class Leaf:
+    """A single compressed list/bitmap."""
+
+    cs: CompressedIntegerSet
+
+    def estimated_size(self) -> int:
+        return self.cs.n
+
+
+@dataclass(frozen=True)
+class And:
+    """Intersection of sub-expressions."""
+
+    children: tuple["QueryExpression", ...]
+
+    def __init__(self, *children: "QueryExpression") -> None:
+        object.__setattr__(self, "children", tuple(children))
+
+    def estimated_size(self) -> int:
+        return min(c.estimated_size() for c in self.children)
+
+
+@dataclass(frozen=True)
+class Or:
+    """Union of sub-expressions."""
+
+    children: tuple["QueryExpression", ...]
+
+    def __init__(self, *children: "QueryExpression") -> None:
+        object.__setattr__(self, "children", tuple(children))
+
+    def estimated_size(self) -> int:
+        return sum(c.estimated_size() for c in self.children)
+
+
+QueryExpression = Union[Leaf, And, Or]
+
+
+def evaluate(expr: QueryExpression) -> np.ndarray:
+    """Evaluate an expression tree to an uncompressed sorted array."""
+    if isinstance(expr, Leaf):
+        return get_codec(expr.cs.codec_name).decompress(expr.cs)
+    if isinstance(expr, Or):
+        return _evaluate_or(expr)
+    if isinstance(expr, And):
+        return _evaluate_and(expr)
+    raise TypeError(f"not a query expression: {expr!r}")
+
+
+def _evaluate_or(expr: Or) -> np.ndarray:
+    compressed = [c.cs for c in expr.children if isinstance(c, Leaf)]
+    others = [c for c in expr.children if not isinstance(c, Leaf)]
+    result = np.empty(0, dtype=np.int64)
+    if compressed:
+        codec = get_codec(compressed[0].codec_name)
+        result = codec.union_many(compressed)
+    for child in others:
+        result = union_sorted_arrays(result, evaluate(child))
+    return result
+
+
+def _evaluate_and(expr: And) -> np.ndarray:
+    # SvS over sub-expressions: materialise the smallest first, then probe
+    # the remaining children — compressed leaves are probed without full
+    # decompression via intersect_with_array.
+    ordered = sorted(expr.children, key=lambda c: c.estimated_size())
+    result = evaluate(ordered[0])
+    for child in ordered[1:]:
+        if result.size == 0:
+            break
+        if isinstance(child, Leaf):
+            codec = get_codec(child.cs.codec_name)
+            result = codec.intersect_with_array(child.cs, result)
+        else:
+            result = intersect_sorted_arrays(result, evaluate(child))
+    return result

@@ -1,0 +1,59 @@
+"""k-list intersection strategies (paper Section 4.3 and Appendix B).
+
+The study uses **SvS** (Culpepper & Moffat): sort the lists by length,
+decompress the shortest, then check each surviving element against the
+next list — where "check" exploits whatever sub-linear access the codec
+offers (skip pointers for blocked lists, chunk keys for Roaring, the high
+bitvector for PEF) via ``IntegerSetCodec.intersect_with_array``.
+
+Footnote 8 of the paper: when two lists are of similar size SvS degrades
+to pointless probing, so a merge-based path takes over; the codecs'
+pairwise ``intersect`` already applies that switch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import (
+    CompressedIntegerSet,
+    intersect_sorted_arrays,
+)
+from repro.core.registry import get_codec
+
+
+def svs_intersect(sets: list[CompressedIntegerSet]) -> np.ndarray:
+    """SvS intersection of k compressed sets (possibly k = 1).
+
+    All sets must come from the same codec (matching the paper's setup,
+    where a whole workload is stored under one compression scheme).
+    Returns the uncompressed result array.
+    """
+    if not sets:
+        return np.empty(0, dtype=np.int64)
+    codec = get_codec(sets[0].codec_name)
+    for cs in sets[1:]:
+        if cs.codec_name != sets[0].codec_name:
+            raise ValueError(
+                "svs_intersect requires a single codec per query; got "
+                f"{sets[0].codec_name!r} and {cs.codec_name!r}"
+            )
+    return codec.intersect_many(sets)
+
+
+def merge_intersect(sets: list[CompressedIntegerSet]) -> np.ndarray:
+    """Decompress-everything merge intersection (baseline strategy).
+
+    Used by the SvS-vs-merge ablation bench; always correct, never
+    skips.
+    """
+    if not sets:
+        return np.empty(0, dtype=np.int64)
+    codec = get_codec(sets[0].codec_name)
+    arrays = sorted((codec.decompress(cs) for cs in sets), key=len)
+    result = arrays[0]
+    for arr in arrays[1:]:
+        if result.size == 0:
+            break
+        result = intersect_sorted_arrays(result, arr)
+    return result

@@ -1,0 +1,76 @@
+"""Top-k conjunctive query processing (paper Appendix A.1).
+
+The paper describes the standard two-step pipeline search engines run
+over compressed inverted lists:
+
+1. **candidate generation** — intersect the query terms' posting lists
+   (the dominant cost, which is why the paper recommends the codec with
+   the fastest intersection);
+2. **ranking** — score each candidate from per-posting payloads (e.g.
+   term frequencies) and return the k most relevant documents.
+
+Payloads ride alongside the compressed list, aligned by position, so
+scoring gathers them via binary search on the decompressed candidates —
+no payload compression is modelled (the paper's metrics stop at the
+intersection).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.base import CompressedIntegerSet
+from repro.core.registry import get_codec
+from repro.ops.intersection import svs_intersect
+
+
+@dataclass(frozen=True)
+class ScoredPostingList:
+    """A compressed posting list plus an aligned per-posting payload.
+
+    ``payload[i]`` belongs to the i-th document of the original sorted
+    list (e.g. a term frequency); ``weight`` is the term's query weight
+    (e.g. an IDF).
+    """
+
+    cs: CompressedIntegerSet
+    payload: np.ndarray
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.payload.shape != (self.cs.n,):
+            raise ValueError(
+                f"payload length {self.payload.shape} does not match the "
+                f"list's {self.cs.n} postings"
+            )
+
+
+def topk_conjunctive(
+    lists: list[ScoredPostingList], k: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Documents containing *all* terms, ranked by summed weighted payload.
+
+    Returns ``(doc_ids, scores)`` of length ≤ k, scores descending (ties
+    broken by ascending doc id for determinism).
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if not lists:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
+    candidates = svs_intersect([sl.cs for sl in lists])
+    if candidates.size == 0:
+        return candidates, np.empty(0, dtype=np.float64)
+    scores = np.zeros(candidates.size, dtype=np.float64)
+    for sl in lists:
+        docs = get_codec(sl.cs.codec_name).decompress(sl.cs)
+        idx = np.searchsorted(docs, candidates)
+        scores += sl.weight * sl.payload[idx]
+    order = np.lexsort((candidates, -scores))[:k]
+    return candidates[order], scores[order]
+
+
+def idf_weight(n_docs: int, document_frequency: int) -> float:
+    """The classic smoothed inverse-document-frequency term weight."""
+    return float(np.log1p(n_docs / max(1, document_frequency)))

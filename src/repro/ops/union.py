@@ -1,0 +1,37 @@
+"""k-list union (paper Section 4.3).
+
+The paper implements union by decompressing the lists first and merging
+them linearly; bitmap codecs instead OR on the compressed form pairwise
+(their ``union`` method) and only the final result is materialised.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import CompressedIntegerSet, union_sorted_arrays
+from repro.core.registry import get_codec
+
+
+def merge_union(sets: list[CompressedIntegerSet]) -> np.ndarray:
+    """Union of k compressed sets from a single codec."""
+    if not sets:
+        return np.empty(0, dtype=np.int64)
+    codec = get_codec(sets[0].codec_name)
+    for cs in sets[1:]:
+        if cs.codec_name != sets[0].codec_name:
+            raise ValueError(
+                "merge_union requires a single codec per query; got "
+                f"{sets[0].codec_name!r} and {cs.codec_name!r}"
+            )
+    return codec.union_many(sets)
+
+
+def union_arrays(arrays: list[np.ndarray]) -> np.ndarray:
+    """k-way merge of already-decompressed sorted arrays."""
+    if not arrays:
+        return np.empty(0, dtype=np.int64)
+    result = arrays[0]
+    for arr in arrays[1:]:
+        result = union_sorted_arrays(result, arr)
+    return result

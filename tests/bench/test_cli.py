@@ -1,0 +1,38 @@
+"""CLI runner: argument handling and output shape."""
+
+import pytest
+
+from repro.bench.cli import _quick_kwargs, main
+
+
+def test_history_command(capsys):
+    assert main(["history"]) == 0
+    out = capsys.readouterr().out
+    assert "Roaring" in out and "WAH" in out
+
+
+def test_quick_run_prints_tables(capsys):
+    assert main(["fig12", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "=== fig12" in out
+    assert "intersection / query time (ms)" in out
+    assert "space" in out
+    assert "Roaring" in out
+
+
+def test_csv_output(capsys):
+    assert main(["fig12", "--quick", "--csv"]) == 0
+    out = capsys.readouterr().out
+    header = [l for l in out.splitlines() if l.startswith("codec,")][0]
+    assert "intersect_ms" in header
+
+
+def test_unknown_experiment_errors():
+    with pytest.raises(SystemExit):
+        main(["figNaN"])
+
+
+def test_quick_kwargs_cover_known_experiments():
+    for exp in ("fig3", "tab1", "tab3", "fig4", "fig6", "fig7", "fig9"):
+        kwargs = _quick_kwargs(exp)
+        assert kwargs.get("repeat") == 1

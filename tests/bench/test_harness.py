@@ -1,0 +1,112 @@
+"""Harness unit tests: metric rows, cross-validation, expression build."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import all_codec_names
+from repro.bench.harness import (
+    MetricRow,
+    bench_decompression,
+    bench_pair,
+    bench_query,
+    bench_query_union,
+    build_expression,
+    resolve_codecs,
+)
+from repro.bench.timing import measure, measure_ms
+from repro.datasets import ssb_query
+from repro.ops.expressions import evaluate
+
+from tests.conftest import sorted_unique
+
+
+def test_measure_returns_positive():
+    assert measure(lambda: sum(range(100)), repeat=2) > 0
+    assert measure_ms(lambda: None, repeat=1) >= 0
+
+
+def test_resolve_codecs_default_is_registry():
+    assert resolve_codecs(None) == all_codec_names()
+    assert resolve_codecs(["WAH"]) == ["WAH"]
+
+
+def test_bench_decompression_row_contents(rng):
+    values = sorted_unique(rng, 500, 50_000)
+    rows = bench_decompression(
+        values, 50_000, codecs=["WAH", "VB"], workload="w", repeat=1
+    )
+    assert [r.codec for r in rows] == ["WAH", "VB"]
+    for row in rows:
+        assert row.workload == "w"
+        assert row.space_bytes > 0
+        assert row.decompress_ms >= 0
+        assert math.isnan(row.intersect_ms)
+
+
+def test_bench_pair_validates_results(rng):
+    a = sorted_unique(rng, 100, 10_000)
+    b = sorted_unique(rng, 2_000, 10_000)
+    rows = bench_pair(a, b, 10_000, codecs=["Roaring"], repeat=1)
+    row = rows[0]
+    assert row.intersect_ms >= 0
+    assert row.union_ms >= 0
+
+
+def test_bench_pair_single_operation(rng):
+    a = sorted_unique(rng, 100, 10_000)
+    b = sorted_unique(rng, 2_000, 10_000)
+    rows = bench_pair(
+        a, b, 10_000, codecs=["VB"], repeat=1, operations=("union",)
+    )
+    assert math.isnan(rows[0].intersect_ms)
+    assert rows[0].union_ms >= 0
+
+
+def test_bench_query_cross_validates(rng):
+    query = ssb_query("Q3.4", scale=0.001, rng=rng)
+    rows = bench_query(query, codecs=["Roaring", "VB", "WAH"], repeat=1)
+    assert len(rows) == 3
+    assert all(r.workload == "Q3.4" for r in rows)
+
+
+def test_bench_query_union(rng):
+    query = ssb_query("Q2.1", scale=0.001, rng=rng)
+    rows = bench_query_union(query, codecs=["VB", "Bitset"], repeat=1)
+    assert all(r.union_ms >= 0 for r in rows)
+
+
+def test_build_expression_matches_shape(rng):
+    from repro import get_codec
+
+    query = ssb_query("Q4.1", scale=0.001, rng=rng)
+    codec = get_codec("List")
+    sets = [codec.compress(lst, universe=query.domain) for lst in query.lists]
+    expr = build_expression(query, sets)
+    got = evaluate(expr)
+    expected = np.intersect1d(
+        np.intersect1d(query.lists[0], query.lists[1]),
+        np.union1d(query.lists[2], query.lists[3]),
+    )
+    assert np.array_equal(got, expected)
+
+
+def test_build_expression_rejects_unknown_operator(rng):
+    from dataclasses import replace
+
+    from repro import get_codec
+
+    query = ssb_query("Q2.1", scale=0.001, rng=rng)
+    bad = replace(query, expression=("xor", 0, 1))
+    codec = get_codec("List")
+    sets = [codec.compress(lst, universe=query.domain) for lst in query.lists]
+    with pytest.raises(ValueError):
+        build_expression(bad, sets)
+
+
+def test_metric_row_as_dict():
+    row = MetricRow("X", "bitmap", "w", space_bytes=10, extra={"k": 1})
+    d = row.as_dict()
+    assert d["codec"] == "X"
+    assert d["k"] == 1

@@ -1,0 +1,95 @@
+"""Table rendering and CSV output."""
+
+from repro.bench.harness import MetricRow
+from repro.bench.report import (
+    format_bytes,
+    format_ms,
+    format_table,
+    history_table,
+    pivot,
+    to_csv,
+)
+
+
+def rows():
+    r1 = MetricRow("WAH", "bitmap", "w1", space_bytes=1024)
+    r1.intersect_ms = 1.5
+    r2 = MetricRow("WAH", "bitmap", "w2", space_bytes=2048)
+    r2.intersect_ms = 250.0
+    r3 = MetricRow("VB", "invlist", "w1", space_bytes=100)
+    r3.intersect_ms = 0.25
+    return [r1, r2, r3]
+
+
+def test_pivot_orders_codecs_like_paper_legend():
+    codecs, workloads, cells = pivot(rows(), "intersect_ms")
+    assert codecs == ["WAH", "VB"]
+    assert workloads == ["w1", "w2"]
+    assert cells[("WAH", "w2")] == 250.0
+
+
+def test_format_table_contains_all_cells():
+    text = format_table(rows(), "intersect_ms", title="T")
+    assert "T" in text
+    assert "WAH" in text and "VB" in text
+    assert "250" in text and "0.250" in text
+    assert "-" in text  # missing (VB, w2) cell
+
+
+def test_format_table_space():
+    text = format_table(rows(), "space_bytes")
+    assert "1.0KB" in text
+    assert "100B" in text
+
+
+def test_format_ms_ranges():
+    assert format_ms(float("nan")) == "-"
+    assert format_ms(0.1234) == "0.123"
+    assert format_ms(12.34) == "12.3"
+    assert format_ms(1234.5) == "1234"
+
+
+def test_format_bytes_units():
+    assert format_bytes(10) == "10B"
+    assert format_bytes(10 * 1024) == "10.0KB"
+    assert format_bytes(3 * 1024**3) == "3.0GB"
+
+
+def test_to_csv_includes_extras():
+    row = MetricRow("X", "bitmap", "w", extra={"custom": 7})
+    text = to_csv([row])
+    header, line = text.strip().split("\n")
+    assert "custom" in header
+    assert line.endswith("7")
+
+
+def test_history_table_mentions_roaring():
+    text = history_table()
+    assert "Roaring" in text
+    assert "1995" in text  # BBC
+
+
+def test_scatter_plot_renders_points():
+    from repro.bench.report import scatter_plot
+
+    text = scatter_plot(rows(), "w1")
+    assert "w1" in text
+    assert "a WAH" in text and "b VB" in text
+    grid_lines = [l for l in text.splitlines() if l.startswith("|")]
+    assert len(grid_lines) == 18
+    plotted = "".join(grid_lines)
+    assert "a" in plotted and "b" in plotted
+
+
+def test_scatter_plot_skips_nan_points():
+    from repro.bench.report import scatter_plot
+
+    r = MetricRow("X", "bitmap", "w")  # intersect_ms is NaN
+    text = scatter_plot([r], "w")
+    assert "no data" in text
+
+
+def test_scatter_plot_unknown_workload():
+    from repro.bench.report import scatter_plot
+
+    assert "no data" in scatter_plot(rows(), "missing")

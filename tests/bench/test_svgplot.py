@@ -1,0 +1,65 @@
+"""SVG figure rendering."""
+
+import xml.dom.minidom
+
+from repro.bench.harness import MetricRow
+from repro.bench.svgplot import scatter_svg, series_svg
+
+
+def rows():
+    out = []
+    for codec, family, w, space, t in [
+        ("WAH", "bitmap", "Q1", 1024, 1.5),
+        ("Roaring", "bitmap", "Q1", 2048, 0.2),
+        ("VB", "invlist", "Q1", 100, 0.9),
+        ("WAH", "bitmap", "Q2", 50_000, 80.0),
+        ("VB", "invlist", "Q2", 9_000, 12.0),
+    ]:
+        r = MetricRow(codec, family, w, space_bytes=space)
+        r.intersect_ms = t
+        out.append(r)
+    return out
+
+
+def test_scatter_is_wellformed_xml():
+    svg = scatter_svg(rows(), "Q1")
+    xml.dom.minidom.parseString(svg)
+
+
+def test_scatter_contains_points_and_legend():
+    svg = scatter_svg(rows(), "Q1")
+    assert "<circle" in svg  # bitmap markers
+    assert "<rect" in svg  # invlist markers + frame
+    assert "WAH" in svg and "Roaring" in svg and "VB" in svg
+    assert "space (log)" in svg
+
+
+def test_scatter_only_selected_workload():
+    svg = scatter_svg(rows(), "Q2")
+    assert "Roaring" not in svg  # Roaring has no Q2 row
+
+
+def test_scatter_empty_workload_yields_notice():
+    svg = scatter_svg(rows(), "missing")
+    assert "no data" in svg
+    xml.dom.minidom.parseString(svg)
+
+
+def test_scatter_escapes_titles():
+    r = MetricRow("WAH", "bitmap", "a<b&c", space_bytes=10)
+    r.intersect_ms = 1.0
+    svg = scatter_svg([r], "a<b&c")
+    assert "a&lt;b&amp;c" in svg
+    xml.dom.minidom.parseString(svg)
+
+
+def test_series_is_wellformed_and_has_lines():
+    svg = series_svg(rows(), "intersect_ms", title="demo")
+    xml.dom.minidom.parseString(svg)
+    assert "<polyline" in svg
+    assert "demo" in svg
+
+
+def test_series_handles_empty_rows():
+    svg = series_svg([], "intersect_ms")
+    xml.dom.minidom.parseString(svg)

@@ -1,0 +1,126 @@
+"""BBC wire-format tests, pinned byte-for-byte to the paper's Figure 2."""
+
+import numpy as np
+import pytest
+
+from repro import get_codec
+from repro.bitmaps.bbc import decode_vb_int, encode_vb_int
+from repro.core.errors import CorruptPayloadError
+
+
+def compress_bytes(byte_values: list[int]) -> np.ndarray:
+    """Compress a bitmap given as a list of 8-bit group values."""
+    positions = []
+    for i, value in enumerate(byte_values):
+        for bit in range(8):
+            if value >> bit & 1:
+                positions.append(i * 8 + bit)
+    codec = get_codec("BBC")
+    cs = codec.compress(np.array(positions, dtype=np.int64), universe=8 * len(byte_values))
+    return cs
+
+
+def test_figure2a_pattern1():
+    """Two 0-fill bytes + two literal bytes → header 10100010 + literals."""
+    cs = compress_bytes([0x00, 0x00, 0x32, 0x51])
+    data = cs.payload
+    assert data.tolist() == [0xA2, 0x32, 0x51]
+
+
+def test_figure2b_pattern2():
+    """Two 0-fill bytes + odd byte 00000010 → single byte 01010001."""
+    cs = compress_bytes([0x00, 0x00, 0x02])
+    assert cs.payload.tolist() == [0x51]
+
+
+def test_figure2c_pattern3():
+    """Four 0-fill bytes + one literal → 00100001 00000100 + literal."""
+    cs = compress_bytes([0x00, 0x00, 0x00, 0x00, 0x51])
+    assert cs.payload.tolist() == [0x21, 0x04, 0x51]
+
+
+def test_figure2d_pattern4():
+    """Four 0-fill bytes + odd byte 10000000 → 00010111 00000100."""
+    cs = compress_bytes([0x00, 0x00, 0x00, 0x00, 0x80])
+    assert cs.payload.tolist() == [0x17, 0x04]
+
+
+def test_figure2_roundtrips():
+    codec = get_codec("BBC")
+    for byte_values in (
+        [0x00, 0x00, 0x32, 0x51],
+        [0x00, 0x00, 0x02],
+        [0x00, 0x00, 0x00, 0x00, 0x51],
+        [0x00, 0x00, 0x00, 0x00, 0x80],
+    ):
+        cs = compress_bytes(byte_values)
+        expected = [
+            i * 8 + b
+            for i, v in enumerate(byte_values)
+            for b in range(8)
+            if v >> b & 1
+        ]
+        assert codec.decompress(cs).tolist() == expected
+
+
+def test_vb_counter_roundtrip():
+    for value in (0, 1, 4, 127, 128, 300, 16385, 2**28):
+        encoded = np.array(encode_vb_int(value), dtype=np.uint8)
+        decoded, end = decode_vb_int(encoded, 0)
+        assert decoded == value
+        assert end == encoded.size
+
+
+def test_vb_16385_matches_paper():
+    assert encode_vb_int(16385) == [0x81, 0x80, 0x01]
+
+
+def test_one_fill_patterns():
+    """1-fill runs use the polarity bit."""
+    codec = get_codec("BBC")
+    values = np.arange(0, 16, dtype=np.int64)  # two 1-fill bytes
+    cs = codec.compress(values, universe=24)
+    header = int(cs.payload[0])
+    assert header & 0x80  # pattern 1
+    assert (header >> 6) & 1 == 1  # 1-fill
+    assert np.array_equal(codec.decompress(cs), values)
+
+
+def test_long_literal_run_chunks_at_15():
+    codec = get_codec("BBC")
+    # 20 consecutive literal bytes (alternating bit pattern).
+    values = np.arange(0, 20 * 8, 2, dtype=np.int64)
+    cs = codec.compress(values, universe=20 * 8)
+    # 15-literal header + 5-literal header + 20 literal bytes.
+    assert cs.payload.size == 22
+    assert np.array_equal(codec.decompress(cs), values)
+
+
+def test_invalid_header_raises():
+    codec = get_codec("BBC")
+    cs = codec.compress([0], universe=8)
+    from dataclasses import replace
+
+    broken = replace(cs, payload=np.array([0x05], dtype=np.uint8))
+    with pytest.raises(CorruptPayloadError):
+        codec.decompress(broken)
+
+
+def test_space_is_smallest_of_rle_family(rng):
+    """Paper finding (6): BBC's four cases give near-minimal space."""
+    values = np.sort(rng.choice(200_000, 5_000, replace=False))
+    sizes = {}
+    for name in ("BBC", "WAH", "EWAH", "CONCISE", "PLWAH"):
+        codec = get_codec(name)
+        sizes[name] = codec.compress(values, universe=200_000).size_bytes
+    assert sizes["BBC"] == min(sizes.values())
+
+
+def test_ops_on_compressed_form(rng):
+    codec = get_codec("BBC")
+    a = np.sort(rng.choice(60_000, 2_000, replace=False))
+    b = np.sort(rng.choice(60_000, 5_000, replace=False))
+    ca = codec.compress(a, universe=60_000)
+    cb = codec.compress(b, universe=60_000)
+    assert np.array_equal(codec.intersect(ca, cb), np.intersect1d(a, b))
+    assert np.array_equal(codec.union(ca, cb), np.union1d(a, b))

@@ -1,0 +1,47 @@
+"""Bitset: the uncompressed baseline."""
+
+import numpy as np
+
+from repro import get_codec
+
+
+def test_space_depends_only_on_universe():
+    codec = get_codec("Bitset")
+    small = codec.compress([1, 2, 3], universe=1_000_000)
+    large = codec.compress(list(range(1000)), universe=1_000_000)
+    assert small.size_bytes == large.size_bytes
+    assert small.size_bytes == ((1_000_000 + 63) // 64) * 8
+
+
+def test_space_grows_with_universe():
+    codec = get_codec("Bitset")
+    assert (
+        codec.compress([1], universe=128).size_bytes
+        < codec.compress([1], universe=1_000_000).size_bytes
+    )
+
+
+def test_word_layout():
+    codec = get_codec("Bitset")
+    cs = codec.compress([0, 63, 64], universe=128)
+    words = cs.payload
+    assert int(words[0]) == 1 | (1 << 63)
+    assert int(words[1]) == 1
+
+
+def test_mismatched_universe_ops(rng):
+    """AND truncates, OR pads — differing bitmap lengths still work."""
+    codec = get_codec("Bitset")
+    a = np.sort(rng.choice(1_000, 100, replace=False))
+    b = np.sort(rng.choice(10_000, 800, replace=False))
+    ca = codec.compress(a, universe=1_000)
+    cb = codec.compress(b, universe=10_000)
+    assert np.array_equal(codec.intersect(ca, cb), np.intersect1d(a, b))
+    assert np.array_equal(codec.union(ca, cb), np.union1d(a, b))
+    assert np.array_equal(codec.union(cb, ca), np.union1d(a, b))
+
+
+def test_decompress_positions(rng):
+    codec = get_codec("Bitset")
+    values = np.sort(rng.choice(70_000, 9_999, replace=False))
+    assert np.array_equal(codec.roundtrip(values), values)

@@ -1,0 +1,93 @@
+"""CONCISE wire-format tests, pinned to the paper's Section 2.3 example."""
+
+import numpy as np
+
+from repro import get_codec
+
+_FLAG_LITERAL = 1 << 31
+
+
+def paper_example_positions() -> np.ndarray:
+    """0^23 1 0^111 1^25 over 160 bits."""
+    return np.array([23] + list(range(135, 160)), dtype=np.int64)
+
+
+def test_paper_example_merges_mixed_group_into_fill():
+    codec = get_codec("CONCISE")
+    cs = codec.compress(paper_example_positions(), universe=160)
+    words = cs.payload
+    # One fill word absorbing G1 (odd bit at 23) + G2..G4, then literal
+    # G5 and literal G6.
+    assert words.size == 3
+    fill = int(words[0])
+    assert fill >> 31 == 0  # fill flag
+    assert (fill >> 30) & 1 == 0  # 0-fill
+    assert (fill >> 25) & 0x1F == 24  # odd-bit position 23, stored +1
+    assert fill & ((1 << 25) - 1) == 3  # 4 groups covered, count-1 = 3
+
+
+def test_paper_example_roundtrip():
+    codec = get_codec("CONCISE")
+    values = paper_example_positions()
+    assert np.array_equal(codec.roundtrip(values), values)
+
+
+def test_literal_words_have_msb_set():
+    codec = get_codec("CONCISE")
+    cs = codec.compress([5, 7, 11], universe=31)
+    assert cs.payload.size == 1
+    assert int(cs.payload[0]) & _FLAG_LITERAL
+
+
+def test_pure_fill_run_count_minus_one():
+    codec = get_codec("CONCISE")
+    # 3 empty groups then a multi-bit literal (no odd-bit merge possible).
+    cs = codec.compress([93 + 1, 93 + 5], universe=124)
+    words = cs.payload
+    assert words.size == 2
+    fill = int(words[0])
+    assert fill >> 31 == 0
+    assert (fill >> 25) & 0x1F == 0  # no odd bit
+    assert fill & ((1 << 25) - 1) == 2  # 3 groups, count-1 = 2
+
+
+def test_one_fill_merge_with_one_missing_bit():
+    codec = get_codec("CONCISE")
+    # G1 = all ones except bit 10, then G2..G3 = 1-fills: mixed 1-fill.
+    values = [b for b in range(93) if b != 10]
+    cs = codec.compress(np.array(values), universe=93)
+    words = cs.payload
+    assert words.size == 1
+    fill = int(words[0])
+    assert (fill >> 30) & 1 == 1  # 1-fill
+    assert (fill >> 25) & 0x1F == 11
+    assert fill & ((1 << 25) - 1) == 2
+
+
+def test_mixed_group_alone_roundtrip():
+    """An odd-bit merge where the fill run is exactly one group."""
+    codec = get_codec("CONCISE")
+    values = np.array([23], dtype=np.int64)
+    cs = codec.compress(values, universe=62)  # G1 mixed, G2 0-fill
+    assert np.array_equal(codec.decompress(cs), values)
+
+
+def test_multi_literal_run_only_last_group_merges():
+    codec = get_codec("CONCISE")
+    # G1 literal (two bits), G2 single-bit literal, G3..G4 0-fill.
+    values = np.array([1, 2, 40], dtype=np.int64)
+    cs = codec.compress(values, universe=124)
+    assert np.array_equal(codec.decompress(cs), values)
+    # G1 stays a literal word; G2 merges into the fill.
+    assert cs.payload.size == 2
+    assert int(cs.payload[0]) & _FLAG_LITERAL
+
+
+def test_ops_on_compressed_form(rng):
+    codec = get_codec("CONCISE")
+    a = np.sort(rng.choice(80_000, 2_500, replace=False))
+    b = np.sort(rng.choice(80_000, 7_500, replace=False))
+    ca = codec.compress(a, universe=80_000)
+    cb = codec.compress(b, universe=80_000)
+    assert np.array_equal(codec.intersect(ca, cb), np.intersect1d(a, b))
+    assert np.array_equal(codec.union(ca, cb), np.union1d(a, b))

@@ -1,0 +1,126 @@
+"""Counter-limit behaviour: runs longer than one fill word can count.
+
+The interesting cases (2^25–2^30 groups) correspond to multi-gigabit
+bitmaps, far too large to materialise — but the codecs' encode/decode
+hooks operate on RunStreams, so the splits can be exercised directly.
+"""
+
+import numpy as np
+import pytest
+
+from repro import get_codec
+from repro.bitmaps.rle_base import split_runs
+from repro.bitmaps.rle_ops import FILL0, FILL1, LITERAL, RunStream
+
+
+def make_stream(gb: int, runs: list[tuple[int, int]], literals=()) -> RunStream:
+    kinds = np.array([k for k, _ in runs], dtype=np.int8)
+    counts = np.array([c for _, c in runs], dtype=np.int64)
+    return RunStream(gb, kinds, counts, np.array(literals, dtype=np.uint64))
+
+
+def roundtrip_runs(codec_name: str, rs: RunStream) -> RunStream:
+    codec = get_codec(codec_name)
+    return codec._decode(codec._encode(rs))
+
+
+def assert_streams_equal(a: RunStream, b: RunStream) -> None:
+    assert a.group_bits == b.group_bits
+    assert a.kinds.tolist() == b.kinds.tolist()
+    assert a.counts.tolist() == b.counts.tolist()
+    assert a.literals.tolist() == b.literals.tolist()
+
+
+def test_split_runs_helper():
+    assert split_runs(10, 4) == [4, 4, 2]
+    assert split_runs(8, 4) == [4, 4]
+    assert split_runs(3, 4) == [3]
+
+
+def test_wah_fill_beyond_30_bit_counter():
+    huge = (1 << 30) + 5  # needs two fill words
+    rs = make_stream(31, [(FILL0, huge), (LITERAL, 1)], [0b1010])
+    out = roundtrip_runs("WAH", rs)
+    assert_streams_equal(rs, out)
+
+
+def test_wah_one_fill_split():
+    huge = 2 * ((1 << 30) - 1) + 7
+    rs = make_stream(31, [(FILL1, huge)])
+    out = roundtrip_runs("WAH", rs)
+    assert_streams_equal(rs, out)
+
+
+def test_concise_fill_beyond_25_bit_counter():
+    huge = (1 << 25) + 3
+    rs = make_stream(31, [(FILL0, huge), (LITERAL, 1)], [0b11])
+    out = roundtrip_runs("CONCISE", rs)
+    assert_streams_equal(rs, out)
+
+
+def test_concise_merged_mixed_run_split():
+    """Odd-bit merge whose total run exceeds the 25-bit count field: the
+    mixed group must stay with the first chunk."""
+    huge = (1 << 25) + 100
+    rs = make_stream(
+        31, [(LITERAL, 1), (FILL0, huge)], [1 << 7]  # single-bit literal
+    )
+    out = roundtrip_runs("CONCISE", rs)
+    assert_streams_equal(rs, out)
+
+
+def test_plwah_fill_beyond_25_bit_counter():
+    huge = (1 << 25) + 9
+    rs = make_stream(31, [(FILL1, huge), (LITERAL, 1)], [0b101])
+    out = roundtrip_runs("PLWAH", rs)
+    assert_streams_equal(rs, out)
+
+
+def test_plwah_absorbed_literal_after_split_fill():
+    """The odd-bit marker must ride the LAST chunk of a split fill."""
+    huge = (1 << 25) + 40
+    rs = make_stream(31, [(FILL0, huge), (LITERAL, 1)], [1 << 12])
+    out = roundtrip_runs("PLWAH", rs)
+    assert_streams_equal(rs, out)
+
+
+def test_ewah_fill_beyond_16_bit_counter():
+    huge = (1 << 16) + 11
+    rs = make_stream(32, [(FILL1, huge), (LITERAL, 2)], [5, 9])
+    out = roundtrip_runs("EWAH", rs)
+    assert_streams_equal(rs, out)
+
+
+def test_ewah_literal_run_beyond_15_bit_counter():
+    n_lit = (1 << 15) + 20
+    literals = (np.arange(n_lit, dtype=np.uint64) % 1000) + 1
+    # Avoid values that classify as fills (0 or all-ones): +1 keeps > 0.
+    rs = make_stream(32, [(LITERAL, n_lit)], literals)
+    out = roundtrip_runs("EWAH", rs)
+    assert_streams_equal(rs, out)
+
+
+def test_sbh_fill_chunking_4093():
+    huge = 3 * 4093 + 17
+    rs = make_stream(7, [(FILL0, huge), (LITERAL, 1)], [0b1])
+    out = roundtrip_runs("SBH", rs)
+    assert_streams_equal(rs, out)
+
+
+def test_bbc_vb_counter_multibyte():
+    huge = (1 << 21) + 3  # VB counter needs 4 bytes
+    rs = make_stream(8, [(FILL1, huge), (LITERAL, 1)], [0b1010])
+    out = roundtrip_runs("BBC", rs)
+    assert_streams_equal(rs, out)
+
+
+@pytest.mark.parametrize("rle_name", ["WAH", "EWAH", "CONCISE", "PLWAH", "SBH", "BBC"])
+def test_alternating_polarity_fills(rle_name):
+    codec_name = rle_name
+    gb = get_codec(codec_name).group_bits
+    rs = make_stream(
+        gb,
+        [(FILL0, 10), (FILL1, 20), (FILL0, 5), (FILL1, 1)],
+    )
+    out = roundtrip_runs(codec_name, rs)
+    assert_streams_equal(rs, out)

@@ -1,0 +1,91 @@
+"""EWAH wire-format tests, pinned to the paper's Section 2.2 example."""
+
+import numpy as np
+import pytest
+
+from repro import get_codec
+from repro.core.errors import CorruptPayloadError
+
+
+def paper_example_positions() -> np.ndarray:
+    """1 0^20 1^3 0^111 1^25 over 160 bits (32-bit groups G1..G5)."""
+    return np.array([0, 21, 22, 23] + list(range(135, 160)), dtype=np.int64)
+
+
+def _marker_fields(word: int) -> tuple[int, int, int]:
+    return word >> 31, (word >> 15) & 0xFFFF, word & 0x7FFF
+
+
+def test_paper_example_structure():
+    codec = get_codec("EWAH")
+    cs = codec.compress(paper_example_positions(), universe=160)
+    words = cs.payload
+    # marker(p=0, q=1), G1 literal, marker(p=3, q=1), G5 literal.
+    # (The paper's prose says p = 4 for the second marker, but its own
+    # group decomposition G2..G4 = three 0-fills shows p = 3.)
+    assert words.size == 4
+    assert _marker_fields(int(words[0])) == (0, 0, 1)
+    assert _marker_fields(int(words[2])) == (0, 3, 1)
+
+
+def test_paper_example_literal_words():
+    codec = get_codec("EWAH")
+    cs = codec.compress(paper_example_positions(), universe=160)
+    words = cs.payload
+    expected_g1 = 1 | (1 << 21) | (1 << 22) | (1 << 23)
+    assert int(words[1]) == expected_g1
+    # G5 covers positions 128..159: 0^7 then 1^25.
+    expected_g5 = sum(1 << b for b in range(7, 32))
+    assert int(words[3]) == expected_g5
+
+
+def test_roundtrip_paper_example():
+    codec = get_codec("EWAH")
+    values = paper_example_positions()
+    assert np.array_equal(codec.roundtrip(values), values)
+
+
+def test_empty_bitmap_is_single_marker():
+    codec = get_codec("EWAH")
+    cs = codec.compress([], universe=64)  # two all-zero groups
+    assert cs.payload.size == 1
+    assert _marker_fields(int(cs.payload[0])) == (0, 2, 0)
+    assert codec.decompress(cs).size == 0
+
+
+def test_literal_group_keeps_all_32_bits():
+    codec = get_codec("EWAH")
+    values = np.array([31], dtype=np.int64)  # bit 31 of group 0
+    cs = codec.compress(values, universe=32)
+    assert int(cs.payload[1]) == 1 << 31
+    assert np.array_equal(codec.decompress(cs), values)
+
+
+def test_adjacent_opposite_fills_use_two_markers():
+    codec = get_codec("EWAH")
+    # 64 zeros then 64 ones: fill0 run then fill1 run, no literals.
+    values = np.arange(64, 128, dtype=np.int64)
+    cs = codec.compress(values, universe=128)
+    words = cs.payload
+    assert words.size == 2
+    assert _marker_fields(int(words[0])) == (0, 2, 0)
+    assert _marker_fields(int(words[1])) == (1, 2, 0)
+
+
+def test_truncated_stream_raises():
+    codec = get_codec("EWAH")
+    cs = codec.compress([0, 40], universe=64)
+    broken = cs.payload[:-1]  # drop the announced literal word
+    from dataclasses import replace
+
+    with pytest.raises(CorruptPayloadError):
+        codec.decompress(replace(cs, payload=broken))
+
+
+def test_union_on_compressed_form(rng):
+    codec = get_codec("EWAH")
+    a = np.sort(rng.choice(50_000, 2_000, replace=False))
+    b = np.sort(rng.choice(50_000, 6_000, replace=False))
+    ca = codec.compress(a, universe=50_000)
+    cb = codec.compress(b, universe=50_000)
+    assert np.array_equal(codec.union(ca, cb), np.union1d(a, b))

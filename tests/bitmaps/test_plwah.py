@@ -1,0 +1,98 @@
+"""PLWAH wire-format tests, pinned to the paper's Section 2.4 example."""
+
+import numpy as np
+
+from repro import get_codec
+
+_FLAG_FILL = 1 << 31
+
+
+def paper_example_positions() -> np.ndarray:
+    """1 0^20 1^3 0^111 1^25 over 160 bits (same input as WAH's example)."""
+    return np.array([0, 21, 22, 23] + list(range(135, 160)), dtype=np.int64)
+
+
+def test_paper_example_structure():
+    codec = get_codec("PLWAH")
+    cs = codec.compress(paper_example_positions(), universe=160)
+    words = cs.payload
+    # G1 literal; G2..G4 pure fill (G5 has 20 bits — not mergeable);
+    # G5 literal; G6 literal.
+    assert words.size == 4
+    assert int(words[0]) >> 31 == 0  # literal (WAH-style flag)
+    fill = int(words[1])
+    assert fill >> 31 == 1
+    assert (fill >> 30) & 1 == 0
+    assert (fill >> 25) & 0x1F == 0  # pure fill, no trailing odd bit
+    assert fill & ((1 << 25) - 1) == 3  # count stored directly
+
+
+def test_paper_example_roundtrip():
+    codec = get_codec("PLWAH")
+    values = paper_example_positions()
+    assert np.array_equal(codec.roundtrip(values), values)
+
+
+def test_fill_absorbs_following_single_bit_literal():
+    codec = get_codec("PLWAH")
+    # Three empty groups, then a group with only bit 5 set.
+    values = np.array([93 + 5], dtype=np.int64)
+    cs = codec.compress(values, universe=124)
+    words = cs.payload
+    assert words.size == 1
+    fill = int(words[0])
+    assert fill >> 31 == 1
+    assert (fill >> 25) & 0x1F == 6  # odd bit at 5, stored +1
+    assert fill & ((1 << 25) - 1) == 3
+
+
+def test_one_fill_absorbs_missing_bit_literal():
+    codec = get_codec("PLWAH")
+    # G1..G2 all ones, G3 all ones except bit 7.
+    values = [b for b in range(93) if b != 62 + 7]
+    cs = codec.compress(np.array(values), universe=93)
+    words = cs.payload
+    assert words.size == 1
+    fill = int(words[0])
+    assert (fill >> 30) & 1 == 1
+    assert (fill >> 25) & 0x1F == 8
+    assert fill & ((1 << 25) - 1) == 2
+
+
+def test_absorbed_literal_followed_by_more_literals():
+    codec = get_codec("PLWAH")
+    # fill0 ×3, then single-bit group (merges), then a two-bit group.
+    values = np.array([93 + 4, 124 + 3, 124 + 9], dtype=np.int64)
+    cs = codec.compress(values, universe=155)  # exactly 5 groups
+    assert np.array_equal(codec.decompress(cs), values)
+    assert cs.payload.size == 2  # merged fill word + one literal word
+
+
+def test_leading_literal_without_preceding_fill_stays_literal():
+    codec = get_codec("PLWAH")
+    values = np.array([4], dtype=np.int64)
+    cs = codec.compress(values, universe=31)
+    assert cs.payload.size == 1
+    assert int(cs.payload[0]) >> 31 == 0
+
+
+def test_ops_on_compressed_form(rng):
+    codec = get_codec("PLWAH")
+    a = np.sort(rng.choice(80_000, 2_500, replace=False))
+    b = np.sort(rng.choice(80_000, 7_500, replace=False))
+    ca = codec.compress(a, universe=80_000)
+    cb = codec.compress(b, universe=80_000)
+    assert np.array_equal(codec.intersect(ca, cb), np.intersect1d(a, b))
+    assert np.array_equal(codec.union(ca, cb), np.union1d(a, b))
+
+
+def test_plwah_beats_wah_on_scattered_single_bits(rng):
+    """The odd-bit absorption should save space on sparse scattered data."""
+    wah = get_codec("WAH")
+    plwah = get_codec("PLWAH")
+    values = np.arange(0, 31 * 2000, 31 * 4, dtype=np.int64)  # 1 bit per 4 groups
+    universe = 31 * 2000
+    assert (
+        plwah.compress(values, universe=universe).size_bytes
+        < wah.compress(values, universe=universe).size_bytes
+    )

@@ -1,0 +1,164 @@
+"""Unit tests for the shared run-length engine."""
+
+import numpy as np
+import pytest
+
+from repro.bitmaps.rle_ops import (
+    FILL0,
+    FILL1,
+    LITERAL,
+    RunStream,
+    build_runstream,
+    gather_ranges,
+    groups_from_positions,
+    merge_runs,
+    resegment,
+    runstream_and,
+    runstream_from_groups,
+    runstream_or,
+    runstream_positions,
+)
+from repro.core.errors import CorruptPayloadError
+
+
+def stream_of(positions, universe, gb) -> RunStream:
+    groups = groups_from_positions(np.asarray(positions, dtype=np.int64), universe, gb)
+    return runstream_from_groups(groups, gb)
+
+
+def test_groups_from_positions_is_o_n():
+    groups = groups_from_positions(np.array([0, 7, 8]), 16, 8)
+    assert groups.tolist() == [0b10000001, 0b1]
+
+
+def test_runstream_from_groups_merges_literals():
+    groups = np.array([3, 5, 0, 0, (1 << 8) - 1], dtype=np.uint64)
+    rs = runstream_from_groups(groups, 8)
+    assert rs.kinds.tolist() == [LITERAL, FILL0, FILL1]
+    assert rs.counts.tolist() == [2, 2, 1]
+    assert rs.literals.tolist() == [3, 5]
+
+
+def test_positions_roundtrip(rng):
+    for density in (0.001, 0.05, 0.5, 0.95):
+        universe = 50_000
+        values = np.flatnonzero(rng.random(universe) < density)
+        rs = stream_of(values, universe, 31)
+        assert np.array_equal(runstream_positions(rs), values)
+
+
+def test_and_matches_reference(rng):
+    universe = 40_000
+    a = np.flatnonzero(rng.random(universe) < 0.1)
+    b = np.flatnonzero(rng.random(universe) < 0.4)
+    got = runstream_and(stream_of(a, universe, 31), stream_of(b, universe, 31))
+    assert np.array_equal(got, np.intersect1d(a, b))
+
+
+def test_or_matches_reference(rng):
+    universe = 40_000
+    a = np.flatnonzero(rng.random(universe) < 0.1)
+    b = np.flatnonzero(rng.random(universe) < 0.4)
+    got = runstream_or(stream_of(a, universe, 31), stream_of(b, universe, 31))
+    assert np.array_equal(got, np.union1d(a, b))
+
+
+def test_and_with_different_lengths(rng):
+    a = np.array([5, 100, 900])
+    b = np.array([5, 900, 5_000, 90_000])
+    got = runstream_and(stream_of(a, 1_000, 8), stream_of(b, 100_000, 8))
+    assert got.tolist() == [5, 900]
+
+
+def test_or_with_different_lengths():
+    a = np.array([5])
+    b = np.array([90_000])
+    got = runstream_or(stream_of(a, 1_000, 8), stream_of(b, 100_000, 8))
+    assert got.tolist() == [5, 90_000]
+
+
+def test_or_tail_passthrough_fill1():
+    a = np.array([0])
+    b = np.arange(64, 128)
+    got = runstream_or(stream_of(a, 8, 8), stream_of(b, 128, 8))
+    assert got.tolist() == [0] + list(range(64, 128))
+
+
+def test_and_empty_stream():
+    empty = stream_of([], 100, 8)
+    other = stream_of([1, 2, 3], 100, 8)
+    assert runstream_and(empty, other).size == 0
+    assert runstream_or(empty, other).tolist() == [1, 2, 3]
+
+
+def test_incompatible_group_sizes_raise():
+    a = stream_of([1], 100, 8)
+    b = stream_of([1], 100, 31)
+    with pytest.raises(ValueError):
+        runstream_and(a, b)
+
+
+def test_build_runstream_merges_fill_units():
+    kinds = np.array([FILL0, FILL0, LITERAL, LITERAL], dtype=np.int8)
+    counts = np.array([3, 2, 1, 1], dtype=np.int64)
+    lits = np.array([0, 0, 7, 9], dtype=np.uint64)
+    rs = build_runstream(8, kinds, counts, lits)
+    assert rs.kinds.tolist() == [FILL0, LITERAL]
+    assert rs.counts.tolist() == [5, 2]
+    assert rs.literals.tolist() == [7, 9]
+
+
+def test_merge_runs_keeps_flat_literals():
+    kinds = np.array([LITERAL, LITERAL, FILL1], dtype=np.int8)
+    counts = np.array([2, 3, 4], dtype=np.int64)
+    lits = np.arange(5, dtype=np.uint64)
+    rs = merge_runs(8, kinds, counts, lits)
+    assert rs.kinds.tolist() == [LITERAL, FILL1]
+    assert rs.counts.tolist() == [5, 4]
+    assert rs.literals.tolist() == list(range(5))
+
+
+def test_resegment_28_to_7(rng):
+    universe = 28 * 100
+    values = np.sort(rng.choice(universe, 300, replace=False))
+    coarse = stream_of(values, universe, 28)
+    fine = resegment(coarse, 7)
+    assert fine.group_bits == 7
+    assert np.array_equal(runstream_positions(fine), values)
+
+
+def test_resegment_identity():
+    rs = stream_of([1, 2], 100, 7)
+    assert resegment(rs, 7) is rs
+
+
+def test_resegment_requires_divisibility():
+    rs = stream_of([1], 100, 8)
+    with pytest.raises(ValueError):
+        resegment(rs, 3)
+
+
+def test_resegment_then_and(rng):
+    universe = 28 * 200
+    a = np.sort(rng.choice(universe, 100, replace=False))
+    b = np.sort(rng.choice(universe, 2_000, replace=False))
+    ra = resegment(stream_of(a, universe, 28), 7)
+    rb = stream_of(b, universe, 7)
+    assert np.array_equal(runstream_and(ra, rb), np.intersect1d(a, b))
+
+
+def test_validate_catches_literal_mismatch():
+    rs = RunStream(
+        8,
+        np.array([LITERAL], dtype=np.int8),
+        np.array([2], dtype=np.int64),
+        np.array([1], dtype=np.uint64),
+    )
+    with pytest.raises(CorruptPayloadError):
+        rs.validate()
+
+
+def test_gather_ranges():
+    starts = np.array([10, 100])
+    lens = np.array([3, 2])
+    assert gather_ranges(starts, lens).tolist() == [10, 11, 12, 100, 101]

@@ -1,0 +1,98 @@
+"""Roaring: container switching at 4096, chunk skipping, container ops."""
+
+import numpy as np
+import pytest
+
+from repro import get_codec
+from repro.bitmaps.roaring import ARRAY_LIMIT, RoaringCodec
+
+
+def containers(cs):
+    return cs.payload.containers
+
+
+def test_array_limit_is_4096():
+    assert ARRAY_LIMIT == 4096
+
+
+def test_container_switch_at_threshold(rng):
+    codec = get_codec("Roaring")
+    exactly = np.sort(rng.choice(65_536, ARRAY_LIMIT, replace=False))
+    over = np.sort(rng.choice(65_536, ARRAY_LIMIT + 1, replace=False))
+    cs_at = codec.compress(exactly, universe=65_536)
+    cs_over = codec.compress(over, universe=65_536)
+    assert containers(cs_at)[0][0] == "array"
+    assert containers(cs_over)[0][0] == "bitmap"
+
+
+def test_array_container_is_16bit_per_element(rng):
+    codec = get_codec("Roaring")
+    values = np.sort(rng.choice(65_536, 1_000, replace=False))
+    cs = codec.compress(values, universe=65_536)
+    # 2 bytes per element + container descriptor overhead.
+    assert cs.size_bytes == 2 * 1_000 + 4
+
+
+def test_bitmap_container_is_8kib(rng):
+    codec = get_codec("Roaring")
+    values = np.sort(rng.choice(65_536, 10_000, replace=False))
+    cs = codec.compress(values, universe=65_536)
+    assert cs.size_bytes == 8192 + 4
+
+
+def test_chunk_keys_are_high_16_bits():
+    codec = get_codec("Roaring")
+    cs = codec.compress([1, 65_536 + 2, 3 * 65_536 + 7])
+    assert cs.payload.keys.tolist() == [0, 1, 3]
+
+
+def test_values_split_by_chunk_roundtrip(rng):
+    codec = get_codec("Roaring")
+    values = np.sort(rng.choice(2**21, 50_000, replace=False))
+    assert np.array_equal(codec.roundtrip(values), values)
+
+
+def test_intersection_skips_disjoint_chunks():
+    codec = get_codec("Roaring")
+    a = codec.compress([10, 20, 30], universe=2**20)
+    b = codec.compress([65_536 + 10, 65_536 + 20], universe=2**20)
+    assert codec.intersect(a, b).size == 0
+
+
+@pytest.mark.parametrize("na,nb", [(100, 200), (100, 9_000), (9_000, 10_000)])
+def test_all_container_combinations(rng, na, nb):
+    """array×array, array×bitmap, bitmap×bitmap AND/OR."""
+    codec = get_codec("Roaring")
+    a = np.sort(rng.choice(65_536, na, replace=False))
+    b = np.sort(rng.choice(65_536, nb, replace=False))
+    ca = codec.compress(a, universe=65_536)
+    cb = codec.compress(b, universe=65_536)
+    assert np.array_equal(codec.intersect(ca, cb), np.intersect1d(a, b))
+    assert np.array_equal(codec.intersect(cb, ca), np.intersect1d(a, b))
+    assert np.array_equal(codec.union(ca, cb), np.union1d(a, b))
+    assert np.array_equal(codec.union(cb, ca), np.union1d(a, b))
+
+
+def test_intersect_with_array_probes_chunks(rng):
+    codec = get_codec("Roaring")
+    values = np.sort(rng.choice(2**20, 30_000, replace=False))
+    probes = np.sort(rng.choice(2**20, 500, replace=False))
+    cs = codec.compress(values, universe=2**20)
+    assert np.array_equal(
+        codec.intersect_with_array(cs, probes), np.intersect1d(values, probes)
+    )
+
+
+def test_custom_array_limit_changes_containers(rng):
+    low_threshold = RoaringCodec(array_limit=100)
+    values = np.sort(rng.choice(65_536, 500, replace=False))
+    cs = low_threshold.compress(values, universe=65_536)
+    assert cs.payload.containers[0][0] == "bitmap"
+    assert np.array_equal(low_threshold.decompress(cs), values)
+
+
+def test_empty_roundtrip():
+    codec = get_codec("Roaring")
+    cs = codec.compress([], universe=100)
+    assert cs.size_bytes == 0
+    assert codec.decompress(cs).size == 0

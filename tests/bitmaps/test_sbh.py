@@ -1,0 +1,87 @@
+"""SBH wire-format tests, pinned to the paper's Section 2.6 example."""
+
+import numpy as np
+
+from repro import get_codec
+
+
+def paper_example_positions() -> np.ndarray:
+    """1 0^20 1^3 0^511 1^25 over 560 bits."""
+    return np.array(
+        [0, 21, 22, 23] + list(range(535, 560)), dtype=np.int64
+    )
+
+
+def test_paper_example_byte_structure():
+    codec = get_codec("SBH")
+    cs = codec.compress(paper_example_positions(), universe=560)
+    data = cs.payload
+    # G1 literal, fill k=2, G4 literal, 2-byte fill k=72, G77 literal,
+    # fill1 k=3 — seven bytes total.
+    assert data.size == 7
+    assert int(data[1]) == 0x82  # 1-byte 0-fill, k = 2 (paper: 10000010)
+    assert int(data[3]) == 0x88  # low byte of k = 72 (paper: 10001000)
+    assert int(data[4]) == 0x81  # high byte of k = 72 (paper: 10000001)
+    assert int(data[6]) == 0xC3  # 1-byte 1-fill, k = 3 (paper: 11000011)
+
+
+def test_paper_example_literal_values():
+    codec = get_codec("SBH")
+    cs = codec.compress(paper_example_positions(), universe=560)
+    data = cs.payload
+    # G1 = bit 0 of the first 7-bit group.
+    assert int(data[0]) == 0b0000001
+    # G4 covers positions 21..27: bits 0..2 set.
+    assert int(data[2]) == 0b0000111
+    # G77 covers positions 532..538: bits 3..6 set.
+    assert int(data[5]) == 0b1111000
+
+
+def test_paper_example_roundtrip():
+    codec = get_codec("SBH")
+    values = paper_example_positions()
+    assert np.array_equal(codec.roundtrip(values), values)
+
+
+def test_short_fill_boundary_63():
+    codec = get_codec("SBH")
+    # Exactly 63 empty groups then one set bit: 1-byte fill.
+    cs = codec.compress([63 * 7], universe=63 * 7 + 7)
+    data = cs.payload
+    assert data.size == 2
+    assert int(data[0]) == 0x80 | 63
+
+
+def test_two_byte_fill_boundary_64():
+    codec = get_codec("SBH")
+    cs = codec.compress([64 * 7], universe=64 * 7 + 7)
+    data = cs.payload
+    assert data.size == 3
+    assert int(data[0]) == 0x80 | (64 & 0x3F)
+    assert int(data[1]) == 0x80 | (64 >> 6)
+
+
+def test_fill_longer_than_4093_chunks():
+    codec = get_codec("SBH")
+    k = 5000  # needs a 4093 chunk + a 907 chunk, both 2-byte
+    cs = codec.compress([k * 7], universe=k * 7 + 7)
+    assert cs.payload.size == 5  # 2 + 2 fill bytes + 1 literal
+    assert np.array_equal(codec.decompress(cs), [k * 7])
+
+
+def test_greedy_pairing_with_odd_remainder():
+    codec = get_codec("SBH")
+    k = 4093 + 40  # 2-byte chunk then 1-byte chunk, same polarity
+    cs = codec.compress([k * 7], universe=k * 7 + 7)
+    assert cs.payload.size == 4
+    assert np.array_equal(codec.decompress(cs), [k * 7])
+
+
+def test_ops_on_compressed_form(rng):
+    codec = get_codec("SBH")
+    a = np.sort(rng.choice(60_000, 2_000, replace=False))
+    b = np.sort(rng.choice(60_000, 5_000, replace=False))
+    ca = codec.compress(a, universe=60_000)
+    cb = codec.compress(b, universe=60_000)
+    assert np.array_equal(codec.intersect(ca, cb), np.intersect1d(a, b))
+    assert np.array_equal(codec.union(ca, cb), np.union1d(a, b))

@@ -1,0 +1,89 @@
+"""VALWAH: segment-length selection and cross-segment realignment."""
+
+import numpy as np
+import pytest
+
+from repro import get_codec
+from repro.bitmaps.valwah import VALWAHCodec, _decode_units
+
+
+def test_candidate_segments_follow_paper_formula():
+    """s = 2^i (b−1) with w=32, b=8 gives {7, 14, 28} (Section 2.5)."""
+    codec = get_codec("VALWAH")
+    assert codec.candidate_segments == (7, 14, 28)
+
+
+def test_roundtrip_each_segment_choice(rng):
+    codec = get_codec("VALWAH")
+    # Sparse data favours short segments, dense favours long; both must
+    # roundtrip regardless of which the size heuristic picks.
+    for n, d in ((20, 100_000), (5_000, 10_000), (400, 2_000)):
+        values = np.sort(rng.choice(d, size=n, replace=False))
+        cs = codec.compress(values, universe=d)
+        assert np.array_equal(codec.decompress(cs), values)
+
+
+def test_sparse_data_picks_short_segments(rng):
+    codec = get_codec("VALWAH")
+    values = np.sort(rng.choice(500_000, size=100, replace=False))
+    cs = codec.compress(values, universe=500_000)
+    assert cs.payload.segment_bits in (7, 14)
+
+
+def test_smaller_than_wah_on_short_runs(rng):
+    """The paper's point: WAH's 30-bit counters are overkill for short
+    runs; VALWAH's shorter segments win space."""
+    wah = get_codec("WAH")
+    valwah = get_codec("VALWAH")
+    values = np.sort(rng.choice(500_000, size=2_000, replace=False))
+    assert (
+        valwah.compress(values, universe=500_000).size_bytes
+        < wah.compress(values, universe=500_000).size_bytes
+    )
+
+
+def test_cross_segment_intersection(rng):
+    """Two bitmaps that chose different segment lengths must realign."""
+    codec = get_codec("VALWAH")
+    dense = np.sort(rng.choice(20_000, size=9_000, replace=False))
+    sparse = np.sort(rng.choice(20_000, size=60, replace=False))
+    cd = codec.compress(dense, universe=20_000)
+    csp = codec.compress(sparse, universe=20_000)
+    if cd.payload.segment_bits == csp.payload.segment_bits:
+        pytest.skip("heuristic picked equal segments for this data")
+    assert np.array_equal(
+        codec.intersect(cd, csp), np.intersect1d(dense, sparse)
+    )
+    assert np.array_equal(codec.union(cd, csp), np.union1d(dense, sparse))
+
+
+def test_explicit_segment_codec_matches_wah_semantics(rng):
+    """With a single 31-bit candidate VALWAH degenerates to WAH's group
+    structure (different wire format, same runs)."""
+    valwah31 = VALWAHCodec(candidate_segments=(31,))
+    wah = get_codec("WAH")
+    values = np.sort(rng.choice(50_000, size=3_000, replace=False))
+    a = valwah31.compress(values, universe=50_000)
+    assert a.payload.segment_bits == 31
+    assert np.array_equal(valwah31.decompress(a), wah.roundtrip(values))
+
+
+def test_invalid_candidate_segments_rejected():
+    with pytest.raises(ValueError):
+        VALWAHCodec(candidate_segments=(7, 10))
+
+
+def test_payload_word_alignment(rng):
+    codec = get_codec("VALWAH")
+    values = np.sort(rng.choice(5_000, size=100, replace=False))
+    cs = codec.compress(values, universe=5_000)
+    assert cs.size_bytes % 4 == 0
+
+
+def test_unit_stream_parses_back(rng):
+    codec = get_codec("VALWAH")
+    values = np.sort(rng.choice(9_000, size=700, replace=False))
+    cs = codec.compress(values, universe=9_000)
+    rs = _decode_units(cs.payload)
+    assert rs.group_bits == cs.payload.segment_bits
+    assert rs.n_groups >= (9_000 // rs.group_bits)

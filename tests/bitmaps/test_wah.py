@@ -1,0 +1,85 @@
+"""WAH wire-format tests, pinned to the paper's Section 2.1 example."""
+
+import numpy as np
+
+from repro import get_codec
+
+
+def paper_example_positions() -> np.ndarray:
+    """The §2.1 running example: 1 0^20 1^3 0^111 1^25 (160 bits)."""
+    positions = [0] + [21, 22, 23] + list(range(135, 160))
+    return np.array(positions, dtype=np.int64)
+
+
+def test_paper_example_word_structure():
+    codec = get_codec("WAH")
+    cs = codec.compress(paper_example_positions(), universe=160)
+    words = cs.payload
+    # G1 literal, one fill word covering G2..G4, G5 literal, G6 literal.
+    assert words.size == 4
+    assert words[0] >> 31 == 0  # literal
+    assert int(words[1]) == (1 << 31) | 3  # 0-fill, count 3
+    assert words[2] >> 31 == 0
+    assert words[3] >> 31 == 0
+
+
+def test_paper_example_group_values():
+    codec = get_codec("WAH")
+    cs = codec.compress(paper_example_positions(), universe=160)
+    words = cs.payload
+    # G1 = bit 0 plus bits 21..23 within the first 31-bit group.
+    expected_g1 = 1 | (1 << 21) | (1 << 22) | (1 << 23)
+    assert int(words[0]) == expected_g1
+    # G5 covers positions 124..154: 0^11 then 1^20.
+    expected_g5 = sum(1 << b for b in range(11, 31))
+    assert int(words[2]) == expected_g5
+    # G6 covers 155..159: 1^5 then padding zeros.
+    assert int(words[3]) == (1 << 5) - 1
+
+
+def test_paper_example_roundtrip():
+    codec = get_codec("WAH")
+    values = paper_example_positions()
+    assert np.array_equal(codec.roundtrip(values), values)
+
+
+def test_size_is_words_times_four():
+    codec = get_codec("WAH")
+    cs = codec.compress(paper_example_positions(), universe=160)
+    assert cs.size_bytes == cs.payload.size * 4
+
+
+def test_long_fill_splits_at_counter_limit():
+    codec = get_codec("WAH")
+    # A single set bit at the far end of a big universe: the 0-fill run is
+    # (position // 31) groups long and fits one fill word here.
+    cs = codec.compress([31 * 1000], universe=31 * 1001)
+    words = cs.payload
+    assert int(words[0]) == (1 << 31) | 1000
+    assert words.size == 2
+
+
+def test_all_ones_compresses_to_single_fill():
+    codec = get_codec("WAH")
+    n = 31 * 50
+    cs = codec.compress(np.arange(n), universe=n)
+    assert cs.payload.size == 1
+    assert int(cs.payload[0]) == (1 << 31) | (1 << 30) | 50
+
+
+def test_alternating_bits_stay_literal():
+    codec = get_codec("WAH")
+    values = np.arange(0, 31 * 4, 2, dtype=np.int64)
+    cs = codec.compress(values, universe=31 * 4)
+    assert cs.payload.size == 4  # four literal words, nothing compressible
+    assert np.array_equal(codec.decompress(cs), values)
+
+
+def test_intersection_on_compressed_form(rng):
+    codec = get_codec("WAH")
+    a = np.sort(rng.choice(100_000, 3_000, replace=False))
+    b = np.sort(rng.choice(100_000, 9_000, replace=False))
+    ca = codec.compress(a, universe=100_000)
+    cb = codec.compress(b, universe=100_000)
+    assert np.array_equal(codec.intersect(ca, cb), np.intersect1d(a, b))
+    assert np.array_equal(codec.union(ca, cb), np.union1d(a, b))

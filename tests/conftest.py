@@ -1,0 +1,49 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import all_codec_names, bitmap_codec_names, get_codec, invlist_codec_names
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20170514)
+
+
+def pytest_generate_tests(metafunc):
+    """Parametrise tests that request codec-name fixtures over the full
+    registry so a new codec is automatically enrolled in the generic
+    suites."""
+    if "codec_name" in metafunc.fixturenames:
+        metafunc.parametrize("codec_name", all_codec_names())
+    if "bitmap_name" in metafunc.fixturenames:
+        metafunc.parametrize("bitmap_name", bitmap_codec_names())
+    if "invlist_name" in metafunc.fixturenames:
+        metafunc.parametrize("invlist_name", invlist_codec_names())
+
+
+@pytest.fixture
+def codec(codec_name):
+    return get_codec(codec_name)
+
+
+@pytest.fixture
+def bitmap_codec(bitmap_name):
+    return get_codec(bitmap_name)
+
+
+@pytest.fixture
+def invlist_codec(invlist_name):
+    return get_codec(invlist_name)
+
+
+def sorted_unique(rng: np.random.Generator, n: int, domain: int) -> np.ndarray:
+    """Random sorted-unique posting list helper used across suites."""
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    return np.sort(rng.choice(domain, size=min(n, domain), replace=False)).astype(
+        np.int64
+    )

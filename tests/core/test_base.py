@@ -1,0 +1,129 @@
+"""Generic IntegerSetCodec contract, exercised over every codec."""
+
+import numpy as np
+import pytest
+
+from repro import get_codec
+
+from tests.conftest import sorted_unique
+
+
+def test_compress_returns_metadata(codec, rng):
+    values = sorted_unique(rng, 500, 10_000)
+    cs = codec.compress(values, universe=10_000)
+    assert cs.codec_name == codec.name
+    assert cs.n == 500
+    assert len(cs) == 500
+    assert cs.universe == 10_000
+    assert cs.size_bytes > 0
+    assert codec.size_in_bytes(cs) == cs.size_bytes
+
+
+def test_roundtrip_small(codec, rng):
+    values = sorted_unique(rng, 77, 1_000)
+    assert np.array_equal(codec.roundtrip(values), values)
+
+
+def test_roundtrip_empty(codec):
+    out = codec.roundtrip([])
+    assert out.size == 0
+    assert out.dtype == np.int64
+
+
+def test_roundtrip_singleton(codec):
+    assert codec.roundtrip([12345]).tolist() == [12345]
+
+
+def test_roundtrip_zero(codec):
+    assert codec.roundtrip([0]).tolist() == [0]
+
+
+def test_roundtrip_dense_prefix(codec):
+    values = np.arange(1000, dtype=np.int64)
+    assert np.array_equal(codec.roundtrip(values), values)
+
+
+def test_universe_defaults_to_max_plus_one(codec):
+    cs = codec.compress([3, 17])
+    assert cs.universe == 18
+
+
+def test_universe_too_small_rejected(codec):
+    with pytest.raises(ValueError):
+        codec.compress([3, 17], universe=10)
+
+
+def test_intersect_matches_reference(codec, rng):
+    a = sorted_unique(rng, 300, 5_000)
+    b = sorted_unique(rng, 900, 5_000)
+    ca = codec.compress(a, universe=5_000)
+    cb = codec.compress(b, universe=5_000)
+    assert np.array_equal(codec.intersect(ca, cb), np.intersect1d(a, b))
+
+
+def test_union_matches_reference(codec, rng):
+    a = sorted_unique(rng, 300, 5_000)
+    b = sorted_unique(rng, 900, 5_000)
+    ca = codec.compress(a, universe=5_000)
+    cb = codec.compress(b, universe=5_000)
+    assert np.array_equal(codec.union(ca, cb), np.union1d(a, b))
+
+
+def test_intersect_with_empty(codec, rng):
+    a = sorted_unique(rng, 0, 100)
+    b = sorted_unique(rng, 50, 100)
+    ca = codec.compress(a, universe=100)
+    cb = codec.compress(b, universe=100)
+    assert codec.intersect(ca, cb).size == 0
+    assert np.array_equal(codec.union(ca, cb), b)
+
+
+def test_intersect_disjoint(codec):
+    a = np.arange(0, 100, dtype=np.int64)
+    b = np.arange(1000, 1100, dtype=np.int64)
+    ca = codec.compress(a, universe=2000)
+    cb = codec.compress(b, universe=2000)
+    assert codec.intersect(ca, cb).size == 0
+
+
+def test_intersect_identical(codec, rng):
+    a = sorted_unique(rng, 400, 9_000)
+    ca = codec.compress(a, universe=9_000)
+    cb = codec.compress(a, universe=9_000)
+    assert np.array_equal(codec.intersect(ca, cb), a)
+
+
+def test_intersect_many_svs_order(codec, rng):
+    lists = [sorted_unique(rng, n, 20_000) for n in (50, 3_000, 8_000)]
+    sets = [codec.compress(v, universe=20_000) for v in lists]
+    expected = np.intersect1d(np.intersect1d(lists[0], lists[1]), lists[2])
+    assert np.array_equal(codec.intersect_many(sets), expected)
+
+
+def test_intersect_many_single(codec, rng):
+    a = sorted_unique(rng, 100, 1000)
+    assert np.array_equal(
+        codec.intersect_many([codec.compress(a, universe=1000)]), a
+    )
+
+
+def test_union_many(codec, rng):
+    lists = [sorted_unique(rng, n, 20_000) for n in (50, 3_000, 8_000)]
+    sets = [codec.compress(v, universe=20_000) for v in lists]
+    expected = np.union1d(np.union1d(lists[0], lists[1]), lists[2])
+    assert np.array_equal(codec.union_many(sets), expected)
+
+
+def test_intersect_with_array(codec, rng):
+    a = sorted_unique(rng, 5_000, 50_000)
+    probes = sorted_unique(rng, 200, 50_000)
+    cs = codec.compress(a, universe=50_000)
+    assert np.array_equal(
+        codec.intersect_with_array(cs, probes), np.intersect1d(a, probes)
+    )
+
+
+def test_decompress_dtype(codec, rng):
+    values = sorted_unique(rng, 64, 1_000)
+    out = codec.decompress(codec.compress(values, universe=1_000))
+    assert out.dtype == np.int64

@@ -1,0 +1,85 @@
+"""Bit-utility kernels underpinning the bitmap codecs."""
+
+import numpy as np
+
+from repro.core.bitutils import (
+    bits_to_positions,
+    ctz,
+    group_classify,
+    pack_groups,
+    popcount,
+    popcount_array,
+    positions_from_words,
+    positions_to_bits,
+    unpack_groups,
+)
+
+
+def test_popcount_scalar():
+    assert popcount(0) == 0
+    assert popcount(0b1011) == 3
+    assert popcount((1 << 31) - 1) == 31
+
+
+def test_ctz_scalar():
+    assert ctz(0b1000) == 3
+    assert ctz(1) == 0
+    assert ctz(0) == 32
+    assert ctz(0, width=7) == 7
+
+
+def test_popcount_array():
+    words = np.array([0, 1, 3, 255], dtype=np.uint64)
+    assert popcount_array(words).tolist() == [0, 1, 2, 8]
+
+
+def test_bits_positions_roundtrip():
+    bits = np.array([0, 1, 1, 0, 1], dtype=bool)
+    pos = bits_to_positions(bits)
+    assert pos.tolist() == [1, 2, 4]
+    assert np.array_equal(positions_to_bits(pos, 5), bits)
+
+
+def test_bits_to_positions_offset():
+    bits = np.array([1, 0, 1], dtype=bool)
+    assert bits_to_positions(bits, offset=10).tolist() == [10, 12]
+
+
+def test_pack_groups_basic():
+    # positions 0 and 33 over 31-bit groups: group0 bit0, group1 bit2.
+    bits = np.zeros(62, dtype=bool)
+    bits[0] = True
+    bits[33] = True
+    groups = pack_groups(bits, 31)
+    assert groups.tolist() == [1, 1 << 2]
+
+
+def test_pack_groups_pads_tail():
+    bits = np.ones(3, dtype=bool)
+    groups = pack_groups(bits, 8)
+    assert groups.tolist() == [0b111]
+
+
+def test_unpack_groups_inverts_pack():
+    rng = np.random.default_rng(0)
+    bits = rng.random(93) < 0.3
+    groups = pack_groups(bits, 31)
+    recovered = unpack_groups(groups, 31)[: bits.size]
+    assert np.array_equal(recovered, bits)
+
+
+def test_positions_from_words():
+    words = np.array([0b101, 0b10], dtype=np.uint64)
+    assert positions_from_words(words, 3, base=6).tolist() == [6, 8, 10]
+
+
+def test_group_classify():
+    full7 = (1 << 7) - 1
+    groups = np.array([0, full7, 5], dtype=np.uint64)
+    assert group_classify(groups, 7).tolist() == [0, 1, 2]
+
+
+def test_group_classify_full_is_width_dependent():
+    value = np.array([(1 << 7) - 1], dtype=np.uint64)
+    assert group_classify(value, 7).tolist() == [1]
+    assert group_classify(value, 8).tolist() == [2]

@@ -1,0 +1,87 @@
+"""Registry behaviour: lookup, ordering, history metadata."""
+
+import pytest
+
+from repro import all_codec_names, bitmap_codec_names, get_codec, invlist_codec_names
+from repro.core.errors import UnknownCodecError
+from repro.core.registry import history, iter_codecs, register_codec
+
+
+def test_paper_codec_roster_present():
+    bitmaps = bitmap_codec_names()
+    # The paper's 9 bitmap compression methods (§4.3).
+    for name in (
+        "Bitset", "BBC", "WAH", "EWAH", "CONCISE", "PLWAH", "VALWAH",
+        "SBH", "Roaring",
+    ):
+        assert name in bitmaps
+    lists = invlist_codec_names()
+    # The paper's inverted-list roster incl. the starred variants.
+    for name in (
+        "List", "VB", "GroupVB", "Simple9", "Simple16", "Simple8b",
+        "PforDelta", "PforDelta*", "NewPforDelta", "OptPforDelta", "PEF",
+        "SIMDPforDelta", "SIMDPforDelta*", "SIMDBP128", "SIMDBP128*",
+    ):
+        assert name in lists
+
+
+def test_total_codec_count():
+    assert len(all_codec_names()) == 24  # 9 bitmaps + 15 inverted lists
+
+
+def test_get_codec_returns_singletons():
+    assert get_codec("WAH") is get_codec("WAH")
+
+
+def test_unknown_codec_raises():
+    with pytest.raises(UnknownCodecError):
+        get_codec("nope")
+
+
+def test_all_names_are_bitmaps_then_lists():
+    names = all_codec_names()
+    assert names[: len(bitmap_codec_names())] == bitmap_codec_names()
+
+
+def test_iter_codecs_matches_names():
+    assert [c.name for c in iter_codecs()] == all_codec_names()
+
+
+def test_family_attribution():
+    assert get_codec("Roaring").family == "bitmap"
+    assert get_codec("PEF").family == "invlist"
+
+
+def test_history_covers_every_codec_and_is_sorted():
+    entries = history()
+    assert len(entries) == len(all_codec_names())
+    years = [e[0] for e in entries]
+    assert years == sorted(years)
+
+
+def test_history_years_match_figure1():
+    """Spot-check the Figure-1 timeline."""
+    by_name = {name: year for year, _, name in history()}
+    assert by_name["BBC"] == 1995
+    assert by_name["WAH"] == 2001
+    assert by_name["Roaring"] == 2016
+    assert by_name["VB"] == 1990
+    assert by_name["SIMDBP128"] == 2015
+
+
+def test_register_rejects_duplicates():
+    class Fake:
+        name = "WAH"
+        family = "bitmap"
+
+    with pytest.raises(ValueError):
+        register_codec(Fake)
+
+
+def test_register_rejects_bad_family():
+    class Fake:
+        name = "Totally-New"
+        family = "other"
+
+    with pytest.raises(ValueError):
+        register_codec(Fake)

@@ -1,0 +1,107 @@
+"""Binary serialisation round-trips for every codec's payload."""
+
+import numpy as np
+import pytest
+
+from repro import get_codec
+from repro.core.errors import CorruptPayloadError, UnknownCodecError
+from repro.core.serialize import dump, dumps, load, loads
+
+from tests.conftest import sorted_unique
+
+
+def test_roundtrip_every_codec(codec, rng):
+    values = sorted_unique(rng, 700, 200_000)
+    cs = codec.compress(values, universe=200_000)
+    restored = loads(dumps(cs))
+    assert restored.codec_name == cs.codec_name
+    assert restored.n == cs.n
+    assert restored.universe == cs.universe
+    assert restored.size_bytes == cs.size_bytes
+    assert np.array_equal(codec.decompress(restored), values)
+
+
+def test_restored_set_supports_operations(codec, rng):
+    a = sorted_unique(rng, 300, 50_000)
+    b = sorted_unique(rng, 900, 50_000)
+    ca = loads(dumps(codec.compress(a, universe=50_000)))
+    cb = loads(dumps(codec.compress(b, universe=50_000)))
+    assert np.array_equal(codec.intersect(ca, cb), np.intersect1d(a, b))
+
+
+def test_empty_set_roundtrip(codec):
+    cs = codec.compress([], universe=10)
+    restored = loads(dumps(cs))
+    assert restored.n == 0
+    assert codec.decompress(restored).size == 0
+
+
+def test_file_roundtrip(tmp_path, rng):
+    codec = get_codec("Roaring")
+    values = sorted_unique(rng, 5_000, 2**18)
+    cs = codec.compress(values, universe=2**18)
+    path = tmp_path / "index.rpro"
+    dump(cs, path)
+    assert np.array_equal(codec.decompress(load(path)), values)
+
+
+def test_bad_magic_rejected():
+    with pytest.raises(CorruptPayloadError):
+        loads(b"NOPE" + b"\x00" * 40)
+
+
+def test_truncated_blob_rejected(rng):
+    codec = get_codec("WAH")
+    blob = dumps(codec.compress(sorted_unique(rng, 100, 10_000)))
+    with pytest.raises(CorruptPayloadError):
+        loads(blob[: len(blob) // 2])
+
+
+def test_unknown_codec_name_rejected(rng):
+    codec = get_codec("VB")
+    blob = bytearray(dumps(codec.compress(sorted_unique(rng, 10, 100))))
+    # Overwrite the 2-byte codec name "VB" with an unknown one "XY".
+    idx = blob.index(b"VB")
+    blob[idx : idx + 2] = b"XY"
+    with pytest.raises(UnknownCodecError):
+        loads(bytes(blob))
+
+
+def test_unsupported_version_rejected(rng):
+    codec = get_codec("VB")
+    blob = bytearray(dumps(codec.compress(sorted_unique(rng, 10, 100))))
+    blob[4] = 99
+    with pytest.raises(CorruptPayloadError):
+        loads(bytes(blob))
+
+
+def test_adaptive_wrapper_roundtrips(rng):
+    from repro.hybrid import AdaptiveCodec
+
+    codec = AdaptiveCodec()
+    for density in (0.01, 0.4):
+        values = sorted_unique(rng, int(density * 2**16), 2**16)
+        cs = codec.compress(values, universe=2**16)
+        restored = loads(dumps(cs))
+        assert restored.codec_name == "Adaptive"
+        assert np.array_equal(codec.decompress(restored), values)
+
+
+def test_optimal_pef_roundtrips(rng):
+    from repro.invlists.pef_optimal import OptimalPEFCodec
+
+    codec = OptimalPEFCodec()
+    values = sorted_unique(rng, 3_000, 2**18)
+    cs = codec.compress(values, universe=2**18)
+    assert np.array_equal(codec.decompress(loads(dumps(cs))), values)
+
+
+def test_blob_is_compact(rng):
+    """The serialised form should be close to the wire size, not inflated
+    by the in-memory layout."""
+    codec = get_codec("SIMDPforDelta*")
+    values = sorted_unique(rng, 20_000, 2**20)
+    cs = codec.compress(values, universe=2**20)
+    blob = dumps(cs)
+    # payload + skip arrays + bounded metadata overhead
+    assert len(blob) < cs.size_bytes * 4

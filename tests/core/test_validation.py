@@ -1,0 +1,77 @@
+"""Input validation behaviour shared by all codecs."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import InvalidInputError
+from repro.core.validation import MAX_VALUE, as_posting_array
+
+
+def test_accepts_plain_lists():
+    out = as_posting_array([1, 5, 9])
+    assert out.dtype == np.int64
+    assert out.tolist() == [1, 5, 9]
+
+
+def test_accepts_empty():
+    assert as_posting_array([]).size == 0
+
+
+def test_accepts_integral_floats():
+    out = as_posting_array(np.array([1.0, 2.0, 30.0]))
+    assert out.tolist() == [1, 2, 30]
+
+
+def test_rejects_non_integral_floats():
+    with pytest.raises(InvalidInputError):
+        as_posting_array(np.array([1.0, 2.5]))
+
+
+def test_rejects_scalar():
+    with pytest.raises(InvalidInputError):
+        as_posting_array(np.int64(5))
+
+
+def test_rejects_2d():
+    with pytest.raises(InvalidInputError):
+        as_posting_array(np.zeros((2, 2), dtype=np.int64))
+
+
+def test_rejects_negative():
+    with pytest.raises(InvalidInputError):
+        as_posting_array([-1, 3])
+
+
+def test_rejects_duplicates():
+    with pytest.raises(InvalidInputError) as exc:
+        as_posting_array([1, 1, 2])
+    assert "strictly increasing" in str(exc.value)
+
+
+def test_rejects_unsorted():
+    with pytest.raises(InvalidInputError):
+        as_posting_array([5, 3])
+
+
+def test_rejects_above_domain_bound():
+    with pytest.raises(InvalidInputError):
+        as_posting_array([MAX_VALUE + 1])
+
+
+def test_max_value_is_intmax():
+    assert MAX_VALUE == 2**31 - 1
+
+
+def test_conforming_input_passes_through_without_copy():
+    src = np.array([1, 2, 3], dtype=np.int64)
+    assert as_posting_array(src) is src
+
+
+def test_nonconforming_input_is_converted():
+    out = as_posting_array(np.array([1, 2, 3], dtype=np.int32))
+    assert out.dtype == np.int64
+
+
+def test_rejects_string_dtype():
+    with pytest.raises(InvalidInputError):
+        as_posting_array(np.array(["a", "b"]))

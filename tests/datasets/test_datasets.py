@@ -1,0 +1,128 @@
+"""Dataset simulators: published selectivities, sizes, and query shapes."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    berkeleyearth_queries,
+    graph_queries,
+    higgs_queries,
+    kddcup_queries,
+    kegg_queries,
+    ssb_queries,
+    ssb_query,
+    tpch_queries,
+    tpch_query,
+    web_workload,
+)
+from repro.datasets.kegg import KEGG_QUERIES, KEGG_ROWS
+
+
+def test_ssb_q11_selectivities():
+    q = ssb_query("Q1.1", scale_factor=1, rng=0)
+    d = q.domain
+    sizes = q.list_sizes
+    assert abs(sizes[0] - d / 7) <= 1
+    assert abs(sizes[1] - d / 2) <= 1
+    assert abs(sizes[2] - 3 * d / 11) <= 1
+    assert q.expression == ("and", 0, 1, 2)
+
+
+def test_ssb_q34_shape():
+    q = ssb_query("Q3.4", scale_factor=1, rng=0)
+    assert len(q.lists) == 5
+    assert q.expression == ("and", ("or", 0, 1), ("or", 2, 3), 4)
+
+
+def test_ssb_scale_factor_scales_domain():
+    q1 = ssb_query("Q2.1", scale_factor=1, rng=0)
+    q10 = ssb_query("Q2.1", scale_factor=10, rng=0)
+    assert q10.domain == 10 * q1.domain
+
+
+def test_ssb_unknown_query():
+    with pytest.raises(ValueError):
+        ssb_query("Q9.9")
+
+
+def test_ssb_all_queries_present():
+    names = [q.name for q in ssb_queries(rng=0)]
+    assert names == ["Q1.1", "Q2.1", "Q3.4", "Q4.1"]
+
+
+def test_tpch_q12_shape():
+    q = tpch_query("Q12", rng=0)
+    assert q.expression == ("and", ("or", 0, 1), 2)
+    assert abs(q.list_sizes[2] - q.domain / 364) <= 1
+
+
+def test_tpch_all_queries():
+    names = [q.name for q in tpch_queries(rng=0)]
+    assert names == ["Q6", "Q12"]
+
+
+def test_lists_are_valid_posting_lists():
+    for q in ssb_queries(rng=1) + tpch_queries(rng=1):
+        for lst in q.lists:
+            assert lst[0] >= 0 and lst[-1] < q.domain
+            assert (np.diff(lst) > 0).all()
+
+
+def test_web_workload_query_shapes():
+    queries = web_workload(n_docs=20_000, n_queries=8, rng=0)
+    assert len(queries) == 8
+    for q in queries:
+        assert 2 <= len(q.lists) <= 4
+        assert q.domain == 20_000
+        assert q.expression == ("and", *range(len(q.lists)))
+
+
+def test_web_term_lists_are_zipfian():
+    queries = web_workload(n_docs=50_000, n_queries=40, rng=0)
+    sizes = sorted(s for q in queries for s in q.list_sizes)
+    # A heavy-tailed spread: the largest list dwarfs the median.
+    assert sizes[-1] > 20 * sizes[len(sizes) // 2]
+
+
+def test_graph_queries_preserve_size_ratios():
+    qs = graph_queries(rng=0)
+    q1, q2 = qs
+    assert q1.name == "Q1" and q2.name == "Q2"
+    # Paper ratios: 960 : 50,913 : 507,777.
+    s = q1.list_sizes
+    assert 40 < s[1] / s[0] < 70
+    assert 8 < s[2] / s[1] < 12
+
+
+def test_kddcup_densities():
+    qs = kddcup_queries(rng=0)
+    q1, q2 = qs
+    assert abs(q1.list_sizes[0] / q1.domain - 0.578) < 0.01
+    assert abs(q1.list_sizes[1] / q1.domain - 0.856) < 0.01
+    assert q2.list_sizes[0] < 200
+
+
+def test_berkeleyearth_one_dense_one_sparse():
+    q1, q2 = berkeleyearth_queries(rng=0)
+    assert q1.list_sizes[0] / q1.domain > 0.1
+    assert q2.list_sizes[0] / q2.domain < 0.001
+
+
+def test_higgs_densities():
+    q1, q2 = higgs_queries(rng=0)
+    assert abs(q1.list_sizes[1] / q1.domain - 0.404) < 0.01
+    assert q2.list_sizes[1] / q2.domain < 0.011
+
+
+def test_kegg_uses_exact_published_sizes():
+    q1, q2 = kegg_queries(rng=0)
+    assert q1.domain == KEGG_ROWS
+    assert list(q1.list_sizes) == KEGG_QUERIES[0][1]
+    assert list(q2.list_sizes) == KEGG_QUERIES[1][1]
+
+
+def test_deterministic_seeding():
+    a = ssb_query("Q1.1", rng=99)
+    b = ssb_query("Q1.1", rng=99)
+    for la, lb in zip(a.lists, b.lists):
+        assert np.array_equal(la, lb)

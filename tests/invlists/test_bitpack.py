@@ -1,0 +1,91 @@
+"""Bit-packing kernels: the scalar and SIMD paths must agree exactly."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import DomainOverflowError
+from repro.invlists.bitpack import (
+    pack_bits,
+    required_bits,
+    unpack_bits_scalar,
+    unpack_bits_scalar_blocks,
+    unpack_bits_simd,
+    unpack_bits_simd_blocks,
+)
+
+
+@pytest.mark.parametrize("b", [1, 2, 3, 5, 7, 8, 13, 16, 21, 31, 32])
+def test_pack_unpack_roundtrip(rng, b):
+    values = rng.integers(0, 2**b, size=777, dtype=np.int64)
+    words = pack_bits(values, b)
+    assert np.array_equal(unpack_bits_simd(words, values.size, b), values)
+    assert np.array_equal(unpack_bits_scalar(words, values.size, b), values)
+
+
+def test_kernels_agree(rng):
+    for b in (1, 9, 17, 29):
+        values = rng.integers(0, 2**b, size=128, dtype=np.int64)
+        words = pack_bits(values, b)
+        assert np.array_equal(
+            unpack_bits_simd(words, 128, b), unpack_bits_scalar(words, 128, b)
+        )
+
+
+def test_word_count_is_minimal():
+    values = np.ones(128, dtype=np.int64)
+    words = pack_bits(values, 5)
+    assert words.size == (128 * 5 + 31) // 32
+
+
+def test_straddling_word_boundaries():
+    # 31-bit values force straddles almost everywhere.
+    values = np.array([(1 << 31) - 1, 1, (1 << 31) - 2, 0], dtype=np.int64)
+    words = pack_bits(values, 31)
+    assert np.array_equal(unpack_bits_simd(words, 4, 31), values)
+
+
+def test_value_too_large_rejected():
+    with pytest.raises(DomainOverflowError):
+        pack_bits(np.array([8], dtype=np.int64), 3)
+
+
+def test_bad_width_rejected():
+    with pytest.raises(ValueError):
+        pack_bits(np.array([1], dtype=np.int64), 0)
+    with pytest.raises(ValueError):
+        pack_bits(np.array([1], dtype=np.int64), 33)
+
+
+def test_empty_pack():
+    assert pack_bits(np.empty(0, dtype=np.int64), 4).size == 0
+    assert unpack_bits_simd(np.empty(0, dtype=np.uint32), 0, 4).size == 0
+
+
+def test_required_bits():
+    assert required_bits(np.array([0], dtype=np.int64)) == 1
+    assert required_bits(np.array([1], dtype=np.int64)) == 1
+    assert required_bits(np.array([2], dtype=np.int64)) == 2
+    assert required_bits(np.array([255, 3], dtype=np.int64)) == 8
+    assert required_bits(np.empty(0, dtype=np.int64)) == 1
+
+
+def test_required_bits_rejects_negative():
+    with pytest.raises(DomainOverflowError):
+        required_bits(np.array([-1], dtype=np.int64))
+
+
+@pytest.mark.parametrize("kernel", [unpack_bits_simd_blocks, unpack_bits_scalar_blocks])
+def test_block_kernels_match_flat(rng, kernel):
+    b = 11
+    blocks = [rng.integers(0, 2**b, size=128, dtype=np.int64) for _ in range(5)]
+    mat = np.stack([pack_bits(blk, b) for blk in blocks])
+    out = kernel(mat, 128, b)
+    assert out.shape == (5, 128)
+    for row, blk in zip(out, blocks):
+        assert np.array_equal(row, blk)
+
+
+def test_block_kernels_empty():
+    empty = np.empty((0, 4), dtype=np.uint32)
+    assert unpack_bits_simd_blocks(empty, 128, 3).shape == (0, 128)
+    assert unpack_bits_scalar_blocks(empty, 128, 3).shape == (0, 128)

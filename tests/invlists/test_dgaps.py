@@ -1,0 +1,35 @@
+"""d-gap transform."""
+
+import numpy as np
+
+from repro.invlists.dgaps import from_dgaps, to_dgaps
+
+
+def test_paper_example():
+    """Section 3's running example: L = {10,16,19,28,39,48,60}."""
+    values = np.array([10, 16, 19, 28, 39, 48, 60], dtype=np.int64)
+    gaps = to_dgaps(values)
+    assert gaps.tolist() == [10, 6, 3, 9, 11, 9, 12]
+    assert np.array_equal(from_dgaps(gaps), values)
+
+
+def test_empty():
+    empty = np.empty(0, dtype=np.int64)
+    assert to_dgaps(empty).size == 0
+    assert from_dgaps(empty).size == 0
+
+
+def test_first_element_zero():
+    values = np.array([0, 1, 5], dtype=np.int64)
+    assert to_dgaps(values).tolist() == [0, 1, 4]
+
+
+def test_roundtrip_random(rng):
+    values = np.sort(rng.choice(2**30, 5_000, replace=False)).astype(np.int64)
+    assert np.array_equal(from_dgaps(to_dgaps(values)), values)
+
+
+def test_gaps_positive_except_first(rng):
+    values = np.sort(rng.choice(10_000, 500, replace=False)).astype(np.int64)
+    gaps = to_dgaps(values)
+    assert (gaps[1:] >= 1).all()

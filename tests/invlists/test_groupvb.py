@@ -1,0 +1,49 @@
+"""GroupVB: header factoring and byte layout."""
+
+import numpy as np
+
+from repro import get_codec
+from repro.invlists.groupvb import GroupVBCodec
+
+from tests.conftest import sorted_unique
+
+
+def test_one_header_byte_per_four_values():
+    codec = GroupVBCodec(skip_pointers=False)
+    # 128 gaps of 1: 32 header bytes + 128 single data bytes per block.
+    values = np.arange(1, 129, dtype=np.int64)
+    cs = codec.compress(values)
+    assert cs.size_bytes == 32 + 128
+
+
+def test_descriptor_encodes_byte_lengths():
+    codec = get_codec("GroupVB")
+    # gaps: 1 (1B), 300 (2B), 70000 (3B), 2**26 (4B) in one group.
+    values = np.cumsum([1, 300, 70_000, 2**26]).astype(np.int64)
+    cs = codec.compress(values)
+    header = int(cs.payload.stream[0])
+    assert header & 3 == 0
+    assert (header >> 2) & 3 == 1
+    assert (header >> 4) & 3 == 2
+    assert (header >> 6) & 3 == 3
+    assert np.array_equal(codec.decompress(cs), values)
+
+
+def test_partial_group_padding(rng):
+    codec = get_codec("GroupVB")
+    for n in (1, 2, 3, 5, 126, 127):
+        values = sorted_unique(rng, n, 100_000)
+        assert np.array_equal(codec.roundtrip(values), values)
+
+
+def test_size_at_least_1_25_bytes_per_value(rng):
+    codec = GroupVBCodec(skip_pointers=False)
+    values = np.arange(10_000, dtype=np.int64)
+    cs = codec.compress(values)
+    assert cs.size_bytes >= int(10_000 * 1.25)
+
+
+def test_large_roundtrip(rng):
+    codec = get_codec("GroupVB")
+    values = sorted_unique(rng, 50_000, 2**26)
+    assert np.array_equal(codec.roundtrip(values), values)

@@ -1,0 +1,85 @@
+"""NewPforDelta and OptPforDelta: side-array exceptions, optimal widths."""
+
+import numpy as np
+
+from repro import get_codec
+from repro.invlists.newpfordelta import (
+    decode_newpfor_block,
+    encode_newpfor_block,
+)
+from repro.invlists.optpfordelta import choose_b_optimal
+from repro.invlists.bitpack import unpack_bits_scalar
+
+from tests.conftest import sorted_unique
+
+
+def test_block_roundtrip_with_exceptions(rng):
+    values = rng.integers(0, 8, size=128, dtype=np.int64)
+    values[[0, 64, 127]] = [1_000, 2**25, 999]
+    words, wire = encode_newpfor_block(values, 3)
+    assert np.array_equal(
+        decode_newpfor_block(words, 0, 128, unpack_bits_scalar), values
+    )
+    assert wire <= words.nbytes
+
+
+def test_no_forced_exceptions_needed():
+    """Unlike PforDelta, far-apart exceptions cost nothing extra: the
+    positions live in a side array, not a slot-width-limited chain."""
+    b = 2
+    values = np.zeros(128, dtype=np.int64)
+    values[0] = 500
+    values[127] = 600
+    words, _ = encode_newpfor_block(values, b)
+    header0 = int(words[0])
+    assert header0 >> 8 == 2  # exactly the two real exceptions
+    assert np.array_equal(
+        decode_newpfor_block(words, 0, 128, unpack_bits_scalar), values
+    )
+
+
+def test_exception_slots_keep_low_bits():
+    values = np.zeros(4, dtype=np.int64)
+    values[2] = 0b101101  # low 3 bits = 0b101
+    words, _ = encode_newpfor_block(values, 3)
+    slots = unpack_bits_scalar(words[2:3], 4, 3)
+    assert slots[2] == 0b101
+
+
+def test_codec_roundtrip(rng):
+    for name in ("NewPforDelta", "OptPforDelta"):
+        codec = get_codec(name)
+        values = sorted_unique(rng, 10_000, 2**24)
+        assert np.array_equal(codec.roundtrip(values), values)
+
+
+def test_newpfor_smaller_than_pfor_when_forced_exceptions_dominate(rng):
+    """The paper's motivation for NewPforDelta (Section 3.4)."""
+    # Dense data with rare huge jumps: PforDelta picks a small b and pays
+    # forced exceptions every 2^b slots; NewPforDelta does not.
+    base = np.arange(0, 50_000, dtype=np.int64) * 2
+    jumps = np.cumsum(np.where(np.arange(50_000) % 120 == 0, 100_000, 0))
+    values = base + jumps
+    pfor = get_codec("PforDelta").compress(values)
+    newpfor = get_codec("NewPforDelta").compress(values)
+    assert newpfor.size_bytes < pfor.size_bytes
+
+
+def test_opt_b_minimises_encoded_size(rng):
+    from repro.invlists.newpfordelta import encode_newpfor_block
+
+    values = rng.integers(0, 64, size=128, dtype=np.int64)
+    values[rng.choice(128, 10, replace=False)] += 100_000
+    best = choose_b_optimal(values)
+    _, best_wire = encode_newpfor_block(values, best)
+    for b in (max(1, best - 2), best + 2):
+        _, wire = encode_newpfor_block(values, b)
+        assert best_wire <= wire
+
+
+def test_opt_never_larger_than_newpfor(rng):
+    for _ in range(3):
+        values = sorted_unique(rng, 3_000, 2**24)
+        newpfor = get_codec("NewPforDelta").compress(values, universe=2**24)
+        opt = get_codec("OptPforDelta").compress(values, universe=2**24)
+        assert opt.size_bytes <= newpfor.size_bytes

@@ -1,0 +1,88 @@
+"""PEF: Elias-Fano structure and partial-access probing."""
+
+import numpy as np
+import pytest
+
+from repro import get_codec
+from repro.invlists.pef import decode_ef_block, ef_low_bits, encode_ef_block
+
+from tests.conftest import sorted_unique
+
+
+def test_low_bit_width_formula():
+    # b = floor(log2(U / n))
+    assert ef_low_bits(1024, 4) == 8
+    assert ef_low_bits(1024, 1024) == 0
+    assert ef_low_bits(10, 100) == 0
+    assert ef_low_bits(0, 0) == 0
+
+
+def test_ef_block_roundtrip_dense():
+    residuals = np.arange(128, dtype=np.int64)
+    words, wire = encode_ef_block(residuals)
+    assert np.array_equal(decode_ef_block(words, 0, 128), residuals)
+    assert wire > 0
+
+
+def test_ef_block_roundtrip_sparse(rng):
+    residuals = np.sort(rng.choice(2**20, 128, replace=False))
+    residuals -= residuals[0]
+    words, _ = encode_ef_block(residuals)
+    assert np.array_equal(decode_ef_block(words, 0, 128), residuals)
+
+
+def test_ef_block_single_element():
+    words, _ = encode_ef_block(np.array([0], dtype=np.int64))
+    assert decode_ef_block(words, 0, 1).tolist() == [0]
+
+
+def test_ef_space_near_information_bound(rng):
+    """EF uses ≈ n(2 + log2(U/n)) bits."""
+    n, u = 128, 2**20
+    residuals = np.sort(rng.choice(u, n, replace=False))
+    residuals -= residuals[0]
+    _, wire = encode_ef_block(residuals)
+    span = int(residuals[-1]) + 1
+    bound_bits = n * (2 + max(0, (span // n).bit_length()))
+    assert wire * 8 <= bound_bits + 64  # header + padding slack
+
+
+def test_codec_roundtrip(rng):
+    codec = get_codec("PEF")
+    values = sorted_unique(rng, 10_000, 2**24)
+    assert np.array_equal(codec.roundtrip(values), values)
+
+
+def test_probe_without_full_decode(rng):
+    codec = get_codec("PEF")
+    values = sorted_unique(rng, 50_000, 2**22)
+    probes = sorted_unique(rng, 300, 2**22)
+    cs = codec.compress(values, universe=2**22)
+    assert np.array_equal(
+        codec.intersect_with_array(cs, probes), np.intersect1d(values, probes)
+    )
+
+
+def test_probe_hits_and_misses_in_same_partition():
+    codec = get_codec("PEF")
+    values = np.arange(0, 1_000, 7, dtype=np.int64)
+    cs = codec.compress(values, universe=1_100)
+    probes = np.array([0, 1, 7, 8, 700, 701], dtype=np.int64)
+    got = codec.intersect_with_array(cs, probes)
+    assert got.tolist() == [0, 7, 700]
+
+
+def test_probe_same_high_bits_collision():
+    """Probes whose high part matches an element but low part differs."""
+    codec = get_codec("PEF")
+    values = np.array([0, 1024, 2048, 4096], dtype=np.int64)
+    cs = codec.compress(values, universe=8192)
+    probes = np.array([1025, 2048, 4095], dtype=np.int64)
+    assert codec.intersect_with_array(cs, probes).tolist() == [2048]
+
+
+def test_not_delta_coded(rng):
+    """PEF partitions store residuals off the partition base, not d-gaps
+    (Section 3 overview: PEF is the exception)."""
+    codec = get_codec("PEF")
+    assert codec.block_relative is True

@@ -1,0 +1,94 @@
+"""Optimal-partition PEF extension (variable DP-chosen partitions)."""
+
+import numpy as np
+import pytest
+
+from repro import get_codec
+from repro.datagen import markov_list, uniform_list, zipf_list
+from repro.invlists.pef_optimal import (
+    OptimalPEFCodec,
+    choose_partitions,
+    partition_cost_bits,
+)
+
+from tests.conftest import sorted_unique
+
+
+@pytest.fixture(scope="module")
+def codec():
+    return OptimalPEFCodec()
+
+
+def test_partition_cost_matches_encoder():
+    from repro.invlists.pef import encode_ef_block
+
+    values = np.sort(
+        np.random.default_rng(0).choice(2**18, 300, replace=False)
+    ).astype(np.int64)
+    _, wire = encode_ef_block(values - values[0])
+    # The DP's cost model is the exact pre-padding bit count; the encoder
+    # rounds the low and high sections up to whole bytes.
+    cost_bytes = partition_cost_bits(values, 0, 300) / 8
+    assert abs(cost_bytes - wire) <= 2
+
+
+def test_boundaries_cover_everything():
+    values = np.arange(0, 10_000, 3, dtype=np.int64)
+    ends = choose_partitions(values)
+    assert ends[-1] == values.size
+    assert (np.diff(ends) > 0).all()
+
+
+def test_partition_boundary_lands_on_cluster_edge():
+    rng = np.random.default_rng(5)
+    # Dense run then scattered tail: the DP should cut near the density
+    # change at index 5000 so neither regime pollutes the other's b.
+    values = np.concatenate(
+        (
+            np.arange(5_000, dtype=np.int64),
+            np.sort(rng.choice(2**20 - 10_000, 5_000, replace=False)) + 10_000,
+        )
+    )
+    ends = choose_partitions(values)
+    nearest = int(ends[np.argmin(np.abs(ends - 5_000))])
+    assert abs(nearest - 5_000) <= 64
+
+
+@pytest.mark.parametrize("gen", [uniform_list, markov_list, zipf_list])
+def test_roundtrip(codec, gen, rng):
+    values = gen(20_000, 2**20, rng=rng)
+    cs = codec.compress(values, universe=2**20)
+    assert np.array_equal(codec.decompress(cs), values)
+
+
+def test_edge_sizes(codec):
+    for values in ([], [0], [5], list(range(31)), list(range(33))):
+        arr = np.array(values, dtype=np.int64)
+        cs = codec.compress(arr)
+        assert np.array_equal(codec.decompress(cs), arr)
+
+
+def test_ops_match_reference(codec, rng):
+    a = sorted_unique(rng, 1_000, 2**20)
+    b = sorted_unique(rng, 40_000, 2**20)
+    ca = codec.compress(a, universe=2**20)
+    cb = codec.compress(b, universe=2**20)
+    assert np.array_equal(codec.intersect(ca, cb), np.intersect1d(a, b))
+    assert np.array_equal(codec.union(ca, cb), np.union1d(a, b))
+
+
+def test_smaller_than_uniform_pef(codec, rng):
+    """The whole point of the optimisation."""
+    pef = get_codec("PEF")
+    for gen in (uniform_list, markov_list, zipf_list):
+        values = gen(100_000, 2**21, rng=rng)
+        uniform = pef.compress(values, universe=2**21).size_bytes
+        optimal = codec.compress(values, universe=2**21).size_bytes
+        assert optimal < uniform
+
+
+def test_not_in_registry():
+    """Extension codecs stay out of the paper's 24-codec roster."""
+    from repro import all_codec_names
+
+    assert "PEF-opt" not in all_codec_names()

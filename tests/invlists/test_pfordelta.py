@@ -1,0 +1,137 @@
+"""PforDelta family: width choice, exception chains, forced exceptions."""
+
+import numpy as np
+import pytest
+
+from repro import get_codec
+from repro.invlists.pfordelta import (
+    REGULAR_FRACTION,
+    choose_b_90,
+    decode_pfor_block,
+    encode_pfor_block,
+    plan_exceptions,
+)
+from repro.invlists.bitpack import unpack_bits_scalar
+
+from tests.conftest import sorted_unique
+
+
+def test_regular_fraction_is_90_percent():
+    assert REGULAR_FRACTION == 0.90
+
+
+def test_choose_b_covers_90_percent():
+    # 100 values: 95 small (fit 3 bits) + 5 large.
+    values = np.concatenate(
+        (np.full(95, 7, dtype=np.int64), np.full(5, 1000, dtype=np.int64))
+    )
+    b = choose_b_90(values)
+    assert b == 3
+    assert (values < (1 << b)).mean() >= 0.9
+
+
+def test_choose_b_all_large():
+    values = np.full(128, 5000, dtype=np.int64)
+    assert choose_b_90(values) == 13
+
+
+def test_plan_exceptions_none():
+    values = np.array([1, 2, 3], dtype=np.int64)
+    assert plan_exceptions(values, 4).size == 0
+
+
+def test_plan_exceptions_real_only():
+    values = np.array([1, 100, 2, 100, 3], dtype=np.int64)
+    exc = plan_exceptions(values, 4)
+    assert exc.tolist() == [1, 3]
+
+
+def test_forced_exceptions_inserted():
+    """Exceptions more than 2^b slots apart get forced links between."""
+    b = 2  # max link distance 4
+    values = np.zeros(20, dtype=np.int64)
+    values[0] = 100
+    values[19] = 100
+    exc = plan_exceptions(values, b)
+    assert exc[0] == 0 and exc[-1] == 19
+    gaps = np.diff(exc)
+    assert (gaps <= (1 << b)).all()
+    assert exc.size > 2  # forced ones exist
+
+
+def test_block_roundtrip_with_exceptions(rng):
+    values = rng.integers(0, 8, size=128, dtype=np.int64)
+    values[[3, 40, 90]] = [900, 70_000, 2**30]
+    words = encode_pfor_block(values, choose_b_90(values))
+    out = decode_pfor_block(words, 0, 128, unpack_bits_scalar)
+    assert np.array_equal(out, values)
+
+
+def test_block_roundtrip_no_exceptions(rng):
+    values = rng.integers(0, 16, size=128, dtype=np.int64)
+    words = encode_pfor_block(values, 5)
+    header = int(words[0])
+    assert (header >> 8) & 0xFF == 0  # no exceptions
+    assert (header >> 16) & 0xFF == 0xFF  # chain sentinel
+    out = decode_pfor_block(words, 0, 128, unpack_bits_scalar)
+    assert np.array_equal(out, values)
+
+
+def test_star_variant_has_no_exceptions(rng):
+    codec = get_codec("PforDelta*")
+    values = sorted_unique(rng, 1_000, 2**28)
+    cs = codec.compress(values, universe=2**28)
+    headers = cs.payload.stream[cs.payload.offsets]
+    n_exc = (headers.astype(np.int64) >> 8) & 0xFF
+    assert (n_exc == 0).all()
+    assert np.array_equal(codec.decompress(cs), values)
+
+
+def test_plain_variant_has_exceptions_on_skewed_gaps(rng):
+    """Uniform draws produce occasional large gaps → real exceptions."""
+    codec = get_codec("PforDelta")
+    values = sorted_unique(rng, 2_000, 2**26)
+    cs = codec.compress(values, universe=2**26)
+    headers = cs.payload.stream[cs.payload.offsets]
+    n_exc = (headers.astype(np.int64) >> 8) & 0xFF
+    assert n_exc.sum() > 0
+    assert np.array_equal(codec.decompress(cs), values)
+
+
+def test_simd_variant_same_space_as_scalar(rng):
+    """Paper §5.1 finding (13): SIMDPforDelta takes the same space."""
+    values = sorted_unique(rng, 5_000, 2**24)
+    plain = get_codec("PforDelta").compress(values, universe=2**24)
+    simd = get_codec("SIMDPforDelta").compress(values, universe=2**24)
+    assert plain.size_bytes == simd.size_bytes
+    star = get_codec("PforDelta*").compress(values, universe=2**24)
+    simd_star = get_codec("SIMDPforDelta*").compress(values, universe=2**24)
+    assert star.size_bytes == simd_star.size_bytes
+
+
+def test_simd_and_scalar_decode_identically(rng):
+    values = sorted_unique(rng, 3_000, 2**24)
+    for scalar_name, simd_name in (
+        ("PforDelta", "SIMDPforDelta"),
+        ("PforDelta*", "SIMDPforDelta*"),
+    ):
+        scalar = get_codec(scalar_name)
+        simd = get_codec(simd_name)
+        out_scalar = scalar.decompress(scalar.compress(values, universe=2**24))
+        out_simd = simd.decompress(simd.compress(values, universe=2**24))
+        assert np.array_equal(out_scalar, out_simd)
+
+
+def test_dense_list_roundtrip():
+    codec = get_codec("PforDelta")
+    values = np.arange(10_000, dtype=np.int64)  # all gaps 1, b = 1
+    assert np.array_equal(codec.roundtrip(values), values)
+
+
+def test_clustered_gaps_roundtrip(rng):
+    """Markov-style data: runs of gap 1 + big jumps = many exceptions."""
+    from repro.datagen import markov_list
+
+    codec = get_codec("PforDelta")
+    values = markov_list(5_000, 2**22, rng=rng)
+    assert np.array_equal(codec.roundtrip(values), values)

@@ -1,0 +1,67 @@
+"""SIMDBP128 and SIMDBP128*: binary packing and the no-delta variant."""
+
+import numpy as np
+
+from repro import get_codec
+
+from tests.conftest import sorted_unique
+
+
+def test_star_is_not_delta_coded():
+    assert get_codec("SIMDBP128*").block_relative is True
+    assert get_codec("SIMDBP128").block_relative is False
+
+
+def test_star_larger_but_same_content(rng):
+    """Offsets from the block base span more bits than d-gaps, so the
+    * variant trades space for prefix-sum-free decoding (Section 5.1
+    finding (3))."""
+    values = sorted_unique(rng, 20_000, 2**22)
+    plain = get_codec("SIMDBP128").compress(values, universe=2**22)
+    star = get_codec("SIMDBP128*").compress(values, universe=2**22)
+    assert star.size_bytes > plain.size_bytes
+    assert np.array_equal(
+        get_codec("SIMDBP128").decompress(plain),
+        get_codec("SIMDBP128*").decompress(star),
+    )
+
+
+def test_metadata_one_byte_per_block(rng):
+    """16 blocks per bucket × 1 width byte = 16-byte bucket metadata."""
+    values = np.arange(0, 128 * 16 * 3, dtype=np.int64)  # 48 full blocks
+    cs = get_codec("SIMDBP128").compress(values)
+    # gaps all 1 → b=1 → 128 bits = 16 bytes packed per block, +1 metadata.
+    assert cs.payload.offsets.size == 48
+    expected_wire = 48 * (16 + 1)
+    assert cs.size_bytes == expected_wire + 8 * 48  # + skip pointers
+
+
+def test_star_roundtrip_with_partial_block(rng):
+    codec = get_codec("SIMDBP128*")
+    values = sorted_unique(rng, 1_000, 2**20)
+    assert np.array_equal(codec.roundtrip(values), values)
+
+
+def test_single_element_blocks():
+    for name in ("SIMDBP128", "SIMDBP128*"):
+        codec = get_codec(name)
+        assert codec.roundtrip([42]).tolist() == [42]
+
+
+def test_wide_blocks(rng):
+    """Blocks whose residuals need the full 31 bits."""
+    codec = get_codec("SIMDBP128*")
+    values = np.sort(rng.choice(2**31 - 1, 200, replace=False))
+    assert np.array_equal(codec.roundtrip(values), values)
+
+
+def test_probe_path(rng):
+    for name in ("SIMDBP128", "SIMDBP128*"):
+        codec = get_codec(name)
+        values = sorted_unique(rng, 30_000, 2**22)
+        probes = sorted_unique(rng, 100, 2**22)
+        cs = codec.compress(values, universe=2**22)
+        assert np.array_equal(
+            codec.intersect_with_array(cs, probes),
+            np.intersect1d(values, probes),
+        )

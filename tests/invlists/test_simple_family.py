@@ -1,0 +1,138 @@
+"""Simple9 / Simple16 / Simple8b: packings, selectors, limits."""
+
+import numpy as np
+import pytest
+
+from repro import get_codec
+from repro.core.errors import DomainOverflowError
+from repro.invlists.simple_family import (
+    S8B_PACK_CASES,
+    S8B_RUN_CASES,
+    S9_CASES,
+    S16_CASES,
+    s8b_decode,
+    s8b_encode,
+    s9_decode,
+    s9_encode,
+    s16_decode,
+    s16_encode,
+)
+
+
+def test_s9_has_9_cases_over_28_bits():
+    assert len(S9_CASES) == 9
+    for count, width in S9_CASES:
+        assert count * width <= 28
+
+
+def test_s16_has_16_cases_over_28_bits():
+    assert len(S16_CASES) == 16
+    for widths in S16_CASES:
+        assert sum(widths) <= 28
+
+
+def test_s16_contains_papers_split_cases():
+    """Section 3.7: '3 × 6-bit followed by 2 × 5-bit' and the reverse."""
+    assert (6, 6, 6, 5, 5) in S16_CASES
+    assert (5, 5, 6, 6, 6) in S16_CASES
+
+
+def test_s8b_cases_over_60_bits():
+    assert S8B_RUN_CASES == [240, 120]
+    for count, width in S8B_PACK_CASES:
+        assert count * width <= 60
+
+
+def test_s9_packs_14_two_bit_values_in_one_word():
+    """Section 3.6's example: 14 values all < 4 → one word."""
+    values = np.array([3, 1, 2, 0, 3, 3, 1, 0, 2, 1, 3, 2, 0, 1], dtype=np.int64)
+    words = s9_encode(values)
+    assert words.size == 1
+    assert np.array_equal(s9_decode(words, 14), values)
+
+
+def test_s9_single_28bit_value():
+    values = np.array([(1 << 28) - 1], dtype=np.int64)
+    words = s9_encode(values)
+    assert words.size == 1
+    assert int(words[0]) >> 28 == 8  # last selector: 1 × 28-bit
+
+
+def test_s9_rejects_28bit_overflow():
+    with pytest.raises(DomainOverflowError):
+        s9_encode(np.array([1 << 28], dtype=np.int64))
+
+
+def test_s16_rejects_28bit_overflow():
+    with pytest.raises(DomainOverflowError):
+        s16_encode(np.array([1 << 28], dtype=np.int64))
+
+
+def test_s8b_run_selector_for_ones():
+    values = np.ones(240, dtype=np.int64)
+    words = s8b_encode(values)
+    assert words.size == 1
+    assert int(words[0]) >> 60 == 0
+    assert np.array_equal(s8b_decode(words, 240), values)
+
+
+def test_s8b_handles_sixty_bit_values():
+    values = np.array([(1 << 59) + 7], dtype=np.int64)
+    words = s8b_encode(values)
+    assert np.array_equal(s8b_decode(words, 1), values)
+
+
+def test_s8b_twelve_5bit_values_in_one_word():
+    """Section 3.8: 'Simple8b stores twelve 5-bit integers using one
+    64-bit codeword, but Simple9 needs three 32-bit codewords.'"""
+    values = np.full(12, 31, dtype=np.int64)
+    assert s8b_encode(values).size == 1
+    assert s9_encode(values).size == 3
+
+
+@pytest.mark.parametrize(
+    "encode,decode",
+    [(s9_encode, s9_decode), (s16_encode, s16_decode), (s8b_encode, s8b_decode)],
+)
+def test_random_roundtrips(rng, encode, decode):
+    for _ in range(5):
+        n = int(rng.integers(1, 400))
+        bits = int(rng.integers(1, 27))
+        values = rng.integers(0, 2**bits, size=n, dtype=np.int64)
+        words = encode(values)
+        assert np.array_equal(decode(words, n), values)
+
+
+def test_s16_never_larger_than_s9(rng):
+    """Simple16's extra cases can only help."""
+    for _ in range(10):
+        values = rng.integers(0, 2**10, size=256, dtype=np.int64)
+        assert s16_encode(values).size <= s9_encode(values).size
+
+
+@pytest.mark.parametrize("name", ["Simple9", "Simple16", "Simple8b"])
+def test_codec_roundtrip(rng, name):
+    codec = get_codec(name)
+    values = np.sort(rng.choice(2**24, 5_000, replace=False))
+    assert np.array_equal(codec.roundtrip(values), values)
+
+
+@pytest.mark.parametrize("name", ["Simple9", "Simple16"])
+def test_codec_rejects_giant_gaps(name):
+    codec = get_codec(name)
+    with pytest.raises(DomainOverflowError):
+        codec.compress([0, (1 << 28) + 5])
+
+
+def test_batched_decode_matches_blockwise(rng):
+    for name in ("Simple9", "Simple16", "Simple8b"):
+        codec = get_codec(name)
+        values = np.sort(rng.choice(2**22, 3_333, replace=False))
+        cs = codec.compress(values, universe=2**22)
+        from repro.invlists.blocks import BlockedInvListCodec
+
+        blockwise = np.cumsum(
+            BlockedInvListCodec._decode_all(codec, cs.payload, cs.n),
+            dtype=np.int64,
+        )
+        assert np.array_equal(codec.decompress(cs), blockwise), name

@@ -1,0 +1,48 @@
+"""The uncompressed List baseline."""
+
+import numpy as np
+
+from repro import get_codec
+
+from tests.conftest import sorted_unique
+
+
+def test_four_bytes_per_element(rng):
+    codec = get_codec("List")
+    values = sorted_unique(rng, 1234, 100_000)
+    cs = codec.compress(values)
+    assert cs.size_bytes == 4 * 1234
+
+
+def test_decompress_is_a_copy(rng):
+    codec = get_codec("List")
+    values = sorted_unique(rng, 100, 1_000)
+    cs = codec.compress(values)
+    out = codec.decompress(cs)
+    out[0] = -1
+    assert codec.decompress(cs)[0] == values[0]
+
+
+def test_binary_search_probing(rng):
+    codec = get_codec("List")
+    values = sorted_unique(rng, 10_000, 1_000_000)
+    probes = sorted_unique(rng, 50, 1_000_000)
+    cs = codec.compress(values, universe=1_000_000)
+    assert np.array_equal(
+        codec.intersect_with_array(cs, probes), np.intersect1d(values, probes)
+    )
+
+
+def test_probe_above_maximum(rng):
+    codec = get_codec("List")
+    cs = codec.compress([10, 20], universe=1_000)
+    probes = np.array([500, 999], dtype=np.int64)
+    assert codec.intersect_with_array(cs, probes).size == 0
+
+
+def test_never_compresses(rng):
+    """Compression never helps the List codec — nor hurts it (the
+    paper's finding (4) baseline: compressed lists never exceed it)."""
+    codec = get_codec("List")
+    dense = np.arange(5_000, dtype=np.int64)
+    assert codec.compress(dense).size_bytes == 4 * 5_000

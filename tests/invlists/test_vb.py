@@ -1,0 +1,78 @@
+"""VB: byte layout pinned to the paper's Section 3.1 example."""
+
+import numpy as np
+import pytest
+
+from repro import get_codec
+from repro.core.errors import CorruptPayloadError
+from repro.invlists.vb import vb_decode_array, vb_encode_array
+
+
+def test_paper_example_16385():
+    """16385 encodes as 10000001 10000000 00000001 (Section 3.1)."""
+    encoded = vb_encode_array(np.array([16385], dtype=np.int64))
+    assert encoded.tolist() == [0b10000001, 0b10000000, 0b00000001]
+
+
+def test_single_byte_values():
+    encoded = vb_encode_array(np.array([0, 1, 127], dtype=np.int64))
+    assert encoded.tolist() == [0, 1, 127]
+
+
+def test_boundaries():
+    for value, nbytes in ((127, 1), (128, 2), (2**14 - 1, 2), (2**14, 3),
+                          (2**21 - 1, 3), (2**21, 4), (2**28, 5)):
+        encoded = vb_encode_array(np.array([value], dtype=np.int64))
+        assert encoded.size == nbytes, value
+        decoded, _ = vb_decode_array(encoded, 1)
+        assert decoded[0] == value
+
+
+def test_stream_of_mixed_sizes(rng):
+    values = rng.integers(0, 2**28, size=500, dtype=np.int64)
+    encoded = vb_encode_array(values)
+    decoded, end = vb_decode_array(encoded, 500)
+    assert np.array_equal(decoded, values)
+    assert end == encoded.size
+
+
+def test_decode_from_offset():
+    values = np.array([300, 5, 70_000], dtype=np.int64)
+    encoded = vb_encode_array(values)
+    first, offset = vb_decode_array(encoded, 1)
+    rest, _ = vb_decode_array(encoded, 2, offset)
+    assert first.tolist() == [300]
+    assert rest.tolist() == [5, 70_000]
+
+
+def test_truncated_stream_raises():
+    encoded = vb_encode_array(np.array([16385], dtype=np.int64))[:-1]
+    with pytest.raises(CorruptPayloadError):
+        vb_decode_array(encoded, 1)
+
+
+def test_codec_roundtrip_large(rng):
+    codec = get_codec("VB")
+    values = np.sort(rng.choice(2**26, 20_000, replace=False))
+    assert np.array_equal(codec.roundtrip(values), values)
+
+
+def test_size_at_least_one_byte_per_gap(rng):
+    """The paper's VB space caveat: ≥1 byte per integer regardless of gap."""
+    codec = get_codec("VB")
+    values = np.arange(10_000, dtype=np.int64)  # all gaps are 1
+    cs = codec.compress(values)
+    assert cs.size_bytes >= 10_000
+
+
+def test_batched_decode_matches_per_block(rng):
+    codec = get_codec("VB")
+    values = np.sort(rng.choice(500_000, 10_000, replace=False))
+    cs = codec.compress(values, universe=500_000)
+    batched = codec.decompress(cs)
+    from repro.invlists.blocks import BlockedInvListCodec
+
+    sequential = np.cumsum(
+        BlockedInvListCodec._decode_all(codec, cs.payload, cs.n), dtype=np.int64
+    )
+    assert np.array_equal(batched, sequential)

@@ -1,0 +1,92 @@
+"""Boolean expression evaluation over compressed sets."""
+
+import numpy as np
+import pytest
+
+from repro import get_codec
+from repro.ops import And, Leaf, Or, evaluate
+
+from tests.conftest import sorted_unique
+
+
+@pytest.fixture
+def lists(rng):
+    return [sorted_unique(rng, n, 20_000) for n in (100, 3_000, 5_000, 8_000, 9_000)]
+
+
+def compressed(name, lists, universe=20_000):
+    codec = get_codec(name)
+    return [codec.compress(v, universe=universe) for v in lists]
+
+
+def test_leaf_evaluates_to_list(lists):
+    sets = compressed("Roaring", lists)
+    assert np.array_equal(evaluate(Leaf(sets[0])), lists[0])
+
+
+def test_flat_and(lists):
+    sets = compressed("WAH", lists)
+    got = evaluate(And(Leaf(sets[1]), Leaf(sets[3])))
+    assert np.array_equal(got, np.intersect1d(lists[1], lists[3]))
+
+
+def test_flat_or(lists):
+    sets = compressed("VB", lists)
+    got = evaluate(Or(Leaf(sets[0]), Leaf(sets[2])))
+    assert np.array_equal(got, np.union1d(lists[0], lists[2]))
+
+
+def test_ssb_q34_shape(lists):
+    """(L1 ∪ L2) ∩ (L3 ∪ L4) ∩ L5 — the paper's SSB Q3.4."""
+    for name in ("Roaring", "SIMDBP128*", "PEF", "Bitset"):
+        sets = compressed(name, lists)
+        expr = And(
+            Or(Leaf(sets[0]), Leaf(sets[1])),
+            Or(Leaf(sets[2]), Leaf(sets[3])),
+            Leaf(sets[4]),
+        )
+        expected = np.intersect1d(
+            np.intersect1d(
+                np.union1d(lists[0], lists[1]), np.union1d(lists[2], lists[3])
+            ),
+            lists[4],
+        )
+        assert np.array_equal(evaluate(expr), expected), name
+
+
+def test_ssb_q41_shape(lists):
+    """L1 ∩ L2 ∩ (L3 ∪ L4) — the paper's SSB Q4.1."""
+    sets = compressed("CONCISE", lists)
+    expr = And(Leaf(sets[0]), Leaf(sets[1]), Or(Leaf(sets[2]), Leaf(sets[3])))
+    expected = np.intersect1d(
+        np.intersect1d(lists[0], lists[1]), np.union1d(lists[2], lists[3])
+    )
+    assert np.array_equal(evaluate(expr), expected)
+
+
+def test_nested_or_of_and(lists):
+    sets = compressed("PforDelta*", lists)
+    expr = Or(And(Leaf(sets[0]), Leaf(sets[1])), Leaf(sets[2]))
+    expected = np.union1d(np.intersect1d(lists[0], lists[1]), lists[2])
+    assert np.array_equal(evaluate(expr), expected)
+
+
+def test_and_short_circuits_on_empty(lists):
+    codec = get_codec("VB")
+    empty = codec.compress([], universe=20_000)
+    sets = compressed("VB", lists)
+    expr = And(Leaf(empty), Leaf(sets[4]))
+    assert evaluate(expr).size == 0
+
+
+def test_estimated_sizes():
+    codec = get_codec("List")
+    a = Leaf(codec.compress([1, 2, 3]))
+    b = Leaf(codec.compress([1, 2, 3, 4, 5]))
+    assert And(a, b).estimated_size() == 3
+    assert Or(a, b).estimated_size() == 8
+
+
+def test_evaluate_rejects_non_expression():
+    with pytest.raises(TypeError):
+        evaluate("not an expression")

@@ -1,0 +1,69 @@
+"""SvS and merge intersection over compressed sets."""
+
+import numpy as np
+import pytest
+
+from repro import get_codec
+from repro.ops import merge_intersect, svs_intersect
+
+from tests.conftest import sorted_unique
+
+
+def test_svs_empty_input():
+    assert svs_intersect([]).size == 0
+
+
+def test_svs_single_list(codec, rng):
+    values = sorted_unique(rng, 200, 10_000)
+    cs = codec.compress(values, universe=10_000)
+    assert np.array_equal(svs_intersect([cs]), values)
+
+
+def test_svs_matches_reference(codec, rng):
+    lists = [sorted_unique(rng, n, 30_000) for n in (40, 2_000, 9_000)]
+    sets = [codec.compress(v, universe=30_000) for v in lists]
+    expected = lists[0]
+    for other in lists[1:]:
+        expected = np.intersect1d(expected, other)
+    assert np.array_equal(svs_intersect(sets), expected)
+
+
+def test_svs_empty_result_short_circuits(codec):
+    a = codec.compress(np.arange(10), universe=100_000)
+    b = codec.compress(np.arange(50_000, 50_100), universe=100_000)
+    c = codec.compress(np.arange(100), universe=100_000)
+    assert svs_intersect([a, b, c]).size == 0
+
+
+def test_svs_rejects_mixed_codecs(rng):
+    values = sorted_unique(rng, 100, 1_000)
+    a = get_codec("WAH").compress(values, universe=1_000)
+    b = get_codec("VB").compress(values, universe=1_000)
+    with pytest.raises(ValueError):
+        svs_intersect([a, b])
+
+
+def test_merge_intersect_matches_svs(codec, rng):
+    lists = [sorted_unique(rng, n, 30_000) for n in (500, 2_000, 9_000)]
+    sets = [codec.compress(v, universe=30_000) for v in lists]
+    assert np.array_equal(merge_intersect(sets), svs_intersect(sets))
+
+
+def test_merge_intersect_empty():
+    assert merge_intersect([]).size == 0
+
+
+def test_results_agree_across_all_codecs(rng):
+    """Every codec must produce the identical intersection (the harness
+    relies on this for cross-validation)."""
+    from repro import all_codec_names
+
+    lists = [sorted_unique(rng, n, 50_000) for n in (300, 20_000)]
+    reference = None
+    for name in all_codec_names():
+        codec = get_codec(name)
+        sets = [codec.compress(v, universe=50_000) for v in lists]
+        got = svs_intersect(sets)
+        if reference is None:
+            reference = got
+        assert np.array_equal(got, reference), name

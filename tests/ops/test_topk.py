@@ -1,0 +1,93 @@
+"""Top-k conjunctive query pipeline (paper Appendix A.1)."""
+
+import numpy as np
+import pytest
+
+from repro import get_codec
+from repro.ops import ScoredPostingList, idf_weight, topk_conjunctive
+
+from tests.conftest import sorted_unique
+
+
+def scored(codec_name, docs, payload, weight=1.0):
+    codec = get_codec(codec_name)
+    return ScoredPostingList(
+        codec.compress(docs, universe=100_000),
+        np.asarray(payload, dtype=np.float64),
+        weight,
+    )
+
+
+def test_two_term_query():
+    a = scored("Roaring", np.array([1, 5, 9, 20]), [1, 2, 3, 4])
+    b = scored("Roaring", np.array([5, 9, 50]), [10, 20, 30])
+    docs, scores = topk_conjunctive([a, b], k=10)
+    assert docs.tolist() == [9, 5]  # 3+20=23 beats 2+10=12
+    assert scores.tolist() == [23.0, 12.0]
+
+
+def test_k_truncates():
+    a = scored("VB", np.array([1, 2, 3, 4, 5]), [5, 4, 3, 2, 1])
+    docs, scores = topk_conjunctive([a], k=2)
+    assert docs.tolist() == [1, 2]
+    assert scores.tolist() == [5.0, 4.0]
+
+
+def test_weights_scale_scores():
+    a = scored("VB", np.array([7]), [2.0], weight=3.0)
+    docs, scores = topk_conjunctive([a], k=1)
+    assert scores.tolist() == [6.0]
+
+
+def test_ties_break_by_doc_id():
+    a = scored("List", np.array([3, 8, 12]), [1.0, 1.0, 1.0])
+    docs, _ = topk_conjunctive([a], k=3)
+    assert docs.tolist() == [3, 8, 12]
+
+
+def test_empty_intersection():
+    a = scored("WAH", np.array([1, 2]), [1, 1])
+    b = scored("WAH", np.array([50, 60]), [1, 1])
+    docs, scores = topk_conjunctive([a, b], k=5)
+    assert docs.size == 0 and scores.size == 0
+
+
+def test_no_lists():
+    docs, scores = topk_conjunctive([], k=3)
+    assert docs.size == 0
+
+
+def test_invalid_k():
+    with pytest.raises(ValueError):
+        topk_conjunctive([], k=0)
+
+
+def test_payload_length_validated():
+    codec = get_codec("VB")
+    with pytest.raises(ValueError):
+        ScoredPostingList(codec.compress([1, 2, 3]), np.zeros(2))
+
+
+def test_mixed_codec_ranking_agrees(rng):
+    """The codec choice must not change the ranking — only the speed."""
+    docs_a = sorted_unique(rng, 2_000, 100_000)
+    docs_b = sorted_unique(rng, 5_000, 100_000)
+    tf_a = rng.integers(1, 20, size=docs_a.size).astype(np.float64)
+    tf_b = rng.integers(1, 20, size=docs_b.size).astype(np.float64)
+    reference = None
+    for name in ("Roaring", "SIMDBP128*", "PEF", "List"):
+        codec = get_codec(name)
+        lists = [
+            ScoredPostingList(codec.compress(docs_a, universe=100_000), tf_a, 1.5),
+            ScoredPostingList(codec.compress(docs_b, universe=100_000), tf_b, 0.5),
+        ]
+        docs, scores = topk_conjunctive(lists, k=10)
+        if reference is None:
+            reference = (docs, scores)
+        assert np.array_equal(docs, reference[0]), name
+        assert np.allclose(scores, reference[1]), name
+
+
+def test_idf_weight_decreases_with_df():
+    assert idf_weight(10_000, 10) > idf_weight(10_000, 1_000)
+    assert idf_weight(10_000, 0) > 0

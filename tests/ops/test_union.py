@@ -1,0 +1,45 @@
+"""k-way union over compressed sets."""
+
+import numpy as np
+import pytest
+
+from repro import get_codec
+from repro.ops import merge_union
+from repro.ops.union import union_arrays
+
+from tests.conftest import sorted_unique
+
+
+def test_union_empty():
+    assert merge_union([]).size == 0
+
+
+def test_union_single(codec, rng):
+    values = sorted_unique(rng, 100, 10_000)
+    cs = codec.compress(values, universe=10_000)
+    assert np.array_equal(merge_union([cs]), values)
+
+
+def test_union_matches_reference(codec, rng):
+    lists = [sorted_unique(rng, n, 30_000) for n in (40, 2_000, 9_000)]
+    sets = [codec.compress(v, universe=30_000) for v in lists]
+    expected = lists[0]
+    for other in lists[1:]:
+        expected = np.union1d(expected, other)
+    assert np.array_equal(merge_union(sets), expected)
+
+
+def test_union_rejects_mixed_codecs(rng):
+    values = sorted_unique(rng, 100, 1_000)
+    a = get_codec("WAH").compress(values, universe=1_000)
+    b = get_codec("VB").compress(values, universe=1_000)
+    with pytest.raises(ValueError):
+        merge_union([a, b])
+
+
+def test_union_arrays_helper():
+    out = union_arrays(
+        [np.array([1, 5]), np.array([2, 5]), np.empty(0, dtype=np.int64)]
+    )
+    assert out.tolist() == [1, 2, 5]
+    assert union_arrays([]).size == 0

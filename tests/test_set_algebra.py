@@ -1,0 +1,98 @@
+"""difference / symmetric_difference across every codec.
+
+ANDNOT and XOR are not among the paper's four metrics, but production
+bitmap libraries ship them; bitmap codecs compute them on the compressed
+form, inverted lists via decompress-and-merge.  All must agree with
+NumPy's set algebra.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import all_codec_names, get_codec
+from repro.core.base import difference_sorted_arrays, xor_sorted_arrays
+
+from tests.conftest import sorted_unique
+
+SETTINGS = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+MAX_V = (1 << 18) - 1
+
+
+def test_difference_sorted_arrays():
+    a = np.array([1, 3, 5, 7], dtype=np.int64)
+    b = np.array([3, 7, 9], dtype=np.int64)
+    assert difference_sorted_arrays(a, b).tolist() == [1, 5]
+    assert difference_sorted_arrays(a, a).size == 0
+    assert difference_sorted_arrays(a, np.empty(0, dtype=np.int64)).tolist() == a.tolist()
+
+
+def test_xor_sorted_arrays():
+    a = np.array([1, 3, 5], dtype=np.int64)
+    b = np.array([3, 7], dtype=np.int64)
+    assert xor_sorted_arrays(a, b).tolist() == [1, 5, 7]
+    assert xor_sorted_arrays(a, a).size == 0
+    assert xor_sorted_arrays(np.empty(0, dtype=np.int64), b).tolist() == [3, 7]
+
+
+def test_difference_every_codec(codec, rng):
+    a = sorted_unique(rng, 3_000, 100_000)
+    b = sorted_unique(rng, 5_000, 100_000)
+    ca = codec.compress(a, universe=100_000)
+    cb = codec.compress(b, universe=100_000)
+    assert np.array_equal(
+        codec.difference(ca, cb), np.setdiff1d(a, b, assume_unique=True)
+    )
+    assert np.array_equal(
+        codec.difference(cb, ca), np.setdiff1d(b, a, assume_unique=True)
+    )
+
+
+def test_xor_every_codec(codec, rng):
+    a = sorted_unique(rng, 3_000, 100_000)
+    b = sorted_unique(rng, 5_000, 100_000)
+    ca = codec.compress(a, universe=100_000)
+    cb = codec.compress(b, universe=100_000)
+    assert np.array_equal(codec.symmetric_difference(ca, cb), np.setxor1d(a, b))
+
+
+def test_difference_with_longer_second_operand(codec, rng):
+    """Universe mismatch: b extends past a's last group."""
+    a = sorted_unique(rng, 100, 1_000)
+    b = sorted_unique(rng, 500, 50_000)
+    ca = codec.compress(a, universe=1_000)
+    cb = codec.compress(b, universe=50_000)
+    assert np.array_equal(
+        codec.difference(ca, cb), np.setdiff1d(a, b, assume_unique=True)
+    )
+    assert np.array_equal(codec.symmetric_difference(ca, cb), np.setxor1d(a, b))
+
+
+@st.composite
+def pair(draw):
+    a = draw(st.lists(st.integers(0, MAX_V), max_size=150, unique=True))
+    b = draw(st.lists(st.integers(0, MAX_V), max_size=150, unique=True))
+    return (
+        np.array(sorted(a), dtype=np.int64),
+        np.array(sorted(b), dtype=np.int64),
+    )
+
+
+@given(ab=pair())
+@SETTINGS
+def test_algebra_properties(ab):
+    a, b = ab
+    expected_diff = np.setdiff1d(a, b, assume_unique=True)
+    expected_xor = np.setxor1d(a, b)
+    for name in all_codec_names():
+        codec = get_codec(name)
+        ca = codec.compress(a, universe=MAX_V + 1)
+        cb = codec.compress(b, universe=MAX_V + 1)
+        assert np.array_equal(codec.difference(ca, cb), expected_diff), name
+        assert np.array_equal(
+            codec.symmetric_difference(ca, cb), expected_xor
+        ), name
