@@ -1,0 +1,38 @@
+# Development gate for the bitmap-vs-invlist reproduction.
+#
+#   make check   — ruff → mypy → codec-contract analyzer → tier-1 tests
+#
+# ruff/mypy are optional locally (install with `pip install -e .[lint]`);
+# when absent those steps are skipped with a notice so the contract
+# analyzer and the test suite still gate every change.  CI runs all four.
+
+PY ?= python
+export PYTHONPATH := src
+
+.PHONY: check lint type analyze test bench
+
+check: lint type analyze test
+	@echo "check: all gates passed"
+
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks; \
+	else \
+		echo "lint: ruff not installed, skipping (pip install -e .[lint])"; \
+	fi
+
+type:
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy; \
+	else \
+		echo "type: mypy not installed, skipping (pip install -e .[lint])"; \
+	fi
+
+analyze:
+	$(PY) -m repro.analysis src/repro
+
+test:
+	$(PY) -m pytest -x -q
+
+bench:
+	$(PY) -m pytest benchmarks -q

@@ -8,7 +8,7 @@ clustered regime.  Full sweep: ``python -m repro.bench fig3``.
 import pytest
 
 from repro import all_codec_names, get_codec
-from repro.datagen import markov_list, uniform_list
+from repro.datagen import markov_list
 
 from conftest import DOMAIN, LONG_SIZE, SEED
 

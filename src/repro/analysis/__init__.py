@@ -1,0 +1,39 @@
+"""Static codec-contract analyzer (see ``docs/static_analysis.md``).
+
+The paper's comparison is only meaningful while all codecs obey one
+strict contract — sorted int64 posting arrays in, byte-accurate
+``size_bytes`` out, no input mutation, uncompressed arrays from
+``intersect``/``union``.  This package enforces the statically checkable
+parts of that contract as rules REPRO001–REPRO006 over the library's
+own source, without importing it.
+
+Library use::
+
+    from repro.analysis import run_checks
+    findings = run_checks(["src/repro"])
+    assert not findings, "\\n".join(f.format() for f in findings)
+
+CLI use::
+
+    python -m repro.analysis [--format=json|text] [paths ...]
+
+Per-line suppression::
+
+    codec_cls = weird()  # repro: noqa[REPRO001]
+"""
+
+from repro.analysis.config import AnalysisConfig, load_config
+from repro.analysis.engine import run_checks
+from repro.analysis.findings import Finding, findings_to_json, format_text
+from repro.analysis.rules import RULES, Rule
+
+__all__ = [
+    "AnalysisConfig",
+    "Finding",
+    "Rule",
+    "RULES",
+    "run_checks",
+    "load_config",
+    "findings_to_json",
+    "format_text",
+]

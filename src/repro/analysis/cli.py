@@ -1,0 +1,100 @@
+"""``python -m repro.analysis`` — the codec-contract gate.
+
+Exit status is 0 when no findings survive suppression, 1 otherwise
+(and 2 for usage errors), so the command slots directly into
+``make check`` and CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.config import AnalysisConfig, find_pyproject, load_config
+from repro.analysis.engine import default_paths, run_checks
+from repro.analysis.findings import findings_to_json, format_text
+from repro.analysis.rules import RULES
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static codec-contract analyzer for the repro library.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to analyze (default: the repro package)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule codes to run exclusively, e.g. REPRO001,REPRO003",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="RULES",
+        help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every rule with its rationale and exit",
+    )
+    return parser
+
+
+def _codes(raw: str | None) -> frozenset[str]:
+    if not raw:
+        return frozenset()
+    return frozenset(c.strip().upper() for c in raw.split(",") if c.strip())
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in sorted(RULES.values(), key=lambda r: r.code):
+            print(f"{rule.code}  {rule.title}")
+            print(f"    {rule.rationale}")
+        return 0
+
+    paths = [p for p in args.paths] or default_paths()
+    anchor = paths[0] if paths else Path.cwd()
+    config = load_config(find_pyproject(anchor))
+    select = _codes(args.select)
+    ignore = _codes(args.ignore)
+    if select or ignore:
+        config = AnalysisConfig(
+            select=select or config.select,
+            ignore=ignore | config.ignore,
+            timing_exempt=config.timing_exempt,
+            magic_packages=config.magic_packages,
+            magic_numbers=config.magic_numbers,
+        )
+    unknown = (select | ignore) - set(RULES) - {"REPRO000"}
+    if unknown:
+        print(f"unknown rule code(s): {', '.join(sorted(unknown))}", file=sys.stderr)
+        return 2
+
+    findings = run_checks(paths, config)
+    if args.format == "json":
+        print(findings_to_json(findings))
+    elif findings:
+        print(format_text(findings))
+        print(f"\n{len(findings)} finding(s)", file=sys.stderr)
+    else:
+        print("repro.analysis: all checks passed", file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

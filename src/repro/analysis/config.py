@@ -1,0 +1,98 @@
+"""Analyzer configuration.
+
+Defaults encode the repository's layout (``repro.bench`` owns timing,
+``repro.bitmaps``/``repro.invlists`` hold the word-size-sensitive
+codecs).  Projects embedding the analyzer can override any of it via a
+``[tool.repro-analysis]`` table in ``pyproject.toml``:
+
+.. code-block:: toml
+
+    [tool.repro-analysis]
+    select = ["REPRO001", "REPRO003"]   # only these rules
+    ignore = ["REPRO005"]               # or drop specific rules
+    timing-exempt = ["repro/bench"]     # REPRO004-free path fragments
+    magic-packages = ["repro/bitmaps"]  # REPRO005 scope
+    magic-numbers = [31, 32, 64, 128]   # REPRO005 literal set
+"""
+
+from __future__ import annotations
+
+import tomllib
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+#: Word/block-size literals that must be named module-level constants
+#: when they appear in codec loop bodies (REPRO005).  31/32 are the
+#: WAH-family group/word sizes, 63/64 the EWAH/Bitset word sizes, 128
+#: the paper's inverted-list block size, 65536 the Roaring chunk width.
+DEFAULT_MAGIC_NUMBERS = frozenset({31, 32, 63, 64, 128, 65536})
+
+
+@dataclass(frozen=True)
+class AnalysisConfig:
+    """Which rules run, and where each contract applies.
+
+    Attributes:
+        select: if non-empty, only these rule codes run.
+        ignore: rule codes switched off entirely.
+        timing_exempt: path fragments (POSIX) where REPRO004 does not
+            apply — the benchmark harness owns timing/printing, and the
+            analyzer's own CLI prints its report.
+        magic_packages: path fragments where REPRO005 looks for inline
+            word-size literals (the codec packages).
+        magic_numbers: the literal values REPRO005 hunts for.
+    """
+
+    select: frozenset[str] = frozenset()
+    ignore: frozenset[str] = frozenset()
+    timing_exempt: tuple[str, ...] = ("repro/bench", "repro/analysis")
+    magic_packages: tuple[str, ...] = ("repro/bitmaps", "repro/invlists")
+    magic_numbers: frozenset[int] = field(default=DEFAULT_MAGIC_NUMBERS)
+
+    def rule_enabled(self, code: str) -> bool:
+        if code in self.ignore:
+            return False
+        if self.select:
+            return code in self.select
+        return True
+
+
+def load_config(pyproject: Path | None = None) -> AnalysisConfig:
+    """Build a config, layering ``[tool.repro-analysis]`` if present.
+
+    Args:
+        pyproject: explicit path to a ``pyproject.toml``; when None the
+            defaults are returned unchanged.
+    """
+    cfg = AnalysisConfig()
+    if pyproject is None or not pyproject.is_file():
+        return cfg
+    with open(pyproject, "rb") as fh:
+        data = tomllib.load(fh)
+    table = data.get("tool", {}).get("repro-analysis", {})
+    if not isinstance(table, dict):
+        return cfg
+    updates: dict[str, object] = {}
+    if "select" in table:
+        updates["select"] = frozenset(str(c) for c in table["select"])
+    if "ignore" in table:
+        updates["ignore"] = frozenset(str(c) for c in table["ignore"])
+    if "timing-exempt" in table:
+        updates["timing_exempt"] = tuple(str(p) for p in table["timing-exempt"])
+    if "magic-packages" in table:
+        updates["magic_packages"] = tuple(str(p) for p in table["magic-packages"])
+    if "magic-numbers" in table:
+        updates["magic_numbers"] = frozenset(int(v) for v in table["magic-numbers"])
+    return replace(cfg, **updates)  # type: ignore[arg-type]
+
+
+def find_pyproject(start: Path) -> Path | None:
+    """Nearest ``pyproject.toml`` at or above *start* (for the CLI)."""
+    node = start.resolve()
+    if node.is_file():
+        node = node.parent
+    for candidate in (node, *node.parents):
+        p = candidate / "pyproject.toml"
+        if p.is_file():
+            return p
+    return None

@@ -1,0 +1,60 @@
+"""Orchestration: parse → rules → suppression → sorted findings."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.findings import Finding
+from repro.analysis.rules import run_rules
+from repro.analysis.walker import ALL_RULES, ProjectModel, build_model
+
+
+def default_paths() -> list[Path]:
+    """The installed ``repro`` package — what a bare CLI run analyses."""
+    import repro
+
+    return [Path(repro.__file__).parent]
+
+
+def _apply_suppressions(
+    model: ProjectModel, findings: Iterable[Finding]
+) -> list[Finding]:
+    by_path = {mod.relpath: mod for mod in model.modules}
+    kept = []
+    for finding in findings:
+        mod = by_path.get(finding.path)
+        if mod is not None:
+            codes = mod.noqa.get(finding.line)
+            if codes and (ALL_RULES in codes or finding.rule in codes):
+                continue
+        kept.append(finding)
+    return kept
+
+
+def run_checks(
+    paths: Sequence[Path | str] | None = None,
+    config: AnalysisConfig | None = None,
+) -> list[Finding]:
+    """Run every enabled codec-contract rule over *paths*.
+
+    Args:
+        paths: files or directories; defaults to the installed ``repro``
+            package so ``run_checks()`` audits the library itself.
+        config: rule selection and scoping; defaults to
+            :class:`AnalysisConfig` defaults.
+
+    Returns:
+        Sorted, suppression-filtered findings (empty when clean).
+        Unparseable files surface as rule ``REPRO000`` findings rather
+        than exceptions, so one corrupt file cannot hide the rest.
+    """
+    resolved = (
+        [Path(p) for p in paths] if paths else default_paths()
+    )
+    cfg = config or AnalysisConfig()
+    model = build_model(resolved)
+    findings = list(model.parse_failures)
+    findings.extend(run_rules(model, cfg))
+    return sorted(_apply_suppressions(model, findings))

@@ -1,0 +1,50 @@
+"""Structured findings emitted by the codec-contract analyzer.
+
+A :class:`Finding` pins one rule violation to a file/line/column.  The
+object is deliberately plain — the CLI renders it as text or JSON, the
+pytest integration formats it into an assertion message, and downstream
+tooling (CI annotations) can consume the dict form.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Iterable
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a concrete source location.
+
+    Attributes:
+        path: file the violation lives in, as given to the analyzer
+            (normalised to POSIX separators).
+        line: 1-based line number.
+        col: 0-based column offset of the offending node.
+        rule: rule identifier, e.g. ``"REPRO003"``.
+        message: human-readable description of what is wrong and why.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def to_dict(self) -> dict[str, object]:
+        return asdict(self)
+
+    def format(self) -> str:
+        """``path:line:col: RULE message`` — the text output format."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+def findings_to_json(findings: Iterable[Finding]) -> str:
+    """Serialise findings for ``--format=json`` and CI consumption."""
+    items = [f.to_dict() for f in findings]
+    return json.dumps({"count": len(items), "findings": items}, indent=2)
+
+
+def format_text(findings: Iterable[Finding]) -> str:
+    return "\n".join(f.format() for f in findings)

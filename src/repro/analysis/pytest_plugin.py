@@ -1,0 +1,45 @@
+"""Pytest integration for the codec-contract analyzer.
+
+Two entry points:
+
+* :func:`assert_clean` — call from any test to fail with a readable
+  listing when the tree has findings.
+* the ``repro_analysis_clean`` fixture — enable with
+  ``pytest_plugins = ["repro.analysis.pytest_plugin"]`` in a conftest.
+
+The repository's own gate lives in ``tests/analysis/test_self_clean.py``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.engine import run_checks
+from repro.analysis.findings import format_text
+
+
+def assert_clean(
+    paths: Sequence[Path | str] | None = None,
+    config: AnalysisConfig | None = None,
+) -> None:
+    """Raise AssertionError listing every finding when *paths* is dirty."""
+    findings = run_checks(paths, config)
+    if findings:
+        raise AssertionError(
+            f"{len(findings)} codec-contract finding(s):\n"
+            + format_text(findings)
+        )
+
+
+try:  # pragma: no cover - trivially exercised by the fixture test
+    import pytest
+
+    @pytest.fixture
+    def repro_analysis_clean() -> Callable[..., None]:
+        """Fixture handing tests the :func:`assert_clean` gate."""
+        return assert_clean
+
+except ImportError:  # pytest not installed; library use only
+    pass

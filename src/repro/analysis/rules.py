@@ -1,0 +1,571 @@
+"""The codec-contract rules, REPRO001 through REPRO006.
+
+Each rule protects one invariant the paper's comparative methodology
+depends on (see ``docs/static_analysis.md`` for the full rationale):
+
+* REPRO001 — registration & literal metadata: every concrete codec is
+  enrolled in every experiment via ``@register_codec``, with ``name`` /
+  ``family`` / ``year`` statically readable.
+* REPRO002 — input immutability: codec methods never mutate their
+  argument arrays or payloads.
+* REPRO003 — honest wire sizes: ``CompressedIntegerSet`` is constructed
+  with a computed ``size_bytes``, never a literal or ``sys.getsizeof``.
+* REPRO004 — timing discipline: no ad-hoc timing or printing inside the
+  measured library; ``repro.bench.harness`` owns the clock.
+* REPRO005 — named word sizes: 31/32/64/128/65536-style constants in
+  codec loop bodies must be named module-level constants.
+* REPRO006 — registry completeness: registered codec names and the
+  paper-legend declaration in ``repro.core.registry`` stay in sync.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.findings import Finding
+from repro.analysis.walker import (
+    ClassDef,
+    ModuleInfo,
+    ProjectModel,
+    dotted_name,
+    int_literal,
+    root_name,
+    str_literal,
+    tail_name,
+)
+
+RuleCheck = Callable[[ProjectModel, AnalysisConfig], Iterator[Finding]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    code: str
+    title: str
+    rationale: str
+    check: RuleCheck
+
+
+RULES: dict[str, Rule] = {}
+
+
+def _rule(code: str, title: str, rationale: str) -> Callable[[RuleCheck], RuleCheck]:
+    def decorate(fn: RuleCheck) -> RuleCheck:
+        RULES[code] = Rule(code=code, title=title, rationale=rationale, check=fn)
+        return fn
+
+    return decorate
+
+
+def _finding(mod: ModuleInfo, node: ast.AST, code: str, message: str) -> Finding:
+    return Finding(
+        path=mod.relpath,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0),
+        rule=code,
+        message=message,
+    )
+
+
+def _path_matches(mod: ModuleInfo, fragments: tuple[str, ...]) -> bool:
+    return any(frag in mod.relpath for frag in fragments)
+
+
+# ----------------------------------------------------------------------
+# REPRO001 — registration & literal metadata
+# ----------------------------------------------------------------------
+_FAMILIES = ("bitmap", "invlist")
+
+
+def _is_registered(cls: ClassDef) -> bool:
+    return "register_codec" in cls.decorators
+
+
+@_rule(
+    "REPRO001",
+    "codec registration and literal metadata",
+    "Experiments iterate the registry; an unregistered codec silently "
+    "drops out of every figure, and non-literal name/family/year break "
+    "legend ordering and the Figure-1 history table.",
+)
+def check_registration(
+    model: ProjectModel, config: AnalysisConfig
+) -> Iterator[Finding]:
+    for cls in model.iter_classes():
+        registered = _is_registered(cls)
+        if registered:
+            if str_literal(cls.attrs.get("name")) is None:
+                yield _finding(
+                    cls.module,
+                    cls.node,
+                    "REPRO001",
+                    f"registered codec {cls.name!r} must define `name` as a "
+                    "literal string class attribute in its own body",
+                )
+            family = str_literal(model.resolve_class_attr(cls, "family"))
+            if family not in _FAMILIES:
+                yield _finding(
+                    cls.module,
+                    cls.node,
+                    "REPRO001",
+                    f"registered codec {cls.name!r} must declare `family` as "
+                    "a literal 'bitmap' or 'invlist' (own body or base class)",
+                )
+            if int_literal(model.resolve_class_attr(cls, "year")) is None:
+                yield _finding(
+                    cls.module,
+                    cls.node,
+                    "REPRO001",
+                    f"registered codec {cls.name!r} must declare `year` as a "
+                    "literal int (Figure-1 history metadata)",
+                )
+        elif model.is_codec_class(cls) and "name" in cls.attrs:
+            codec_name = str_literal(cls.attrs.get("name"))
+            if codec_name is not None:
+                yield _finding(
+                    cls.module,
+                    cls.node,
+                    "REPRO001",
+                    f"codec class {cls.name!r} defines name {codec_name!r} "
+                    "but is not decorated with @register_codec; it will be "
+                    "invisible to every experiment",
+                )
+
+
+# ----------------------------------------------------------------------
+# REPRO002 — codec methods must not mutate their inputs
+# ----------------------------------------------------------------------
+#: Method calls that mutate their receiver in place (ndarray and the
+#: builtin containers a payload might hold).
+_MUTATORS = frozenset(
+    {
+        "sort", "fill", "resize", "put", "partition", "setflags", "byteswap",
+        "append", "extend", "insert", "remove", "pop", "clear", "update",
+        "setdefault", "reverse", "itemset",
+    }
+)
+
+
+def _bare_names(target: ast.expr) -> Iterator[str]:
+    """Names rebound by an assignment target (recursing into tuples)."""
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            yield from _bare_names(elt)
+    elif isinstance(target, ast.Starred):
+        yield from _bare_names(target.value)
+
+
+def _expression_parts(stmt: ast.stmt) -> Iterator[ast.AST]:
+    """The statement's own expressions, excluding nested statement bodies
+    (those are visited separately, in order, by the block walker)."""
+    for child in ast.iter_child_nodes(stmt):
+        if not isinstance(child, (ast.stmt, ast.excepthandler)):
+            yield from ast.walk(child)
+
+
+def _mutating_calls(
+    stmt: ast.stmt, tracked: set[str]
+) -> Iterator[tuple[ast.AST, str, str]]:
+    """(node, param, description) for mutating calls inside *stmt*."""
+    for node in _expression_parts(stmt):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            continue
+        if func.attr in _MUTATORS:
+            owner = root_name(func.value)
+            if owner in tracked:
+                yield node, owner, f".{func.attr}() mutates"
+        elif func.attr == "at" and node.args:
+            # ufunc scatter: np.bitwise_or.at(arr, idx, vals)
+            owner = root_name(node.args[0])
+            if owner in tracked:
+                yield node, owner, "ufunc .at() scatters into"
+
+
+def _scan_method(
+    mod: ModuleInfo, cls_name: str, fn: ast.FunctionDef
+) -> Iterator[Finding]:
+    args = fn.args
+    params = {
+        a.arg
+        for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+        if a.arg not in ("self", "cls")
+    }
+    if args.vararg:
+        params.add(args.vararg.arg)
+    if args.kwarg:
+        params.add(args.kwarg.arg)
+    if not params:
+        return
+    tracked = set(params)
+
+    def emit(node: ast.AST, param: str, what: str) -> Finding:
+        return _finding(
+            mod,
+            node,
+            "REPRO002",
+            f"{cls_name}.{fn.name} {what} its input parameter {param!r}; "
+            "codec methods must leave their arguments untouched",
+        )
+
+    def visit_block(body: list[ast.stmt]) -> Iterator[Finding]:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue  # nested scopes have their own parameters
+            for node, param, what in _mutating_calls(stmt, tracked):
+                yield emit(node, param, what)
+            if isinstance(stmt, ast.AugAssign):
+                owner = root_name(stmt.target)
+                if owner in tracked:
+                    yield emit(
+                        stmt,
+                        owner,
+                        "applies an in-place augmented assignment to",
+                    )
+                if isinstance(stmt.target, ast.Name):
+                    tracked.discard(stmt.target.id)
+            elif isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                targets = (
+                    stmt.targets
+                    if isinstance(stmt, ast.Assign)
+                    else ([stmt.target] if stmt.target is not None else [])
+                )
+                for target in targets:
+                    if isinstance(target, (ast.Subscript, ast.Attribute)):
+                        owner = root_name(target)
+                        if owner in tracked:
+                            yield emit(stmt, owner, "assigns into")
+                    for rebound in _bare_names(target):
+                        tracked.discard(rebound)
+            elif isinstance(stmt, ast.Delete):
+                for target in stmt.targets:
+                    if isinstance(target, (ast.Subscript, ast.Attribute)):
+                        owner = root_name(target)
+                        if owner in tracked:
+                            yield emit(stmt, owner, "deletes items of")
+                    for rebound in _bare_names(target):
+                        tracked.discard(rebound)
+            elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                for rebound in _bare_names(stmt.target):
+                    tracked.discard(rebound)
+            # Recurse into compound-statement bodies in source order.
+            for attr in ("body", "orelse", "finalbody"):
+                inner = getattr(stmt, attr, None)
+                if inner and all(isinstance(s, ast.stmt) for s in inner):
+                    yield from visit_block(inner)
+            for handler in getattr(stmt, "handlers", []):
+                yield from visit_block(handler.body)
+
+    yield from visit_block(fn.body)
+
+
+@_rule(
+    "REPRO002",
+    "codec methods must not mutate their inputs",
+    "compress/intersect/union receive caller-owned arrays and shared "
+    "payloads; in-place mutation corrupts the posting lists every other "
+    "codec is benchmarked against in the same run.",
+)
+def check_no_input_mutation(
+    model: ProjectModel, config: AnalysisConfig
+) -> Iterator[Finding]:
+    for cls in model.iter_classes():
+        if not (model.is_codec_class(cls) or _is_registered(cls)):
+            continue
+        for stmt in cls.node.body:
+            if isinstance(stmt, ast.FunctionDef):
+                yield from _scan_method(cls.module, cls.name, stmt)
+
+
+# ----------------------------------------------------------------------
+# REPRO003 — size_bytes must be explicitly computed
+# ----------------------------------------------------------------------
+@_rule(
+    "REPRO003",
+    "size_bytes must be explicitly computed",
+    "size_bytes is the paper's space-overhead metric; a hardcoded "
+    "literal or interpreter-dependent sys.getsizeof silently falsifies "
+    "every compression-ratio figure.",
+)
+def check_size_bytes(model: ProjectModel, config: AnalysisConfig) -> Iterator[Finding]:
+    for mod in model.modules:
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if tail_name(node.func) != "CompressedIntegerSet":
+                continue
+            size_arg: ast.expr | None = None
+            for kw in node.keywords:
+                if kw.arg == "size_bytes":
+                    size_arg = kw.value
+            if size_arg is None and len(node.args) >= 5:
+                size_arg = node.args[4]
+            if size_arg is None:
+                continue
+            if int_literal(size_arg) is not None:
+                yield _finding(
+                    mod,
+                    size_arg,
+                    "REPRO003",
+                    "CompressedIntegerSet built with literal size_bytes "
+                    f"{int_literal(size_arg)}; compute the wire size from "
+                    "the payload instead",
+                )
+            elif isinstance(size_arg, ast.Call):
+                called = dotted_name(size_arg.func) or ""
+                if called.split(".")[-1] == "getsizeof":
+                    yield _finding(
+                        mod,
+                        size_arg,
+                        "REPRO003",
+                        "CompressedIntegerSet built with sys.getsizeof(); "
+                        "that measures interpreter overhead, not the wire "
+                        "format — compute size from the payload",
+                    )
+
+
+# ----------------------------------------------------------------------
+# REPRO004 — timing/printing stays in the harness
+# ----------------------------------------------------------------------
+_BANNED_TIMING = frozenset(
+    {
+        "time.time", "time.time_ns", "time.perf_counter",
+        "time.perf_counter_ns", "time.monotonic", "time.monotonic_ns",
+        "time.process_time", "time.process_time_ns",
+    }
+)
+
+
+def _call_origin(mod: ModuleInfo, func: ast.expr) -> str | None:
+    """Resolve a called name through the module's imports."""
+    dotted = dotted_name(func)
+    if dotted is None:
+        return None
+    head, _, rest = dotted.partition(".")
+    origin = mod.imports.get(head, head)
+    return f"{origin}.{rest}" if rest else origin
+
+
+@_rule(
+    "REPRO004",
+    "no ad-hoc timing or printing in library code",
+    "Measurements must flow through repro.bench.harness so every codec "
+    "is timed identically (same clock, same repetition policy); stray "
+    "print/time calls skew the hot paths being measured.",
+)
+def check_timing_discipline(
+    model: ProjectModel, config: AnalysisConfig
+) -> Iterator[Finding]:
+    for mod in model.modules:
+        if _path_matches(mod, config.timing_exempt):
+            continue
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            origin = _call_origin(mod, node.func)
+            if origin is None:
+                continue
+            if origin == "print":
+                yield _finding(
+                    mod,
+                    node,
+                    "REPRO004",
+                    "print() inside library code; report through the "
+                    "bench harness or logging instead",
+                )
+            elif origin in _BANNED_TIMING or origin.startswith("timeit."):
+                yield _finding(
+                    mod,
+                    node,
+                    "REPRO004",
+                    f"{origin}() inside library code; all timing must go "
+                    "through repro.bench.harness",
+                )
+
+
+# ----------------------------------------------------------------------
+# REPRO005 — word/block sizes are named constants
+# ----------------------------------------------------------------------
+class _MagicNumberVisitor(ast.NodeVisitor):
+    def __init__(self, mod: ModuleInfo, magic: frozenset[int]) -> None:
+        self.mod = mod
+        self.magic = magic
+        self.fn_depth = 0
+        self.loop_depth = 0
+        self.findings: list[Finding] = []
+
+    def _in_scope(self) -> bool:
+        return self.fn_depth > 0 and self.loop_depth > 0
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self.fn_depth += 1
+        self.generic_visit(node)
+        self.fn_depth -= 1
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def _visit_loop(self, node: ast.AST) -> None:
+        self.loop_depth += 1
+        self.generic_visit(node)
+        self.loop_depth -= 1
+
+    visit_For = visit_AsyncFor = visit_While = _visit_loop  # type: ignore[assignment]
+    visit_ListComp = visit_SetComp = visit_DictComp = _visit_loop  # type: ignore[assignment]
+    visit_GeneratorExp = _visit_loop  # type: ignore[assignment]
+
+    def _is_decimal_spelling(self, node: ast.Constant) -> bool:
+        """Hex/octal/binary literals (0x80, 0b…) are bit masks, not word
+        sizes — only decimal spellings are flagged."""
+        lines = self.mod.source_lines
+        if not (1 <= node.lineno <= len(lines)):
+            return True
+        text = lines[node.lineno - 1][node.col_offset : node.col_offset + 2]
+        return text[:2].lower() not in ("0x", "0o", "0b")
+
+    def visit_Constant(self, node: ast.Constant) -> None:
+        value = node.value
+        if (
+            self._in_scope()
+            and isinstance(value, int)
+            and not isinstance(value, bool)
+            and value in self.magic
+            and self._is_decimal_spelling(node)
+        ):
+            self.findings.append(
+                _finding(
+                    self.mod,
+                    node,
+                    "REPRO005",
+                    f"magic word/block-size literal {value} in a codec loop "
+                    "body; hoist it to a named module-level constant",
+                )
+            )
+
+
+@_rule(
+    "REPRO005",
+    "word/block sizes are named module-level constants",
+    "31/32/64/128/65536 encode each format's word and chunk geometry; "
+    "an inline copy in a loop body can drift from the constant the rest "
+    "of the codec uses, producing subtly corrupt payloads.",
+)
+def check_magic_numbers(
+    model: ProjectModel, config: AnalysisConfig
+) -> Iterator[Finding]:
+    for mod in model.modules:
+        if not _path_matches(mod, config.magic_packages):
+            continue
+        visitor = _MagicNumberVisitor(mod, config.magic_numbers)
+        visitor.visit(mod.tree)
+        yield from visitor.findings
+
+
+# ----------------------------------------------------------------------
+# REPRO006 — registry matches the paper legend
+# ----------------------------------------------------------------------
+_LEGEND_LISTS = {"_BITMAP_ORDER": "bitmap", "_INVLIST_ORDER": "invlist"}
+
+
+def _legend_declarations(
+    model: ProjectModel,
+) -> tuple[ModuleInfo, dict[str, tuple[list[str], int]]] | None:
+    """The module declaring both legend lists, with values and linenos."""
+    for mod in model.modules:
+        found: dict[str, tuple[list[str], int]] = {}
+        for node in mod.tree.body:
+            if not isinstance(node, ast.Assign):
+                continue
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id in _LEGEND_LISTS
+                    and isinstance(node.value, (ast.List, ast.Tuple))
+                ):
+                    names = [
+                        s
+                        for s in (str_literal(e) for e in node.value.elts)
+                        if s is not None
+                    ]
+                    found[target.id] = (names, node.lineno)
+        if len(found) == len(_LEGEND_LISTS):
+            return mod, found
+    return None
+
+
+@_rule(
+    "REPRO006",
+    "registry completeness against the paper legend",
+    "The legend lists in repro.core.registry are the single declaration "
+    "of the paper's codec roster; a registered codec missing from them "
+    "(or a stale legend entry) desynchronises every figure's ordering.",
+)
+def check_registry_completeness(
+    model: ProjectModel, config: AnalysisConfig
+) -> Iterator[Finding]:
+    legend = _legend_declarations(model)
+    if legend is None:
+        return  # partial run without the registry module in scope
+    legend_mod, lists = legend
+    registered: dict[str, list[ClassDef]] = {}
+    for cls in model.iter_classes():
+        if not _is_registered(cls):
+            continue
+        codec_name = str_literal(cls.attrs.get("name"))
+        if codec_name is not None:
+            registered.setdefault(codec_name, []).append(cls)
+    if not registered:
+        return  # registry-only run: nothing to cross-check
+    legend_by_family = {
+        family: lists[var][0] for var, family in _LEGEND_LISTS.items()
+    }
+    all_legend = {n for names in legend_by_family.values() for n in names}
+    for codec_name, classes in registered.items():
+        for cls in classes:
+            family = str_literal(model.resolve_class_attr(cls, "family"))
+            expected = legend_by_family.get(family or "", [])
+            if codec_name not in expected:
+                where = (
+                    f"the {family} legend list"
+                    if family in legend_by_family
+                    else "either legend list"
+                )
+                if codec_name in all_legend:
+                    msg = (
+                        f"registered codec {codec_name!r} appears in the "
+                        f"wrong legend list for its family {family!r}"
+                    )
+                else:
+                    msg = (
+                        f"registered codec {codec_name!r} is missing from "
+                        f"{where} in {legend_mod.relpath}; figures will "
+                        "order it arbitrarily"
+                    )
+                yield _finding(cls.module, cls.node, "REPRO006", msg)
+    for var, family in _LEGEND_LISTS.items():
+        names, lineno = lists[var]
+        for legend_name in names:
+            if legend_name not in registered:
+                yield Finding(
+                    path=legend_mod.relpath,
+                    line=lineno,
+                    col=0,
+                    rule="REPRO006",
+                    message=(
+                        f"legend entry {legend_name!r} in {var} has no "
+                        "registered codec; stale roster declaration"
+                    ),
+                )
+
+
+def run_rules(
+    model: ProjectModel, config: AnalysisConfig
+) -> Iterable[Finding]:
+    for code in sorted(RULES):
+        if config.rule_enabled(code):
+            yield from RULES[code].check(model, config)

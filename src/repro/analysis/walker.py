@@ -1,0 +1,304 @@
+"""Source discovery and the cross-module project model.
+
+The analyzer never imports the code it checks: every module is parsed
+with :mod:`ast` and summarised into light-weight records.  Rules then
+work over the whole-project view — which is what lets REPRO001 resolve a
+``family`` attribute inherited from a base class in another file, and
+REPRO006 compare every registered codec name against the single legend
+declaration in ``repro/core/registry.py``.
+
+Suppression comments are collected here too (from tokenize's COMMENT
+tokens, so a ``# repro: noqa`` inside a string literal never counts):
+
+    payload = weird_thing()  # repro: noqa[REPRO002]
+    other = thing()          # repro: noqa[REPRO001,REPRO005]
+    anything = go()          # repro: noqa          (all rules)
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.analysis.findings import Finding
+
+#: Matches the per-line suppression comment.  Group 1, when present, is
+#: the comma-separated rule list; a bare ``# repro: noqa`` blankets all.
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\s*\[\s*([A-Z0-9,\s]+?)\s*\])?", re.I)
+
+#: Suppresses every rule on the line (a bare ``# repro: noqa``).
+ALL_RULES = "*"
+
+
+@dataclass
+class ClassDef:
+    """One class statement, summarised for the rules."""
+
+    module: "ModuleInfo"
+    node: ast.ClassDef
+    name: str
+    #: Base-class names (last attribute segment, e.g. ``RLEBitmapCodec``).
+    bases: list[str]
+    #: Decorator names (last attribute segment, e.g. ``register_codec``).
+    decorators: list[str]
+    #: Class-body assignments to simple names: name -> value expression.
+    attrs: dict[str, ast.expr]
+
+    @property
+    def lineno(self) -> int:
+        return self.node.lineno
+
+
+@dataclass
+class ModuleInfo:
+    """A parsed module plus everything the rules need from it."""
+
+    path: Path
+    relpath: str  # POSIX-style, as reported in findings
+    tree: ast.Module
+    #: source split into lines, for spelling-sensitive rules (REPRO005
+    #: distinguishes decimal word sizes from hex bit masks).
+    source_lines: list[str]
+    #: line -> set of suppressed rule codes (may contain ALL_RULES).
+    noqa: dict[int, set[str]]
+    #: local alias -> dotted origin, e.g. ``perf_counter`` ->
+    #: ``time.perf_counter`` or ``np`` -> ``numpy``.
+    imports: dict[str, str] = field(default_factory=dict)
+    classes: list[ClassDef] = field(default_factory=list)
+
+
+@dataclass
+class ProjectModel:
+    """Whole-project view handed to every rule."""
+
+    modules: list[ModuleInfo]
+    parse_failures: list[Finding]
+
+    def iter_classes(self) -> Iterator[ClassDef]:
+        for mod in self.modules:
+            yield from mod.classes
+
+    def lookup_class(self, name: str) -> ClassDef | None:
+        """First class with this bare name, anywhere in the project."""
+        for mod in self.modules:
+            for cls in mod.classes:
+                if cls.name == name:
+                    return cls
+        return None
+
+    def is_codec_class(self, cls: ClassDef, _seen: frozenset[str] = frozenset()) -> bool:
+        """True when *cls* (transitively) derives from ``IntegerSetCodec``.
+
+        Resolution is purely by name so that rule fixtures — and user
+        code subclassing ``repro.core.IntegerSetCodec`` — are recognised
+        without importing anything.
+        """
+        if cls.name in _seen:
+            return False  # defensive: inheritance cycle in broken code
+        seen = _seen | {cls.name}
+        for base in cls.bases:
+            if base == "IntegerSetCodec":
+                return True
+            parent = self.lookup_class(base)
+            if parent is not None and self.is_codec_class(parent, seen):
+                return True
+        return False
+
+    def resolve_class_attr(
+        self, cls: ClassDef, attr: str, _seen: frozenset[str] = frozenset()
+    ) -> ast.expr | None:
+        """The expression assigned to *attr*, searching the base chain."""
+        if cls.name in _seen:
+            return None
+        if attr in cls.attrs:
+            return cls.attrs[attr]
+        seen = _seen | {cls.name}
+        for base in cls.bases:
+            parent = self.lookup_class(base)
+            if parent is not None:
+                value = self.resolve_class_attr(parent, attr, seen)
+                if value is not None:
+                    return value
+        return None
+
+
+# ----------------------------------------------------------------------
+# Small AST helpers shared with the rules
+# ----------------------------------------------------------------------
+def tail_name(node: ast.expr) -> str | None:
+    """Last name segment of a Name/Attribute chain (``a.b.c`` -> ``c``)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """Full dotted form of a Name/Attribute chain, or None if dynamic."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def root_name(node: ast.expr) -> str | None:
+    """Base variable of an access chain: ``a.payload[0].x`` -> ``a``."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def str_literal(node: ast.expr | None) -> str | None:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def int_literal(node: ast.expr | None) -> int | None:
+    if (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, int)
+        and not isinstance(node.value, bool)
+    ):
+        return node.value
+    return None
+
+
+# ----------------------------------------------------------------------
+# Parsing
+# ----------------------------------------------------------------------
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py list."""
+    seen: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for f in candidates:
+            f = f.resolve()
+            if f not in seen and f.suffix == ".py":
+                seen.add(f)
+                yield f
+
+
+def _collect_noqa(source: str) -> dict[int, set[str]]:
+    """Map line numbers to the rule codes suppressed on them."""
+    noqa: dict[int, set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            m = _NOQA_RE.search(tok.string)
+            if not m:
+                continue
+            line = tok.start[0]
+            if m.group(1):
+                codes = {c.strip().upper() for c in m.group(1).split(",") if c.strip()}
+            else:
+                codes = {ALL_RULES}
+            noqa.setdefault(line, set()).update(codes)
+    except tokenize.TokenError:
+        pass  # a parse failure is reported separately
+    return noqa
+
+
+def _collect_imports(tree: ast.Module) -> dict[str, str]:
+    imports: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                imports[alias.asname or alias.name.split(".")[0]] = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            for alias in node.names:
+                imports[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return imports
+
+
+def _collect_classes(mod: ModuleInfo) -> list[ClassDef]:
+    classes = []
+    for node in ast.walk(mod.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        attrs: dict[str, ast.expr] = {}
+        for stmt in node.body:
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        attrs.setdefault(target.id, stmt.value)
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                if isinstance(stmt.target, ast.Name):
+                    attrs.setdefault(stmt.target.id, stmt.value)
+        bases = [b for b in (tail_name(base) for base in node.bases) if b]
+        decorators = [
+            d for d in (tail_name(dec) for dec in node.decorator_list) if d
+        ]
+        classes.append(
+            ClassDef(
+                module=mod,
+                node=node,
+                name=node.name,
+                bases=bases,
+                decorators=decorators,
+                attrs=attrs,
+            )
+        )
+    return classes
+
+
+def _display_path(path: Path, roots: list[Path]) -> str:
+    """Path as reported in findings: relative to cwd when possible."""
+    for base in (Path.cwd(), *roots):
+        try:
+            return path.relative_to(base.resolve()).as_posix()
+        except ValueError:
+            continue
+    return path.as_posix()
+
+
+def build_model(paths: Iterable[Path]) -> ProjectModel:
+    """Parse every Python file under *paths* into a :class:`ProjectModel`."""
+    roots = [p if p.is_dir() else p.parent for p in paths]
+    modules: list[ModuleInfo] = []
+    failures: list[Finding] = []
+    for file in iter_python_files(paths):
+        relpath = _display_path(file, roots)
+        try:
+            source = file.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=str(file))
+        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+            line = getattr(exc, "lineno", None) or 1
+            failures.append(
+                Finding(
+                    path=relpath,
+                    line=int(line),
+                    col=0,
+                    rule="REPRO000",
+                    message=f"could not parse module: {exc}",
+                )
+            )
+            continue
+        mod = ModuleInfo(
+            path=file,
+            relpath=relpath,
+            tree=tree,
+            source_lines=source.splitlines(),
+            noqa=_collect_noqa(source),
+        )
+        mod.imports = _collect_imports(tree)
+        mod.classes = _collect_classes(mod)
+        modules.append(mod)
+    return ProjectModel(modules=modules, parse_failures=failures)

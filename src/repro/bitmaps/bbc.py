@@ -142,13 +142,14 @@ class BBCCodec(RLEBitmapCodec):
                 i += 1
             else:
                 literals = rs.literals[:0]
-            self._encode_item(out, polarity, fills, literals)
+            out += self._encode_item(polarity, fills, literals)
         return np.frombuffer(bytes(out), dtype=np.uint8)
 
     def _encode_item(
-        self, out: bytearray, polarity: int, fills: int, literals: np.ndarray
-    ) -> None:
+        self, polarity: int, fills: int, literals: np.ndarray
+    ) -> bytearray:
         """Encode one (fill run, literal run) item as patterns 1–4."""
+        item = bytearray()
         pattern = 0xFF if polarity else 0x00
         odd_pos = None
         if literals.size == 1:
@@ -157,28 +158,29 @@ class BBCCodec(RLEBitmapCodec):
                 odd_pos = diff.bit_length() - 1
 
         if odd_pos is not None and 1 <= fills <= _MAX_SHORT_FILL:
-            out.append(0x40 | (polarity << 5) | (fills << 3) | odd_pos)
-            return
+            item.append(0x40 | (polarity << 5) | (fills << 3) | odd_pos)
+            return item
         if odd_pos is not None and fills > _MAX_SHORT_FILL:
-            out.append(0x10 | (polarity << 3) | odd_pos)
-            out.extend(encode_vb_int(fills))
-            return
+            item.append(0x10 | (polarity << 3) | odd_pos)
+            item.extend(encode_vb_int(fills))
+            return item
 
         # General case: one header for the fill run plus the first literal
         # chunk, then plain pattern-1 headers for the remaining literals.
         first = literals[: _MAX_LITERALS]
         rest = literals[_MAX_LITERALS:]
         if fills > _MAX_SHORT_FILL:
-            out.append(0x20 | (polarity << 4) | first.size)
-            out.extend(encode_vb_int(fills))
+            item.append(0x20 | (polarity << 4) | first.size)
+            item.extend(encode_vb_int(fills))
         else:
-            out.append(0x80 | (polarity << 6) | (fills << 4) | first.size)
-        out.extend(first.astype(np.uint8).tobytes())
+            item.append(0x80 | (polarity << 6) | (fills << 4) | first.size)
+        item.extend(first.astype(np.uint8).tobytes())
         while rest.size:
             chunk = rest[: _MAX_LITERALS]
             rest = rest[_MAX_LITERALS:]
-            out.append(0x80 | chunk.size)
-            out.extend(chunk.astype(np.uint8).tobytes())
+            item.append(0x80 | chunk.size)
+            item.extend(chunk.astype(np.uint8).tobytes())
+        return item
 
     # ------------------------------------------------------------------
     # Decode

@@ -26,10 +26,13 @@ from repro.core.registry import register_codec
 
 _MAX_FILLS = (1 << 16) - 1  # 65535
 _MAX_LITERALS = (1 << 15) - 1  # 32767
+#: Bit positions inside the 32-bit marker word.
+_POLARITY_SHIFT = 31
+_FILL_SHIFT = 15
 
 
 def _marker(polarity: int, p: int, q: int) -> int:
-    return (polarity << 31) | (p << 15) | q
+    return (polarity << _POLARITY_SHIFT) | (p << _FILL_SHIFT) | q
 
 
 @register_codec
@@ -114,8 +117,8 @@ class EWAHCodec(RLEBitmapCodec):
                     f"EWAH marker announces {q} literals but only "
                     f"{n - i} words remain"
                 )
-            polarities.append(marker >> 31)
-            fills.append((marker >> 15) & _MAX_FILLS)
+            polarities.append(marker >> _POLARITY_SHIFT)
+            fills.append((marker >> _FILL_SHIFT) & _MAX_FILLS)
             lit_counts.append(q)
             lit_starts.append(i)
             i += q

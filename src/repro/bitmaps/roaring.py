@@ -37,7 +37,9 @@ ARRAY_LIMIT = 4096
 
 _CHUNK_BITS = 16
 _CHUNK_SIZE = 1 << _CHUNK_BITS
-_BITMAP_WORDS = _CHUNK_SIZE // 64
+#: Bits per bitmap-container word (uint64).
+_WORD_BITS = 64
+_BITMAP_WORDS = _CHUNK_SIZE // _WORD_BITS
 #: Bookkeeping bytes per container: 2-byte key + 2-byte cardinality,
 #: mirroring the roaring portable format's descriptor cost.
 _CONTAINER_OVERHEAD = 4
@@ -70,7 +72,9 @@ class RoaringCodec(IntegerSetCodec):
         arr, universe = self._prepare(values, universe)
         if arr.size == 0:
             payload = RoaringPayload(np.empty(0, dtype=np.int64), ())
-            return CompressedIntegerSet(self.name, payload, 0, universe, 0)
+            return CompressedIntegerSet(
+                self.name, payload, 0, universe, int(payload.keys.nbytes)
+            )
         high = arr >> _CHUNK_BITS
         low = (arr & (_CHUNK_SIZE - 1)).astype(np.uint16)
         boundaries = np.empty(high.size, dtype=bool)
@@ -85,8 +89,10 @@ class RoaringCodec(IntegerSetCodec):
             lows = low[s:e]
             if lows.size > self.array_limit:
                 words = np.zeros(_BITMAP_WORDS, dtype=np.uint64)
-                widx = lows.astype(np.int64) // 64
-                bit = np.uint64(1) << (lows.astype(np.uint64) % np.uint64(64))
+                widx = lows.astype(np.int64) // _WORD_BITS
+                bit = np.uint64(1) << (
+                    lows.astype(np.uint64) % np.uint64(_WORD_BITS)
+                )
                 np.bitwise_or.at(words, widx, bit)
                 containers.append(("bitmap", words))
                 size += words.nbytes
@@ -171,12 +177,12 @@ class RoaringCodec(IntegerSetCodec):
             if kind == "array":
                 total += int(np.searchsorted(data, low, side="right"))
             else:
-                full_words = low // 64
+                full_words = low // _WORD_BITS
                 total += int(np.bitwise_count(data[:full_words]).sum())
-                rem = (low % 64) + 1
+                rem = (low % _WORD_BITS) + 1
                 mask = (
                     ~np.uint64(0)
-                    if rem == 64
+                    if rem == _WORD_BITS
                     else np.uint64((1 << rem) - 1)
                 )
                 total += int(data[full_words] & mask).bit_count()
@@ -277,7 +283,10 @@ class RoaringCodec(IntegerSetCodec):
                 hit = lows[np.isin(lows, data, assume_unique=True)]
             else:
                 li = lows.astype(np.int64)
-                mask = (data[li // 64] >> (li % 64).astype(np.uint64)) & np.uint64(1)
+                mask = (
+                    data[li // _WORD_BITS]
+                    >> (li % _WORD_BITS).astype(np.uint64)
+                ) & np.uint64(1)
                 hit = lows[mask.astype(bool)]
             if hit.size:
                 parts.append(
@@ -312,8 +321,8 @@ def _union_containers(ca: tuple, cb: tuple) -> np.ndarray:
         return _bitmap_positions(da | db)
     arr, words = (da, db) if kind_a == "array" else (db, da)
     merged = words.copy()
-    idx = arr.astype(np.int64) // 64
-    bit = np.uint64(1) << (arr.astype(np.uint64) % np.uint64(64))
+    idx = arr.astype(np.int64) // _WORD_BITS
+    bit = np.uint64(1) << (arr.astype(np.uint64) % np.uint64(_WORD_BITS))
     np.bitwise_or.at(merged, idx, bit)
     return _bitmap_positions(merged)
 
@@ -327,12 +336,12 @@ def _andnot_containers(ca: tuple, cb: tuple) -> np.ndarray:
         )
     if kind_a == "array":  # array minus bitmap: keep unset bits
         idx = da.astype(np.int64)
-        mask = (db[idx // 64] >> (idx % 64).astype(np.uint64)) & np.uint64(1)
+        mask = (db[idx // _WORD_BITS] >> (idx % _WORD_BITS).astype(np.uint64)) & np.uint64(1)
         return idx[~mask.astype(bool)]
     if kind_b == "array":  # bitmap minus array: clear the array's bits
         words = da.copy()
-        idx = db.astype(np.int64) // 64
-        bit = np.uint64(1) << (db.astype(np.uint64) % np.uint64(64))
+        idx = db.astype(np.int64) // _WORD_BITS
+        bit = np.uint64(1) << (db.astype(np.uint64) % np.uint64(_WORD_BITS))
         np.bitwise_and.at(words, idx, ~bit)
         return _bitmap_positions(words)
     return _bitmap_positions(da & ~db)
@@ -347,8 +356,8 @@ def _xor_containers(ca: tuple, cb: tuple) -> np.ndarray:
         return _bitmap_positions(da ^ db)
     arr, words = (da, db) if kind_a == "array" else (db, da)
     flipped = words.copy()
-    idx = arr.astype(np.int64) // 64
-    bit = np.uint64(1) << (arr.astype(np.uint64) % np.uint64(64))
+    idx = arr.astype(np.int64) // _WORD_BITS
+    bit = np.uint64(1) << (arr.astype(np.uint64) % np.uint64(_WORD_BITS))
     np.bitwise_xor.at(flipped, idx, bit)
     return _bitmap_positions(flipped)
 
@@ -370,7 +379,7 @@ def _container_positions(container: tuple) -> np.ndarray:
 def _array_vs_bitmap(arr: np.ndarray, words: np.ndarray) -> np.ndarray:
     """Keep the array values whose bit is set in the bitmap container."""
     idx = arr.astype(np.int64)
-    mask = (words[idx // 64] >> (idx % 64).astype(np.uint64)) & np.uint64(1)
+    mask = (words[idx // _WORD_BITS] >> (idx % _WORD_BITS).astype(np.uint64)) & np.uint64(1)
     return idx[mask.astype(bool)]
 
 

@@ -12,25 +12,68 @@ timeline.
 
 from __future__ import annotations
 
+import functools
+import os
 from typing import Iterator, Type
 
-from repro.core.base import IntegerSetCodec
+from repro.core.base import CompressedIntegerSet, IntegerSetCodec
 from repro.core.errors import UnknownCodecError
 
 _REGISTRY: dict[str, IntegerSetCodec] = {}
 
 
 def register_codec(cls: Type[IntegerSetCodec]) -> Type[IntegerSetCodec]:
-    """Class decorator registering a codec singleton under ``cls.name``."""
+    """Class decorator registering a codec singleton under ``cls.name``.
+
+    Names must be unique *case-insensitively*: ``get_codec`` lookups are
+    exact, so a ``"wah"`` alongside ``"WAH"`` could only ever be a
+    shadowing mistake.  When the ``REPRO_DEBUG`` environment variable is
+    set (non-empty), every registered codec's ``compress`` is wrapped
+    with a round-trip assertion that the ``CompressedIntegerSet`` it
+    returns declares an ``n``/``universe`` matching what ``decompress``
+    actually recovers.
+    """
     name = getattr(cls, "name", None)
     if not name:
         raise ValueError(f"{cls.__name__} must define a non-empty `name`")
-    if name in _REGISTRY:
-        raise ValueError(f"duplicate codec name {name!r}")
+    folded = name.casefold()
+    for existing in _REGISTRY:
+        if existing.casefold() == folded:
+            raise ValueError(
+                f"duplicate codec name {name!r} (collides with "
+                f"{existing!r}; names are unique case-insensitively)"
+            )
     if cls.family not in ("bitmap", "invlist"):
         raise ValueError(f"{cls.__name__}.family must be 'bitmap' or 'invlist'")
-    _REGISTRY[name] = cls()
+    codec = cls()
+    if os.environ.get("REPRO_DEBUG"):
+        _install_roundtrip_validation(codec)
+    _REGISTRY[name] = codec
     return cls
+
+
+def _install_roundtrip_validation(codec: IntegerSetCodec) -> None:
+    """Wrap ``codec.compress`` with the REPRO_DEBUG metadata assertion."""
+    inner = codec.compress
+
+    @functools.wraps(inner)
+    def compress(values, universe=None) -> CompressedIntegerSet:  # type: ignore[no-untyped-def]
+        cs = inner(values, universe)
+        arr = codec.decompress(cs)
+        if int(arr.size) != cs.n:
+            raise AssertionError(
+                f"{codec.name}: compress() declared n={cs.n} but "
+                f"decompress() recovered {int(arr.size)} values"
+            )
+        if arr.size and int(arr[-1]) >= cs.universe:
+            raise AssertionError(
+                f"{codec.name}: compress() declared universe="
+                f"{cs.universe} but decompress() recovered max value "
+                f"{int(arr[-1])}"
+            )
+        return cs
+
+    codec.compress = compress  # type: ignore[method-assign]
 
 
 def get_codec(name: str) -> IntegerSetCodec:

@@ -38,7 +38,10 @@ from repro.core.registry import get_codec
 DENSITY_THRESHOLD = 1 / 5
 
 
-class AdaptiveCodec(IntegerSetCodec):
+# Deliberately unregistered: Adaptive is a meta-codec that delegates to
+# registry members, so enrolling it would double-count its inner codecs
+# in every experiment sweep.
+class AdaptiveCodec(IntegerSetCodec):  # repro: noqa[REPRO001]
     """Per-list representation choice driven by the paper's guidelines."""
 
     name = "Adaptive"

@@ -27,6 +27,15 @@ from repro.core.errors import DomainOverflowError
 
 _U32_MASK = np.uint64(0xFFFFFFFF)
 
+#: Bits per stream word — the PforDelta/BP128 families store their packed
+#: payloads as little-endian 32-bit words (paper Sections 3.4–3.6).
+WORD_BITS = 32
+
+
+def packed_word_count(count: int, b: int) -> int:
+    """Stream words needed to hold *count* values of *b* bits each."""
+    return (count * b + WORD_BITS - 1) // WORD_BITS
+
 
 def required_bits(values: np.ndarray) -> int:
     """Smallest b (≥ 1) such that every value fits in b bits."""
@@ -55,7 +64,7 @@ def pack_bits(values: np.ndarray, b: int) -> np.ndarray:
         raise DomainOverflowError(
             f"value {int(v.max())} does not fit in {b} bits"
         )
-    n_words = (n * b + 31) // 32
+    n_words = packed_word_count(n, b)
     # Accumulate into 64-bit words so a value straddling a 32-bit boundary
     # lands in one scatter each for its low and high halves.
     out = np.zeros(n_words + 1, dtype=np.uint64)

@@ -20,6 +20,7 @@ import numpy as np
 from repro.core.registry import register_codec
 from repro.invlists.bitpack import (
     pack_bits,
+    packed_word_count,
     unpack_bits_scalar,
     unpack_bits_scalar_blocks,
 )
@@ -66,7 +67,7 @@ def decode_newpfor_block(
     n_exc = header0 >> 8
     pos_bytes = header1 & 0xFFFF
     high_bytes = header1 >> 16
-    n_words = (count * b + 31) // 32
+    n_words = packed_word_count(count, b)
     slots_start = offset + 2
     values = unpack(stream[slots_start : slots_start + n_words], count, b)
     if n_exc:
@@ -120,7 +121,7 @@ class NewPforDeltaCodec(BlockedInvListCodec):
             full[-1] = False
         for b in np.unique(b_arr[full]):
             idx = np.flatnonzero(full & (b_arr == b))
-            w = (bs * int(b) + 31) // 32
+            w = packed_word_count(bs, int(b))
             mat = stream[offsets[idx][:, None] + 2 + np.arange(w)]
             vals = unpack_bits_scalar_blocks(mat, bs, int(b))
             dest = (idx[:, None] * bs + np.arange(bs)).reshape(-1)
@@ -137,7 +138,7 @@ class NewPforDeltaCodec(BlockedInvListCodec):
         exc_blocks = np.flatnonzero((n_exc > 0) & full)
         if exc_blocks.size:
             sbytes = stream.view(np.uint8)
-            w_arr = (bs * b_arr[exc_blocks] + 31) // 32
+            w_arr = packed_word_count(bs, b_arr[exc_blocks])
             side_byte_start = (offsets[exc_blocks] + 2 + w_arr) * 4
             pos_lens = pos_bytes[exc_blocks]
             high_lens = (header1[exc_blocks] >> 16).astype(np.int64)

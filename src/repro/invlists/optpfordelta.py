@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.registry import register_codec
+from repro.invlists.bitpack import WORD_BITS, packed_word_count
 from repro.invlists.newpfordelta import NewPforDeltaCodec
 
 _VB_THRESHOLDS = np.array([1 << 7, 1 << 14, 1 << 21, 1 << 28], dtype=np.int64)
@@ -34,7 +35,7 @@ def choose_b_optimal(values: np.ndarray) -> int:
     best_b, best_cost = 1, None
     for b in range(1, int(bitlens.max()) + 1):
         exc_pos = np.flatnonzero(bitlens > b)
-        slots_bytes = ((n * b + 31) // 32) * 4
+        slots_bytes = packed_word_count(n, b) * (WORD_BITS // 8)
         pos_cost = _vb_length(np.diff(exc_pos, prepend=0)) if exc_pos.size else 0
         high_cost = _vb_length(values[exc_pos] >> b) if exc_pos.size else 0
         cost = 8 + slots_bytes + pos_cost + high_cost

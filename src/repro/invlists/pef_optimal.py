@@ -103,7 +103,10 @@ def choose_partitions(values: np.ndarray) -> np.ndarray:
     return np.array(sorted(bounds), dtype=np.int64)
 
 
-class OptimalPEFCodec(IntegerSetCodec):
+# Deliberately unregistered: PEF-opt is a library extension outside the
+# paper's 24-codec legend (tests assert it stays out of the registry);
+# the uniform-partition "PEF" codec is the one the figures measure.
+class OptimalPEFCodec(IntegerSetCodec):  # repro: noqa[REPRO001]
     """Partitioned Elias-Fano with DP-chosen variable partitions."""
 
     name = "PEF-opt"

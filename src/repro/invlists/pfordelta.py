@@ -27,6 +27,7 @@ from repro.core.errors import CorruptPayloadError
 from repro.core.registry import register_codec
 from repro.invlists.bitpack import (
     pack_bits,
+    packed_word_count,
     required_bits,
     unpack_bits_scalar,
     unpack_bits_scalar_blocks,
@@ -107,7 +108,7 @@ def decode_pfor_block(
     b = header & 0xFF
     n_exc = (header >> 8) & 0xFF
     first = (header >> 16) & 0xFF
-    n_words = (count * b + 31) // 32
+    n_words = packed_word_count(count, b)
     slots_start = offset + 1
     values = unpack(stream[slots_start : slots_start + n_words], count, b)
     if n_exc:
@@ -166,7 +167,7 @@ class PforDeltaCodec(BlockedInvListCodec):
             full[-1] = False
         for b in np.unique(b_arr[full]):
             idx = np.flatnonzero(full & (b_arr == b))
-            w = (bs * int(b) + 31) // 32
+            w = packed_word_count(bs, int(b))
             mat = stream[offsets[idx][:, None] + 1 + np.arange(w)]
             vals = self._unpack_blocks(mat, bs, int(b))
             dest = (idx[:, None] * bs + np.arange(bs)).reshape(-1)
@@ -182,7 +183,7 @@ class PforDeltaCodec(BlockedInvListCodec):
         # patches the j-th exception of every block that has one.
         exc_blocks = np.flatnonzero((n_exc > 0) & full)
         if exc_blocks.size:
-            w_arr = (bs * b_arr[exc_blocks] + 31) // 32
+            w_arr = packed_word_count(bs, b_arr[exc_blocks])
             exc_start = offsets[exc_blocks] + 1 + w_arr
             counts = n_exc[exc_blocks]
             pos = first[exc_blocks].copy()

@@ -27,6 +27,7 @@ import numpy as np
 from repro.core.registry import register_codec
 from repro.invlists.bitpack import (
     pack_bits,
+    packed_word_count,
     required_bits,
     unpack_bits_simd,
     unpack_bits_simd_blocks,
@@ -51,7 +52,7 @@ def _decode_all_bp(codec, payload: BlockedPayload, n: int) -> np.ndarray:
         full[-1] = False
     for b in np.unique(b_arr[full]):
         idx = np.flatnonzero(full & (b_arr == b))
-        w = (bs * int(b) + 31) // 32
+        w = packed_word_count(bs, int(b))
         mat = stream[offsets[idx][:, None] + 1 + np.arange(w)]
         vals = unpack_bits_simd_blocks(mat, bs, int(b))
         dest = (idx[:, None] * bs + np.arange(bs)).reshape(-1)
@@ -82,7 +83,7 @@ class SIMDBP128Codec(BlockedInvListCodec):
         self, stream: np.ndarray, offset: int, count: int
     ) -> np.ndarray:
         b = int(stream[offset])
-        n_words = (count * b + 31) // 32
+        n_words = packed_word_count(count, b)
         return unpack_bits_simd(stream[offset + 1 : offset + 1 + n_words], count, b)
 
     def _decode_all(self, payload, n: int) -> np.ndarray:
@@ -114,5 +115,5 @@ class SIMDBP128StarCodec(BlockedInvListCodec):
         self, stream: np.ndarray, offset: int, count: int
     ) -> np.ndarray:
         b = int(stream[offset])
-        n_words = (count * b + 31) // 32
+        n_words = packed_word_count(count, b)
         return unpack_bits_simd(stream[offset + 1 : offset + 1 + n_words], count, b)

@@ -1,0 +1,26 @@
+"""Shared helpers for the analyzer's own tests."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import AnalysisConfig, run_checks
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture
+def fixtures_dir() -> Path:
+    return FIXTURES
+
+
+@pytest.fixture
+def check_fixture():
+    """Run selected rules over one fixture file, returning the findings."""
+
+    def run(relname: str, *rules: str):
+        config = AnalysisConfig(select=frozenset(rules)) if rules else None
+        return run_checks([FIXTURES / relname], config=config)
+
+    return run

@@ -1,0 +1,18 @@
+"""Deliberate REPRO005 violations: inline word sizes in loop bodies.
+
+Lives under a ``repro/bitmaps/`` directory so the default REPRO005
+scoping (codec packages only) applies to it.
+"""
+
+WORD_BITS = 32  # named module-level constant: compliant
+
+
+def pack(groups):
+    words = []
+    for g in groups:
+        words.append((g >> 31) & 1)  # inline 31: finding
+        words.append(g % 32)  # inline 32: finding
+        words.append(g & 0x1F)  # hex bit mask: not a word size, clean
+    halves = [w // 64 for w in words]  # inline 64 in comprehension: finding
+    total = len(words) * 32  # outside any loop: clean
+    return words, halves, total

@@ -1,0 +1,33 @@
+"""Deliberate REPRO001 violations (plus one clean codec).
+
+Never imported — the analyzer only parses this file.
+"""
+
+from repro.core.base import IntegerSetCodec
+from repro.core.registry import register_codec
+
+
+class GhostCodec(IntegerSetCodec):  # unregistered despite a literal name
+    name = "Ghost"
+    family = "bitmap"
+    year = 2020
+
+
+@register_codec
+class DynamicNameCodec(IntegerSetCodec):  # name is not a literal
+    name = "Dyn" + "amic"
+    family = "invlist"
+    year = 2021
+
+
+@register_codec
+class NoFamilyCodec(IntegerSetCodec):  # family missing, year computed
+    name = "NoFamily"
+    year = 2020 + 1
+
+
+@register_codec
+class CleanExampleCodec(IntegerSetCodec):  # fully compliant: no findings
+    name = "CleanExample"
+    family = "invlist"
+    year = 2022

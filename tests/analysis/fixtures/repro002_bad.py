@@ -1,0 +1,25 @@
+"""Deliberate REPRO002 violations: codec methods mutating their inputs."""
+
+import numpy as np
+
+from repro.core.base import IntegerSetCodec
+
+
+class MutatingCodec(IntegerSetCodec):
+    def compress(self, values, universe=None):
+        values.sort()  # mutating method call
+        values += 1  # in-place augmented assignment
+        return values
+
+    def decompress(self, cs):
+        cs.payload[0] = 99  # assignment into a parameter
+        return cs.payload
+
+    def intersect(self, a, b):
+        np.bitwise_or.at(a, 0, 1)  # ufunc scatter into a parameter
+        return a
+
+    def union(self, a, b):
+        a = np.concatenate((a, b))  # rebinds the name: now a local copy
+        a.sort()  # fine — mutates the copy, not the argument
+        return a

@@ -1,0 +1,24 @@
+"""Deliberate REPRO003 violations: dishonest size_bytes at construction."""
+
+import sys
+
+from repro.core.base import CompressedIntegerSet, IntegerSetCodec
+
+
+class SizeLiarCodec(IntegerSetCodec):
+    def compress(self, values, universe=None):
+        payload = bytes(values)
+        if not payload:
+            return CompressedIntegerSet("liar", payload, 0, 1, 0)
+        return CompressedIntegerSet(
+            codec_name="liar",
+            payload=payload,
+            n=len(payload),
+            universe=max(values) + 1,
+            size_bytes=sys.getsizeof(payload),
+        )
+
+    def honest(self, payload, universe):
+        return CompressedIntegerSet(
+            "ok", payload, len(payload), universe, len(payload)
+        )

@@ -1,0 +1,12 @@
+"""Deliberate REPRO004 violations: ad-hoc timing and printing."""
+
+import time
+from time import perf_counter
+
+
+def timed_decompress(codec, cs):
+    start = time.time()
+    out = codec.decompress(cs)
+    elapsed = perf_counter() - start
+    print("decompressed in", elapsed)
+    return out

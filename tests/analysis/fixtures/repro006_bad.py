@@ -1,0 +1,34 @@
+"""Deliberate REPRO006 violations: registry / legend drift."""
+
+from repro.core.registry import register_codec
+
+_BITMAP_ORDER = ["InLegend", "Phantom", "Misfiled"]
+_INVLIST_ORDER = ["ListThing"]
+
+
+@register_codec
+class InLegendCodec:  # registered and listed: clean
+    name = "InLegend"
+    family = "bitmap"
+    year = 2001
+
+
+@register_codec
+class ListThingCodec:  # registered and listed: clean
+    name = "ListThing"
+    family = "invlist"
+    year = 2002
+
+
+@register_codec
+class GhostFormatCodec:  # registered but absent from both legend lists
+    name = "GhostFormat"
+    family = "invlist"
+    year = 2003
+
+
+@register_codec
+class MisfiledCodec:  # listed under bitmaps but declares family invlist
+    name = "Misfiled"
+    family = "invlist"
+    year = 2004

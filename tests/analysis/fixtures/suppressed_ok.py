@@ -1,0 +1,15 @@
+"""REPRO004 violations silenced by suppression comments: zero findings."""
+
+import time
+
+
+def timed():
+    return time.time()  # repro: noqa[REPRO004]
+
+
+def blanket():
+    print("hi")  # repro: noqa
+
+
+def multi():
+    print(time.time())  # repro: noqa[REPRO004, REPRO001]

@@ -1,0 +1,7 @@
+"""A suppression naming the wrong rule does not silence the finding."""
+
+import time
+
+
+def wrong_code():
+    return time.time()  # repro: noqa[REPRO001]

@@ -1,0 +1,66 @@
+"""End-to-end CLI behaviour: exit codes, JSON output, rule listing."""
+
+import json
+import os
+import subprocess
+import sys
+
+from .conftest import FIXTURES, REPO_ROOT
+
+ALL_CODES = {f"REPRO00{i}" for i in range(1, 7)}
+
+
+def run_cli(*argv: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *argv],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+
+
+def test_clean_tree_exits_zero():
+    proc = run_cli(str(REPO_ROOT / "src" / "repro"))
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "all checks passed" in proc.stderr
+
+
+def test_violations_exit_nonzero_with_json_findings():
+    proc = run_cli("--format=json", str(FIXTURES))
+    assert proc.returncode == 1
+    report = json.loads(proc.stdout)
+    assert report["count"] == len(report["findings"]) > 0
+    fired = {f["rule"] for f in report["findings"]}
+    assert ALL_CODES <= fired, f"rules never fired: {ALL_CODES - fired}"
+    sample = report["findings"][0]
+    assert set(sample) == {"path", "line", "col", "rule", "message"}
+
+
+def test_text_format_reports_counts():
+    proc = run_cli(str(FIXTURES / "repro004_bad.py"))
+    assert proc.returncode == 1
+    assert "REPRO004" in proc.stdout
+    assert "finding(s)" in proc.stderr
+
+
+def test_select_limits_rules():
+    proc = run_cli(
+        "--format=json", "--select", "REPRO003", str(FIXTURES / "repro004_bad.py")
+    )
+    assert proc.returncode == 0
+    assert json.loads(proc.stdout)["count"] == 0
+
+
+def test_unknown_rule_code_is_usage_error():
+    proc = run_cli("--select", "REPRO999", str(FIXTURES))
+    assert proc.returncode == 2
+
+
+def test_list_rules():
+    proc = run_cli("--list-rules")
+    assert proc.returncode == 0
+    for code in sorted(ALL_CODES):
+        assert code in proc.stdout

@@ -1,0 +1,103 @@
+"""Each REPROxxx rule fires exactly where the fixtures say it should.
+
+Every test pins the (rule, line) pairs, so a rule that starts firing on
+a clean line — or stops firing on a violation — fails loudly.
+"""
+
+import pytest
+
+
+def lines(findings, rule):
+    return sorted(f.line for f in findings if f.rule == rule)
+
+
+def test_repro001_registration_and_literal_metadata(check_fixture):
+    findings = check_fixture("repro001_bad.py", "REPRO001")
+    assert all(f.rule == "REPRO001" for f in findings)
+    # Ghost (unregistered, line 10), DynamicName (non-literal name, 17),
+    # NoFamily (missing family + computed year, 24 twice); CleanExample clean.
+    assert lines(findings, "REPRO001") == [10, 17, 24, 24]
+    messages = " ".join(f.message for f in findings)
+    assert "not decorated with @register_codec" in messages
+    assert "literal string class attribute" in messages
+    assert "family" in messages
+    assert "year" in messages
+
+
+def test_repro002_input_mutation(check_fixture):
+    findings = check_fixture("repro002_bad.py", "REPRO002")
+    # values.sort() (10), values += 1 (11), cs.payload[0] = 99 (15),
+    # np.bitwise_or.at(a, ...) (19); union rebinds then sorts a copy: clean.
+    assert lines(findings, "REPRO002") == [10, 11, 15, 19]
+
+
+def test_repro002_rebound_parameter_not_flagged(check_fixture):
+    findings = check_fixture("repro002_bad.py", "REPRO002")
+    assert not any(f.line > 19 for f in findings), (
+        "mutating a rebound local must not be reported as input mutation"
+    )
+
+
+def test_repro003_size_bytes(check_fixture):
+    findings = check_fixture("repro003_bad.py", "REPRO003")
+    # literal 0 as 5th positional (12), sys.getsizeof keyword (18);
+    # the honest len(payload) construction stays clean.
+    assert lines(findings, "REPRO003") == [12, 18]
+    assert any("literal size_bytes" in f.message for f in findings)
+    assert any("getsizeof" in f.message for f in findings)
+
+
+def test_repro004_timing_discipline(check_fixture):
+    findings = check_fixture("repro004_bad.py", "REPRO004")
+    # time.time() (8), from-imported perf_counter() (10), print() (11).
+    assert lines(findings, "REPRO004") == [8, 10, 11]
+    assert any("repro.bench.harness" in f.message for f in findings)
+
+
+def test_repro005_magic_numbers(check_fixture):
+    findings = check_fixture("repro/bitmaps/repro005_bad.py", "REPRO005")
+    # >> 31 (13), % 32 (14), // 64 in a comprehension (16); the hex mask
+    # on 15, the module-level constant on 7, and the out-of-loop product
+    # on 17 all stay clean.
+    assert lines(findings, "REPRO005") == [13, 14, 16]
+
+
+def test_repro005_scoped_to_codec_packages(fixtures_dir):
+    from repro.analysis import AnalysisConfig, run_checks
+
+    config = AnalysisConfig(
+        select=frozenset({"REPRO005"}), magic_packages=("no/such/package",)
+    )
+    findings = run_checks(
+        [fixtures_dir / "repro" / "bitmaps" / "repro005_bad.py"], config=config
+    )
+    assert findings == []
+
+
+def test_repro006_registry_completeness(check_fixture):
+    findings = check_fixture("repro006_bad.py", "REPRO006")
+    # Phantom: stale legend entry (reported on _BITMAP_ORDER, line 5);
+    # GhostFormat: registered but unlisted (24); Misfiled: wrong list (31).
+    assert lines(findings, "REPRO006") == [5, 24, 31]
+    messages = " ".join(f.message for f in findings)
+    assert "stale" in messages
+    assert "missing from" in messages
+    assert "wrong legend list" in messages
+
+
+def test_findings_are_sorted_and_formatted(check_fixture):
+    findings = check_fixture("repro002_bad.py", "REPRO002")
+    assert findings == sorted(findings)
+    rendered = findings[0].format()
+    assert "REPRO002" in rendered
+    assert rendered.count(":") >= 3  # path:line:col: RULE message
+
+
+@pytest.mark.parametrize("code", [f"REPRO00{i}" for i in range(1, 7)])
+def test_every_rule_is_registered_with_rationale(code):
+    from repro.analysis import RULES
+
+    rule = RULES[code]
+    assert rule.code == code
+    assert rule.title
+    assert rule.rationale

@@ -1,0 +1,34 @@
+"""The shipped library must satisfy its own codec contracts.
+
+This is the analyzer's pytest integration: any future edit to
+``src/repro`` that breaks a REPROxxx invariant fails the tier-1 suite
+here, with the full finding list in the assertion message.
+"""
+
+import pytest
+
+from repro.analysis import run_checks
+from repro.analysis.pytest_plugin import assert_clean
+
+from .conftest import FIXTURES
+
+
+def test_repro_package_is_contract_clean():
+    findings = run_checks()  # defaults to the installed repro package
+    assert findings == [], "\n" + "\n".join(f.format() for f in findings)
+
+
+def test_assert_clean_passes_on_clean_tree():
+    assert_clean()
+
+
+def test_assert_clean_raises_with_findings_listed():
+    with pytest.raises(AssertionError) as excinfo:
+        assert_clean([FIXTURES / "repro004_bad.py"])
+    assert "REPRO004" in str(excinfo.value)
+
+
+def test_fixture_tree_is_deliberately_dirty():
+    findings = run_checks([FIXTURES])
+    fired = {f.rule for f in findings}
+    assert {f"REPRO00{i}" for i in range(1, 7)} <= fired

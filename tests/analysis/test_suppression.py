@@ -1,0 +1,25 @@
+"""Per-line ``# repro: noqa[...]`` suppression semantics."""
+
+from repro.analysis import AnalysisConfig, run_checks
+
+
+def test_matching_and_blanket_suppressions_silence_findings(fixtures_dir):
+    findings = run_checks([fixtures_dir / "suppressed_ok.py"])
+    assert findings == []
+
+
+def test_wrong_rule_code_does_not_suppress(fixtures_dir):
+    findings = run_checks([fixtures_dir / "suppressed_wrong_code.py"])
+    assert [(f.rule, f.line) for f in findings] == [("REPRO004", 7)]
+
+
+def test_ignore_config_disables_a_rule(fixtures_dir):
+    config = AnalysisConfig(ignore=frozenset({"REPRO004"}))
+    findings = run_checks([fixtures_dir / "repro004_bad.py"], config=config)
+    assert findings == []
+
+
+def test_select_config_limits_to_named_rules(fixtures_dir):
+    config = AnalysisConfig(select=frozenset({"REPRO003"}))
+    findings = run_checks([fixtures_dir / "repro004_bad.py"], config=config)
+    assert findings == []

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro import get_codec
 
 from tests.conftest import sorted_unique
 

@@ -85,3 +85,91 @@ def test_register_rejects_bad_family():
 
     with pytest.raises(ValueError):
         register_codec(Fake)
+
+
+def test_register_rejects_case_insensitive_duplicates():
+    """'wah' vs 'WAH' can only be a shadowing mistake."""
+
+    class Fake:
+        name = "wah"
+        family = "bitmap"
+
+    with pytest.raises(ValueError, match="case-insensitively"):
+        register_codec(Fake)
+
+
+class _LyingCodec:
+    """Claims one element more than it stores (n) and a tiny universe."""
+
+    name = "Lying-Codec"
+    family = "invlist"
+    year = 2026
+
+    def compress(self, values, universe=None):
+        import numpy as np
+
+        from repro.core.base import CompressedIntegerSet
+
+        arr = np.asarray(list(values), dtype=np.int64)
+        return CompressedIntegerSet(
+            codec_name=self.name,
+            payload=arr,
+            n=int(arr.size) + 1,  # deliberate lie
+            universe=1,
+            size_bytes=int(arr.nbytes),
+        )
+
+    def decompress(self, cs):
+        return cs.payload
+
+
+def test_repro_debug_flags_metadata_lies(monkeypatch):
+    from repro.core import registry
+
+    monkeypatch.setenv("REPRO_DEBUG", "1")
+    register_codec(_LyingCodec)
+    try:
+        codec = registry.get_codec("Lying-Codec")
+        with pytest.raises(AssertionError, match="declared n="):
+            codec.compress([1, 2, 3])
+    finally:
+        del registry._REGISTRY["Lying-Codec"]
+
+
+def test_repro_debug_flags_universe_lies(monkeypatch):
+    from repro.core import registry
+
+    class SmallUniverse(_LyingCodec):
+        name = "Lying-Universe"
+
+        def compress(self, values, universe=None):
+            cs = super().compress(values, universe)
+            from dataclasses import replace
+
+            return replace(cs, n=cs.n - 1)  # honest n, dishonest universe
+
+    monkeypatch.setenv("REPRO_DEBUG", "1")
+    register_codec(SmallUniverse)
+    try:
+        codec = registry.get_codec("Lying-Universe")
+        with pytest.raises(AssertionError, match="declared universe="):
+            codec.compress([1, 2, 3])
+    finally:
+        del registry._REGISTRY["Lying-Universe"]
+
+
+def test_without_repro_debug_no_wrapping(monkeypatch):
+    from repro.core import registry
+
+    monkeypatch.delenv("REPRO_DEBUG", raising=False)
+
+    class Unwrapped(_LyingCodec):
+        name = "Lying-Unwrapped"
+
+    register_codec(Unwrapped)
+    try:
+        codec = registry.get_codec("Lying-Unwrapped")
+        cs = codec.compress([1, 2, 3])  # lie goes unnoticed without the flag
+        assert cs.n == 4
+    finally:
+        del registry._REGISTRY["Lying-Unwrapped"]

@@ -1,7 +1,6 @@
 """PEF: Elias-Fano structure and partial-access probing."""
 
 import numpy as np
-import pytest
 
 from repro import get_codec
 from repro.invlists.pef import decode_ef_block, ef_low_bits, encode_ef_block

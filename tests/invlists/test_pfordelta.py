@@ -1,7 +1,6 @@
 """PforDelta family: width choice, exception chains, forced exceptions."""
 
 import numpy as np
-import pytest
 
 from repro import get_codec
 from repro.invlists.pfordelta import (

@@ -7,7 +7,6 @@ if a code change breaks a headline result.
 """
 
 import numpy as np
-import pytest
 
 from repro import get_codec
 from repro.bench.timing import measure
