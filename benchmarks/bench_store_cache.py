@@ -1,0 +1,84 @@
+"""Store decode-cache benchmark: warm hits must crush cold decodes.
+
+Tracks the serving-layer win in the perf trajectory: a repeated query
+served from the :class:`repro.store.DecodeCache` skips decompression
+entirely, so its latency is bounded by merge work, not codec speed.
+The assertion test pins the acceptance bar (warm ≥ 5× faster than cold
+decode) with plain timing so it runs even without pytest-benchmark;
+the ``benchmark``-fixture cases feed the longitudinal numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.timing import measure
+from repro.datagen import uniform_list
+from repro.store import DecodeCache, PostingStore, QueryEngine
+
+DOMAIN = 2**21 - 1
+LIST_SIZE = 120_000
+SEED = 20170514
+
+#: One run-length bitmap, one block list — the two decode profiles.
+CODECS = ("WAH", "SIMDBP128*")
+
+
+def _make_engine(codec_name: str) -> QueryEngine:
+    store = PostingStore()
+    shard = store.create_shard("bench", codec=codec_name, universe=DOMAIN)
+    rng = np.random.default_rng(SEED)
+    shard.add("hot", uniform_list(LIST_SIZE, DOMAIN, rng=rng))
+    shard.add("also", uniform_list(LIST_SIZE // 4, DOMAIN, rng=rng))
+    return QueryEngine(store, cache=DecodeCache(), cache_probes=True)
+
+
+@pytest.mark.parametrize("codec_name", CODECS)
+def test_warm_cache_speedup_at_least_5x(codec_name):
+    """Acceptance bar: warm repeated query ≥ 5× faster than cold decode."""
+    engine = _make_engine(codec_name)
+
+    def cold():
+        engine.cache.clear()
+        assert engine.execute("hot").ok
+
+    def warm():
+        assert engine.execute("hot").ok
+
+    cold_s = measure(cold, repeat=3, warmup=1)
+    warm()  # populate the cache
+    warm_s = measure(warm, repeat=3, warmup=1)
+    assert warm_s * 5 <= cold_s, (
+        f"{codec_name}: warm {warm_s * 1e3:.3f}ms vs cold {cold_s * 1e3:.3f}ms "
+        f"({cold_s / warm_s:.1f}x) — expected >= 5x"
+    )
+
+
+@pytest.mark.parametrize("codec_name", CODECS)
+def test_cold_single_term_query(benchmark, codec_name):
+    engine = _make_engine(codec_name)
+
+    def cold():
+        engine.cache.clear()
+        return engine.execute("hot")
+
+    result = benchmark(cold)
+    benchmark.extra_info["n_results"] = int(result.values.size)
+
+
+@pytest.mark.parametrize("codec_name", CODECS)
+def test_warm_single_term_query(benchmark, codec_name):
+    engine = _make_engine(codec_name)
+    engine.execute("hot")
+    result = benchmark(engine.execute, "hot")
+    benchmark.extra_info["n_results"] = int(result.values.size)
+    benchmark.extra_info["cache_hit_rate"] = engine.cache.stats().hit_rate
+
+
+@pytest.mark.parametrize("codec_name", CODECS)
+def test_warm_expression_query(benchmark, codec_name):
+    """(hot ∪ also) ∩ hot with every leaf cached: pure merge cost."""
+    engine = _make_engine(codec_name)
+    expr = ("and", ("or", "hot", "also"), "hot")
+    engine.execute(expr)
+    result = benchmark(engine.execute, expr)
+    benchmark.extra_info["n_results"] = int(result.values.size)

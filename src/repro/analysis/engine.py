@@ -5,7 +5,7 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Iterable, Sequence
 
-from repro.analysis.config import AnalysisConfig
+from repro.analysis.config import AnalysisConfig, find_pyproject, load_config
 from repro.analysis.findings import Finding
 from repro.analysis.rules import run_rules
 from repro.analysis.walker import ALL_RULES, ProjectModel, build_model
@@ -42,8 +42,10 @@ def run_checks(
     Args:
         paths: files or directories; defaults to the installed ``repro``
             package so ``run_checks()`` audits the library itself.
-        config: rule selection and scoping; defaults to
-            :class:`AnalysisConfig` defaults.
+        config: rule selection and scoping; when omitted, loaded from
+            the ``[tool.repro-analysis]`` table of the ``pyproject.toml``
+            nearest the first path (the same resolution the CLI uses),
+            falling back to :class:`AnalysisConfig` defaults.
 
     Returns:
         Sorted, suppression-filtered findings (empty when clean).
@@ -53,7 +55,7 @@ def run_checks(
     resolved = (
         [Path(p) for p in paths] if paths else default_paths()
     )
-    cfg = config or AnalysisConfig()
+    cfg = config if config is not None else load_config(find_pyproject(resolved[0]))
     model = build_model(resolved)
     findings = list(model.parse_failures)
     findings.extend(run_rules(model, cfg))

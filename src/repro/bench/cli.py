@@ -166,6 +166,8 @@ def _quick_kwargs(exp_id: str) -> dict:
         return {"n_docs": 50_000, "n_queries": 10, "repeat": 1}
     if exp_id == "fig7":
         return {"long_size": 5_000, "repeat": 1}
+    if exp_id == "served":
+        return {"n_terms": 8, "list_size": 800, "n_queries": 16, "repeat": 1}
     return {"repeat": 1}
 
 

@@ -35,6 +35,7 @@ from repro.bench.harness import (
     bench_decompression,
     bench_pair,
     bench_query,
+    bench_served,
     build_expression,
     resolve_codecs,
 )
@@ -350,6 +351,50 @@ def figure12(
     return _dataset_figure(kegg_queries(rng=seed), codecs, repeat)
 
 
+def served(
+    codecs: Sequence[str] | None = None,
+    repeat: int = 3,
+    n_terms: int = 24,
+    list_size: int = 4_000,
+    n_queries: int = 48,
+    domain: int = 2**18,
+    seed: int = 20170527,
+) -> list[MetricRow]:
+    """Served mode: cold vs warm query batches through the posting store.
+
+    Not a paper experiment — the ROADMAP's serving extension.  Each codec
+    hosts the same term lists in a :class:`repro.store.PostingStore`; a
+    skewed batch (hot terms repeat) runs cold then warm, so the table
+    shows what the decode cache buys per codec.  ``repeat`` is accepted
+    for CLI uniformity but unused: cold/warm is inherently two passes.
+    """
+    del repeat
+    rng = np.random.default_rng(seed)
+    terms = {
+        f"t{i:03d}": generator("uniform")(
+            max(1, int(list_size * (0.5 + rng.random()))), domain, rng=rng
+        )
+        for i in range(n_terms)
+    }
+    names = sorted(terms)
+
+    def hot() -> str:
+        return names[int(rng.random() ** 2 * len(names)) % len(names)]
+
+    queries: list = []
+    for q in range(n_queries):
+        shape = q % 4
+        if shape == 0:
+            queries.append(hot())
+        elif shape == 1:
+            queries.append(("and", hot(), hot()))
+        elif shape == 2:
+            queries.append(("or", hot(), hot()))
+        else:
+            queries.append(("and", ("or", hot(), hot()), hot()))
+    return bench_served(terms, queries, universe=domain, codecs=codecs)
+
+
 #: Experiment registry for the CLI and the integration tests:
 #: id → (function, metric columns to print).
 EXPERIMENTS = {
@@ -366,4 +411,5 @@ EXPERIMENTS = {
     "fig10": (figure10, ("intersect_ms", "space_bytes")),
     "fig11": (figure11, ("intersect_ms", "space_bytes")),
     "fig12": (figure12, ("intersect_ms", "space_bytes")),
+    "served": (served, ("intersect_ms", "space_bytes")),
 }

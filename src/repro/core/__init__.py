@@ -6,6 +6,7 @@ downstream users writing their own codecs) build against.
 """
 
 from repro.core.base import CompressedIntegerSet, IntegerSetCodec
+from repro.core.decode import ArrayCache, DecodeObserver, decode
 from repro.core.errors import (
     CodecError,
     CorruptPayloadError,
@@ -40,6 +41,9 @@ __all__ = [
     "invlist_codec_names",
     "as_posting_array",
     "ensure_sorted_unique",
+    "decode",
+    "ArrayCache",
+    "DecodeObserver",
     "dumps",
     "loads",
     "dump",

@@ -1,0 +1,93 @@
+"""Cache-aware decode entry point.
+
+Every consumer that materialises a compressed set — the query engine,
+the expression evaluator, the bench harness's served mode — funnels
+through :func:`decode` instead of calling ``codec.decompress`` directly.
+That one chokepoint is where the serving layer attaches its decode
+cache (Roaring's design keeps containers decodable in isolation for the
+same reason: reuse of decoded state is a first-class concern) and its
+observability (per-codec decode counts and time).
+
+The function itself stays dependency-free: caches and observers are
+structural protocols, so :mod:`repro.core` does not import the store
+package that implements them.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Hashable, Optional, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.core.base import CompressedIntegerSet, IntegerSetCodec
+from repro.core.registry import get_codec
+
+#: Cache keys are (shard, term, codec_name) triples in the store, but any
+#: hashable value works — the decode layer never inspects them.
+DecodeKey = Hashable
+
+
+@runtime_checkable
+class ArrayCache(Protocol):
+    """Minimal cache surface :func:`decode` consults.
+
+    ``get`` returns the cached decoded array or ``None``; ``put`` stores
+    one.  :class:`repro.store.cache.DecodeCache` is the bounded LRU
+    implementation; any mapping-like object with these two methods works.
+    """
+
+    def get(self, key: DecodeKey) -> Optional[np.ndarray]: ...
+
+    def put(self, key: DecodeKey, values: np.ndarray) -> None: ...
+
+
+@runtime_checkable
+class DecodeObserver(Protocol):
+    """Callback surface for decode accounting (implemented by
+    :class:`repro.store.metrics.StoreMetrics`)."""
+
+    def record_decode(self, codec_name: str, n: int, seconds: float) -> None: ...
+
+
+def decode(
+    cs: CompressedIntegerSet,
+    *,
+    codec: IntegerSetCodec | None = None,
+    cache: ArrayCache | None = None,
+    key: DecodeKey | None = None,
+    observer: DecodeObserver | None = None,
+) -> np.ndarray:
+    """Decompress *cs*, consulting *cache* under *key* when both are given.
+
+    Args:
+        cs: the compressed set.
+        codec: explicit codec instance; defaults to a registry lookup on
+            ``cs.codec_name``.  Unregistered wrapper codecs (e.g.
+            :class:`repro.hybrid.AdaptiveCodec`) must be passed explicitly.
+        cache: optional :class:`ArrayCache`; consulted and filled only
+            when *key* is also provided.
+        key: cache key identifying this set (the store uses
+            ``(shard, term, codec_name)``).
+        observer: optional accounting hook; sees only *actual* decodes,
+            never cache hits.
+
+    Returns:
+        The decoded posting array.  Cached arrays are returned read-only
+        (``writeable=False``) so one query cannot corrupt another's hit.
+    """
+    if cache is not None and key is not None:
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
+    if codec is None:
+        codec = get_codec(cs.codec_name)
+    t0 = time.perf_counter()
+    values = codec.decompress(cs)
+    elapsed = time.perf_counter() - t0
+    if observer is not None:
+        observer.record_decode(cs.codec_name, int(values.size), elapsed)
+    if cache is not None and key is not None:
+        values.flags.writeable = False
+        cache.put(key, values)
+    return values

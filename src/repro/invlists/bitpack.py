@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.errors import DomainOverflowError
+from repro.core.errors import CorruptPayloadError, DomainOverflowError
 
 _U32_MASK = np.uint64(0xFFFFFFFF)
 
@@ -78,6 +78,21 @@ def pack_bits(values: np.ndarray, b: int) -> np.ndarray:
     return (out & _U32_MASK).astype(np.uint32)[:n_words]
 
 
+def _check_stream_length(n_words: int, n: int, b: int) -> None:
+    """Reject streams too short to hold *n* b-bit values.
+
+    Both unpack kernels share this guard so a truncated stream raises the
+    same :class:`CorruptPayloadError` on either path instead of the SIMD
+    windowing silently reading zero-padding as data.
+    """
+    needed = packed_word_count(n, b)
+    if n_words < needed:
+        raise CorruptPayloadError(
+            f"packed stream truncated: {n} values of {b} bits need "
+            f"{needed} words, got {n_words}"
+        )
+
+
 def unpack_bits_simd(words: np.ndarray, n: int, b: int) -> np.ndarray:
     """Unpack *n* b-bit values with O(n) shift-and-mask gathers.
 
@@ -86,6 +101,7 @@ def unpack_bits_simd(words: np.ndarray, n: int, b: int) -> np.ndarray:
     """
     if n == 0:
         return np.empty(0, dtype=np.int64)
+    _check_stream_length(words.size, n, b)
     w = words.astype(np.uint64, copy=False)
     # 64-bit sliding windows: window i = words[i] | words[i+1] << 32.
     ext = np.zeros(w.size + 1, dtype=np.uint64)
@@ -107,6 +123,7 @@ def unpack_bits_simd_blocks(words2d: np.ndarray, count: int, b: int) -> np.ndarr
     m = words2d.shape[0]
     if m == 0 or count == 0:
         return np.empty((m, count), dtype=np.int64)
+    _check_stream_length(words2d.shape[1], count, b)
     w = words2d.astype(np.uint64, copy=False)
     ext = np.zeros((m, w.shape[1] + 1), dtype=np.uint64)
     ext[:, :-1] = w
@@ -123,7 +140,11 @@ def unpack_bits_scalar_blocks(words2d: np.ndarray, count: int, b: int) -> np.nda
     m = words2d.shape[0]
     if m == 0 or count == 0:
         return np.empty((m, count), dtype=np.int64)
-    bytes2d = words2d.view(np.uint8).reshape(m, -1)
+    _check_stream_length(words2d.shape[1], count, b)
+    # The uint8 reinterpretation below needs contiguous rows; strided
+    # views (e.g. a column slice of a larger matrix) are copied first so
+    # both kernels accept the same inputs.
+    bytes2d = np.ascontiguousarray(words2d).view(np.uint8).reshape(m, -1)
     bits = np.unpackbits(bytes2d, axis=1, bitorder="little")[:, : count * b]
     powers = np.int64(1) << np.arange(b, dtype=np.int64)
     return bits.reshape(m, count, b).astype(np.int64) @ powers
@@ -137,8 +158,9 @@ def unpack_bits_scalar(words: np.ndarray, n: int, b: int) -> np.ndarray:
     """
     if n == 0:
         return np.empty(0, dtype=np.int64)
+    _check_stream_length(words.size, n, b)
     bits = np.unpackbits(
-        words.view(np.uint8), count=n * b, bitorder="little"
+        np.ascontiguousarray(words).view(np.uint8), count=n * b, bitorder="little"
     )
     powers = (np.int64(1) << np.arange(b, dtype=np.int64))
     return bits.reshape(n, b).astype(np.int64) @ powers

@@ -7,7 +7,16 @@
   SSB/TPCH query shapes such as ``(L1 ∪ L2) ∩ (L3 ∪ L4) ∩ L5``.
 """
 
-from repro.ops.expressions import And, Leaf, Or, QueryExpression, evaluate
+from repro.ops.expressions import (
+    And,
+    Leaf,
+    Or,
+    QueryExpression,
+    and_order,
+    evaluate,
+    iter_leaves,
+    or_partition,
+)
 from repro.ops.intersection import merge_intersect, svs_intersect
 from repro.ops.topk import ScoredPostingList, idf_weight, topk_conjunctive
 from repro.ops.union import merge_union
@@ -21,6 +30,9 @@ __all__ = [
     "Or",
     "Leaf",
     "evaluate",
+    "iter_leaves",
+    "and_order",
+    "or_partition",
     "ScoredPostingList",
     "topk_conjunctive",
     "idf_weight",

@@ -16,7 +16,7 @@ the paper's operator implementations:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Union
+from typing import Callable, Iterator, Union
 
 import numpy as np
 
@@ -66,36 +66,101 @@ class Or:
 
 QueryExpression = Union[Leaf, And, Or]
 
+#: A leaf-materialisation hook: given a compressed set, return its decoded
+#: array.  The serving layer (``repro.store``) passes a cache-aware decoder;
+#: the default is a plain registry decompress.
+LeafDecoder = Callable[[CompressedIntegerSet], np.ndarray]
 
-def evaluate(expr: QueryExpression) -> np.ndarray:
-    """Evaluate an expression tree to an uncompressed sorted array."""
+
+def _default_decoder(cs: CompressedIntegerSet) -> np.ndarray:
+    return get_codec(cs.codec_name).decompress(cs)
+
+
+def iter_leaves(expr: QueryExpression) -> Iterator[Leaf]:
+    """Every Leaf of an expression tree, depth-first left-to-right."""
     if isinstance(expr, Leaf):
-        return get_codec(expr.cs.codec_name).decompress(expr.cs)
+        yield expr
+    elif isinstance(expr, (And, Or)):
+        for child in expr.children:
+            yield from iter_leaves(child)
+    else:
+        raise TypeError(f"not a query expression: {expr!r}")
+
+
+def and_order(
+    children: tuple[QueryExpression, ...]
+) -> list[QueryExpression]:
+    """SvS evaluation order for an And node: smallest estimate first.
+
+    Exposed (rather than inlined in the evaluator) so plan compilers can
+    predict and display exactly the order execution will use.
+    """
+    return sorted(children, key=lambda c: c.estimated_size())
+
+
+def or_partition(
+    children: tuple[QueryExpression, ...]
+) -> tuple[list[list[CompressedIntegerSet]], list[QueryExpression]]:
+    """Split an Or node into compressed-OR leaf groups and recursive children.
+
+    Leaves are grouped by codec; each group is folded with that codec's
+    ``union_many`` (compressed OR — word-at-a-time for the RLE bitmaps,
+    container-wise for Roaring) and the groups are then merged.  Grouping
+    matters when leaves mix codecs (e.g. an Adaptive shard whose lists
+    landed on Roaring *and* SIMDPforDelta*): applying the first leaf's
+    codec to all of them would misinterpret foreign payloads.  Shared
+    with plan compilation for the same reason as :func:`and_order`.
+    """
+    by_codec: dict[str, list[CompressedIntegerSet]] = {}
+    others: list[QueryExpression] = []
+    for child in children:
+        if isinstance(child, Leaf):
+            by_codec.setdefault(child.cs.codec_name, []).append(child.cs)
+        else:
+            others.append(child)
+    return list(by_codec.values()), others
+
+
+def evaluate(
+    expr: QueryExpression, decoder: LeafDecoder | None = None
+) -> np.ndarray:
+    """Evaluate an expression tree to an uncompressed sorted array.
+
+    Args:
+        expr: the tree.
+        decoder: optional hook used whenever a leaf must be *fully*
+            materialised.  Partial-decode paths (SvS probes via
+            ``intersect_with_array``, compressed OR) intentionally bypass
+            it: they never produce the full decoded list, so caching
+            their inputs would pin memory without serving later hits.
+    """
+    decoder = decoder or _default_decoder
+    if isinstance(expr, Leaf):
+        return decoder(expr.cs)
     if isinstance(expr, Or):
-        return _evaluate_or(expr)
+        return _evaluate_or(expr, decoder)
     if isinstance(expr, And):
-        return _evaluate_and(expr)
+        return _evaluate_and(expr, decoder)
     raise TypeError(f"not a query expression: {expr!r}")
 
 
-def _evaluate_or(expr: Or) -> np.ndarray:
-    compressed = [c.cs for c in expr.children if isinstance(c, Leaf)]
-    others = [c for c in expr.children if not isinstance(c, Leaf)]
+def _evaluate_or(expr: Or, decoder: LeafDecoder) -> np.ndarray:
+    groups, others = or_partition(expr.children)
     result = np.empty(0, dtype=np.int64)
-    if compressed:
-        codec = get_codec(compressed[0].codec_name)
-        result = codec.union_many(compressed)
+    for group in groups:
+        codec = get_codec(group[0].codec_name)
+        result = union_sorted_arrays(result, codec.union_many(group))
     for child in others:
-        result = union_sorted_arrays(result, evaluate(child))
+        result = union_sorted_arrays(result, evaluate(child, decoder))
     return result
 
 
-def _evaluate_and(expr: And) -> np.ndarray:
+def _evaluate_and(expr: And, decoder: LeafDecoder) -> np.ndarray:
     # SvS over sub-expressions: materialise the smallest first, then probe
     # the remaining children — compressed leaves are probed without full
     # decompression via intersect_with_array.
-    ordered = sorted(expr.children, key=lambda c: c.estimated_size())
-    result = evaluate(ordered[0])
+    ordered = and_order(expr.children)
+    result = evaluate(ordered[0], decoder)
     for child in ordered[1:]:
         if result.size == 0:
             break
@@ -103,5 +168,5 @@ def _evaluate_and(expr: And) -> np.ndarray:
             codec = get_codec(child.cs.codec_name)
             result = codec.intersect_with_array(child.cs, result)
         else:
-            result = intersect_sorted_arrays(result, evaluate(child))
+            result = intersect_sorted_arrays(result, evaluate(child, decoder))
     return result

@@ -1,0 +1,66 @@
+"""repro.store — the serving layer over the 24-codec roster.
+
+The paper measures one-shot operations; the ROADMAP's north star is a
+system that *serves* them.  This package is that system's kernel:
+
+* :class:`PostingStore` — named shards of compressed term lists, any
+  codec per shard (registry members or the Adaptive wrapper), persisted
+  through :mod:`repro.core.serialize` with corruption-tolerant loading;
+* :class:`DecodeCache` — bounded LRU of decoded arrays keyed by
+  ``(shard, term, codec)`` with hit/miss/eviction counters;
+* :func:`compile_shard_plan` / :class:`Query` — term-level boolean
+  queries compiled to leaf-size-ordered SvS / compressed-OR plans built
+  on :mod:`repro.ops.expressions`;
+* :class:`QueryEngine` — concurrent scatter-gather batch execution with
+  per-query deadlines and graceful degradation (failing shards flag the
+  result partial instead of crashing the query);
+* :class:`StoreMetrics` — latency histograms, cache stats, per-codec
+  decode counts, snapshot-able as JSON (also via
+  ``python -m repro.store --metrics``).
+
+Quickstart::
+
+    from repro.store import DecodeCache, PostingStore, Query, QueryEngine
+
+    store = PostingStore()
+    shard = store.create_shard("docs", codec="Roaring", universe=1 << 20)
+    shard.add("news", news_ids)
+    shard.add("sports", sports_ids)
+    engine = QueryEngine(store, cache=DecodeCache())
+    result = engine.execute(("and", "news", "sports"))
+    print(result.values, engine.metrics.snapshot())
+"""
+
+from repro.store.cache import CacheStats, DecodeCache
+from repro.store.engine import QueryEngine, QueryResult
+from repro.store.errors import (
+    DuplicateShardError,
+    DuplicateTermError,
+    ShardLoadError,
+    StoreError,
+    UnknownShardError,
+)
+from repro.store.metrics import LatencyHistogram, StoreMetrics
+from repro.store.plan import Query, ShardPlan, compile_shard_plan, query_terms
+from repro.store.store import PostingStore, Shard, resolve_codec
+
+__all__ = [
+    "PostingStore",
+    "Shard",
+    "resolve_codec",
+    "DecodeCache",
+    "CacheStats",
+    "Query",
+    "ShardPlan",
+    "compile_shard_plan",
+    "query_terms",
+    "QueryEngine",
+    "QueryResult",
+    "StoreMetrics",
+    "LatencyHistogram",
+    "StoreError",
+    "UnknownShardError",
+    "DuplicateShardError",
+    "DuplicateTermError",
+    "ShardLoadError",
+]

@@ -1,0 +1,169 @@
+"""Bounded LRU cache of decoded posting arrays.
+
+The serving layer's core bet (and the paper's Section 4.3 observation
+that operation outputs are uncompressed arrays anyway): a hot term is
+decoded once and then served from memory, so repeated queries pay merge
+cost only, not decode cost.  Keys are ``(shard, term, codec_name)``
+triples — the codec participates so a shard rebuilt under a different
+codec can never serve stale arrays from its predecessor.
+
+Bounded two ways: entry count and total bytes, evicting least-recently
+used until both bounds hold.  All operations are thread-safe (the query
+engine hits the cache from its worker pool) and counted: hits, misses,
+evictions, and insertions feed ``repro.store.metrics``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.decode import DecodeKey
+
+#: Default bounds — small enough for tests, overridable everywhere.
+DEFAULT_MAX_ENTRIES = 1024
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Point-in-time counters; ``hit_rate`` is derived."""
+
+    hits: int
+    misses: int
+    evictions: int
+    insertions: int
+    entries: int
+    bytes: int
+    max_entries: int
+    max_bytes: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate, 4),
+            "evictions": self.evictions,
+            "insertions": self.insertions,
+            "entries": self.entries,
+            "bytes": self.bytes,
+            "max_entries": self.max_entries,
+            "max_bytes": self.max_bytes,
+        }
+
+
+class DecodeCache:
+    """LRU map ``key -> np.ndarray`` bounded by entries and bytes.
+
+    Implements the :class:`repro.core.decode.ArrayCache` protocol, so it
+    plugs straight into :func:`repro.core.decode`.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        if max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self._data: OrderedDict[DecodeKey, np.ndarray] = OrderedDict()
+        self._bytes = 0
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._insertions = 0
+
+    # ------------------------------------------------------------------
+    # ArrayCache protocol
+    # ------------------------------------------------------------------
+    def get(self, key: DecodeKey) -> np.ndarray | None:
+        with self._lock:
+            arr = self._data.get(key)
+            if arr is None:
+                self._misses += 1
+                return None
+            self._data.move_to_end(key)
+            self._hits += 1
+            return arr
+
+    def put(self, key: DecodeKey, values: np.ndarray) -> None:
+        nbytes = int(values.nbytes)
+        if nbytes > self.max_bytes:
+            # Larger than the whole budget: caching it would evict
+            # everything and still not fit.  Serve it uncached.
+            return
+        values.flags.writeable = False
+        with self._lock:
+            old = self._data.pop(key, None)
+            if old is not None:
+                self._bytes -= int(old.nbytes)
+            self._data[key] = values
+            self._bytes += nbytes
+            self._insertions += 1
+            while len(self._data) > self.max_entries or self._bytes > self.max_bytes:
+                _, evicted = self._data.popitem(last=False)
+                self._bytes -= int(evicted.nbytes)
+                self._evictions += 1
+
+    # ------------------------------------------------------------------
+    # Management
+    # ------------------------------------------------------------------
+    def invalidate(self, key: DecodeKey) -> bool:
+        """Drop one entry; returns whether it was present."""
+        with self._lock:
+            arr = self._data.pop(key, None)
+            if arr is None:
+                return False
+            self._bytes -= int(arr.nbytes)
+            return True
+
+    def invalidate_shard(self, shard: str) -> int:
+        """Drop every entry whose key's first component is *shard*."""
+        with self._lock:
+            doomed = [
+                k
+                for k in self._data
+                if isinstance(k, tuple) and len(k) == 3 and k[0] == shard
+            ]
+            for k in doomed:
+                self._bytes -= int(self._data.pop(k).nbytes)
+            return len(doomed)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+            self._bytes = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __contains__(self, key: DecodeKey) -> bool:
+        with self._lock:
+            return key in self._data
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                insertions=self._insertions,
+                entries=len(self._data),
+                bytes=self._bytes,
+                max_entries=self.max_entries,
+                max_bytes=self.max_bytes,
+            )

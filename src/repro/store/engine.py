@@ -1,0 +1,243 @@
+"""Concurrent scatter-gather query engine over a PostingStore.
+
+Each query scatters over its target shards, evaluates the compiled
+:class:`~repro.store.plan.ShardPlan` per shard, and gathers the partial
+results with a sorted-array union (shards partition the document space,
+so gathering is a merge, never a re-intersection).  Batches run on a
+worker pool; each query carries a deadline that is checked cooperatively
+between shards *and* enforced from the outside when collecting futures,
+so a slow query degrades to a flagged partial result instead of stalling
+the batch.
+
+Failure policy (the "graceful degradation" contract):
+
+* a shard whose evaluation raises — corrupt payload, codec bug — is
+  recorded in ``failed_shards`` and the query continues on the
+  remaining shards with ``partial=True``;
+* terms lost to a lenient store load mark the query partial via
+  ``degraded_terms``;
+* a deadline hit mid-scatter returns whatever shards completed, flagged
+  ``timed_out`` and partial;
+* only a query that produces *no* shard results at all is ``failed``.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.base import union_sorted_arrays
+from repro.store.cache import DecodeCache
+from repro.store.metrics import StoreMetrics
+from repro.store.plan import Query, ShardPlan, compile_shard_plan
+from repro.store.store import PostingStore
+
+#: Default worker-pool width for batch execution.
+DEFAULT_WORKERS = 4
+
+
+@dataclass
+class QueryResult:
+    """Outcome of one query, successful or degraded."""
+
+    query_id: str
+    values: np.ndarray | None
+    latency_ms: float
+    partial: bool = False
+    timed_out: bool = False
+    error: str | None = None
+    shards_queried: int = 0
+    failed_shards: tuple[str, ...] = ()
+    degraded_terms: tuple[str, ...] = ()
+    plans: list[ShardPlan] = field(default_factory=list, repr=False)
+
+    @property
+    def ok(self) -> bool:
+        return not self.partial and self.error is None
+
+    def as_dict(self) -> dict:
+        """JSON-able summary (values reported by size, not content)."""
+        return {
+            "query_id": self.query_id,
+            "n_results": int(self.values.size) if self.values is not None else None,
+            "latency_ms": round(self.latency_ms, 4),
+            "ok": self.ok,
+            "partial": self.partial,
+            "timed_out": self.timed_out,
+            "error": self.error,
+            "shards_queried": self.shards_queried,
+            "failed_shards": list(self.failed_shards),
+            "degraded_terms": list(self.degraded_terms),
+        }
+
+
+class QueryEngine:
+    """Executes term queries against a store, concurrently and cached.
+
+    Args:
+        store: the posting store to serve from.
+        cache: decode cache shared by all workers; pass ``None`` to
+            serve uncached (every leaf decode pays full price).
+        metrics: observability sink; created internally when omitted so
+            ``engine.metrics.snapshot()`` always works.
+        max_workers: batch worker-pool width.
+        timeout_s: per-query deadline in seconds (``None`` = unbounded).
+        cache_probes: forward to :meth:`ShardPlan.execute` — decode AND
+            probe leaves through the cache instead of compressed probes.
+    """
+
+    def __init__(
+        self,
+        store: PostingStore,
+        *,
+        cache: DecodeCache | None = None,
+        metrics: StoreMetrics | None = None,
+        max_workers: int = DEFAULT_WORKERS,
+        timeout_s: float | None = None,
+        cache_probes: bool = False,
+    ) -> None:
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.store = store
+        self.cache = cache
+        self.metrics = metrics if metrics is not None else StoreMetrics()
+        if self.cache is not None:
+            self.metrics.attach_cache(self.cache)
+        self.max_workers = max_workers
+        self.timeout_s = timeout_s
+        self.cache_probes = cache_probes
+
+    # ------------------------------------------------------------------
+    def execute(self, query: Query | str | tuple) -> QueryResult:
+        """Run one query to completion (or deadline) and record metrics."""
+        query = self._coerce(query)
+        deadline = (
+            time.perf_counter() + self.timeout_s
+            if self.timeout_s is not None
+            else None
+        )
+        result = self._run(query, deadline)
+        self.metrics.record_query(
+            result.latency_ms,
+            partial=result.partial,
+            failed=result.error is not None and result.values is None,
+            timed_out=result.timed_out,
+        )
+        return result
+
+    def execute_batch(
+        self, queries: Sequence[Query | str | tuple]
+    ) -> list[QueryResult]:
+        """Run a batch on the worker pool, preserving input order.
+
+        Every query gets its own deadline.  If a worker overruns it
+        anyway (deadlines are checked between shards, and a single
+        shard's evaluation cannot be preempted), collection stops
+        waiting shortly after the deadline and reports a timed-out
+        result; the worker's eventual output is discarded.
+        """
+        coerced = [self._coerce(q) for q in queries]
+        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+            t0 = time.perf_counter()
+            futures = [pool.submit(self.execute, q) for q in coerced]
+            results: list[QueryResult] = []
+            for query, future in zip(coerced, futures):
+                try:
+                    if self.timeout_s is None:
+                        results.append(future.result())
+                    else:
+                        # Grace factor: workers start staggered, so allow
+                        # each future the full per-query budget twice
+                        # over from batch start before giving up on it.
+                        remaining = max(
+                            0.05, 2 * self.timeout_s - (time.perf_counter() - t0)
+                        )
+                        results.append(future.result(timeout=remaining))
+                except FutureTimeoutError:
+                    latency_ms = (time.perf_counter() - t0) * 1000.0
+                    self.metrics.record_query(
+                        latency_ms, partial=True, timed_out=True
+                    )
+                    results.append(
+                        QueryResult(
+                            query_id=query.query_id,
+                            values=None,
+                            latency_ms=latency_ms,
+                            partial=True,
+                            timed_out=True,
+                            error="query abandoned after deadline",
+                        )
+                    )
+        return results
+
+    # ------------------------------------------------------------------
+    def explain(self, query: Query | str | tuple) -> list[dict]:
+        """Compiled per-shard plans for a query, without executing."""
+        query = self._coerce(query)
+        return [
+            compile_shard_plan(self.store, shard, query.expression).describe()
+            for shard in self._target_shards(query)
+        ]
+
+    # ------------------------------------------------------------------
+    def _coerce(self, query: Query | str | tuple) -> Query:
+        if isinstance(query, Query):
+            return query
+        return Query(expression=query)
+
+    def _target_shards(self, query: Query) -> Sequence[str]:
+        return (
+            query.shards if query.shards is not None else self.store.shard_names()
+        )
+
+    def _run(self, query: Query, deadline: float | None) -> QueryResult:
+        t0 = time.perf_counter()
+        gathered: np.ndarray | None = None
+        failed: list[str] = []
+        degraded: list[str] = []
+        plans: list[ShardPlan] = []
+        first_error: str | None = None
+        timed_out = False
+        shards = self._target_shards(query)
+        for shard in shards:
+            if deadline is not None and time.perf_counter() >= deadline:
+                timed_out = True
+                break
+            try:
+                plan = compile_shard_plan(self.store, shard, query.expression)
+                arr = plan.execute(
+                    cache=self.cache,
+                    observer=self.metrics,
+                    cache_probes=self.cache_probes,
+                )
+            except Exception as exc:  # graceful degradation, not a crash
+                failed.append(shard)
+                if first_error is None:
+                    first_error = f"{type(exc).__name__}: {exc}"
+                continue
+            plans.append(plan)
+            degraded.extend(plan.degraded_terms)
+            gathered = (
+                arr if gathered is None else union_sorted_arrays(gathered, arr)
+            )
+        latency_ms = (time.perf_counter() - t0) * 1000.0
+        partial = bool(failed or degraded or timed_out)
+        if gathered is None and not failed and not timed_out:
+            gathered = np.empty(0, dtype=np.int64)  # zero target shards
+        return QueryResult(
+            query_id=query.query_id,
+            values=gathered,
+            latency_ms=latency_ms,
+            partial=partial,
+            timed_out=timed_out,
+            error=first_error,
+            shards_queried=len(plans),
+            failed_shards=tuple(failed),
+            degraded_terms=tuple(dict.fromkeys(degraded)),
+            plans=plans,
+        )

@@ -1,0 +1,36 @@
+"""Exceptions raised by the posting store and query engine."""
+
+from __future__ import annotations
+
+from repro.core.errors import ReproError
+
+
+class StoreError(ReproError):
+    """Base class for serving-layer errors."""
+
+
+class UnknownShardError(StoreError, KeyError):
+    """A query or admin call referenced a shard the store does not hold."""
+
+
+class DuplicateShardError(StoreError, ValueError):
+    """A shard name was added twice."""
+
+
+class DuplicateTermError(StoreError, ValueError):
+    """A term was added twice to the same shard."""
+
+
+class ShardLoadError(StoreError):
+    """A persisted shard failed to load (corrupt file, bad manifest).
+
+    Carries the shard/term/path that failed so lenient loads can report
+    exactly what was skipped.
+    """
+
+    def __init__(self, shard: str, term: str, path: str, cause: Exception) -> None:
+        super().__init__(f"shard {shard!r} term {term!r} ({path}): {cause}")
+        self.shard = shard
+        self.term = term
+        self.path = path
+        self.cause = cause

@@ -1,0 +1,168 @@
+"""Serving-layer observability.
+
+Three instrument families, all thread-safe and all JSON-able via
+``snapshot()``:
+
+* **latency histograms** — log2-bucketed query latencies (bounds in
+  milliseconds, doubling from 1 µs to ~134 s), per query outcome;
+* **cache stats** — proxied from the :class:`~repro.store.cache.DecodeCache`
+  attached to the engine;
+* **decode counts** — per-codec number of actual (non-cached) decodes,
+  decoded integers, and decode seconds, recorded through the
+  :class:`repro.core.decode.DecodeObserver` protocol.
+
+The snapshot schema is documented in ``docs/query_engine.md`` and pinned
+by ``tests/store/test_metrics.py``; the bench harness's served mode and
+``python -m repro.store --metrics`` both print it verbatim.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+#: Histogram bucket upper bounds in milliseconds: 0.001, 0.002, ... (log2).
+_N_BUCKETS = 28
+BUCKET_BOUNDS_MS = tuple(0.001 * (1 << i) for i in range(_N_BUCKETS))
+
+
+class LatencyHistogram:
+    """Fixed log2 buckets; the last bucket is an overflow catch-all."""
+
+    def __init__(self) -> None:
+        self._counts = [0] * (_N_BUCKETS + 1)
+        self._total_ms = 0.0
+        self._max_ms = 0.0
+        self._count = 0
+
+    def record(self, latency_ms: float) -> None:
+        idx = 0
+        while idx < _N_BUCKETS and latency_ms > BUCKET_BOUNDS_MS[idx]:
+            idx += 1
+        self._counts[idx] += 1
+        self._count += 1
+        self._total_ms += latency_ms
+        if latency_ms > self._max_ms:
+            self._max_ms = latency_ms
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile: the upper bound of the bucket holding it."""
+        if not self._count:
+            return 0.0
+        target = q * self._count
+        seen = 0
+        for idx, count in enumerate(self._counts):
+            seen += count
+            if seen >= target:
+                return BUCKET_BOUNDS_MS[min(idx, _N_BUCKETS - 1)]
+        return BUCKET_BOUNDS_MS[-1]
+
+    def as_dict(self) -> dict:
+        # Sparse encoding: only non-empty buckets, keyed by upper bound.
+        buckets = {
+            f"{BUCKET_BOUNDS_MS[min(i, _N_BUCKETS - 1)]:g}": c
+            for i, c in enumerate(self._counts)
+            if c
+        }
+        mean = self._total_ms / self._count if self._count else 0.0
+        return {
+            "count": self._count,
+            "mean_ms": round(mean, 6),
+            "max_ms": round(self._max_ms, 6),
+            "p50_ms": self.quantile(0.50),
+            "p99_ms": self.quantile(0.99),
+            "buckets_ms": buckets,
+        }
+
+
+@dataclass
+class _CodecDecodeStats:
+    decodes: int = 0
+    integers: int = 0
+    seconds: float = 0.0
+
+
+@dataclass
+class _QueryCounters:
+    total: int = 0
+    ok: int = 0
+    partial: int = 0
+    failed: int = 0
+    timed_out: int = 0
+
+
+class StoreMetrics:
+    """Aggregates everything the engine and decode path report.
+
+    Implements :class:`repro.core.decode.DecodeObserver` (the
+    ``record_decode`` method), so it can be passed straight to
+    :func:`repro.core.decode`.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._queries = _QueryCounters()
+        self._latency = LatencyHistogram()
+        self._decodes: dict[str, _CodecDecodeStats] = {}
+        self._cache_stats_fn = None
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_query(
+        self,
+        latency_ms: float,
+        *,
+        partial: bool = False,
+        failed: bool = False,
+        timed_out: bool = False,
+    ) -> None:
+        with self._lock:
+            self._queries.total += 1
+            if timed_out:
+                self._queries.timed_out += 1
+            if failed:
+                self._queries.failed += 1
+            elif partial:
+                self._queries.partial += 1
+            else:
+                self._queries.ok += 1
+            self._latency.record(latency_ms)
+
+    def record_decode(self, codec_name: str, n: int, seconds: float) -> None:
+        with self._lock:
+            stats = self._decodes.setdefault(codec_name, _CodecDecodeStats())
+            stats.decodes += 1
+            stats.integers += n
+            stats.seconds += seconds
+
+    def attach_cache(self, cache) -> None:
+        """Source cache counters from *cache* (a DecodeCache) at snapshot."""
+        self._cache_stats_fn = cache.stats
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """One JSON-able dict with every instrument's current state."""
+        with self._lock:
+            cache = self._cache_stats_fn().as_dict() if self._cache_stats_fn else None
+            return {
+                "queries": {
+                    "total": self._queries.total,
+                    "ok": self._queries.ok,
+                    "partial": self._queries.partial,
+                    "failed": self._queries.failed,
+                    "timed_out": self._queries.timed_out,
+                },
+                "latency": self._latency.as_dict(),
+                "cache": cache,
+                "decodes_by_codec": {
+                    name: {
+                        "decodes": s.decodes,
+                        "integers": s.integers,
+                        "seconds": round(s.seconds, 6),
+                    }
+                    for name, s in sorted(self._decodes.items())
+                },
+            }

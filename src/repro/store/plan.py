@@ -1,0 +1,301 @@
+"""Query → executable plan compilation.
+
+A query arrives as a term-level boolean tree (the same nested-tuple
+grammar :class:`repro.datasets.common.DatasetQuery` uses, with term
+names instead of list indices)::
+
+    ("and", ("or", "news", "sports"), "2024")     # (L1 ∪ L2) ∩ L3
+
+Per shard, :func:`compile_shard_plan` resolves terms to compressed sets
+and builds a :mod:`repro.ops.expressions` tree, constant-folding what
+the paper's one-shot benchmarks never see: terms missing from the shard
+become empty leaves, an ``and`` over an empty leaf folds to the empty
+plan, an ``or`` drops empty children.  The compiled plan shares the
+evaluator's ordering hooks (:func:`~repro.ops.expressions.and_order`,
+:func:`~repro.ops.expressions.or_partition`) so ``describe()`` shows
+exactly the leaf-size-ordered SvS and per-codec compressed-OR grouping
+execution will use.
+
+Execution adds the cache dimension the plain evaluator lacks: every full
+leaf materialisation goes through :func:`repro.core.decode` keyed by
+``(shard, term, codec)``, and leaves whose decoded form is already
+cached are merged as arrays instead of re-probed through the compressed
+form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.base import (
+    CompressedIntegerSet,
+    IntegerSetCodec,
+    intersect_sorted_arrays,
+    union_sorted_arrays,
+)
+from repro.core.decode import ArrayCache, DecodeObserver, decode
+from repro.core.registry import get_codec
+from repro.ops.expressions import (
+    And,
+    Leaf,
+    Or,
+    QueryExpression,
+    and_order,
+    or_partition,
+)
+from repro.store.store import PostingStore
+
+TermExpression = tuple | str
+
+
+@dataclass(frozen=True)
+class Query:
+    """One serveable query: a term expression plus an optional shard set.
+
+    Attributes:
+        expression: nested tuple tree over term names, e.g.
+            ``("and", ("or", "a", "b"), "c")``; a bare string is a
+            single-term query.
+        shards: shards to scatter over; ``None`` means every shard.
+        query_id: caller-chosen label, echoed in the result.
+    """
+
+    expression: TermExpression
+    shards: tuple[str, ...] | None = None
+    query_id: str = ""
+
+
+def query_terms(expression: TermExpression) -> list[str]:
+    """Distinct term names referenced by an expression, in first-use order."""
+    out: dict[str, None] = {}
+
+    def walk(node: TermExpression) -> None:
+        if isinstance(node, str):
+            out[node] = None
+            return
+        op, *children = node
+        if op not in ("and", "or"):
+            raise ValueError(f"unknown query operator {op!r}")
+        if not children:
+            raise ValueError(f"empty {op!r} node")
+        for child in children:
+            walk(child)
+
+    walk(expression)
+    return list(out)
+
+
+def _unwrap(cs: CompressedIntegerSet) -> CompressedIntegerSet:
+    """Strip wrapper codecs (Adaptive) down to their registered inner set.
+
+    Wrapper sets nest a full ``CompressedIntegerSet`` as payload; the
+    inner set is what the expression evaluator's registry lookups can
+    operate on, and its codec name is the honest cache-key component.
+    """
+    while isinstance(cs.payload, CompressedIntegerSet):
+        cs = cs.payload
+    return cs
+
+
+@dataclass
+class ShardPlan:
+    """One shard's executable slice of a query."""
+
+    shard: str
+    expr: QueryExpression | None  #: None ⇒ constant-folded to empty
+    #: id(leaf cs) → (shard, term, codec_name) cache key.
+    keymap: dict[int, tuple[str, str, str]] = field(default_factory=dict)
+    terms: list[str] = field(default_factory=list)
+    missing_terms: list[str] = field(default_factory=list)
+    #: Terms this query needed that were lost to a lenient load — their
+    #: absence makes results *partial*, unlike never-indexed terms.
+    degraded_terms: list[str] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        cache: ArrayCache | None = None,
+        observer: DecodeObserver | None = None,
+        cache_probes: bool = False,
+    ) -> np.ndarray:
+        """Evaluate to a sorted array, consulting/filling *cache*.
+
+        With ``cache_probes=True`` every AND probe leaf is also decoded
+        through the cache (array-merge instead of compressed probe) —
+        higher first-query cost, fully cached steady state.
+        """
+        if self.expr is None:
+            return np.empty(0, dtype=np.int64)
+        return self._eval(self.expr, cache, observer, cache_probes)
+
+    def _key(self, cs: CompressedIntegerSet) -> tuple[str, str, str] | None:
+        return self.keymap.get(id(cs))
+
+    def _decode_leaf(
+        self,
+        cs: CompressedIntegerSet,
+        cache: ArrayCache | None,
+        observer: DecodeObserver | None,
+    ) -> np.ndarray:
+        return decode(cs, cache=cache, key=self._key(cs), observer=observer)
+
+    def _cached(
+        self, cs: CompressedIntegerSet, cache: ArrayCache | None
+    ) -> np.ndarray | None:
+        if cache is None:
+            return None
+        key = self._key(cs)
+        return cache.get(key) if key is not None else None
+
+    def _eval(
+        self,
+        expr: QueryExpression,
+        cache: ArrayCache | None,
+        observer: DecodeObserver | None,
+        cache_probes: bool,
+    ) -> np.ndarray:
+        if isinstance(expr, Leaf):
+            return self._decode_leaf(expr.cs, cache, observer)
+        if isinstance(expr, Or):
+            return self._eval_or(expr, cache, observer, cache_probes)
+        return self._eval_and(expr, cache, observer, cache_probes)
+
+    def _eval_or(
+        self,
+        expr: Or,
+        cache: ArrayCache | None,
+        observer: DecodeObserver | None,
+        cache_probes: bool,
+    ) -> np.ndarray:
+        result = np.empty(0, dtype=np.int64)
+        groups, others = or_partition(expr.children)
+        for group in groups:
+            # Cached leaves merge as arrays; the rest stay on the
+            # codec's compressed-OR path (union_many).
+            cold: list[CompressedIntegerSet] = []
+            for cs in group:
+                hit = self._cached(cs, cache)
+                if hit is not None:
+                    result = union_sorted_arrays(result, hit)
+                else:
+                    cold.append(cs)
+            if cold:
+                codec = get_codec(cold[0].codec_name)
+                result = union_sorted_arrays(result, codec.union_many(cold))
+        for child in others:
+            result = union_sorted_arrays(
+                result, self._eval(child, cache, observer, cache_probes)
+            )
+        return result
+
+    def _eval_and(
+        self,
+        expr: And,
+        cache: ArrayCache | None,
+        observer: DecodeObserver | None,
+        cache_probes: bool,
+    ) -> np.ndarray:
+        ordered = and_order(expr.children)
+        result = self._eval(ordered[0], cache, observer, cache_probes)
+        for child in ordered[1:]:
+            if result.size == 0:
+                break
+            if isinstance(child, Leaf):
+                hit = self._cached(child.cs, cache)
+                if hit is not None:
+                    result = intersect_sorted_arrays(result, hit)
+                elif cache_probes:
+                    mine = self._decode_leaf(child.cs, cache, observer)
+                    result = intersect_sorted_arrays(result, mine)
+                else:
+                    codec = get_codec(child.cs.codec_name)
+                    result = codec.intersect_with_array(child.cs, result)
+            else:
+                result = intersect_sorted_arrays(
+                    result, self._eval(child, cache, observer, cache_probes)
+                )
+        return result
+
+    # ------------------------------------------------------------------
+    def describe(self) -> dict:
+        """JSON-able plan tree showing execution order and strategies."""
+        names = {cs_id: key[1] for cs_id, key in self.keymap.items()}
+
+        def walk(expr: QueryExpression) -> dict:
+            if isinstance(expr, Leaf):
+                return {
+                    "op": "leaf",
+                    "term": names.get(id(expr.cs), "<anon>"),
+                    "codec": expr.cs.codec_name,
+                    "n": expr.cs.n,
+                }
+            if isinstance(expr, Or):
+                groups, others = or_partition(expr.children)
+                return {
+                    "op": "or",
+                    "strategy": "compressed-or",
+                    "groups": [
+                        {
+                            "codec": g[0].codec_name,
+                            "terms": [names.get(id(cs), "<anon>") for cs in g],
+                        }
+                        for g in groups
+                    ],
+                    "children": [walk(c) for c in others],
+                }
+            return {
+                "op": "and",
+                "strategy": "svs",
+                "order": [walk(c) for c in and_order(expr.children)],
+            }
+
+        return {
+            "shard": self.shard,
+            "terms": self.terms,
+            "missing_terms": self.missing_terms,
+            "degraded_terms": self.degraded_terms,
+            "plan": walk(self.expr) if self.expr is not None else {"op": "empty"},
+        }
+
+
+def compile_shard_plan(
+    store: PostingStore, shard_name: str, expression: TermExpression
+) -> ShardPlan:
+    """Resolve a term expression against one shard into a ShardPlan."""
+    shard = store.shard(shard_name)
+    plan = ShardPlan(shard=shard_name, expr=None)
+    plan.terms = query_terms(expression)  # validates the grammar too
+
+    def build(node: TermExpression) -> QueryExpression | None:
+        if isinstance(node, str):
+            cs = shard.postings.get(node)
+            if cs is None:
+                if node in shard.failed_terms:
+                    plan.degraded_terms.append(node)
+                else:
+                    plan.missing_terms.append(node)
+                return None
+            inner = _unwrap(cs)
+            plan.keymap[id(inner)] = (shard_name, node, inner.codec_name)
+            return Leaf(inner)
+        op, *children = node
+        parts = [build(c) for c in children]
+        if op == "and":
+            if any(p is None for p in parts):
+                return None  # ∩ with the empty set is empty
+            kept = [p for p in parts if p is not None]
+            return kept[0] if len(kept) == 1 else And(*kept)
+        kept = [p for p in parts if p is not None]  # ∪ drops empty children
+        if not kept:
+            return None
+        return kept[0] if len(kept) == 1 else Or(*kept)
+
+    plan.expr = build(expression)
+    return plan
+
+
+def shard_codec(store: PostingStore, shard_name: str) -> IntegerSetCodec:
+    """The codec instance a shard compresses with (explain convenience)."""
+    return store.shard(shard_name).codec

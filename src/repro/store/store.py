@@ -1,0 +1,274 @@
+"""In-memory posting store: named shards of compressed term lists.
+
+A shard is a named partition of the document space holding one
+compressed posting list per term, all under one codec (any registry
+member, or an unregistered wrapper like
+:class:`repro.hybrid.AdaptiveCodec`).  The layout mirrors how a sharded
+search tier deploys the paper's codecs: the universe is split across
+shards, queries scatter over shards and gather partial results, and
+every decode funnels through :func:`repro.core.decode` so the engine's
+cache and metrics see all of it.
+
+Persistence reuses :mod:`repro.core.serialize` — one ``.rpro`` file per
+list plus a JSON manifest.  Loading is strict by default; with
+``strict=False`` a corrupt list is skipped and recorded (shard stays
+serveable, queries touching the lost term come back flagged partial)
+instead of taking the whole store down.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.core.base import CompressedIntegerSet, IntegerSetCodec
+from repro.core.decode import ArrayCache, DecodeObserver, decode
+from repro.core.errors import ReproError
+from repro.core.registry import get_codec
+from repro.core.serialize import dump, load
+from repro.store.errors import (
+    DuplicateShardError,
+    DuplicateTermError,
+    ShardLoadError,
+    UnknownShardError,
+)
+
+_MANIFEST = "manifest.json"
+_MANIFEST_VERSION = 1
+
+
+def resolve_codec(spec: str | IntegerSetCodec) -> IntegerSetCodec:
+    """A codec instance from a registry name, ``"Adaptive"``, or instance."""
+    if isinstance(spec, IntegerSetCodec):
+        return spec
+    if spec == "Adaptive":
+        # The adaptive hybrid is deliberately unregistered (it would
+        # double-count its inner codecs in every sweep) but is a
+        # first-class store codec.
+        from repro.hybrid import AdaptiveCodec
+
+        return AdaptiveCodec()
+    return get_codec(spec)
+
+
+@dataclass
+class Shard:
+    """One partition: term → compressed list, all under one codec."""
+
+    name: str
+    codec: IntegerSetCodec
+    universe: int | None = None
+    postings: dict[str, CompressedIntegerSet] = field(default_factory=dict)
+    #: Terms lost to corruption during a lenient load: term → reason.
+    failed_terms: dict[str, str] = field(default_factory=dict)
+
+    def add(
+        self,
+        term: str,
+        values: Iterable[int] | np.ndarray,
+        universe: int | None = None,
+    ) -> CompressedIntegerSet:
+        """Compress and store one posting list under *term*."""
+        if term in self.postings:
+            raise DuplicateTermError(
+                f"term {term!r} already present in shard {self.name!r}"
+            )
+        cs = self.codec.compress(values, universe=universe or self.universe)
+        self.postings[term] = cs
+        return cs
+
+    def add_compressed(self, term: str, cs: CompressedIntegerSet) -> None:
+        """Store an already-compressed list (must match the shard codec)."""
+        if term in self.postings:
+            raise DuplicateTermError(
+                f"term {term!r} already present in shard {self.name!r}"
+            )
+        if cs.codec_name != self.codec.name:
+            raise ReproError(
+                f"shard {self.name!r} holds {self.codec.name!r} lists, "
+                f"got {cs.codec_name!r}"
+            )
+        self.postings[term] = cs
+
+    @property
+    def size_bytes(self) -> int:
+        return sum(cs.size_bytes for cs in self.postings.values())
+
+    @property
+    def n_postings(self) -> int:
+        return sum(cs.n for cs in self.postings.values())
+
+
+class PostingStore:
+    """Named shards plus the cache-aware decode path over them."""
+
+    def __init__(self) -> None:
+        self._shards: dict[str, Shard] = {}
+        #: Errors swallowed by the last lenient :meth:`load`.
+        self.load_errors: list[ShardLoadError] = []
+
+    # ------------------------------------------------------------------
+    # Building
+    # ------------------------------------------------------------------
+    def create_shard(
+        self,
+        name: str,
+        codec: str | IntegerSetCodec = "Roaring",
+        universe: int | None = None,
+    ) -> Shard:
+        if name in self._shards:
+            raise DuplicateShardError(f"shard {name!r} already exists")
+        shard = Shard(name=name, codec=resolve_codec(codec), universe=universe)
+        self._shards[name] = shard
+        return shard
+
+    def add_list(
+        self,
+        shard: str,
+        term: str,
+        values: Iterable[int] | np.ndarray,
+        universe: int | None = None,
+    ) -> CompressedIntegerSet:
+        return self.shard(shard).add(term, values, universe=universe)
+
+    def drop_shard(self, name: str) -> None:
+        if name not in self._shards:
+            raise UnknownShardError(f"unknown shard {name!r}")
+        del self._shards[name]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def shard(self, name: str) -> Shard:
+        try:
+            return self._shards[name]
+        except KeyError:
+            known = ", ".join(sorted(self._shards)) or "<none>"
+            raise UnknownShardError(
+                f"unknown shard {name!r}; known: {known}"
+            ) from None
+
+    def shard_names(self) -> list[str]:
+        return list(self._shards)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._shards
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def get(self, shard: str, term: str) -> CompressedIntegerSet | None:
+        """The compressed list for (shard, term), or None when absent."""
+        return self.shard(shard).postings.get(term)
+
+    def stats(self) -> dict:
+        """JSON-able inventory: shards, terms, postings, wire bytes."""
+        return {
+            "shards": {
+                s.name: {
+                    "codec": s.codec.name,
+                    "terms": len(s.postings),
+                    "postings": s.n_postings,
+                    "size_bytes": s.size_bytes,
+                    "failed_terms": sorted(s.failed_terms),
+                }
+                for s in self._shards.values()
+            },
+            "total_terms": sum(len(s.postings) for s in self._shards.values()),
+            "total_size_bytes": sum(s.size_bytes for s in self._shards.values()),
+        }
+
+    # ------------------------------------------------------------------
+    # Decoding
+    # ------------------------------------------------------------------
+    def decode_term(
+        self,
+        shard: str,
+        term: str,
+        *,
+        cache: ArrayCache | None = None,
+        observer: DecodeObserver | None = None,
+    ) -> np.ndarray:
+        """Materialise one term's postings through the cache-aware path.
+
+        A term absent from the shard decodes to an empty array — the
+        standard IR convention for partitioned indexes, where each shard
+        holds only the terms its documents mention.
+        """
+        sh = self.shard(shard)
+        cs = sh.postings.get(term)
+        if cs is None:
+            return np.empty(0, dtype=np.int64)
+        return decode(
+            cs,
+            codec=sh.codec,
+            cache=cache,
+            key=(shard, term, cs.codec_name),
+            observer=observer,
+        )
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, directory: str | os.PathLike) -> None:
+        """Write every shard under *directory* (manifest + .rpro files)."""
+        directory = os.fspath(directory)
+        os.makedirs(directory, exist_ok=True)
+        manifest: dict = {"version": _MANIFEST_VERSION, "shards": {}}
+        for shard in self._shards.values():
+            shard_dir = os.path.join(directory, shard.name)
+            os.makedirs(shard_dir, exist_ok=True)
+            terms: dict[str, str] = {}
+            for i, (term, cs) in enumerate(sorted(shard.postings.items())):
+                rel = os.path.join(shard.name, f"{i:06d}.rpro")
+                dump(cs, os.path.join(directory, rel))
+                terms[term] = rel
+            manifest["shards"][shard.name] = {
+                "codec": shard.codec.name,
+                "universe": shard.universe,
+                "terms": terms,
+            }
+        with open(os.path.join(directory, _MANIFEST), "w") as fh:
+            json.dump(manifest, fh, indent=1, sort_keys=True)
+
+    @classmethod
+    def load(
+        cls, directory: str | os.PathLike, *, strict: bool = True
+    ) -> "PostingStore":
+        """Rebuild a store written by :meth:`save`.
+
+        Args:
+            directory: the save directory.
+            strict: when True (default) the first corrupt list raises its
+                underlying error wrapped in :class:`ShardLoadError`; when
+                False corrupt lists are skipped, recorded in
+                ``store.load_errors`` and the owning shard's
+                ``failed_terms``, and loading continues.
+        """
+        directory = os.fspath(directory)
+        with open(os.path.join(directory, _MANIFEST)) as fh:
+            manifest = json.load(fh)
+        if manifest.get("version") != _MANIFEST_VERSION:
+            raise ReproError(
+                f"unsupported store manifest version {manifest.get('version')!r}"
+            )
+        store = cls()
+        for name, spec in manifest["shards"].items():
+            shard = store.create_shard(
+                name, codec=spec["codec"], universe=spec["universe"]
+            )
+            for term, rel in spec["terms"].items():
+                path = os.path.join(directory, rel)
+                try:
+                    shard.postings[term] = load(path)
+                except Exception as exc:
+                    err = ShardLoadError(name, term, path, exc)
+                    if strict:
+                        raise err from exc
+                    store.load_errors.append(err)
+                    shard.failed_terms[term] = str(exc)
+        return store

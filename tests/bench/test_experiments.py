@@ -26,7 +26,7 @@ def workloads_of(rows):
 def test_experiment_registry_covers_every_table_and_figure():
     assert set(ex.EXPERIMENTS) == {
         "fig3", "tab1", "tab2", "tab3", "fig4", "fig5", "fig6", "fig7",
-        "fig8", "fig9", "fig10", "fig11", "fig12",
+        "fig8", "fig9", "fig10", "fig11", "fig12", "served",
     }
 
 
@@ -106,3 +106,16 @@ def test_two_list_dataset_figures(fn):
 def test_default_codec_coverage_is_full_registry():
     rows = ex.figure12(repeat=1)
     assert codecs_of(rows) == set(all_codec_names())
+
+
+def test_served_experiment_rows():
+    rows = ex.served(
+        codecs=FAST, n_terms=6, list_size=300, n_queries=8, domain=2**14
+    )
+    assert codecs_of(rows) == set(FAST)
+    for row in rows:
+        assert row.workload == "served"
+        assert row.intersect_ms >= 0  # cold batch wall time
+        assert row.extra["warm_ms"] >= 0
+        assert row.extra["speedup"] > 0
+        assert 0.0 <= row.extra["cache_hit_rate"] <= 1.0

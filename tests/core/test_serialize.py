@@ -96,6 +96,42 @@ def test_optimal_pef_roundtrips(rng):
     assert np.array_equal(codec.decompress(loads(dumps(cs))), values)
 
 
+def test_encode_decode_encode_byte_stable(codec, rng):
+    """dumps(loads(dumps(cs))) must be byte-identical for every codec.
+
+    Byte stability is what lets a served index be re-saved after a load
+    without rewriting (and re-checksumming) every list, and it pins the
+    wire format: any accidental reordering or dtype drift in the payload
+    packers shows up here as a byte diff.
+    """
+    for n, universe in ((0, 10), (1, 10), (900, 120_000)):
+        values = sorted_unique(rng, n, universe)
+        cs = codec.compress(values, universe=universe)
+        blob = dumps(cs)
+        assert dumps(loads(blob)) == blob
+
+
+def test_adaptive_wrapper_byte_stable(rng):
+    from repro.hybrid import AdaptiveCodec
+
+    codec = AdaptiveCodec()
+    for density in (0.01, 0.4):
+        values = sorted_unique(rng, int(density * 2**16), 2**16)
+        blob = dumps(codec.compress(values, universe=2**16))
+        assert dumps(loads(blob)) == blob
+
+
+def test_truncation_rejected_at_every_length(rng):
+    """No prefix of a valid blob may parse: every truncation point must
+    raise, never return a silently short set."""
+    codec = get_codec("Roaring")
+    blob = dumps(codec.compress(sorted_unique(rng, 300, 50_000), universe=50_000))
+    step = max(1, len(blob) // 40)
+    for cut in range(0, len(blob), step):
+        with pytest.raises(CorruptPayloadError):
+            loads(blob[:cut])
+
+
 def test_blob_is_compact(rng):
     """The serialised form should be close to the wire size, not inflated
     by the in-memory layout."""

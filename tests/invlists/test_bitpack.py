@@ -3,15 +3,21 @@
 import numpy as np
 import pytest
 
-from repro.core.errors import DomainOverflowError
+from repro.core.errors import CorruptPayloadError, DomainOverflowError
 from repro.invlists.bitpack import (
     pack_bits,
+    packed_word_count,
     required_bits,
     unpack_bits_scalar,
     unpack_bits_scalar_blocks,
     unpack_bits_simd,
     unpack_bits_simd_blocks,
 )
+
+#: Counts chosen so streams end mid-word, exactly on a word, and one bit
+#: past it — the boundary cases where the two kernels historically could
+#: disagree.
+STRADDLE_COUNTS = (1, 2, 31, 32, 33, 63, 64, 65, 127, 128, 129)
 
 
 @pytest.mark.parametrize("b", [1, 2, 3, 5, 7, 8, 13, 16, 21, 31, 32])
@@ -89,3 +95,79 @@ def test_block_kernels_empty():
     empty = np.empty((0, 4), dtype=np.uint32)
     assert unpack_bits_simd_blocks(empty, 128, 3).shape == (0, 128)
     assert unpack_bits_scalar_blocks(empty, 128, 3).shape == (0, 128)
+
+
+# ----------------------------------------------------------------------
+# Exhaustive scalar/SIMD parity — every width, boundary-straddling counts
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("b", range(1, 33))
+def test_kernel_parity_every_width(rng, b):
+    """Scalar and SIMD agree bit-for-bit for every b ∈ 1..32, including
+    counts whose streams end mid-word, on a word edge, and one value past
+    it (word-boundary straddles)."""
+    for n in STRADDLE_COUNTS:
+        values = rng.integers(0, 2**b, size=n, dtype=np.int64)
+        words = pack_bits(values, b)
+        assert words.size == packed_word_count(n, b)
+        scalar = unpack_bits_scalar(words, n, b)
+        simd = unpack_bits_simd(words, n, b)
+        assert np.array_equal(scalar, values), (b, n)
+        assert np.array_equal(simd, scalar), (b, n)
+
+
+@pytest.mark.parametrize("b", range(1, 33))
+def test_kernel_parity_prefix_decode(rng, b):
+    """Decoding a prefix (fewer values than packed) agrees on both paths —
+    the skip-pointer probe path decodes single blocks this way."""
+    n = 97
+    values = rng.integers(0, 2**b, size=n, dtype=np.int64)
+    words = pack_bits(values, b)
+    for k in (1, n // 2, n - 1):
+        assert np.array_equal(
+            unpack_bits_scalar(words, k, b), values[:k]
+        ), (b, k)
+        assert np.array_equal(unpack_bits_simd(words, k, b), values[:k]), (b, k)
+
+
+@pytest.mark.parametrize("b", [1, 7, 16, 25, 32])
+def test_kernels_accept_noncontiguous_words(rng, b):
+    """A strided view of a larger buffer decodes like the packed original.
+
+    This was a real divergence: the scalar kernel's uint8
+    reinterpretation rejected non-contiguous arrays the SIMD kernel
+    accepted.
+    """
+    n = 77
+    values = rng.integers(0, 2**b, size=n, dtype=np.int64)
+    words = pack_bits(values, b)
+    interleaved = np.empty(words.size * 2, dtype=np.uint32)
+    interleaved[0::2] = words
+    interleaved[1::2] = 0xDEADBEEF
+    strided = interleaved[0::2]
+    assert not strided.flags["C_CONTIGUOUS"]
+    assert np.array_equal(unpack_bits_scalar(strided, n, b), values)
+    assert np.array_equal(unpack_bits_simd(strided, n, b), values)
+
+
+@pytest.mark.parametrize("b", [1, 5, 17, 31, 32])
+def test_truncated_stream_rejected_by_both_kernels(rng, b):
+    """A stream missing its last word must raise CorruptPayloadError on
+    both paths — the SIMD windowing used to read zero padding as data."""
+    n = 129
+    values = rng.integers(0, 2**b, size=n, dtype=np.int64)
+    words = pack_bits(values, b)
+    truncated = words[:-1]
+    with pytest.raises(CorruptPayloadError):
+        unpack_bits_scalar(truncated, n, b)
+    with pytest.raises(CorruptPayloadError):
+        unpack_bits_simd(truncated, n, b)
+
+
+def test_truncated_block_matrix_rejected(rng):
+    b = 9
+    block = rng.integers(0, 2**b, size=128, dtype=np.int64)
+    mat = np.stack([pack_bits(block, b)])
+    with pytest.raises(CorruptPayloadError):
+        unpack_bits_scalar_blocks(mat[:, :-1], 128, b)
+    with pytest.raises(CorruptPayloadError):
+        unpack_bits_simd_blocks(mat[:, :-1], 128, b)

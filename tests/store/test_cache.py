@@ -1,0 +1,136 @@
+"""DecodeCache: LRU semantics, dual bounds, counters, thread safety."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.store import DecodeCache
+
+
+def _arr(n: int) -> np.ndarray:
+    return np.arange(n, dtype=np.int64)
+
+
+def test_get_put_roundtrip():
+    cache = DecodeCache()
+    key = ("s0", "t", "WAH")
+    assert cache.get(key) is None
+    cache.put(key, _arr(10))
+    hit = cache.get(key)
+    assert hit is not None and np.array_equal(hit, _arr(10))
+    assert key in cache and len(cache) == 1
+
+
+def test_cached_arrays_are_read_only():
+    cache = DecodeCache()
+    cache.put("k", _arr(5))
+    hit = cache.get("k")
+    with pytest.raises(ValueError):
+        hit[0] = 99
+
+
+def test_entry_bound_evicts_lru():
+    cache = DecodeCache(max_entries=2)
+    cache.put("a", _arr(1))
+    cache.put("b", _arr(1))
+    assert cache.get("a") is not None  # refresh "a"; "b" is now LRU
+    cache.put("c", _arr(1))
+    assert "b" not in cache
+    assert "a" in cache and "c" in cache
+    assert cache.stats().evictions == 1
+
+
+def test_byte_bound_evicts_until_under():
+    one_kb = 128  # 128 int64 = 1024 bytes
+    cache = DecodeCache(max_entries=100, max_bytes=3 * 1024)
+    for name in ("a", "b", "c"):
+        cache.put(name, _arr(one_kb))
+    assert len(cache) == 3
+    cache.put("d", _arr(one_kb))
+    assert len(cache) == 3 and "a" not in cache
+    assert cache.stats().bytes <= 3 * 1024
+
+
+def test_oversized_value_not_cached():
+    cache = DecodeCache(max_entries=10, max_bytes=64)
+    cache.put("huge", _arr(1000))
+    assert "huge" not in cache and len(cache) == 0
+    assert cache.stats().insertions == 0
+
+
+def test_replacing_key_adjusts_bytes():
+    cache = DecodeCache()
+    cache.put("k", _arr(100))
+    cache.put("k", _arr(10))
+    assert cache.stats().bytes == _arr(10).nbytes
+    assert len(cache) == 1
+
+
+def test_invalidate_and_invalidate_shard():
+    cache = DecodeCache()
+    cache.put(("s0", "a", "WAH"), _arr(1))
+    cache.put(("s0", "b", "WAH"), _arr(1))
+    cache.put(("s1", "a", "WAH"), _arr(1))
+    assert cache.invalidate(("s0", "a", "WAH")) is True
+    assert cache.invalidate(("s0", "a", "WAH")) is False
+    assert cache.invalidate_shard("s0") == 1
+    assert len(cache) == 1 and ("s1", "a", "WAH") in cache
+
+
+def test_clear_resets_contents_not_counters():
+    cache = DecodeCache()
+    cache.put("k", _arr(1))
+    cache.get("k")
+    cache.clear()
+    stats = cache.stats()
+    assert len(cache) == 0 and stats.bytes == 0
+    assert stats.hits == 1 and stats.insertions == 1
+
+
+def test_stats_counters_and_hit_rate():
+    cache = DecodeCache()
+    cache.get("missing")
+    cache.put("k", _arr(1))
+    cache.get("k")
+    cache.get("k")
+    stats = cache.stats()
+    assert (stats.hits, stats.misses, stats.insertions) == (2, 1, 1)
+    assert stats.hit_rate == pytest.approx(2 / 3)
+    as_dict = stats.as_dict()
+    assert as_dict["hits"] == 2 and "hit_rate" in as_dict
+
+
+def test_invalid_bounds_rejected():
+    with pytest.raises(ValueError):
+        DecodeCache(max_entries=0)
+    with pytest.raises(ValueError):
+        DecodeCache(max_bytes=0)
+
+
+def test_concurrent_hammering_keeps_invariants():
+    cache = DecodeCache(max_entries=16, max_bytes=16 * 1024)
+    errors: list[Exception] = []
+
+    def worker(seed: int) -> None:
+        try:
+            rng = np.random.default_rng(seed)
+            for _ in range(300):
+                key = ("s", f"t{rng.integers(32)}", "VB")
+                if rng.random() < 0.5:
+                    cache.put(key, np.arange(rng.integers(1, 64), dtype=np.int64))
+                else:
+                    cache.get(key)
+        except Exception as exc:  # pragma: no cover - only on failure
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    stats = cache.stats()
+    assert len(cache) <= 16
+    assert stats.bytes <= 16 * 1024
+    assert stats.hits + stats.misses == 8 * 300 - stats.insertions

@@ -1,0 +1,128 @@
+"""python -m repro.store: the served-mode CLI end to end."""
+
+import json
+import subprocess
+import sys
+
+from repro.store.__main__ import build_store, main, sample_queries
+
+
+def _run_main(capsys, *argv: str) -> dict:
+    assert main(list(argv)) == 0
+    return json.loads(capsys.readouterr().out)
+
+
+def test_build_store_shape():
+    store = build_store(
+        n_shards=2,
+        terms_per_shard=4,
+        codec="VB",
+        distribution="uniform",
+        list_size=100,
+        domain=2**12,
+        seed=7,
+    )
+    assert store.shard_names() == ["shard00", "shard01"]
+    for name in store.shard_names():
+        assert len(store.shard(name).postings) == 4
+
+
+def test_sample_queries_deterministic_and_shaped():
+    a = sample_queries(8, terms_per_shard=6, seed=3)
+    b = sample_queries(8, terms_per_shard=6, seed=3)
+    assert [q.expression for q in a] == [q.expression for q in b]
+    assert [q.query_id for q in a] == [f"q{i:04d}" for i in range(8)]
+    assert isinstance(a[0].expression, str)
+    assert a[1].expression[0] == "and"
+    assert a[2].expression[0] == "or"
+    assert a[3].expression[0] == "and" and a[3].expression[1][0] == "or"
+
+
+def test_metrics_mode_emits_snapshot(capsys):
+    snap = _run_main(
+        capsys,
+        "--metrics",
+        "--shards", "1",
+        "--terms-per-shard", "6",
+        "--list-size", "200",
+        "--queries", "12",
+    )
+    # Acceptance criterion: valid JSON with cache hit/miss counters and
+    # latency histogram fields.
+    assert snap["queries"]["total"] == 12
+    assert {"hits", "misses"} <= set(snap["cache"])
+    assert "buckets_ms" in snap["latency"]
+    assert snap["latency"]["count"] == 12
+
+
+def test_full_report_mode(capsys):
+    report = _run_main(
+        capsys,
+        "--shards", "2",
+        "--terms-per-shard", "4",
+        "--list-size", "150",
+        "--queries", "8",
+        "--codec", "EWAH",
+    )
+    assert set(report) == {"store", "queries", "metrics"}
+    assert len(report["queries"]) == 8
+    assert all(q["ok"] for q in report["queries"])
+    assert report["store"]["shards"]["shard00"]["codec"] == "EWAH"
+
+
+def test_explain_mode(capsys):
+    plans = _run_main(
+        capsys,
+        "--explain",
+        "--shards", "1",
+        "--terms-per-shard", "4",
+        "--list-size", "50",
+    )
+    assert isinstance(plans, list) and plans[0]["shard"] == "shard00"
+    assert "plan" in plans[0]
+
+
+def test_no_cache_mode(capsys):
+    snap = _run_main(
+        capsys,
+        "--metrics",
+        "--no-cache",
+        "--shards", "1",
+        "--terms-per-shard", "4",
+        "--list-size", "100",
+        "--queries", "6",
+    )
+    assert snap["cache"] is None
+    assert snap["decodes_by_codec"]  # every decode paid full price
+
+
+def test_adaptive_codec_accepted(capsys):
+    snap = _run_main(
+        capsys,
+        "--metrics",
+        "--codec", "Adaptive",
+        "--shards", "1",
+        "--terms-per-shard", "4",
+        "--list-size", "100",
+        "--queries", "6",
+    )
+    assert snap["queries"]["ok"] == 6
+
+
+def test_module_entrypoint_subprocess():
+    proc = subprocess.run(
+        [
+            sys.executable, "-m", "repro.store",
+            "--metrics",
+            "--shards", "1",
+            "--terms-per-shard", "4",
+            "--list-size", "100",
+            "--queries", "4",
+        ],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    snap = json.loads(proc.stdout)
+    assert "cache" in snap and "latency" in snap

@@ -1,0 +1,104 @@
+"""StoreMetrics / LatencyHistogram: schema and counter semantics."""
+
+import json
+
+import numpy as np
+
+from repro.store import DecodeCache, LatencyHistogram, StoreMetrics
+from repro.store.metrics import BUCKET_BOUNDS_MS
+
+
+def test_bucket_bounds_are_log2():
+    assert BUCKET_BOUNDS_MS[0] == 0.001
+    for lo, hi in zip(BUCKET_BOUNDS_MS, BUCKET_BOUNDS_MS[1:]):
+        assert hi == 2 * lo
+
+
+def test_histogram_empty():
+    h = LatencyHistogram()
+    d = h.as_dict()
+    assert d["count"] == 0 and d["mean_ms"] == 0.0
+    assert d["buckets_ms"] == {}
+    assert h.quantile(0.5) == 0.0
+
+
+def test_histogram_records_and_buckets():
+    h = LatencyHistogram()
+    for ms in (0.0005, 0.003, 0.003, 5.0):
+        h.record(ms)
+    d = h.as_dict()
+    assert d["count"] == 4
+    assert d["max_ms"] == 5.0
+    assert d["mean_ms"] > 0
+    assert sum(d["buckets_ms"].values()) == 4
+    # 0.0005 lands in the first bucket (bound 0.001); 0.003 in 0.004.
+    assert d["buckets_ms"]["0.001"] == 1
+    assert d["buckets_ms"]["0.004"] == 2
+
+
+def test_histogram_overflow_bucket():
+    h = LatencyHistogram()
+    h.record(10**9)  # far past the last bound
+    d = h.as_dict()
+    assert d["count"] == 1
+    assert sum(d["buckets_ms"].values()) == 1
+
+
+def test_quantiles_monotone():
+    h = LatencyHistogram()
+    for ms in (0.01, 0.1, 1.0, 10.0, 100.0):
+        h.record(ms)
+    assert h.quantile(0.5) <= h.quantile(0.99)
+    assert h.quantile(0.99) >= 10.0
+
+
+def test_record_query_outcome_precedence():
+    m = StoreMetrics()
+    m.record_query(1.0)
+    m.record_query(1.0, partial=True)
+    m.record_query(1.0, failed=True, partial=True)  # failed wins
+    m.record_query(1.0, timed_out=True, partial=True)
+    q = m.snapshot()["queries"]
+    assert q["total"] == 4
+    assert q["ok"] == 1 and q["partial"] == 2 and q["failed"] == 1
+    assert q["timed_out"] == 1
+
+
+def test_record_decode_aggregates_per_codec():
+    m = StoreMetrics()
+    m.record_decode("WAH", 100, 0.5)
+    m.record_decode("WAH", 50, 0.25)
+    m.record_decode("VB", 10, 0.1)
+    d = m.snapshot()["decodes_by_codec"]
+    assert d["WAH"] == {"decodes": 2, "integers": 150, "seconds": 0.75}
+    assert d["VB"]["decodes"] == 1
+    assert list(d) == sorted(d)
+
+
+def test_snapshot_cache_section():
+    m = StoreMetrics()
+    assert m.snapshot()["cache"] is None
+    cache = DecodeCache()
+    m.attach_cache(cache)
+    cache.put("k", np.arange(3, dtype=np.int64))
+    cache.get("k")
+    snap = m.snapshot()["cache"]
+    assert snap["hits"] == 1 and snap["insertions"] == 1
+
+
+def test_snapshot_is_json_serialisable():
+    m = StoreMetrics()
+    m.attach_cache(DecodeCache())
+    m.record_query(0.7, partial=True)
+    m.record_decode("Roaring", 42, 0.001)
+    blob = json.dumps(m.snapshot())
+    parsed = json.loads(blob)
+    assert set(parsed) == {"queries", "latency", "cache", "decodes_by_codec"}
+    assert set(parsed["latency"]) == {
+        "count",
+        "mean_ms",
+        "max_ms",
+        "p50_ms",
+        "p99_ms",
+        "buckets_ms",
+    }

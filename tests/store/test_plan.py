@@ -1,0 +1,150 @@
+"""Query grammar, plan compilation, constant folding, describe()."""
+
+import numpy as np
+import pytest
+
+from repro.ops import And, Leaf, Or
+from repro.store import (
+    DecodeCache,
+    PostingStore,
+    Query,
+    compile_shard_plan,
+    query_terms,
+)
+
+A = np.arange(0, 600, 2)
+B = np.arange(0, 600, 3)
+C = np.arange(0, 600, 5)
+
+
+def _store(codec: str = "Roaring") -> PostingStore:
+    store = PostingStore()
+    shard = store.create_shard("s0", codec=codec, universe=600)
+    for term, values in (("a", A), ("b", B), ("c", C)):
+        shard.add(term, values)
+    return store
+
+
+def test_query_terms_order_and_dedup():
+    assert query_terms("x") == ["x"]
+    assert query_terms(("and", ("or", "b", "a"), "b", "c")) == ["b", "a", "c"]
+
+
+def test_query_terms_rejects_bad_grammar():
+    with pytest.raises(ValueError, match="unknown query operator"):
+        query_terms(("not", "a"))
+    with pytest.raises(ValueError, match="empty"):
+        query_terms(("and",))
+
+
+def test_query_defaults():
+    q = Query(expression="a")
+    assert q.shards is None and q.query_id == ""
+
+
+def test_compile_single_term():
+    plan = compile_shard_plan(_store(), "s0", "a")
+    assert isinstance(plan.expr, Leaf)
+    assert plan.terms == ["a"] and not plan.missing_terms
+    assert plan.keymap[id(plan.expr.cs)] == ("s0", "a", "Roaring")
+    assert np.array_equal(plan.execute(), A)
+
+
+def test_compile_nested_expression_executes_correctly():
+    plan = compile_shard_plan(_store(), "s0", ("and", ("or", "a", "b"), "c"))
+    assert isinstance(plan.expr, And)
+    want = np.intersect1d(np.union1d(A, B), C)
+    assert np.array_equal(plan.execute(), want)
+
+
+def test_missing_term_folds_and_to_empty():
+    plan = compile_shard_plan(_store(), "s0", ("and", "a", "ghost"))
+    assert plan.expr is None
+    assert plan.missing_terms == ["ghost"]
+    assert plan.execute().size == 0
+
+
+def test_missing_term_dropped_from_or():
+    plan = compile_shard_plan(_store(), "s0", ("or", "a", "ghost"))
+    assert isinstance(plan.expr, Leaf)  # single survivor collapses
+    assert np.array_equal(plan.execute(), A)
+
+
+def test_all_or_children_missing_folds_to_empty():
+    plan = compile_shard_plan(_store(), "s0", ("or", "ghost1", "ghost2"))
+    assert plan.expr is None and plan.execute().size == 0
+
+
+def test_degraded_term_recorded_separately():
+    store = _store()
+    store.shard("s0").failed_terms["lost"] = "truncated"
+    plan = compile_shard_plan(store, "s0", ("or", "a", "lost", "ghost"))
+    assert plan.degraded_terms == ["lost"]
+    assert plan.missing_terms == ["ghost"]
+
+
+def test_adaptive_leaves_unwrap_to_inner_codec():
+    plan = compile_shard_plan(_store("Adaptive"), "s0", ("and", "a", "b"))
+    inner_names = {key[2] for key in plan.keymap.values()}
+    assert "Adaptive" not in inner_names  # unwrapped to registered codecs
+    want = np.intersect1d(A, B)
+    assert np.array_equal(plan.execute(), want)
+
+
+def test_cold_or_stays_compressed_warm_or_uses_arrays():
+    store = _store()
+    cache = DecodeCache()
+    or_plan = compile_shard_plan(store, "s0", ("or", "a", "b"))
+    cold = or_plan.execute(cache=cache)
+    # Cold OR goes through the codec's compressed union; no leaf is
+    # materialised, so nothing lands in the cache.
+    assert cache.stats().insertions == 0
+    # Warm the leaves via single-term plans (full materialisations).
+    for term in ("a", "b"):
+        compile_shard_plan(store, "s0", term).execute(cache=cache)
+    assert cache.stats().insertions == 2
+    warm = or_plan.execute(cache=cache)
+    assert np.array_equal(cold, warm)
+    assert cache.stats().hits >= 2
+
+
+def test_cache_probes_decodes_and_probe_leaves():
+    store = _store()
+    cache = DecodeCache()
+    plan = compile_shard_plan(store, "s0", ("and", "a", "b"))
+    plan.execute(cache=cache, cache_probes=False)
+    assert len(cache) == 1  # only the driver leaf materialises
+    cache.clear()
+    plan.execute(cache=cache, cache_probes=True)
+    assert len(cache) == 2  # probe leaf decoded through the cache too
+
+
+def test_describe_reports_strategies():
+    plan = compile_shard_plan(_store(), "s0", ("and", ("or", "a", "b"), "c"))
+    desc = plan.describe()
+    assert desc["shard"] == "s0"
+    assert desc["plan"]["op"] == "and" and desc["plan"]["strategy"] == "svs"
+    ops = [node["op"] for node in desc["plan"]["order"]]
+    assert "or" in ops and "leaf" in ops
+    or_node = next(n for n in desc["plan"]["order"] if n["op"] == "or")
+    assert or_node["strategy"] == "compressed-or"
+    assert or_node["groups"][0]["terms"] == ["a", "b"]
+
+
+def test_describe_and_order_is_smallest_first():
+    plan = compile_shard_plan(_store(), "s0", ("and", "a", "c", "b"))
+    desc = plan.describe()
+    sizes = [node["n"] for node in desc["plan"]["order"]]
+    assert sizes == sorted(sizes)
+
+
+def test_describe_empty_plan():
+    plan = compile_shard_plan(_store(), "s0", ("and", "ghost", "a"))
+    assert plan.describe()["plan"] == {"op": "empty"}
+
+
+def test_or_over_and_subtree():
+    plan = compile_shard_plan(_store(), "s0", ("or", ("and", "a", "b"), "c"))
+    assert isinstance(plan.expr, Or)
+    want = np.union1d(np.intersect1d(A, B), C)
+    assert np.array_equal(plan.execute(), want)

@@ -126,3 +126,92 @@ def test_groupvb_truncated_block():
     broken = replace(cs, payload=replace(cs.payload, stream=cs.payload.stream[:10]))
     with pytest.raises((CorruptPayloadError, IndexError)):
         codec.decompress(broken)
+
+
+# ----------------------------------------------------------------------
+# Store load path: corruption must degrade, never crash the server
+# ----------------------------------------------------------------------
+def _saved_store(tmp_path):
+    from repro.store import PostingStore
+
+    store = PostingStore()
+    shard = store.create_shard("s0", codec="WAH", universe=4_000)
+    shard.add("good", np.arange(0, 3_000, 3))
+    shard.add("doomed", np.arange(0, 3_000, 7))
+    directory = tmp_path / "index"
+    store.save(directory)
+    return directory
+
+
+def _corrupt_term(directory, term: str) -> None:
+    import json
+
+    manifest = json.loads((directory / "manifest.json").read_text())
+    rel = manifest["shards"]["s0"]["terms"][term]
+    path = directory / rel
+    path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+
+
+def test_store_load_strict_raises_on_truncated_list(tmp_path):
+    from repro.store import PostingStore, ShardLoadError
+
+    directory = _saved_store(tmp_path)
+    _corrupt_term(directory, "doomed")
+    with pytest.raises(ShardLoadError) as exc_info:
+        PostingStore.load(directory)
+    assert exc_info.value.term == "doomed"
+    assert isinstance(exc_info.value.cause, CorruptPayloadError)
+
+
+def test_store_load_lenient_records_and_serves(tmp_path):
+    """strict=False: the corrupt term is skipped and recorded; queries
+    touching it come back flagged partial, everything else still serves."""
+    from repro.store import PostingStore, QueryEngine
+
+    directory = _saved_store(tmp_path)
+    _corrupt_term(directory, "doomed")
+    store = PostingStore.load(directory, strict=False)
+    assert [e.term for e in store.load_errors] == ["doomed"]
+    assert "doomed" in store.shard("s0").failed_terms
+
+    engine = QueryEngine(store)
+    healthy = engine.execute("good")
+    assert healthy.ok and healthy.values.size == 1_000
+
+    hurt = engine.execute(("or", "good", "doomed"))
+    assert hurt.partial and not hurt.ok
+    assert hurt.degraded_terms == ("doomed",)
+    assert hurt.values.size == 1_000  # the surviving leaf still answers
+
+
+def test_store_load_rejects_bad_manifest_version(tmp_path):
+    import json
+
+    from repro.core.errors import ReproError
+    from repro.store import PostingStore
+
+    directory = _saved_store(tmp_path)
+    manifest_path = directory / "manifest.json"
+    manifest = json.loads(manifest_path.read_text())
+    manifest["version"] = 99
+    manifest_path.write_text(json.dumps(manifest))
+    with pytest.raises(ReproError):
+        PostingStore.load(directory)
+
+
+def test_engine_survives_poisoned_payload():
+    """A shard whose payload raises at decode time fails that shard only."""
+    from repro.store import PostingStore, QueryEngine
+
+    store = PostingStore()
+    healthy = store.create_shard("ok", codec="EWAH", universe=200)
+    healthy.add("t", np.arange(0, 200, 2))
+    poisoned = store.create_shard("bad", codec="EWAH", universe=200)
+    cs = poisoned.codec.compress(np.arange(0, 200, 5), universe=200)
+    poisoned.postings["t"] = replace(cs, payload=cs.payload[:1])
+
+    result = QueryEngine(store).execute("t")
+    assert result.partial and not result.timed_out
+    assert result.failed_shards == ("bad",)
+    assert "CorruptPayloadError" in result.error
+    assert np.array_equal(result.values, np.arange(0, 200, 2))
