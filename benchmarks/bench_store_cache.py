@@ -13,7 +13,7 @@ import pytest
 
 from repro.bench.timing import measure
 from repro.datagen import uniform_list
-from repro.store import DecodeCache, PostingStore, QueryEngine
+from repro.store import And, DecodeCache, Or, PostingStore, QueryEngine
 
 DOMAIN = 2**21 - 1
 LIST_SIZE = 120_000
@@ -78,7 +78,7 @@ def test_warm_single_term_query(benchmark, codec_name):
 def test_warm_expression_query(benchmark, codec_name):
     """(hot ∪ also) ∩ hot with every leaf cached: pure merge cost."""
     engine = _make_engine(codec_name)
-    expr = ("and", ("or", "hot", "also"), "hot")
+    expr = And(Or("hot", "also"), "hot")
     engine.execute(expr)
     result = benchmark(engine.execute, expr)
     benchmark.extra_info["n_results"] = int(result.values.size)

@@ -1,0 +1,161 @@
+"""The one-import facade: ``from repro import api``.
+
+Everything a downstream user needs for the common paths — compress a
+posting list, combine compressed lists, open a saved store and query it
+with the typed AST — without learning the package layout.  Each name
+here is a thin re-export or a small convenience wrapper; the underlying
+modules (:mod:`repro.core`, :mod:`repro.ops`, :mod:`repro.store`,
+:mod:`repro.server`) remain the real implementation and keep their own
+import paths for internal use.
+
+Quickstart::
+
+    import numpy as np
+    from repro import api
+
+    a = api.compress(np.array([2, 5, 10, 1_000_000]), codec="Roaring")
+    b = api.compress(np.arange(0, 2_000_000, 2), codec="Roaring")
+    both = api.intersect(a, b)          # -> np.ndarray of shared values
+    either = api.union(a, b)
+
+    engine = api.open_store("/data/index")
+    result = engine.execute(api.And(api.Or("news", "sports"), "2024"))
+    print(result.status, result.values)
+
+Error taxonomy (all subclasses of :class:`api.ReproError`):
+
+* :class:`CodecError` — compression-layer failures
+  (:class:`InvalidInputError`, :class:`CorruptPayloadError`,
+  :class:`DomainOverflowError`, :class:`UnknownCodecError`);
+* :class:`StoreError` — posting-store failures
+  (:class:`ShardLoadError`, :class:`UnknownShardError`);
+* serving-layer errors (:class:`ProtocolError`,
+  :class:`QueryRejectedError`, :class:`ServerUnavailableError`) live in
+  :mod:`repro.server` and are re-exported here for ``except`` clauses.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core import (
+    CodecError,
+    CompressedIntegerSet,
+    CorruptPayloadError,
+    DomainOverflowError,
+    IntegerSetCodec,
+    InvalidInputError,
+    ReproError,
+    UnknownCodecError,
+    all_codec_names,
+    get_codec,
+)
+from repro.ops.intersection import svs_intersect
+from repro.ops.union import merge_union
+from repro.server.client import QueryRejectedError, ServerUnavailableError
+from repro.server.protocol import ProtocolError
+from repro.store.cache import DecodeCache
+from repro.store.engine import QueryEngine, QueryResult
+from repro.store.errors import ShardLoadError, StoreError, UnknownShardError
+from repro.store.plan import And, Or, Query, Term, parse_query, query_from_json
+from repro.store.store import PostingStore
+
+__all__ = [
+    # Compression
+    "compress",
+    "decompress",
+    "get_codec",
+    "all_codec_names",
+    "CompressedIntegerSet",
+    "IntegerSetCodec",
+    # Set operations
+    "intersect",
+    "union",
+    # Query AST
+    "Term",
+    "And",
+    "Or",
+    "Query",
+    "parse_query",
+    "query_from_json",
+    # Store
+    "open_store",
+    "PostingStore",
+    "QueryEngine",
+    "QueryResult",
+    # Errors
+    "ReproError",
+    "CodecError",
+    "InvalidInputError",
+    "CorruptPayloadError",
+    "DomainOverflowError",
+    "UnknownCodecError",
+    "StoreError",
+    "ShardLoadError",
+    "UnknownShardError",
+    "ProtocolError",
+    "QueryRejectedError",
+    "ServerUnavailableError",
+]
+
+#: Facade default: the study's all-round best bitmap codec.
+DEFAULT_CODEC = "Roaring"
+
+
+def compress(
+    values: np.ndarray | Sequence[int],
+    codec: str = DEFAULT_CODEC,
+    *,
+    universe: int | None = None,
+) -> CompressedIntegerSet:
+    """Compress a sorted posting list under the named codec.
+
+    Args:
+        values: strictly increasing non-negative integers (array-like).
+        codec: registry name, e.g. ``"Roaring"``, ``"WAH"``, ``"PforDelta"``.
+        universe: value-domain bound; defaults to ``max(values) + 1``.
+    """
+    return get_codec(codec).compress(np.asarray(values), universe=universe)
+
+
+def decompress(cs: CompressedIntegerSet) -> np.ndarray:
+    """Exact inverse of :func:`compress` (codec resolved from the set)."""
+    return get_codec(cs.codec_name).decompress(cs)
+
+
+def intersect(*sets: CompressedIntegerSet) -> np.ndarray:
+    """Intersect compressed sets (one codec per call), SvS-ordered."""
+    return svs_intersect(list(sets))
+
+
+def union(*sets: CompressedIntegerSet) -> np.ndarray:
+    """Union compressed sets (one codec per call)."""
+    return merge_union(list(sets))
+
+
+def open_store(
+    directory: str,
+    *,
+    strict: bool = True,
+    cache_entries: int = 256,
+    max_workers: int = 4,
+    timeout_s: float | None = None,
+) -> QueryEngine:
+    """Load a saved store and wrap it in a ready-to-query engine.
+
+    Args:
+        directory: a directory written by :meth:`PostingStore.save`.
+        strict: raise :class:`ShardLoadError` on the first corrupt list
+            (default), or load leniently and serve degraded (queries
+            touching lost terms come back ``partial``).
+        cache_entries: decode-cache size; ``0`` disables caching.
+        max_workers: batch worker-pool width.
+        timeout_s: default per-query deadline (``None`` = unbounded).
+    """
+    store = PostingStore.load(directory, strict=strict)
+    cache = DecodeCache(max_entries=cache_entries) if cache_entries else None
+    return QueryEngine(
+        store, cache=cache, max_workers=max_workers, timeout_s=timeout_s
+    )

@@ -44,6 +44,12 @@ def main(argv: list[str] | None = None) -> int:
         "--csv", action="store_true", help="dump raw CSV instead of tables"
     )
     parser.add_argument(
+        "--json",
+        action="store_true",
+        help="dump one JSON object {experiment: [rows...]} instead of "
+        "tables — for scripted consumers (the CI smoke job parses this)",
+    )
+    parser.add_argument(
         "--scatter",
         action="store_true",
         help="render time-vs-space ASCII scatters (the paper's figure "
@@ -78,6 +84,7 @@ def main(argv: list[str] | None = None) -> int:
     wanted = list(args.experiments)
     if "all" in wanted:
         wanted = list(EXPERIMENTS)
+    json_out: dict[str, list] = {}
     for exp_id in wanted:
         if exp_id == "history":
             print(history_table())
@@ -89,10 +96,14 @@ def main(argv: list[str] | None = None) -> int:
         if args.quick:
             kwargs = _quick_kwargs(exp_id)
         kwargs.update(_scale_kwargs(exp_id, args))
-        print(f"=== {exp_id}: {fn.__doc__.strip().splitlines()[0]} ===")
+        if not args.json:
+            print(f"=== {exp_id}: {fn.__doc__.strip().splitlines()[0]} ===")
         rows = fn(**kwargs)
         if args.svg:
             _write_svgs(args.svg, exp_id, rows, metrics)
+        if args.json:
+            json_out[exp_id] = [r.as_dict() for r in rows]
+            continue
         if args.csv:
             print(to_csv(rows))
             continue
@@ -105,6 +116,10 @@ def main(argv: list[str] | None = None) -> int:
             continue
         for metric in metrics:
             print(format_table(rows, metric, title=f"[{_METRIC_TITLES[metric]}]"))
+    if args.json:
+        import json
+
+        print(json.dumps(json_out, indent=1))
     return 0
 
 
@@ -168,6 +183,15 @@ def _quick_kwargs(exp_id: str) -> dict:
         return {"long_size": 5_000, "repeat": 1}
     if exp_id == "served":
         return {"n_terms": 8, "list_size": 800, "n_queries": 16, "repeat": 1}
+    if exp_id == "closed_loop":
+        return {
+            "n_terms": 8,
+            "list_size": 500,
+            "clients": 4,
+            "requests_per_client": 6,
+            "queue_depth": 8,
+            "repeat": 1,
+        }
     return {"repeat": 1}
 
 

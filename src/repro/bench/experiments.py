@@ -53,6 +53,7 @@ from repro.datasets import (
     web_workload,
 )
 from repro.ops.expressions import evaluate
+from repro.store.plan import And, Or, Term
 
 #: Scaled synthetic domain (paper: INTMAX = 2^31 − 1).
 DEFAULT_DOMAIN = 2**21 - 1
@@ -385,14 +386,168 @@ def served(
     for q in range(n_queries):
         shape = q % 4
         if shape == 0:
-            queries.append(hot())
+            queries.append(Term(hot()))
         elif shape == 1:
-            queries.append(("and", hot(), hot()))
+            queries.append(And(hot(), hot()))
         elif shape == 2:
-            queries.append(("or", hot(), hot()))
+            queries.append(Or(hot(), hot()))
         else:
-            queries.append(("and", ("or", hot(), hot()), hot()))
+            queries.append(And(Or(hot(), hot()), hot()))
     return bench_served(terms, queries, universe=domain, codecs=codecs)
+
+
+def closed_loop(
+    codecs: Sequence[str] | None = None,
+    repeat: int = 1,
+    n_terms: int = 16,
+    list_size: int = 2_000,
+    domain: int = 2**17,
+    seed: int = 20170530,
+    clients: int = 8,
+    requests_per_client: int = 12,
+    deadline_ms: float = 250.0,
+    slow_shard_ms: float = 20.0,
+    queue_depth: int = 16,
+    workers: int = 4,
+) -> list[MetricRow]:
+    """Closed-loop serving: concurrent HTTP clients against a live server.
+
+    Not a paper experiment — this measures the :mod:`repro.server`
+    network layer end to end.  Per codec, a two-shard store (one shard
+    slowed by ``slow_shard_ms`` through the engine's fault-injection
+    hook) is put behind an in-process :class:`StoreServer` with a
+    bounded admission queue; ``clients`` closed-loop clients each issue
+    ``requests_per_client`` queries with a per-request deadline header
+    and **no retries**, so every shed request is visible in the results.
+    ``intersect_ms`` reports client-observed p99 latency; ``extra``
+    carries the offered/accepted/shed accounting (cross-checked against
+    the server's ``/metrics``), p50, throughput, and the response-status
+    mix.  ``repeat`` is accepted for CLI uniformity but unused.
+    """
+    del repeat
+    import threading
+    import time as _time
+
+    from repro.server import (
+        BackgroundServer,
+        ServerUnavailableError,
+        StoreClient,
+        StoreServer,
+    )
+    from repro.store.cache import DecodeCache
+    from repro.store.engine import QueryEngine
+    from repro.store.store import PostingStore
+
+    names = list(codecs) if codecs is not None else ["Roaring"]
+    rows = []
+    for name in names:
+        rng = np.random.default_rng(seed)
+        store = PostingStore()
+        for s in range(2):
+            shard = store.create_shard(f"s{s}", codec=name, universe=domain)
+            for t in range(n_terms):
+                n = max(1, int(list_size * (0.5 + rng.random())))
+                shard.add(
+                    f"t{t:03d}",
+                    generator("uniform")(min(n, domain), domain, rng=rng),
+                )
+        engine = QueryEngine(
+            store,
+            cache=DecodeCache(max_entries=512),
+            shard_delays={"s1": slow_shard_ms / 1000.0} if slow_shard_ms else None,
+        )
+        server = StoreServer(
+            engine, max_pending=queue_depth, workers=workers, grace_factor=4.0
+        )
+
+        def hot() -> str:
+            return f"t{int(rng.random() ** 2 * n_terms) % n_terms:03d}"
+
+        # Pre-generate each client's queries: the rng is not thread-safe.
+        plans = []
+        for _c in range(clients):
+            qs: list = []
+            for q in range(requests_per_client):
+                shape = q % 3
+                if shape == 0:
+                    qs.append(Term(hot()))
+                elif shape == 1:
+                    qs.append(And(hot(), hot()))
+                else:
+                    qs.append(And(Or(hot(), hot()), hot()))
+            plans.append(qs)
+
+        lock = threading.Lock()
+        latencies: list[float] = []
+        statuses: dict[str, int] = {}
+
+        def run_client(qs: list) -> None:
+            with StoreClient(
+                "127.0.0.1", server.port, max_retries=0, timeout_s=30.0
+            ) as client:
+                for q in qs:
+                    t0 = _time.perf_counter()
+                    try:
+                        status = client.query(q, deadline_ms=deadline_ms).status
+                    except ServerUnavailableError:
+                        status = "shed"
+                    ms = (_time.perf_counter() - t0) * 1000.0
+                    with lock:
+                        statuses[status] = statuses.get(status, 0) + 1
+                        if status != "shed":
+                            latencies.append(ms)
+
+        with BackgroundServer(server):
+            t0 = _time.perf_counter()
+            threads = [
+                threading.Thread(target=run_client, args=(qs,)) for qs in plans
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            wall_s = _time.perf_counter() - t0
+            with StoreClient("127.0.0.1", server.port) as probe:
+                admission = probe.metrics()["server"]["admission"]
+
+        offered = clients * requests_per_client
+        if admission["accepted"] + admission["shed"] != admission["offered"]:
+            raise AssertionError(
+                f"{name}: admission accounting leak: {admission}"
+            )
+        if admission["offered"] != offered:
+            raise AssertionError(
+                f"{name}: offered {admission['offered']} != sent {offered}"
+            )
+        answered = sorted(latencies)
+
+        def pct(p: float) -> float:
+            if not answered:
+                return float("nan")
+            return answered[min(len(answered) - 1, int(p * len(answered)))]
+
+        sizes = sum(store.shard(s).size_bytes for s in store.shard_names())
+        codec = store.shard("s0").codec
+        row = MetricRow(
+            name,
+            codec.family if name != "Adaptive" else "hybrid",
+            "closed_loop",
+            space_bytes=sizes,
+        )
+        row.intersect_ms = pct(0.99)
+        row.extra = {
+            "clients": clients,
+            "offered": admission["offered"],
+            "accepted": admission["accepted"],
+            "shed": admission["shed"],
+            "shed_rate": admission["shed"] / max(1, admission["offered"]),
+            "p50_ms": pct(0.50),
+            "p99_ms": pct(0.99),
+            "throughput_qps": len(answered) / wall_s if wall_s else float("inf"),
+            "statuses": dict(sorted(statuses.items())),
+        }
+        rows.append(row)
+    return rows
 
 
 #: Experiment registry for the CLI and the integration tests:
@@ -412,4 +567,5 @@ EXPERIMENTS = {
     "fig11": (figure11, ("intersect_ms", "space_bytes")),
     "fig12": (figure12, ("intersect_ms", "space_bytes")),
     "served": (served, ("intersect_ms", "space_bytes")),
+    "closed_loop": (closed_loop, ("intersect_ms", "space_bytes")),
 }

@@ -1,0 +1,69 @@
+"""Admission control: a bounded pending-request counter.
+
+The server owns a worker pool of ``workers`` threads; admitted requests
+queue for a worker and stay *pending* until their worker finishes —
+including requests the responder has already abandoned past their
+deadline grace, since their threads still occupy the pool.  Once
+``pending`` reaches ``max_pending`` the server sheds new work with
+HTTP 503 + ``Retry-After`` instead of letting the queue (and every
+queued request's latency) grow without bound.
+
+Kept separate from the HTTP plumbing so the policy is unit-testable and
+the counters are exact: ``accepted + shed == offered`` is asserted by
+the serving tests and the CI smoke job.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class AdmissionController:
+    """Bounded-pending admission with exact offered/accepted/shed counts."""
+
+    def __init__(self, max_pending: int, retry_after_s: float = 1.0) -> None:
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        self.max_pending = max_pending
+        self.retry_after_s = retry_after_s
+        self._lock = threading.Lock()
+        self._pending = 0
+        self._offered = 0
+        self._accepted = 0
+        self._shed = 0
+
+    # ------------------------------------------------------------------
+    def try_acquire(self) -> bool:
+        """Admit one request, or refuse it when the queue is full."""
+        with self._lock:
+            self._offered += 1
+            if self._pending >= self.max_pending:
+                self._shed += 1
+                return False
+            self._pending += 1
+            self._accepted += 1
+            return True
+
+    def release(self) -> None:
+        """One admitted request finished (its worker thread completed)."""
+        with self._lock:
+            if self._pending <= 0:
+                raise RuntimeError("release() without a matching try_acquire()")
+            self._pending -= 1
+
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        with self._lock:
+            return self._pending
+
+    def counters(self) -> dict:
+        """Exact accounting snapshot: accepted + shed == offered."""
+        with self._lock:
+            return {
+                "offered": self._offered,
+                "accepted": self._accepted,
+                "shed": self._shed,
+                "in_flight": self._pending,
+                "max_pending": self.max_pending,
+            }

@@ -1,0 +1,235 @@
+"""Blocking HTTP client for :mod:`repro.server`, with retry + backoff.
+
+Built on :class:`http.client.HTTPConnection` (stdlib) with connection
+reuse: one ``StoreClient`` holds one keep-alive connection and replays
+requests over it, reconnecting transparently when the server or an
+intermediary drops it.
+
+Retry policy — the part worth getting right:
+
+* **Retryable**: 503 (the server shed the request), socket timeouts,
+  and connection errors.  These mean "the server is overloaded or
+  unreachable *right now*"; the client backs off and retries up to
+  ``max_retries`` times, then raises :class:`ServerUnavailableError`.
+* **Not retryable**: 400 (the request itself is malformed — retrying
+  re-sends the same bad bytes) raises :class:`QueryRejectedError`
+  immediately.  500 responses carry a parseable failed
+  :class:`QueryResponse` and are *returned*, not raised: an executed
+  query that failed is an answer, and retrying it would re-run a query
+  the server already reported as failing.
+
+Backoff for attempt *n* (0-based) is
+``min(cap, max(server Retry-After, base * 2**n))`` — capped exponential
+that never undercuts the server's own hint.  The sleep function is
+injectable so tests assert the exact sequence without waiting it out.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+from typing import Callable, Sequence
+
+from repro.core.errors import ReproError
+from repro.server.protocol import (
+    DEADLINE_HEADER,
+    ProtocolError,
+    QueryRequest,
+    QueryResponse,
+)
+from repro.store.plan import QueryLike, parse_query
+
+
+class ServerUnavailableError(ReproError):
+    """Retries exhausted: every attempt was shed, timed out, or refused."""
+
+    def __init__(self, message: str, attempts: int) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+
+
+class QueryRejectedError(ReproError, ValueError):
+    """The server answered 400: the request is malformed, don't retry."""
+
+
+class StoreClient:
+    """A connection-reusing client for one server endpoint.
+
+    Args:
+        host / port: server address.
+        timeout_s: socket timeout per attempt (connect + response).
+        max_retries: retries *after* the first attempt for retryable
+            failures (503 / timeout / connection error).
+        backoff_base_s: first-retry backoff; doubles per attempt.
+        backoff_cap_s: backoff ceiling.
+        sleep: injectable sleep for tests.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout_s: float = 10.0,
+        max_retries: int = 3,
+        backoff_base_s: float = 0.05,
+        backoff_cap_s: float = 2.0,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+        self.max_retries = max_retries
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self._sleep = sleep
+        self._conn: http.client.HTTPConnection | None = None
+
+    # ------------------------------------------------------------------
+    # Connection management
+    # ------------------------------------------------------------------
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout_s
+            )
+        return self._conn
+
+    def _drop_connection(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except OSError:
+                pass
+            self._conn = None
+
+    def close(self) -> None:
+        self._drop_connection()
+
+    def __enter__(self) -> "StoreClient":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Transport with retry
+    # ------------------------------------------------------------------
+    def backoff_s(self, attempt: int, retry_after_s: float | None = None) -> float:
+        """Backoff before retry ``attempt`` (0-based), honouring the hint."""
+        delay = self.backoff_base_s * (2**attempt)
+        if retry_after_s is not None:
+            delay = max(delay, retry_after_s)
+        return min(self.backoff_cap_s, delay)
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: bytes | None = None,
+        headers: dict[str, str] | None = None,
+    ) -> tuple[int, dict[str, str], bytes]:
+        """One round trip with connection reuse, retry, and backoff."""
+        attempts = self.max_retries + 1
+        last_failure = "no attempt made"
+        for attempt in range(attempts):
+            try:
+                conn = self._connection()
+                conn.request(method, path, body=body, headers=headers or {})
+                resp = conn.getresponse()
+                payload = resp.read()
+                resp_headers = {k.lower(): v for k, v in resp.getheaders()}
+            except (socket.timeout, TimeoutError) as exc:
+                self._drop_connection()
+                last_failure = f"timeout: {exc or 'socket timeout'}"
+                retry_after = None
+            except (ConnectionError, http.client.HTTPException, OSError) as exc:
+                self._drop_connection()
+                last_failure = f"{type(exc).__name__}: {exc}"
+                retry_after = None
+            else:
+                if resp.status != 503:
+                    return resp.status, resp_headers, payload
+                last_failure = "503: server shed the request"
+                try:
+                    retry_after = float(resp_headers.get("retry-after", ""))
+                except ValueError:
+                    retry_after = None
+            if attempt + 1 < attempts:
+                self._sleep(self.backoff_s(attempt, retry_after))
+        raise ServerUnavailableError(
+            f"{method} {path} failed after {attempts} attempts "
+            f"(last: {last_failure})",
+            attempts=attempts,
+        )
+
+    def _request_json(
+        self,
+        method: str,
+        path: str,
+        body: bytes | None = None,
+        headers: dict[str, str] | None = None,
+    ) -> tuple[int, dict[str, str], dict]:
+        status, resp_headers, payload = self._request(method, path, body, headers)
+        try:
+            parsed = json.loads(payload.decode("utf-8")) if payload else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError(
+                f"server sent a non-JSON body for {method} {path}: {exc}"
+            ) from exc
+        return status, resp_headers, parsed
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        query: QueryLike,
+        *,
+        shards: Sequence[str] | None = None,
+        query_id: str = "",
+        strict: bool = False,
+        deadline_ms: float | None = None,
+    ) -> QueryResponse:
+        """Execute one query; returns the parsed response (any status).
+
+        Accepts the same query forms as the engine — AST nodes, bare
+        strings, legacy tuples (with the usual deprecation warning) —
+        and serialises the normalised AST onto the wire.
+        """
+        request = QueryRequest(
+            query=parse_query(query),
+            shards=tuple(shards) if shards is not None else None,
+            query_id=query_id,
+            strict=strict,
+        )
+        headers = {"Content-Type": "application/json"}
+        if deadline_ms is not None:
+            headers[DEADLINE_HEADER] = f"{deadline_ms:g}"
+        body = json.dumps(request.to_body()).encode("utf-8")
+        status, _resp_headers, parsed = self._request_json(
+            "POST", "/query", body, headers
+        )
+        if status == 400:
+            raise QueryRejectedError(
+                str(parsed.get("error", "server rejected the request"))
+            )
+        if status not in (200, 500):
+            raise ProtocolError(
+                f"unexpected HTTP {status} from /query: {parsed!r}"
+            )
+        return QueryResponse.from_body(parsed)
+
+    def healthz(self) -> dict:
+        status, _headers, parsed = self._request_json("GET", "/healthz")
+        if status != 200:
+            raise ProtocolError(f"unexpected HTTP {status} from /healthz")
+        return parsed
+
+    def metrics(self) -> dict:
+        status, _headers, parsed = self._request_json("GET", "/metrics")
+        if status != 200:
+            raise ProtocolError(f"unexpected HTTP {status} from /metrics")
+        return parsed

@@ -1,0 +1,75 @@
+"""Server-side observability: StoreMetrics snapshots + a ``server`` section.
+
+:class:`ServerMetrics` wraps the engine's
+:class:`~repro.store.metrics.StoreMetrics` (which keeps recording query
+outcomes, decode counts, and cache stats exactly as in-process serving
+does) and adds what only the network layer can see:
+
+* admission accounting (offered / accepted / shed / in-flight), sourced
+  live from the :class:`~repro.server.admission.AdmissionController`;
+* response counts by wire status, including protocol-level outcomes
+  (``bad_request``, ``not_found``, ``disconnected``) that never reach
+  the engine;
+* a log2 request-latency histogram measured from request arrival to
+  response write — queueing and serialisation included, which is the
+  latency a client actually observes.
+
+``snapshot()`` returns the StoreMetrics schema with one extra
+``server`` key, so existing dashboards keep working unchanged.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.server.admission import AdmissionController
+from repro.store.metrics import LatencyHistogram, StoreMetrics
+
+
+class ServerMetrics:
+    """Everything ``GET /metrics`` serves."""
+
+    def __init__(
+        self,
+        store_metrics: StoreMetrics | None = None,
+        admission: AdmissionController | None = None,
+    ) -> None:
+        self.store = store_metrics if store_metrics is not None else StoreMetrics()
+        self._admission = admission
+        self._lock = threading.Lock()
+        self._responses: dict[str, int] = {}
+        #: Arrival → response-written latency of admitted /query requests.
+        self.request_latency = LatencyHistogram()
+        #: Same clock for shed requests (should stay ~0: shedding is cheap).
+        self.shed_latency = LatencyHistogram()
+
+    def attach_admission(self, admission: AdmissionController) -> None:
+        self._admission = admission
+
+    # ------------------------------------------------------------------
+    def record_response(self, status: str, latency_ms: float | None = None) -> None:
+        """Count one response by wire status and record its latency."""
+        with self._lock:
+            self._responses[status] = self._responses.get(status, 0) + 1
+        if latency_ms is not None:
+            if status == "shed":
+                self.shed_latency.record(latency_ms)
+            else:
+                self.request_latency.record(latency_ms)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """StoreMetrics snapshot plus the ``server`` section."""
+        snap = self.store.snapshot()
+        with self._lock:
+            responses = dict(sorted(self._responses.items()))
+        admission = (
+            self._admission.counters() if self._admission is not None else None
+        )
+        snap["server"] = {
+            "admission": admission,
+            "responses": responses,
+            "request_latency": self.request_latency.as_dict(),
+            "shed_latency": self.shed_latency.as_dict(),
+        }
+        return snap

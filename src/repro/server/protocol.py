@@ -1,0 +1,218 @@
+"""Wire protocol for the HTTP serving layer.
+
+One JSON request/response pair, spoken by :mod:`repro.server.app` and
+:mod:`repro.server.client` and documented in ``docs/serving.md``.  The
+query itself travels as the typed AST's JSON form
+(:meth:`repro.store.plan.Term.to_json` et al.); a bare string is
+accepted as single-term shorthand.
+
+Request body (``POST /query``)::
+
+    {
+      "query": {"op": "and", "children": [{"op": "term", "name": "news"},
+                                          {"op": "term", "name": "2024"}]},
+      "shards": ["s0", "s1"],        # optional, default: every shard
+      "query_id": "q-17",            # optional, echoed back
+      "strict": false                # optional: degraded result => failed
+    }
+
+Response body (mirrors :meth:`repro.store.engine.QueryResult.as_dict`,
+plus the decoded values)::
+
+    {
+      "status": "ok" | "partial" | "timed_out" | "failed",
+      "values": [2, 5, 10, ...],     # null when the query failed outright
+      "n_results": 3,
+      "latency_ms": 1.84,
+      "partial": false, "timed_out": false, "error": null,
+      "shards_queried": 2, "failed_shards": [], "degraded_terms": [],
+      "query_id": "q-17"
+    }
+
+The per-request deadline travels in the :data:`DEADLINE_HEADER` header
+(milliseconds); a shed request answers 503 with a ``Retry-After``
+header (seconds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import ReproError
+from repro.store.engine import QueryResult
+from repro.store.plan import Query, QueryNode, query_from_json
+
+#: Client-requested deadline for one query, in milliseconds.
+DEADLINE_HEADER = "X-Repro-Deadline-Ms"
+
+#: Upper bound on accepted request bodies (a query AST, not a payload).
+MAX_BODY_BYTES = 1 << 20
+
+
+class ProtocolError(ReproError, ValueError):
+    """A request the server cannot interpret (answered with HTTP 400)."""
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """A parsed ``/query`` request body."""
+
+    query: QueryNode
+    shards: tuple[str, ...] | None = None
+    query_id: str = ""
+    strict: bool = False
+
+    @classmethod
+    def from_body(cls, body: object) -> "QueryRequest":
+        """Validate and parse a decoded JSON request body."""
+        if not isinstance(body, dict):
+            raise ProtocolError(f"request body must be a JSON object, got {type(body).__name__}")
+        if "query" not in body:
+            raise ProtocolError("request body is missing 'query'")
+        try:
+            query = query_from_json(body["query"])
+        except ValueError as exc:
+            raise ProtocolError(f"bad query: {exc}") from exc
+        shards = body.get("shards")
+        if shards is not None:
+            if not isinstance(shards, list) or not all(
+                isinstance(s, str) for s in shards
+            ):
+                raise ProtocolError("'shards' must be a list of shard names")
+            shards = tuple(shards)
+        query_id = body.get("query_id", "")
+        if not isinstance(query_id, str):
+            raise ProtocolError("'query_id' must be a string")
+        strict = body.get("strict", False)
+        if not isinstance(strict, bool):
+            raise ProtocolError("'strict' must be a boolean")
+        return cls(query=query, shards=shards, query_id=query_id, strict=strict)
+
+    def to_body(self) -> dict:
+        """The JSON body the client sends."""
+        out: dict = {"query": self.query.to_json()}
+        if self.shards is not None:
+            out["shards"] = list(self.shards)
+        if self.query_id:
+            out["query_id"] = self.query_id
+        if self.strict:
+            out["strict"] = True
+        return out
+
+    def to_query(self) -> Query:
+        return Query(
+            expression=self.query, shards=self.shards, query_id=self.query_id
+        )
+
+
+@dataclass(frozen=True)
+class QueryResponse:
+    """A parsed ``/query`` response body (both directions)."""
+
+    status: str
+    values: list[int] | None
+    n_results: int | None
+    latency_ms: float
+    partial: bool = False
+    timed_out: bool = False
+    error: str | None = None
+    shards_queried: int = 0
+    failed_shards: tuple[str, ...] = ()
+    degraded_terms: tuple[str, ...] = ()
+    query_id: str = ""
+    #: Server-side annotations (e.g. strict-mode escalation note).
+    detail: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_body(self) -> dict:
+        out = {
+            "status": self.status,
+            "values": self.values,
+            "n_results": self.n_results,
+            "latency_ms": round(self.latency_ms, 4),
+            "partial": self.partial,
+            "timed_out": self.timed_out,
+            "error": self.error,
+            "shards_queried": self.shards_queried,
+            "failed_shards": list(self.failed_shards),
+            "degraded_terms": list(self.degraded_terms),
+            "query_id": self.query_id,
+        }
+        if self.detail:
+            out["detail"] = self.detail
+        return out
+
+    @classmethod
+    def from_body(cls, body: object) -> "QueryResponse":
+        if not isinstance(body, dict) or "status" not in body:
+            raise ProtocolError("malformed query response body")
+        return cls(
+            status=body["status"],
+            values=body.get("values"),
+            n_results=body.get("n_results"),
+            latency_ms=float(body.get("latency_ms", 0.0)),
+            partial=bool(body.get("partial", False)),
+            timed_out=bool(body.get("timed_out", False)),
+            error=body.get("error"),
+            shards_queried=int(body.get("shards_queried", 0)),
+            failed_shards=tuple(body.get("failed_shards", ())),
+            degraded_terms=tuple(body.get("degraded_terms", ())),
+            query_id=body.get("query_id", ""),
+            detail=body.get("detail", {}),
+        )
+
+
+def response_from_result(
+    result: QueryResult, *, strict: bool = False
+) -> QueryResponse:
+    """Convert an engine result to the wire response.
+
+    With ``strict=True`` any degraded outcome (partial / timed out) is
+    escalated to ``failed`` — the server-side mirror of the store CLI's
+    ``--strict`` exit-code policy.
+    """
+    status = result.status
+    detail: dict = {}
+    if strict and status not in ("ok", "failed"):
+        detail["strict_violation"] = status
+        status = "failed"
+    values = (
+        [int(v) for v in result.values] if result.values is not None else None
+    )
+    return QueryResponse(
+        status=status,
+        values=values,
+        n_results=int(result.values.size) if result.values is not None else None,
+        latency_ms=result.latency_ms,
+        partial=result.partial,
+        timed_out=result.timed_out,
+        error=result.error,
+        shards_queried=result.shards_queried,
+        failed_shards=result.failed_shards,
+        degraded_terms=result.degraded_terms,
+        query_id=result.query_id,
+        detail=detail,
+    )
+
+
+def abandoned_response(query_id: str, latency_ms: float) -> QueryResponse:
+    """The response for a request abandoned past its deadline grace."""
+    return QueryResponse(
+        status="timed_out",
+        values=None,
+        n_results=None,
+        latency_ms=latency_ms,
+        partial=True,
+        timed_out=True,
+        error="query abandoned after deadline",
+        query_id=query_id,
+    )
+
+
+#: HTTP status per response status, for executed queries: degraded
+#: results are still successful HTTP exchanges; only an outright failed
+#: query maps to a server error.
+HTTP_STATUS_FOR = {"ok": 200, "partial": 200, "timed_out": 200, "failed": 500}

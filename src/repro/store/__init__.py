@@ -20,15 +20,20 @@ system that *serves* them.  This package is that system's kernel:
 
 Quickstart::
 
-    from repro.store import DecodeCache, PostingStore, Query, QueryEngine
+    from repro.store import And, DecodeCache, PostingStore, QueryEngine
 
     store = PostingStore()
     shard = store.create_shard("docs", codec="Roaring", universe=1 << 20)
     shard.add("news", news_ids)
     shard.add("sports", sports_ids)
     engine = QueryEngine(store, cache=DecodeCache())
-    result = engine.execute(("and", "news", "sports"))
+    result = engine.execute(And("news", "sports"))
     print(result.values, engine.metrics.snapshot())
+
+Queries are typed ASTs (:class:`Term` / :class:`And` / :class:`Or`);
+the legacy nested-tuple grammar still parses via :func:`parse_query`
+but emits a ``DeprecationWarning``.  The network layer over this
+package lives in :mod:`repro.server`.
 """
 
 from repro.store.cache import CacheStats, DecodeCache
@@ -41,7 +46,18 @@ from repro.store.errors import (
     UnknownShardError,
 )
 from repro.store.metrics import LatencyHistogram, StoreMetrics
-from repro.store.plan import Query, ShardPlan, compile_shard_plan, query_terms
+from repro.store.plan import (
+    And,
+    Or,
+    Query,
+    QueryNode,
+    ShardPlan,
+    Term,
+    compile_shard_plan,
+    parse_query,
+    query_from_json,
+    query_terms,
+)
 from repro.store.store import PostingStore, Shard, resolve_codec
 
 __all__ = [
@@ -51,6 +67,12 @@ __all__ = [
     "DecodeCache",
     "CacheStats",
     "Query",
+    "Term",
+    "And",
+    "Or",
+    "QueryNode",
+    "parse_query",
+    "query_from_json",
     "ShardPlan",
     "compile_shard_plan",
     "query_terms",

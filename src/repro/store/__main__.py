@@ -6,11 +6,19 @@ through the concurrent engine, and prints JSON — either the full report
 just the metrics snapshot (cache hit/miss counters, latency histogram,
 per-codec decode counts).
 
+The exit code reflects the *worst* query outcome in the batch so CI
+scripts can gate on degradation: ``0`` all ok, ``3`` some partial,
+``4`` some timed out, ``5`` some failed outright.  ``--strict``
+escalates any non-ok outcome to ``5`` — the same ok / partial /
+timed_out / failed taxonomy the HTTP server reports in its response
+``status`` field.
+
 Examples::
 
     python -m repro.store --metrics
     python -m repro.store --codec WAH --shards 4 --queries 200 --workers 8
     python -m repro.store --explain
+    python -m repro.store --timeout-ms 50 --strict   # non-zero on any degradation
 """
 
 from __future__ import annotations
@@ -18,15 +26,34 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from typing import Sequence
 
 import numpy as np
 
 from repro.datagen import markov_list, uniform_list, zipf_list
 from repro.store.cache import DecodeCache
-from repro.store.engine import QueryEngine
+from repro.store.engine import QueryEngine, QueryResult
 from repro.store.metrics import StoreMetrics
-from repro.store.plan import Query
+from repro.store.plan import And, Or, Query, Term
 from repro.store.store import PostingStore
+
+#: Exit codes by worst batch outcome (0 = every query ok).
+EXIT_PARTIAL = 3
+EXIT_TIMED_OUT = 4
+EXIT_FAILED = 5
+_STATUS_EXIT = {"ok": 0, "partial": EXIT_PARTIAL, "timed_out": EXIT_TIMED_OUT, "failed": EXIT_FAILED}
+
+
+def batch_exit_code(results: Sequence[QueryResult], strict: bool = False) -> int:
+    """Exit code for a served batch: the worst per-query status wins.
+
+    With ``strict=True`` any non-ok query is a hard failure
+    (:data:`EXIT_FAILED`) — for CI gates that refuse degraded service.
+    """
+    worst = max((_STATUS_EXIT[r.status] for r in results), default=0)
+    if strict and worst:
+        return EXIT_FAILED
+    return worst
 
 _GENERATORS = {
     "uniform": uniform_list,
@@ -77,13 +104,13 @@ def sample_queries(
     for q in range(n_queries):
         shape = q % 4
         if shape == 0:
-            expr: tuple | str = term()
+            expr: Term | And | Or = Term(term())
         elif shape == 1:
-            expr = ("and", term(), term())
+            expr = And(term(), term())
         elif shape == 2:
-            expr = ("or", term(), term())
+            expr = Or(term(), term())
         else:
-            expr = ("and", ("or", term(), term()), term())
+            expr = And(Or(term(), term()), term())
         out.append(Query(expression=expr, query_id=f"q{q:04d}"))
     return out
 
@@ -137,6 +164,12 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="print the compiled plan of the first query instead of running",
     )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat any non-ok query (partial/timed-out/failed) as a hard "
+        f"failure: exit {EXIT_FAILED} instead of the per-status code",
+    )
     args = parser.parse_args(argv)
 
     store = build_store(
@@ -167,7 +200,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.metrics:
         json.dump(engine.metrics.snapshot(), sys.stdout, indent=1)
         print()
-        return 0
+        return batch_exit_code(results, strict=args.strict)
     report = {
         "store": store.stats(),
         "queries": [r.as_dict() for r in results],
@@ -175,7 +208,7 @@ def main(argv: list[str] | None = None) -> int:
     }
     json.dump(report, sys.stdout, indent=1)
     print()
-    return 0
+    return batch_exit_code(results, strict=args.strict)
 
 
 if __name__ == "__main__":  # pragma: no cover

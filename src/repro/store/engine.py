@@ -26,15 +26,21 @@ from __future__ import annotations
 import time
 from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
-from dataclasses import dataclass, field
-from typing import Sequence
+from dataclasses import dataclass, field, replace
+from typing import Mapping, Sequence
 
 import numpy as np
 
 from repro.core.base import union_sorted_arrays
 from repro.store.cache import DecodeCache
 from repro.store.metrics import StoreMetrics
-from repro.store.plan import Query, ShardPlan, compile_shard_plan
+from repro.store.plan import (
+    Query,
+    QueryLike,
+    ShardPlan,
+    compile_shard_plan,
+    parse_query,
+)
 from repro.store.store import PostingStore
 
 #: Default worker-pool width for batch execution.
@@ -60,10 +66,26 @@ class QueryResult:
     def ok(self) -> bool:
         return not self.partial and self.error is None
 
+    @property
+    def status(self) -> str:
+        """Worst-first outcome label: failed > timed_out > partial > ok.
+
+        The same taxonomy drives the store CLI's exit code and the HTTP
+        server's response ``status`` field.
+        """
+        if self.error is not None and self.values is None:
+            return "failed"
+        if self.timed_out:
+            return "timed_out"
+        if self.partial:
+            return "partial"
+        return "ok"
+
     def as_dict(self) -> dict:
         """JSON-able summary (values reported by size, not content)."""
         return {
             "query_id": self.query_id,
+            "status": self.status,
             "n_results": int(self.values.size) if self.values is not None else None,
             "latency_ms": round(self.latency_ms, 4),
             "ok": self.ok,
@@ -86,9 +108,16 @@ class QueryEngine:
         metrics: observability sink; created internally when omitted so
             ``engine.metrics.snapshot()`` always works.
         max_workers: batch worker-pool width.
-        timeout_s: per-query deadline in seconds (``None`` = unbounded).
+        timeout_s: default per-query deadline in seconds (``None`` =
+            unbounded); :meth:`execute` can override it per request.
         cache_probes: forward to :meth:`ShardPlan.execute` — decode AND
             probe leaves through the cache instead of compressed probes.
+        shard_delays: fault-injection hook — shard name → seconds slept
+            before that shard is evaluated.  Lets tests, benchmarks, and
+            the CI smoke job model a slow shard without touching codec
+            code; the cooperative deadline check runs *before* the
+            injected sleep, exactly as it does for a genuinely slow
+            shard evaluation.
     """
 
     def __init__(
@@ -100,6 +129,7 @@ class QueryEngine:
         max_workers: int = DEFAULT_WORKERS,
         timeout_s: float | None = None,
         cache_probes: bool = False,
+        shard_delays: Mapping[str, float] | None = None,
     ) -> None:
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
@@ -111,16 +141,41 @@ class QueryEngine:
         self.max_workers = max_workers
         self.timeout_s = timeout_s
         self.cache_probes = cache_probes
+        self.shard_delays = dict(shard_delays) if shard_delays else {}
 
     # ------------------------------------------------------------------
-    def execute(self, query: Query | str | tuple) -> QueryResult:
-        """Run one query to completion (or deadline) and record metrics."""
-        query = self._coerce(query)
-        deadline = (
-            time.perf_counter() + self.timeout_s
-            if self.timeout_s is not None
-            else None
-        )
+    def execute(
+        self,
+        query: Query | QueryLike,
+        *,
+        timeout_s: float | None = None,
+    ) -> QueryResult:
+        """Run one query to completion (or deadline) and record metrics.
+
+        Args:
+            query: AST node, bare term, legacy tuple, or a full
+                :class:`Query`.
+            timeout_s: per-request deadline override; ``None`` falls back
+                to the engine default.  This is how the HTTP server
+                propagates a client's deadline header into the engine's
+                cooperative deadline.
+        """
+        t0 = time.perf_counter()
+        try:
+            query = self._coerce(query)
+        except (TypeError, ValueError) as exc:
+            # Malformed query: a failed result, not a crash — matching
+            # the per-shard graceful-degradation contract.
+            result = QueryResult(
+                query_id=query.query_id if isinstance(query, Query) else "",
+                values=None,
+                latency_ms=(time.perf_counter() - t0) * 1000.0,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            self.metrics.record_query(result.latency_ms, failed=True)
+            return result
+        budget = timeout_s if timeout_s is not None else self.timeout_s
+        deadline = time.perf_counter() + budget if budget is not None else None
         result = self._run(query, deadline)
         self.metrics.record_query(
             result.latency_ms,
@@ -131,7 +186,7 @@ class QueryEngine:
         return result
 
     def execute_batch(
-        self, queries: Sequence[Query | str | tuple]
+        self, queries: Sequence[Query | QueryLike]
     ) -> list[QueryResult]:
         """Run a batch on the worker pool, preserving input order.
 
@@ -176,7 +231,7 @@ class QueryEngine:
         return results
 
     # ------------------------------------------------------------------
-    def explain(self, query: Query | str | tuple) -> list[dict]:
+    def explain(self, query: Query | QueryLike) -> list[dict]:
         """Compiled per-shard plans for a query, without executing."""
         query = self._coerce(query)
         return [
@@ -185,10 +240,19 @@ class QueryEngine:
         ]
 
     # ------------------------------------------------------------------
-    def _coerce(self, query: Query | str | tuple) -> Query:
-        if isinstance(query, Query):
-            return query
-        return Query(expression=query)
+    def _coerce(self, query: Query | QueryLike) -> Query:
+        """Normalise to a :class:`Query` holding a typed-AST expression.
+
+        This is the engine's single legacy-compat chokepoint: a nested
+        tuple warns exactly once here, and every later per-shard compile
+        sees the already-normalised AST.
+        """
+        if not isinstance(query, Query):
+            query = Query(expression=query)
+        node = parse_query(query.expression)
+        if node is not query.expression:
+            query = replace(query, expression=node)
+        return query
 
     def _target_shards(self, query: Query) -> Sequence[str]:
         return (
@@ -208,6 +272,9 @@ class QueryEngine:
             if deadline is not None and time.perf_counter() >= deadline:
                 timed_out = True
                 break
+            delay = self.shard_delays.get(shard)
+            if delay:
+                time.sleep(delay)
             try:
                 plan = compile_shard_plan(self.store, shard, query.expression)
                 arr = plan.execute(

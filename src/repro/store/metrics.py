@@ -27,9 +27,15 @@ BUCKET_BOUNDS_MS = tuple(0.001 * (1 << i) for i in range(_N_BUCKETS))
 
 
 class LatencyHistogram:
-    """Fixed log2 buckets; the last bucket is an overflow catch-all."""
+    """Fixed log2 buckets; the last bucket is an overflow catch-all.
+
+    Thread-safe on its own (internal lock), so it can also be used
+    standalone — the HTTP server keeps per-endpoint histograms without
+    routing every sample through a :class:`StoreMetrics` lock.
+    """
 
     def __init__(self) -> None:
+        self._hist_lock = threading.Lock()
         self._counts = [0] * (_N_BUCKETS + 1)
         self._total_ms = 0.0
         self._max_ms = 0.0
@@ -39,36 +45,45 @@ class LatencyHistogram:
         idx = 0
         while idx < _N_BUCKETS and latency_ms > BUCKET_BOUNDS_MS[idx]:
             idx += 1
-        self._counts[idx] += 1
-        self._count += 1
-        self._total_ms += latency_ms
-        if latency_ms > self._max_ms:
-            self._max_ms = latency_ms
+        with self._hist_lock:
+            self._counts[idx] += 1
+            self._count += 1
+            self._total_ms += latency_ms
+            if latency_ms > self._max_ms:
+                self._max_ms = latency_ms
 
     def quantile(self, q: float) -> float:
         """Approximate quantile: the upper bound of the bucket holding it."""
-        if not self._count:
+        with self._hist_lock:
+            count = self._count
+            counts = list(self._counts)
+        if not count:
             return 0.0
-        target = q * self._count
+        target = q * count
         seen = 0
-        for idx, count in enumerate(self._counts):
-            seen += count
+        for idx, bucket in enumerate(counts):
+            seen += bucket
             if seen >= target:
                 return BUCKET_BOUNDS_MS[min(idx, _N_BUCKETS - 1)]
         return BUCKET_BOUNDS_MS[-1]
 
     def as_dict(self) -> dict:
         # Sparse encoding: only non-empty buckets, keyed by upper bound.
+        with self._hist_lock:
+            counts = list(self._counts)
+            count = self._count
+            total_ms = self._total_ms
+            max_ms = self._max_ms
         buckets = {
             f"{BUCKET_BOUNDS_MS[min(i, _N_BUCKETS - 1)]:g}": c
-            for i, c in enumerate(self._counts)
+            for i, c in enumerate(counts)
             if c
         }
-        mean = self._total_ms / self._count if self._count else 0.0
+        mean = total_ms / count if count else 0.0
         return {
-            "count": self._count,
+            "count": count,
             "mean_ms": round(mean, 6),
-            "max_ms": round(self._max_ms, 6),
+            "max_ms": round(max_ms, 6),
             "p50_ms": self.quantile(0.50),
             "p99_ms": self.quantile(0.99),
             "buckets_ms": buckets,

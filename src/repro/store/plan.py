@@ -1,10 +1,17 @@
-"""Query → executable plan compilation.
+"""Typed query AST and query → executable plan compilation.
 
-A query arrives as a term-level boolean tree (the same nested-tuple
-grammar :class:`repro.datasets.common.DatasetQuery` uses, with term
-names instead of list indices)::
+A query is a term-level boolean tree of frozen :class:`Term` /
+:class:`And` / :class:`Or` nodes::
 
-    ("and", ("or", "news", "sports"), "2024")     # (L1 ∪ L2) ∩ L3
+    And(Or("news", "sports"), "2024")             # (L1 ∪ L2) ∩ L3
+
+Bare strings coerce to :class:`Term` wherever a node is expected.  The
+AST round-trips through JSON (``node.to_json()`` /
+:func:`query_from_json`), which is what the HTTP wire protocol in
+:mod:`repro.server` carries.  The historical nested-tuple grammar
+(``("and", ("or", "news", "sports"), "2024")``) is still accepted by
+:func:`parse_query` — the single normalisation chokepoint every entry
+point calls — but emits one :class:`DeprecationWarning` per parse.
 
 Per shard, :func:`compile_shard_plan` resolves terms to compressed sets
 and builds a :mod:`repro.ops.expressions` tree, constant-folding what
@@ -25,7 +32,9 @@ form.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
+from typing import Union
 
 import numpy as np
 
@@ -38,16 +47,146 @@ from repro.core.base import (
 from repro.core.decode import ArrayCache, DecodeObserver, decode
 from repro.core.registry import get_codec
 from repro.ops.expressions import (
-    And,
-    Leaf,
-    Or,
     QueryExpression,
     and_order,
     or_partition,
 )
+from repro.ops.expressions import And as ExprAnd
+from repro.ops.expressions import Leaf as ExprLeaf
+from repro.ops.expressions import Or as ExprOr
 from repro.store.store import PostingStore
 
+#: The deprecated nested-tuple grammar (or a bare term name).
 TermExpression = tuple | str
+
+
+# ----------------------------------------------------------------------
+# Typed query AST
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Term:
+    """A single posting-list reference by term name."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise ValueError(f"term name must be a non-empty string, got {self.name!r}")
+
+    def to_json(self) -> dict:
+        return {"op": "term", "name": self.name}
+
+
+def _coerce_child(child: "QueryNode | str") -> "QueryNode":
+    if isinstance(child, str):
+        return Term(child)
+    if isinstance(child, (Term, And, Or)):
+        return child
+    raise TypeError(
+        f"query children must be Term/And/Or nodes or term-name strings, "
+        f"got {child!r}; legacy nested tuples go through parse_query()"
+    )
+
+
+@dataclass(frozen=True)
+class And:
+    """Intersection of query sub-trees."""
+
+    children: tuple["QueryNode", ...]
+
+    def __init__(self, *children: "QueryNode | str") -> None:
+        if not children:
+            raise ValueError("empty 'and' node")
+        object.__setattr__(
+            self, "children", tuple(_coerce_child(c) for c in children)
+        )
+
+    def to_json(self) -> dict:
+        return {"op": "and", "children": [c.to_json() for c in self.children]}
+
+
+@dataclass(frozen=True)
+class Or:
+    """Union of query sub-trees."""
+
+    children: tuple["QueryNode", ...]
+
+    def __init__(self, *children: "QueryNode | str") -> None:
+        if not children:
+            raise ValueError("empty 'or' node")
+        object.__setattr__(
+            self, "children", tuple(_coerce_child(c) for c in children)
+        )
+
+    def to_json(self) -> dict:
+        return {"op": "or", "children": [c.to_json() for c in self.children]}
+
+
+QueryNode = Union[Term, And, Or]
+#: Anything the entry points accept: an AST node, a bare term name, or
+#: the deprecated nested-tuple grammar.
+QueryLike = Union[Term, And, Or, str, tuple]
+
+_LEGACY_WARNING = (
+    "nested-tuple query expressions are deprecated; build the typed AST "
+    "instead, e.g. And(Or('a', 'b'), 'c') from repro.store"
+)
+
+
+def _from_legacy(node: TermExpression) -> QueryNode:
+    if isinstance(node, str):
+        return Term(node)
+    if not isinstance(node, tuple):
+        raise TypeError(f"not a query expression: {node!r}")
+    op, *children = node
+    if op not in ("and", "or"):
+        raise ValueError(f"unknown query operator {op!r}")
+    if not children:
+        raise ValueError(f"empty {op!r} node")
+    parts = [_from_legacy(c) for c in children]
+    return And(*parts) if op == "and" else Or(*parts)
+
+
+def parse_query(query: QueryLike) -> QueryNode:
+    """Normalise any accepted query spelling to the typed AST.
+
+    AST nodes pass through; a bare string becomes a :class:`Term`; the
+    deprecated nested-tuple grammar is converted after emitting exactly
+    one :class:`DeprecationWarning`.
+    """
+    if isinstance(query, (Term, And, Or)):
+        return query
+    if isinstance(query, str):
+        return Term(query)
+    if isinstance(query, tuple):
+        warnings.warn(_LEGACY_WARNING, DeprecationWarning, stacklevel=2)
+        return _from_legacy(query)
+    raise TypeError(f"not a query expression: {query!r}")
+
+
+def query_from_json(obj: dict | str) -> QueryNode:
+    """Rebuild an AST from :meth:`to_json` output (the wire format).
+
+    A bare string is accepted as shorthand for a single term, matching
+    what the HTTP protocol allows in request bodies.
+    """
+    if isinstance(obj, str):
+        return Term(obj)
+    if not isinstance(obj, dict):
+        raise ValueError(f"query JSON must be an object or string, got {obj!r}")
+    op = obj.get("op")
+    if op == "term":
+        name = obj.get("name")
+        if not isinstance(name, str):
+            raise ValueError(f"term node needs a string 'name', got {name!r}")
+        return Term(name)
+    if op in ("and", "or"):
+        children = obj.get("children")
+        if not isinstance(children, list) or not children:
+            raise ValueError(f"{op!r} node needs a non-empty 'children' list")
+        parts = [query_from_json(c) for c in children]
+        return And(*parts) if op == "and" else Or(*parts)
+    raise ValueError(f"unknown query op {op!r}")
 
 
 @dataclass(frozen=True)
@@ -55,35 +194,30 @@ class Query:
     """One serveable query: a term expression plus an optional shard set.
 
     Attributes:
-        expression: nested tuple tree over term names, e.g.
-            ``("and", ("or", "a", "b"), "c")``; a bare string is a
-            single-term query.
+        expression: a :class:`Term`/:class:`And`/:class:`Or` tree (bare
+            strings and legacy nested tuples are normalised by the
+            engine's entry points via :func:`parse_query`).
         shards: shards to scatter over; ``None`` means every shard.
         query_id: caller-chosen label, echoed in the result.
     """
 
-    expression: TermExpression
+    expression: QueryLike
     shards: tuple[str, ...] | None = None
     query_id: str = ""
 
 
-def query_terms(expression: TermExpression) -> list[str]:
+def query_terms(expression: QueryLike) -> list[str]:
     """Distinct term names referenced by an expression, in first-use order."""
     out: dict[str, None] = {}
 
-    def walk(node: TermExpression) -> None:
-        if isinstance(node, str):
-            out[node] = None
+    def walk(node: QueryNode) -> None:
+        if isinstance(node, Term):
+            out[node.name] = None
             return
-        op, *children = node
-        if op not in ("and", "or"):
-            raise ValueError(f"unknown query operator {op!r}")
-        if not children:
-            raise ValueError(f"empty {op!r} node")
-        for child in children:
+        for child in node.children:
             walk(child)
 
-    walk(expression)
+    walk(parse_query(expression))
     return list(out)
 
 
@@ -156,15 +290,15 @@ class ShardPlan:
         observer: DecodeObserver | None,
         cache_probes: bool,
     ) -> np.ndarray:
-        if isinstance(expr, Leaf):
+        if isinstance(expr, ExprLeaf):
             return self._decode_leaf(expr.cs, cache, observer)
-        if isinstance(expr, Or):
+        if isinstance(expr, ExprOr):
             return self._eval_or(expr, cache, observer, cache_probes)
         return self._eval_and(expr, cache, observer, cache_probes)
 
     def _eval_or(
         self,
-        expr: Or,
+        expr: ExprOr,
         cache: ArrayCache | None,
         observer: DecodeObserver | None,
         cache_probes: bool,
@@ -192,7 +326,7 @@ class ShardPlan:
 
     def _eval_and(
         self,
-        expr: And,
+        expr: ExprAnd,
         cache: ArrayCache | None,
         observer: DecodeObserver | None,
         cache_probes: bool,
@@ -202,7 +336,7 @@ class ShardPlan:
         for child in ordered[1:]:
             if result.size == 0:
                 break
-            if isinstance(child, Leaf):
+            if isinstance(child, ExprLeaf):
                 hit = self._cached(child.cs, cache)
                 if hit is not None:
                     result = intersect_sorted_arrays(result, hit)
@@ -224,14 +358,14 @@ class ShardPlan:
         names = {cs_id: key[1] for cs_id, key in self.keymap.items()}
 
         def walk(expr: QueryExpression) -> dict:
-            if isinstance(expr, Leaf):
+            if isinstance(expr, ExprLeaf):
                 return {
                     "op": "leaf",
                     "term": names.get(id(expr.cs), "<anon>"),
                     "codec": expr.cs.codec_name,
                     "n": expr.cs.n,
                 }
-            if isinstance(expr, Or):
+            if isinstance(expr, ExprOr):
                 groups, others = or_partition(expr.children)
                 return {
                     "op": "or",
@@ -261,38 +395,38 @@ class ShardPlan:
 
 
 def compile_shard_plan(
-    store: PostingStore, shard_name: str, expression: TermExpression
+    store: PostingStore, shard_name: str, expression: QueryLike
 ) -> ShardPlan:
-    """Resolve a term expression against one shard into a ShardPlan."""
+    """Resolve a query (AST or legacy spelling) against one shard."""
     shard = store.shard(shard_name)
     plan = ShardPlan(shard=shard_name, expr=None)
-    plan.terms = query_terms(expression)  # validates the grammar too
+    root = parse_query(expression)
+    plan.terms = query_terms(root)
 
-    def build(node: TermExpression) -> QueryExpression | None:
-        if isinstance(node, str):
-            cs = shard.postings.get(node)
+    def build(node: QueryNode) -> QueryExpression | None:
+        if isinstance(node, Term):
+            cs = shard.postings.get(node.name)
             if cs is None:
-                if node in shard.failed_terms:
-                    plan.degraded_terms.append(node)
+                if node.name in shard.failed_terms:
+                    plan.degraded_terms.append(node.name)
                 else:
-                    plan.missing_terms.append(node)
+                    plan.missing_terms.append(node.name)
                 return None
             inner = _unwrap(cs)
-            plan.keymap[id(inner)] = (shard_name, node, inner.codec_name)
-            return Leaf(inner)
-        op, *children = node
-        parts = [build(c) for c in children]
-        if op == "and":
+            plan.keymap[id(inner)] = (shard_name, node.name, inner.codec_name)
+            return ExprLeaf(inner)
+        parts = [build(c) for c in node.children]
+        if isinstance(node, And):
             if any(p is None for p in parts):
                 return None  # ∩ with the empty set is empty
             kept = [p for p in parts if p is not None]
-            return kept[0] if len(kept) == 1 else And(*kept)
+            return kept[0] if len(kept) == 1 else ExprAnd(*kept)
         kept = [p for p in parts if p is not None]  # ∪ drops empty children
         if not kept:
             return None
-        return kept[0] if len(kept) == 1 else Or(*kept)
+        return kept[0] if len(kept) == 1 else ExprOr(*kept)
 
-    plan.expr = build(expression)
+    plan.expr = build(root)
     return plan
 
 

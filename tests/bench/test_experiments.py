@@ -26,7 +26,7 @@ def workloads_of(rows):
 def test_experiment_registry_covers_every_table_and_figure():
     assert set(ex.EXPERIMENTS) == {
         "fig3", "tab1", "tab2", "tab3", "fig4", "fig5", "fig6", "fig7",
-        "fig8", "fig9", "fig10", "fig11", "fig12", "served",
+        "fig8", "fig9", "fig10", "fig11", "fig12", "served", "closed_loop",
     }
 
 
@@ -119,3 +119,25 @@ def test_served_experiment_rows():
         assert row.extra["warm_ms"] >= 0
         assert row.extra["speedup"] > 0
         assert 0.0 <= row.extra["cache_hit_rate"] <= 1.0
+
+
+def test_closed_loop_experiment_rows():
+    rows = ex.closed_loop(
+        codecs=["Roaring"],
+        n_terms=4,
+        list_size=200,
+        domain=2**12,
+        clients=3,
+        requests_per_client=4,
+        slow_shard_ms=0.0,
+    )
+    assert codecs_of(rows) == {"Roaring"}
+    (row,) = rows
+    assert row.workload == "closed_loop"
+    extra = row.extra
+    assert extra["offered"] == 12
+    assert extra["accepted"] + extra["shed"] == extra["offered"]
+    assert 0.0 <= extra["shed_rate"] <= 1.0
+    assert extra["p99_ms"] >= extra["p50_ms"] >= 0
+    assert extra["throughput_qps"] > 0
+    assert sum(extra["statuses"].values()) == 12

@@ -1,0 +1,41 @@
+"""Shared fixtures: a small two-shard engine and a live-server factory."""
+
+import numpy as np
+import pytest
+
+from repro.server import BackgroundServer, StoreServer
+from repro.store import PostingStore, QueryEngine
+
+
+def make_store(n_shards: int = 2) -> PostingStore:
+    """Shards partition the doc space; each holds the same three terms."""
+    store = PostingStore()
+    for s in range(n_shards):
+        base = s * 10_000
+        shard = store.create_shard(
+            f"s{s}", codec="Roaring", universe=base + 10_000
+        )
+        shard.add("a", base + np.arange(0, 10_000, 2))
+        shard.add("b", base + np.arange(0, 10_000, 3))
+        shard.add("c", base + np.arange(0, 10_000, 5))
+    return store
+
+
+@pytest.fixture
+def engine() -> QueryEngine:
+    return QueryEngine(make_store())
+
+
+@pytest.fixture
+def live_server():
+    """Factory: start a server for an engine, stop it on teardown."""
+    running: list[BackgroundServer] = []
+
+    def start(engine: QueryEngine, **kwargs) -> BackgroundServer:
+        background = BackgroundServer(StoreServer(engine, **kwargs))
+        running.append(background)
+        return background.start()
+
+    yield start
+    for background in running:
+        background.stop()

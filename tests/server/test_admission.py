@@ -1,0 +1,71 @@
+"""Admission control: bounded pending, exact accounting, thread safety."""
+
+import threading
+
+import pytest
+
+from repro.server.admission import AdmissionController
+
+
+def test_admits_up_to_bound_then_sheds():
+    admission = AdmissionController(max_pending=2)
+    assert admission.try_acquire()
+    assert admission.try_acquire()
+    assert not admission.try_acquire()  # full
+    admission.release()
+    assert admission.try_acquire()  # slot freed
+
+
+def test_counters_are_exact():
+    admission = AdmissionController(max_pending=1)
+    admission.try_acquire()
+    admission.try_acquire()  # shed
+    admission.try_acquire()  # shed
+    counters = admission.counters()
+    assert counters == {
+        "offered": 3,
+        "accepted": 1,
+        "shed": 2,
+        "in_flight": 1,
+        "max_pending": 1,
+    }
+    assert counters["accepted"] + counters["shed"] == counters["offered"]
+
+
+def test_release_without_acquire_raises():
+    admission = AdmissionController(max_pending=1)
+    with pytest.raises(RuntimeError):
+        admission.release()
+
+
+def test_bad_bound_rejected():
+    with pytest.raises(ValueError):
+        AdmissionController(max_pending=0)
+
+
+def test_concurrent_accounting_has_no_leaks():
+    """Hammer from many threads: invariants must hold exactly."""
+    admission = AdmissionController(max_pending=8)
+    outcomes = []
+    lock = threading.Lock()
+
+    def worker():
+        for _ in range(200):
+            if admission.try_acquire():
+                admission.release()
+                with lock:
+                    outcomes.append(True)
+            else:
+                with lock:
+                    outcomes.append(False)
+
+    threads = [threading.Thread(target=worker) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    counters = admission.counters()
+    assert counters["offered"] == 8 * 200 == len(outcomes)
+    assert counters["accepted"] == sum(outcomes)
+    assert counters["accepted"] + counters["shed"] == counters["offered"]
+    assert counters["in_flight"] == 0

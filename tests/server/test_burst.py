@@ -1,0 +1,117 @@
+"""Acceptance: a 32-connection closed-loop burst against a small queue.
+
+The scenario the serving layer exists for: one shard is slow, deadlines
+are tight, and far more clients arrive than the queue admits.  The
+server must (a) stay up and keep answering, (b) enforce deadlines —
+degraded responses, never responses slower than deadline × grace +
+overhead, (c) shed with 503 once the queue is full, and (d) account for
+every single request exactly.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.server import ServerUnavailableError, StoreClient
+from repro.store import And, PostingStore, QueryEngine, Term
+
+CLIENTS = 32
+REQUESTS_PER_CLIENT = 4
+DEADLINE_MS = 120.0
+GRACE_FACTOR = 2.0
+MAX_PENDING = 8
+
+
+@pytest.fixture
+def burst_engine():
+    store = PostingStore()
+    for s in range(3):
+        base = s * 20_000
+        shard = store.create_shard(
+            f"s{s}", codec="Roaring", universe=base + 20_000
+        )
+        shard.add("a", base + np.arange(0, 20_000, 2))
+        shard.add("b", base + np.arange(0, 20_000, 3))
+    return QueryEngine(store, shard_delays={"s1": 0.05})
+
+
+def test_32_connection_burst(burst_engine, live_server):
+    server = live_server(
+        burst_engine,
+        max_pending=MAX_PENDING,
+        workers=4,
+        grace_factor=GRACE_FACTOR,
+    )
+    lock = threading.Lock()
+    outcomes: list[str] = []
+    latencies: list[float] = []
+    errors: list[Exception] = []
+
+    def run_client(client_id: int) -> None:
+        try:
+            with StoreClient(
+                "127.0.0.1", server.port, max_retries=0, timeout_s=30.0
+            ) as client:
+                for r in range(REQUESTS_PER_CLIENT):
+                    query = Term("a") if r % 2 else And("a", "b")
+                    t0 = time.perf_counter()
+                    try:
+                        status = client.query(
+                            query,
+                            deadline_ms=DEADLINE_MS,
+                            query_id=f"c{client_id}r{r}",
+                        ).status
+                    except ServerUnavailableError:
+                        status = "shed"
+                    ms = (time.perf_counter() - t0) * 1000.0
+                    with lock:
+                        outcomes.append(status)
+                        if status != "shed":
+                            latencies.append(ms)
+        except Exception as exc:  # noqa: BLE001 - collected for the assert
+            with lock:
+                errors.append(exc)
+
+    threads = [
+        threading.Thread(target=run_client, args=(c,)) for c in range(CLIENTS)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    assert not errors, f"clients crashed: {errors[:3]}"
+    offered = CLIENTS * REQUESTS_PER_CLIENT
+    assert len(outcomes) == offered
+
+    # (a) The server survived the burst and still answers.
+    with StoreClient("127.0.0.1", server.port) as probe:
+        assert probe.healthz()["status"] == "ok"
+        snapshot = probe.metrics()
+
+    # (b) Deadlines were enforced: every answered request came back
+    # within deadline × grace plus protocol overhead — degraded if need
+    # be, but never stalled behind the slow shard.
+    budget_ms = DEADLINE_MS * GRACE_FACTOR + 500.0
+    assert latencies and max(latencies) < budget_ms
+    assert all(s in ("ok", "partial", "timed_out", "shed") for s in outcomes)
+
+    # (c) The bounded queue actually shed under 32 clients vs 8 slots.
+    shed = outcomes.count("shed")
+    assert shed > 0
+    assert shed < offered  # but it kept serving too
+
+    # (d) Exact accounting, client-side and server-side, in agreement.
+    admission = snapshot["server"]["admission"]
+    assert admission["offered"] == offered
+    assert admission["shed"] == shed
+    assert admission["accepted"] == offered - shed
+    assert admission["accepted"] + admission["shed"] == admission["offered"]
+    responses = snapshot["server"]["responses"]
+    assert responses.get("shed", 0) == shed
+    answered = sum(
+        responses.get(k, 0) for k in ("ok", "partial", "timed_out", "failed")
+    )
+    assert answered == len(latencies)

@@ -1,0 +1,221 @@
+"""Client retry policy against a scripted flaky stub server.
+
+The stub speaks just enough HTTP to exercise every branch of the
+client's retry logic: 503 (with and without ``Retry-After``), 400, 500,
+dropped connections, and stalls past the client timeout.  The sleep
+function is injected so the exact backoff sequence is asserted without
+waiting it out.
+"""
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.server import (
+    QueryRejectedError,
+    ServerUnavailableError,
+    StoreClient,
+)
+from repro.store import Term
+
+_OK_BODY = {
+    "status": "ok",
+    "values": [1, 2],
+    "n_results": 2,
+    "latency_ms": 0.5,
+}
+
+
+class _StubHandler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, *args):  # keep test output clean
+        pass
+
+    def do_POST(self):
+        self._serve()
+
+    def do_GET(self):
+        self._serve()
+
+    def _serve(self):
+        length = int(self.headers.get("Content-Length", 0))
+        body = self.rfile.read(length) if length else b""
+        self.server.requests.append((self.path, body))
+        step = self.server.plan.pop(0) if self.server.plan else ("200", _OK_BODY)
+        kind = step[0]
+        if kind == "drop":
+            self.connection.close()
+            return
+        if kind == "stall":
+            time.sleep(step[1])
+            self._respond(200, _OK_BODY)
+            return
+        if kind == "503":
+            payload = json.dumps({"error": "shed"}).encode()
+            self.send_response(503)
+            if step[1] is not None:
+                self.send_header("Retry-After", str(step[1]))
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(payload)))
+            self.end_headers()
+            self.wfile.write(payload)
+            return
+        self._respond(int(kind), step[1])
+
+    def _respond(self, code, body):
+        payload = json.dumps(body).encode()
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+
+@pytest.fixture
+def stub():
+    """A stub server whose next responses follow ``stub.plan``."""
+    server = ThreadingHTTPServer(("127.0.0.1", 0), _StubHandler)
+    server.plan = []
+    server.requests = []
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+def _client(stub, **kwargs):
+    kwargs.setdefault("timeout_s", 5.0)
+    kwargs.setdefault("sleep", lambda s: None)
+    return StoreClient("127.0.0.1", stub.server_address[1], **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Retryable failures
+# ----------------------------------------------------------------------
+def test_retries_503_and_honours_retry_after(stub):
+    stub.plan = [("503", 0.25), ("503", None), ("200", _OK_BODY)]
+    sleeps = []
+    client = _client(
+        stub,
+        max_retries=3,
+        backoff_base_s=0.05,
+        backoff_cap_s=2.0,
+        sleep=sleeps.append,
+    )
+    response = client.query(Term("a"))
+    assert response.status == "ok"
+    assert len(stub.requests) == 3
+    # First backoff takes the server's Retry-After (0.25 > 0.05); the
+    # second falls back to exponential 0.05 * 2**1.
+    assert sleeps == [0.25, 0.1]
+
+
+def test_gives_up_after_max_retries(stub):
+    stub.plan = [("503", None)] * 10
+    sleeps = []
+    client = _client(stub, max_retries=2, sleep=sleeps.append)
+    with pytest.raises(ServerUnavailableError) as exc_info:
+        client.query(Term("a"))
+    assert exc_info.value.attempts == 3
+    assert len(sleeps) == 2  # no sleep after the final attempt
+    assert len(stub.requests) == 3
+
+
+def test_dropped_connection_is_retried(stub):
+    stub.plan = [("drop",), ("200", _OK_BODY)]
+    sleeps = []
+    client = _client(stub, max_retries=2, sleep=sleeps.append)
+    assert client.query(Term("a")).status == "ok"
+    assert len(sleeps) == 1
+
+
+def test_timeout_is_retried(stub):
+    stub.plan = [("stall", 1.0), ("200", _OK_BODY)]
+    client = _client(stub, timeout_s=0.2, max_retries=2)
+    assert client.query(Term("a")).status == "ok"
+
+
+# ----------------------------------------------------------------------
+# Non-retryable outcomes
+# ----------------------------------------------------------------------
+def test_400_raises_immediately_without_retry(stub):
+    stub.plan = [("400", {"error": "bad query"})]
+    sleeps = []
+    client = _client(stub, max_retries=5, sleep=sleeps.append)
+    with pytest.raises(QueryRejectedError, match="bad query"):
+        client.query(Term("a"))
+    assert sleeps == []
+    assert len(stub.requests) == 1
+
+
+def test_500_is_returned_as_failed_response_not_raised(stub):
+    stub.plan = [
+        (
+            "500",
+            {
+                "status": "failed",
+                "values": None,
+                "n_results": None,
+                "latency_ms": 0.1,
+                "error": "ValueError: boom",
+            },
+        )
+    ]
+    client = _client(stub, max_retries=5)
+    response = client.query(Term("a"))
+    assert response.status == "failed"
+    assert response.error == "ValueError: boom"
+    assert len(stub.requests) == 1  # failed != retryable
+
+
+# ----------------------------------------------------------------------
+# Backoff arithmetic & request shape
+# ----------------------------------------------------------------------
+def test_backoff_sequence_is_capped_exponential():
+    client = StoreClient(
+        "h", 1, backoff_base_s=0.05, backoff_cap_s=0.4, sleep=lambda s: None
+    )
+    assert [client.backoff_s(n) for n in range(5)] == [
+        0.05,
+        0.1,
+        0.2,
+        0.4,
+        0.4,
+    ]
+    assert client.backoff_s(0, retry_after_s=0.3) == 0.3
+    assert client.backoff_s(0, retry_after_s=9.0) == 0.4  # hint capped too
+
+
+def test_query_serialises_ast_and_deadline_header(stub):
+    stub.plan = [("200", _OK_BODY)]
+    client = _client(stub)
+    client.query(Term("a"), query_id="q1", deadline_ms=150)
+    path, body = stub.requests[0]
+    assert path == "/query"
+    parsed = json.loads(body)
+    assert parsed["query"] == {"op": "term", "name": "a"}
+    assert parsed["query_id"] == "q1"
+
+
+def test_legacy_tuple_query_warns_once(stub):
+    stub.plan = [("200", _OK_BODY)]
+    client = _client(stub)
+    with pytest.warns(DeprecationWarning):
+        client.query(("and", "a", "b"))
+    parsed = json.loads(stub.requests[0][1])
+    assert parsed["query"]["op"] == "and"
+
+
+def test_connection_is_reused_across_requests(stub):
+    stub.plan = [("200", _OK_BODY), ("200", _OK_BODY)]
+    client = _client(stub)
+    client.query(Term("a"))
+    first = client._conn
+    client.query(Term("b"))
+    assert client._conn is first

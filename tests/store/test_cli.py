@@ -4,7 +4,8 @@ import json
 import subprocess
 import sys
 
-from repro.store.__main__ import build_store, main, sample_queries
+from repro.store import And, Or, Term
+from repro.store.__main__ import batch_exit_code, build_store, main, sample_queries
 
 
 def _run_main(capsys, *argv: str) -> dict:
@@ -32,10 +33,11 @@ def test_sample_queries_deterministic_and_shaped():
     b = sample_queries(8, terms_per_shard=6, seed=3)
     assert [q.expression for q in a] == [q.expression for q in b]
     assert [q.query_id for q in a] == [f"q{i:04d}" for i in range(8)]
-    assert isinstance(a[0].expression, str)
-    assert a[1].expression[0] == "and"
-    assert a[2].expression[0] == "or"
-    assert a[3].expression[0] == "and" and a[3].expression[1][0] == "or"
+    assert isinstance(a[0].expression, Term)
+    assert isinstance(a[1].expression, And)
+    assert isinstance(a[2].expression, Or)
+    assert isinstance(a[3].expression, And)
+    assert isinstance(a[3].expression.children[0], Or)
 
 
 def test_metrics_mode_emits_snapshot(capsys):

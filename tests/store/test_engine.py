@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.store import DecodeCache, PostingStore, Query, QueryEngine
+from repro.store import And, DecodeCache, Or, PostingStore, Query, QueryEngine
 
 DOMAIN = 3_000
 
@@ -43,10 +43,10 @@ def test_term_present_in_one_shard_only():
 
 def test_expression_gathers_correctly():
     engine = QueryEngine(_sharded_store())
-    result = engine.execute(("and", "even", "third"))
+    result = engine.execute(And("even", "third"))
     assert result.ok
     assert np.array_equal(result.values, np.intersect1d(EVEN, THIRD))
-    result = engine.execute(("or", "rare", ("and", "even", "third")))
+    result = engine.execute(Or("rare", And("even", "third")))
     want = np.union1d(RARE, np.intersect1d(EVEN, THIRD))
     assert np.array_equal(result.values, want)
 
@@ -81,7 +81,8 @@ def test_unknown_shard_name_degrades_not_raises():
 
 def test_invalid_grammar_fails_query_without_crashing():
     engine = QueryEngine(_sharded_store())
-    result = engine.execute(("xor", "even", "third"))
+    with pytest.warns(DeprecationWarning):
+        result = engine.execute(("xor", "even", "third"))
     assert result.values is None and not result.ok
     assert "unknown query operator" in result.error
 
@@ -90,7 +91,7 @@ def test_batch_preserves_order_and_results():
     engine = QueryEngine(_sharded_store(), max_workers=3)
     queries = [
         Query(expression="even", query_id="q0"),
-        Query(expression=("and", "even", "third"), query_id="q1"),
+        Query(expression=And("even", "third"), query_id="q1"),
         Query(expression="rare", query_id="q2"),
     ] * 4
     results = engine.execute_batch(queries)
@@ -130,10 +131,11 @@ def test_batch_timeout_returns_abandoned_result():
 def test_metrics_recorded_per_outcome():
     engine = QueryEngine(_sharded_store())
     engine.execute("even")
-    engine.execute(("xor", "a"))  # failed
+    with pytest.warns(DeprecationWarning):
+        engine.execute(("xor", "a"))  # failed
     store = engine.store
     store.shard("s0").failed_terms["lost"] = "gone"
-    engine.execute(("or", "even", "lost"))  # partial via degraded term
+    engine.execute(Or("even", "lost"))  # partial via degraded term
     snap = engine.metrics.snapshot()
     assert snap["queries"]["total"] == 3
     assert snap["queries"]["ok"] == 1
@@ -147,14 +149,14 @@ def test_degraded_terms_deduped_across_shards():
     for name in ("s0", "s1", "s2"):
         store.shard(name).failed_terms["lost"] = "gone"
     engine = QueryEngine(store)
-    result = engine.execute(("or", "even", "lost"))
+    result = engine.execute(Or("even", "lost"))
     assert result.degraded_terms == ("lost",)
     assert result.partial and np.array_equal(result.values, EVEN)
 
 
 def test_explain_compiles_without_executing():
     engine = QueryEngine(_sharded_store())
-    plans = engine.explain(("and", "even", "third"))
+    plans = engine.explain(And("even", "third"))
     assert [p["shard"] for p in plans] == ["s0", "s1", "s2"]
     assert all(p["plan"]["strategy"] == "svs" for p in plans)
     assert engine.metrics.snapshot()["queries"]["total"] == 0

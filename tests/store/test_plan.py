@@ -3,9 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.ops import And, Leaf, Or
+from repro.ops import And as ExprAnd
+from repro.ops import Leaf
+from repro.ops import Or as ExprOr
 from repro.store import (
+    And,
     DecodeCache,
+    Or,
     PostingStore,
     Query,
     compile_shard_plan,
@@ -27,14 +31,16 @@ def _store(codec: str = "Roaring") -> PostingStore:
 
 def test_query_terms_order_and_dedup():
     assert query_terms("x") == ["x"]
-    assert query_terms(("and", ("or", "b", "a"), "b", "c")) == ["b", "a", "c"]
+    assert query_terms(And(Or("b", "a"), "b", "c")) == ["b", "a", "c"]
 
 
 def test_query_terms_rejects_bad_grammar():
-    with pytest.raises(ValueError, match="unknown query operator"):
-        query_terms(("not", "a"))
-    with pytest.raises(ValueError, match="empty"):
-        query_terms(("and",))
+    with pytest.warns(DeprecationWarning):
+        with pytest.raises(ValueError, match="unknown query operator"):
+            query_terms(("not", "a"))
+    with pytest.warns(DeprecationWarning):
+        with pytest.raises(ValueError, match="empty"):
+            query_terms(("and",))
 
 
 def test_query_defaults():
@@ -51,40 +57,40 @@ def test_compile_single_term():
 
 
 def test_compile_nested_expression_executes_correctly():
-    plan = compile_shard_plan(_store(), "s0", ("and", ("or", "a", "b"), "c"))
-    assert isinstance(plan.expr, And)
+    plan = compile_shard_plan(_store(), "s0", And(Or("a", "b"), "c"))
+    assert isinstance(plan.expr, ExprAnd)
     want = np.intersect1d(np.union1d(A, B), C)
     assert np.array_equal(plan.execute(), want)
 
 
 def test_missing_term_folds_and_to_empty():
-    plan = compile_shard_plan(_store(), "s0", ("and", "a", "ghost"))
+    plan = compile_shard_plan(_store(), "s0", And("a", "ghost"))
     assert plan.expr is None
     assert plan.missing_terms == ["ghost"]
     assert plan.execute().size == 0
 
 
 def test_missing_term_dropped_from_or():
-    plan = compile_shard_plan(_store(), "s0", ("or", "a", "ghost"))
+    plan = compile_shard_plan(_store(), "s0", Or("a", "ghost"))
     assert isinstance(plan.expr, Leaf)  # single survivor collapses
     assert np.array_equal(plan.execute(), A)
 
 
 def test_all_or_children_missing_folds_to_empty():
-    plan = compile_shard_plan(_store(), "s0", ("or", "ghost1", "ghost2"))
+    plan = compile_shard_plan(_store(), "s0", Or("ghost1", "ghost2"))
     assert plan.expr is None and plan.execute().size == 0
 
 
 def test_degraded_term_recorded_separately():
     store = _store()
     store.shard("s0").failed_terms["lost"] = "truncated"
-    plan = compile_shard_plan(store, "s0", ("or", "a", "lost", "ghost"))
+    plan = compile_shard_plan(store, "s0", Or("a", "lost", "ghost"))
     assert plan.degraded_terms == ["lost"]
     assert plan.missing_terms == ["ghost"]
 
 
 def test_adaptive_leaves_unwrap_to_inner_codec():
-    plan = compile_shard_plan(_store("Adaptive"), "s0", ("and", "a", "b"))
+    plan = compile_shard_plan(_store("Adaptive"), "s0", And("a", "b"))
     inner_names = {key[2] for key in plan.keymap.values()}
     assert "Adaptive" not in inner_names  # unwrapped to registered codecs
     want = np.intersect1d(A, B)
@@ -94,7 +100,7 @@ def test_adaptive_leaves_unwrap_to_inner_codec():
 def test_cold_or_stays_compressed_warm_or_uses_arrays():
     store = _store()
     cache = DecodeCache()
-    or_plan = compile_shard_plan(store, "s0", ("or", "a", "b"))
+    or_plan = compile_shard_plan(store, "s0", Or("a", "b"))
     cold = or_plan.execute(cache=cache)
     # Cold OR goes through the codec's compressed union; no leaf is
     # materialised, so nothing lands in the cache.
@@ -111,7 +117,7 @@ def test_cold_or_stays_compressed_warm_or_uses_arrays():
 def test_cache_probes_decodes_and_probe_leaves():
     store = _store()
     cache = DecodeCache()
-    plan = compile_shard_plan(store, "s0", ("and", "a", "b"))
+    plan = compile_shard_plan(store, "s0", And("a", "b"))
     plan.execute(cache=cache, cache_probes=False)
     assert len(cache) == 1  # only the driver leaf materialises
     cache.clear()
@@ -120,7 +126,7 @@ def test_cache_probes_decodes_and_probe_leaves():
 
 
 def test_describe_reports_strategies():
-    plan = compile_shard_plan(_store(), "s0", ("and", ("or", "a", "b"), "c"))
+    plan = compile_shard_plan(_store(), "s0", And(Or("a", "b"), "c"))
     desc = plan.describe()
     assert desc["shard"] == "s0"
     assert desc["plan"]["op"] == "and" and desc["plan"]["strategy"] == "svs"
@@ -132,19 +138,19 @@ def test_describe_reports_strategies():
 
 
 def test_describe_and_order_is_smallest_first():
-    plan = compile_shard_plan(_store(), "s0", ("and", "a", "c", "b"))
+    plan = compile_shard_plan(_store(), "s0", And("a", "c", "b"))
     desc = plan.describe()
     sizes = [node["n"] for node in desc["plan"]["order"]]
     assert sizes == sorted(sizes)
 
 
 def test_describe_empty_plan():
-    plan = compile_shard_plan(_store(), "s0", ("and", "ghost", "a"))
+    plan = compile_shard_plan(_store(), "s0", And("ghost", "a"))
     assert plan.describe()["plan"] == {"op": "empty"}
 
 
 def test_or_over_and_subtree():
-    plan = compile_shard_plan(_store(), "s0", ("or", ("and", "a", "b"), "c"))
-    assert isinstance(plan.expr, Or)
+    plan = compile_shard_plan(_store(), "s0", Or(And("a", "b"), "c"))
+    assert isinstance(plan.expr, ExprOr)
     want = np.union1d(np.intersect1d(A, B), C)
     assert np.array_equal(plan.execute(), want)

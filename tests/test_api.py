@@ -1,0 +1,81 @@
+"""The repro.api facade: one import covers the common paths."""
+
+import numpy as np
+import pytest
+
+from repro import api
+
+
+def test_compress_decompress_round_trip():
+    values = np.array([2, 5, 10, 100, 65_536])
+    cs = api.compress(values)
+    assert cs.codec_name == api.DEFAULT_CODEC
+    assert np.array_equal(api.decompress(cs), values)
+
+
+def test_compress_accepts_codec_name_and_plain_sequences():
+    cs = api.compress([1, 5, 9], codec="WAH")
+    assert cs.codec_name == "WAH"
+    assert list(api.decompress(cs)) == [1, 5, 9]
+
+
+def test_intersect_and_union():
+    a = api.compress(np.arange(0, 1_000, 2))
+    b = api.compress(np.arange(0, 1_000, 3))
+    assert np.array_equal(api.intersect(a, b), np.arange(0, 1_000, 6))
+    expected = np.union1d(np.arange(0, 1_000, 2), np.arange(0, 1_000, 3))
+    assert np.array_equal(api.union(a, b), expected)
+
+
+def test_open_store_round_trip(tmp_path):
+    store = api.PostingStore()
+    shard = store.create_shard("s0", codec="Roaring", universe=1_000)
+    shard.add("news", np.arange(0, 1_000, 2))
+    shard.add("sports", np.arange(0, 1_000, 3))
+    store.save(tmp_path / "index")
+
+    engine = api.open_store(str(tmp_path / "index"))
+    assert isinstance(engine, api.QueryEngine)
+    result = engine.execute(api.And("news", "sports"))
+    assert result.ok
+    assert np.array_equal(result.values, np.arange(0, 1_000, 6))
+
+
+def test_open_store_missing_directory_raises_os_error(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        api.open_store(str(tmp_path / "absent"))
+
+
+def test_error_hierarchy_is_rooted_at_repro_error():
+    for exc in (
+        api.CodecError,
+        api.InvalidInputError,
+        api.CorruptPayloadError,
+        api.DomainOverflowError,
+        api.UnknownCodecError,
+        api.StoreError,
+        api.ShardLoadError,
+        api.UnknownShardError,
+        api.ProtocolError,
+        api.QueryRejectedError,
+        api.ServerUnavailableError,
+    ):
+        assert issubclass(exc, api.ReproError)
+
+
+def test_bad_input_raises_facade_error():
+    with pytest.raises(api.ReproError):
+        api.compress(np.array([5, 3, 1]))  # not increasing
+    with pytest.raises(api.UnknownCodecError):
+        api.compress(np.array([1, 2]), codec="NoSuchCodec")
+
+
+def test_all_exports_resolve():
+    for name in api.__all__:
+        assert getattr(api, name) is not None
+
+
+def test_query_ast_exports_compose():
+    node = api.And(api.Or("a", "b"), api.Term("c"))
+    assert api.parse_query(node) is node
+    assert api.query_from_json(node.to_json()) == node

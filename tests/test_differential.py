@@ -119,7 +119,7 @@ def test_edge_list_pairs(codec_name, left, right):
 def test_served_engine_matches_reference(codec_name):
     """The full store path — compile, cache, scatter-gather — per codec."""
     from repro import get_codec
-    from repro.store import DecodeCache, PostingStore, QueryEngine
+    from repro.store import And, DecodeCache, Or, PostingStore, QueryEngine
 
     rng = np.random.default_rng(SEED + 3)
     terms = {
@@ -134,9 +134,9 @@ def test_served_engine_matches_reference(codec_name):
     engine = QueryEngine(store, cache=DecodeCache(), cache_probes=True)
     cases = {
         "a": terms["a"],
-        ("and", "a", "b"): _ref_and(terms["a"], terms["b"]),
-        ("or", "b", "c"): _ref_or(terms["b"], terms["c"]),
-        ("and", ("or", "a", "b"), "c"): _ref_and(
+        And("a", "b"): _ref_and(terms["a"], terms["b"]),
+        Or("b", "c"): _ref_or(terms["b"], terms["c"]),
+        And(Or("a", "b"), "c"): _ref_and(
             _ref_or(terms["a"], terms["b"]), terms["c"]
         ),
     }

@@ -166,7 +166,7 @@ def test_store_load_strict_raises_on_truncated_list(tmp_path):
 def test_store_load_lenient_records_and_serves(tmp_path):
     """strict=False: the corrupt term is skipped and recorded; queries
     touching it come back flagged partial, everything else still serves."""
-    from repro.store import PostingStore, QueryEngine
+    from repro.store import Or, PostingStore, QueryEngine
 
     directory = _saved_store(tmp_path)
     _corrupt_term(directory, "doomed")
@@ -178,7 +178,7 @@ def test_store_load_lenient_records_and_serves(tmp_path):
     healthy = engine.execute("good")
     assert healthy.ok and healthy.values.size == 1_000
 
-    hurt = engine.execute(("or", "good", "doomed"))
+    hurt = engine.execute(Or("good", "doomed"))
     assert hurt.partial and not hurt.ok
     assert hurt.degraded_terms == ("doomed",)
     assert hurt.values.size == 1_000  # the surviving leaf still answers
