@@ -22,13 +22,18 @@ Quickstart::
     result = engine.execute(api.And(api.Or("news", "sports"), "2024"))
     print(result.status, result.values)
 
+    writer = api.open_store("/data/index", writable=True)   # WAL-backed
+    writer.store.append("shard00", "news", [42, 99])        # durable ack
+    writer.store.close()                                    # seal + compact
+
 Error taxonomy (all subclasses of :class:`api.ReproError`):
 
 * :class:`CodecError` — compression-layer failures
   (:class:`InvalidInputError`, :class:`CorruptPayloadError`,
   :class:`DomainOverflowError`, :class:`UnknownCodecError`);
 * :class:`StoreError` — posting-store failures
-  (:class:`ShardLoadError`, :class:`UnknownShardError`);
+  (:class:`ShardLoadError`, :class:`UnknownShardError`,
+  :class:`WalCorruptionError`, :class:`ManifestParamsError`);
 * serving-layer errors (:class:`ProtocolError`,
   :class:`QueryRejectedError`, :class:`ServerUnavailableError`) live in
   :mod:`repro.server` and are re-exported here for ``except`` clauses.
@@ -58,9 +63,16 @@ from repro.server.client import QueryRejectedError, ServerUnavailableError
 from repro.server.protocol import ProtocolError
 from repro.store.cache import DecodeCache
 from repro.store.engine import QueryEngine, QueryResult
-from repro.store.errors import ShardLoadError, StoreError, UnknownShardError
+from repro.store.errors import (
+    ManifestParamsError,
+    ShardLoadError,
+    StoreError,
+    UnknownShardError,
+)
 from repro.store.plan import And, Or, Query, Term, parse_query, query_from_json
+from repro.store.segments import WritablePostingStore
 from repro.store.store import PostingStore
+from repro.store.wal import WalCorruptionError
 
 __all__ = [
     # Compression
@@ -83,6 +95,7 @@ __all__ = [
     # Store
     "open_store",
     "PostingStore",
+    "WritablePostingStore",
     "QueryEngine",
     "QueryResult",
     # Errors
@@ -95,6 +108,8 @@ __all__ = [
     "StoreError",
     "ShardLoadError",
     "UnknownShardError",
+    "WalCorruptionError",
+    "ManifestParamsError",
     "ProtocolError",
     "QueryRejectedError",
     "ServerUnavailableError",
@@ -142,6 +157,8 @@ def open_store(
     cache_entries: int = 256,
     max_workers: int = 4,
     timeout_s: float | None = None,
+    writable: bool = False,
+    compact_interval_s: float = 0.0,
 ) -> QueryEngine:
     """Load a saved store and wrap it in a ready-to-query engine.
 
@@ -153,8 +170,23 @@ def open_store(
         cache_entries: decode-cache size; ``0`` disables caching.
         max_workers: batch worker-pool width.
         timeout_s: default per-query deadline (``None`` = unbounded).
+        writable: open as a :class:`WritablePostingStore` instead —
+            creates the directory if absent, replays any WAL left by a
+            crash, and accepts ``engine.store.append(...)`` /
+            ``ingest_batch(...)``.  Call ``engine.store.close()`` when
+            done to seal pending writes into compressed segments.
+        compact_interval_s: with ``writable``, start the background
+            compaction thread at this period (``0`` keeps compaction
+            manual: ``engine.store.compact()``).
     """
-    store = PostingStore.load(directory, strict=strict)
+    store: PostingStore
+    if writable:
+        wstore = WritablePostingStore.open(directory, strict=strict)
+        if compact_interval_s > 0:
+            wstore.start_compactor(compact_interval_s)
+        store = wstore
+    else:
+        store = PostingStore.load(directory, strict=strict)
     cache = DecodeCache(max_entries=cache_entries) if cache_entries else None
     return QueryEngine(
         store, cache=cache, max_workers=max_workers, timeout_s=timeout_s

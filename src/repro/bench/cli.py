@@ -192,6 +192,16 @@ def _quick_kwargs(exp_id: str) -> dict:
             "queue_depth": 8,
             "repeat": 1,
         }
+    if exp_id == "churn":
+        return {
+            "n_terms": 8,
+            "list_size": 400,
+            "clients": 3,
+            "requests_per_client": 8,
+            "ingest_batches": 8,
+            "ops_per_batch": 6,
+            "repeat": 1,
+        }
     return {"repeat": 1}
 
 

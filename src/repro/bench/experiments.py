@@ -550,6 +550,191 @@ def closed_loop(
     return rows
 
 
+def churn(
+    codecs: Sequence[str] | None = None,
+    repeat: int = 1,
+    n_terms: int = 16,
+    list_size: int = 1_000,
+    domain: int = 2**17,
+    seed: int = 20170531,
+    clients: int = 4,
+    requests_per_client: int = 12,
+    ingest_batches: int = 16,
+    ops_per_batch: int = 8,
+    compact_interval_s: float = 0.05,
+    queue_depth: int = 16,
+    workers: int = 4,
+) -> list[MetricRow]:
+    """Churn serving: queries race live ingest and background compaction.
+
+    Not a paper experiment — the write-path extension's end-to-end
+    figure.  Per codec, a :class:`WritablePostingStore` is preloaded,
+    compacted once, and put behind an in-process server with its
+    background compactor running at ``compact_interval_s``.  A writer
+    client then streams ``ingest_batches`` durable batches over
+    ``POST /ingest`` while ``clients`` closed-loop readers query the
+    same shard, so every query potentially merges the live delta and
+    may land mid-compaction.  ``intersect_ms`` reports reader-observed
+    p99 latency; ``extra`` carries the ingest-side p50/p99 (arrival →
+    durable ack), acked-op and compaction counts from ``/metrics``, and
+    the response-status mix.  Any ``failed`` query raises — compaction
+    must never be visible as an error.  ``repeat`` is accepted for CLI
+    uniformity but unused.
+    """
+    del repeat
+    import tempfile
+    import threading
+    import time as _time
+
+    from repro.server import (
+        BackgroundServer,
+        ServerUnavailableError,
+        StoreClient,
+        StoreServer,
+    )
+    from repro.store.__main__ import synthetic_ops
+    from repro.store.cache import DecodeCache
+    from repro.store.engine import QueryEngine
+    from repro.store.segments import WritablePostingStore
+
+    names = list(codecs) if codecs is not None else ["Roaring"]
+    rows = []
+    for name in names:
+        rng = np.random.default_rng(seed)
+        with tempfile.TemporaryDirectory(prefix="repro-churn-") as tmp:
+            store = WritablePostingStore.open(tmp)
+            store.create_shard("s0", codec=name, universe=domain)
+            preload = []
+            for t in range(n_terms):
+                n = max(1, int(list_size * (0.5 + rng.random())))
+                values = generator("uniform")(min(n, domain), domain, rng=rng)
+                preload.append(("add", "s0", f"t{t:03d}", values))
+            store.ingest_batch(preload)
+            store.compact()
+            store.start_compactor(compact_interval_s)
+            engine = QueryEngine(store, cache=DecodeCache(max_entries=512))
+            server = StoreServer(
+                engine, max_pending=queue_depth, workers=workers, grace_factor=4.0
+            )
+
+            def hot() -> str:
+                return f"t{int(rng.random() ** 2 * n_terms) % n_terms:03d}"
+
+            plans = []
+            for _c in range(clients):
+                qs: list = []
+                for q in range(requests_per_client):
+                    shape = q % 3
+                    if shape == 0:
+                        qs.append(Term(hot()))
+                    elif shape == 1:
+                        qs.append(And(hot(), hot()))
+                    else:
+                        qs.append(And(Or(hot(), hot()), hot()))
+                plans.append(qs)
+            batches = synthetic_ops(
+                seed + 1,
+                ingest_batches,
+                ops_per_batch,
+                shard="s0",
+                n_terms=n_terms,
+                domain=domain,
+            )
+
+            lock = threading.Lock()
+            query_ms: list[float] = []
+            ingest_ms: list[float] = []
+            statuses: dict[str, int] = {}
+            acked = 0
+
+            def run_reader(qs: list) -> None:
+                with StoreClient(
+                    "127.0.0.1", server.port, max_retries=0, timeout_s=30.0
+                ) as client:
+                    for q in qs:
+                        t0 = _time.perf_counter()
+                        try:
+                            status = client.query(q).status
+                        except ServerUnavailableError:
+                            status = "shed"
+                        ms = (_time.perf_counter() - t0) * 1000.0
+                        with lock:
+                            statuses[status] = statuses.get(status, 0) + 1
+                            if status != "shed":
+                                query_ms.append(ms)
+
+            def run_writer() -> None:
+                nonlocal acked
+                with StoreClient(
+                    "127.0.0.1", server.port, max_retries=3, timeout_s=30.0
+                ) as client:
+                    for i, batch in enumerate(batches):
+                        t0 = _time.perf_counter()
+                        resp = client.ingest(batch, batch_id=f"b{i:04d}")
+                        ms = (_time.perf_counter() - t0) * 1000.0
+                        with lock:
+                            ingest_ms.append(ms)
+                            if resp.ok:
+                                acked += resp.acked_ops
+
+            with BackgroundServer(server):
+                t0 = _time.perf_counter()
+                threads = [
+                    threading.Thread(target=run_reader, args=(qs,))
+                    for qs in plans
+                ]
+                threads.append(threading.Thread(target=run_writer))
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
+                wall_s = _time.perf_counter() - t0
+                with StoreClient("127.0.0.1", server.port) as probe:
+                    metrics = probe.metrics()
+            store.close(compact=False)
+
+            if statuses.get("failed"):
+                raise AssertionError(
+                    f"{name}: {statuses['failed']} queries failed under churn: "
+                    f"{statuses}"
+                )
+
+            def pct(samples: list[float], p: float) -> float:
+                if not samples:
+                    return float("nan")
+                ordered = sorted(samples)
+                return ordered[min(len(ordered) - 1, int(p * len(ordered)))]
+
+            write_path = metrics.get("write_path", {})
+            space = sum(
+                store.shard(s).size_bytes for s in store.shard_names()
+            )
+            codec = store.shard("s0").codec
+            row = MetricRow(
+                name,
+                codec.family if name != "Adaptive" else "hybrid",
+                "churn",
+                space_bytes=space,
+            )
+            row.intersect_ms = pct(query_ms, 0.99)
+            row.extra = {
+                "clients": clients,
+                "acked_ops": acked,
+                "compactions": write_path.get("compactions", 0),
+                "generation": write_path.get("generation", 0),
+                "query_p50_ms": pct(query_ms, 0.50),
+                "query_p99_ms": pct(query_ms, 0.99),
+                "ingest_p50_ms": pct(ingest_ms, 0.50),
+                "ingest_p99_ms": pct(ingest_ms, 0.99),
+                "throughput_qps": (
+                    len(query_ms) / wall_s if wall_s else float("inf")
+                ),
+                "statuses": dict(sorted(statuses.items())),
+            }
+            rows.append(row)
+    return rows
+
+
 #: Experiment registry for the CLI and the integration tests:
 #: id → (function, metric columns to print).
 EXPERIMENTS = {
@@ -568,4 +753,5 @@ EXPERIMENTS = {
     "fig12": (figure12, ("intersect_ms", "space_bytes")),
     "served": (served, ("intersect_ms", "space_bytes")),
     "closed_loop": (closed_loop, ("intersect_ms", "space_bytes")),
+    "churn": (churn, ("intersect_ms", "space_bytes")),
 }

@@ -65,6 +65,9 @@ class RoaringCodec(IntegerSetCodec):
         #: Exposed for the ablation bench sweeping the 4096 threshold.
         self.array_limit = array_limit
 
+    def params(self) -> dict[str, int | str]:
+        return {"array_limit": self.array_limit}
+
     # ------------------------------------------------------------------
     def compress(
         self, values: Iterable[int] | np.ndarray, universe: int | None = None

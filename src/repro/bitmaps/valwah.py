@@ -71,6 +71,11 @@ class VALWAHCodec(IntegerSetCodec):
                     f"for realignment; got {candidate_segments}"
                 )
 
+    def params(self) -> dict[str, int | str]:
+        return {
+            "candidate_segments": ",".join(map(str, self.candidate_segments))
+        }
+
     # ------------------------------------------------------------------
     def compress(
         self, values: Iterable[int] | np.ndarray, universe: int | None = None

@@ -101,6 +101,16 @@ class IntegerSetCodec(abc.ABC):
     # ------------------------------------------------------------------
     # Shared helpers
     # ------------------------------------------------------------------
+    def params(self) -> dict[str, int | str]:
+        """This instance's tunable configuration (block size, thresholds).
+
+        Codecs with constructor knobs override this; the store manifest
+        records it so a saved index can be verified against — not just
+        assumed to match — the configuration that will decode it.
+        Parameter-free codecs return ``{}``.
+        """
+        return {}
+
     def size_in_bytes(self, cs: CompressedIntegerSet) -> int:
         """Wire size of a compressed set (the space-overhead metric)."""
         return cs.size_bytes

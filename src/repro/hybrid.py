@@ -58,6 +58,13 @@ class AdaptiveCodec(IntegerSetCodec):  # repro: noqa[REPRO001]
         self.dense = get_codec(dense_codec)
         self.sparse = get_codec(sparse_codec)
 
+    def params(self) -> dict[str, int | str]:
+        return {
+            "threshold": str(self.threshold),
+            "dense": self.dense.name,
+            "sparse": self.sparse.name,
+        }
+
     # ------------------------------------------------------------------
     def compress(
         self, values: Iterable[int] | np.ndarray, universe: int | None = None

@@ -77,6 +77,12 @@ class BlockedInvListCodec(IntegerSetCodec):
         self.block_size = block_size
         self.skip_pointers = skip_pointers
 
+    def params(self) -> dict[str, int | str]:
+        return {
+            "block_size": self.block_size,
+            "skip_pointers": int(self.skip_pointers),
+        }
+
     # ------------------------------------------------------------------
     # Codec-specific hooks
     # ------------------------------------------------------------------

@@ -8,6 +8,7 @@ Examples::
 
     python -m repro.server --port 8080
     python -m repro.server --store /data/index --lenient --timeout-ms 100
+    python -m repro.server --writable /data/index   # enables POST /ingest
     python -m repro.server --slow-shard shard01:250 --queue-depth 8
 
 ``--slow-shard NAME:MS`` injects a per-shard delay (the engine's
@@ -26,6 +27,7 @@ from repro.server.app import DEFAULT_MAX_PENDING, DEFAULT_WORKERS, StoreServer
 from repro.store.__main__ import build_store
 from repro.store.cache import DecodeCache
 from repro.store.engine import QueryEngine
+from repro.store.segments import WritablePostingStore
 from repro.store.store import PostingStore
 
 
@@ -57,6 +59,19 @@ def main(argv: list[str] | None = None) -> int:
         "--store",
         default=None,
         help="directory saved by PostingStore.save(); default: synthetic store",
+    )
+    parser.add_argument(
+        "--writable",
+        default=None,
+        metavar="DIR",
+        help="open DIR as a writable store (WAL recovery + POST /ingest); "
+        "created if absent; mutually exclusive with --store",
+    )
+    parser.add_argument(
+        "--compact-interval-s",
+        type=float,
+        default=0.5,
+        help="background compaction period for --writable (0 disables)",
     )
     parser.add_argument(
         "--lenient",
@@ -106,7 +121,17 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    if args.store is not None:
+    if args.store is not None and args.writable is not None:
+        parser.error("--store and --writable are mutually exclusive")
+    writable_store = None
+    if args.writable is not None:
+        writable_store = WritablePostingStore.open(
+            args.writable, strict=not args.lenient
+        )
+        if args.compact_interval_s > 0:
+            writable_store.start_compactor(args.compact_interval_s)
+        store = writable_store
+    elif args.store is not None:
         store = PostingStore.load(args.store, strict=not args.lenient)
     else:
         store = build_store(
@@ -143,6 +168,7 @@ def main(argv: list[str] | None = None) -> int:
                     "shards": len(store),
                     "workers": args.workers,
                     "queue_depth": args.queue_depth,
+                    "writable": writable_store is not None,
                 }
             ),
             flush=True,
@@ -153,6 +179,9 @@ def main(argv: list[str] | None = None) -> int:
         asyncio.run(_serve())
     except KeyboardInterrupt:
         pass
+    finally:
+        if writable_store is not None:
+            writable_store.close()
     return 0
 
 

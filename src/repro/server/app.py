@@ -28,8 +28,11 @@ Request lifecycle:
    inspect ``status``), outright failures 500, protocol errors 400,
    shed requests 503.
 
-Endpoints: ``POST /query``, ``GET /healthz``, ``GET /metrics`` (the
-:class:`~repro.server.metrics.ServerMetrics` snapshot).
+Endpoints: ``POST /query``, ``POST /ingest`` (writable stores only —
+batches go through the same admission gate as queries and are
+acknowledged only after the store's WAL fsync), ``GET /healthz``,
+``GET /metrics`` (the :class:`~repro.server.metrics.ServerMetrics`
+snapshot, including write-path counters when the store is writable).
 """
 
 from __future__ import annotations
@@ -46,6 +49,8 @@ from repro.server.protocol import (
     DEADLINE_HEADER,
     HTTP_STATUS_FOR,
     MAX_BODY_BYTES,
+    IngestRequest,
+    IngestResponse,
     ProtocolError,
     QueryRequest,
     QueryResponse,
@@ -53,6 +58,7 @@ from repro.server.protocol import (
     response_from_result,
 )
 from repro.store.engine import QueryEngine
+from repro.store.segments import WritablePostingStore
 
 _REASONS = {
     200: "OK",
@@ -138,6 +144,8 @@ class StoreServer:
             max_pending=max_pending, retry_after_s=retry_after_s
         )
         self.metrics = ServerMetrics(engine.metrics, self.admission)
+        if isinstance(engine.store, WritablePostingStore):
+            self.metrics.attach_write_stats(engine.store.write_stats)
         self._executor = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-serve"
         )
@@ -277,6 +285,18 @@ class StoreServer:
                 self.metrics.record_response("bad_request")
                 return keep_alive
             await self._handle_query(headers, body, writer, keep_alive)
+            return keep_alive
+        if target == "/ingest":
+            if method != "POST":
+                await self._respond(
+                    writer,
+                    405,
+                    {"error": "use POST /ingest"},
+                    keep_alive=keep_alive,
+                )
+                self.metrics.record_response("bad_request")
+                return keep_alive
+            await self._handle_ingest(body, writer, keep_alive)
             return keep_alive
         if target == "/healthz" and method == "GET":
             await self._respond(
@@ -419,6 +439,115 @@ class StoreServer:
         self.admission.release()
         if not fut.cancelled():
             fut.exception()  # retrieve, so abandoned failures don't warn
+
+    # ------------------------------------------------------------------
+    # /ingest
+    # ------------------------------------------------------------------
+    @property
+    def writable_store(self) -> WritablePostingStore | None:
+        store = self.engine.store
+        return store if isinstance(store, WritablePostingStore) else None
+
+    async def _handle_ingest(
+        self,
+        body: bytes,
+        writer: asyncio.StreamWriter,
+        keep_alive: bool,
+    ) -> None:
+        """Apply one durable write batch through the admission gate.
+
+        Same accounting contract as ``/query``: a batch occupies one
+        admission slot from acceptance until its WAL fsync returns, so
+        write load and read load shed each other under pressure.  The
+        200 response is only written after the fsync — an acked batch
+        survives ``kill -9``.
+        """
+        loop = asyncio.get_running_loop()
+        t0 = loop.time()
+        store = self.writable_store
+        if store is None:
+            await self._respond(
+                writer,
+                400,
+                {"error": "store is read-only; start the server with --writable"},
+                keep_alive=keep_alive,
+            )
+            self.metrics.record_response("bad_request", (loop.time() - t0) * 1000.0)
+            return
+
+        if not self.admission.try_acquire():
+            await self._respond(
+                writer,
+                503,
+                {
+                    "error": "server at capacity, retry later",
+                    "in_flight": self.admission.pending,
+                },
+                keep_alive=keep_alive,
+                extra_headers=(
+                    ("Retry-After", f"{self.admission.retry_after_s:g}"),
+                ),
+            )
+            self.metrics.record_response("shed", (loop.time() - t0) * 1000.0)
+            return
+
+        try:
+            try:
+                parsed = json.loads(body.decode("utf-8")) if body else None
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise ProtocolError(f"request body is not valid JSON: {exc}") from exc
+            request = IngestRequest.from_body(parsed)
+        except ProtocolError as exc:
+            self.admission.release()
+            await self._respond(
+                writer, 400, {"error": str(exc)}, keep_alive=keep_alive
+            )
+            self.metrics.record_response("bad_request", (loop.time() - t0) * 1000.0)
+            return
+
+        try:
+            fut = loop.run_in_executor(
+                self._executor,
+                functools.partial(store.ingest_batch, request.ops),
+            )
+        except RuntimeError as exc:  # executor shut down mid-stop
+            self.admission.release()
+            await self._respond(writer, 500, {"error": str(exc)}, keep_alive=False)
+            self.metrics.record_response("error")
+            return
+        fut.add_done_callback(self._release_when_done)
+
+        try:
+            acked = await asyncio.shield(fut)
+            latency_ms = (loop.time() - t0) * 1000.0
+            response = IngestResponse(
+                status="ok",
+                acked_ops=acked,
+                latency_ms=latency_ms,
+                pending_ops=store.pending_ops(),
+                generation=store.generation,
+                batch_id=request.batch_id,
+            )
+            self.metrics.record_ingest(acked, latency_ms)
+        except Exception as exc:  # bad shard, closed store, WAL error
+            latency_ms = (loop.time() - t0) * 1000.0
+            response = IngestResponse(
+                status="failed",
+                acked_ops=0,
+                latency_ms=latency_ms,
+                pending_ops=0,
+                generation=store.generation,
+                error=f"{type(exc).__name__}: {exc}",
+                batch_id=request.batch_id,
+            )
+            self.metrics.record_ingest(0, latency_ms, failed=True)
+        code = 200 if response.status == "ok" else 500
+        await self._respond(
+            writer, code, response.to_body(), keep_alive=keep_alive
+        )
+        self.metrics.record_response(
+            f"ingest_{response.status}", (loop.time() - t0) * 1000.0
+        )
 
 
 # ----------------------------------------------------------------------

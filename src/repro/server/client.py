@@ -20,8 +20,15 @@ Retry policy — the part worth getting right:
 
 Backoff for attempt *n* (0-based) is
 ``min(cap, max(server Retry-After, base * 2**n))`` — capped exponential
-that never undercuts the server's own hint.  The sleep function is
-injectable so tests assert the exact sequence without waiting it out.
+that never undercuts the server's own hint.  A malformed or absent
+``Retry-After`` header falls back to the computed backoff (a proxy
+mangling a header must never crash the client).  The *sum* of backoff
+sleeps is additionally bounded by ``timeout_s``: each sleep is clamped
+to the remaining budget, and when the budget is exhausted the client
+stops retrying instead of backing off past the caller's deadline (each
+attempt itself is already bounded by the per-attempt socket timeout).
+The sleep function is injectable so tests assert the exact sequence
+without waiting it out.
 """
 
 from __future__ import annotations
@@ -35,6 +42,8 @@ from typing import Callable, Sequence
 from repro.core.errors import ReproError
 from repro.server.protocol import (
     DEADLINE_HEADER,
+    IngestRequest,
+    IngestResponse,
     ProtocolError,
     QueryRequest,
     QueryResponse,
@@ -124,6 +133,26 @@ class StoreClient:
             delay = max(delay, retry_after_s)
         return min(self.backoff_cap_s, delay)
 
+    @staticmethod
+    def _parse_retry_after(resp_headers: dict[str, str]) -> float | None:
+        """A usable ``Retry-After`` seconds value, or None.
+
+        Absent, non-numeric, non-finite, or negative values all mean
+        "no hint" — the computed exponential backoff applies.  (RFC 7231
+        also allows an HTTP-date here; those parse as "no hint" too and
+        fall back to the exponential schedule.)
+        """
+        raw = resp_headers.get("retry-after")
+        if raw is None:
+            return None
+        try:
+            value = float(raw)
+        except (TypeError, ValueError):
+            return None
+        if value != value or value in (float("inf"), float("-inf")) or value < 0:
+            return None
+        return value
+
     def _request(
         self,
         method: str,
@@ -131,10 +160,19 @@ class StoreClient:
         body: bytes | None = None,
         headers: dict[str, str] | None = None,
     ) -> tuple[int, dict[str, str], bytes]:
-        """One round trip with connection reuse, retry, and backoff."""
+        """One round trip with connection reuse, retry, and backoff.
+
+        The per-attempt socket timeout bounds each try; the sleep
+        budget below bounds the *sum* of the backoff sleeps between
+        tries, so backoff alone can never exceed ``timeout_s``.
+        """
         attempts = self.max_retries + 1
         last_failure = "no attempt made"
+        sleep_budget = self.timeout_s if self.timeout_s is not None else None
+        slept = 0.0
+        made = 0
         for attempt in range(attempts):
+            made = attempt + 1
             try:
                 conn = self._connection()
                 conn.request(method, path, body=body, headers=headers or {})
@@ -153,16 +191,21 @@ class StoreClient:
                 if resp.status != 503:
                     return resp.status, resp_headers, payload
                 last_failure = "503: server shed the request"
-                try:
-                    retry_after = float(resp_headers.get("retry-after", ""))
-                except ValueError:
-                    retry_after = None
+                retry_after = self._parse_retry_after(resp_headers)
             if attempt + 1 < attempts:
-                self._sleep(self.backoff_s(attempt, retry_after))
+                delay = self.backoff_s(attempt, retry_after)
+                if sleep_budget is not None:
+                    remaining = sleep_budget - slept
+                    if remaining <= 0:
+                        last_failure += " (retry budget exhausted)"
+                        break
+                    delay = min(delay, remaining)
+                self._sleep(delay)
+                slept += delay
         raise ServerUnavailableError(
-            f"{method} {path} failed after {attempts} attempts "
+            f"{method} {path} failed after {made} attempts "
             f"(last: {last_failure})",
-            attempts=attempts,
+            attempts=made,
         )
 
     def _request_json(
@@ -221,6 +264,44 @@ class StoreClient:
                 f"unexpected HTTP {status} from /query: {parsed!r}"
             )
         return QueryResponse.from_body(parsed)
+
+    def ingest(
+        self,
+        ops: Sequence[tuple[str, str, str, Sequence[int]]],
+        *,
+        batch_id: str = "",
+    ) -> IngestResponse:
+        """Send one durable write batch; returns the parsed response.
+
+        ``ops`` entries are ``(op, shard, term, values)`` with op
+        ``"add"`` or ``"del"``.  A 200 response means the batch is on
+        disk (WAL fsynced) server-side.  Retry caution: a batch whose
+        *response* was lost (timeout, dropped connection) may still have
+        been acked and applied — the retry re-applies it, which is
+        harmless here because both ops are idempotent set operations,
+        but callers tracking exact op counts should use ``batch_id`` to
+        correlate.
+        """
+        request = IngestRequest(
+            ops=tuple(
+                (kind, shard, term, [int(v) for v in values])
+                for kind, shard, term, values in ops
+            ),
+            batch_id=batch_id,
+        )
+        body = json.dumps(request.to_body()).encode("utf-8")
+        status, _resp_headers, parsed = self._request_json(
+            "POST", "/ingest", body, {"Content-Type": "application/json"}
+        )
+        if status == 400:
+            raise QueryRejectedError(
+                str(parsed.get("error", "server rejected the ingest batch"))
+            )
+        if status not in (200, 500):
+            raise ProtocolError(
+                f"unexpected HTTP {status} from /ingest: {parsed!r}"
+            )
+        return IngestResponse.from_body(parsed)
 
     def healthz(self) -> dict:
         status, _headers, parsed = self._request_json("GET", "/healthz")

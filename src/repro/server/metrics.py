@@ -42,9 +42,22 @@ class ServerMetrics:
         self.request_latency = LatencyHistogram()
         #: Same clock for shed requests (should stay ~0: shedding is cheap).
         self.shed_latency = LatencyHistogram()
+        #: Arrival → durable-ack latency of /ingest batches (WAL fsync
+        #: included — the figure that moves when compaction contends).
+        self.ingest_latency = LatencyHistogram()
+        self._ingest_batches = 0
+        self._ingest_ops = 0
+        self._ingest_failures = 0
+        #: Optional write-path counter source (a WritablePostingStore's
+        #: ``write_stats`` bound method); merged into snapshots when set.
+        self._write_stats = None
 
     def attach_admission(self, admission: AdmissionController) -> None:
         self._admission = admission
+
+    def attach_write_stats(self, write_stats) -> None:
+        """Register a zero-arg callable returning write-path counters."""
+        self._write_stats = write_stats
 
     # ------------------------------------------------------------------
     def record_response(self, status: str, latency_ms: float | None = None) -> None:
@@ -57,12 +70,29 @@ class ServerMetrics:
             else:
                 self.request_latency.record(latency_ms)
 
+    def record_ingest(
+        self, ops: int, latency_ms: float, *, failed: bool = False
+    ) -> None:
+        """Count one /ingest batch (acked or failed) and its latency."""
+        with self._lock:
+            self._ingest_batches += 1
+            if failed:
+                self._ingest_failures += 1
+            else:
+                self._ingest_ops += ops
+        self.ingest_latency.record(latency_ms)
+
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:
         """StoreMetrics snapshot plus the ``server`` section."""
         snap = self.store.snapshot()
         with self._lock:
             responses = dict(sorted(self._responses.items()))
+            ingest = {
+                "batches": self._ingest_batches,
+                "acked_ops": self._ingest_ops,
+                "failed_batches": self._ingest_failures,
+            }
         admission = (
             self._admission.counters() if self._admission is not None else None
         )
@@ -71,5 +101,9 @@ class ServerMetrics:
             "responses": responses,
             "request_latency": self.request_latency.as_dict(),
             "shed_latency": self.shed_latency.as_dict(),
+            "ingest": ingest,
+            "ingest_latency": self.ingest_latency.as_dict(),
         }
+        if self._write_stats is not None:
+            snap["write_path"] = self._write_stats()
         return snap

@@ -29,6 +29,20 @@ plus the decoded values)::
       "query_id": "q-17"
     }
 
+Ingest body (``POST /ingest``, writable stores only)::
+
+    {
+      "v": 1,
+      "ops": [{"op": "add", "shard": "s0", "term": "news", "values": [3, 17]},
+              {"op": "del", "shard": "s0", "term": "news", "values": [17]}],
+      "batch_id": "b-42"             # optional, echoed back
+    }
+
+Both bodies carry a versioned envelope: ``"v": 1`` today.  A request
+with an unknown major version is answered 400; a request with *no*
+``v`` field is accepted as version 1 during the legacy deprecation
+window (see docs/serving.md).
+
 The per-request deadline travels in the :data:`DEADLINE_HEADER` header
 (milliseconds); a shed request answers 503 with a ``Retry-After``
 header (seconds).
@@ -41,6 +55,7 @@ from dataclasses import dataclass, field
 from repro.core.errors import ReproError
 from repro.store.engine import QueryResult
 from repro.store.plan import Query, QueryNode, query_from_json
+from repro.store.wal import OP_ADD, OP_DELETE
 
 #: Client-requested deadline for one query, in milliseconds.
 DEADLINE_HEADER = "X-Repro-Deadline-Ms"
@@ -48,9 +63,32 @@ DEADLINE_HEADER = "X-Repro-Deadline-Ms"
 #: Upper bound on accepted request bodies (a query AST, not a payload).
 MAX_BODY_BYTES = 1 << 20
 
+#: Current wire-envelope major version, sent as ``"v"`` in request
+#: bodies.  Bodies without ``v`` are treated as version 1 while the
+#: pre-envelope clients age out (docs/serving.md documents the window).
+WIRE_VERSION = 1
+
 
 class ProtocolError(ReproError, ValueError):
     """A request the server cannot interpret (answered with HTTP 400)."""
+
+
+def check_envelope(body: object) -> None:
+    """Reject request bodies with an unknown wire-envelope version.
+
+    Raises :class:`ProtocolError` (→ HTTP 400) when ``body["v"]`` is
+    present but not an accepted major version.  Absent ``v`` passes —
+    the deprecation-window allowance for pre-envelope clients.
+    """
+    if not isinstance(body, dict):
+        return  # shape errors are reported by the request parser
+    version = body.get("v")
+    if version is None:
+        return
+    if not isinstance(version, int) or isinstance(version, bool) or version != WIRE_VERSION:
+        raise ProtocolError(
+            f"unsupported wire version {version!r}; this server speaks v{WIRE_VERSION}"
+        )
 
 
 @dataclass(frozen=True)
@@ -67,6 +105,7 @@ class QueryRequest:
         """Validate and parse a decoded JSON request body."""
         if not isinstance(body, dict):
             raise ProtocolError(f"request body must be a JSON object, got {type(body).__name__}")
+        check_envelope(body)
         if "query" not in body:
             raise ProtocolError("request body is missing 'query'")
         try:
@@ -90,7 +129,7 @@ class QueryRequest:
 
     def to_body(self) -> dict:
         """The JSON body the client sends."""
-        out: dict = {"query": self.query.to_json()}
+        out: dict = {"v": WIRE_VERSION, "query": self.query.to_json()}
         if self.shards is not None:
             out["shards"] = list(self.shards)
         if self.query_id:
@@ -162,6 +201,126 @@ class QueryResponse:
             degraded_terms=tuple(body.get("degraded_terms", ())),
             query_id=body.get("query_id", ""),
             detail=body.get("detail", {}),
+        )
+
+
+#: Cap on ops per ingest batch — one WAL sync covers the whole batch,
+#: so unbounded batches would stretch the acknowledgement barrier.
+MAX_INGEST_OPS = 10_000
+
+_INGEST_OPS = (OP_ADD, OP_DELETE)
+
+
+@dataclass(frozen=True)
+class IngestRequest:
+    """A parsed ``/ingest`` request body.
+
+    ``ops`` is a tuple of ``(op, shard, term, values)`` — the exact
+    shape :meth:`WritablePostingStore.ingest_batch` takes, so the
+    handler applies it without reshaping.
+    """
+
+    ops: tuple[tuple[str, str, str, list[int]], ...]
+    batch_id: str = ""
+
+    @classmethod
+    def from_body(cls, body: object) -> "IngestRequest":
+        if not isinstance(body, dict):
+            raise ProtocolError(f"request body must be a JSON object, got {type(body).__name__}")
+        check_envelope(body)
+        raw = body.get("ops")
+        if not isinstance(raw, list) or not raw:
+            raise ProtocolError("ingest body needs a non-empty 'ops' list")
+        if len(raw) > MAX_INGEST_OPS:
+            raise ProtocolError(
+                f"ingest batch of {len(raw)} ops exceeds the {MAX_INGEST_OPS} cap"
+            )
+        ops = []
+        for i, item in enumerate(raw):
+            if not isinstance(item, dict):
+                raise ProtocolError(f"ops[{i}] must be an object")
+            kind = item.get("op")
+            if kind not in _INGEST_OPS:
+                raise ProtocolError(
+                    f"ops[{i}].op must be one of {list(_INGEST_OPS)}, got {kind!r}"
+                )
+            shard = item.get("shard")
+            term = item.get("term")
+            if not isinstance(shard, str) or not shard:
+                raise ProtocolError(f"ops[{i}].shard must be a non-empty string")
+            if not isinstance(term, str) or not term:
+                raise ProtocolError(f"ops[{i}].term must be a non-empty string")
+            values = item.get("values")
+            if (
+                not isinstance(values, list)
+                or not values
+                or not all(isinstance(v, int) and not isinstance(v, bool) and v >= 0 for v in values)
+            ):
+                raise ProtocolError(
+                    f"ops[{i}].values must be a non-empty list of non-negative ints"
+                )
+            ops.append((kind, shard, term, values))
+        batch_id = body.get("batch_id", "")
+        if not isinstance(batch_id, str):
+            raise ProtocolError("'batch_id' must be a string")
+        return cls(ops=tuple(ops), batch_id=batch_id)
+
+    def to_body(self) -> dict:
+        out: dict = {
+            "v": WIRE_VERSION,
+            "ops": [
+                {"op": kind, "shard": shard, "term": term, "values": list(values)}
+                for kind, shard, term, values in self.ops
+            ],
+        }
+        if self.batch_id:
+            out["batch_id"] = self.batch_id
+        return out
+
+
+@dataclass(frozen=True)
+class IngestResponse:
+    """A parsed ``/ingest`` response body (both directions).
+
+    ``status == "ok"`` means the batch is *durable*: its WAL records
+    were fsynced before the response was written.
+    """
+
+    status: str
+    acked_ops: int
+    latency_ms: float
+    pending_ops: int = 0
+    generation: int = 0
+    error: str | None = None
+    batch_id: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_body(self) -> dict:
+        return {
+            "status": self.status,
+            "acked_ops": self.acked_ops,
+            "latency_ms": round(self.latency_ms, 4),
+            "pending_ops": self.pending_ops,
+            "generation": self.generation,
+            "error": self.error,
+            "batch_id": self.batch_id,
+        }
+
+    @classmethod
+    def from_body(cls, body: object) -> "IngestResponse":
+        if not isinstance(body, dict) or "status" not in body:
+            raise ProtocolError("malformed ingest response body")
+        return cls(
+            status=body["status"],
+            acked_ops=int(body.get("acked_ops", 0)),
+            latency_ms=float(body.get("latency_ms", 0.0)),
+            pending_ops=int(body.get("pending_ops", 0)),
+            generation=int(body.get("generation", 0)),
+            error=body.get("error"),
+            batch_id=body.get("batch_id", ""),
         )
 
 

@@ -16,7 +16,11 @@ system that *serves* them.  This package is that system's kernel:
   result partial instead of crashing the query);
 * :class:`StoreMetrics` — latency histograms, cache stats, per-codec
   decode counts, snapshot-able as JSON (also via
-  ``python -m repro.store --metrics``).
+  ``python -m repro.store --metrics``);
+* :class:`WritablePostingStore` — the mutable write path: acknowledged
+  ingest through a CRC-checked WAL into in-memory delta segments,
+  crash recovery by replay, and background compaction that re-runs
+  per-list codec selection (``docs/write_path.md``).
 
 Quickstart::
 
@@ -41,6 +45,7 @@ from repro.store.engine import QueryEngine, QueryResult
 from repro.store.errors import (
     DuplicateShardError,
     DuplicateTermError,
+    ManifestParamsError,
     ShardLoadError,
     StoreError,
     UnknownShardError,
@@ -58,11 +63,25 @@ from repro.store.plan import (
     query_from_json,
     query_terms,
 )
-from repro.store.store import PostingStore, Shard, resolve_codec
+from repro.store.segments import (
+    DeltaSegment,
+    WritablePostingStore,
+    WritableShard,
+)
+from repro.store.store import PostingStore, Shard, ShardState, resolve_codec
+from repro.store.wal import WalCorruptionError, WriteAheadLog, replay_wal
 
 __all__ = [
     "PostingStore",
     "Shard",
+    "ShardState",
+    "WritablePostingStore",
+    "WritableShard",
+    "DeltaSegment",
+    "WriteAheadLog",
+    "replay_wal",
+    "WalCorruptionError",
+    "ManifestParamsError",
     "resolve_codec",
     "DecodeCache",
     "CacheStats",

@@ -13,12 +13,25 @@ escalates any non-ok outcome to ``5`` — the same ok / partial /
 timed_out / failed taxonomy the HTTP server reports in its response
 ``status`` field.
 
+Two write-path subcommands ride alongside the flat demo CLI:
+
+``python -m repro.store ingest DIR`` streams a deterministic synthetic
+op stream (seeded — rerunning with the same flags regenerates the same
+ops) into a :class:`~repro.store.segments.WritablePostingStore`,
+printing one JSON line per *acked* batch — i.e. after the WAL fsync
+returned.  The crash-recovery suite SIGKILLs this process mid-run and
+uses those lines as the durability oracle: every op in a printed batch
+must survive replay.  ``python -m repro.store compact DIR`` runs one
+foreground compaction and prints the write-path counters.
+
 Examples::
 
     python -m repro.store --metrics
     python -m repro.store --codec WAH --shards 4 --queries 200 --workers 8
     python -m repro.store --explain
     python -m repro.store --timeout-ms 50 --strict   # non-zero on any degradation
+    python -m repro.store ingest /tmp/idx --batches 20 --seed 7
+    python -m repro.store compact /tmp/idx
 """
 
 from __future__ import annotations
@@ -26,6 +39,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from typing import Sequence
 
 import numpy as np
@@ -35,7 +49,9 @@ from repro.store.cache import DecodeCache
 from repro.store.engine import QueryEngine, QueryResult
 from repro.store.metrics import StoreMetrics
 from repro.store.plan import And, Or, Query, Term
+from repro.store.segments import WritablePostingStore
 from repro.store.store import PostingStore
+from repro.store.wal import OP_ADD, OP_DELETE
 
 #: Exit codes by worst batch outcome (0 = every query ok).
 EXIT_PARTIAL = 3
@@ -115,7 +131,137 @@ def sample_queries(
     return out
 
 
+# ----------------------------------------------------------------------
+# Write-path subcommands
+# ----------------------------------------------------------------------
+def synthetic_ops(
+    seed: int,
+    n_batches: int,
+    ops_per_batch: int,
+    shard: str = "s0",
+    n_terms: int = 16,
+    domain: int = 2**17,
+    delete_fraction: float = 0.2,
+) -> list[list[tuple[str, str, str, list[int]]]]:
+    """A deterministic batched op stream: same arguments, same ops.
+
+    The crash-recovery tests rely on this determinism — after a SIGKILL
+    they regenerate the stream, apply the prefix the WAL preserved, and
+    compare bit for bit against the recovered store.
+    """
+    rng = np.random.default_rng(seed)
+    batches: list[list[tuple[str, str, str, list[int]]]] = []
+    for _b in range(n_batches):
+        batch: list[tuple[str, str, str, list[int]]] = []
+        for _o in range(ops_per_batch):
+            kind = OP_DELETE if rng.random() < delete_fraction else OP_ADD
+            term = f"t{int(rng.integers(n_terms)):03d}"
+            n = int(rng.integers(1, 48))
+            values = sorted({int(v) for v in rng.integers(0, domain, size=n)})
+            batch.append((kind, shard, term, values))
+        batches.append(batch)
+    return batches
+
+
+def _ingest_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.store ingest",
+        description="Stream a deterministic synthetic op batch sequence "
+        "into a writable store; one JSON line per durably acked batch.",
+    )
+    parser.add_argument("directory", help="store directory (created if absent)")
+    parser.add_argument("--shard", default="s0", help="target shard name")
+    parser.add_argument(
+        "--codec", default="Roaring", help="codec for a newly created shard"
+    )
+    parser.add_argument(
+        "--universe", type=int, default=2**17, help="doc-id domain"
+    )
+    parser.add_argument("--terms", type=int, default=16, help="term-space size")
+    parser.add_argument("--batches", type=int, default=10)
+    parser.add_argument("--ops-per-batch", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=20170514)
+    parser.add_argument(
+        "--compact-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="run a foreground compaction after every N batches (0 = never)",
+    )
+    parser.add_argument(
+        "--sleep-ms",
+        type=float,
+        default=0.0,
+        help="pause between batches — widens the window a crash test "
+        "needs to land a SIGKILL mid-stream",
+    )
+    parser.add_argument(
+        "--no-close",
+        action="store_true",
+        help="exit without close(): skips the final compaction so the "
+        "next open exercises WAL replay",
+    )
+    args = parser.parse_args(argv)
+
+    store = WritablePostingStore.open(args.directory)
+    if args.shard not in store.shard_names():
+        store.create_shard(args.shard, codec=args.codec, universe=args.universe)
+    batches = synthetic_ops(
+        args.seed,
+        args.batches,
+        args.ops_per_batch,
+        shard=args.shard,
+        n_terms=args.terms,
+        domain=args.universe,
+    )
+    total = 0
+    for i, batch in enumerate(batches):
+        acked = store.ingest_batch(batch)
+        total += acked
+        # Printed strictly after ingest_batch returned, i.e. after the
+        # WAL fsync: each line is a durability promise the recovery
+        # tests hold the store to.
+        print(json.dumps({"batch": i, "acked_ops": acked}), flush=True)
+        if args.compact_every and (i + 1) % args.compact_every == 0:
+            store.compact()
+        if args.sleep_ms:
+            time.sleep(args.sleep_ms / 1000.0)
+    summary = {"done": True, "total_ops": total, **store.write_stats()}
+    if not args.no_close:
+        store.close()
+        summary["generation"] = store.generation
+    print(json.dumps(summary), flush=True)
+    return 0
+
+
+def _compact_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.store compact",
+        description="Replay the WAL, run one foreground compaction, and "
+        "print the write-path counters as JSON.",
+    )
+    parser.add_argument("directory", help="store directory")
+    parser.add_argument(
+        "--lenient",
+        action="store_true",
+        help="tolerate corrupt lists / WAL tails instead of failing",
+    )
+    args = parser.parse_args(argv)
+
+    store = WritablePostingStore.open(args.directory, strict=not args.lenient)
+    rewritten = store.compact()
+    stats = {"rewritten_terms": rewritten, **store.write_stats()}
+    store.close(compact=False)
+    print(json.dumps(stats, indent=1))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "ingest":
+        return _ingest_main(argv[1:])
+    if argv and argv[0] == "compact":
+        return _compact_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.store",
         description="Serve a randomized query batch from a synthetic "

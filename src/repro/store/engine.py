@@ -235,7 +235,13 @@ class QueryEngine:
         """Compiled per-shard plans for a query, without executing."""
         query = self._coerce(query)
         return [
-            compile_shard_plan(self.store, shard, query.expression).describe()
+            compile_shard_plan(
+                self.store,
+                shard,
+                query.expression,
+                cache=self.cache,
+                observer=self.metrics,
+            ).describe()
             for shard in self._target_shards(query)
         ]
 
@@ -276,7 +282,13 @@ class QueryEngine:
             if delay:
                 time.sleep(delay)
             try:
-                plan = compile_shard_plan(self.store, shard, query.expression)
+                plan = compile_shard_plan(
+                    self.store,
+                    shard,
+                    query.expression,
+                    cache=self.cache,
+                    observer=self.metrics,
+                )
                 arr = plan.execute(
                     cache=self.cache,
                     observer=self.metrics,

@@ -21,6 +21,25 @@ class DuplicateTermError(StoreError, ValueError):
     """A term was added twice to the same shard."""
 
 
+class ManifestParamsError(StoreError):
+    """A saved shard's codec configuration disagrees with the registry.
+
+    The manifest records each codec's full :meth:`params` at save time;
+    loading verifies those against how the running registry instantiates
+    the same codec name, so a store saved under one configuration (say,
+    a different block size) is never silently decoded under another.
+    """
+
+    def __init__(self, codec: str, saved: dict, actual: dict) -> None:
+        super().__init__(
+            f"codec {codec!r} was saved with params {saved!r} but the "
+            f"registry instantiates it with {actual!r}"
+        )
+        self.codec = codec
+        self.saved = saved
+        self.actual = actual
+
+
 class ShardLoadError(StoreError):
     """A persisted shard failed to load (corrupt file, bad manifest).
 

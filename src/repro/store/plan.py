@@ -41,6 +41,7 @@ import numpy as np
 from repro.core.base import (
     CompressedIntegerSet,
     IntegerSetCodec,
+    difference_sorted_arrays,
     intersect_sorted_arrays,
     union_sorted_arrays,
 )
@@ -243,9 +244,12 @@ class ShardPlan:
     keymap: dict[int, tuple[str, str, str]] = field(default_factory=dict)
     terms: list[str] = field(default_factory=list)
     missing_terms: list[str] = field(default_factory=list)
-    #: Terms this query needed that were lost to a lenient load — their
-    #: absence makes results *partial*, unlike never-indexed terms.
+    #: Terms this query needed that were lost to a lenient load or whose
+    #: pending-delta merge failed — their absence makes results
+    #: *partial*, unlike never-indexed terms.
     degraded_terms: list[str] = field(default_factory=list)
+    #: Terms served through a pending-write overlay (writable stores).
+    delta_terms: list[str] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     def execute(
@@ -390,22 +394,94 @@ class ShardPlan:
             "terms": self.terms,
             "missing_terms": self.missing_terms,
             "degraded_terms": self.degraded_terms,
+            "delta_terms": self.delta_terms,
             "plan": walk(self.expr) if self.expr is not None else {"op": "empty"},
         }
 
 
 def compile_shard_plan(
-    store: PostingStore, shard_name: str, expression: QueryLike
+    store: PostingStore,
+    shard_name: str,
+    expression: QueryLike,
+    *,
+    cache: ArrayCache | None = None,
+    observer: DecodeObserver | None = None,
 ) -> ShardPlan:
-    """Resolve a query (AST or legacy spelling) against one shard."""
+    """Resolve a query (AST or legacy spelling) against one shard.
+
+    The compile works against one atomic :meth:`Shard.read_state`
+    snapshot, so a concurrent compaction can swap the shard's postings
+    mid-query without the plan ever mixing generations.  Terms with
+    pending delta writes are materialised here — base list decoded
+    through *cache*/*observer* (keyed with the term's rewrite
+    generation), overlay applied, result wrapped as an uncompressed
+    ``"List"`` leaf — so the boolean evaluator below needs no delta
+    awareness.  An overlay that fails to merge degrades the term
+    (recorded in ``degraded_terms``) instead of failing the query.
+    """
     shard = store.shard(shard_name)
+    state = shard.read_state()
     plan = ShardPlan(shard=shard_name, expr=None)
     root = parse_query(expression)
     plan.terms = query_terms(root)
+    list_codec = get_codec("List") if state.deltas else None
+
+    def versioned(term: str, codec_name: str) -> tuple[str, str, str]:
+        # Compaction bumps a term's generation when it rewrites the
+        # list; baking it into the key's codec slot keeps keys 3-tuples
+        # (what DecodeCache.invalidate_shard expects) while guaranteeing
+        # a rewritten list never hits its predecessor's cached array.
+        ver = state.versions.get(term, 0)
+        return (shard_name, term, codec_name if not ver else f"{codec_name}#g{ver}")
+
+    def overlay_leaf(term: str, cs: CompressedIntegerSet | None) -> QueryExpression | None:
+        """Base ∖ dels ∪ adds, wrapped as an uncompressed-list leaf."""
+        if cs is not None:
+            inner = _unwrap(cs)
+            base = decode(
+                inner,
+                cache=cache,
+                key=versioned(term, inner.codec_name),
+                observer=observer,
+            )
+        else:
+            base = np.empty(0, dtype=np.int64)
+        merged = base
+        revs: list[str] = []
+        touched = False
+        for seg in state.deltas:
+            adds, dels, rev = seg.snapshot(term)
+            revs.append(str(rev))
+            if not (adds.size or dels.size):
+                continue
+            touched = True
+            if dels.size:
+                merged = difference_sorted_arrays(merged, dels)
+            if adds.size:
+                merged = union_sorted_arrays(merged, adds)
+        if not touched and cs is None:
+            return None  # overlay was all no-ops; term truly absent
+        assert list_codec is not None
+        leaf = list_codec.compress(merged)
+        ver = state.versions.get(term, 0)
+        plan.keymap[id(leaf)] = (
+            shard_name,
+            term,
+            f"List@g{ver}r{'.'.join(revs)}",
+        )
+        plan.delta_terms.append(term)
+        return ExprLeaf(leaf)
 
     def build(node: QueryNode) -> QueryExpression | None:
         if isinstance(node, Term):
-            cs = shard.postings.get(node.name)
+            cs = state.postings.get(node.name)
+            delta_touched = any(d.touches(node.name) for d in state.deltas)
+            if delta_touched:
+                try:
+                    return overlay_leaf(node.name, cs)
+                except Exception:
+                    plan.degraded_terms.append(node.name)
+                    return None
             if cs is None:
                 if node.name in shard.failed_terms:
                     plan.degraded_terms.append(node.name)
@@ -413,7 +489,7 @@ def compile_shard_plan(
                     plan.missing_terms.append(node.name)
                 return None
             inner = _unwrap(cs)
-            plan.keymap[id(inner)] = (shard_name, node.name, inner.codec_name)
+            plan.keymap[id(inner)] = versioned(node.name, inner.codec_name)
             return ExprLeaf(inner)
         parts = [build(c) for c in node.children]
         if isinstance(node, And):

@@ -21,7 +21,7 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+from typing import Iterable, Mapping, NamedTuple
 
 import numpy as np
 
@@ -33,12 +33,18 @@ from repro.core.serialize import dump, load
 from repro.store.errors import (
     DuplicateShardError,
     DuplicateTermError,
+    ManifestParamsError,
     ShardLoadError,
+    StoreError,
     UnknownShardError,
 )
 
 _MANIFEST = "manifest.json"
-_MANIFEST_VERSION = 1
+#: Version 2 added per-shard codec ``params`` (full configuration, not
+#: just the name) and the store ``generation`` counter; version-1
+#: manifests are still readable.
+_MANIFEST_VERSION = 2
+_READABLE_MANIFEST_VERSIONS = (1, 2)
 
 
 def resolve_codec(spec: str | IntegerSetCodec) -> IntegerSetCodec:
@@ -53,6 +59,24 @@ def resolve_codec(spec: str | IntegerSetCodec) -> IntegerSetCodec:
 
         return AdaptiveCodec()
     return get_codec(spec)
+
+
+class ShardState(NamedTuple):
+    """An atomic read snapshot of one shard.
+
+    ``versions`` maps term → monotonic rewrite counter (absent = 0);
+    compaction bumps it for every term it re-encodes, and the query plan
+    folds it into decode-cache keys so a rewritten list can never be
+    served from its predecessor's cached array.
+    """
+
+    postings: Mapping[str, CompressedIntegerSet]
+    #: Pending :class:`repro.store.segments.DeltaSegment`\ s, oldest first.
+    deltas: tuple
+    versions: Mapping[str, int]
+
+
+_NO_VERSIONS: Mapping[str, int] = {}
 
 
 @dataclass
@@ -102,14 +126,35 @@ class Shard:
     def n_postings(self) -> int:
         return sum(cs.n for cs in self.postings.values())
 
+    # ------------------------------------------------------------------
+    # Read-path hook the writable subclass overrides
+    # ------------------------------------------------------------------
+    def read_state(self) -> "ShardState":
+        """One consistent snapshot of (base postings, deltas, versions).
+
+        A read-only shard has no deltas and no rewrites, so the live
+        dict is the snapshot.  :class:`repro.store.segments.WritableShard`
+        overrides this to hand out the base map, the pending delta
+        chain, and the per-term rewrite counters *atomically* (one lock
+        covers the triple, and compaction swaps all three references
+        under the same lock) — which is what makes compaction invisible
+        to in-flight queries: a plan never mixes a new base with old
+        versions or vice versa.
+        """
+        return ShardState(self.postings, (), _NO_VERSIONS)
+
 
 class PostingStore:
     """Named shards plus the cache-aware decode path over them."""
 
     def __init__(self) -> None:
         self._shards: dict[str, Shard] = {}
-        #: Errors swallowed by the last lenient :meth:`load`.
-        self.load_errors: list[ShardLoadError] = []
+        #: Errors swallowed by the last lenient :meth:`load` (corrupt
+        #: lists as :class:`ShardLoadError`, codec-configuration drift as
+        #: :class:`ManifestParamsError`).
+        self.load_errors: list[StoreError] = []
+        #: Compaction generation recorded in the manifest (0 = as-built).
+        self.generation = 0
 
     # ------------------------------------------------------------------
     # Building
@@ -215,10 +260,16 @@ class PostingStore:
     # Persistence
     # ------------------------------------------------------------------
     def save(self, directory: str | os.PathLike) -> None:
-        """Write every shard under *directory* (manifest + .rpro files)."""
+        """Write every shard under *directory* (manifest + .rpro files).
+
+        The manifest (version 2) records each shard codec's full
+        configuration via :meth:`IntegerSetCodec.params`, and is written
+        atomically (temp file + rename) so a reader never observes a
+        half-written manifest.
+        """
         directory = os.fspath(directory)
         os.makedirs(directory, exist_ok=True)
-        manifest: dict = {"version": _MANIFEST_VERSION, "shards": {}}
+        manifest = manifest_dict(self)
         for shard in self._shards.values():
             shard_dir = os.path.join(directory, shard.name)
             os.makedirs(shard_dir, exist_ok=True)
@@ -227,13 +278,8 @@ class PostingStore:
                 rel = os.path.join(shard.name, f"{i:06d}.rpro")
                 dump(cs, os.path.join(directory, rel))
                 terms[term] = rel
-            manifest["shards"][shard.name] = {
-                "codec": shard.codec.name,
-                "universe": shard.universe,
-                "terms": terms,
-            }
-        with open(os.path.join(directory, _MANIFEST), "w") as fh:
-            json.dump(manifest, fh, indent=1, sort_keys=True)
+            manifest["shards"][shard.name]["terms"] = terms
+        write_manifest(directory, manifest)
 
     @classmethod
     def load(
@@ -244,31 +290,106 @@ class PostingStore:
         Args:
             directory: the save directory.
             strict: when True (default) the first corrupt list raises its
-                underlying error wrapped in :class:`ShardLoadError`; when
-                False corrupt lists are skipped, recorded in
-                ``store.load_errors`` and the owning shard's
-                ``failed_terms``, and loading continues.
+                underlying error wrapped in :class:`ShardLoadError`, and
+                a shard whose manifest codec params disagree with the
+                registry's configuration raises
+                :class:`ManifestParamsError`; when False both are
+                recorded in ``store.load_errors`` (corrupt lists also in
+                the owning shard's ``failed_terms``) and loading
+                continues.
         """
-        directory = os.fspath(directory)
-        with open(os.path.join(directory, _MANIFEST)) as fh:
-            manifest = json.load(fh)
-        if manifest.get("version") != _MANIFEST_VERSION:
-            raise ReproError(
-                f"unsupported store manifest version {manifest.get('version')!r}"
-            )
         store = cls()
-        for name, spec in manifest["shards"].items():
-            shard = store.create_shard(
-                name, codec=spec["codec"], universe=spec["universe"]
-            )
-            for term, rel in spec["terms"].items():
-                path = os.path.join(directory, rel)
-                try:
-                    shard.postings[term] = load(path)
-                except Exception as exc:
-                    err = ShardLoadError(name, term, path, exc)
-                    if strict:
-                        raise err from exc
-                    store.load_errors.append(err)
-                    shard.failed_terms[term] = str(exc)
+        load_manifest_into(store, directory, strict=strict)
         return store
+
+
+# ----------------------------------------------------------------------
+# Manifest plumbing (shared with repro.store.segments)
+# ----------------------------------------------------------------------
+def manifest_dict(store: PostingStore) -> dict:
+    """The store's manifest skeleton — per-shard ``terms`` filled by callers."""
+    return {
+        "version": _MANIFEST_VERSION,
+        "generation": store.generation,
+        "shards": {
+            shard.name: {
+                "codec": shard.codec.name,
+                "params": shard.codec.params(),
+                "universe": shard.universe,
+                "terms": {},
+            }
+            for shard in (store.shard(n) for n in store.shard_names())
+        },
+    }
+
+
+def write_manifest(directory: str, manifest: dict) -> None:
+    """Atomically replace the manifest: temp file + rename + dir fsync."""
+    from repro.store.wal import _fsync_dir
+
+    path = os.path.join(directory, _MANIFEST)
+    tmp = path + ".tmp"
+    with open(tmp, "w") as fh:
+        json.dump(manifest, fh, indent=1, sort_keys=True)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    _fsync_dir(directory)
+
+
+def manifest_path(directory: str | os.PathLike) -> str:
+    return os.path.join(os.fspath(directory), _MANIFEST)
+
+
+def verify_codec_params(
+    codec: IntegerSetCodec, manifest_params: Mapping | None
+) -> None:
+    """Raise :class:`ManifestParamsError` when the saved configuration
+    disagrees with how the registry (or Adaptive) instantiates the codec.
+
+    Version-1 manifests carry no params (``None``): nothing to verify.
+    """
+    if manifest_params is None:
+        return
+    actual = codec.params()
+    if dict(manifest_params) != actual:
+        raise ManifestParamsError(codec.name, dict(manifest_params), actual)
+
+
+def load_manifest_into(
+    store: PostingStore, directory: str | os.PathLike, *, strict: bool = True
+) -> dict:
+    """Populate *store* from a saved manifest; returns the manifest dict.
+
+    Shared by :meth:`PostingStore.load` and the writable store's
+    recovery path (which replays the WAL on top afterwards).
+    """
+    directory = os.fspath(directory)
+    with open(manifest_path(directory)) as fh:
+        manifest = json.load(fh)
+    if manifest.get("version") not in _READABLE_MANIFEST_VERSIONS:
+        raise ReproError(
+            f"unsupported store manifest version {manifest.get('version')!r}"
+        )
+    store.generation = int(manifest.get("generation", 0))
+    for name, spec in manifest["shards"].items():
+        shard = store.create_shard(
+            name, codec=spec["codec"], universe=spec["universe"]
+        )
+        try:
+            verify_codec_params(shard.codec, spec.get("params"))
+        except ManifestParamsError as err:
+            if strict:
+                raise
+            store.load_errors.append(err)
+        for term, rel in spec["terms"].items():
+            path = os.path.join(directory, rel)
+            try:
+                shard.postings[term] = load(path)
+            except Exception as exc:
+                err2 = ShardLoadError(name, term, path, exc)
+                if strict:
+                    raise err2 from exc
+                store.load_errors.append(err2)
+                shard.failed_terms[term] = str(exc)
+    return manifest

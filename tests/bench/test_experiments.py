@@ -27,6 +27,7 @@ def test_experiment_registry_covers_every_table_and_figure():
     assert set(ex.EXPERIMENTS) == {
         "fig3", "tab1", "tab2", "tab3", "fig4", "fig5", "fig6", "fig7",
         "fig8", "fig9", "fig10", "fig11", "fig12", "served", "closed_loop",
+        "churn",
     }
 
 
@@ -141,3 +142,26 @@ def test_closed_loop_experiment_rows():
     assert extra["p99_ms"] >= extra["p50_ms"] >= 0
     assert extra["throughput_qps"] > 0
     assert sum(extra["statuses"].values()) == 12
+
+
+def test_churn_experiment_rows():
+    rows = ex.churn(
+        codecs=["Roaring"],
+        n_terms=4,
+        list_size=200,
+        domain=2**12,
+        clients=2,
+        requests_per_client=4,
+        ingest_batches=4,
+        ops_per_batch=3,
+    )
+    assert codecs_of(rows) == {"Roaring"}
+    (row,) = rows
+    assert row.workload == "churn"
+    extra = row.extra
+    assert extra["acked_ops"] == 12  # 4 batches × 3 ops, all durable
+    assert extra["compactions"] >= 1  # at least the preload compaction
+    assert extra["query_p99_ms"] >= extra["query_p50_ms"] >= 0
+    assert extra["ingest_p99_ms"] >= extra["ingest_p50_ms"] >= 0
+    assert not extra["statuses"].get("failed")
+    assert row.space_bytes > 0

@@ -219,3 +219,87 @@ def test_connection_is_reused_across_requests(stub):
     first = client._conn
     client.query(Term("b"))
     assert client._conn is first
+
+
+# ----------------------------------------------------------------------
+# Retry-After robustness + retry wall-clock budget
+# ----------------------------------------------------------------------
+def test_malformed_retry_after_falls_back_to_computed_backoff(stub):
+    # A proxy mangling the header must never crash the client — the
+    # exponential schedule applies as if the hint were absent.
+    stub.plan = [("503", "soon"), ("200", _OK_BODY)]
+    sleeps = []
+    client = _client(
+        stub, max_retries=2, backoff_base_s=0.05, sleep=sleeps.append
+    )
+    assert client.query(Term("a")).status == "ok"
+    assert sleeps == [0.05]
+
+
+@pytest.mark.parametrize(
+    "raw,expected",
+    [
+        (None, None),
+        ("", None),
+        ("soon", None),
+        ("nan", None),
+        ("inf", None),
+        ("-inf", None),
+        ("-3", None),
+        ("0", 0.0),
+        ("2.5", 2.5),
+    ],
+)
+def test_parse_retry_after_rejects_unusable_values(raw, expected):
+    headers = {} if raw is None else {"retry-after": raw}
+    assert StoreClient._parse_retry_after(headers) == expected
+
+
+def test_retry_sleeps_are_clamped_to_the_timeout_budget(stub):
+    stub.plan = [("503", 0.3), ("503", 0.3), ("200", _OK_BODY)]
+    sleeps = []
+    client = _client(
+        stub,
+        timeout_s=0.5,
+        max_retries=3,
+        backoff_cap_s=120.0,
+        sleep=sleeps.append,
+    )
+    assert client.query(Term("a")).status == "ok"
+    # The first sleep honours the hint; the second is clamped to the
+    # remaining 0.5 − 0.3 budget, not the hinted 0.3.
+    assert sleeps == [0.3, pytest.approx(0.2)]
+    assert sum(sleeps) <= 0.5
+
+
+def test_giant_retry_after_hint_cannot_exceed_the_budget(stub):
+    stub.plan = [("503", 60), ("200", _OK_BODY)]
+    sleeps = []
+    client = _client(
+        stub,
+        timeout_s=0.5,
+        max_retries=3,
+        backoff_cap_s=120.0,
+        sleep=sleeps.append,
+    )
+    assert client.query(Term("a")).status == "ok"
+    assert sleeps == [0.5]  # 60s hint clamped to the whole budget
+
+
+def test_exhausted_retry_budget_stops_before_max_retries(stub):
+    stub.plan = [("503", None)] * 20
+    client = StoreClient(
+        "127.0.0.1",
+        stub.server_address[1],
+        timeout_s=0.2,
+        max_retries=15,
+        backoff_base_s=0.15,
+        backoff_cap_s=2.0,
+    )  # real sleep: the wall clock is the thing under test
+    t0 = time.monotonic()
+    with pytest.raises(ServerUnavailableError) as exc_info:
+        client.query(Term("a"))
+    elapsed = time.monotonic() - t0
+    assert "retry budget exhausted" in str(exc_info.value)
+    assert exc_info.value.attempts < 16
+    assert elapsed < 2.0  # nowhere near 15 * 0.15s of backoff

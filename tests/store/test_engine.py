@@ -81,10 +81,9 @@ def test_unknown_shard_name_degrades_not_raises():
 
 def test_invalid_grammar_fails_query_without_crashing():
     engine = QueryEngine(_sharded_store())
-    with pytest.warns(DeprecationWarning):
-        result = engine.execute(("xor", "even", "third"))
+    result = engine.execute({"op": "xor", "children": ["even", "third"]})
     assert result.values is None and not result.ok
-    assert "unknown query operator" in result.error
+    assert "not a query expression" in result.error
 
 
 def test_batch_preserves_order_and_results():
@@ -131,8 +130,7 @@ def test_batch_timeout_returns_abandoned_result():
 def test_metrics_recorded_per_outcome():
     engine = QueryEngine(_sharded_store())
     engine.execute("even")
-    with pytest.warns(DeprecationWarning):
-        engine.execute(("xor", "a"))  # failed
+    engine.execute({"op": "xor", "children": ["a"]})  # failed: not a query
     store = engine.store
     store.shard("s0").failed_terms["lost"] = "gone"
     engine.execute(Or("even", "lost"))  # partial via degraded term

@@ -46,6 +46,37 @@ def test_open_store_missing_directory_raises_os_error(tmp_path):
         api.open_store(str(tmp_path / "absent"))
 
 
+def test_open_store_writable_ingests_and_reopens_readonly(tmp_path):
+    writer = api.open_store(str(tmp_path / "idx"), writable=True)
+    assert isinstance(writer.store, api.WritablePostingStore)
+    writer.store.create_shard("s0", codec="Roaring", universe=1_000)
+    writer.store.append("s0", "news", [2, 4, 8])
+    writer.store.delete("s0", "news", [4])
+    assert writer.execute("news").values.tolist() == [2, 8]
+    writer.store.close()  # seals deltas into compressed segments
+
+    reader = api.open_store(str(tmp_path / "idx"))
+    assert not isinstance(reader.store, api.WritablePostingStore)
+    assert reader.execute("news").values.tolist() == [2, 8]
+
+
+def test_open_store_writable_with_background_compactor(tmp_path):
+    engine = api.open_store(
+        str(tmp_path / "idx"), writable=True, compact_interval_s=0.01
+    )
+    engine.store.create_shard("s0", codec="Adaptive", universe=1_000)
+    engine.store.append("s0", "t", list(range(100)))
+    for _ in range(500):
+        if engine.store.shard("s0").pending_ops() == 0:
+            break
+        import time
+
+        time.sleep(0.01)
+    assert engine.store.shard("s0").pending_ops() == 0
+    assert engine.execute("t").values.tolist() == list(range(100))
+    engine.store.close()
+
+
 def test_error_hierarchy_is_rooted_at_repro_error():
     for exc in (
         api.CodecError,
