@@ -32,13 +32,21 @@ def _make_engine(codec_name: str) -> QueryEngine:
     return QueryEngine(store, cache=DecodeCache(), cache_probes=True)
 
 
+def _chill(engine: QueryEngine) -> None:
+    """Make the next query fully cold: drop decoded leaves AND cached
+    plan results (a plan-cache hit would skip decode entirely)."""
+    engine.cache.clear()
+    if engine.plan_cache is not None:
+        engine.plan_cache.clear()
+
+
 @pytest.mark.parametrize("codec_name", CODECS)
 def test_warm_cache_speedup_at_least_5x(codec_name):
     """Acceptance bar: warm repeated query ≥ 5× faster than cold decode."""
     engine = _make_engine(codec_name)
 
     def cold():
-        engine.cache.clear()
+        _chill(engine)
         assert engine.execute("hot").ok
 
     def warm():
@@ -58,7 +66,7 @@ def test_cold_single_term_query(benchmark, codec_name):
     engine = _make_engine(codec_name)
 
     def cold():
-        engine.cache.clear()
+        _chill(engine)
         return engine.execute("hot")
 
     result = benchmark(cold)

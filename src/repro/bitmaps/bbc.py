@@ -21,6 +21,8 @@ paper measures (finding (6) in Section 5.1).
 
 from __future__ import annotations
 
+from typing import NamedTuple
+
 import numpy as np
 
 from repro.bitmaps.rle_base import RLEBitmapCodec
@@ -29,11 +31,41 @@ from repro.bitmaps.rle_ops import (
     FILL1,
     LITERAL,
     RunStream,
-    gather_ranges,
     merge_runs,
+    runstream_positions,
 )
+from repro.core.base import CompressedIntegerSet
 from repro.core.errors import CorruptPayloadError
 from repro.core.registry import register_codec
+
+
+class _BatchedParts(NamedTuple):
+    """Per-header fields extracted by the batched decoder.
+
+    ``fill_kind``/``fills``/``nlit``/``header`` are per header in stream
+    order; ``positions`` holds the header byte offsets and ``vb_len``
+    each header's VB-counter byte count.  Literal references and bytes
+    are derived lazily — the positions fast path never materialises the
+    literal byte array.
+    """
+
+    fill_kind: np.ndarray
+    fills: np.ndarray
+    nlit: np.ndarray
+    header: np.ndarray
+    data: np.ndarray
+    positions: np.ndarray
+    vb_len: np.ndarray
+
+    def lit_refs(self) -> tuple[np.ndarray, np.ndarray]:
+        """(starts, lengths) literal references of the emitting headers:
+        non-negative start = verbatim stretch in ``data``, negative
+        start = synthesised odd byte as ``-value - 1``."""
+        emit = self.nlit > 0
+        odd = _LUT_ODD[self.header]
+        lit_start = self.positions.astype(np.int64) + 1 + self.vb_len
+        starts = np.where(odd, -_LUT_ODD_VALUE[self.header] - 1, lit_start)
+        return starts[emit], self.nlit[emit]
 
 
 def _vb_from_list(dl: list[int], i: int, n: int) -> tuple[int, int]:
@@ -58,21 +90,75 @@ def _gather_literals(
     if not lit_refs:
         return np.empty(0, dtype=np.uint64)
     refs = np.array(lit_refs, dtype=np.int64)
-    starts, lengths = refs[:, 0], refs[:, 1]
+    return _gather_literal_ranges(data, refs[:, 0], refs[:, 1])
+
+
+def _gather_literal_ranges(
+    data: np.ndarray, starts: np.ndarray, lengths: np.ndarray
+) -> np.ndarray:
+    """Array-form literal gather shared by the scalar and batched decoders.
+
+    A non-negative start references *lengths* verbatim bytes in the
+    stream; a negative start encodes a synthesised odd byte as
+    ``-value - 1`` (length 1).
+    """
+    if starts.size == 0:
+        return np.empty(0, dtype=np.uint64)
     verbatim = starts >= 0
-    # Stream stretches gather in one pass; synthesised odd bytes are the
-    # encoded negatives.
+    # Stream stretches gather through a byte-membership mask; synthesised
+    # odd bytes are the encoded negatives.
     out_counts = np.where(verbatim, lengths, 1)
-    out = np.empty(int(out_counts.sum()), dtype=np.uint64)
-    dest_start = np.cumsum(out_counts) - out_counts
-    if verbatim.any():
-        idx = gather_ranges(starts[verbatim], lengths[verbatim])
-        dest = gather_ranges(dest_start[verbatim], lengths[verbatim])
-        out[dest] = data[idx].astype(np.uint64)
+    total = int(out_counts.sum())
+    out = np.empty(total, dtype=np.uint64)
     odd = ~verbatim
+    verb_dest: np.ndarray | slice
     if odd.any():
-        out[dest_start[odd]] = (-starts[odd] - 1).astype(np.uint64)
+        dest_start = np.cumsum(out_counts) - out_counts
+        odd_dest = dest_start[odd]
+        out[odd_dest] = (-starts[odd] - 1).astype(np.uint64)
+        verb_slot = np.ones(total, dtype=bool)
+        verb_slot[odd_dest] = False
+        verb_dest = verb_slot
+    else:
+        verb_dest = slice(None)
+    if verbatim.any():
+        vs, vl = starts[verbatim], lengths[verbatim]
+        # Each range is preceded by its own header byte, so the ranges are
+        # disjoint with distinct boundaries, strictly increasing, and in
+        # emission order: a +/-1 boundary array cumsums into the member
+        # mask and the masked bytes land in place without any index ramp.
+        delta = np.zeros(data.size + 1, dtype=np.int8)
+        delta[vs] = 1
+        delta[vs + vl] = -1
+        member = np.cumsum(delta[:-1], dtype=np.int8).astype(bool)
+        out[verb_dest] = data[member]
     return out
+
+
+# Per-header-byte field tables for the batched decoder: every field of a
+# BBC header (pattern class, polarity, short fill count, literal count,
+# odd-byte flag and value) is a pure function of the byte value, so one
+# 256-entry gather replaces a stack of masked where-passes.
+_H = np.arange(256, dtype=np.int64)
+_H_P1 = _H >= 0x80
+_H_P2 = (_H >= 0x40) & ~_H_P1
+_H_P3 = (_H >= 0x20) & (_H < 0x40)
+_H_P4 = (_H >= 0x10) & (_H < 0x20)
+_LUT_INVALID = _H < 0x10
+_LUT_HAS_VB = _H_P3 | _H_P4
+_LUT_ODD = _H_P2 | _H_P4
+_LUT_Q = np.where(_H_P1 | _H_P3, _H & 0x0F, 0).astype(np.int32)
+#: Header advance ignoring the VB counter: 1 + literal byte count.
+_LUT_STEP = (_LUT_Q + 1).astype(np.int32)
+_LUT_POLARITY = (
+    np.select([_H_P1, _H_P2, _H_P3], [_H >> 6, _H >> 5, _H >> 4], _H >> 3) & 1
+)
+_LUT_SHORT_FILLS = np.select([_H_P1, _H_P2], [(_H >> 4) & 3, (_H >> 3) & 3], 0)
+_LUT_FILL_KIND = np.where(_LUT_POLARITY == 1, FILL1, FILL0).astype(np.int8)
+_LUT_N_LIT = np.where(_LUT_ODD, 1, _LUT_Q).astype(np.int64)
+_LUT_ODD_VALUE = np.where(_LUT_POLARITY == 1, 0xFF, 0x00) ^ (
+    np.int64(1) << (_H & 7)
+)
 
 _MAX_SHORT_FILL = 3
 _MAX_LITERALS = 15
@@ -185,7 +271,44 @@ class BBCCodec(RLEBitmapCodec):
     # ------------------------------------------------------------------
     # Decode
     # ------------------------------------------------------------------
+    #: Below this payload size the batched decoder's fixed setup cost
+    #: (a dozen full-stream array passes) exceeds the scalar walk.
+    _VECTOR_MIN_BYTES = 64
+    #: VB counters longer than this would overflow the int64 shift in the
+    #: batched path; such streams (fills ≥ 2^56 groups) fall back.
+    _VECTOR_MAX_VB_BYTES = 9
+    #: Header-chain enumeration window: pointer doubling squares a jump
+    #: array log2(window) times per window instead of log2(#headers)
+    #: times over the full stream.
+    _CHAIN_WINDOW = 1 << 18
+    #: Once the doubled stride covers this many headers, frontier
+    #: stepping replaces further (whole-window) squaring rounds.
+    _CHAIN_STRIDE_CAP = 2048
+
     def _decode(self, payload: np.ndarray) -> RunStream:
+        if int(payload.size) < self._VECTOR_MIN_BYTES:
+            return self._decode_runs_scalar(payload)
+        parts = self._decode_parts_batched(payload)
+        if parts is None:
+            return self._decode_runs_scalar(payload)
+        return self._merge_parts(parts)
+
+    def decompress(self, cs: "CompressedIntegerSet") -> np.ndarray:
+        """Positions fast path: on the batched route the (fill, literal)
+        header fields convert straight to set-bit positions, skipping the
+        RunStream merge that only the boolean-op entry points need."""
+        payload = cs.payload
+        if int(payload.size) < self._VECTOR_MIN_BYTES:
+            return super().decompress(cs)
+        parts = self._decode_parts_batched(payload)
+        if parts is None:
+            return super().decompress(cs)
+        positions = self._positions_from_parts(parts)
+        if positions is None:
+            return runstream_positions(self._merge_parts(parts))
+        return positions
+
+    def _decode_runs_scalar(self, payload: np.ndarray) -> RunStream:
         # The header walk is sequential (each header determines how many
         # counter/literal bytes follow).  It runs over plain Python ints
         # and records *runs* — literal stretches as (start, length)
@@ -246,6 +369,231 @@ class BBCCodec(RLEBitmapCodec):
             np.array(counts, dtype=np.int64),
             literals,
         )
+
+    def _decode_parts_batched(
+        self, payload: np.ndarray
+    ) -> "_BatchedParts | None":
+        """Whole-stream header-field extraction as batched NumPy passes.
+
+        The stream is a chain of variable-length items, so the only
+        sequential dependency is *where each header sits*.  Every byte is
+        first decoded *as if* it were a header (pattern class, literal
+        count, VB-counter extent — all O(1) array passes), giving a
+        ``next[]`` successor array; the true header chain starting at
+        byte 0 is then enumerated by windowed binary lifting
+        (``jump = jump[jump]`` doubles the stride each round inside a
+        fixed-size window, one Python step carries the chain across the
+        boundary), and all field extraction and literal gathering happen
+        on the chain positions at once.  Returns None when the stream
+        needs the scalar walk; raises the scalar walk's corrupt-stream
+        errors at the earliest offending header.
+        """
+        data = payload
+        n = int(data.size)
+        if n >= 2**30:  # int32 chain arithmetic could overflow
+            return None
+        n32 = np.int32(n)
+        idx = np.arange(n, dtype=np.int32)
+
+        # First MSB-clear byte at or after j (n = none): VB terminators.
+        clear_or_n = np.where(data < 0x80, idx, n32)
+        nxt_clear = np.append(
+            np.minimum.accumulate(clear_or_n[::-1])[::-1], n32
+        )
+
+        # Classify every byte as a hypothetical header (LUT gathers).
+        has_vb = _LUT_HAS_VB[data]
+        # vb_end: terminator of a VB counter starting at i + 1.  A
+        # truncated counter (no terminator) yields vb_end = n, which
+        # pushes nxt past n and ends the chain right there — no
+        # explicit clamp needed.
+        vb_end = nxt_clear[1:]
+        vb_len = np.where(has_vb, vb_end - idx, 0)
+        nxt = idx + vb_len + _LUT_STEP[data]
+
+        # Enumerate the header chain from byte 0.  Within a window the
+        # lifting rounds double ``chain`` (the headers found so far) while
+        # squaring the window-clamped jump array; successors are strictly
+        # increasing, so steps clamped at the window edge end the local
+        # chain and the last header's true successor seeds the next
+        # window.  Cost: log2(window) passes per window versus
+        # log2(#headers) full-stream passes for unwindowed lifting.
+        window = self._CHAIN_WINDOW
+        cap = self._CHAIN_STRIDE_CAP
+        hs_parts = []
+        e = 0
+        while e < n:
+            e1 = min(e + window, n)
+            w32 = np.int32(e1 - e)
+            lj = np.append(np.minimum(nxt[e:e1] - np.int32(e), w32), w32)
+            chain = np.zeros(1, dtype=np.int32)
+            local_parts = [chain]
+            while True:
+                step = lj[chain]
+                step = step[step < w32]
+                if step.size:
+                    local_parts.append(step)
+                if step.size < chain.size:
+                    break
+                if chain.size >= cap:
+                    # Stride is long enough: stop squaring (each round
+                    # re-gathers the whole window) and roll the frontier
+                    # forward one cap-sized block of headers at a time.
+                    frontier = step
+                    while True:
+                        step = lj[frontier]
+                        step = step[step < w32]
+                        if step.size:
+                            local_parts.append(step)
+                        if step.size < frontier.size:
+                            break
+                        frontier = step
+                    break
+                chain = np.concatenate((chain, step))
+                lj = lj[lj]
+            local = np.concatenate(local_parts)
+            hs_parts.append(local + np.int32(e))
+            # Step-ordered chain: local[-1] is the window's last header.
+            e = int(nxt[e + int(local[-1])])
+        hs = np.concatenate(hs_parts)
+
+        # Validate the chain before trusting any extracted field, in the
+        # scalar walk's error order at the earliest offending header.
+        hb = data[hs]
+        invalid = _LUT_INVALID[hb]
+        vbm = _LUT_HAS_VB[hb]
+        trunc_h = vbm & (vb_end[hs] == n32)
+        over = nxt[hs] > n32
+        bad = invalid | trunc_h | over
+        if bad.any():
+            first = int(np.argmax(bad))
+            if invalid[first]:
+                raise CorruptPayloadError(
+                    f"invalid BBC header byte {int(hb[first]):#04x}"
+                )
+            if trunc_h[first]:
+                raise CorruptPayloadError("truncated VB counter")
+            raise CorruptPayloadError("BBC header overruns the byte stream")
+
+        hvb_len = vb_len[hs]
+        max_vb = int(hvb_len.max(initial=0))
+        if max_vb > self._VECTOR_MAX_VB_BYTES:
+            return None
+
+        fills = _LUT_SHORT_FILLS[hb]
+        if vbm.any():
+            starts_vb = hs[vbm] + np.int32(1)
+            lens_vb = hvb_len[vbm]
+            # Counters of <= 4 bytes (< 2^28) accumulate in int32.
+            acc = np.int32 if max_vb <= 4 else np.int64
+            # Every VB header has at least one counter byte.
+            value = data[starts_vb].astype(acc) & acc(0x7F)
+            for k in range(1, max_vb):
+                m = lens_vb > k
+                value[m] |= (
+                    data[starts_vb[m] + np.int32(k)].astype(acc) & acc(0x7F)
+                ) << acc(7 * k)
+            fills[vbm] = value
+
+        return _BatchedParts(
+            _LUT_FILL_KIND[hb], fills, _LUT_N_LIT[hb], hb, data, hs, hvb_len
+        )
+
+    def _merge_parts(self, parts: "_BatchedParts") -> RunStream:
+        """Canonical RunStream from batched header fields.
+
+        Every header owns a (fill, literal) slot pair in stream order;
+        compressing by the emit masks yields exactly the scalar walk's
+        run sequence, which merge_runs then canonicalises.
+        """
+        fill_kind, fills, nlit = parts.fill_kind, parts.fills, parts.nlit
+        n_headers = fills.size
+        kinds2 = np.empty((n_headers, 2), dtype=np.int8)
+        kinds2[:, 0] = fill_kind
+        kinds2[:, 1] = LITERAL
+        counts2 = np.empty((n_headers, 2), dtype=np.int64)
+        counts2[:, 0] = fills
+        counts2[:, 1] = nlit
+        emit = np.empty((n_headers, 2), dtype=bool)
+        emit[:, 0] = fills > 0
+        emit[:, 1] = nlit > 0
+        emit_flat = emit.reshape(-1)
+        kinds = kinds2.reshape(-1)[emit_flat]
+        counts = counts2.reshape(-1)[emit_flat]
+        starts, lengths = parts.lit_refs()
+        literals = _gather_literal_ranges(parts.data, starts, lengths)
+        return merge_runs(self.group_bits, kinds, counts, literals)
+
+    def _positions_from_parts(
+        self, parts: "_BatchedParts"
+    ) -> np.ndarray | None:
+        """Set-bit positions straight from batched header fields.
+
+        Fill groups of a 0-fill contribute nothing and literal groups
+        are single bytes, so the positions are the set bits of the
+        literal bytes offset by each byte's group index.  Streams with
+        1-fill runs (dense bitmaps) return None and take the RunStream
+        route; that also guarantees every odd byte here has polarity 0
+        (patterns 2/4 always carry a fill run), i.e. exactly one set bit
+        at the header's ``ooo`` field.
+
+        The verbatim bytes are never gathered: the payload is masked to
+        its literal bytes in place, unpacked once, and a payload-axis
+        cumsum assigns each byte its bitmap group index.
+        """
+        fill_kind, fills, nlit, header, data, hs, hvb_len = parts
+        if bool(((fill_kind == FILL1) & (fills > 0)).any()):
+            return None
+        emit = nlit > 0
+        # Group index of each emitting header's first literal group.
+        first_group = (np.cumsum(fills + nlit) - nlit)[emit]
+        odd = _LUT_ODD[header][emit]
+
+        # Odd bytes: one set bit at position ooo of the group.
+        pos_odd = (first_group[odd] << 3) + (header[emit][odd] & 7).astype(
+            np.int64
+        )
+
+        # Verbatim bytes: member mask + masked unpack + group cumsum.
+        verbatim = ~odd
+        vs = (hs.astype(np.int64) + 1 + hvb_len)[emit][verbatim]
+        vl = nlit[emit][verbatim]
+        fg_v = first_group[verbatim]
+        if vs.size:
+            delta8 = np.zeros(data.size + 1, dtype=np.int8)
+            delta8[vs] = 1
+            delta8[vs + vl] = -1
+            member = np.cumsum(delta8[:-1], dtype=np.int8).astype(bool)
+            # Group index at byte b of the payload (valid on literal
+            # bytes): +1 per literal byte, rebased at each stretch start
+            # to the stretch's first group.
+            delta = member.astype(np.int64)
+            boundary = np.empty(vs.size, dtype=np.int64)
+            boundary[0] = fg_v[0]
+            boundary[1:] = fg_v[1:] - fg_v[:-1] - vl[:-1] + 1
+            delta[vs] = boundary
+            group_at = np.cumsum(delta)
+            bits = np.unpackbits(data * member, bitorder="little")
+            flat = np.flatnonzero(bits)
+            pos_verb = (group_at[flat >> 3] << 3) + (flat & 7)
+        else:
+            pos_verb = np.empty(0, dtype=np.int64)
+        if pos_odd.size == 0:
+            return pos_verb
+        if pos_verb.size == 0:
+            return pos_odd
+        # Two-way merge of the sorted streams: each element's rank in
+        # the other stream is its displacement in the merged output.
+        out = np.empty(pos_verb.size + pos_odd.size, dtype=np.int64)
+        out[
+            np.arange(pos_verb.size, dtype=np.int64)
+            + np.searchsorted(pos_odd, pos_verb)
+        ] = pos_verb
+        out[
+            np.arange(pos_odd.size, dtype=np.int64)
+            + np.searchsorted(pos_verb, pos_odd)
+        ] = pos_odd
+        return out
 
     def _payload_bytes(self, payload: np.ndarray) -> int:
         return int(payload.nbytes)

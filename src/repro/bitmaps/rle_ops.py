@@ -208,8 +208,9 @@ def runstream_positions(rs: RunStream) -> np.ndarray:
         lit_starts = run_starts[lit_mask]
         # Group index of every literal word, in stream order.
         gidx = np.repeat(lit_starts, lit_counts) + _within_run_offsets(lit_counts)
-        bitmat = unpack_groups(rs.literals, gb).reshape(rs.literals.size, gb)
-        rows, cols = np.nonzero(bitmat)
+        flat = np.flatnonzero(unpack_groups(rs.literals, gb))
+        rows = flat // gb
+        cols = flat - rows * gb
         parts.append(gidx[rows] * gb + cols)
 
     if not parts:

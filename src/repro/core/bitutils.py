@@ -75,6 +75,15 @@ def unpack_groups(groups: np.ndarray, group_bits: int) -> np.ndarray:
     """Inverse of :func:`pack_groups`: expand group values into a bit array."""
     if groups.size == 0:
         return np.empty(0, dtype=bool)
+    if group_bits <= 8:
+        # Byte-sized groups (BBC) go through the unpackbits kernel rather
+        # than a 64-bit shift matrix — same little-endian bit order.
+        bits = np.unpackbits(
+            groups.astype(np.uint8)[:, None], axis=1, bitorder="little"
+        )
+        if group_bits < 8:
+            bits = np.ascontiguousarray(bits[:, :group_bits])
+        return bits.view(np.bool_).reshape(-1)
     g = groups.astype(np.uint64, copy=False)[:, None]
     return ((g >> np.arange(group_bits, dtype=np.uint64)) & np.uint64(1)).astype(
         bool

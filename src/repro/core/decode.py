@@ -50,6 +50,36 @@ class DecodeObserver(Protocol):
     def record_decode(self, codec_name: str, n: int, seconds: float) -> None: ...
 
 
+class FlightTicket(Protocol):
+    """One caller's handle on a coalesced decode (see
+    :class:`repro.store.cache.DecodeFlight`)."""
+
+    @property
+    def leader(self) -> bool: ...
+
+    def wait(self) -> Optional[np.ndarray]: ...
+
+    def complete(self, values: np.ndarray) -> None: ...
+
+    def abort(self) -> None: ...
+
+
+@runtime_checkable
+class CoalescingCache(Protocol):
+    """Cache that additionally supports single-flight decode coalescing.
+
+    ``begin_flight`` elects exactly one leader per key; concurrent
+    callers for the same key block on the leader's ticket and share its
+    result instead of stampeding the decoder.
+    """
+
+    def get(self, key: DecodeKey) -> Optional[np.ndarray]: ...
+
+    def put(self, key: DecodeKey, values: np.ndarray) -> None: ...
+
+    def begin_flight(self, key: DecodeKey) -> FlightTicket: ...
+
+
 def decode(
     cs: CompressedIntegerSet,
     *,
@@ -75,11 +105,44 @@ def decode(
     Returns:
         The decoded posting array.  Cached arrays are returned read-only
         (``writeable=False``) so one query cannot corrupt another's hit.
+
+    When *cache* implements :class:`CoalescingCache`, a miss enters the
+    single-flight path: one leader decodes while concurrent callers for
+    the same key wait on its ticket and share the result — each compressed
+    set decodes at most once per stampede.  A follower whose leader aborts
+    (or whose wait times out) falls back to decoding independently.
     """
     if cache is not None and key is not None:
         hit = cache.get(key)
         if hit is not None:
             return hit
+        if isinstance(cache, CoalescingCache):
+            flight = cache.begin_flight(key)
+            if flight.leader:
+                try:
+                    values = _decompress(cs, codec, observer)
+                except BaseException:
+                    flight.abort()
+                    raise
+                flight.complete(values)
+                return values
+            shared = flight.wait()
+            if shared is not None:
+                return shared
+            return _decompress(cs, codec, observer)
+    values = _decompress(cs, codec, observer)
+    if cache is not None and key is not None:
+        values.flags.writeable = False
+        cache.put(key, values)
+    return values
+
+
+def _decompress(
+    cs: CompressedIntegerSet,
+    codec: IntegerSetCodec | None,
+    observer: DecodeObserver | None,
+) -> np.ndarray:
+    """The actual decode, with observer accounting."""
     if codec is None:
         codec = get_codec(cs.codec_name)
     t0 = time.perf_counter()
@@ -87,7 +150,4 @@ def decode(
     elapsed = time.perf_counter() - t0
     if observer is not None:
         observer.record_decode(cs.codec_name, int(values.size), elapsed)
-    if cache is not None and key is not None:
-        values.flags.writeable = False
-        cache.put(key, values)
     return values

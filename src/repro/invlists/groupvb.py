@@ -25,6 +25,15 @@ from repro.invlists.blocks import BlockedInvListCodec
 
 _LEN_THRESHOLDS = (1 << 8, 1 << 16, 1 << 24)
 
+# Per-tag length LUT: row ``t`` holds the four 2-bit descriptors of header
+# byte ``t`` (value i uses ``1 + desc`` bytes), so decoding a header run is
+# one gather instead of four strided shift/mask passes.
+_TAG_DESC = (
+    (np.arange(256, dtype=np.int64)[:, None] >> np.array([0, 2, 4, 6])) & 3
+)
+_TAG_LENS = _TAG_DESC + 1
+_TAG_TOTAL = _TAG_LENS.sum(axis=1)
+
 
 @register_codec
 class GroupVBCodec(BlockedInvListCodec):
@@ -69,19 +78,15 @@ class GroupVBCodec(BlockedInvListCodec):
         self, stream: np.ndarray, offset: int, count: int
     ) -> np.ndarray:
         n_groups = (count + 3) // 4
-        headers = stream[offset : offset + n_groups].astype(np.int64)
+        headers = stream[offset : offset + n_groups]
         if headers.size < n_groups:
             raise CorruptPayloadError("GroupVB block header truncated")
-        desc = np.empty(n_groups * 4, dtype=np.int64)
-        desc[0::4] = headers & 3
-        desc[1::4] = (headers >> 2) & 3
-        desc[2::4] = (headers >> 4) & 3
-        desc[3::4] = (headers >> 6) & 3
-        lens = desc + 1
+        lens = _TAG_LENS[headers].reshape(-1)
         starts = np.cumsum(lens) - lens
+        total = int(_TAG_TOTAL[headers].sum())
         data_start = offset + n_groups
-        data = stream[data_start : data_start + int(lens.sum())].astype(np.int64)
-        if data.size < int(lens.sum()):
+        data = stream[data_start : data_start + total].astype(np.int64)
+        if data.size < total:
             raise CorruptPayloadError("GroupVB block data truncated")
         values = np.zeros(n_groups * 4, dtype=np.int64)
         for k in range(4):
@@ -109,12 +114,7 @@ class GroupVBCodec(BlockedInvListCodec):
         if nb_full:
             off = offsets[:nb_full, None]
             headers = stream[off + np.arange(groups_per_block)]
-            desc = np.empty((nb_full, bs), dtype=np.int64)
-            desc[:, 0::4] = headers & 3
-            desc[:, 1::4] = (headers >> 2) & 3
-            desc[:, 2::4] = (headers >> 4) & 3
-            desc[:, 3::4] = (headers >> 6) & 3
-            lens = desc + 1
+            lens = _TAG_LENS[headers].reshape(nb_full, bs)
             within = np.cumsum(lens, axis=1) - lens
             data_start = off + groups_per_block + within
             values = stream[data_start]  # first byte of every value

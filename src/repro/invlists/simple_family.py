@@ -64,6 +64,18 @@ _S16_SHIFTS = [
 _S16_WIDTHS = [np.array(widths, dtype=np.int64) for widths in S16_CASES]
 _S16_MAX = [np.int64(1) << w for w in _S16_WIDTHS]
 
+# Precomputed per-selector shift/mask tables: every decode (scalar and
+# batched) indexes these instead of rebuilding arange ramps per word.
+_S9_SHIFTS = [
+    width * np.arange(count, dtype=np.int64) for count, width in S9_CASES
+]
+_S9_MASKS = [np.int64((1 << width) - 1) for _, width in S9_CASES]
+_S16_MASKS = [(np.int64(1) << w) - 1 for w in _S16_WIDTHS]
+_S8B_SHIFTS = [
+    width * np.arange(count, dtype=np.int64) for count, width in S8B_PACK_CASES
+]
+_S8B_MASKS = [np.int64((1 << width) - 1) for _, width in S8B_PACK_CASES]
+
 _S9_COUNTS = np.array([c for c, _ in S9_CASES], dtype=np.int64)
 _S16_COUNTS = np.array([len(w) for w in S16_CASES], dtype=np.int64)
 _S8B_COUNTS = np.array(
@@ -101,34 +113,37 @@ def _decode_all_simple(
         widx = np.flatnonzero(sel == s)
         vals = extract(stream[widx], int(s))
         slots = np.arange(vals.shape[1], dtype=np.int64)
-        mask = slots < valid[widx][:, None]
-        positions = dest_start[widx][:, None] + slots
-        out[positions[mask]] = vals[mask]
+        # Only words clipped by a block tail need the masked scatter; the
+        # common full words write their whole rectangle directly.
+        clipped = valid[widx] < cnt[widx]
+        if clipped.any():
+            full = ~clipped
+            out[dest_start[widx[full]][:, None] + slots] = vals[full]
+            cw = widx[clipped]
+            mask = slots < valid[cw][:, None]
+            out[(dest_start[cw][:, None] + slots)[mask]] = vals[clipped][mask]
+        else:
+            out[dest_start[widx][:, None] + slots] = vals
     return out
 
 
 def _s9_extract(words: np.ndarray, selector: int) -> np.ndarray:
-    count, width = S9_CASES[selector]
     payload = (words & np.uint32((1 << 28) - 1)).astype(np.int64)
-    shifts = width * np.arange(count, dtype=np.int64)
-    return (payload[:, None] >> shifts) & ((1 << width) - 1)
+    return (payload[:, None] >> _S9_SHIFTS[selector]) & _S9_MASKS[selector]
 
 
 def _s16_extract(words: np.ndarray, selector: int) -> np.ndarray:
-    widths = _S16_WIDTHS[selector]
     payload = (words & np.uint32((1 << 28) - 1)).astype(np.int64)
-    return (payload[:, None] >> _S16_SHIFTS[selector]) & (
-        (np.int64(1) << widths) - 1
-    )
+    return (payload[:, None] >> _S16_SHIFTS[selector]) & _S16_MASKS[selector]
 
 
 def _s8b_extract(words: np.ndarray, selector: int) -> np.ndarray:
     if selector < 2:
         return np.ones((words.size, S8B_RUN_CASES[selector]), dtype=np.int64)
-    count, width = S8B_PACK_CASES[selector - 2]
     payload = (words & np.uint64((1 << 60) - 1)).astype(np.int64)
-    shifts = width * np.arange(count, dtype=np.int64)
-    return (payload[:, None] >> shifts) & ((1 << width) - 1)
+    return (payload[:, None] >> _S8B_SHIFTS[selector - 2]) & _S8B_MASKS[
+        selector - 2
+    ]
 
 
 # ----------------------------------------------------------------------
@@ -169,11 +184,12 @@ def s9_decode(words: np.ndarray, count: int) -> np.ndarray:
         if pos >= count:
             break
         word = int(word)
-        c, width = S9_CASES[word >> 28]
-        take = min(c, count - pos)
+        selector = word >> 28
+        take = min(S9_CASES[selector][0], count - pos)
         payload = word & ((1 << 28) - 1)
-        shifts = width * np.arange(take, dtype=np.int64)
-        out[pos : pos + take] = (payload >> shifts) & ((1 << width) - 1)
+        out[pos : pos + take] = (payload >> _S9_SHIFTS[selector][:take]) & (
+            _S9_MASKS[selector]
+        )
         pos += take
     if pos < count:
         raise CorruptPayloadError("Simple9 stream ended early")
@@ -231,11 +247,10 @@ def s16_decode(words: np.ndarray, count: int) -> np.ndarray:
             break
         word = int(word)
         selector = word >> 28
-        widths = _S16_WIDTHS[selector]
-        take = min(widths.size, count - pos)
+        take = min(_S16_WIDTHS[selector].size, count - pos)
         payload = word & ((1 << 28) - 1)
         out[pos : pos + take] = (payload >> _S16_SHIFTS[selector][:take]) & (
-            (np.int64(1) << widths[:take]) - 1
+            _S16_MASKS[selector][:take]
         )
         pos += take
     if pos < count:
@@ -307,11 +322,11 @@ def s8b_decode(words: np.ndarray, count: int) -> np.ndarray:
             out[pos : pos + take] = 1
             pos += take
             continue
-        c, width = S8B_PACK_CASES[selector - 2]
-        take = min(c, count - pos)
+        take = min(S8B_PACK_CASES[selector - 2][0], count - pos)
         payload = word & ((1 << 60) - 1)
-        shifts = width * np.arange(take, dtype=np.int64)
-        out[pos : pos + take] = (payload >> shifts) & ((1 << width) - 1)
+        out[pos : pos + take] = (
+            payload >> _S8B_SHIFTS[selector - 2][:take]
+        ) & _S8B_MASKS[selector - 2]
         pos += take
     if pos < count:
         raise CorruptPayloadError("Simple8b stream ended early")

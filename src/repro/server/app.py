@@ -176,6 +176,7 @@ class StoreServer:
         for writer in list(self._writers):
             writer.close()
         self._executor.shutdown(wait=False, cancel_futures=True)
+        self.engine.close()
 
     # ------------------------------------------------------------------
     # HTTP plumbing

@@ -40,7 +40,12 @@ but emits a ``DeprecationWarning``.  The network layer over this
 package lives in :mod:`repro.server`.
 """
 
-from repro.store.cache import CacheStats, DecodeCache
+from repro.store.cache import (
+    CacheStats,
+    DecodeCache,
+    DecodeFlight,
+    PlanResultCache,
+)
 from repro.store.engine import QueryEngine, QueryResult
 from repro.store.errors import (
     DuplicateShardError,
@@ -58,6 +63,8 @@ from repro.store.plan import (
     QueryNode,
     ShardPlan,
     Term,
+    canonical_key,
+    canonicalize,
     compile_shard_plan,
     parse_query,
     query_from_json,
@@ -84,6 +91,8 @@ __all__ = [
     "ManifestParamsError",
     "resolve_codec",
     "DecodeCache",
+    "DecodeFlight",
+    "PlanResultCache",
     "CacheStats",
     "Query",
     "Term",
@@ -91,6 +100,8 @@ __all__ = [
     "Or",
     "QueryNode",
     "parse_query",
+    "canonical_key",
+    "canonicalize",
     "query_from_json",
     "ShardPlan",
     "compile_shard_plan",

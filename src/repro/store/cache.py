@@ -11,6 +11,13 @@ Bounded two ways: entry count and total bytes, evicting least-recently
 used until both bounds hold.  All operations are thread-safe (the query
 engine hits the cache from its worker pool) and counted: hits, misses,
 evictions, and insertions feed ``repro.store.metrics``.
+
+The cache also implements *single-flight* decode coalescing: when many
+threads miss on the same cold key at once, :meth:`DecodeCache.begin_flight`
+elects exactly one leader to run the decode while the rest block on the
+flight's latch and share the leader's result — the thundering-herd
+pattern Roaring-style serving systems guard against, since a stampede of
+identical decodes multiplies both latency and peak memory by the fan-in.
 """
 
 from __future__ import annotations
@@ -27,6 +34,59 @@ from repro.core.decode import DecodeKey
 DEFAULT_MAX_ENTRIES = 1024
 DEFAULT_MAX_BYTES = 256 * 1024 * 1024
 
+#: How long a coalesced follower waits on the leader's decode before
+#: giving up and decoding independently.  Generous: a decode that takes
+#: longer than this is pathological, and the fallback stays correct.
+DEFAULT_FLIGHT_WAIT_SECONDS = 60.0
+
+
+class _FlightState:
+    """Latch + result slot shared by every ticket of one flight."""
+
+    __slots__ = ("event", "value")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.value: np.ndarray | None = None
+
+
+class DecodeFlight:
+    """Per-caller ticket for one in-flight decode of a key.
+
+    Exactly one ticket per key has ``leader=True``; that caller must run
+    the decode and finish with :meth:`complete` (publish + cache insert)
+    or :meth:`abort` (wake followers empty-handed, e.g. on exception).
+    Followers call :meth:`wait`, which returns the leader's array or
+    ``None`` when the leader aborted or the wait timed out.
+    """
+
+    __slots__ = ("key", "leader", "_cache", "_state", "_timeout")
+
+    def __init__(
+        self,
+        key: DecodeKey,
+        leader: bool,
+        cache: "DecodeCache",
+        state: _FlightState,
+        timeout: float,
+    ) -> None:
+        self.key = key
+        self.leader = leader
+        self._cache = cache
+        self._state = state
+        self._timeout = timeout
+
+    def wait(self) -> np.ndarray | None:
+        if not self._state.event.wait(self._timeout):
+            return None
+        return self._state.value
+
+    def complete(self, values: np.ndarray) -> None:
+        self._cache._finish_flight(self.key, self._state, values)
+
+    def abort(self) -> None:
+        self._cache._finish_flight(self.key, self._state, None)
+
 
 @dataclass(frozen=True)
 class CacheStats:
@@ -40,6 +100,11 @@ class CacheStats:
     bytes: int
     max_entries: int
     max_bytes: int
+    #: Single-flight counters: decodes led, follower joins that shared a
+    #: leader's result, and flights that ended in an abort.
+    flights: int = 0
+    coalesced: int = 0
+    flight_aborts: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -57,6 +122,9 @@ class CacheStats:
             "bytes": self.bytes,
             "max_entries": self.max_entries,
             "max_bytes": self.max_bytes,
+            "flights": self.flights,
+            "coalesced": self.coalesced,
+            "flight_aborts": self.flight_aborts,
         }
 
 
@@ -71,6 +139,7 @@ class DecodeCache:
         self,
         max_entries: int = DEFAULT_MAX_ENTRIES,
         max_bytes: int = DEFAULT_MAX_BYTES,
+        flight_wait_seconds: float = DEFAULT_FLIGHT_WAIT_SECONDS,
     ) -> None:
         if max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
@@ -78,6 +147,7 @@ class DecodeCache:
             raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
         self.max_entries = max_entries
         self.max_bytes = max_bytes
+        self.flight_wait_seconds = flight_wait_seconds
         self._data: OrderedDict[DecodeKey, np.ndarray] = OrderedDict()
         self._bytes = 0
         self._lock = threading.Lock()
@@ -85,6 +155,10 @@ class DecodeCache:
         self._misses = 0
         self._evictions = 0
         self._insertions = 0
+        self._flights_live: dict[DecodeKey, _FlightState] = {}
+        self._flights = 0
+        self._coalesced = 0
+        self._flight_aborts = 0
 
     # ------------------------------------------------------------------
     # ArrayCache protocol
@@ -117,6 +191,55 @@ class DecodeCache:
                 _, evicted = self._data.popitem(last=False)
                 self._bytes -= int(evicted.nbytes)
                 self._evictions += 1
+
+    # ------------------------------------------------------------------
+    # Single-flight coalescing
+    # ------------------------------------------------------------------
+    def begin_flight(self, key: DecodeKey) -> DecodeFlight:
+        """Join or start the flight for *key*.
+
+        Re-checks the cache under the lock (another flight may have
+        published between the caller's miss and this call): a fresh hit
+        comes back as an already-resolved follower ticket.  Otherwise the
+        first caller per key becomes the leader; everyone else gets a
+        follower ticket on the same latch.
+        """
+        with self._lock:
+            arr = self._data.get(key)
+            if arr is not None:
+                self._data.move_to_end(key)
+                self._hits += 1
+                state = _FlightState()
+                state.value = arr
+                state.event.set()
+                return DecodeFlight(key, False, self, state, 0.0)
+            state_or_none = self._flights_live.get(key)
+            if state_or_none is not None:
+                self._coalesced += 1
+                return DecodeFlight(
+                    key, False, self, state_or_none, self.flight_wait_seconds
+                )
+            state = _FlightState()
+            self._flights_live[key] = state
+            self._flights += 1
+            return DecodeFlight(key, True, self, state, self.flight_wait_seconds)
+
+    def _finish_flight(
+        self, key: DecodeKey, state: _FlightState, values: np.ndarray | None
+    ) -> None:
+        """Publish a leader's result (or abort) and wake the followers."""
+        if values is not None:
+            # Freeze before distribution: followers share this instance
+            # even when it is too large for the cache to retain.
+            values.flags.writeable = False
+            self.put(key, values)
+        with self._lock:
+            if self._flights_live.get(key) is state:
+                del self._flights_live[key]
+            if values is None:
+                self._flight_aborts += 1
+        state.value = values
+        state.event.set()
 
     # ------------------------------------------------------------------
     # Management
@@ -166,4 +289,37 @@ class DecodeCache:
                 bytes=self._bytes,
                 max_entries=self.max_entries,
                 max_bytes=self.max_bytes,
+                flights=self._flights,
+                coalesced=self._coalesced,
+                flight_aborts=self._flight_aborts,
             )
+
+
+#: Plan-result cache defaults: result arrays are usually far smaller than
+#: the decoded leaves that produce them, so the byte budget is modest.
+DEFAULT_PLAN_MAX_ENTRIES = 512
+DEFAULT_PLAN_MAX_BYTES = 64 * 1024 * 1024
+
+
+class PlanResultCache(DecodeCache):
+    """LRU of fully-evaluated per-shard query results.
+
+    Keys are ``(canonical plan, shard, store version)`` tuples built by
+    the query engine (:func:`repro.store.plan.canonical_key` plus
+    :meth:`repro.store.store.PostingStore.read_version`).  Because the
+    store version is *inside* the key, ingest and compaction invalidate
+    the cache for free: they move the version, so every older entry is
+    simply never looked up again and ages out of the LRU.
+
+    The mechanics (bounded LRU of arrays, thread safety, stats,
+    single-flight) are exactly :class:`DecodeCache`; the subclass exists
+    so the two caches are separately sized and separately observable.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = DEFAULT_PLAN_MAX_ENTRIES,
+        max_bytes: int = DEFAULT_PLAN_MAX_BYTES,
+        flight_wait_seconds: float = DEFAULT_FLIGHT_WAIT_SECONDS,
+    ) -> None:
+        super().__init__(max_entries, max_bytes, flight_wait_seconds)

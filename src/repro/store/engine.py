@@ -23,8 +23,9 @@ Failure policy (the "graceful degradation" contract):
 
 from __future__ import annotations
 
+import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import Future, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field, replace
 from typing import Mapping, Sequence
@@ -32,12 +33,14 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from repro.core.base import union_sorted_arrays
-from repro.store.cache import DecodeCache
+from repro.store.cache import DecodeCache, PlanResultCache
 from repro.store.metrics import StoreMetrics
 from repro.store.plan import (
     Query,
     QueryLike,
     ShardPlan,
+    canonical_key,
+    canonicalize,
     compile_shard_plan,
     parse_query,
 )
@@ -105,6 +108,10 @@ class QueryEngine:
         store: the posting store to serve from.
         cache: decode cache shared by all workers; pass ``None`` to
             serve uncached (every leaf decode pays full price).
+        plan_cache: generational plan-result cache.  When omitted, one is
+            created whenever *cache* is present (a cached engine caches
+            whole results too); pass an explicit instance to size it, or
+            construct the engine uncached to disable both layers.
         metrics: observability sink; created internally when omitted so
             ``engine.metrics.snapshot()`` always works.
         max_workers: batch worker-pool width.
@@ -125,6 +132,7 @@ class QueryEngine:
         store: PostingStore,
         *,
         cache: DecodeCache | None = None,
+        plan_cache: PlanResultCache | None = None,
         metrics: StoreMetrics | None = None,
         max_workers: int = DEFAULT_WORKERS,
         timeout_s: float | None = None,
@@ -135,13 +143,54 @@ class QueryEngine:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
         self.store = store
         self.cache = cache
+        if plan_cache is None and cache is not None:
+            plan_cache = PlanResultCache()
+        self.plan_cache = plan_cache
         self.metrics = metrics if metrics is not None else StoreMetrics()
         if self.cache is not None:
             self.metrics.attach_cache(self.cache)
+        if self.plan_cache is not None:
+            self.metrics.attach_plan_cache(self.plan_cache)
         self.max_workers = max_workers
         self.timeout_s = timeout_s
         self.cache_probes = cache_probes
         self.shard_delays = dict(shard_delays) if shard_delays else {}
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Worker-pool lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        """The persistent batch pool, created on first use.
+
+        One pool serves every ``execute_batch`` call for the engine's
+        lifetime (spinning up threads per call costs more than small
+        batches themselves); :meth:`close` tears it down, after which the
+        next batch lazily builds a fresh one.
+        """
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.max_workers,
+                    thread_name_prefix="repro-engine",
+                )
+            return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool; running queries finish, queued work
+        is cancelled.  Idempotent, and the engine stays usable — a later
+        batch recreates the pool."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self) -> "QueryEngine":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     def execute(
@@ -188,7 +237,14 @@ class QueryEngine:
     def execute_batch(
         self, queries: Sequence[Query | QueryLike]
     ) -> list[QueryResult]:
-        """Run a batch on the worker pool, preserving input order.
+        """Run a batch on the persistent worker pool, preserving input
+        order.
+
+        Queries that are the same work — equal canonical expression (see
+        :func:`repro.store.plan.canonicalize`) over the same shard set —
+        are coalesced: one execution runs, and every duplicate receives a
+        copy of its result under its own ``query_id``.  Each duplicate is
+        still recorded in metrics, so observed load matches offered load.
 
         Every query gets its own deadline.  If a worker overruns it
         anyway (deadlines are checked between shards, and a single
@@ -197,14 +253,30 @@ class QueryEngine:
         result; the worker's eventual output is discarded.
         """
         coerced = [self._coerce(q) for q in queries]
-        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
-            t0 = time.perf_counter()
-            futures = [pool.submit(self.execute, q) for q in coerced]
-            results: list[QueryResult] = []
-            for query, future in zip(coerced, futures):
+        pool = self._ensure_pool()
+        t0 = time.perf_counter()
+        # Dedupe: one submitted execution per distinct (canonical
+        # expression, shard set); `assignment` maps each input query to
+        # its future.
+        futures: list[Future[QueryResult]] = []
+        assignment: list[int] = []
+        seen: dict[tuple[str, tuple[str, ...] | None], int] = {}
+        for query in coerced:
+            work = (canonical_key(canonicalize(query.expression)), query.shards)
+            idx = seen.get(work)
+            if idx is None:
+                idx = len(futures)
+                futures.append(pool.submit(self.execute, query))
+                seen[work] = idx
+            assignment.append(idx)
+        collected: dict[int, QueryResult] = {}
+        results: list[QueryResult] = []
+        for query, idx in zip(coerced, assignment):
+            primary = collected.get(idx)
+            if primary is None:
                 try:
                     if self.timeout_s is None:
-                        results.append(future.result())
+                        primary = futures[idx].result()
                     else:
                         # Grace factor: workers start staggered, so allow
                         # each future the full per-query budget twice
@@ -212,22 +284,35 @@ class QueryEngine:
                         remaining = max(
                             0.05, 2 * self.timeout_s - (time.perf_counter() - t0)
                         )
-                        results.append(future.result(timeout=remaining))
+                        primary = futures[idx].result(timeout=remaining)
                 except FutureTimeoutError:
                     latency_ms = (time.perf_counter() - t0) * 1000.0
                     self.metrics.record_query(
                         latency_ms, partial=True, timed_out=True
                     )
-                    results.append(
-                        QueryResult(
-                            query_id=query.query_id,
-                            values=None,
-                            latency_ms=latency_ms,
-                            partial=True,
-                            timed_out=True,
-                            error="query abandoned after deadline",
-                        )
+                    primary = QueryResult(
+                        query_id=query.query_id,
+                        values=None,
+                        latency_ms=latency_ms,
+                        partial=True,
+                        timed_out=True,
+                        error="query abandoned after deadline",
                     )
+                collected[idx] = primary
+                results.append(
+                    primary
+                    if primary.query_id == query.query_id
+                    else replace(primary, query_id=query.query_id)
+                )
+                continue
+            # Coalesced duplicate: same outcome, own id, own metrics row.
+            self.metrics.record_query(
+                primary.latency_ms,
+                partial=primary.partial,
+                failed=primary.error is not None and primary.values is None,
+                timed_out=primary.timed_out,
+            )
+            results.append(replace(primary, query_id=query.query_id))
         return results
 
     # ------------------------------------------------------------------
@@ -273,7 +358,17 @@ class QueryEngine:
         plans: list[ShardPlan] = []
         first_error: str | None = None
         timed_out = False
+        shards_done = 0
         shards = self._target_shards(query)
+        # Plan-cache keys: (canonical expression, shard, store version).
+        # The version is read once per query; embedding it in the key is
+        # the whole invalidation story — ingest/compaction move the
+        # version, so older entries are never looked up again.
+        ckey: str | None = None
+        version: tuple[int, ...] | None = None
+        if self.plan_cache is not None:
+            ckey = canonical_key(canonicalize(query.expression))
+            version = self.store.read_version()
         for shard in shards:
             if deadline is not None and time.perf_counter() >= deadline:
                 timed_out = True
@@ -281,6 +376,16 @@ class QueryEngine:
             delay = self.shard_delays.get(shard)
             if delay:
                 time.sleep(delay)
+            if self.plan_cache is not None:
+                hit = self.plan_cache.get((ckey, shard, version))
+                if hit is not None:
+                    shards_done += 1
+                    gathered = (
+                        hit
+                        if gathered is None
+                        else union_sorted_arrays(gathered, hit)
+                    )
+                    continue
             try:
                 plan = compile_shard_plan(
                     self.store,
@@ -300,7 +405,12 @@ class QueryEngine:
                     first_error = f"{type(exc).__name__}: {exc}"
                 continue
             plans.append(plan)
+            shards_done += 1
             degraded.extend(plan.degraded_terms)
+            if self.plan_cache is not None and not plan.degraded_terms:
+                # Degraded evaluations are transient (lenient-load gaps,
+                # failed overlay merges) — never cache them.
+                self.plan_cache.put((ckey, shard, version), arr)
             gathered = (
                 arr if gathered is None else union_sorted_arrays(gathered, arr)
             )
@@ -315,7 +425,7 @@ class QueryEngine:
             partial=partial,
             timed_out=timed_out,
             error=first_error,
-            shards_queried=len(plans),
+            shards_queried=shards_done,
             failed_shards=tuple(failed),
             degraded_terms=tuple(dict.fromkeys(degraded)),
             plans=plans,

@@ -120,6 +120,7 @@ class StoreMetrics:
         self._latency = LatencyHistogram()
         self._decodes: dict[str, _CodecDecodeStats] = {}
         self._cache_stats_fn = None
+        self._plan_cache_stats_fn = None
 
     # ------------------------------------------------------------------
     # Recording
@@ -155,6 +156,10 @@ class StoreMetrics:
         """Source cache counters from *cache* (a DecodeCache) at snapshot."""
         self._cache_stats_fn = cache.stats
 
+    def attach_plan_cache(self, cache) -> None:
+        """Source plan-result cache counters (a PlanResultCache) at snapshot."""
+        self._plan_cache_stats_fn = cache.stats
+
     # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
@@ -162,6 +167,11 @@ class StoreMetrics:
         """One JSON-able dict with every instrument's current state."""
         with self._lock:
             cache = self._cache_stats_fn().as_dict() if self._cache_stats_fn else None
+            plan_cache = (
+                self._plan_cache_stats_fn().as_dict()
+                if self._plan_cache_stats_fn
+                else None
+            )
             return {
                 "queries": {
                     "total": self._queries.total,
@@ -172,6 +182,7 @@ class StoreMetrics:
                 },
                 "latency": self._latency.as_dict(),
                 "cache": cache,
+                "plan_cache": plan_cache,
                 "decodes_by_codec": {
                     name: {
                         "decodes": s.decodes,

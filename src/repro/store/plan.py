@@ -32,6 +32,7 @@ form.
 
 from __future__ import annotations
 
+import json
 import warnings
 from dataclasses import dataclass, field
 from typing import Union
@@ -188,6 +189,54 @@ def query_from_json(obj: dict | str) -> QueryNode:
         parts = [query_from_json(c) for c in children]
         return And(*parts) if op == "and" else Or(*parts)
     raise ValueError(f"unknown query op {op!r}")
+
+
+# ----------------------------------------------------------------------
+# Canonicalization (plan-result cache keys)
+# ----------------------------------------------------------------------
+def canonical_key(node: QueryNode) -> str:
+    """A stable string identity for an AST node.
+
+    Term names are JSON-quoted (they may contain spaces or parentheses),
+    operator nodes render as s-expressions — so two structurally equal
+    trees always produce the same key and no two different trees can
+    collide.  Callers should canonicalize first: the key of
+    ``And(a, b)`` differs from ``And(b, a)`` until :func:`canonicalize`
+    sorts them.
+    """
+    if isinstance(node, Term):
+        return json.dumps(node.name)
+    op = "and" if isinstance(node, And) else "or"
+    return f"({op} {' '.join(canonical_key(c) for c in node.children)})"
+
+
+def canonicalize(node: QueryNode) -> QueryNode:
+    """Normal form under the boolean-set algebra the evaluator implements.
+
+    Same-operator children are flattened (``And(And(a, b), c)`` ≡
+    ``And(a, b, c)``), duplicates are folded (idempotence), commutative
+    children are sorted by :func:`canonical_key`, and single-child
+    operator nodes collapse to the child.  Queries that differ only in
+    spelling — the paper's overlapping Q3.4/Q4.1 shapes — therefore share
+    one plan-cache entry.
+    """
+    if isinstance(node, Term):
+        return node
+    same: type[And] | type[Or] = And if isinstance(node, And) else Or
+    flat: list[QueryNode] = []
+    for child in node.children:
+        c = canonicalize(child)
+        if isinstance(c, same):
+            flat.extend(c.children)
+        else:
+            flat.append(c)
+    unique: dict[str, QueryNode] = {}
+    for c in flat:
+        unique.setdefault(canonical_key(c), c)
+    ordered = [unique[k] for k in sorted(unique)]
+    if len(ordered) == 1:
+        return ordered[0]
+    return same(*ordered)
 
 
 @dataclass(frozen=True)

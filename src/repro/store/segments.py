@@ -239,6 +239,9 @@ class WritablePostingStore(PostingStore):
         self._compactor: threading.Thread | None = None
         self._stop = threading.Event()
         self._closed = False
+        #: Acknowledged ingest batches since open; feeds :meth:`read_version`
+        #: so delta writes shift the plan-cache version tag.
+        self._ingests = 0
 
     # ------------------------------------------------------------------
     # Opening / recovery
@@ -448,11 +451,18 @@ class WritablePostingStore(PostingStore):
                 count += 1
             if self._wal is not None:
                 self._wal.sync()
+            if count:
+                self._ingests += 1
         return count
 
     def pending_ops(self) -> int:
         """Ops acknowledged but not yet compacted (across all shards)."""
         return sum(s.pending_ops() for s in self._writable_shards())
+
+    def read_version(self) -> tuple[int, ...]:
+        """The base tag extended with the ingest-batch counter, so every
+        acknowledged delta write moves the plan-cache keys as well."""
+        return (*super().read_version(), self._ingests)
 
     # ------------------------------------------------------------------
     # Compaction

@@ -155,6 +155,9 @@ class PostingStore:
         self.load_errors: list[StoreError] = []
         #: Compaction generation recorded in the manifest (0 = as-built).
         self.generation = 0
+        #: Build-path mutation counter (shards created/dropped, lists
+        #: added through the store); feeds :meth:`read_version`.
+        self._mutations = 0
 
     # ------------------------------------------------------------------
     # Building
@@ -169,6 +172,7 @@ class PostingStore:
             raise DuplicateShardError(f"shard {name!r} already exists")
         shard = Shard(name=name, codec=resolve_codec(codec), universe=universe)
         self._shards[name] = shard
+        self._mutations += 1
         return shard
 
     def add_list(
@@ -178,12 +182,30 @@ class PostingStore:
         values: Iterable[int] | np.ndarray,
         universe: int | None = None,
     ) -> CompressedIntegerSet:
-        return self.shard(shard).add(term, values, universe=universe)
+        cs = self.shard(shard).add(term, values, universe=universe)
+        self._mutations += 1
+        return cs
 
     def drop_shard(self, name: str) -> None:
         if name not in self._shards:
             raise UnknownShardError(f"unknown shard {name!r}")
         del self._shards[name]
+        self._mutations += 1
+
+    def read_version(self) -> tuple[int, ...]:
+        """A hashable version tag that changes whenever read results could.
+
+        Components: the compaction generation, the build-path mutation
+        counter, and the total term count (which also catches lists added
+        directly on a :class:`Shard`, bypassing :meth:`add_list`).  The
+        plan-result cache embeds this tag in its keys, which is what makes
+        its invalidation free: any store change moves every key, so stale
+        entries become unreachable and age out of the LRU.
+        :class:`~repro.store.segments.WritablePostingStore` extends the
+        tag with its ingest counter so delta writes shift it too.
+        """
+        total_terms = sum(len(s.postings) for s in self._shards.values())
+        return (self.generation, self._mutations, total_terms)
 
     # ------------------------------------------------------------------
     # Introspection

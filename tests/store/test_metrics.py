@@ -93,7 +93,14 @@ def test_snapshot_is_json_serialisable():
     m.record_decode("Roaring", 42, 0.001)
     blob = json.dumps(m.snapshot())
     parsed = json.loads(blob)
-    assert set(parsed) == {"queries", "latency", "cache", "decodes_by_codec"}
+    assert set(parsed) == {
+        "queries",
+        "latency",
+        "cache",
+        "plan_cache",
+        "decodes_by_codec",
+    }
+    assert parsed["plan_cache"] is None  # none attached here
     assert set(parsed["latency"]) == {
         "count",
         "mean_ms",

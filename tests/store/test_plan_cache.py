@@ -1,0 +1,255 @@
+"""Generational plan-result cache + query canonicalization + batch dedupe."""
+
+import numpy as np
+import pytest
+
+from repro.store import (
+    And,
+    DecodeCache,
+    Or,
+    PlanResultCache,
+    PostingStore,
+    QueryEngine,
+    Term,
+    WritablePostingStore,
+    canonical_key,
+    canonicalize,
+    parse_query,
+)
+
+EVEN = np.arange(0, 120, 2, dtype=np.int64)
+THIRD = np.arange(0, 120, 3, dtype=np.int64)
+
+
+def _store() -> PostingStore:
+    store = PostingStore()
+    for name in ("s0", "s1"):
+        shard = store.create_shard(name, codec="WAH", universe=200)
+        shard.add("even", EVEN)
+        shard.add("third", THIRD)
+    return store
+
+
+def _engine(store=None, **kw) -> QueryEngine:
+    return QueryEngine(store or _store(), cache=DecodeCache(), **kw)
+
+
+# ----------------------------------------------------------------------
+# Canonicalization
+# ----------------------------------------------------------------------
+def test_canonical_key_is_stable_and_collision_free():
+    assert canonical_key(Term("a")) == '"a"'
+    assert canonical_key(And("a", "b")) == '(and "a" "b")'
+    # operator + quoting make structurally different trees distinct
+    assert canonical_key(And("a", "b")) != canonical_key(Or("a", "b"))
+    assert canonical_key(Term("a b")) != canonical_key(And("a", "b"))
+
+
+def test_canonicalize_sorts_commutative_children():
+    a, b = canonicalize(And("x", "y")), canonicalize(And("y", "x"))
+    assert canonical_key(a) == canonical_key(b)
+
+
+def test_canonicalize_flattens_and_dedups():
+    node = canonicalize(And(And("a", "b"), And("b", "c")))
+    assert canonical_key(node) == canonical_key(And("a", "b", "c"))
+    # idempotence collapses to the bare term
+    assert canonicalize(Or("a", "a")) == Term("a")
+    # single-child operators collapse through nesting
+    assert canonicalize(And(Or("a", "a"))) == Term("a")
+
+
+def test_canonicalize_preserves_and_or_distinction():
+    node = canonicalize(Or(And("b", "a"), And("a", "b")))
+    assert node == And("a", "b")  # inner duplicates fold, Or collapses
+    mixed = canonicalize(Or(And("b", "a"), "c"))
+    assert canonical_key(mixed) == canonical_key(canonicalize(Or("c", And("a", "b"))))
+
+
+def test_canonicalize_equivalence_of_spellings():
+    """Differently-spelled but equivalent queries share one key."""
+    with pytest.deprecated_call():
+        legacy = parse_query(("and", "third", "even"))
+    spellings = [
+        And("even", "third"),
+        And("third", "even"),
+        And(And("even", "third"), "even"),
+        legacy,
+    ]
+    keys = {canonical_key(canonicalize(s)) for s in spellings}
+    assert len(keys) == 1
+
+
+# ----------------------------------------------------------------------
+# Plan-result cache behaviour
+# ----------------------------------------------------------------------
+def test_plan_cache_auto_created_with_decode_cache():
+    engine = _engine()
+    assert isinstance(engine.plan_cache, PlanResultCache)
+    uncached = QueryEngine(_store())
+    assert uncached.plan_cache is None
+
+
+def test_repeated_query_hits_plan_cache():
+    engine = _engine()
+    expr = And("even", "third")
+    first = engine.execute(expr)
+    assert first.ok
+    stats0 = engine.plan_cache.stats()
+    assert stats0.insertions == 2  # one entry per shard
+    second = engine.execute(expr)
+    assert second.ok and np.array_equal(first.values, second.values)
+    stats1 = engine.plan_cache.stats()
+    assert stats1.hits == stats0.hits + 2
+    # the hit path reports the shards it answered for
+    assert second.shards_queried == 2
+
+
+def test_commutative_spellings_share_entries():
+    engine = _engine()
+    engine.execute(And("even", "third"))
+    before = engine.plan_cache.stats()
+    result = engine.execute(And("third", "even"))
+    after = engine.plan_cache.stats()
+    assert after.hits == before.hits + 2
+    assert after.insertions == before.insertions
+    assert result.ok
+
+
+def test_plan_cache_results_are_frozen():
+    store = PostingStore()
+    store.create_shard("only", codec="WAH", universe=200).add("even", EVEN)
+    engine = _engine(store)
+    engine.execute("even")
+    # single shard: the hit array is returned as-is and must be frozen
+    hit = engine.execute("even").values
+    with pytest.raises(ValueError):
+        hit[0] = -1
+
+
+# ----------------------------------------------------------------------
+# Generational invalidation
+# ----------------------------------------------------------------------
+def test_store_mutation_invalidates_plan_cache():
+    store = _store()
+    engine = _engine(store)
+    q = Or("even", "rare")
+    r0 = engine.execute(q)
+    assert r0.ok and np.array_equal(r0.values, EVEN)
+    # Adding the previously-missing term must be visible immediately:
+    # the version tag moved, so the cached result is unreachable.
+    store.add_list("s0", "rare", np.array([1, 7, 199], dtype=np.int64))
+    r1 = engine.execute(q)
+    assert np.array_equal(r1.values, np.union1d(EVEN, [1, 7, 199]))
+
+
+def test_direct_shard_add_invalidates_plan_cache():
+    """shard.add bypasses the store's mutation counter; the term-count
+    component of read_version still catches it."""
+    store = _store()
+    engine = _engine(store)
+    assert np.array_equal(engine.execute(Or("even", "extra")).values, EVEN)
+    store.shard("s1").add("extra", np.array([151], dtype=np.int64))
+    assert 151 in engine.execute(Or("even", "extra")).values
+
+
+def test_ingest_invalidates_plan_cache(tmp_path):
+    store = WritablePostingStore.open(tmp_path / "w")
+    store.create_shard("s0", codec="WAH", universe=200)
+    store.ingest_batch([("add", "s0", "even", EVEN.tolist())])
+    engine = _engine(store)
+    assert np.array_equal(engine.execute("even").values, EVEN)
+    stats_before = engine.plan_cache.stats()
+    store.ingest_batch([("add", "s0", "even", [131])])
+    result = engine.execute("even")
+    assert 131 in result.values
+    # miss, not a stale hit
+    assert engine.plan_cache.stats().hits == stats_before.hits
+    store.close()
+
+
+def test_read_version_components_move():
+    store = _store()
+    v0 = store.read_version()
+    store.shard("s0").add("x", np.array([5], dtype=np.int64))
+    v1 = store.read_version()
+    assert v0 != v1
+    store.drop_shard("s1")
+    assert store.read_version() != v1
+
+
+def test_writable_read_version_extends_base(tmp_path):
+    store = WritablePostingStore.open(tmp_path / "w")
+    store.create_shard("s0", codec="WAH", universe=100)
+    v0 = store.read_version()
+    assert len(v0) == 4  # (generation, mutations, terms, ingests)
+    store.ingest_batch([("add", "s0", "t", [1, 2])])
+    assert store.read_version() != v0
+    store.close()
+
+
+def test_degraded_results_are_not_cached():
+    store = _store()
+    # Simulate a lenient-load casualty: the plan compiles but flags the
+    # term degraded, and such results must never enter the cache.
+    store.shard("s0").failed_terms["ghost"] = "crc mismatch"
+    engine = _engine(store)
+    r = engine.execute(Or("even", "ghost"))
+    assert r.partial and "ghost" in r.degraded_terms
+    assert engine.plan_cache.stats().insertions < 2  # s0's result skipped
+
+
+# ----------------------------------------------------------------------
+# Batch dedupe + worker-pool lifecycle
+# ----------------------------------------------------------------------
+def test_batch_dedupes_equivalent_spellings():
+    engine = _engine()
+    results = engine.execute_batch(
+        [And("even", "third"), And("third", "even"), And("even", "third")]
+    )
+    assert len(results) == 3
+    expected = np.intersect1d(EVEN, THIRD)
+    for r in results:
+        assert r.ok and np.array_equal(r.values, expected)
+    snap = engine.metrics.snapshot()
+    assert snap["queries"]["total"] == 3  # duplicates still counted
+    # only one execution inserted plan-cache entries
+    assert engine.plan_cache.stats().insertions == 2
+
+
+def test_batch_distinct_shard_sets_not_coalesced():
+    from repro.store import Query
+
+    engine = _engine()
+    results = engine.execute_batch(
+        [
+            Query(expression="even", shards=("s0",), query_id="a"),
+            Query(expression="even", shards=("s0", "s1"), query_id="b"),
+        ]
+    )
+    assert [r.query_id for r in results] == ["a", "b"]
+    assert results[0].shards_queried == 1
+    assert results[1].shards_queried == 2
+
+
+def test_engine_close_is_idempotent_and_reusable():
+    engine = _engine()
+    assert engine.execute_batch(["even"] * 3)
+    pool_before = engine._pool
+    assert pool_before is not None  # persistent between batches
+    assert engine.execute_batch(["third"])
+    assert engine._pool is pool_before
+    engine.close()
+    engine.close()  # idempotent
+    assert engine._pool is None
+    # the engine stays usable: the next batch builds a fresh pool
+    results = engine.execute_batch(["even"])
+    assert results[0].ok
+    engine.close()
+
+
+def test_engine_context_manager_closes_pool():
+    with _engine() as engine:
+        engine.execute_batch(["even"])
+        assert engine._pool is not None
+    assert engine._pool is None

@@ -1,0 +1,181 @@
+"""Single-flight decode coalescing: one decode per stampede, always."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.decode import decode
+from repro.core.registry import get_codec
+from repro.store import DecodeCache
+
+N_THREADS = 8
+
+
+class _CountingObserver:
+    """DecodeObserver that counts actual decodes, thread-safely."""
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.decodes = 0
+
+    def record_decode(self, codec_name: str, n: int, seconds: float) -> None:
+        with self.lock:
+            self.decodes += 1
+
+
+def _compressed(codec_name: str = "WAH"):
+    codec = get_codec(codec_name)
+    values = np.arange(0, 40_000, 3, dtype=np.int64)
+    return codec.compress(values), values
+
+
+def _stampede(fn, n_threads: int = N_THREADS) -> list:
+    """Run *fn* on N threads through a barrier; return results or raise."""
+    barrier = threading.Barrier(n_threads)
+    results: list = [None] * n_threads
+    errors: list = []
+
+    def worker(i: int) -> None:
+        barrier.wait()
+        try:
+            results[i] = fn()
+        except Exception as exc:  # surfaced below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if errors:
+        raise errors[0]
+    return results
+
+
+def test_stampede_decodes_once():
+    cs, values = _compressed()
+    cache = DecodeCache()
+    observer = _CountingObserver()
+    key = ("s0", "t", "WAH")
+
+    results = _stampede(
+        lambda: decode(cs, cache=cache, key=key, observer=observer)
+    )
+
+    assert observer.decodes == 1, "stampede must coalesce to one decode"
+    for arr in results:
+        assert np.array_equal(arr, values)
+        assert not arr.flags.writeable  # shared instances are frozen
+    stats = cache.stats()
+    assert stats.flights == 1
+    # Everyone but the leader either coalesced onto the flight or hit the
+    # freshly published entry, depending on thread timing.
+    assert stats.coalesced + stats.hits == N_THREADS - 1
+    assert stats.flight_aborts == 0
+
+
+def test_leader_abort_wakes_followers_and_propagates():
+    """A failing decode aborts the flight; nobody hangs, everyone sees
+    the error (followers retry independently and fail the same way)."""
+
+    class _Boom(Exception):
+        pass
+
+    class _FailingCodec:
+        name = "WAH"
+
+        def decompress(self, cs):
+            raise _Boom("payload corrupt")
+
+    cs, _ = _compressed()
+    cache = DecodeCache()
+    failures = 0
+    lock = threading.Lock()
+
+    def attempt():
+        nonlocal failures
+        try:
+            decode(cs, codec=_FailingCodec(), cache=cache, key="k")
+        except _Boom:
+            with lock:
+                failures += 1
+
+    _stampede(attempt)
+    assert failures == N_THREADS  # nobody swallowed the error
+    assert cache.stats().flight_aborts >= 1
+    assert "k" not in cache  # no poisoned entry left behind
+
+
+def test_follower_timeout_falls_back_to_own_decode():
+    cs, values = _compressed()
+    cache = DecodeCache(flight_wait_seconds=0.0)  # every wait times out
+    leader = cache.begin_flight("k")
+    assert leader.leader
+    follower = cache.begin_flight("k")
+    assert not follower.leader
+    assert follower.wait() is None  # timed out; caller decodes itself
+    leader.complete(get_codec("WAH").decompress(cs))
+    hit = cache.get("k")
+    assert hit is not None and np.array_equal(hit, values)
+
+
+def test_begin_flight_rechecks_cache():
+    cache = DecodeCache()
+    cache.put("k", np.arange(4, dtype=np.int64))
+    ticket = cache.begin_flight("k")
+    assert not ticket.leader
+    assert np.array_equal(ticket.wait(), np.arange(4))
+    assert cache.stats().flights == 0  # never started a real flight
+
+
+def test_oversized_result_still_shared_with_followers():
+    """An array too big to cache is still distributed frozen."""
+    cache = DecodeCache(max_bytes=8)
+    leader = cache.begin_flight("big")
+    follower = cache.begin_flight("big")
+    big = np.arange(1000, dtype=np.int64)
+    leader.complete(big)
+    shared = follower.wait()
+    assert shared is not None and not shared.flags.writeable
+    assert "big" not in cache  # over budget: served, not retained
+
+
+def test_flight_counters_in_stats_dict():
+    cache = DecodeCache()
+    d = cache.stats().as_dict()
+    assert {"flights", "coalesced", "flight_aborts"} <= d.keys()
+
+
+def test_decode_without_coalescing_cache_still_works():
+    """A plain dict-like cache (no begin_flight) takes the legacy path."""
+
+    class _PlainCache:
+        def __init__(self) -> None:
+            self.data = {}
+
+        def get(self, key):
+            return self.data.get(key)
+
+        def put(self, key, values):
+            self.data[key] = values
+
+    cs, values = _compressed()
+    cache = _PlainCache()
+    out = decode(cs, cache=cache, key="k")
+    assert np.array_equal(out, values)
+    assert np.array_equal(cache.data["k"], values)
+
+
+@pytest.mark.parametrize("other_codec", ["Roaring", "SIMDBP128*"])
+def test_stampede_other_codecs(other_codec):
+    cs, values = _compressed(other_codec)
+    cache = DecodeCache()
+    observer = _CountingObserver()
+    results = _stampede(
+        lambda: decode(cs, cache=cache, key="k", observer=observer),
+        n_threads=4,
+    )
+    assert observer.decodes == 1
+    for arr in results:
+        assert np.array_equal(arr, values)

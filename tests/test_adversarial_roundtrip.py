@@ -1,0 +1,214 @@
+"""Adversarial round-trip suites for the vectorised decode kernels.
+
+The generic property suite (``test_properties.py``) sweeps every codec
+with broadly-shaped lists; these strategies instead aim at the exact
+structures the vectorised BBC / Simple-family / GroupVB decoders
+special-case:
+
+* **BBC** — maximum-length fill runs, fills ending on odd byte
+  boundaries, and literal bytes sandwiched between long fills (the
+  windowed fill-chain lifting and the literal-gather path);
+* **Simple9/16/8b** — d-gap blocks forcing every selector, including the
+  widest single-value-per-word cases and the all-ones packed cases (the
+  per-selector shift/mask tables);
+* **GroupVB** — gaps pinned to the 1/2/3/4-byte length thresholds where
+  the tag LUT switches rows, plus partial trailing groups.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import get_codec
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _roundtrip(codec_name: str, values: np.ndarray) -> None:
+    codec = get_codec(codec_name)
+    cs = codec.compress(values)
+    out = codec.decompress(cs)
+    assert out.dtype == np.int64
+    assert np.array_equal(out, values), (
+        f"{codec_name}: round-trip mismatch on {values.size} values"
+    )
+
+
+def _from_gaps(gaps: list[int]) -> np.ndarray:
+    return np.cumsum(np.asarray(gaps, dtype=np.int64))
+
+
+# ----------------------------------------------------------------------
+# BBC: fills, literals, byte boundaries
+# ----------------------------------------------------------------------
+@st.composite
+def bbc_fill_lists(draw) -> np.ndarray:
+    """Alternating long 1-fills, 0-gaps, and literal scraps, all with
+    byte-granular (and deliberately byte-misaligned) lengths."""
+    parts: list[np.ndarray] = []
+    pos = 0
+    for _ in range(draw(st.integers(1, 6))):
+        gap = draw(
+            st.sampled_from([0, 1, 7, 8, 9, 63, 64, 65, 8 * 127, 8 * 128, 20_000])
+        )
+        pos += gap
+        kind = draw(st.sampled_from(["run", "literal", "lonely"]))
+        if kind == "run":
+            # dense 1-fill; lengths straddle whole-byte fill boundaries
+            length = draw(st.sampled_from([7, 8, 9, 16, 8 * 127, 8 * 127 + 3, 3000]))
+            parts.append(np.arange(pos, pos + length, dtype=np.int64))
+            pos += length
+        elif kind == "literal":
+            # a sparse byte: some bits of one byte-span set
+            bits = draw(
+                st.lists(st.integers(0, 7), min_size=1, max_size=8, unique=True)
+            )
+            parts.append(np.array([pos + b for b in sorted(bits)], dtype=np.int64))
+            pos += 8
+        else:  # lonely bit far from anything (BBC's tagged-literal case)
+            parts.append(np.array([pos], dtype=np.int64))
+            pos += 1
+    return np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+
+
+@SETTINGS
+@given(values=bbc_fill_lists())
+def test_bbc_fill_boundaries_roundtrip(values):
+    _roundtrip("BBC", values)
+
+
+def test_bbc_max_fill_run():
+    """One maximal dense run: every byte a 1-fill, chained counters."""
+    values = np.arange(0, 8 * 4096, dtype=np.int64)
+    _roundtrip("BBC", values)
+    # the same run shifted to end on an odd byte boundary
+    _roundtrip("BBC", values + 3)
+
+
+def test_bbc_alternating_single_bits():
+    """Worst case for run detection: no fills at all."""
+    values = np.arange(0, 50_000, 2, dtype=np.int64)
+    _roundtrip("BBC", values)
+
+
+# ----------------------------------------------------------------------
+# Simple family: every selector
+# ----------------------------------------------------------------------
+#: Per-selector gap widths of Simple9 (count, bits): crafting a block of
+#: `count` gaps that need exactly `bits` bits forces that selector.
+_S9_CASES = [(28, 1), (14, 2), (9, 3), (7, 4), (5, 5), (4, 7), (3, 9), (2, 14), (1, 28)]
+
+
+@st.composite
+def selector_gap_lists(draw) -> np.ndarray:
+    """Concatenated runs, each designed to pin one Simple9/16 selector."""
+    gaps: list[int] = []
+    for _ in range(draw(st.integers(1, 5))):
+        count, bits = draw(st.sampled_from(_S9_CASES))
+        hi = (1 << bits) - 1
+        lo = (1 << (bits - 1)) if bits > 1 else 1
+        run = draw(
+            st.lists(st.integers(lo, hi), min_size=1, max_size=count + 3)
+        )
+        gaps.extend(run)
+    # Clamp to the 2^31-1 domain bound: keep the longest prefix that fits.
+    values = _from_gaps(gaps)
+    return values[values < (1 << 31) - 1]
+
+
+@SETTINGS
+@given(values=selector_gap_lists())
+def test_simple9_all_selectors_roundtrip(values):
+    _roundtrip("Simple9", values)
+
+
+@SETTINGS
+@given(values=selector_gap_lists())
+def test_simple16_all_selectors_roundtrip(values):
+    _roundtrip("Simple16", values)
+
+
+@SETTINGS
+@given(values=selector_gap_lists())
+def test_simple8b_all_selectors_roundtrip(values):
+    _roundtrip("Simple8b", values)
+
+
+@pytest.mark.parametrize("codec_name_s", ["Simple9", "Simple16", "Simple8b"])
+def test_simple_family_every_selector_deterministic(codec_name_s):
+    """One list whose gap stream walks the full width ladder, so every
+    selector row of the unpack LUTs fires at least once."""
+    gaps: list[int] = []
+    for count, bits in _S9_CASES:
+        gaps.extend([(1 << bits) - 1] * count)  # widest value at this width
+        gaps.extend([1] * count)  # narrowest
+    for w in (16, 20, 24, 28):  # Simple16/8b wide rows beyond S9's ladder
+        gaps.append((1 << w) - 1)
+    _roundtrip(codec_name_s, _from_gaps(gaps))
+
+
+def test_simple_family_all_ones_max_fill():
+    """The densest packing: one-bit gaps filling whole words (selector 0)."""
+    values = np.arange(1, 4001, dtype=np.int64)
+    for name in ("Simple9", "Simple16", "Simple8b"):
+        _roundtrip(name, values)
+
+
+# ----------------------------------------------------------------------
+# GroupVB: tag-length boundaries
+# ----------------------------------------------------------------------
+#: Gaps that sit exactly on the byte-length thresholds of the 2-bit tag.
+_GVB_BOUNDARY_GAPS = [
+    1,
+    (1 << 8) - 1,
+    1 << 8,  # 1 -> 2 bytes
+    (1 << 16) - 1,
+    1 << 16,  # 2 -> 3 bytes
+    (1 << 24) - 1,
+    1 << 24,  # 3 -> 4 bytes
+]
+
+
+@st.composite
+def groupvb_boundary_lists(draw) -> np.ndarray:
+    gaps = draw(
+        st.lists(st.sampled_from(_GVB_BOUNDARY_GAPS), min_size=1, max_size=40)
+    )
+    return _from_gaps(gaps)
+
+
+@SETTINGS
+@given(values=groupvb_boundary_lists())
+def test_groupvb_tag_boundaries_roundtrip(values):
+    _roundtrip("GroupVB", values)
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 127, 128, 129, 255, 256, 257])
+def test_groupvb_partial_trailing_group(n):
+    """Every residue of the 4-per-tag grouping and the block size."""
+    rng = np.random.default_rng(20170514 + n)
+    gaps = rng.choice(_GVB_BOUNDARY_GAPS, size=n)
+    _roundtrip("GroupVB", _from_gaps(list(gaps)))
+
+
+@pytest.mark.parametrize("chunk", range(8))
+def test_groupvb_every_tag_combination(chunk):
+    """All 256 header-byte values: each 4-gap group enumerates one
+    (len0..len3) combination, exercising every row of the tag LUT.
+    Chunked so cumulative values stay inside the 2^31-1 domain bound
+    (minimal gap per byte-length, 32 tags per list)."""
+    gaps: list[int] = []
+    for tag in range(32 * chunk, 32 * (chunk + 1)):
+        for slot in range(4):
+            nbytes = ((tag >> (2 * slot)) & 3) + 1
+            gaps.append(1 if nbytes == 1 else 1 << (8 * (nbytes - 1)))
+    values = _from_gaps(gaps)
+    assert values[-1] < (1 << 31) - 1
+    _roundtrip("GroupVB", values)
