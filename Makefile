@@ -1,6 +1,6 @@
 # Development gate for the bitmap-vs-invlist reproduction.
 #
-#   make check   — ruff → mypy → codec-contract analyzer → tier-1 tests
+#   make check   — ruff → mypy → codec + concurrency analyzers → tier-1 tests
 #
 # ruff/mypy are optional locally (install with `pip install -e .[lint]`);
 # when absent those steps are skipped with a notice so the contract
@@ -9,9 +9,9 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: check lint type analyze test bench
+.PHONY: check lint type analyze analyze-concurrency witness test bench
 
-check: lint type analyze test
+check: lint type analyze analyze-concurrency test
 	@echo "check: all gates passed"
 
 lint:
@@ -30,6 +30,12 @@ type:
 
 analyze:
 	$(PY) -m repro.analysis src/repro
+
+analyze-concurrency:
+	$(PY) -m repro.analysis --strict-noqa src/repro
+
+witness:
+	$(PY) -m repro.analysis.runtime_witness
 
 test:
 	$(PY) -m pytest -x -q

@@ -1,11 +1,20 @@
-"""Static codec-contract analyzer (see ``docs/static_analysis.md``).
+"""Static contract analyzer (see ``docs/static_analysis.md``).
 
-The paper's comparison is only meaningful while all codecs obey one
-strict contract — sorted int64 posting arrays in, byte-accurate
-``size_bytes`` out, no input mutation, uncompressed arrays from
-``intersect``/``union``.  This package enforces the statically checkable
-parts of that contract as rules REPRO001–REPRO006 over the library's
-own source, without importing it.
+Two rule families over the library's own source, analysed with ``ast``
+and never imported:
+
+* **REPRO001–006, the codec contracts** — the paper's comparison is
+  only meaningful while all codecs obey one strict contract: sorted
+  int64 posting arrays in, byte-accurate ``size_bytes`` out, no input
+  mutation, uncompressed arrays from ``intersect``/``union``.
+* **REPRO100–107, the concurrency and serving contracts** — no
+  blocking calls in async bodies, locks held via ``with`` in an
+  acyclic global order, fsync-before-ack on the WAL, versioned cache
+  keys, counter families that move together, broad excepts that
+  re-raise or justify themselves, and shared state mutated only under
+  the owning class's lock.  The static lock model's blind spot (calls
+  through stored function values) is covered dynamically by
+  :mod:`repro.analysis.runtime_witness` under ``REPRO_DEBUG=1``.
 
 Library use::
 
@@ -15,11 +24,13 @@ Library use::
 
 CLI use::
 
-    python -m repro.analysis [--format=json|text] [paths ...]
+    python -m repro.analysis [--format=json|text|github] [--strict-noqa] [paths ...]
+    python -m repro.analysis --explain REPRO102
 
-Per-line suppression::
+Per-line suppression (``--strict-noqa`` reports stale ones as REPRO099)::
 
     codec_cls = weird()  # repro: noqa[REPRO001]
+    except Exception:    # repro: noqa[REPRO106] -- why containment is safe
 """
 
 from repro.analysis.config import AnalysisConfig, load_config

@@ -1,5 +1,17 @@
 """Entry point for ``python -m repro.analysis``."""
 
+import os
+import sys
+
 from repro.analysis.cli import main
 
-raise SystemExit(main())
+try:
+    status = main()
+    sys.stdout.flush()
+except BrokenPipeError:
+    # Downstream pager/head closed the pipe — the POSIX convention is a
+    # quiet SIGPIPE-style exit, not a traceback.  Point stdout at
+    # /dev/null so the interpreter's shutdown flush cannot re-raise.
+    os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    status = 1
+raise SystemExit(status)

@@ -9,12 +9,13 @@ from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 from pathlib import Path
 from typing import Sequence
 
-from repro.analysis.config import AnalysisConfig, find_pyproject, load_config
+from repro.analysis.config import find_pyproject, load_config
 from repro.analysis.engine import default_paths, run_checks
-from repro.analysis.findings import findings_to_json, format_text
+from repro.analysis.findings import findings_to_json, format_github, format_text
 from repro.analysis.rules import RULES
 
 
@@ -31,9 +32,10 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "github"),
         default="text",
-        help="output format (default: text)",
+        help="output format; `github` emits Actions ::error annotations "
+        "(default: text)",
     )
     parser.add_argument(
         "--select",
@@ -49,6 +51,17 @@ def _build_parser() -> argparse.ArgumentParser:
         "--list-rules",
         action="store_true",
         help="print every rule with its rationale and exit",
+    )
+    parser.add_argument(
+        "--explain",
+        metavar="CODE",
+        help="print one rule's full documentation and exit, e.g. REPRO102",
+    )
+    parser.add_argument(
+        "--strict-noqa",
+        action="store_true",
+        help="also report suppression comments that matched no finding "
+        "(REPRO099)",
     )
     return parser
 
@@ -66,19 +79,29 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"{rule.code}  {rule.title}")
             print(f"    {rule.rationale}")
         return 0
+    if args.explain:
+        code = args.explain.strip().upper()
+        rule = RULES.get(code)
+        if rule is None:
+            known = ", ".join(sorted(RULES))
+            print(
+                f"unknown rule code: {code} (known: {known})", file=sys.stderr
+            )
+            return 2
+        print(rule.explain_text)
+        return 0
 
     paths = [p for p in args.paths] or default_paths()
     anchor = paths[0] if paths else Path.cwd()
     config = load_config(find_pyproject(anchor))
     select = _codes(args.select)
     ignore = _codes(args.ignore)
-    if select or ignore:
-        config = AnalysisConfig(
+    if select or ignore or args.strict_noqa:
+        config = replace(
+            config,
             select=select or config.select,
             ignore=ignore | config.ignore,
-            timing_exempt=config.timing_exempt,
-            magic_packages=config.magic_packages,
-            magic_numbers=config.magic_numbers,
+            strict_noqa=config.strict_noqa or args.strict_noqa,
         )
     unknown = (select | ignore) - set(RULES) - {"REPRO000"}
     if unknown:
@@ -88,6 +111,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     findings = run_checks(paths, config)
     if args.format == "json":
         print(findings_to_json(findings))
+    elif args.format == "github":
+        if findings:
+            print(format_github(findings))
+        else:
+            print("repro.analysis: all checks passed", file=sys.stderr)
     elif findings:
         print(format_text(findings))
         print(f"\n{len(findings)} finding(s)", file=sys.stderr)

@@ -1,0 +1,903 @@
+"""Concurrency and serving-contract rules, REPRO100 through REPRO107.
+
+The codec rules (REPRO001–006) keep the *measured* artefacts honest;
+this family keeps the *serving* path honest under load.  Each rule
+mechanises one invariant the store/server stack already relies on but
+which, before this module, only code review enforced:
+
+* REPRO100 — no blocking calls inside ``async def`` bodies: the asyncio
+  accept loop serves every connection; one ``time.sleep`` stalls all.
+* REPRO101 — locks are acquired with ``with``, never bare
+  ``.acquire()``/``.release()`` pairs that leak on exception.
+* REPRO102 — the project-wide lock-ordering graph (nested ``with``
+  regions plus call edges) must be acyclic; a cycle is a deadlock
+  waiting for the right thread interleaving.
+* REPRO103 — WAL durability ordering: a function that appends to the
+  write-ahead log must sync it before returning (the ack barrier).
+* REPRO104 — cache keys carry a version: inserts into the plan-result
+  cache must derive from ``read_version()`` and be guarded against
+  degraded results; raw tuple keys for ``decode()`` must carry a
+  per-term version component.
+* REPRO105 — counter families (offered/accepted/shed, …) are mutated
+  together on every path, so their arithmetic identities hold.
+* REPRO106 — ``except Exception`` in store/server code must re-raise or
+  wrap into the ``errors.py`` hierarchy (or carry a reasoned noqa).
+* REPRO107 — mutable state of lock-owning classes is only mutated while
+  holding one of the class's locks.
+
+Static analysis here is deliberately *over-approximate* where it must
+guess (calls resolve by bare name to every same-named function in the
+project), so the lock model may contain edges that cannot happen at
+runtime but never misses one that can.  The one blind spot — calls made
+through stored function values, which have no name to resolve — is
+covered dynamically by :mod:`repro.analysis.runtime_witness`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.findings import Finding
+from repro.analysis.rules import _call_origin, _finding, _path_matches, _rule
+from repro.analysis.walker import (
+    ClassDef,
+    FunctionInfo,
+    ProjectModel,
+    tail_name,
+)
+
+# ----------------------------------------------------------------------
+# Shared traversal helpers
+# ----------------------------------------------------------------------
+
+
+def _own_nodes(fn_node: ast.AST) -> Iterator[ast.AST]:
+    """Every node of a function body, excluding nested def/class scopes.
+
+    Nested functions are separate :class:`FunctionInfo` records and are
+    analysed on their own, so visiting them here would double-report.
+    """
+
+    def rec(node: ast.AST) -> Iterator[ast.AST]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            yield child
+            yield from rec(child)
+
+    yield from rec(fn_node)
+
+
+def _receiver_segments(expr: ast.expr) -> list[str]:
+    """Name segments of an access chain: ``self._wal.append`` →
+    ``["self", "_wal"]`` for the receiver of ``append``."""
+    parts: list[str] = []
+    node = expr
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        if isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    parts.reverse()
+    return parts
+
+
+def _is_self_attr(expr: ast.expr, attr: str | None = None) -> str | None:
+    """The attribute name when *expr* is exactly ``self.<attr>``."""
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+    ):
+        if attr is None or expr.attr == attr:
+            return expr.attr
+    return None
+
+
+def _lock_id(
+    expr: ast.expr, owner: ClassDef | None, model: ProjectModel
+) -> str | None:
+    """Resolve an expression to a ``Class.attr`` lock identity.
+
+    ``self._lock`` resolves through the enclosing class; ``x.state_lock``
+    resolves when exactly one class in the project declares that
+    attribute as a lock.  Ambiguous multi-owner attributes on foreign
+    receivers are skipped rather than guessed — a wrong identity would
+    fabricate ordering edges.
+    """
+    if not isinstance(expr, ast.Attribute):
+        return None
+    attr = expr.attr
+    if _is_self_attr(expr) and owner is not None and attr in owner.lock_attrs:
+        return f"{owner.name}.{attr}"
+    owners = model.lock_owners(attr)
+    if len(owners) == 1:
+        return f"{owners[0].name}.{attr}"
+    return None
+
+
+def _lock_events(
+    fn: FunctionInfo, model: ProjectModel
+) -> Iterator[tuple[str, object, tuple[str, ...]]]:
+    """Flatten a function into lock-region events.
+
+    Yields, in source order:
+
+    * ``("acquire", (lock_id, node), held_before)`` for each ``with``
+      item resolving to a known lock;
+    * ``("node", expr_node, held)`` for every expression node;
+    * ``("stmt", stmt, held)`` for every simple statement.
+
+    ``held`` is the tuple of lock ids whose ``with`` regions enclose the
+    event.  Nested def/class scopes are skipped (they are separate
+    functions with their own events).
+    """
+    owner = fn.owner
+
+    def walk(
+        body: list[ast.stmt], held: tuple[str, ...]
+    ) -> Iterator[tuple[str, object, tuple[str, ...]]]:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                inner = held
+                for item in stmt.items:
+                    for node in ast.walk(item.context_expr):
+                        yield ("node", node, inner)
+                    lid = _lock_id(item.context_expr, owner, model)
+                    if lid is not None:
+                        yield ("acquire", (lid, item.context_expr), inner)
+                        inner = inner + (lid,)
+                yield from walk(stmt.body, inner)
+                continue
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, (ast.stmt, ast.excepthandler)):
+                    continue
+                for node in ast.walk(child):
+                    yield ("node", node, held)
+            yield ("stmt", stmt, held)
+            for attr in ("body", "orelse", "finalbody"):
+                nested = getattr(stmt, attr, None)
+                if nested and all(isinstance(s, ast.stmt) for s in nested):
+                    yield from walk(nested, held)
+            for handler in getattr(stmt, "handlers", []):
+                yield from walk(handler.body, held)
+
+    yield from walk(fn.node.body, ())
+
+
+def _container_call_receiver_attr(fn: FunctionInfo, call: ast.Call) -> str | None:
+    """``X`` when *call* is ``self.X.<method>()`` on an owner container."""
+    func = call.func
+    if not isinstance(func, ast.Attribute):
+        return None
+    attr = _is_self_attr(func.value)
+    if (
+        attr is not None
+        and fn.owner is not None
+        and attr in fn.owner.mutable_attrs
+    ):
+        return attr
+    return None
+
+
+# ----------------------------------------------------------------------
+# REPRO100 — no blocking calls in async bodies
+# ----------------------------------------------------------------------
+_BLOCKING_ORIGINS = frozenset(
+    {
+        "time.sleep",
+        "os.system",
+        "os.popen",
+        "os.fsync",
+        "socket.socket",
+        "socket.create_connection",
+        "socket.getaddrinfo",
+        "urllib.request.urlopen",
+        "open",
+        "input",
+    }
+)
+_BLOCKING_PREFIXES = ("subprocess.", "requests.")
+
+
+@_rule(
+    "REPRO100",
+    "no blocking calls inside async def bodies",
+    "The asyncio event loop serves every connection on one thread; a "
+    "single time.sleep / sync socket / subprocess call inside a handler "
+    "stalls the whole server, not one request.",
+    doc="""\
+Flags, inside every `async def` in the server packages
+(`server-packages`, default `repro/server`):
+
+* calls whose resolved origin is blocking — `time.sleep`, builtin
+  `open`, `socket.socket` / `create_connection` / `getaddrinfo`,
+  `os.system` / `os.popen` / `os.fsync`, `urllib.request.urlopen`,
+  anything under `subprocess.` or `requests.`;
+* `.acquire()` on anything without a `timeout=` argument — a bare lock
+  acquire can park the event loop indefinitely.
+
+Blocking work belongs behind `loop.run_in_executor(...)` (how the
+query engine is invoked from `repro/server/app.py`) or an async
+equivalent (`asyncio.sleep`, `asyncio.open_connection`).  Nested
+synchronous helper functions are exempt — only code the event loop
+runs directly is checked.""",
+)
+def check_async_blocking(
+    model: ProjectModel, config: AnalysisConfig
+) -> Iterator[Finding]:
+    for fn in model.iter_functions():
+        if not fn.is_async or not _path_matches(fn.module, config.server_packages):
+            continue
+        for node in _own_nodes(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            origin = _call_origin(fn.module, node.func)
+            if origin is not None and (
+                origin in _BLOCKING_ORIGINS
+                or origin.startswith(_BLOCKING_PREFIXES)
+            ):
+                yield _finding(
+                    fn.module,
+                    node,
+                    "REPRO100",
+                    f"blocking call {origin}() inside async function "
+                    f"{fn.qualname!r}; it stalls the event loop — use an "
+                    "async equivalent or run_in_executor",
+                )
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "acquire"
+                and not any(kw.arg == "timeout" for kw in node.keywords)
+            ):
+                yield _finding(
+                    fn.module,
+                    node,
+                    "REPRO100",
+                    f".acquire() without timeout inside async function "
+                    f"{fn.qualname!r}; a contended lock parks the event "
+                    "loop indefinitely",
+                )
+
+
+# ----------------------------------------------------------------------
+# REPRO101 — locks are held via with, never bare acquire/release
+# ----------------------------------------------------------------------
+@_rule(
+    "REPRO101",
+    "lock attributes are acquired via with, not bare acquire/release",
+    "A bare .acquire()/.release() pair leaks the lock when the code "
+    "between them raises; `with` releases on every exit path.  Every "
+    "lock the store/server stack owns is context-managed.",
+    doc="""\
+Any `.acquire()` or `.release()` call whose receiver resolves to a
+known lock attribute (an instance attribute assigned
+`threading.Lock()` / `RLock()` / `Condition()` anywhere in the
+project) is flagged, in the concurrency packages
+(`concurrency-packages`, default `repro/store` + `repro/server`).
+
+Rationale: `with self._lock:` releases on return, exception, and
+`break` alike; a manual pair silently deadlocks the next acquirer the
+first time the critical section raises.  Code that genuinely needs a
+conditional acquire (e.g. `acquire(timeout=...)` probes) should carry
+a reasoned `# repro: noqa[REPRO101]`.""",
+)
+def check_bare_acquire(
+    model: ProjectModel, config: AnalysisConfig
+) -> Iterator[Finding]:
+    for fn in model.iter_functions():
+        if not _path_matches(fn.module, config.concurrency_packages):
+            continue
+        for node in _own_nodes(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr not in ("acquire", "release"):
+                continue
+            lid = _lock_id(func.value, fn.owner, model)
+            if lid is not None:
+                yield _finding(
+                    fn.module,
+                    node,
+                    "REPRO101",
+                    f"bare .{func.attr}() on lock {lid} in {fn.qualname!r}; "
+                    "use a `with` block so the lock is released on every "
+                    "exit path",
+                )
+
+
+# ----------------------------------------------------------------------
+# REPRO102 — the lock-ordering graph is acyclic
+# ----------------------------------------------------------------------
+def _lock_model(
+    model: ProjectModel, config: AnalysisConfig
+) -> tuple[
+    dict[tuple[str, str], tuple[FunctionInfo, ast.AST, str]],
+    dict[int, set[str]],
+]:
+    """(ordering edges, transitive lock set per function id).
+
+    Edges map ``(held, acquired)`` to a representative site.  Call
+    resolution is by bare name across the whole project — sound but
+    over-approximate — except calls on the owner's own mutable-container
+    attributes (``self._data.get(...)``), which are container operations,
+    not project calls.  Interprocedural self-edges are dropped for the
+    same reason (a same-named wrapper otherwise reports every lock as
+    conflicting with itself); *direct* self-nesting is kept.
+    """
+    fns = [
+        fn
+        for fn in model.iter_functions()
+        if _path_matches(fn.module, config.concurrency_packages)
+    ]
+    direct: dict[int, set[str]] = {}
+    acquires: dict[int, list[tuple[str, ast.AST, tuple[str, ...]]]] = {}
+    calls: dict[int, list[tuple[str, ast.AST, tuple[str, ...]]]] = {}
+    for fn in fns:
+        key = id(fn)
+        direct[key] = set()
+        acquires[key] = []
+        calls[key] = []
+        for kind, payload, held in _lock_events(fn, model):
+            if kind == "acquire":
+                lid, node = payload  # type: ignore[misc]
+                direct[key].add(lid)
+                acquires[key].append((lid, node, held))
+            elif kind == "node" and isinstance(payload, ast.Call):
+                if not held:
+                    continue
+                if _container_call_receiver_attr(fn, payload) is not None:
+                    continue
+                name = tail_name(payload.func)
+                if name is not None:
+                    calls[key].append((name, payload, held))
+
+    by_id = {id(fn): fn for fn in fns}
+    trans: dict[int, set[str]] = {k: set(v) for k, v in direct.items()}
+    changed = True
+    while changed:
+        changed = False
+        for key in trans:
+            for name, _node, _held in calls[key]:
+                for callee in model.functions_named(name):
+                    callee_locks = trans.get(id(callee))
+                    if callee_locks and not callee_locks <= trans[key]:
+                        trans[key] |= callee_locks
+                        changed = True
+
+    edges: dict[tuple[str, str], tuple[FunctionInfo, ast.AST, str]] = {}
+    for key, fn in by_id.items():
+        for lid, node, held in acquires[key]:
+            for h in held:
+                if h == lid and fn.owner is not None:
+                    factory = fn.owner.lock_attrs.get(lid.split(".")[-1])
+                    if factory == "RLock":
+                        continue  # reentrant by design
+                edges.setdefault(
+                    (h, lid), (fn, node, f"acquired while holding {h}")
+                )
+        for name, node, held in calls[key]:
+            reachable: set[str] = set()
+            for callee in model.functions_named(name):
+                reachable |= trans.get(id(callee), set())
+            for m in reachable:
+                for h in held:
+                    if m == h:
+                        continue  # over-approximate call resolution
+                    edges.setdefault(
+                        (h, m),
+                        (fn, node, f"call to {name}() may acquire {m}"),
+                    )
+    return edges, trans
+
+
+def _find_cycles(edges: dict[tuple[str, str], object]) -> list[list[str]]:
+    """Elementary cycles in the edge set, canonicalised and de-duplicated."""
+    adj: dict[str, list[str]] = {}
+    for src, dst in edges:
+        adj.setdefault(src, []).append(dst)
+        adj.setdefault(dst, [])
+    cycles: list[list[str]] = []
+    seen: set[tuple[str, ...]] = set()
+    state: dict[str, int] = {}  # 0 unvisited / 1 on stack / 2 done
+    stack: list[str] = []
+
+    def dfs(node: str) -> None:
+        state[node] = 1
+        stack.append(node)
+        for nxt in sorted(adj[node]):
+            if state.get(nxt, 0) == 0:
+                dfs(nxt)
+            elif state.get(nxt) == 1:
+                cycle = stack[stack.index(nxt) :]
+                pivot = cycle.index(min(cycle))
+                canon = tuple(cycle[pivot:] + cycle[:pivot])
+                if canon not in seen:
+                    seen.add(canon)
+                    cycles.append(list(canon))
+        stack.pop()
+        state[node] = 2
+
+    for node in sorted(adj):
+        if state.get(node, 0) == 0:
+            dfs(node)
+    return cycles
+
+
+@_rule(
+    "REPRO102",
+    "the project lock-ordering graph is acyclic",
+    "Two threads taking the same pair of locks in opposite orders "
+    "deadlock under the right interleaving; an acyclic global ordering "
+    "makes that impossible by construction.",
+    doc="""\
+The analyzer builds a project-wide lock-ordering graph: an edge
+`A -> B` means some code path acquires lock `B` (a `with` on a known
+lock attribute) while already holding `A` — either directly via nested
+`with` blocks, or interprocedurally, because a call made under `A`
+reaches a function whose transitive lock set contains `B`.  Calls
+resolve by bare name to every same-named function in the project
+(over-approximate, therefore sound); a cycle in the resulting graph is
+reported with one representative acquisition site.
+
+The store's intended order is documented in `repro/store/segments.py`:
+`_compact_lock -> _write_lock -> state_lock / DeltaSegment._lock`, with
+the metrics/cache locks as leaves.  The runtime witness
+(`repro.analysis.runtime_witness`, enabled by `REPRO_DEBUG=1`) checks
+the *observed* acquisition order against this same model, covering
+call-through-stored-function edges static analysis cannot see.""",
+)
+def check_lock_order(
+    model: ProjectModel, config: AnalysisConfig
+) -> Iterator[Finding]:
+    edges, _trans = _lock_model(model, config)
+    for cycle in _find_cycles(edges):
+        ring = cycle + [cycle[0]]
+        first = edges[(ring[0], ring[1])]
+        fn, node, via = first
+        yield _finding(
+            fn.module,
+            node,
+            "REPRO102",
+            "lock-ordering cycle " + " -> ".join(ring) + f" ({via} in "
+            f"{fn.qualname}); threads taking these locks in opposite "
+            "orders can deadlock",
+        )
+
+
+# ----------------------------------------------------------------------
+# REPRO103 — WAL append is followed by sync before return
+# ----------------------------------------------------------------------
+def _is_walish(expr: ast.expr) -> bool:
+    return any("wal" in seg.lower() for seg in _receiver_segments(expr))
+
+
+@_rule(
+    "REPRO103",
+    "WAL appends are synced before the function returns",
+    "The write path's durability promise is fsync-before-ack: a batch "
+    "is acknowledged only after its WAL records are on disk.  An append "
+    "without a dominating sync() acks data a crash can lose.",
+    doc="""\
+Any function in the concurrency packages that calls `.append(...)` on
+a WAL-ish receiver (an access chain with a `wal` segment, e.g.
+`self._wal.append`) must also call `.sync()` or `.close()` on a
+WAL-ish receiver — or `os.fsync` — at or after the last append.
+
+This approximates "a sync dominates every return on the ack path" by
+line position, which matches the repository idiom (append in a loop,
+one sync at the end — see `WritablePostingStore.ingest_batch`).  A
+function that intentionally defers durability (e.g. group commit held
+open across calls) should carry a reasoned `# repro: noqa[REPRO103]`
+on the append line.""",
+)
+def check_wal_durability(
+    model: ProjectModel, config: AnalysisConfig
+) -> Iterator[Finding]:
+    for fn in model.iter_functions():
+        if not _path_matches(fn.module, config.concurrency_packages):
+            continue
+        appends: list[ast.Call] = []
+        syncs: list[ast.Call] = []
+        for node in _own_nodes(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute) and _is_walish(func.value):
+                if func.attr == "append":
+                    appends.append(node)
+                elif func.attr in ("sync", "close"):
+                    syncs.append(node)
+            elif _call_origin(fn.module, func) == "os.fsync":
+                syncs.append(node)
+        if not appends:
+            continue
+        last_append = max(appends, key=lambda n: n.lineno)
+        if not any(s.lineno >= last_append.lineno for s in syncs):
+            yield _finding(
+                fn.module,
+                last_append,
+                "REPRO103",
+                f"{fn.qualname!r} appends to the WAL but never syncs it "
+                "before returning; acknowledged data would be lost by a "
+                "crash — call .sync() on the ack path",
+            )
+
+
+# ----------------------------------------------------------------------
+# REPRO104 — cache keys are versioned; degraded results stay out
+# ----------------------------------------------------------------------
+_DEGRADED_GUARD_WORDS = (
+    "degraded", "partial", "status", "ok", "failed", "timed_out", "error",
+)
+_VERSION_WORDS = ("version", "generation", "revision", "gen")
+
+
+def _plan_cache_put_findings(fn: FunctionInfo) -> Iterator[tuple[ast.Call, str]]:
+    """(node, problem) for unguarded/unversioned plan-cache puts."""
+    has_version = any(
+        isinstance(node, (ast.Attribute, ast.Name))
+        and (tail_name(node) or "") == "read_version"
+        for node in _own_nodes(fn.node)
+    )
+
+    def walk(body: list[ast.stmt], guards: tuple[str, ...]) -> Iterator:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            new_guards = guards
+            if isinstance(stmt, ast.If):
+                try:
+                    new_guards = guards + (ast.unparse(stmt.test).lower(),)
+                except Exception:  # pragma: no cover - unparse is total on ast
+                    new_guards = guards
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, (ast.stmt, ast.excepthandler)):
+                    continue
+                for node in ast.walk(child):
+                    if (
+                        isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)
+                        and node.func.attr == "put"
+                        and "plan_cache" in "".join(
+                            _receiver_segments(node.func.value)
+                        )
+                    ):
+                        if not has_version:
+                            yield node, (
+                                "inserts into the plan-result cache without "
+                                "deriving the key from read_version(); stale "
+                                "results survive ingest/compaction"
+                            )
+                        if not any(
+                            any(w in g for w in _DEGRADED_GUARD_WORDS)
+                            for g in (
+                                new_guards
+                                if isinstance(stmt, ast.If)
+                                else guards
+                            )
+                        ):
+                            yield node, (
+                                "plan-cache put is not guarded against "
+                                "degraded results (no enclosing if on "
+                                "degraded/status); partial answers would be "
+                                "served as complete until the next version "
+                                "bump"
+                            )
+            for attr in ("body", "orelse", "finalbody"):
+                nested = getattr(stmt, attr, None)
+                if nested and all(isinstance(s, ast.stmt) for s in nested):
+                    yield from walk(nested, new_guards)
+            for handler in getattr(stmt, "handlers", []):
+                yield from walk(handler.body, new_guards)
+
+    yield from walk(fn.node.body, ())
+
+
+@_rule(
+    "REPRO104",
+    "cache inserts carry a version and exclude degraded results",
+    "The plan cache is only coherent because the store version lives "
+    "inside every key; an unversioned key (or a cached partial result) "
+    "serves stale/incomplete answers with a confident status.",
+    doc="""\
+Three checks over the concurrency packages:
+
+1. A function calling `<...>plan_cache<...>.put(...)` must also call
+   `read_version()` — the version belongs inside the key, so ingest
+   and compaction invalidate by key motion rather than by callbacks.
+2. That same put must sit under an `if` whose condition mentions the
+   result status (`degraded` / `partial` / `status` / `ok` / `failed`
+   / `timed_out`): degraded results must never be cached, or a
+   timeout's partial answer is replayed as authoritative.
+3. A `decode(..., key=(a, b, c))` call whose key is a plain tuple of
+   names — no call, no version-ish component — is flagged: per-term
+   decode keys must include the term's rewrite generation (use
+   `plan.versioned()` / the shard `versions` map), or a compacted
+   term's old array is served from cache under the same codec name.""",
+)
+def check_cache_versioning(
+    model: ProjectModel, config: AnalysisConfig
+) -> Iterator[Finding]:
+    for fn in model.iter_functions():
+        if not _path_matches(fn.module, config.concurrency_packages):
+            continue
+        for node, problem in _plan_cache_put_findings(fn):
+            yield _finding(fn.module, node, "REPRO104", f"{fn.qualname!r} {problem}")
+        for node in _own_nodes(fn.node):
+            if not (
+                isinstance(node, ast.Call) and tail_name(node.func) == "decode"
+            ):
+                continue
+            for kw in node.keywords:
+                if kw.arg != "key" or not isinstance(kw.value, ast.Tuple):
+                    continue
+                versioned = any(
+                    isinstance(elt, ast.Call)
+                    or any(
+                        w in (tail_name(elt) or "").lower()
+                        for w in _VERSION_WORDS
+                    )
+                    for elt in kw.value.elts
+                )
+                if not versioned:
+                    yield _finding(
+                        fn.module,
+                        kw.value,
+                        "REPRO104",
+                        f"{fn.qualname!r} builds a decode cache key from a "
+                        "raw tuple with no version component; a term "
+                        "rewritten by compaction under the same codec would "
+                        "be served stale from cache",
+                    )
+
+
+# ----------------------------------------------------------------------
+# REPRO105 — counter families move together
+# ----------------------------------------------------------------------
+@_rule(
+    "REPRO105",
+    "counter families are mutated together",
+    "offered = accepted + shed (and friends) are the identities the "
+    "metrics tests and capacity dashboards rely on; a path that bumps "
+    "one member without its anchor silently breaks the arithmetic.",
+    doc="""\
+For each configured family (`counter-families`; the first member is
+the *anchor* — the total the others partition), every class that
+initialises all members as integer attributes is checked: any method
+that augments a non-anchor member must also augment the anchor, and
+any method that augments the anchor must augment at least one other
+member (to record *which* branch the event took).  Branch-local
+correctness (`if accepted: ... else: ...`) is accepted at method
+granularity — the rule catches the common regression of adding a new
+early-return path that bumps `_offered` and nothing else.""",
+)
+def check_counter_families(
+    model: ProjectModel, config: AnalysisConfig
+) -> Iterator[Finding]:
+    for cls in model.iter_classes():
+        if not _path_matches(cls.module, config.concurrency_packages):
+            continue
+        for family in config.counter_families:
+            if not set(family) <= set(cls.int_attrs):
+                continue
+            anchor = family[0]
+            for fn in model.iter_functions():
+                if fn.owner is not cls or fn.name == "__init__":
+                    continue
+                mutated = set()
+                site: ast.AST = fn.node
+                for node in _own_nodes(fn.node):
+                    if isinstance(node, ast.AugAssign):
+                        attr = _is_self_attr(node.target)
+                        if attr in family:
+                            mutated.add(attr)
+                            site = node
+                if not mutated:
+                    continue
+                if anchor not in mutated:
+                    yield _finding(
+                        fn.module,
+                        site,
+                        "REPRO105",
+                        f"{fn.qualname!r} mutates {sorted(mutated)} without "
+                        f"the family anchor {anchor!r}; the "
+                        f"{'+'.join(family[1:])} <= {anchor} identity breaks",
+                    )
+                elif mutated == {anchor} and len(family) > 1:
+                    yield _finding(
+                        fn.module,
+                        site,
+                        "REPRO105",
+                        f"{fn.qualname!r} mutates the anchor {anchor!r} "
+                        "without recording any other family member "
+                        f"({', '.join(family[1:])}); the event's outcome is "
+                        "lost",
+                    )
+
+
+# ----------------------------------------------------------------------
+# REPRO106 — except Exception must re-raise or wrap
+# ----------------------------------------------------------------------
+@_rule(
+    "REPRO106",
+    "broad except handlers re-raise or wrap into the error hierarchy",
+    "A swallowed `except Exception` in the store/server turns data-"
+    "corrupting bugs into silently wrong answers; handlers must re-"
+    "raise, wrap into repro.store.errors, or justify themselves.",
+    doc="""\
+`except Exception:`, `except BaseException:`, and bare `except:` in
+the concurrency packages must contain a `raise` somewhere in the
+handler body (re-raise, or wrap into the `repro.store.errors`
+hierarchy so callers can route on error class).  Intentional
+containment points — the server's answer-500-and-keep-serving
+handlers, the engine's degrade-to-partial-results path — carry a
+reasoned `# repro: noqa[REPRO106] -- <why>` on the `except` line; the
+reason is part of the contract (`--strict-noqa` keeps them honest by
+reporting suppressions that stop matching).""",
+)
+def check_exception_taxonomy(
+    model: ProjectModel, config: AnalysisConfig
+) -> Iterator[Finding]:
+    for mod in model.modules:
+        if not _path_matches(mod, config.concurrency_packages):
+            continue
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                broad = "bare except"
+            elif tail_name(node.type) in ("Exception", "BaseException"):
+                broad = f"except {tail_name(node.type)}"
+            else:
+                continue
+            if any(isinstance(n, ast.Raise) for n in ast.walk(node)):
+                continue
+            yield _finding(
+                mod,
+                node,
+                "REPRO106",
+                f"{broad} swallows the error; re-raise, wrap into the "
+                "repro.store.errors hierarchy, or add a reasoned "
+                "`# repro: noqa[REPRO106] -- why`",
+            )
+
+
+# ----------------------------------------------------------------------
+# REPRO107 — shared mutable state is mutated under a class lock
+# ----------------------------------------------------------------------
+_CONTAINER_MUTATORS = frozenset(
+    {
+        "append", "extend", "insert", "remove", "pop", "popitem", "clear",
+        "update", "setdefault", "add", "discard", "move_to_end",
+    }
+)
+
+
+def _holds_class_lock(held: tuple[str, ...], cls: ClassDef) -> bool:
+    return any(h.split(".", 1)[0] == cls.name for h in held)
+
+
+def _unguarded_mutations(
+    fn: FunctionInfo, cls: ClassDef, model: ProjectModel
+) -> Iterator[tuple[ast.AST, str]]:
+    tracked = set(cls.int_attrs) | cls.mutable_attrs
+    for kind, payload, held in _lock_events(fn, model):
+        if _holds_class_lock(held, cls):
+            continue
+        if kind == "stmt":
+            stmt = payload
+            if isinstance(stmt, ast.AugAssign):
+                attr = _is_self_attr(stmt.target)
+                if attr in tracked:
+                    yield stmt, f"augments self.{attr}"
+            elif isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                targets = (
+                    stmt.targets
+                    if isinstance(stmt, ast.Assign)
+                    else [stmt.target]
+                )
+                for target in targets:
+                    if isinstance(target, ast.Subscript):
+                        attr = _is_self_attr(target.value)
+                        if attr in cls.mutable_attrs:
+                            yield stmt, f"stores into self.{attr}[...]"
+            elif isinstance(stmt, ast.Delete):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Subscript):
+                        attr = _is_self_attr(target.value)
+                        if attr in cls.mutable_attrs:
+                            yield stmt, f"deletes from self.{attr}[...]"
+        elif kind == "node" and isinstance(payload, ast.Call):
+            func = payload.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _CONTAINER_MUTATORS
+            ):
+                attr = _is_self_attr(func.value)
+                if attr in cls.mutable_attrs:
+                    yield payload, f"calls self.{attr}.{func.attr}()"
+
+
+def _called_only_under_lock(
+    method: FunctionInfo, cls: ClassDef, model: ProjectModel
+) -> bool:
+    """True when every intra-class call of *method* holds a class lock.
+
+    The `DeltaSegment._entry` pattern: a private helper with no lock of
+    its own because every caller already holds the segment lock.  A
+    method with no intra-class call sites at all is *not* exempt.
+    """
+    sites = 0
+    for fn in model.iter_functions():
+        if fn.owner is not cls or fn is method:
+            continue
+        for kind, payload, held in _lock_events(fn, model):
+            if (
+                kind == "node"
+                and isinstance(payload, ast.Call)
+                and isinstance(payload.func, ast.Attribute)
+                and _is_self_attr(payload.func, method.name) is not None
+            ):
+                sites += 1
+                if not _holds_class_lock(held, cls):
+                    return False
+    return sites > 0
+
+
+@_rule(
+    "REPRO107",
+    "shared mutable state is mutated under a class lock",
+    "A class that owns a lock owns it for a reason: its counters and "
+    "containers are reached from worker threads.  A mutation outside "
+    "every `with <lock>` region is a data race the tests only catch "
+    "under unlucky scheduling.",
+    doc="""\
+For every class in the concurrency packages that declares at least one
+lock attribute, mutations of its `__init__`-declared mutable state —
+integer counters (augmented assignment) and mutable containers
+(`.append()`/`.update()`/subscript stores/`del`) — must occur inside a
+`with` region holding one of the class's own locks.
+
+Two escapes: `__init__` itself (no concurrent access before
+construction completes), and private helpers whose every intra-class
+call site already holds a class lock (the `DeltaSegment._entry`
+pattern — the lock is the caller's obligation, documented there).
+State that is genuinely immutable-after-init should either be built
+entirely inside `__init__` or carry a reasoned
+`# repro: noqa[REPRO107]` where the single-threaded mutation happens
+(e.g. recovery code that runs before the store is published).""",
+)
+def check_guarded_state(
+    model: ProjectModel, config: AnalysisConfig
+) -> Iterator[Finding]:
+    for cls in model.iter_classes():
+        if not cls.lock_attrs:
+            continue
+        if not _path_matches(cls.module, config.concurrency_packages):
+            continue
+        for fn in model.iter_functions():
+            if fn.owner is not cls or fn.name == "__init__":
+                continue
+            hits = list(_unguarded_mutations(fn, cls, model))
+            if not hits:
+                continue
+            if _called_only_under_lock(fn, cls, model):
+                continue
+            for node, what in hits:
+                yield _finding(
+                    fn.module,
+                    node,
+                    "REPRO107",
+                    f"{fn.qualname!r} {what} without holding any "
+                    f"{cls.name} lock ({', '.join(sorted(cls.lock_attrs))}); "
+                    "thread-shared state must be mutated under the lock or "
+                    "documented immutable-after-init",
+                )

@@ -13,6 +13,9 @@ codecs).  Projects embedding the analyzer can override any of it via a
     timing-exempt = ["repro/bench"]     # REPRO004-free path fragments
     magic-packages = ["repro/bitmaps"]  # REPRO005 scope
     magic-numbers = [31, 32, 64, 128]   # REPRO005 literal set
+    server-packages = ["repro/server"]  # REPRO100 async scope
+    concurrency-packages = ["repro/store", "repro/server"]
+    counter-families = [["_offered", "_accepted", "_shed"]]
 """
 
 from __future__ import annotations
@@ -26,6 +29,16 @@ from pathlib import Path
 #: WAH-family group/word sizes, 63/64 the EWAH/Bitset word sizes, 128
 #: the paper's inverted-list block size, 65536 the Roaring chunk width.
 DEFAULT_MAGIC_NUMBERS = frozenset({31, 32, 63, 64, 128, 65536})
+
+#: Counter families whose members must be mutated together (REPRO105).
+#: The first member of each tuple is the *anchor* — the total every
+#: other member partitions (offered = accepted + shed, flights ⊇
+#: coalesced, ingest batches ⊇ ops/failures).
+DEFAULT_COUNTER_FAMILIES: tuple[tuple[str, ...], ...] = (
+    ("_offered", "_accepted", "_shed"),
+    ("_flights", "_coalesced"),
+    ("_ingest_batches", "_ingest_ops", "_ingest_failures"),
+)
 
 
 @dataclass(frozen=True)
@@ -41,6 +54,14 @@ class AnalysisConfig:
         magic_packages: path fragments where REPRO005 looks for inline
             word-size literals (the codec packages).
         magic_numbers: the literal values REPRO005 hunts for.
+        server_packages: path fragments holding asyncio code, where
+            REPRO100 bans blocking calls inside ``async def`` bodies.
+        concurrency_packages: path fragments holding thread-shared
+            state, where the REPRO101–107 concurrency contracts apply.
+        counter_families: attribute-name tuples (anchor first) that
+            REPRO105 requires to be mutated together.
+        strict_noqa: when True, suppression comments that matched no
+            finding are themselves reported (rule REPRO099).
     """
 
     select: frozenset[str] = frozenset()
@@ -48,6 +69,10 @@ class AnalysisConfig:
     timing_exempt: tuple[str, ...] = ("repro/bench", "repro/analysis")
     magic_packages: tuple[str, ...] = ("repro/bitmaps", "repro/invlists")
     magic_numbers: frozenset[int] = field(default=DEFAULT_MAGIC_NUMBERS)
+    server_packages: tuple[str, ...] = ("repro/server",)
+    concurrency_packages: tuple[str, ...] = ("repro/store", "repro/server")
+    counter_families: tuple[tuple[str, ...], ...] = DEFAULT_COUNTER_FAMILIES
+    strict_noqa: bool = False
 
     def rule_enabled(self, code: str) -> bool:
         if code in self.ignore:
@@ -83,6 +108,18 @@ def load_config(pyproject: Path | None = None) -> AnalysisConfig:
         updates["magic_packages"] = tuple(str(p) for p in table["magic-packages"])
     if "magic-numbers" in table:
         updates["magic_numbers"] = frozenset(int(v) for v in table["magic-numbers"])
+    if "server-packages" in table:
+        updates["server_packages"] = tuple(str(p) for p in table["server-packages"])
+    if "concurrency-packages" in table:
+        updates["concurrency_packages"] = tuple(
+            str(p) for p in table["concurrency-packages"]
+        )
+    if "counter-families" in table:
+        updates["counter_families"] = tuple(
+            tuple(str(a) for a in family) for family in table["counter-families"]
+        )
+    if "strict-noqa" in table:
+        updates["strict_noqa"] = bool(table["strict-noqa"])
     return replace(cfg, **updates)  # type: ignore[arg-type]
 
 

@@ -7,7 +7,7 @@ from typing import Iterable, Sequence
 
 from repro.analysis.config import AnalysisConfig, find_pyproject, load_config
 from repro.analysis.findings import Finding
-from repro.analysis.rules import run_rules
+from repro.analysis.rules import RULES, run_rules
 from repro.analysis.walker import ALL_RULES, ProjectModel, build_model
 
 
@@ -19,18 +19,84 @@ def default_paths() -> list[Path]:
 
 
 def _apply_suppressions(
-    model: ProjectModel, findings: Iterable[Finding]
+    model: ProjectModel,
+    findings: Iterable[Finding],
+    config: AnalysisConfig | None = None,
 ) -> list[Finding]:
+    """Filter suppressed findings; under strict-noqa, report stale noqas.
+
+    A suppression is credited to the specific code it names when
+    possible, falling back to a blanket ``# repro: noqa`` on the same
+    line.  The credit ledger is what makes ``strict_noqa`` sound: any
+    comment that absorbed nothing — and whose rule was actually enabled
+    in this run — resurfaces as a REPRO099 finding.
+    """
     by_path = {mod.relpath: mod for mod in model.modules}
+    used: set[tuple[str, int, str]] = set()
     kept = []
     for finding in findings:
         mod = by_path.get(finding.path)
         if mod is not None:
             codes = mod.noqa.get(finding.line)
-            if codes and (ALL_RULES in codes or finding.rule in codes):
-                continue
+            if codes:
+                if finding.rule in codes:
+                    used.add((finding.path, finding.line, finding.rule))
+                    continue
+                if ALL_RULES in codes:
+                    used.add((finding.path, finding.line, ALL_RULES))
+                    continue
         kept.append(finding)
+    if config is not None and config.strict_noqa:
+        kept.extend(_unused_suppressions(model, used, config))
     return kept
+
+
+def _unused_suppressions(
+    model: ProjectModel,
+    used: set[tuple[str, int, str]],
+    config: AnalysisConfig,
+) -> Iterable[Finding]:
+    """REPRO099 findings for suppression comments that absorbed nothing.
+
+    Blanket noqas are only judged during a full run (empty ``select``):
+    a rule subset cannot tell whether the blanket still earns its keep
+    against the rules that did not run.  Code-scoped noqas are judged
+    whenever their rule was enabled.
+    """
+    full_run = not config.select
+    for mod in model.modules:
+        for line, codes in sorted(mod.noqa.items()):
+            for code in sorted(codes):
+                if (mod.relpath, line, code) in used:
+                    continue
+                if code == ALL_RULES:
+                    if full_run:
+                        yield Finding(
+                            path=mod.relpath,
+                            line=line,
+                            col=0,
+                            rule="REPRO099",
+                            message=(
+                                "blanket `# repro: noqa` suppressed nothing; "
+                                "delete it or scope it to a rule code"
+                            ),
+                        )
+                    continue
+                if not config.rule_enabled(code):
+                    continue
+                detail = (
+                    f"suppression `# repro: noqa[{code}]` matched no "
+                    f"{code} finding on this line; delete it"
+                    if code in RULES
+                    else f"suppression names unknown rule code {code}"
+                )
+                yield Finding(
+                    path=mod.relpath,
+                    line=line,
+                    col=0,
+                    rule="REPRO099",
+                    message=detail,
+                )
 
 
 def run_checks(
@@ -59,4 +125,4 @@ def run_checks(
     model = build_model(resolved)
     findings = list(model.parse_failures)
     findings.extend(run_rules(model, cfg))
-    return sorted(_apply_suppressions(model, findings))
+    return sorted(_apply_suppressions(model, findings, cfg))

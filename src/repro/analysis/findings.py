@@ -48,3 +48,22 @@ def findings_to_json(findings: Iterable[Finding]) -> str:
 
 def format_text(findings: Iterable[Finding]) -> str:
     return "\n".join(f.format() for f in findings)
+
+
+def _gh_escape(text: str) -> str:
+    """Escape a workflow-command message (GitHub's own %-encoding)."""
+    return text.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+
+
+def format_github(findings: Iterable[Finding]) -> str:
+    """GitHub Actions ``::error`` annotations (``--format=github``).
+
+    One workflow command per finding; the Actions runner attaches each
+    to its file/line in the PR diff view.  Columns are converted to the
+    1-based convention the annotation API expects.
+    """
+    return "\n".join(
+        f"::error file={f.path},line={f.line},col={f.col + 1},"
+        f"title={f.rule}::{_gh_escape(f'{f.rule} {f.message}')}"
+        for f in findings
+    )

@@ -46,17 +46,59 @@ class Rule:
     title: str
     rationale: str
     check: RuleCheck
+    #: Long-form documentation for ``--explain`` (falls back to the
+    #: rationale when a rule hasn't written one).
+    doc: str = ""
+
+    @property
+    def explain_text(self) -> str:
+        body = self.doc.strip() or self.rationale
+        return f"{self.code} — {self.title}\n\n{body}\n"
 
 
 RULES: dict[str, Rule] = {}
 
 
-def _rule(code: str, title: str, rationale: str) -> Callable[[RuleCheck], RuleCheck]:
+def _rule(
+    code: str, title: str, rationale: str, doc: str = ""
+) -> Callable[[RuleCheck], RuleCheck]:
     def decorate(fn: RuleCheck) -> RuleCheck:
-        RULES[code] = Rule(code=code, title=title, rationale=rationale, check=fn)
+        RULES[code] = Rule(
+            code=code, title=title, rationale=rationale, check=fn, doc=doc
+        )
         return fn
 
     return decorate
+
+
+@_rule(
+    "REPRO099",
+    "unused suppression comment",
+    "A `# repro: noqa` that no longer matches a finding is a contract "
+    "hole waiting to hide the next genuine violation; strict-noqa mode "
+    "reports it so suppressions stay exactly as narrow as the code needs.",
+    doc="""\
+Reported only under ``--strict-noqa`` (or ``strict-noqa = true`` in
+``[tool.repro-analysis]``).  The engine tracks which suppression
+comments actually absorbed a finding during the run; any leftover
+``# repro: noqa[REPROxxx]`` whose rule was enabled but produced nothing
+on that line is reported here, as is a blanket ``# repro: noqa`` that
+suppressed nothing during a full (unselected) run.
+
+Suppressions scoped to rules that were *not* enabled in the current run
+are never reported — a ``--select`` subset cannot know whether the
+other rules still need them.
+
+Fix by deleting the stale comment, or narrowing a blanket noqa to the
+rule codes the line genuinely violates.
+""",
+)
+def check_unused_suppressions(
+    model: ProjectModel, config: AnalysisConfig
+) -> Iterator[Finding]:
+    """Placeholder: REPRO099 is emitted by the engine's suppression pass,
+    which is the only place that knows which noqa comments were used."""
+    return iter(())
 
 
 def _finding(mod: ModuleInfo, node: ast.AST, code: str, message: str) -> Finding:
@@ -70,7 +112,12 @@ def _finding(mod: ModuleInfo, node: ast.AST, code: str, message: str) -> Finding
 
 
 def _path_matches(mod: ModuleInfo, fragments: tuple[str, ...]) -> bool:
-    return any(frag in mod.relpath for frag in fragments)
+    # Match against the absolute path too: when the analyzer runs from
+    # outside the repo (installed package, bare CLI), the display path
+    # is relative to the package root and drops the ``repro/`` prefix
+    # the configured fragments rely on.
+    paths = (mod.relpath, mod.path.as_posix())
+    return any(frag in p for frag in fragments for p in paths)
 
 
 # ----------------------------------------------------------------------
@@ -569,3 +616,8 @@ def run_rules(
     for code in sorted(RULES):
         if config.rule_enabled(code):
             yield from RULES[code].check(model, config)
+
+
+# Registers the REPRO100-series concurrency rules into RULES.  Imported
+# last so the decorator infrastructure above exists when it runs.
+from repro.analysis import concurrency as _concurrency  # noqa: E402,F401

@@ -1,0 +1,461 @@
+"""Runtime lock-order witness: the dynamic half of REPRO102.
+
+The static lock model (:func:`repro.analysis.concurrency._lock_model`)
+is over-approximate but has one blind spot: calls made through stored
+function values — ``self._cache_stats_fn()`` has no name to resolve, so
+an ordering edge it creates is invisible to the AST.  This module closes
+the loop the same way the differential suite cross-checks codecs:
+observe reality, compare against the model.
+
+Under ``REPRO_DEBUG=1`` (the same switch that arms the codec-metadata
+asserts in ``repro.core.registry``), every lock the store/server stack
+constructs is wrapped in a :class:`WitnessedLock` via
+:func:`maybe_witness`.  The wrapper keeps a per-thread stack of held
+locks and a global graph of observed acquisition-order edges, and
+
+* raises :class:`LockOrderViolation` the moment an acquisition would
+  close a cycle in the *observed* graph (the interleaving-independent
+  deadlock signal — two code paths have used these locks in opposite
+  orders, whether or not they collided this run);
+* raises on re-acquiring a non-reentrant lock already held by the same
+  thread (guaranteed self-deadlock);
+* records single-flight leader/follower transitions reported by
+  :meth:`repro.store.cache.DecodeCache.begin_flight`, asserting at most
+  one live leader per key.
+
+:func:`verify_against_static` then checks observed ⊆ static: every edge
+reality produced must be one the analyzer predicted.  An edge the model
+lacks means the model (or the code) is wrong — exactly the class of bug
+the StoreMetrics.snapshot callbacks-under-lock pattern used to be.
+
+With ``REPRO_DEBUG`` unset, :func:`maybe_witness` returns the lock
+unchanged: zero overhead, identical types, nothing to configure.
+
+``python -m repro.analysis.runtime_witness`` runs an in-process
+ingest/query/compaction churn exercise with the witness armed and exits
+non-zero on any violation; CI runs it inside the write-path smoke job.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Iterable
+
+__all__ = [
+    "LockOrderViolation",
+    "WitnessedLock",
+    "maybe_witness",
+    "witness_enabled",
+    "force_enable",
+    "note_flight",
+    "note_flight_done",
+    "observed_edges",
+    "witness_report",
+    "reset",
+    "verify_against_static",
+]
+
+
+class LockOrderViolation(RuntimeError):
+    """An observed acquisition contradicts safe lock ordering."""
+
+
+#: Explicit arming (tests, the CLI exercise) independent of the env var.
+_forced = False
+
+
+def witness_enabled() -> bool:
+    return _forced or os.environ.get("REPRO_DEBUG") == "1"
+
+
+def force_enable(on: bool = True) -> None:
+    """Arm (or disarm) the witness regardless of ``REPRO_DEBUG``."""
+    global _forced
+    _forced = on
+
+
+# ----------------------------------------------------------------------
+# Global observation state
+# ----------------------------------------------------------------------
+#: Guards every structure below.  A plain lock, never witnessed — the
+#: witness must not observe itself.
+_state_lock = threading.Lock()
+#: Observed ordering edges: (held, acquired) -> occurrence count.
+_edges: dict[tuple[str, str], int] = {}
+#: Adjacency view of ``_edges`` for cycle checks.
+_adj: dict[str, set[str]] = {}
+#: Per-key live single-flight leaders and follower counts.
+_flight_leaders: dict[object, int] = {}
+_flight_stats = {"leaders": 0, "followers": 0, "leader_collisions": 0}
+_thread_state = threading.local()
+
+
+def _held_stack() -> list[str]:
+    stack = getattr(_thread_state, "stack", None)
+    if stack is None:
+        stack = []
+        _thread_state.stack = stack
+    return stack
+
+
+def _reaches(src: str, dst: str) -> bool:
+    """True when *dst* is reachable from *src* in the observed graph."""
+    seen = {src}
+    frontier = [src]
+    while frontier:
+        node = frontier.pop()
+        if node == dst:
+            return True
+        for nxt in _adj.get(node, ()):
+            if nxt not in seen:
+                seen.add(nxt)
+                frontier.append(nxt)
+    return False
+
+
+def _record_acquire(name: str, reentrant: bool) -> None:
+    stack = _held_stack()
+    if name in stack:
+        if not reentrant:
+            raise LockOrderViolation(
+                f"thread re-acquires non-reentrant lock {name} it already "
+                f"holds (stack: {' -> '.join(stack)}); guaranteed deadlock"
+            )
+        stack.append(name)  # balanced pop on release, no new edge
+        return
+    held = stack[-1] if stack else None
+    if held is not None:
+        with _state_lock:
+            edge = (held, name)
+            if edge not in _edges and _reaches(name, held):
+                # Adding held -> name would close a cycle: some other
+                # path has already been observed taking these locks in
+                # the opposite order.
+                raise LockOrderViolation(
+                    f"lock-order inversion: acquiring {name} while "
+                    f"holding {held}, but the opposite order was already "
+                    "observed; threads interleaving these paths deadlock"
+                )
+            _edges[edge] = _edges.get(edge, 0) + 1
+            _adj.setdefault(held, set()).add(name)
+    stack.append(name)
+
+
+def _record_release(name: str) -> None:
+    stack = _held_stack()
+    if stack and stack[-1] == name:
+        stack.pop()
+    elif name in stack:  # out-of-order release: tolerate, stay balanced
+        stack.reverse()
+        stack.remove(name)
+        stack.reverse()
+
+
+class WitnessedLock:
+    """A lock proxy that reports acquisition order to the witness.
+
+    Duck-types the ``threading.Lock``/``RLock`` surface the repository
+    uses (``with``, ``acquire``/``release``, ``locked``).  The name is
+    the lock's *static identity* — ``"DecodeCache._lock"`` — so observed
+    edges compare directly against the analyzer's model.
+    """
+
+    __slots__ = ("name", "_inner", "_reentrant")
+
+    def __init__(self, name: str, inner, reentrant: bool | None = None) -> None:
+        self.name = name
+        self._inner = inner
+        if reentrant is None:
+            reentrant = "RLock" in type(inner).__name__
+        self._reentrant = reentrant
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        got = self._inner.acquire(blocking, timeout)
+        if got:
+            try:
+                _record_acquire(self.name, self._reentrant)
+            except LockOrderViolation:
+                self._inner.release()
+                raise
+        return got
+
+    def release(self) -> None:
+        self._inner.release()
+        _record_release(self.name)
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __enter__(self) -> "WitnessedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WitnessedLock({self.name!r}, {self._inner!r})"
+
+
+def maybe_witness(name: str, lock):
+    """Wrap *lock* for witnessing when armed; return it unchanged otherwise.
+
+    Call sites name locks with their static identity::
+
+        self._lock = maybe_witness("DecodeCache._lock", threading.Lock())
+
+    (The analyzer's walker recognises this wrapping, so the attribute is
+    still discovered as a lock by the REPRO101/102/107 rules.)
+    """
+    if not witness_enabled():
+        return lock
+    return WitnessedLock(name, lock)
+
+
+# ----------------------------------------------------------------------
+# Single-flight transitions
+# ----------------------------------------------------------------------
+def note_flight(key: object, leader: bool) -> None:
+    """Record one ``begin_flight`` outcome; assert leader uniqueness."""
+    if not witness_enabled():
+        return
+    with _state_lock:
+        if leader:
+            _flight_stats["leaders"] += 1
+            if _flight_leaders.get(key, 0) > 0:
+                _flight_stats["leader_collisions"] += 1
+                raise LockOrderViolation(
+                    f"single-flight invariant broken: second leader "
+                    f"elected for in-flight key {key!r}"
+                )
+            _flight_leaders[key] = 1
+        else:
+            _flight_stats["followers"] += 1
+
+
+def note_flight_done(key: object) -> None:
+    if not witness_enabled():
+        return
+    with _state_lock:
+        _flight_leaders.pop(key, None)
+
+
+# ----------------------------------------------------------------------
+# Reporting and verification
+# ----------------------------------------------------------------------
+def observed_edges() -> dict[tuple[str, str], int]:
+    with _state_lock:
+        return dict(_edges)
+
+
+def witness_report() -> dict:
+    """JSON-able summary of everything observed since the last reset."""
+    with _state_lock:
+        return {
+            "edges": sorted(f"{a} -> {b} (x{n})" for (a, b), n in _edges.items()),
+            "locks": sorted(
+                {x for edge in _edges for x in edge}
+            ),
+            "flights": dict(_flight_stats),
+            "live_flight_leaders": len(_flight_leaders),
+        }
+
+
+def reset() -> None:
+    """Clear all observations (per-test isolation)."""
+    with _state_lock:
+        _edges.clear()
+        _adj.clear()
+        _flight_leaders.clear()
+        for k in _flight_stats:
+            _flight_stats[k] = 0
+
+
+def verify_against_static(paths: Iterable | None = None) -> list[str]:
+    """Check the observed graph against the analyzer's lock model.
+
+    Every observed edge between locks the static model knows must be an
+    edge the model predicts (observed ⊆ static; the model is an
+    over-approximation, so the converse does not hold).  Edges touching
+    locks the model has never heard of — ad-hoc test locks — are
+    ignored.  Returns human-readable mismatch descriptions, empty when
+    consistent.
+    """
+    from pathlib import Path
+
+    from repro.analysis.concurrency import _lock_model
+    from repro.analysis.config import find_pyproject, load_config
+    from repro.analysis.engine import default_paths
+    from repro.analysis.walker import build_model
+
+    resolved = [Path(p) for p in paths] if paths else default_paths()
+    config = load_config(find_pyproject(resolved[0]))
+    model = build_model(resolved)
+    static_edges, _trans = _lock_model(model, config)
+    known = {
+        f"{cls.name}.{attr}"
+        for cls in model.iter_classes()
+        for attr in cls.lock_attrs
+    }
+    problems = []
+    for (held, acquired), count in observed_edges().items():
+        if held not in known or acquired not in known:
+            continue
+        if (held, acquired) not in static_edges:
+            problems.append(
+                f"observed lock-order edge {held} -> {acquired} (x{count}) "
+                "is absent from the static model; either the model lost an "
+                "edge source (check _lock_model call resolution) or code "
+                "acquires locks in an order the analyzer cannot see"
+            )
+    return problems
+
+
+# ----------------------------------------------------------------------
+# Churn exercise (CLI): drive the real write/read path under the witness
+# ----------------------------------------------------------------------
+def run_exercise(
+    *, ops: int = 240, threads: int = 4, seed: int = 7
+) -> dict:
+    """Ingest/query/compact churn with every lock witnessed.
+
+    Mirrors the write-path smoke scenario in-process: writer threads
+    push batches through the WAL, reader threads hammer cached queries
+    (forcing single-flight elections), a compactor rewrites terms, and
+    metrics snapshots run concurrently — while the witness records every
+    acquisition edge and flight transition.  Returns the report dict;
+    raises :class:`LockOrderViolation` on an inversion.
+    """
+    import random
+    import tempfile
+
+    force_enable(True)
+    reset()
+    # Imported here, after arming, purely for symmetry with the CLI —
+    # lock wrapping happens at *construction*, not import, time.
+    from repro.server.admission import AdmissionController
+    from repro.store.cache import DecodeCache, PlanResultCache
+    from repro.store.engine import QueryEngine
+    from repro.store.segments import WritablePostingStore
+
+    rng = random.Random(seed)
+    terms = [f"t{i}" for i in range(8)]
+    errors: list[BaseException] = []
+
+    with tempfile.TemporaryDirectory(prefix="repro-witness-") as tmp:
+        store = WritablePostingStore.open(tmp)
+        store.create_shard("s0", codec="Roaring", universe=16_384)
+        # Seed and compact so every term has a compressed base list:
+        # the readers then exercise the cached decode (and single-flight)
+        # path instead of delta-only overlays.
+        for term in terms:
+            store.append("s0", term, sorted(rng.sample(range(16_384), 64)))
+        store.compact()
+        engine = QueryEngine(
+            store,
+            cache=DecodeCache(max_entries=64),
+            plan_cache=PlanResultCache(max_entries=64),
+            max_workers=threads,
+        )
+        admission = AdmissionController(max_pending=threads * 2)
+
+        def writer(worker: int) -> None:
+            r = random.Random(seed + worker)
+            for i in range(ops):
+                term = r.choice(terms)
+                vals = [r.randrange(10_000) for _ in range(8)]
+                if r.random() < 0.2:
+                    store.delete("s0", term, vals[:2])
+                else:
+                    store.ingest_batch([("add", "s0", term, vals)])
+
+        def reader(worker: int) -> None:
+            r = random.Random(seed * 31 + worker)
+            for i in range(ops):
+                if admission.try_acquire():
+                    try:
+                        a, b = r.sample(terms, 2)
+                        engine.execute(f"{a} OR {b}")
+                    finally:
+                        admission.release()
+                if i % 16 == 0:
+                    engine.metrics.snapshot()
+                    store.write_stats()
+
+        def compactor() -> None:
+            for _ in range(max(4, ops // 40)):
+                store.compact()
+
+        def run(fn, *args) -> threading.Thread:
+            def target() -> None:
+                try:
+                    fn(*args)
+                except BaseException as exc:  # collected, re-raised below
+                    errors.append(exc)
+
+            t = threading.Thread(target=target, daemon=True)
+            t.start()
+            return t
+
+        workers = [run(writer, w) for w in range(max(1, threads // 2))]
+        workers += [run(reader, w) for w in range(max(1, threads // 2))]
+        workers.append(run(compactor))
+        for t in workers:
+            t.join(timeout=120)
+
+        # Stampede phase: a cold key hit by every thread at once must
+        # elect exactly one single-flight leader.
+        assert engine.cache is not None
+        engine.cache.clear()
+        barrier = threading.Barrier(threads)
+
+        def stampede() -> None:
+            barrier.wait()
+            store.decode_term("s0", terms[0], cache=engine.cache)
+
+        herd = [run(stampede) for _ in range(threads)]
+        for t in herd:
+            t.join(timeout=60)
+        engine.close()
+        store.close()
+
+    if errors:
+        raise errors[0]
+    report = witness_report()
+    report["static_mismatches"] = verify_against_static()
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.runtime_witness",
+        description="Run the lock-order witness churn exercise.",
+    )
+    parser.add_argument("--ops", type=int, default=240, help="ops per worker")
+    parser.add_argument("--threads", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+    try:
+        report = run_exercise(ops=args.ops, threads=args.threads, seed=args.seed)
+    except LockOrderViolation as exc:
+        print(json.dumps({"ok": False, "violation": str(exc)}, indent=2))
+        return 1
+    ok = not report["static_mismatches"] and not report["flights"][
+        "leader_collisions"
+    ]
+    print(json.dumps({"ok": ok, **report}, indent=2))
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised by CI
+    # `python -m` executes this file as `__main__`, a *second* module
+    # instance; arming that copy would leave the one the store imports
+    # disarmed.  Delegate to the canonical instance.
+    from repro.analysis import runtime_witness as _canonical
+
+    raise SystemExit(_canonical.main())
+

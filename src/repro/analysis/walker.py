@@ -28,11 +28,17 @@ from typing import Iterable, Iterator
 from repro.analysis.findings import Finding
 
 #: Matches the per-line suppression comment.  Group 1, when present, is
-#: the comma-separated rule list; a bare ``# repro: noqa`` blankets all.
+#: the comma-separated rule list; a bare ``repro: noqa`` (no bracket
+#: list) blankets all rules on the line.
 _NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\s*\[\s*([A-Z0-9,\s]+?)\s*\])?", re.I)
 
-#: Suppresses every rule on the line (a bare ``# repro: noqa``).
+#: Suppresses every rule on the line (the bare, code-less form).
 ALL_RULES = "*"
+
+#: Constructors whose result is a mutual-exclusion primitive.  The
+#: concurrency rules treat an attribute assigned one of these (directly
+#: or through ``maybe_witness("name", threading.Lock())``) as a lock.
+LOCK_FACTORIES = frozenset({"Lock", "RLock", "Condition"})
 
 
 @dataclass
@@ -48,6 +54,34 @@ class ClassDef:
     decorators: list[str]
     #: Class-body assignments to simple names: name -> value expression.
     attrs: dict[str, ast.expr]
+    #: Instance attributes assigned a lock primitive anywhere in the
+    #: class body (``self._lock = threading.Lock()``): attr -> factory
+    #: name (``"Lock"`` / ``"RLock"`` / ``"Condition"``).
+    lock_attrs: dict[str, str] = field(default_factory=dict)
+    #: Instance attributes assigned an int literal in ``__init__``
+    #: (counter seeds like ``self._offered = 0``) — REPRO105's scope.
+    int_attrs: dict[str, int] = field(default_factory=dict)
+    #: Instance attributes assigned a mutable container in ``__init__``
+    #: (dict/list/set displays or ``dict()``/``OrderedDict()``… calls).
+    mutable_attrs: set[str] = field(default_factory=set)
+
+    @property
+    def lineno(self) -> int:
+        return self.node.lineno
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method, with enough context for the rules."""
+
+    module: "ModuleInfo"
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    name: str
+    #: ``Class.method`` for methods, the bare name for module functions.
+    qualname: str
+    #: Owning :class:`ClassDef`, or None for module-level functions.
+    owner: "ClassDef | None"
+    is_async: bool
 
     @property
     def lineno(self) -> int:
@@ -70,6 +104,8 @@ class ModuleInfo:
     #: ``time.perf_counter`` or ``np`` -> ``numpy``.
     imports: dict[str, str] = field(default_factory=dict)
     classes: list[ClassDef] = field(default_factory=list)
+    #: Every function/method in the module, in source order.
+    functions: list[FunctionInfo] = field(default_factory=list)
 
 
 @dataclass
@@ -78,10 +114,44 @@ class ProjectModel:
 
     modules: list[ModuleInfo]
     parse_failures: list[Finding]
+    #: Lazy indexes for the concurrency rules (built on first use).
+    _fn_index: dict[str, list[FunctionInfo]] | None = None
+    _lock_index: dict[str, list[ClassDef]] | None = None
 
     def iter_classes(self) -> Iterator[ClassDef]:
         for mod in self.modules:
             yield from mod.classes
+
+    def iter_functions(self) -> Iterator[FunctionInfo]:
+        for mod in self.modules:
+            yield from mod.functions
+
+    def functions_named(self, name: str) -> list[FunctionInfo]:
+        """Every project function/method with this bare name.
+
+        Interprocedural rules resolve calls by bare name — deliberately
+        over-approximate (a call to ``x.snapshot()`` maps to every
+        ``snapshot`` in scope), which keeps the lock-order model sound:
+        it may report an edge that cannot happen, never miss one that can.
+        """
+        index = self._fn_index
+        if index is None:
+            index = {}
+            for fn in self.iter_functions():
+                index.setdefault(fn.name, []).append(fn)
+            self._fn_index = index
+        return index.get(name, [])
+
+    def lock_owners(self, attr: str) -> list[ClassDef]:
+        """Classes declaring *attr* as a lock attribute."""
+        index = self._lock_index
+        if index is None:
+            index = {}
+            for cls in self.iter_classes():
+                for name in cls.lock_attrs:
+                    index.setdefault(name, []).append(cls)
+            self._lock_index = index
+        return index.get(attr, [])
 
     def lookup_class(self, name: str) -> ClassDef | None:
         """First class with this bare name, anywhere in the project."""
@@ -228,35 +298,132 @@ def _collect_imports(tree: ast.Module) -> dict[str, str]:
     return imports
 
 
-def _collect_classes(mod: ModuleInfo) -> list[ClassDef]:
-    classes = []
-    for node in ast.walk(mod.tree):
-        if not isinstance(node, ast.ClassDef):
+#: Mutable-container constructors for :attr:`ClassDef.mutable_attrs`.
+_MUTABLE_FACTORIES = frozenset(
+    {"dict", "list", "set", "OrderedDict", "defaultdict", "deque", "Counter"}
+)
+
+
+def _lock_factory_of(value: ast.expr) -> str | None:
+    """The lock-constructor name behind *value*, or None.
+
+    Recognises ``threading.Lock()`` directly and the runtime-witness
+    wrapper form ``maybe_witness("name", threading.Lock())``.
+    """
+    if not isinstance(value, ast.Call):
+        return None
+    tail = tail_name(value.func)
+    if tail in LOCK_FACTORIES:
+        return tail
+    if tail == "maybe_witness":
+        for arg in value.args:
+            inner = _lock_factory_of(arg)
+            if inner is not None:
+                return inner
+    return None
+
+
+def _self_attr_target(stmt: ast.stmt) -> tuple[str, ast.expr] | None:
+    """``(attr, value)`` when *stmt* is a single ``self.attr = value``."""
+    if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+        target, value = stmt.targets[0], stmt.value
+    elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+        target, value = stmt.target, stmt.value
+    else:
+        return None
+    if (
+        isinstance(target, ast.Attribute)
+        and isinstance(target.value, ast.Name)
+        and target.value.id == "self"
+    ):
+        return target.attr, value
+    return None
+
+
+def _scan_instance_attrs(cls: ClassDef) -> None:
+    """Fill lock/int/mutable instance-attribute maps from method bodies."""
+    for stmt in cls.node.body:
+        if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
             continue
-        attrs: dict[str, ast.expr] = {}
-        for stmt in node.body:
-            if isinstance(stmt, ast.Assign):
-                for target in stmt.targets:
-                    if isinstance(target, ast.Name):
-                        attrs.setdefault(target.id, stmt.value)
-            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
-                if isinstance(stmt.target, ast.Name):
-                    attrs.setdefault(stmt.target.id, stmt.value)
-        bases = [b for b in (tail_name(base) for base in node.bases) if b]
-        decorators = [
-            d for d in (tail_name(dec) for dec in node.decorator_list) if d
-        ]
-        classes.append(
-            ClassDef(
-                module=mod,
-                node=node,
-                name=node.name,
-                bases=bases,
-                decorators=decorators,
-                attrs=attrs,
-            )
-        )
-    return classes
+        in_init = stmt.name == "__init__"
+        for node in ast.walk(stmt):
+            if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                continue
+            hit = _self_attr_target(node)
+            if hit is None:
+                continue
+            attr, value = hit
+            factory = _lock_factory_of(value)
+            if factory is not None:
+                cls.lock_attrs.setdefault(attr, factory)
+            elif in_init:
+                if (
+                    isinstance(value, ast.Constant)
+                    and isinstance(value.value, int)
+                    and not isinstance(value.value, bool)
+                ):
+                    cls.int_attrs.setdefault(attr, value.value)
+                elif isinstance(value, (ast.Dict, ast.List, ast.Set)) or (
+                    isinstance(value, ast.Call)
+                    and tail_name(value.func) in _MUTABLE_FACTORIES
+                ):
+                    cls.mutable_attrs.add(attr)
+
+
+def _collect_definitions(mod: ModuleInfo) -> None:
+    """Populate ``mod.classes`` and ``mod.functions`` in source order."""
+
+    def visit(node: ast.AST, owner: ClassDef | None) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                attrs: dict[str, ast.expr] = {}
+                for stmt in child.body:
+                    if isinstance(stmt, ast.Assign):
+                        for target in stmt.targets:
+                            if isinstance(target, ast.Name):
+                                attrs.setdefault(target.id, stmt.value)
+                    elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                        if isinstance(stmt.target, ast.Name):
+                            attrs.setdefault(stmt.target.id, stmt.value)
+                cls = ClassDef(
+                    module=mod,
+                    node=child,
+                    name=child.name,
+                    bases=[
+                        b for b in (tail_name(base) for base in child.bases) if b
+                    ],
+                    decorators=[
+                        d
+                        for d in (tail_name(dec) for dec in child.decorator_list)
+                        if d
+                    ],
+                    attrs=attrs,
+                )
+                _scan_instance_attrs(cls)
+                mod.classes.append(cls)
+                visit(child, cls)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = (
+                    f"{owner.name}.{child.name}" if owner is not None else child.name
+                )
+                mod.functions.append(
+                    FunctionInfo(
+                        module=mod,
+                        node=child,
+                        name=child.name,
+                        qualname=qual,
+                        owner=owner,
+                        is_async=isinstance(child, ast.AsyncFunctionDef),
+                    )
+                )
+                # Nested defs keep the innermost *class* owner: a helper
+                # closure inside a method still belongs to that class for
+                # lock-identity resolution.
+                visit(child, owner)
+            else:
+                visit(child, owner)
+
+    visit(mod.tree, None)
 
 
 def _display_path(path: Path, roots: list[Path]) -> str:
@@ -299,6 +466,6 @@ def build_model(paths: Iterable[Path]) -> ProjectModel:
             noqa=_collect_noqa(source),
         )
         mod.imports = _collect_imports(tree)
-        mod.classes = _collect_classes(mod)
+        _collect_definitions(mod)
         modules.append(mod)
     return ProjectModel(modules=modules, parse_failures=failures)

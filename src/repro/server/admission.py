@@ -17,6 +17,8 @@ from __future__ import annotations
 
 import threading
 
+from repro.analysis.runtime_witness import maybe_witness
+
 
 class AdmissionController:
     """Bounded-pending admission with exact offered/accepted/shed counts."""
@@ -26,7 +28,7 @@ class AdmissionController:
             raise ValueError(f"max_pending must be >= 1, got {max_pending}")
         self.max_pending = max_pending
         self.retry_after_s = retry_after_s
-        self._lock = threading.Lock()
+        self._lock = maybe_witness("AdmissionController._lock", threading.Lock())
         self._pending = 0
         self._offered = 0
         self._accepted = 0

@@ -421,7 +421,7 @@ class StoreServer:
                     **{**response.__dict__, "status": "failed",
                        "detail": {"strict_violation": "timed_out"}}
                 )
-        except Exception as exc:  # engine bug: answer 500, keep serving
+        except Exception as exc:  # repro: noqa[REPRO106] -- engine bug: answer a failed response, keep serving; error text is returned to the client
             response = QueryResponse(
                 status="failed",
                 values=None,
@@ -530,7 +530,7 @@ class StoreServer:
                 batch_id=request.batch_id,
             )
             self.metrics.record_ingest(acked, latency_ms)
-        except Exception as exc:  # bad shard, closed store, WAL error
+        except Exception as exc:  # repro: noqa[REPRO106] -- bad shard, closed store, WAL error: answer failed, keep serving other writers
             latency_ms = (loop.time() - t0) * 1000.0
             response = IngestResponse(
                 status="failed",

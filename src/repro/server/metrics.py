@@ -22,6 +22,8 @@ from __future__ import annotations
 
 import threading
 
+from repro.analysis.runtime_witness import maybe_witness
+
 from repro.server.admission import AdmissionController
 from repro.store.metrics import LatencyHistogram, StoreMetrics
 
@@ -36,7 +38,7 @@ class ServerMetrics:
     ) -> None:
         self.store = store_metrics if store_metrics is not None else StoreMetrics()
         self._admission = admission
-        self._lock = threading.Lock()
+        self._lock = maybe_witness("ServerMetrics._lock", threading.Lock())
         self._responses: dict[str, int] = {}
         #: Arrival → response-written latency of admitted /query requests.
         self.request_latency = LatencyHistogram()

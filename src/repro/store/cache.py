@@ -28,6 +28,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.analysis.runtime_witness import (
+    maybe_witness,
+    note_flight,
+    note_flight_done,
+)
 from repro.core.decode import DecodeKey
 
 #: Default bounds — small enough for tests, overridable everywhere.
@@ -150,7 +155,7 @@ class DecodeCache:
         self.flight_wait_seconds = flight_wait_seconds
         self._data: OrderedDict[DecodeKey, np.ndarray] = OrderedDict()
         self._bytes = 0
-        self._lock = threading.Lock()
+        self._lock = maybe_witness("DecodeCache._lock", threading.Lock())
         self._hits = 0
         self._misses = 0
         self._evictions = 0
@@ -216,12 +221,14 @@ class DecodeCache:
             state_or_none = self._flights_live.get(key)
             if state_or_none is not None:
                 self._coalesced += 1
+                note_flight(key, leader=False)
                 return DecodeFlight(
                     key, False, self, state_or_none, self.flight_wait_seconds
                 )
             state = _FlightState()
             self._flights_live[key] = state
             self._flights += 1
+            note_flight(key, leader=True)
             return DecodeFlight(key, True, self, state, self.flight_wait_seconds)
 
     def _finish_flight(
@@ -238,6 +245,7 @@ class DecodeCache:
                 del self._flights_live[key]
             if values is None:
                 self._flight_aborts += 1
+        note_flight_done(key)
         state.value = values
         state.event.set()
 

@@ -32,6 +32,7 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
+from repro.analysis.runtime_witness import maybe_witness
 from repro.core.base import union_sorted_arrays
 from repro.store.cache import DecodeCache, PlanResultCache
 from repro.store.metrics import StoreMetrics
@@ -156,7 +157,9 @@ class QueryEngine:
         self.cache_probes = cache_probes
         self.shard_delays = dict(shard_delays) if shard_delays else {}
         self._pool: ThreadPoolExecutor | None = None
-        self._pool_lock = threading.Lock()
+        self._pool_lock = maybe_witness(
+            "QueryEngine._pool_lock", threading.Lock()
+        )
 
     # ------------------------------------------------------------------
     # Worker-pool lifecycle
@@ -399,7 +402,7 @@ class QueryEngine:
                     observer=self.metrics,
                     cache_probes=self.cache_probes,
                 )
-            except Exception as exc:  # graceful degradation, not a crash
+            except Exception as exc:  # repro: noqa[REPRO106] -- graceful degradation: shard marked failed, error carried in the result status
                 failed.append(shard)
                 if first_error is None:
                     first_error = f"{type(exc).__name__}: {exc}"

@@ -21,6 +21,8 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass
 
+from repro.analysis.runtime_witness import maybe_witness
+
 #: Histogram bucket upper bounds in milliseconds: 0.001, 0.002, ... (log2).
 _N_BUCKETS = 28
 BUCKET_BOUNDS_MS = tuple(0.001 * (1 << i) for i in range(_N_BUCKETS))
@@ -35,7 +37,9 @@ class LatencyHistogram:
     """
 
     def __init__(self) -> None:
-        self._hist_lock = threading.Lock()
+        self._hist_lock = maybe_witness(
+            "LatencyHistogram._hist_lock", threading.Lock()
+        )
         self._counts = [0] * (_N_BUCKETS + 1)
         self._total_ms = 0.0
         self._max_ms = 0.0
@@ -115,7 +119,7 @@ class StoreMetrics:
     """
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = maybe_witness("StoreMetrics._lock", threading.Lock())
         self._queries = _QueryCounters()
         self._latency = LatencyHistogram()
         self._decodes: dict[str, _CodecDecodeStats] = {}
@@ -164,14 +168,22 @@ class StoreMetrics:
     # Reporting
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:
-        """One JSON-able dict with every instrument's current state."""
+        """One JSON-able dict with every instrument's current state.
+
+        The attached cache stats callbacks run *outside* ``_lock``: they
+        are foreign code that takes the cache's own lock, and calling
+        them under ours would add a metrics-lock → cache-lock ordering
+        edge (and deadlock outright if a callback ever re-entered the
+        metrics).  The snapshot stays consistent per-instrument; cross-
+        instrument skew of a few counters is inherent to live metrics.
+        """
+        cache = self._cache_stats_fn().as_dict() if self._cache_stats_fn else None
+        plan_cache = (
+            self._plan_cache_stats_fn().as_dict()
+            if self._plan_cache_stats_fn
+            else None
+        )
         with self._lock:
-            cache = self._cache_stats_fn().as_dict() if self._cache_stats_fn else None
-            plan_cache = (
-                self._plan_cache_stats_fn().as_dict()
-                if self._plan_cache_stats_fn
-                else None
-            )
             return {
                 "queries": {
                     "total": self._queries.total,

@@ -528,7 +528,7 @@ def compile_shard_plan(
             if delta_touched:
                 try:
                     return overlay_leaf(node.name, cs)
-                except Exception:
+                except Exception:  # repro: noqa[REPRO106] -- degrade the term, not the query; recorded in degraded_terms and surfaced as a partial status
                     plan.degraded_terms.append(node.name)
                     return None
             if cs is None:

@@ -41,6 +41,7 @@ from typing import Iterable, Mapping
 
 import numpy as np
 
+from repro.analysis.runtime_witness import maybe_witness
 from repro.core.base import (
     CompressedIntegerSet,
     IntegerSetCodec,
@@ -103,7 +104,7 @@ class DeltaSegment:
 
     def __init__(self) -> None:
         self._terms: dict[str, tuple[set[int], set[int]]] = {}
-        self._lock = threading.Lock()
+        self._lock = maybe_witness("DeltaSegment._lock", threading.Lock())
         #: Bumped on every mutation; folded into overlay cache keys so a
         #: cached merged array can never outlive the state it reflects.
         self.revision = 0
@@ -183,7 +184,9 @@ class WritableShard(Shard):
         universe: int | None = None,
     ) -> None:
         super().__init__(name=name, codec=codec, universe=universe)
-        self.state_lock = threading.Lock()
+        self.state_lock = maybe_witness(
+            "WritableShard.state_lock", threading.Lock()
+        )
         #: Pending overlays, oldest first; the last one is the active
         #: segment new writes land in.
         self.deltas: tuple[DeltaSegment, ...] = (DeltaSegment(),)
@@ -222,8 +225,12 @@ class WritablePostingStore(PostingStore):
         super().__init__()
         self.directory = os.fspath(directory) if directory is not None else None
         self._fsync = fsync
-        self._write_lock = threading.RLock()
-        self._compact_lock = threading.Lock()
+        self._write_lock = maybe_witness(
+            "WritablePostingStore._write_lock", threading.RLock()
+        )
+        self._compact_lock = maybe_witness(
+            "WritablePostingStore._compact_lock", threading.Lock()
+        )
         self._wal: WriteAheadLog | None = None
         self._wal_seq = 0
         #: WAL files whose ops live in sealed (or recovered) deltas; safe
@@ -311,14 +318,19 @@ class WritablePostingStore(PostingStore):
         )
 
     def _absorb_replay(self, replay: WalReplay) -> None:
-        self.recovered_tail_bytes += replay.dropped_tail_bytes
-        if replay.error is not None:
-            self.load_errors.append(
-                StoreError(f"WAL {replay.path}: {replay.error}")
-            )
-        for op in replay.ops:
-            self._apply_op(op)
-        self.recovered_ops += len(replay.ops)
+        # Recovery runs before the store is handed out, but open() is not
+        # the only conceivable caller — hold the write lock (reentrant)
+        # so the recovery counters follow the same discipline as every
+        # other mutation.
+        with self._write_lock:
+            self.recovered_tail_bytes += replay.dropped_tail_bytes
+            if replay.error is not None:
+                self.load_errors.append(
+                    StoreError(f"WAL {replay.path}: {replay.error}")
+                )
+            for op in replay.ops:
+                self._apply_op(op)
+            self.recovered_ops += len(replay.ops)
 
     def _apply_op(self, op: dict) -> None:
         """Apply one WAL op to in-memory state (no logging — replay path)."""

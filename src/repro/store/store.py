@@ -265,16 +265,24 @@ class PostingStore:
         A term absent from the shard decodes to an empty array — the
         standard IR convention for partitioned indexes, where each shard
         holds only the terms its documents mention.
+
+        The cache key folds the term's rewrite generation into the codec
+        slot (the same ``codec#gN`` scheme as ``plan.versioned``): a
+        term compaction re-encodes under the *same* codec must never be
+        served from its predecessor's cached array.
         """
         sh = self.shard(shard)
-        cs = sh.postings.get(term)
+        state = sh.read_state()
+        cs = state.postings.get(term)
         if cs is None:
             return np.empty(0, dtype=np.int64)
+        ver = state.versions.get(term, 0)
+        versioned_codec = cs.codec_name if not ver else f"{cs.codec_name}#g{ver}"
         return decode(
             cs,
             codec=sh.codec,
             cache=cache,
-            key=(shard, term, cs.codec_name),
+            key=(shard, term, versioned_codec),
             observer=observer,
         )
 

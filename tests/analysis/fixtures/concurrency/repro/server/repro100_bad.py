@@ -1,0 +1,22 @@
+"""REPRO100 violations: blocking calls inside async def bodies."""
+
+import subprocess
+import time
+
+
+async def slow_handler(request):
+    time.sleep(0.5)  # stalls the event loop
+    return request
+
+
+async def shell_handler(request):
+    subprocess.run(["ls"])  # blocking subprocess in the accept loop
+    return request
+
+
+async def lock_handler(lock):
+    lock.acquire()  # no timeout: parks the loop on contention
+    try:
+        return 1
+    finally:
+        lock.release()

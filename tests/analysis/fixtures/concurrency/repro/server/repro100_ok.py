@@ -1,0 +1,23 @@
+"""REPRO100-clean: async bodies defer blocking work properly."""
+
+import asyncio
+
+
+async def patient_handler(request):
+    await asyncio.sleep(0.5)
+    return request
+
+
+async def executor_handler(loop, engine, query):
+    return await loop.run_in_executor(None, engine.execute, query)
+
+
+async def bounded_lock_handler(lock):
+    if lock.acquire(timeout=0.1):  # bounded probe is acceptable
+        lock.release()
+    return 1
+
+
+def sync_helper(fh):
+    # Not an async body: the event loop never runs this directly.
+    return fh.read()

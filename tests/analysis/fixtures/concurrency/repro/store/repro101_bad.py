@@ -1,0 +1,14 @@
+"""REPRO101 violations: bare acquire/release on a known lock."""
+
+import threading
+
+
+class BareCounter:
+    def __init__(self):
+        self._bare_lock = threading.Lock()
+        self._count = 0
+
+    def bump(self):
+        self._bare_lock.acquire()  # leaks the lock if the body raises
+        self._count += 1
+        self._bare_lock.release()

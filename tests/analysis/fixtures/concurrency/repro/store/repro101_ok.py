@@ -1,0 +1,13 @@
+"""REPRO101-clean: locks held via with blocks only."""
+
+import threading
+
+
+class ManagedCounter:
+    def __init__(self):
+        self._managed_lock = threading.Lock()
+        self._count = 0
+
+    def bump(self):
+        with self._managed_lock:
+            self._count += 1

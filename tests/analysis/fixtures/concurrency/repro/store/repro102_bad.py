@@ -1,0 +1,19 @@
+"""REPRO102 violation: two locks nested in opposite orders."""
+
+import threading
+
+
+class Seesaw:
+    def __init__(self):
+        self._left = threading.Lock()
+        self._right = threading.Lock()
+
+    def tilt_left(self):
+        with self._left:
+            with self._right:
+                pass
+
+    def tilt_right(self):
+        with self._right:
+            with self._left:  # inverted: deadlocks against tilt_left
+                pass

@@ -1,0 +1,19 @@
+"""REPRO102-clean: every path takes the locks in the same order."""
+
+import threading
+
+
+class Pipeline:
+    def __init__(self):
+        self._intake = threading.Lock()
+        self._drain = threading.Lock()
+
+    def move(self):
+        with self._intake:
+            with self._drain:
+                pass
+
+    def flush(self):
+        with self._intake:
+            with self._drain:
+                pass

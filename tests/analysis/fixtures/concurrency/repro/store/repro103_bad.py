@@ -1,0 +1,10 @@
+"""REPRO103 violation: WAL append acknowledged without a sync."""
+
+
+class ForgetfulIngest:
+    def __init__(self, wal):
+        self._wal = wal
+
+    def write(self, record):
+        self._wal.append(record)  # acked data a crash can lose
+        return True

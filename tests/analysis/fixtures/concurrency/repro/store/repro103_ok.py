@@ -1,0 +1,19 @@
+"""REPRO103-clean: the sync dominates the ack."""
+
+import os
+
+
+class DurableIngest:
+    def __init__(self, wal):
+        self._wal = wal
+
+    def write(self, record):
+        self._wal.append(record)
+        self._wal.sync()
+        return True
+
+    def write_many(self, records, fd):
+        for record in records:
+            self._wal.append(record)
+        os.fsync(fd)
+        return len(records)

@@ -1,0 +1,13 @@
+"""REPRO104 violations: unversioned cache keys, unguarded puts."""
+
+
+def respond(plan_cache, plan, shard, result):
+    # No read_version() anywhere, and no status guard around the put.
+    plan_cache.put((plan, shard), result)
+    return result
+
+
+def decode_term(decode, cs, codec, shard, term, codec_name):
+    # Raw tuple key with no version component: a term compacted under
+    # the same codec is served stale from cache.
+    return decode(cs, codec=codec, key=(shard, term, codec_name))

@@ -1,0 +1,12 @@
+"""REPRO104-clean: versioned keys, degraded results never cached."""
+
+
+def respond(plan_cache, plan, shard, store, result):
+    version = store.read_version()
+    if result.status == "ok":
+        plan_cache.put((plan, shard, version), result)
+    return result
+
+
+def decode_term(decode, cs, codec, shard, term, versioned_codec):
+    return decode(cs, codec=codec, key=(shard, term, versioned_codec))

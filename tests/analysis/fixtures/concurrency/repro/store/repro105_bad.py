@@ -1,0 +1,19 @@
+"""REPRO105 violations: counter family members mutated alone."""
+
+import threading
+
+
+class LeakyGate:
+    def __init__(self):
+        self._gate_lock = threading.Lock()
+        self._offered = 0
+        self._accepted = 0
+        self._shed = 0
+
+    def offer_only(self):
+        with self._gate_lock:
+            self._offered += 1  # anchor moves, outcome never recorded
+
+    def shed_only(self):
+        with self._gate_lock:
+            self._shed += 1  # outcome moves without the anchor

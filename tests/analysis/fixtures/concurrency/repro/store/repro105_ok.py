@@ -1,0 +1,21 @@
+"""REPRO105-clean: every path moves the anchor with an outcome."""
+
+import threading
+
+
+class BalancedGate:
+    def __init__(self):
+        self._balanced_lock = threading.Lock()
+        self._offered = 0
+        self._accepted = 0
+        self._shed = 0
+
+    def accept(self):
+        with self._balanced_lock:
+            self._offered += 1
+            self._accepted += 1
+
+    def shed(self):
+        with self._balanced_lock:
+            self._offered += 1
+            self._shed += 1

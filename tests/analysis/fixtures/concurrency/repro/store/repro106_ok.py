@@ -1,0 +1,19 @@
+"""REPRO106-clean: broad handlers wrap, re-raise, or justify."""
+
+
+class FixtureStoreError(RuntimeError):
+    pass
+
+
+def load_wrapped(parse, path):
+    try:
+        return parse(path)
+    except Exception as exc:
+        raise FixtureStoreError(f"unreadable: {path}") from exc
+
+
+def probe(fh):
+    try:
+        return fh.read()
+    except Exception:  # repro: noqa[REPRO106] -- probe is best-effort; absence is the answer
+        return None

@@ -1,0 +1,17 @@
+"""REPRO107 violations: lock-owning class mutating state lock-free."""
+
+import threading
+
+
+class RacyStats:
+    def __init__(self):
+        self._racy_lock = threading.Lock()
+        self._hits = 0
+        self._samples = {}
+
+    def record(self, key, value):
+        self._hits += 1  # racy read-modify-write
+        self._samples[key] = value  # racy dict store
+
+    def forget(self, key):
+        self._samples.pop(key, None)  # racy container mutation

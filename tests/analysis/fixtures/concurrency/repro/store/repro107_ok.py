@@ -1,0 +1,20 @@
+"""REPRO107-clean: mutations under the class lock, helper exempted."""
+
+import threading
+
+
+class GuardedStats:
+    def __init__(self):
+        self._guarded_lock = threading.Lock()
+        self._hits = 0
+        self._samples = {}
+
+    def record(self, key, value):
+        with self._guarded_lock:
+            self._hits += 1
+            self._note(key, value)
+
+    def _note(self, key, value):
+        # Lock-free by design: every intra-class call site above holds
+        # the lock, which is exactly the exemption REPRO107 grants.
+        self._samples[key] = value

@@ -7,7 +7,9 @@ import sys
 
 from .conftest import FIXTURES, REPO_ROOT
 
-ALL_CODES = {f"REPRO00{i}" for i in range(1, 7)}
+ALL_CODES = {f"REPRO00{i}" for i in range(1, 7)} | {
+    f"REPRO10{i}" for i in range(8)
+}
 
 
 def run_cli(*argv: str) -> subprocess.CompletedProcess:
@@ -64,3 +66,49 @@ def test_list_rules():
     assert proc.returncode == 0
     for code in sorted(ALL_CODES):
         assert code in proc.stdout
+
+
+def test_explain_prints_full_rule_doc():
+    proc = run_cli("--explain", "REPRO102")
+    assert proc.returncode == 0
+    assert "REPRO102 — the project lock-ordering graph is acyclic" in proc.stdout
+    assert "runtime witness" in proc.stdout  # the doc body, not the rationale
+
+
+def test_explain_is_case_insensitive():
+    proc = run_cli("--explain", "repro100")
+    assert proc.returncode == 0
+    assert proc.stdout.startswith("REPRO100")
+
+
+def test_explain_unknown_code_is_usage_error():
+    proc = run_cli("--explain", "REPRO999")
+    assert proc.returncode == 2
+    assert "unknown rule code" in proc.stderr
+
+
+def test_github_format_emits_error_annotations():
+    proc = run_cli(
+        "--format=github",
+        str(FIXTURES / "concurrency" / "repro" / "store" / "repro103_bad.py"),
+    )
+    assert proc.returncode == 1
+    line = proc.stdout.splitlines()[0]
+    assert line.startswith("::error file=")
+    assert "title=REPRO103" in line
+    assert "line=9" in line
+
+
+def test_github_format_silent_when_clean():
+    proc = run_cli("--format=github", str(REPO_ROOT / "src" / "repro"))
+    assert proc.returncode == 0
+    assert proc.stdout == ""
+
+
+def test_strict_noqa_flag_reports_stale_suppressions(tmp_path):
+    mod = tmp_path / "stale.py"
+    mod.write_text("X = 1  # repro: noqa[REPRO003]\n")
+    assert run_cli(str(mod)).returncode == 0
+    proc = run_cli("--strict-noqa", str(mod))
+    assert proc.returncode == 1
+    assert "REPRO099" in proc.stdout

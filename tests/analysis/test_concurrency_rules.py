@@ -1,0 +1,72 @@
+"""REPRO100–107 concurrency rules against their fixture packages.
+
+Each rule has one deliberately violating module and one clean module
+under ``fixtures/concurrency/repro/{server,store}/`` (the path
+fragments matter: they are what scopes the rules).  The analyzer runs
+over the whole fixture tree so interprocedural rules see a realistic
+multi-module project model.
+"""
+
+import pytest
+
+from repro.analysis import AnalysisConfig, run_checks
+
+from .conftest import FIXTURES
+
+CONCURRENCY = FIXTURES / "concurrency"
+
+CASES = [
+    ("REPRO100", "repro100_bad.py", "repro100_ok.py", 3),
+    ("REPRO101", "repro101_bad.py", "repro101_ok.py", 2),
+    ("REPRO102", "repro102_bad.py", "repro102_ok.py", 1),
+    ("REPRO103", "repro103_bad.py", "repro103_ok.py", 1),
+    ("REPRO104", "repro104_bad.py", "repro104_ok.py", 3),
+    ("REPRO105", "repro105_bad.py", "repro105_ok.py", 2),
+    ("REPRO106", "repro106_bad.py", "repro106_ok.py", 2),
+    ("REPRO107", "repro107_bad.py", "repro107_ok.py", 3),
+]
+
+
+def _run(rule):
+    return run_checks([CONCURRENCY], config=AnalysisConfig(select=frozenset({rule})))
+
+
+@pytest.mark.parametrize("rule,bad,ok,n_bad", CASES, ids=[c[0] for c in CASES])
+def test_rule_fires_on_bad_fixture_only(rule, bad, ok, n_bad):
+    findings = _run(rule)
+    assert all(f.rule == rule for f in findings)
+    in_bad = [f for f in findings if f.path.endswith(bad)]
+    in_ok = [f for f in findings if f.path.endswith(ok)]
+    assert len(in_bad) == n_bad, "\n".join(f.format() for f in findings)
+    assert in_ok == [], "\n".join(f.format() for f in in_ok)
+
+
+def test_repro102_names_the_cycle():
+    (finding,) = [f for f in _run("REPRO102") if "repro102" in f.path]
+    assert "Seesaw._left" in finding.message
+    assert "Seesaw._right" in finding.message
+    assert "->" in finding.message
+
+
+def test_repro104_reports_all_three_contracts():
+    messages = " | ".join(f.message for f in _run("REPRO104"))
+    assert "read_version" in messages
+    assert "degraded" in messages
+    assert "version component" in messages
+
+
+def test_repro106_suppression_carries_its_reason():
+    # The ok fixture's `probe` swallows deliberately, with a reasoned
+    # noqa: the rule must honour it (and strict-noqa must see it used).
+    findings = run_checks(
+        [CONCURRENCY],
+        config=AnalysisConfig(
+            select=frozenset({"REPRO106"}), strict_noqa=True
+        ),
+    )
+    assert all(f.path.endswith("repro106_bad.py") for f in findings)
+
+
+def test_repro107_helper_called_under_lock_is_exempt():
+    findings = _run("REPRO107")
+    assert not any("_note" in f.message for f in findings)

@@ -1,0 +1,163 @@
+"""Runtime lock-order witness: inversions, reentrancy, single-flight."""
+
+import threading
+
+import pytest
+
+from repro.analysis import runtime_witness as rw
+
+
+@pytest.fixture
+def armed():
+    """Arm the witness with clean state; restore on exit."""
+    rw.force_enable(True)
+    rw.reset()
+    yield
+    rw.reset()
+    rw.force_enable(False)
+
+
+def test_maybe_witness_is_passthrough_when_disabled(monkeypatch):
+    monkeypatch.delenv("REPRO_DEBUG", raising=False)
+    rw.force_enable(False)
+    lock = threading.Lock()
+    assert rw.maybe_witness("X.y", lock) is lock
+
+
+def test_maybe_witness_wraps_when_armed(armed):
+    wrapped = rw.maybe_witness("X.y", threading.Lock())
+    assert isinstance(wrapped, rw.WitnessedLock)
+    with wrapped:
+        assert wrapped.locked()
+    assert not wrapped.locked()
+
+
+def test_inverted_order_raises_and_releases(armed):
+    a = rw.WitnessedLock("WT.a", threading.Lock())
+    b = rw.WitnessedLock("WT.b", threading.Lock())
+    with a:
+        with b:
+            pass
+    with b:
+        with pytest.raises(rw.LockOrderViolation, match="inversion"):
+            a.acquire()
+    # The failed acquire must not leave either inner lock held.
+    assert not a.locked() and not b.locked()
+
+
+def test_transitive_cycle_detected(armed):
+    a = rw.WitnessedLock("WT.a", threading.Lock())
+    b = rw.WitnessedLock("WT.b", threading.Lock())
+    c = rw.WitnessedLock("WT.c", threading.Lock())
+    with a:
+        with b:
+            pass
+    with b:
+        with c:
+            pass
+    with c:  # a -> b -> c already observed; c -> a closes the ring
+        with pytest.raises(rw.LockOrderViolation):
+            a.acquire()
+
+
+def test_rlock_reentry_is_fine(armed):
+    r = rw.WitnessedLock("WT.r", threading.RLock())
+    with r:
+        with r:
+            pass
+    assert rw.observed_edges() == {}  # reentry is not an ordering edge
+
+
+def test_nonreentrant_reacquire_raises(armed):
+    # An RLock inner so the acquire itself cannot block, declared
+    # non-reentrant: the witness must call the re-entry a deadlock.
+    lock = rw.WitnessedLock("WT.nr", threading.RLock(), reentrant=False)
+    with lock:
+        with pytest.raises(rw.LockOrderViolation, match="re-acquires"):
+            lock.acquire()
+
+
+def test_single_flight_leader_uniqueness(armed):
+    rw.note_flight("k", leader=True)
+    rw.note_flight("k", leader=False)
+    with pytest.raises(rw.LockOrderViolation, match="second leader"):
+        rw.note_flight("k", leader=True)
+    rw.note_flight_done("k")
+    rw.note_flight("k", leader=True)  # done() retired the old flight
+    report = rw.witness_report()
+    assert report["flights"]["leader_collisions"] == 1
+    assert report["flights"]["followers"] == 1
+
+
+def test_report_and_reset(armed):
+    a = rw.WitnessedLock("WT.a", threading.Lock())
+    b = rw.WitnessedLock("WT.b", threading.Lock())
+    with a:
+        with b:
+            pass
+    assert rw.observed_edges() == {("WT.a", "WT.b"): 1}
+    assert "WT.a -> WT.b (x1)" in rw.witness_report()["edges"][0]
+    rw.reset()
+    assert rw.observed_edges() == {}
+
+
+def test_verify_against_static_flags_inverted_known_edge(armed):
+    # Fabricate an observed edge between two locks the static model
+    # knows, in the direction the model forbids.
+    delta = rw.WitnessedLock("DeltaSegment._lock", threading.Lock())
+    write = rw.WitnessedLock(
+        "WritablePostingStore._write_lock", threading.Lock()
+    )
+    with delta:
+        with write:
+            pass
+    problems = rw.verify_against_static()
+    assert problems and "DeltaSegment._lock" in problems[0]
+
+    rw.reset()
+    with write:  # the documented order: write lock outside delta lock
+        with delta:
+            pass
+    assert rw.verify_against_static() == []
+
+
+def test_unknown_locks_are_ignored_by_verification(armed):
+    x = rw.WitnessedLock("NotAClass.x", threading.Lock())
+    y = rw.WitnessedLock("NotAClass.y", threading.Lock())
+    with x:
+        with y:
+            pass
+    assert rw.verify_against_static() == []
+
+
+def test_churn_exercise_is_clean(armed):
+    report = rw.run_exercise(ops=16, threads=2, seed=3)
+    assert report["static_mismatches"] == []
+    assert report["flights"]["leader_collisions"] == 0
+    assert report["live_flight_leaders"] == 0
+    assert report["edges"], "churn produced no ordering observations"
+
+
+def test_static_lock_model_is_cwd_independent(tmp_path, monkeypatch):
+    """Scoping must not depend on the working directory.
+
+    A bare CLI run from outside the repo resolves display paths
+    relative to the package root, dropping the ``repro/`` prefix the
+    configured package fragments rely on — the lock model silently
+    emptied out and ``verify_against_static`` flagged every real edge.
+    Fragment matching now also consults the absolute module path.
+    """
+    from pathlib import Path
+
+    import repro
+    from repro.analysis import load_config
+    from repro.analysis.concurrency import _lock_model
+    from repro.analysis.config import find_pyproject
+    from repro.analysis.walker import build_model
+
+    pkg = Path(repro.__file__).parent
+    monkeypatch.chdir(tmp_path)
+    model = build_model([pkg])
+    config = load_config(find_pyproject(pkg))
+    edges, _ = _lock_model(model, config)
+    assert ("WritablePostingStore._write_lock", "DeltaSegment._lock") in edges

@@ -5,16 +5,28 @@ This is the analyzer's pytest integration: any future edit to
 here, with the full finding list in the assertion message.
 """
 
+from dataclasses import replace
+
 import pytest
 
-from repro.analysis import run_checks
+from repro.analysis import load_config, run_checks
 from repro.analysis.pytest_plugin import assert_clean
 
-from .conftest import FIXTURES
+from .conftest import FIXTURES, REPO_ROOT
 
 
 def test_repro_package_is_contract_clean():
     findings = run_checks()  # defaults to the installed repro package
+    assert findings == [], "\n" + "\n".join(f.format() for f in findings)
+
+
+def test_repro_package_is_strict_noqa_clean():
+    # Every suppression in the shipped tree must still be earning its
+    # keep: a stale noqa is a hole the next regression slips through.
+    config = replace(
+        load_config(REPO_ROOT / "pyproject.toml"), strict_noqa=True
+    )
+    findings = run_checks(config=config)
     assert findings == [], "\n" + "\n".join(f.format() for f in findings)
 
 
@@ -31,4 +43,6 @@ def test_assert_clean_raises_with_findings_listed():
 def test_fixture_tree_is_deliberately_dirty():
     findings = run_checks([FIXTURES])
     fired = {f.rule for f in findings}
-    assert {f"REPRO00{i}" for i in range(1, 7)} <= fired
+    expected = {f"REPRO00{i}" for i in range(1, 7)}
+    expected |= {f"REPRO10{i}" for i in range(8)}
+    assert expected <= fired, f"rules never fired: {expected - fired}"

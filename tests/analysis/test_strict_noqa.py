@@ -1,0 +1,71 @@
+"""Strict-noqa mode: stale suppressions resurface as REPRO099."""
+
+from repro.analysis import AnalysisConfig, run_checks
+
+
+def _check(tmp_path, source, **cfg):
+    mod = tmp_path / "mod.py"
+    mod.write_text(source)
+    return run_checks([mod], config=AnalysisConfig(**cfg))
+
+
+def test_stale_code_scoped_noqa_is_reported(tmp_path):
+    findings = _check(
+        tmp_path, "X = 1  # repro: noqa[REPRO003]\n", strict_noqa=True
+    )
+    assert [f.rule for f in findings] == ["REPRO099"]
+    assert "REPRO003" in findings[0].message
+    assert findings[0].line == 1
+
+
+def test_stale_noqa_silent_without_strict(tmp_path):
+    assert _check(tmp_path, "X = 1  # repro: noqa[REPRO003]\n") == []
+
+
+def test_used_suppression_is_not_reported(tmp_path):
+    source = (
+        "import time\n\n\n"
+        "def timed():\n"
+        "    return time.time()  # repro: noqa[REPRO004]\n"
+    )
+    assert _check(tmp_path, source, strict_noqa=True) == []
+
+
+def test_used_blanket_is_not_reported(tmp_path):
+    source = (
+        "import time\n\n\n"
+        "def timed():\n"
+        "    return time.time()  # repro: noqa\n"
+    )
+    assert _check(tmp_path, source, strict_noqa=True) == []
+
+
+def test_stale_blanket_reported_only_on_full_runs(tmp_path):
+    source = "Y = 2  # repro: noqa\n"
+    full = _check(tmp_path, source, strict_noqa=True)
+    assert [f.rule for f in full] == ["REPRO099"]
+    assert "blanket" in full[0].message
+    # Under --select the blanket may still serve the rules that did not
+    # run, so it is not judged.
+    subset = _check(
+        tmp_path, source, strict_noqa=True, select=frozenset({"REPRO003"})
+    )
+    assert subset == []
+
+
+def test_unknown_code_in_noqa_is_reported(tmp_path):
+    findings = _check(
+        tmp_path, "Z = 3  # repro: noqa[REPRO999]\n", strict_noqa=True
+    )
+    assert [f.rule for f in findings] == ["REPRO099"]
+    assert "unknown rule code REPRO999" in findings[0].message
+
+
+def test_subset_run_skips_suppressions_for_disabled_rules(tmp_path):
+    findings = _check(
+        tmp_path,
+        "X = 1  # repro: noqa[REPRO003]\n",
+        strict_noqa=True,
+        select=frozenset({"REPRO004"}),
+    )
+    assert findings == []
