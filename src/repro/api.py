@@ -65,13 +65,14 @@ from repro.store.cache import DecodeCache
 from repro.store.engine import QueryEngine, QueryResult
 from repro.store.errors import (
     ManifestParamsError,
+    MappedSegmentError,
     ShardLoadError,
     StoreError,
     UnknownShardError,
 )
 from repro.store.plan import And, Or, Query, Term, parse_query, query_from_json
 from repro.store.segments import WritablePostingStore
-from repro.store.store import PostingStore
+from repro.store.store import PostingStore, migrate_store
 from repro.store.wal import WalCorruptionError
 
 __all__ = [
@@ -94,6 +95,7 @@ __all__ = [
     "query_from_json",
     # Store
     "open_store",
+    "migrate_store",
     "PostingStore",
     "WritablePostingStore",
     "QueryEngine",
@@ -110,6 +112,7 @@ __all__ = [
     "UnknownShardError",
     "WalCorruptionError",
     "ManifestParamsError",
+    "MappedSegmentError",
     "ProtocolError",
     "QueryRejectedError",
     "ServerUnavailableError",
@@ -159,6 +162,7 @@ def open_store(
     timeout_s: float | None = None,
     writable: bool = False,
     compact_interval_s: float = 0.0,
+    mapped: bool | None = None,
 ) -> QueryEngine:
     """Load a saved store and wrap it in a ready-to-query engine.
 
@@ -178,10 +182,18 @@ def open_store(
         compact_interval_s: with ``writable``, start the background
             compaction thread at this period (``0`` keeps compaction
             manual: ``engine.store.compact()``).
+        mapped: with ``writable``, select the persistence layout —
+            ``True`` for v3 memory-mapped segments (migrating a legacy
+            directory in place first), ``False`` for per-term v2 files,
+            ``None`` (default) to inherit the on-disk format.  A
+            read-only open always serves whichever layout the manifest
+            records (v3 stores open zero-copy automatically).
     """
     store: PostingStore
     if writable:
-        wstore = WritablePostingStore.open(directory, strict=strict)
+        wstore = WritablePostingStore.open(
+            directory, strict=strict, mapped=mapped
+        )
         if compact_interval_s > 0:
             wstore.start_compactor(compact_interval_s)
         store = wstore

@@ -201,6 +201,8 @@ def _quick_kwargs(exp_id: str) -> dict:
             "ingest_batches": 8,
             "ops_per_batch": 6,
             "repeat": 1,
+            # CI smoke compares the two segment formats side by side
+            "backings": ("in-heap", "mapped"),
         }
     return {"repeat": 1}
 

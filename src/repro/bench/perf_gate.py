@@ -6,7 +6,12 @@ single-flight decode coalescing, the generational plan-result cache) are
 wins only while they stay won.  This module pins a small benchmark
 matrix — the 1M-integer decode workloads the paper's Figure 3 family
 stresses, plus a served closed-loop that exercises the cache stack — and
-compares every run against ``benchmarks/perf_baseline.json``:
+compares every run against ``benchmarks/perf_baseline.json``.  The v3
+mapped-segment work adds a third workload family: cold-opening a mapped
+store must stay flat in term count (zero per-term parsing) and must not
+materialise the payload onto the Python heap — both are asserted
+in-process and their committed open-latency / heap-peak bounds are
+gated like every other metric:
 
 * ratio > ``--warn`` (default 1.5×): printed as a warning, exit 0 — CI
   machines are noisy, a lone soft miss is not a verdict;
@@ -35,7 +40,9 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import tempfile
 import time
+import tracemalloc
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable
@@ -98,6 +105,20 @@ SERVED_LIST_SIZE = 120_000
 SERVED_QUICK_LIST_SIZE = 20_000
 SERVED_ITERATIONS = 15
 SERVED_QUICK_ITERATIONS = 5
+
+#: Mapped cold-open workload: a v3 segment must open without per-term
+#: parsing, so its open latency is (near-)flat in term count and its
+#: Python-heap footprint stays far below an in-heap load of the same
+#: store.  ``MAPPED_FLATNESS_BOUND`` is a hard in-process assertion on
+#: open(4N)/open(N) — generous because tiny timings are noisy and the
+#: metadata CRC is linear (at memory bandwidth) in the ~64B/term tables.
+MAPPED_CODEC = "Roaring"
+MAPPED_UNIVERSE = 1 << 20
+MAPPED_TERMS = 1_200
+MAPPED_QUICK_TERMS = 200
+MAPPED_LIST_SIZE = 120
+MAPPED_FLATNESS_FACTOR = 4
+MAPPED_FLATNESS_BOUND = 3.0
 
 
 def _workload_values(wl: DecodeWorkload, quick: bool) -> np.ndarray:
@@ -205,12 +226,89 @@ def _measure_served(quick: bool) -> dict:
     }
 
 
+def _save_term_store(directory: Path, n_terms: int, *, mapped: bool) -> None:
+    store = PostingStore()
+    shard = store.create_shard("s0", codec=MAPPED_CODEC, universe=MAPPED_UNIVERSE)
+    rng = np.random.default_rng(SEED)
+    for i in range(n_terms):
+        shard.add(
+            f"t{i:05d}",
+            np.unique(rng.integers(0, MAPPED_UNIVERSE, size=MAPPED_LIST_SIZE)),
+        )
+    store.save(directory, mapped=mapped)
+
+
+def _open_ms(directory: Path, repeat: int) -> float:
+    return measure(lambda: PostingStore.load(directory), repeat=repeat, warmup=1) * 1000.0
+
+
+def _heap_peak_kb(fn: Callable[[], Any]) -> float:
+    """tracemalloc peak across *fn* — the RSS proxy the gate can measure
+    portably (mmap pages are shared/evictable and invisible to it, which
+    is exactly the point: they must not show up as Python heap)."""
+    tracemalloc.start()
+    try:
+        fn()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak / 1024.0
+
+
+def _measure_mapped_open(quick: bool) -> dict:
+    """Cold-open latency + heap ceiling for a v3 mapped store, with an
+    in-heap (v2) load of the same data as the reference."""
+    n_terms = MAPPED_QUICK_TERMS if quick else MAPPED_TERMS
+    repeat = 3 if quick else 5
+    with tempfile.TemporaryDirectory(prefix="repro-perfgate-") as td:
+        base = Path(td)
+        _save_term_store(base / "mapped", n_terms, mapped=True)
+        _save_term_store(base / "mapped4x", n_terms * MAPPED_FLATNESS_FACTOR, mapped=True)
+        _save_term_store(base / "legacy", n_terms, mapped=False)
+
+        open_ms = _open_ms(base / "mapped", repeat)
+        open_4x_ms = _open_ms(base / "mapped4x", repeat)
+        legacy_open_ms = _open_ms(base / "legacy", repeat)
+        heap_peak_kb = _heap_peak_kb(lambda: PostingStore.load(base / "mapped"))
+        legacy_heap_peak_kb = _heap_peak_kb(lambda: PostingStore.load(base / "legacy"))
+
+    flatness = open_4x_ms / open_ms if open_ms else 1.0
+    if flatness > MAPPED_FLATNESS_BOUND:  # pragma: no cover - regression net
+        raise AssertionError(
+            f"mapped cold-open is not flat in term count: {MAPPED_FLATNESS_FACTOR}x "
+            f"terms cost {flatness:.2f}x the open time (bound "
+            f"{MAPPED_FLATNESS_BOUND}x) — per-term work crept into open()"
+        )
+    if heap_peak_kb >= legacy_heap_peak_kb:  # pragma: no cover - regression net
+        raise AssertionError(
+            f"mapped open allocates as much heap as an in-heap load "
+            f"({heap_peak_kb:.0f} KiB >= {legacy_heap_peak_kb:.0f} KiB) — "
+            "the zero-copy open is materialising terms"
+        )
+    return {
+        "kind": "mapped-open",
+        "codec": MAPPED_CODEC,
+        "terms": n_terms,
+        "list_size": MAPPED_LIST_SIZE,
+        "open_ms": round(open_ms, 4),
+        "open_4x_ms": round(open_4x_ms, 4),
+        "flatness_ratio": round(flatness, 2),
+        "legacy_open_ms": round(legacy_open_ms, 4),
+        "heap_peak_kb": round(heap_peak_kb, 1),
+        "legacy_heap_peak_kb": round(legacy_heap_peak_kb, 1),
+        "heap_savings": (
+            round(legacy_heap_peak_kb / heap_peak_kb, 1) if heap_peak_kb else None
+        ),
+    }
+
+
 def run_suite(quick: bool = False) -> dict:
     """Execute the pinned matrix; returns the JSON-able result document."""
     workloads: dict[str, dict] = {}
     for wl in DECODE_WORKLOADS:
         workloads[wl.name] = _measure_decode(wl, quick)
     workloads["served-closed-loop"] = _measure_served(quick)
+    workloads["mapped-cold-open"] = _measure_mapped_open(quick)
     return {
         "schema": SCHEMA_VERSION,
         "mode": "quick" if quick else "full",
@@ -223,7 +321,10 @@ def run_suite(quick: bool = False) -> dict:
 # Baseline comparison
 # ----------------------------------------------------------------------
 #: Which numeric fields of each workload entry the gate compares.
-_GATED_FIELDS = {"ms", "cold_p50_ms", "warm_p50_ms"}
+#: ``heap_peak_kb`` is KiB, not ms — the ratio gate is unit-agnostic and
+#: pins the mapped open's committed RSS-proxy ceiling alongside its
+#: latency.
+_GATED_FIELDS = {"ms", "cold_p50_ms", "warm_p50_ms", "open_ms", "heap_peak_kb"}
 
 
 @dataclass(frozen=True)
@@ -320,6 +421,13 @@ def main(argv: list[str] | None = None) -> int:
             speedup = entry["speedup_vs_scalar"]
             extra = f"  {speedup}x vs scalar" if speedup is not None else ""
             print(f"  {name:<20}{entry['ms']:>10.2f} ms{extra}")
+        elif entry["kind"] == "mapped-open":
+            print(
+                f"  {name:<20}open {entry['open_ms']:.3f} ms "
+                f"({entry['flatness_ratio']}x at {MAPPED_FLATNESS_FACTOR}x terms), "
+                f"heap peak {entry['heap_peak_kb']:.0f} KiB "
+                f"(in-heap load: {entry['legacy_heap_peak_kb']:.0f} KiB)"
+            )
         else:
             print(
                 f"  {name:<20}cold p50 {entry['cold_p50_ms']:.3f} ms, "
@@ -343,9 +451,10 @@ def main(argv: list[str] | None = None) -> int:
     for f in findings:
         status = f.status(args.warn, args.fail)
         if status != "ok":
+            unit = "KiB" if f.metric.endswith("_kb") else "ms"
             print(
                 f"{status.upper()}: {f.metric} {f.baseline_ms:.3f} -> "
-                f"{f.current_ms:.3f} ms ({f.ratio:.2f}x)",
+                f"{f.current_ms:.3f} {unit} ({f.ratio:.2f}x)",
                 file=sys.stderr,
             )
         if status == "fail" or (status == "warn" and worst == "ok"):

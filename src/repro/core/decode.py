@@ -142,11 +142,26 @@ def _decompress(
     codec: IntegerSetCodec | None,
     observer: DecodeObserver | None,
 ) -> np.ndarray:
-    """The actual decode, with observer accounting."""
+    """The actual decode, with observer accounting.
+
+    Sets served off a memory-mapped segment carry a ``source`` handle
+    (see :mod:`repro.store.mapped`): the decode runs under its ``pin()``
+    so compaction cannot dispose the mapping mid-decode, and a result
+    that is itself a view over the map (e.g. the uncompressed ``List``
+    codec) is defensively copied — callers may hold the array long after
+    the segment is retired.
+    """
     if codec is None:
         codec = get_codec(cs.codec_name)
+    source = getattr(cs, "source", None)
     t0 = time.perf_counter()
-    values = codec.decompress(cs)
+    if source is not None:
+        with source.pin():
+            values = codec.decompress(cs)
+            if not values.flags.owndata and values.base is not None:
+                values = np.array(values)
+    else:
+        values = codec.decompress(cs)
     elapsed = time.perf_counter() - t0
     if observer is not None:
         observer.record_decode(cs.codec_name, int(values.size), elapsed)

@@ -20,6 +20,23 @@ Format (little-endian):
 
 The wire `size_bytes` recorded at compression time is preserved, so the
 paper's space metric survives a save/load cycle exactly.
+
+Two field encodings share this header:
+
+* version 1 — packed: array bytes follow their length header directly.
+  This is the historical byte-stable encoding every ``.rpro`` file uses.
+* version 2 — aligned: each array's raw bytes (and each nested set) are
+  padded to an 8-byte boundary *relative to the blob start*.  A version-2
+  blob placed at an 8-aligned file offset can therefore be parsed with
+  :func:`loads_view` into arrays that are zero-copy views over the
+  underlying buffer (an ``mmap``) instead of heap copies — the decode
+  kernels consume them directly off the OS page cache.  The v3 mapped
+  segment format (:mod:`repro.store.mapped`) stores one aligned blob per
+  term.
+
+:func:`loads` transparently reads both versions (copying); only
+:func:`loads_view` demands version 2, because zero-copy parsing of
+unaligned arrays would hand misaligned views to the kernels.
 """
 
 from __future__ import annotations
@@ -34,6 +51,10 @@ from repro.core.registry import get_codec
 
 _MAGIC = b"RPRO"
 _VERSION = 1
+#: Version byte of the aligned field encoding (see module docstring).
+_VERSION_ALIGNED = 2
+#: Alignment of array bodies in version-2 blobs, in bytes.
+_ALIGN = 8
 
 _DTYPE_CODES: dict[str, int] = {
     "uint8": 0,
@@ -58,35 +79,69 @@ def _write_scalar(out: bytearray, value: int) -> None:
     out += struct.pack("<q", int(value))
 
 
-def _write_array(out: bytearray, arr: np.ndarray) -> None:
+def _pad(out: bytearray) -> None:
+    """Zero-fill *out* up to the next 8-byte boundary (aligned encoding).
+
+    Padding is computed from the current length of the blob being built,
+    so alignment is relative to the blob start — absolute alignment then
+    holds for any blob placed at an 8-aligned offset.
+    """
+    out += b"\0" * (-len(out) % _ALIGN)
+
+
+def _write_array(out: bytearray, arr: np.ndarray, aligned: bool = False) -> None:
     code = _DTYPE_CODES.get(arr.dtype.name)
     if code is None:
         raise ValueError(f"unsupported payload dtype {arr.dtype}")
     out.append(_KIND_ARRAY)
     out.append(code)
     out += struct.pack("<Q", arr.size)
+    if aligned:
+        _pad(out)
     out += np.ascontiguousarray(arr).tobytes()
 
 
-def _write_containers(out: bytearray, containers: tuple) -> None:
+def _write_containers(out: bytearray, containers: tuple, aligned: bool = False) -> None:
     out.append(_KIND_CONTAINERS)
     out += struct.pack("<Q", len(containers))
     for kind, data in containers:
         out.append(0 if kind == "array" else 1)
-        _write_array(out, data)
+        _write_array(out, data, aligned)
 
 
 class _Reader:
-    def __init__(self, data: bytes, pos: int = 0) -> None:
+    """Sequential field parser over bytes or any buffer (``memoryview``).
+
+    ``aligned`` selects the version-2 pad-skipping field grammar;
+    ``zero_copy`` makes :meth:`_array` return ``np.frombuffer`` views
+    over the underlying buffer instead of heap copies (the buffer must
+    outlive the returned arrays — the mapped-segment handle guarantees
+    that via refcounting).
+    """
+
+    def __init__(
+        self,
+        data,
+        pos: int = 0,
+        *,
+        aligned: bool = False,
+        zero_copy: bool = False,
+    ) -> None:
         self.data = data
         self.pos = pos
+        self.aligned = aligned
+        self.zero_copy = zero_copy
 
-    def take(self, n: int) -> bytes:
+    def take(self, n: int):
         if self.pos + n > len(self.data):
             raise CorruptPayloadError("serialised set is truncated")
         chunk = self.data[self.pos : self.pos + n]
         self.pos += n
         return chunk
+
+    def skip_pad(self) -> None:
+        if self.aligned:
+            self.take(-self.pos % _ALIGN)
 
     def u8(self) -> int:
         return self.take(1)[0]
@@ -121,14 +176,23 @@ class _Reader:
         if dtype is None:
             raise CorruptPayloadError(f"unknown dtype code {code}")
         size = self.u64()
-        raw = self.take(size * dtype.itemsize)
-        return np.frombuffer(raw, dtype=dtype).copy()
+        self.skip_pad()
+        nbytes = size * dtype.itemsize
+        if self.pos + nbytes > len(self.data):
+            raise CorruptPayloadError("serialised set is truncated")
+        if self.zero_copy:
+            arr = np.frombuffer(self.data, dtype=dtype, count=size, offset=self.pos)
+        else:
+            arr = np.frombuffer(self.take(nbytes), dtype=dtype).copy()
+            return arr
+        self.pos += nbytes
+        return arr
 
 
 # ----------------------------------------------------------------------
 # Payload codecs (by payload class name)
 # ----------------------------------------------------------------------
-def _pack_payload(out: bytearray, payload) -> None:
+def _pack_payload(out: bytearray, payload, aligned: bool = False) -> None:
     from repro.bitmaps.roaring import RoaringPayload
     from repro.bitmaps.valwah import VALWAHPayload
     from repro.invlists.blocks import BlockedPayload
@@ -137,34 +201,38 @@ def _pack_payload(out: bytearray, payload) -> None:
     if isinstance(payload, CompressedIntegerSet):
         # Wrapper codecs (e.g. the adaptive hybrid) nest a full set.
         out += b"C"
-        nested = dumps(payload)
+        nested = dumps(payload, aligned=aligned)
         out += struct.pack("<Q", len(nested))
+        if aligned:
+            # The nested blob starts 8-aligned so its internal (relative)
+            # padding stays valid at the absolute offsets of the file.
+            _pad(out)
         out += nested
     elif isinstance(payload, OptimalPEFPayload):
         out += b"P"
-        _write_array(out, payload.stream)
-        _write_array(out, payload.offsets)
-        _write_array(out, payload.firsts)
-        _write_array(out, payload.counts)
+        _write_array(out, payload.stream, aligned)
+        _write_array(out, payload.offsets, aligned)
+        _write_array(out, payload.firsts, aligned)
+        _write_array(out, payload.counts, aligned)
         _write_scalar(out, payload.wire_bytes)
     elif isinstance(payload, np.ndarray):
         out += b"A"
-        _write_array(out, payload)
+        _write_array(out, payload, aligned)
     elif isinstance(payload, BlockedPayload):
         out += b"B"
-        _write_array(out, payload.stream)
-        _write_array(out, payload.offsets)
-        _write_array(out, payload.firsts)
+        _write_array(out, payload.stream, aligned)
+        _write_array(out, payload.offsets, aligned)
+        _write_array(out, payload.firsts, aligned)
         _write_scalar(out, payload.wire_bytes)
     elif isinstance(payload, RoaringPayload):
         out += b"R"
-        _write_array(out, payload.keys)
-        _write_containers(out, payload.containers)
+        _write_array(out, payload.keys, aligned)
+        _write_containers(out, payload.containers, aligned)
     elif isinstance(payload, VALWAHPayload):
         out += b"V"
         _write_scalar(out, payload.segment_bits)
         _write_scalar(out, payload.n_units)
-        _write_array(out, payload.packed)
+        _write_array(out, payload.packed, aligned)
     else:
         raise ValueError(
             f"cannot serialise payload of type {type(payload).__name__}"
@@ -177,10 +245,14 @@ def _unpack_payload(reader: _Reader):
     from repro.invlists.blocks import BlockedPayload
     from repro.invlists.pef_optimal import OptimalPEFPayload
 
-    tag = reader.take(1)
+    tag = bytes(reader.take(1))
     if tag == b"C":
         length = reader.u64()
-        return loads(reader.take(length))
+        reader.skip_pad()
+        nested = reader.take(length)
+        if reader.zero_copy:
+            return _loads(nested, zero_copy=True)
+        return loads(nested)
     if tag == b"P":
         return OptimalPEFPayload(
             stream=reader.field(),
@@ -212,35 +284,44 @@ def _unpack_payload(reader: _Reader):
 # ----------------------------------------------------------------------
 # Public API
 # ----------------------------------------------------------------------
-def dumps(cs: CompressedIntegerSet) -> bytes:
-    """Serialise a compressed set to a self-describing byte string."""
+def dumps(cs: CompressedIntegerSet, *, aligned: bool = False) -> bytes:
+    """Serialise a compressed set to a self-describing byte string.
+
+    With ``aligned=True`` the blob uses the version-2 aligned field
+    encoding, readable zero-copy via :func:`loads_view` when placed at
+    an 8-aligned buffer offset.  The default (version 1) is byte-stable
+    with every ``.rpro`` file ever written.
+    """
     out = bytearray()
     out += _MAGIC
-    out.append(_VERSION)
+    out.append(_VERSION_ALIGNED if aligned else _VERSION)
     name = cs.codec_name.encode("utf-8")
     out += struct.pack("<H", len(name))
     out += name
     out += struct.pack("<QQQ", cs.n, cs.universe, cs.size_bytes)
-    _pack_payload(out, cs.payload)
+    _pack_payload(out, cs.payload, aligned)
     return bytes(out)
 
 
-def loads(data: bytes) -> CompressedIntegerSet:
-    """Parse :func:`dumps` output back into a live compressed set.
-
-    The codec must be present in the registry (it is looked up by name so
-    the returned set plugs straight into ``get_codec(...).decompress``).
-    """
-    reader = _Reader(data)
-    if reader.take(4) != _MAGIC:
+def _loads(data, *, zero_copy: bool) -> CompressedIntegerSet:
+    """Shared body of :func:`loads` and :func:`loads_view`."""
+    if len(data) < 5:
+        raise CorruptPayloadError("serialised set is truncated")
+    if bytes(data[:4]) != _MAGIC:
         raise CorruptPayloadError("not a repro serialised set (bad magic)")
-    version = reader.u8()
-    if version != _VERSION:
+    version = data[4]
+    if version not in (_VERSION, _VERSION_ALIGNED):
         raise CorruptPayloadError(f"unsupported format version {version}")
+    aligned = version == _VERSION_ALIGNED
+    if zero_copy and not aligned:
+        raise CorruptPayloadError(
+            "zero-copy parsing requires the aligned (version-2) encoding"
+        )
+    reader = _Reader(data, 5, aligned=aligned, zero_copy=zero_copy and aligned)
     name_len = struct.unpack("<H", reader.take(2))[0]
-    codec_name = reader.take(name_len).decode("utf-8")
+    codec_name = bytes(reader.take(name_len)).decode("utf-8")
     n, universe, size_bytes = struct.unpack("<QQQ", reader.take(24))
-    tag = reader.data[reader.pos : reader.pos + 1]
+    tag = bytes(reader.data[reader.pos : reader.pos + 1])
     if tag not in (b"C", b"P"):
         # Core payloads decode through the registry, so an unknown codec
         # name is an early, clear error.  Wrapper/extension payloads
@@ -249,6 +330,34 @@ def loads(data: bytes) -> CompressedIntegerSet:
         get_codec(codec_name)
     payload = _unpack_payload(reader)
     return CompressedIntegerSet(codec_name, payload, n, universe, size_bytes)
+
+
+def loads(data: bytes) -> CompressedIntegerSet:
+    """Parse :func:`dumps` output back into a live compressed set.
+
+    The codec must be present in the registry (it is looked up by name so
+    the returned set plugs straight into ``get_codec(...).decompress``).
+    Both field encodings are accepted; payload arrays are always heap
+    copies here — use :func:`loads_view` for zero-copy views.
+    """
+    return _loads(data, zero_copy=False)
+
+
+def loads_view(view) -> CompressedIntegerSet:
+    """Parse an *aligned* blob into a set whose arrays view the buffer.
+
+    Args:
+        view: a buffer (``memoryview``/``bytes``) holding one aligned
+            blob, starting at an 8-aligned offset of its underlying
+            mapping.  The buffer must outlive the returned arrays.
+
+    Returns a set whose numpy payload arrays are zero-copy
+    ``np.frombuffer`` views — read-only when the buffer is (an
+    ``mmap.ACCESS_READ`` mapping is).  Raises
+    :class:`~repro.core.errors.CorruptPayloadError` on any structural
+    damage, including a packed (version-1) blob.
+    """
+    return _loads(view, zero_copy=True)
 
 
 def dump(cs: CompressedIntegerSet, path) -> None:

@@ -20,7 +20,12 @@ system that *serves* them.  This package is that system's kernel:
 * :class:`WritablePostingStore` — the mutable write path: acknowledged
   ingest through a CRC-checked WAL into in-memory delta segments,
   crash recovery by replay, and background compaction that re-runs
-  per-list codec selection (``docs/write_path.md``).
+  per-list codec selection (``docs/write_path.md``);
+* :class:`MappedSegment` / :class:`MappedPostings` — the v3 zero-copy
+  memory-mapped segment layout (``save(mapped=True)``,
+  :func:`migrate_store`, ``WritablePostingStore.open(mapped=True)``):
+  whole-shard segment files opened with no per-term parsing, terms
+  materialised lazily as views over the map (``docs/segment_format.md``).
 
 Quickstart::
 
@@ -51,9 +56,15 @@ from repro.store.errors import (
     DuplicateShardError,
     DuplicateTermError,
     ManifestParamsError,
+    MappedSegmentError,
     ShardLoadError,
     StoreError,
     UnknownShardError,
+)
+from repro.store.mapped import (
+    MappedPostings,
+    MappedSegment,
+    write_mapped_segment,
 )
 from repro.store.metrics import LatencyHistogram, StoreMetrics
 from repro.store.plan import (
@@ -75,7 +86,13 @@ from repro.store.segments import (
     WritablePostingStore,
     WritableShard,
 )
-from repro.store.store import PostingStore, Shard, ShardState, resolve_codec
+from repro.store.store import (
+    PostingStore,
+    Shard,
+    ShardState,
+    migrate_store,
+    resolve_codec,
+)
 from repro.store.wal import WalCorruptionError, WriteAheadLog, replay_wal
 
 __all__ = [
@@ -89,6 +106,11 @@ __all__ = [
     "replay_wal",
     "WalCorruptionError",
     "ManifestParamsError",
+    "MappedSegmentError",
+    "MappedPostings",
+    "MappedSegment",
+    "write_mapped_segment",
+    "migrate_store",
     "resolve_codec",
     "DecodeCache",
     "DecodeFlight",

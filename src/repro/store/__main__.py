@@ -201,9 +201,16 @@ def _ingest_main(argv: list[str]) -> int:
         help="exit without close(): skips the final compaction so the "
         "next open exercises WAL replay",
     )
+    parser.add_argument(
+        "--mapped",
+        action="store_true",
+        help="persist compactions in the v3 memory-mapped segment layout",
+    )
     args = parser.parse_args(argv)
 
-    store = WritablePostingStore.open(args.directory)
+    store = WritablePostingStore.open(
+        args.directory, mapped=True if args.mapped else None
+    )
     if args.shard not in store.shard_names():
         store.create_shard(args.shard, codec=args.codec, universe=args.universe)
     batches = synthetic_ops(
@@ -256,12 +263,36 @@ def _compact_main(argv: list[str]) -> int:
     return 0
 
 
+def _migrate_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.store migrate",
+        description="One-shot in-place migration of a legacy (v1/v2) "
+        "store to the v3 memory-mapped segment layout; prints a JSON "
+        "summary.  Idempotent on an already-migrated store.",
+    )
+    parser.add_argument("directory", help="store directory")
+    parser.add_argument(
+        "--lenient",
+        action="store_true",
+        help="tolerate corrupt lists instead of failing the migration",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.store.store import migrate_store
+
+    summary = migrate_store(args.directory, strict=not args.lenient)
+    print(json.dumps(summary, indent=1))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "ingest":
         return _ingest_main(argv[1:])
     if argv and argv[0] == "compact":
         return _compact_main(argv[1:])
+    if argv and argv[0] == "migrate":
+        return _migrate_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.store",
         description="Serve a randomized query batch from a synthetic "

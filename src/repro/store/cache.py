@@ -22,6 +22,7 @@ identical decodes multiplies both latency and peak memory by the fan-in.
 
 from __future__ import annotations
 
+import mmap
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -43,6 +44,18 @@ DEFAULT_MAX_BYTES = 256 * 1024 * 1024
 #: giving up and decoding independently.  Generous: a decode that takes
 #: longer than this is pathological, and the fallback stays correct.
 DEFAULT_FLIGHT_WAIT_SECONDS = 60.0
+
+
+def _views_mmap(values: np.ndarray) -> bool:
+    """Does this array (transitively) view a ``mmap.mmap`` buffer?"""
+    base = values.base
+    while base is not None:
+        if isinstance(base, mmap.mmap):
+            return True
+        if isinstance(base, memoryview):
+            return isinstance(base.obj, mmap.mmap)
+        base = getattr(base, "base", None)
+    return False
 
 
 class _FlightState:
@@ -110,6 +123,9 @@ class CacheStats:
     flights: int = 0
     coalesced: int = 0
     flight_aborts: int = 0
+    #: Arrays copied off a memory-mapped segment at insert time (should
+    #: stay 0 — the decode chokepoint copies first; see ``put``).
+    view_copies: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -130,6 +146,7 @@ class CacheStats:
             "flights": self.flights,
             "coalesced": self.coalesced,
             "flight_aborts": self.flight_aborts,
+            "view_copies": self.view_copies,
         }
 
 
@@ -164,6 +181,7 @@ class DecodeCache:
         self._flights = 0
         self._coalesced = 0
         self._flight_aborts = 0
+        self._view_copies = 0
 
     # ------------------------------------------------------------------
     # ArrayCache protocol
@@ -184,6 +202,16 @@ class DecodeCache:
             # Larger than the whole budget: caching it would evict
             # everything and still not fit.  Serve it uncached.
             return
+        if _views_mmap(values):
+            # An array backed by a memory-mapped segment must not enter
+            # the cache: the entry would pin the mapping open past
+            # retirement (and on some platforms block file deletion).
+            # Cache a private heap copy instead.  The decode chokepoint
+            # already copies mapped results, so this trips only for
+            # callers bypassing it — defense in depth, counted.
+            values = np.array(values)
+            with self._lock:
+                self._view_copies += 1
         values.flags.writeable = False
         with self._lock:
             old = self._data.pop(key, None)
@@ -300,6 +328,7 @@ class DecodeCache:
                 flights=self._flights,
                 coalesced=self._coalesced,
                 flight_aborts=self._flight_aborts,
+                view_copies=self._view_copies,
             )
 
 

@@ -40,6 +40,25 @@ class ManifestParamsError(StoreError):
         self.actual = actual
 
 
+class MappedSegmentError(StoreError):
+    """A memory-mapped (v3) segment file failed validation.
+
+    Raised at open for structural damage (bad magic/version, truncation,
+    header or table CRC mismatch, out-of-bounds offsets) and at first
+    access for payload damage (per-term CRC mismatch, blob/entry
+    metadata disagreement).  Carries the file path and, when the damage
+    is localisable, the term it affects (``None`` for whole-file
+    damage).
+    """
+
+    def __init__(self, path: str, detail: str, term: str | None = None) -> None:
+        where = f" term {term!r}" if term is not None else ""
+        super().__init__(f"mapped segment {path}{where}: {detail}")
+        self.path = path
+        self.term = term
+        self.detail = detail
+
+
 class ShardLoadError(StoreError):
     """A persisted shard failed to load (corrupt file, bad manifest).
 

@@ -475,13 +475,22 @@ def compile_shard_plan(
     plan.terms = query_terms(root)
     list_codec = get_codec("List") if state.deltas else None
 
+    # Mapped (v3) shards carry a cache epoch — the segment generation at
+    # open, carried forward across in-process compactions.  Folding it
+    # into the codec slot means a reopened or migrated store can never
+    # hit arrays cached against another mapping of the same directory.
+    mapped_epoch = getattr(state.postings, "cache_epoch", None)
+
     def versioned(term: str, codec_name: str) -> tuple[str, str, str]:
         # Compaction bumps a term's generation when it rewrites the
         # list; baking it into the key's codec slot keeps keys 3-tuples
         # (what DecodeCache.invalidate_shard expects) while guaranteeing
         # a rewritten list never hits its predecessor's cached array.
+        slot = codec_name
+        if mapped_epoch is not None:
+            slot = f"{slot}@m{mapped_epoch}"
         ver = state.versions.get(term, 0)
-        return (shard_name, term, codec_name if not ver else f"{codec_name}#g{ver}")
+        return (shard_name, term, slot if not ver else f"{slot}#g{ver}")
 
     def overlay_leaf(term: str, cs: CompressedIntegerSet | None) -> QueryExpression | None:
         """Base ∖ dels ∪ adds, wrapped as an uncompressed-list leaf."""
@@ -513,10 +522,11 @@ def compile_shard_plan(
         assert list_codec is not None
         leaf = list_codec.compress(merged)
         ver = state.versions.get(term, 0)
+        epoch = "" if mapped_epoch is None else f"m{mapped_epoch}"
         plan.keymap[id(leaf)] = (
             shard_name,
             term,
-            f"List@g{ver}r{'.'.join(revs)}",
+            f"List@{epoch}g{ver}r{'.'.join(revs)}",
         )
         plan.delta_terms.append(term)
         return ExprLeaf(leaf)

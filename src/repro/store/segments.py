@@ -50,7 +50,14 @@ from repro.core.base import (
 )
 from repro.core.serialize import dump
 from repro.store.errors import DuplicateShardError, StoreError, UnknownShardError
+from repro.store.mapped import (
+    MAPPED_SUFFIX,
+    MappedPostings,
+    MappedSegment,
+    write_mapped_segment,
+)
 from repro.store.store import (
+    _MANIFEST_VERSION_MAPPED,
     PostingStore,
     Shard,
     ShardState,
@@ -71,7 +78,9 @@ from repro.store.wal import (
 )
 
 _WAL_RE = re.compile(r"^wal-(\d{6})\.log$")
-_RPRO_RE = re.compile(r"\.rpro$")
+#: Segment files subject to orphan GC: per-term ``.rpro`` (v2) and
+#: whole-shard mapped ``.rpro3`` (v3).
+_RPRO_RE = re.compile(r"\.rpro3?$")
 
 
 def _wal_name(seq: int) -> str:
@@ -243,6 +252,15 @@ class WritablePostingStore(PostingStore):
         self.compactions = 0
         #: Term → file map of the manifest on disk (None until known).
         self._manifest_terms: dict[str, dict[str, str]] | None = None
+        #: Whether compaction persists the v3 mapped layout (one
+        #: ``.rpro3`` segment per shard) instead of per-term files.
+        #: Set by :meth:`open` — explicitly, or inherited from the
+        #: on-disk manifest version.
+        self.mapped = False
+        #: Shard → segment file (relative) of the mapped manifest on disk.
+        self._manifest_segments: dict[str, str] = {}
+        #: Damage policy inherited by segments mapped after compaction.
+        self._strict = True
         self._compactor: threading.Thread | None = None
         self._stop = threading.Event()
         self._closed = False
@@ -260,6 +278,7 @@ class WritablePostingStore(PostingStore):
         *,
         strict: bool = True,
         fsync: bool = True,
+        mapped: bool | None = None,
     ) -> "WritablePostingStore":
         """Open (creating if absent) a writable store at *directory*.
 
@@ -268,17 +287,39 @@ class WritablePostingStore(PostingStore):
         collect orphan files from interrupted compactions, then rotate
         to a new WAL (recovered logs are retired, not appended to, so a
         discarded torn tail can never precede a live record).
+
+        ``mapped`` selects the persistence layout compaction emits:
+        ``True`` for the v3 memory-mapped format, ``False`` for per-term
+        v2 files, ``None`` (default) to inherit whatever the on-disk
+        manifest already uses (v2 for a fresh directory).  Opening a
+        legacy store with ``mapped=True`` performs the one-shot
+        :func:`repro.store.store.migrate_store` first (folding any
+        pending WAL), so the open always lands on a consistent layout.
         """
         directory = os.fspath(directory)
         os.makedirs(directory, exist_ok=True)
+        if mapped and os.path.exists(manifest_path(directory)):
+            from repro.store.store import migrate_store
+
+            migrate_store(directory, strict=strict)
         store = cls(directory, fsync=fsync)
+        store._strict = strict
         manifest = None
         if os.path.exists(manifest_path(directory)):
             manifest = load_manifest_into(store, directory, strict=strict)
             store._manifest_terms = {
-                name: dict(spec["terms"])
+                name: dict(spec.get("terms", {}))
                 for name, spec in manifest["shards"].items()
             }
+            store._manifest_segments = {
+                name: spec["segment"]
+                for name, spec in manifest["shards"].items()
+                if spec.get("segment") is not None
+            }
+        if mapped is None:
+            store.mapped = bool(store._manifest_segments)
+        else:
+            store.mapped = mapped
         wal_paths = store._existing_wals()
         for path in wal_paths:
             replay = replay_wal(path, strict=strict)
@@ -362,7 +403,9 @@ class WritablePostingStore(PostingStore):
         referenced: set[str] = set()
         if manifest is not None:
             for spec in manifest["shards"].values():
-                referenced.update(spec["terms"].values())
+                referenced.update(spec.get("terms", {}).values())
+                if spec.get("segment") is not None:
+                    referenced.add(spec["segment"])
         for root, _dirs, files in os.walk(self.directory):
             for fname in files:
                 full = os.path.join(root, fname)
@@ -576,15 +619,43 @@ class WritablePostingStore(PostingStore):
 
             # -- 3. persist ---------------------------------------------
             replaced_files: list[str] = []
+            new_segments: dict[str, str] = {}
             if self.directory is not None:
-                replaced_files = self._persist(gen, new_postings, changed)
+                if self.mapped:
+                    new_segments = self._persist_mapped(gen, new_postings)
+                else:
+                    replaced_files = self._persist(gen, new_postings, changed)
 
             # -- 4. commit ----------------------------------------------
             total = 0
+            retired_postings: list[MappedPostings] = []
             for shard in self._writable_shards():
+                fresh: MappedPostings | None = None
+                seg_path = new_segments.get(shard.name)
+                if seg_path is not None:
+                    # Reopen the just-written segment; carry the cache
+                    # epoch forward so unchanged terms keep their warm
+                    # decode-cache entries (changed terms moved via the
+                    # per-term version bump below).
+                    segment = MappedSegment.open(seg_path, strict=self._strict)
+                    old_epoch = getattr(shard.postings, "cache_epoch", None)
+                    fresh = MappedPostings(
+                        segment,
+                        strict=self._strict,
+                        cache_epoch=(
+                            old_epoch if old_epoch is not None
+                            else segment.generation
+                        ),
+                        failed_sink=shard.failed_terms,
+                    )
                 with shard.state_lock:
-                    if shard.name in new_postings:
+                    if fresh is not None:
+                        if isinstance(shard.postings, MappedPostings):
+                            retired_postings.append(shard.postings)
+                        shard.postings = fresh
+                    elif shard.name in new_postings:
                         shard.postings = new_postings[shard.name]
+                    if shard.name in changed:
                         versions = dict(shard.versions)
                         for term in changed[shard.name]:
                             versions[term] = versions.get(term, 0) + 1
@@ -598,6 +669,12 @@ class WritablePostingStore(PostingStore):
                 total += len(changed.get(shard.name, ()))
             self.generation = gen
             self.compactions += 1
+            # Retire superseded mapped segments: unlink now where the
+            # platform allows deleting a mapped file; in-flight queries
+            # holding the old snapshot keep reading valid pages, and the
+            # mapping closes when the last snapshot is released.
+            for old in retired_postings:
+                old.retire()
 
             # -- 5. truncate --------------------------------------------
             if self.directory is not None:
@@ -663,6 +740,60 @@ class WritablePostingStore(PostingStore):
         }
         return replaced
 
+    def _persist_mapped(
+        self,
+        gen: int,
+        new_postings: dict[str, dict[str, CompressedIntegerSet]],
+    ) -> dict[str, str]:
+        """Write whole-shard v3 segments for every changed shard + manifest.
+
+        Unchanged shards keep their existing segment file (the manifest
+        re-references it); changed shards get a fresh
+        ``segment-g{gen}.rpro3`` holding the full merged term set —
+        terms the compaction did not touch are copied byte-for-byte off
+        the old map (the ``raw_blob`` fast path), not re-serialised.
+
+        Returns shard → absolute path of newly written segments; the
+        *old* files are never unlinked here — commit retires them via
+        the refcounted handle so live query snapshots keep valid views.
+        """
+        assert self.directory is not None
+        manifest = manifest_dict(self)
+        manifest["version"] = _MANIFEST_VERSION_MAPPED
+        manifest["generation"] = gen
+        new_segments: dict[str, str] = {}
+        for shard in self._writable_shards():
+            spec = manifest["shards"][shard.name]
+            old_rel = self._manifest_segments.get(shard.name)
+            if shard.name not in new_postings and old_rel is not None:
+                spec["segment"] = old_rel
+                continue
+            items = new_postings.get(shard.name)
+            if items is None:
+                # First persist of a shard compaction never touched
+                # (e.g. created this session, or a migrated-in dict).
+                items = dict(shard.postings)
+            shard_dir = os.path.join(self.directory, shard.name)
+            os.makedirs(shard_dir, exist_ok=True)
+            rel = os.path.join(
+                shard.name, f"segment-g{gen:06d}{MAPPED_SUFFIX}"
+            )
+            full = os.path.join(self.directory, rel)
+            write_mapped_segment(
+                full, items.items(), generation=gen, fsync=self._fsync
+            )
+            _fsync_dir(shard_dir)
+            spec["segment"] = rel
+            new_segments[shard.name] = full
+        write_manifest(self.directory, manifest)
+        self._manifest_segments = {
+            name: spec["segment"]
+            for name, spec in manifest["shards"].items()
+            if spec.get("segment") is not None
+        }
+        self._manifest_terms = {name: {} for name in manifest["shards"]}
+        return new_segments
+
     def _current_terms(self, shard_name: str) -> dict[str, str]:
         cached = getattr(self, "_manifest_terms", None)
         if cached is not None:
@@ -722,6 +853,7 @@ class WritablePostingStore(PostingStore):
         """JSON-able write-path counters (merged into ``/metrics``)."""
         return {
             "generation": self.generation,
+            "mapped": self.mapped,
             "compactions": self.compactions,
             "pending_ops": self.pending_ops(),
             "recovered_ops": self.recovered_ops,

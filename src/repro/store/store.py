@@ -21,7 +21,7 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, NamedTuple
+from typing import Iterable, Mapping, MutableMapping, NamedTuple
 
 import numpy as np
 
@@ -34,6 +34,7 @@ from repro.store.errors import (
     DuplicateShardError,
     DuplicateTermError,
     ManifestParamsError,
+    MappedSegmentError,
     ShardLoadError,
     StoreError,
     UnknownShardError,
@@ -42,9 +43,14 @@ from repro.store.errors import (
 _MANIFEST = "manifest.json"
 #: Version 2 added per-shard codec ``params`` (full configuration, not
 #: just the name) and the store ``generation`` counter; version-1
-#: manifests are still readable.
+#: manifests are still readable.  Version 3 replaces the per-term
+#: ``terms`` file map with one memory-mapped ``segment`` file per shard
+#: (:mod:`repro.store.mapped`); 1 and 2 remain readable, and v2 is
+#: still the default *write* format — v3 is opt-in via
+#: ``save(mapped=True)`` / :func:`migrate_store`.
 _MANIFEST_VERSION = 2
-_READABLE_MANIFEST_VERSIONS = (1, 2)
+_MANIFEST_VERSION_MAPPED = 3
+_READABLE_MANIFEST_VERSIONS = (1, 2, 3)
 
 
 def resolve_codec(spec: str | IntegerSetCodec) -> IntegerSetCodec:
@@ -86,7 +92,11 @@ class Shard:
     name: str
     codec: IntegerSetCodec
     universe: int | None = None
-    postings: dict[str, CompressedIntegerSet] = field(default_factory=dict)
+    #: A plain dict for in-heap shards; a lazy
+    #: :class:`repro.store.mapped.MappedPostings` for mapped (v3) ones.
+    postings: MutableMapping[str, CompressedIntegerSet] = field(
+        default_factory=dict
+    )
     #: Terms lost to corruption during a lenient load: term → reason.
     failed_terms: dict[str, str] = field(default_factory=dict)
 
@@ -120,10 +130,19 @@ class Shard:
 
     @property
     def size_bytes(self) -> int:
+        # Mapped shards answer from the entry table (vectorised, no
+        # materialisation); summing over a MappedPostings would parse
+        # every term and defeat the lazy open.
+        fast = getattr(self.postings, "total_size_bytes", None)
+        if fast is not None:
+            return fast()
         return sum(cs.size_bytes for cs in self.postings.values())
 
     @property
     def n_postings(self) -> int:
+        fast = getattr(self.postings, "total_postings", None)
+        if fast is not None:
+            return fast()
         return sum(cs.n for cs in self.postings.values())
 
     # ------------------------------------------------------------------
@@ -276,8 +295,15 @@ class PostingStore:
         cs = state.postings.get(term)
         if cs is None:
             return np.empty(0, dtype=np.int64)
+        slot = cs.codec_name
+        epoch = getattr(state.postings, "cache_epoch", None)
+        if epoch is not None:
+            # Mapped shard: the epoch distinguishes one mapping of a
+            # directory from any other (reopen, migration), mirroring
+            # ``plan.versioned`` — same key, same cached array.
+            slot = f"{slot}@m{epoch}"
         ver = state.versions.get(term, 0)
-        versioned_codec = cs.codec_name if not ver else f"{cs.codec_name}#g{ver}"
+        versioned_codec = slot if not ver else f"{slot}#g{ver}"
         return decode(
             cs,
             codec=sh.codec,
@@ -289,26 +315,50 @@ class PostingStore:
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
-    def save(self, directory: str | os.PathLike) -> None:
-        """Write every shard under *directory* (manifest + .rpro files).
+    def save(self, directory: str | os.PathLike, *, mapped: bool = False) -> None:
+        """Write every shard under *directory* (manifest + segment files).
 
-        The manifest (version 2) records each shard codec's full
-        configuration via :meth:`IntegerSetCodec.params`, and is written
-        atomically (temp file + rename) so a reader never observes a
-        half-written manifest.
+        The manifest records each shard codec's full configuration via
+        :meth:`IntegerSetCodec.params`, and is written atomically (temp
+        file + rename) so a reader never observes a half-written
+        manifest.
+
+        The default layout (manifest version 2) is one ``.rpro`` file
+        per term.  With ``mapped=True`` the store is written in the v3
+        memory-mapped layout instead — one ``.rpro3`` segment per shard
+        (manifest version 3, ``segment`` entry in place of the ``terms``
+        map), openable with zero per-term parsing; see
+        :mod:`repro.store.mapped` and ``docs/segment_format.md``.
         """
         directory = os.fspath(directory)
         os.makedirs(directory, exist_ok=True)
         manifest = manifest_dict(self)
-        for shard in self._shards.values():
-            shard_dir = os.path.join(directory, shard.name)
-            os.makedirs(shard_dir, exist_ok=True)
-            terms: dict[str, str] = {}
-            for i, (term, cs) in enumerate(sorted(shard.postings.items())):
-                rel = os.path.join(shard.name, f"{i:06d}.rpro")
-                dump(cs, os.path.join(directory, rel))
-                terms[term] = rel
-            manifest["shards"][shard.name]["terms"] = terms
+        if mapped:
+            from repro.store.mapped import MAPPED_SUFFIX, write_mapped_segment
+
+            manifest["version"] = _MANIFEST_VERSION_MAPPED
+            for shard in self._shards.values():
+                shard_dir = os.path.join(directory, shard.name)
+                os.makedirs(shard_dir, exist_ok=True)
+                rel = os.path.join(
+                    shard.name, f"segment-g{self.generation:06d}{MAPPED_SUFFIX}"
+                )
+                write_mapped_segment(
+                    os.path.join(directory, rel),
+                    shard.postings.items(),
+                    generation=self.generation,
+                )
+                manifest["shards"][shard.name]["segment"] = rel
+        else:
+            for shard in self._shards.values():
+                shard_dir = os.path.join(directory, shard.name)
+                os.makedirs(shard_dir, exist_ok=True)
+                terms: dict[str, str] = {}
+                for i, (term, cs) in enumerate(sorted(shard.postings.items())):
+                    rel = os.path.join(shard.name, f"{i:06d}.rpro")
+                    dump(cs, os.path.join(directory, rel))
+                    terms[term] = rel
+                manifest["shards"][shard.name]["terms"] = terms
         write_manifest(directory, manifest)
 
     @classmethod
@@ -412,7 +462,10 @@ def load_manifest_into(
             if strict:
                 raise
             store.load_errors.append(err)
-        for term, rel in spec["terms"].items():
+        if spec.get("segment") is not None:
+            _attach_mapped_shard(store, shard, directory, spec, strict=strict)
+            continue
+        for term, rel in spec.get("terms", {}).items():
             path = os.path.join(directory, rel)
             try:
                 shard.postings[term] = load(path)
@@ -423,3 +476,98 @@ def load_manifest_into(
                 store.load_errors.append(err2)
                 shard.failed_terms[term] = str(exc)
     return manifest
+
+
+def _attach_mapped_shard(
+    store: PostingStore,
+    shard: Shard,
+    directory: str,
+    spec: Mapping,
+    *,
+    strict: bool,
+) -> None:
+    """Mount one v3 shard: map the segment, install the lazy postings view.
+
+    No per-term work happens here — :class:`repro.store.mapped.MappedSegment`
+    validates structure (and, strict, the metadata CRC) in O(file) C-speed
+    passes, and terms materialise lazily on first access.  A lenient open
+    of a damaged segment degrades only the affected terms (pre-marked
+    bounds failures land in ``failed_terms`` now; payload damage lands
+    there at first touch); whole-file damage leaves the shard empty with
+    the error recorded, mirroring the v2 lenient contract.
+    """
+    from repro.store.mapped import MappedPostings, MappedSegment
+
+    path = os.path.join(directory, spec["segment"])
+    try:
+        segment = MappedSegment.open(path, strict=strict)
+    except MappedSegmentError as err:
+        if strict:
+            raise
+        store.load_errors.append(err)
+        return
+    shard.postings = MappedPostings(
+        segment,
+        strict=strict,
+        cache_epoch=segment.generation,
+        failed_sink=shard.failed_terms,
+    )
+    for term, reason in shard.failed_terms.items():
+        store.load_errors.append(
+            ShardLoadError(shard.name, term, path, MappedSegmentError(path, reason, term=term))
+        )
+
+
+def migrate_store(directory: str | os.PathLike, *, strict: bool = True) -> dict:
+    """One-shot, in-place migration of a legacy (v1/v2) store to v3.
+
+    Pending WAL files (a writable store closed mid-stream) are folded in
+    first via a compaction, so no acknowledged write is lost.  The store
+    is then rewritten in the mapped layout and the legacy per-term
+    ``.rpro`` files are deleted.  Idempotent: migrating a v3 store is a
+    no-op.  Returns a summary dict (``shards``, ``terms``,
+    ``segment_bytes``, ``removed_files``).
+    """
+    directory = os.fspath(directory)
+    with open(manifest_path(directory)) as fh:
+        version = json.load(fh).get("version")
+    if version == _MANIFEST_VERSION_MAPPED:
+        store = PostingStore.load(directory, strict=strict)
+        return {
+            "already_mapped": True,
+            "shards": len(store),
+            "terms": sum(len(store.shard(n).postings) for n in store.shard_names()),
+            "segment_bytes": 0,
+            "removed_files": 0,
+        }
+    if any(fname.startswith("wal-") for fname in os.listdir(directory)):
+        from repro.store.segments import WritablePostingStore
+
+        writable = WritablePostingStore.open(directory, strict=strict)
+        writable.close(compact=True)
+    store = PostingStore.load(directory, strict=strict)
+    legacy: list[str] = []
+    for root, _dirs, files in os.walk(directory):
+        legacy.extend(
+            os.path.join(root, f) for f in files if f.endswith(".rpro")
+        )
+    store.save(directory, mapped=True)
+    for path in legacy:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+    segment_bytes = 0
+    for root, _dirs, files in os.walk(directory):
+        segment_bytes += sum(
+            os.path.getsize(os.path.join(root, f))
+            for f in files
+            if f.endswith(".rpro3")
+        )
+    return {
+        "already_mapped": False,
+        "shards": len(store),
+        "terms": sum(len(store.shard(n).postings) for n in store.shard_names()),
+        "segment_bytes": segment_bytes,
+        "removed_files": len(legacy),
+    }

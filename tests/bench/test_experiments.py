@@ -154,14 +154,17 @@ def test_churn_experiment_rows():
         requests_per_client=4,
         ingest_batches=4,
         ops_per_batch=3,
+        backings=("in-heap", "mapped"),
     )
     assert codecs_of(rows) == {"Roaring"}
-    (row,) = rows
-    assert row.workload == "churn"
-    extra = row.extra
-    assert extra["acked_ops"] == 12  # 4 batches × 3 ops, all durable
-    assert extra["compactions"] >= 1  # at least the preload compaction
-    assert extra["query_p99_ms"] >= extra["query_p50_ms"] >= 0
-    assert extra["ingest_p99_ms"] >= extra["ingest_p50_ms"] >= 0
-    assert not extra["statuses"].get("failed")
-    assert row.space_bytes > 0
+    assert len(rows) == 2  # one row per backing
+    assert [r.extra["store_backing"] for r in rows] == ["in-heap", "mapped"]
+    for row in rows:
+        assert row.workload == "churn"
+        extra = row.extra
+        assert extra["acked_ops"] == 12  # 4 batches × 3 ops, all durable
+        assert extra["compactions"] >= 1  # at least the preload compaction
+        assert extra["query_p99_ms"] >= extra["query_p50_ms"] >= 0
+        assert extra["ingest_p99_ms"] >= extra["ingest_p50_ms"] >= 0
+        assert not extra["statuses"].get("failed")
+        assert row.space_bytes > 0

@@ -104,7 +104,10 @@ def test_committed_baseline_matches_pinned_matrix():
     doc = json.loads(
         (perf_gate.DEFAULT_BASELINE).read_text()
     )
-    expected = {wl.name for wl in DECODE_WORKLOADS} | {"served-closed-loop"}
+    expected = {wl.name for wl in DECODE_WORKLOADS} | {
+        "served-closed-loop",
+        "mapped-cold-open",
+    }
     for mode in ("quick", "full"):
         assert set(doc[mode]["workloads"]) == expected, mode
 
@@ -127,6 +130,47 @@ def test_measure_decode_frozen_reference_only_in_full_mode():
     assert quick_entry["scalar_ms"] is None  # frozen refs are full-mode only
 
 
+def test_measure_mapped_open_schema_and_invariants(monkeypatch):
+    """The mapped cold-open entry: flat open, heap far below in-heap."""
+    monkeypatch.setattr(perf_gate, "MAPPED_QUICK_TERMS", 64)
+    entry = perf_gate._measure_mapped_open(quick=True)
+    assert entry["kind"] == "mapped-open" and entry["terms"] == 64
+    assert entry["open_ms"] > 0 and entry["open_4x_ms"] > 0
+    # the in-process assertions already enforce these; re-check the
+    # recorded numbers tell the same story
+    assert entry["flatness_ratio"] <= perf_gate.MAPPED_FLATNESS_BOUND
+    assert entry["heap_peak_kb"] < entry["legacy_heap_peak_kb"]
+    assert entry["heap_savings"] > 1.0
+
+
+def test_compare_gates_mapped_open_metrics():
+    cur = {
+        "workloads": {
+            "mapped-cold-open": {
+                "kind": "mapped-open",
+                "open_ms": 4.0,
+                "heap_peak_kb": 500.0,
+                "flatness_ratio": 1.1,
+            }
+        }
+    }
+    base = {
+        "workloads": {
+            "mapped-cold-open": {
+                "kind": "mapped-open",
+                "open_ms": 2.0,
+                "heap_peak_kb": 250.0,
+                "flatness_ratio": 1.0,
+            }
+        }
+    }
+    metrics = {f.metric: f.ratio for f in compare(cur, base)}
+    assert metrics["mapped-cold-open.open_ms"] == pytest.approx(2.0)
+    assert metrics["mapped-cold-open.heap_peak_kb"] == pytest.approx(2.0)
+    # derived ratios are informational, never gated
+    assert "mapped-cold-open.flatness_ratio" not in metrics
+
+
 def test_main_run_without_baseline_is_warn_only(tmp_path, monkeypatch, capsys):
     """`check` against a missing baseline must not fail CI."""
     monkeypatch.setattr(
@@ -136,6 +180,7 @@ def test_main_run_without_baseline_is_warn_only(tmp_path, monkeypatch, capsys):
     )
     monkeypatch.setattr(perf_gate, "SERVED_QUICK_LIST_SIZE", 2_000)
     monkeypatch.setattr(perf_gate, "SERVED_QUICK_ITERATIONS", 2)
+    monkeypatch.setattr(perf_gate, "MAPPED_QUICK_TERMS", 32)
     out = tmp_path / "out.json"
     code = perf_gate.main(
         [
@@ -161,6 +206,7 @@ def test_main_update_then_check_roundtrip(tmp_path, monkeypatch):
     )
     monkeypatch.setattr(perf_gate, "SERVED_QUICK_LIST_SIZE", 2_000)
     monkeypatch.setattr(perf_gate, "SERVED_QUICK_ITERATIONS", 2)
+    monkeypatch.setattr(perf_gate, "MAPPED_QUICK_TERMS", 32)
     baseline = tmp_path / "b.json"
     assert perf_gate.main(["update", "--quick", "--baseline", str(baseline)]) == 0
     # micro workloads run in microseconds, where run-to-run jitter can

@@ -116,8 +116,11 @@ def test_edge_list_pairs(codec_name, left, right):
     assert np.array_equal(codec.union(ca, cb), _ref_or(a, b))
 
 
-def test_served_engine_matches_reference(codec_name):
-    """The full store path — compile, cache, scatter-gather — per codec."""
+@pytest.mark.parametrize("backing", ["in-heap", "mapped"])
+def test_served_engine_matches_reference(codec_name, backing, tmp_path):
+    """The full store path — compile, cache, scatter-gather — per codec,
+    serving both from the in-heap posting table and, round-tripped
+    through ``save(mapped=True)``, off a memory-mapped v3 segment."""
     from repro import get_codec
     from repro.store import And, DecodeCache, Or, PostingStore, QueryEngine
 
@@ -131,6 +134,9 @@ def test_served_engine_matches_reference(codec_name):
     shard = store.create_shard("s0", codec=get_codec(codec_name), universe=DOMAIN)
     for term, values in terms.items():
         shard.add(term, values)
+    if backing == "mapped":
+        store.save(tmp_path / "v3", mapped=True)
+        store = PostingStore.load(tmp_path / "v3")
     engine = QueryEngine(store, cache=DecodeCache(), cache_probes=True)
     cases = {
         "a": terms["a"],
