@@ -1,4 +1,4 @@
-"""The codec-contract rules, REPRO001 through REPRO006.
+"""The codec-contract rules, REPRO001 through REPRO008.
 
 Each rule protects one invariant the paper's comparative methodology
 depends on (see ``docs/static_analysis.md`` for the full rationale):
@@ -16,6 +16,10 @@ depends on (see ``docs/static_analysis.md`` for the full rationale):
   codec loop bodies must be named module-level constants.
 * REPRO006 — registry completeness: registered codec names and the
   paper-legend declaration in ``repro.core.registry`` stay in sync.
+* REPRO008 — capability honesty: a codec's declared ``CAPABILITIES``
+  set and its overridden operation methods imply each other, so the
+  query planner's feature detection never dispatches into a base-class
+  ``NotImplementedError`` and never misses a real compressed kernel.
 """
 
 from __future__ import annotations
@@ -607,6 +611,143 @@ def check_registry_completeness(
                         f"legend entry {legend_name!r} in {var} has no "
                         "registered codec; stale roster declaration"
                     ),
+                )
+
+
+# ----------------------------------------------------------------------
+# REPRO008 — declared capabilities match overridden operations
+# ----------------------------------------------------------------------
+#: Capability member → the methods a codec must override to honour it.
+_CAPABILITY_METHODS: dict[str, tuple[str, ...]] = {
+    "INTERSECT_COMPRESSED": ("intersect_compressed",),
+    "UNION_COMPRESSED": ("union_compressed",),
+    "INTERSECT_WITH_ARRAY": ("intersect_with_array",),
+    "RANK_SELECT_SKIP": ("rank", "select"),
+}
+
+#: The root of the codec hierarchy; its generic fallbacks (decompress-
+#: based intersect_with_array/rank/select, NotImplementedError kernels)
+#: do not count as capability-backing overrides.
+_CODEC_ROOT = "IntegerSetCodec"
+
+
+def _parse_capability_literal(value: ast.expr) -> set[str] | None:
+    """Member names of a ``frozenset({Capability.X, ...})`` literal.
+
+    Returns ``None`` when the expression is anything else — a computed
+    set, a name reference, an unknown member — because the planner's
+    feature detection (and this rule) can only trust a static literal.
+    """
+    if not (isinstance(value, ast.Call) and tail_name(value.func) == "frozenset"):
+        return None
+    if not value.args:
+        return set() if not value.keywords else None
+    if len(value.args) > 1 or value.keywords:
+        return None
+    arg = value.args[0]
+    if not isinstance(arg, ast.Set):
+        return None
+    members: set[str] = set()
+    for elt in arg.elts:
+        member = tail_name(elt)
+        if member is None or member not in _CAPABILITY_METHODS:
+            return None
+        members.add(member)
+    return members
+
+
+def _defined_methods(
+    model: ProjectModel, cls: ClassDef, _seen: frozenset[str] = frozenset()
+) -> set[str]:
+    """Method names defined anywhere below the codec root."""
+    if cls.name == _CODEC_ROOT or cls.name in _seen:
+        return set()
+    defined = {
+        stmt.name
+        for stmt in cls.node.body
+        if isinstance(stmt, ast.FunctionDef)
+    }
+    for base in cls.bases:
+        if base == _CODEC_ROOT:
+            continue
+        base_cls = model.lookup_class(base)
+        if base_cls is not None:
+            defined |= _defined_methods(model, base_cls, _seen | {cls.name})
+    return defined
+
+
+@_rule(
+    "REPRO008",
+    "declared capabilities match overridden operations",
+    "compile_shard_plan dispatches on CAPABILITIES without try/except; "
+    "a declared capability with no backing override raises mid-query, "
+    "and an override without the declaration silently forfeits the "
+    "compressed-domain path the codec implements.",
+    doc="""\
+The compressed-execution protocol is declaration-driven: the planner
+asks ``codec.capabilities()`` and, on a match, calls the corresponding
+method directly.  Both failure directions are therefore contract bugs:
+
+* **declared but not implemented** — the plan evaluator calls straight
+  into ``IntegerSetCodec``'s ``NotImplementedError`` stub (or a generic
+  decompress-everything fallback that falsifies the compressed-domain
+  measurements);
+* **implemented but not declared** — the codec's real kernel exists but
+  feature detection never selects it, so every query silently pays the
+  decode-then-merge price the kernel was written to avoid.
+
+The rule resolves ``CAPABILITIES`` through base classes (the WAH family
+declares once on ``RLEBitmapCodec``; blocked lists once on
+``BlockedInvListCodec``) and counts a method as overridden if any class
+below ``IntegerSetCodec`` in the static base chain defines it.
+``RANK_SELECT_SKIP`` requires both ``rank`` and ``select``.  Instance-
+level narrowing (``capabilities()`` overrides such as blocked lists
+dropping ``INTERSECT_WITH_ARRAY`` without skip pointers) is runtime
+behaviour out of static scope — the class-level declaration is what
+must stay honest.  Only registered codecs are checked.
+""",
+)
+def check_capability_contract(
+    model: ProjectModel, config: AnalysisConfig
+) -> Iterator[Finding]:
+    for cls in model.iter_classes():
+        if not _is_registered(cls):
+            continue
+        value = model.resolve_class_attr(cls, "CAPABILITIES")
+        declared = set() if value is None else _parse_capability_literal(value)
+        if declared is None:
+            yield _finding(
+                cls.module,
+                value if value is not None else cls.node,
+                "REPRO008",
+                f"codec {cls.name!r} must declare CAPABILITIES as a "
+                "literal frozenset({Capability.X, ...}) so the planner's "
+                "feature detection stays statically checkable",
+            )
+            continue
+        defined = _defined_methods(model, cls)
+        for cap, methods in sorted(_CAPABILITY_METHODS.items()):
+            implemented = all(m in defined for m in methods)
+            if cap in declared and not implemented:
+                missing = ", ".join(m for m in methods if m not in defined)
+                yield _finding(
+                    cls.module,
+                    cls.node,
+                    "REPRO008",
+                    f"codec {cls.name!r} declares Capability.{cap} but "
+                    f"never overrides {missing}; the planner would "
+                    "dispatch into the base-class fallback",
+                )
+            elif implemented and cap not in declared:
+                have = ", ".join(methods)
+                yield _finding(
+                    cls.module,
+                    cls.node,
+                    "REPRO008",
+                    f"codec {cls.name!r} overrides {have} but does not "
+                    f"declare Capability.{cap}; the compressed-domain "
+                    "kernel exists yet feature detection will never "
+                    "select it",
                 )
 
 

@@ -46,6 +46,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.core import (
+    Capability,
     CodecError,
     CompressedIntegerSet,
     CorruptPayloadError,
@@ -81,6 +82,8 @@ __all__ = [
     "decompress",
     "get_codec",
     "all_codec_names",
+    "codec_capabilities",
+    "Capability",
     "CompressedIntegerSet",
     "IntegerSetCodec",
     # Set operations
@@ -141,6 +144,20 @@ def compress(
 def decompress(cs: CompressedIntegerSet) -> np.ndarray:
     """Exact inverse of :func:`compress` (codec resolved from the set)."""
     return get_codec(cs.codec_name).decompress(cs)
+
+
+def codec_capabilities(name: str) -> frozenset[Capability]:
+    """The :class:`Capability` set a registered codec declares.
+
+    This is the feature-detection entry point for the compressed-domain
+    execution protocol: a codec listing
+    :attr:`Capability.INTERSECT_COMPRESSED` /
+    :attr:`Capability.UNION_COMPRESSED` evaluates same-codec AND/OR
+    operators without materialising either operand (see
+    ``docs/query_engine.md``).  Raises :class:`UnknownCodecError` for
+    names outside the registry.
+    """
+    return get_codec(name).capabilities()
 
 
 def intersect(*sets: CompressedIntegerSet) -> np.ndarray:

@@ -9,9 +9,12 @@ stresses, plus a served closed-loop that exercises the cache stack — and
 compares every run against ``benchmarks/perf_baseline.json``.  The v3
 mapped-segment work adds a third workload family: cold-opening a mapped
 store must stay flat in term count (zero per-term parsing) and must not
-materialise the payload onto the Python heap — both are asserted
-in-process and their committed open-latency / heap-peak bounds are
-gated like every other metric:
+materialise the payload onto the Python heap.  The codec capability
+protocol adds a fourth: a selective compressed-domain AND must beat the
+decode-then-intersect baseline by ``COMPRESSED_SPEEDUP_BOUND`` on both
+the in-heap and mapped backings.  These invariants are asserted
+in-process and their committed bounds are gated like every other
+metric:
 
 * ratio > ``--warn`` (default 1.5×): printed as a warning, exit 0 — CI
   machines are noisy, a lone soft miss is not a verdict;
@@ -119,6 +122,31 @@ MAPPED_QUICK_TERMS = 200
 MAPPED_LIST_SIZE = 120
 MAPPED_FLATNESS_FACTOR = 4
 MAPPED_FLATNESS_BOUND = 3.0
+
+#: Compressed-domain execution workload: a selective AND — a ~5k-element
+#: filter clustered in a narrow value window (the date-range-filter
+#: shape) against a ~1M-element list spanning the whole universe.  The
+#: capability protocol lets the planner intersect Roaring container-wise:
+#: only the handful of chunk keys the filter touches are examined, and
+#: the long list's other ~500 containers are never looked at, let alone
+#: decoded.  The decode-then-intersect reference is the same engine with
+#: ``compressed_ops=False, cache_probes=True`` — every leaf decoded,
+#: arrays merged — timed cold (both cache layers cleared per iteration)
+#: on the in-heap table *and* on a mapped v3 segment.
+#: ``COMPRESSED_SPEEDUP_BOUND`` is a hard in-process assertion: the
+#: compressed kernels must beat the decode baseline by at least this
+#: factor on both backings, or the compressed-domain path has quietly
+#: started materialising.
+COMPRESSED_CODEC = "Roaring"
+COMPRESSED_UNIVERSE = 1 << 25
+COMPRESSED_LONG_DRAWS = 1_000_000
+COMPRESSED_SHORT_DRAWS = 5_000
+COMPRESSED_SHORT_WINDOW = 1 << 18  #: filter span: 4 of 512 chunk keys
+COMPRESSED_QUICK_LONG_DRAWS = 100_000
+COMPRESSED_QUICK_SHORT_DRAWS = 1_000
+COMPRESSED_ITERATIONS = 9
+COMPRESSED_QUICK_ITERATIONS = 5
+COMPRESSED_SPEEDUP_BOUND = 5.0
 
 
 def _workload_values(wl: DecodeWorkload, quick: bool) -> np.ndarray:
@@ -302,6 +330,99 @@ def _measure_mapped_open(quick: bool) -> dict:
     }
 
 
+def _measure_compressed_intersect(quick: bool) -> dict:
+    """Cold-cache selective AND: compressed-domain execution vs the
+    decode-then-intersect baseline, on in-heap and mapped backings."""
+    long_draws = COMPRESSED_QUICK_LONG_DRAWS if quick else COMPRESSED_LONG_DRAWS
+    short_draws = COMPRESSED_QUICK_SHORT_DRAWS if quick else COMPRESSED_SHORT_DRAWS
+    iters = COMPRESSED_QUICK_ITERATIONS if quick else COMPRESSED_ITERATIONS
+    rng = np.random.default_rng(SEED)
+    long_list = np.unique(rng.integers(0, COMPRESSED_UNIVERSE, size=long_draws))
+    window_lo = (COMPRESSED_UNIVERSE - COMPRESSED_SHORT_WINDOW) // 2
+    short_list = np.unique(
+        rng.integers(
+            window_lo, window_lo + COMPRESSED_SHORT_WINDOW, size=short_draws
+        )
+    )
+    expected = np.intersect1d(long_list, short_list)
+    expr = And("long", "short")
+
+    def build_store() -> PostingStore:
+        store = PostingStore()
+        shard = store.create_shard(
+            "s0", codec=COMPRESSED_CODEC, universe=COMPRESSED_UNIVERSE
+        )
+        shard.add("long", long_list)
+        shard.add("short", short_list)
+        return store
+
+    def p50_cold(engine: QueryEngine) -> float:
+        times = []
+        for _ in range(iters):
+            if engine.cache is not None:
+                engine.cache.clear()
+            if engine.plan_cache is not None:
+                engine.plan_cache.clear()
+            t0 = time.perf_counter()
+            result = engine.execute(expr)
+            times.append((time.perf_counter() - t0) * 1000.0)
+            if not result.ok or not np.array_equal(result.values, expected):
+                raise AssertionError("compressed-intersect answered wrong")
+        return float(np.median(times))
+
+    entry: dict[str, Any] = {
+        "kind": "compressed-intersect",
+        "codec": COMPRESSED_CODEC,
+        "universe": COMPRESSED_UNIVERSE,
+        "long_n": int(long_list.size),
+        "short_n": int(short_list.size),
+        "iterations": iters,
+    }
+    with tempfile.TemporaryDirectory(prefix="repro-perfgate-") as td:
+        build_store().save(Path(td) / "v3", mapped=True)
+        for backing in ("inheap", "mapped"):
+            store = (
+                build_store()
+                if backing == "inheap"
+                else PostingStore.load(Path(td) / "v3")
+            )
+            compressed_engine = QueryEngine(store)
+            decode_engine = QueryEngine(
+                store,
+                cache=DecodeCache(),
+                cache_probes=True,
+                compressed_ops=False,
+            )
+            # The counter contract behind the timings: the compressed arm
+            # never materialises a leaf, the decode arm always does.
+            probe = compressed_engine.execute(expr)
+            if probe.compressed_ops == 0 or probe.decoded_ops != 0:
+                raise AssertionError(
+                    "compressed arm is not running in the compressed domain "
+                    f"({probe.compressed_ops} compressed / "
+                    f"{probe.decoded_ops} decoded ops)"
+                )
+            compressed_ms = p50_cold(compressed_engine)
+            decode_ms = p50_cold(decode_engine)
+            compressed_engine.close()
+            decode_engine.close()
+            speedup = decode_ms / compressed_ms if compressed_ms else None
+            entry[f"{backing}_compressed_p50_ms"] = round(compressed_ms, 4)
+            entry[f"{backing}_decode_p50_ms"] = round(decode_ms, 4)
+            entry[f"{backing}_speedup"] = (
+                round(speedup, 2) if speedup is not None else None
+            )
+            if speedup is not None and speedup < COMPRESSED_SPEEDUP_BOUND:
+                # pragma: no cover - regression net
+                raise AssertionError(
+                    f"compressed-domain AND on the {backing} backing is only "
+                    f"{speedup:.2f}x faster than decode-then-intersect "
+                    f"(bound {COMPRESSED_SPEEDUP_BOUND}x) — the capability "
+                    "protocol is no longer paying for itself"
+                )
+    return entry
+
+
 def run_suite(quick: bool = False) -> dict:
     """Execute the pinned matrix; returns the JSON-able result document."""
     workloads: dict[str, dict] = {}
@@ -309,6 +430,7 @@ def run_suite(quick: bool = False) -> dict:
         workloads[wl.name] = _measure_decode(wl, quick)
     workloads["served-closed-loop"] = _measure_served(quick)
     workloads["mapped-cold-open"] = _measure_mapped_open(quick)
+    workloads["compressed-intersect"] = _measure_compressed_intersect(quick)
     return {
         "schema": SCHEMA_VERSION,
         "mode": "quick" if quick else "full",
@@ -324,7 +446,15 @@ def run_suite(quick: bool = False) -> dict:
 #: ``heap_peak_kb`` is KiB, not ms — the ratio gate is unit-agnostic and
 #: pins the mapped open's committed RSS-proxy ceiling alongside its
 #: latency.
-_GATED_FIELDS = {"ms", "cold_p50_ms", "warm_p50_ms", "open_ms", "heap_peak_kb"}
+_GATED_FIELDS = {
+    "ms",
+    "cold_p50_ms",
+    "warm_p50_ms",
+    "open_ms",
+    "heap_peak_kb",
+    "inheap_compressed_p50_ms",
+    "mapped_compressed_p50_ms",
+}
 
 
 @dataclass(frozen=True)
@@ -421,6 +551,14 @@ def main(argv: list[str] | None = None) -> int:
             speedup = entry["speedup_vs_scalar"]
             extra = f"  {speedup}x vs scalar" if speedup is not None else ""
             print(f"  {name:<20}{entry['ms']:>10.2f} ms{extra}")
+        elif entry["kind"] == "compressed-intersect":
+            print(
+                f"  {name:<20}"
+                f"in-heap {entry['inheap_compressed_p50_ms']:.3f} ms "
+                f"({entry['inheap_speedup']}x vs decode), "
+                f"mapped {entry['mapped_compressed_p50_ms']:.3f} ms "
+                f"({entry['mapped_speedup']}x vs decode)"
+            )
         elif entry["kind"] == "mapped-open":
             print(
                 f"  {name:<20}open {entry['open_ms']:.3f} ms "

@@ -14,7 +14,7 @@ from typing import Iterable
 
 import numpy as np
 
-from repro.core.base import CompressedIntegerSet, IntegerSetCodec
+from repro.core.base import Capability, CompressedIntegerSet, IntegerSetCodec
 from repro.core.registry import register_codec
 
 _WORD_BITS = 64
@@ -27,6 +27,14 @@ class BitsetCodec(IntegerSetCodec):
     name = "Bitset"
     family = "bitmap"
     year = 1970  # folklore baseline; predates every compressed format
+
+    CAPABILITIES = frozenset(
+        {
+            Capability.INTERSECT_COMPRESSED,
+            Capability.UNION_COMPRESSED,
+            Capability.INTERSECT_WITH_ARRAY,
+        }
+    )
 
     def compress(
         self, values: Iterable[int] | np.ndarray, universe: int | None = None
@@ -62,6 +70,29 @@ class BitsetCodec(IntegerSetCodec):
     def union(self, a: CompressedIntegerSet, b: CompressedIntegerSet) -> np.ndarray:
         wa, wb = _align(a.payload, b.payload, mode="or")
         return _positions(wa | wb)
+
+    def intersect_compressed(
+        self, a: CompressedIntegerSet, b: CompressedIntegerSet
+    ) -> CompressedIntegerSet:
+        """One vectorised word-wise AND; the result is itself a Bitset."""
+        wa, wb = _align(a.payload, b.payload, mode="and")
+        return self._wrap_words(wa & wb, min(a.universe, b.universe))
+
+    def union_compressed(
+        self, a: CompressedIntegerSet, b: CompressedIntegerSet
+    ) -> CompressedIntegerSet:
+        wa, wb = _align(a.payload, b.payload, mode="or")
+        return self._wrap_words(wa | wb, max(a.universe, b.universe))
+
+    def _wrap_words(self, words: np.ndarray, universe: int) -> CompressedIntegerSet:
+        n = int(np.bitwise_count(words).sum()) if words.size else 0
+        return CompressedIntegerSet(
+            codec_name=self.name,
+            payload=words,
+            n=n,
+            universe=universe,
+            size_bytes=int(words.nbytes),
+        )
 
     def difference(
         self, a: CompressedIntegerSet, b: CompressedIntegerSet

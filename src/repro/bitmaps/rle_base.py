@@ -18,18 +18,20 @@ from typing import Any, ClassVar, Iterable
 import numpy as np
 
 from repro.bitmaps.rle_ops import (
-    FILL1,
-    LITERAL,
     RunStream,
     groups_from_positions,
     runstream_and,
+    runstream_and_stream,
     runstream_andnot,
+    runstream_cardinality,
     runstream_from_groups,
     runstream_or,
+    runstream_or_stream,
     runstream_positions,
+    runstream_probe,
     runstream_xor,
 )
-from repro.core.base import CompressedIntegerSet, IntegerSetCodec
+from repro.core.base import Capability, CompressedIntegerSet, IntegerSetCodec
 
 
 class RLEBitmapCodec(IntegerSetCodec):
@@ -38,6 +40,14 @@ class RLEBitmapCodec(IntegerSetCodec):
     family: ClassVar[str] = "bitmap"
     #: Bits per RLE group; VALWAH overrides group selection per bitmap.
     group_bits: ClassVar[int]
+
+    CAPABILITIES: ClassVar[frozenset[Capability]] = frozenset(
+        {
+            Capability.INTERSECT_COMPRESSED,
+            Capability.UNION_COMPRESSED,
+            Capability.INTERSECT_WITH_ARRAY,
+        }
+    )
 
     # ------------------------------------------------------------------
     # Wire format hooks
@@ -82,6 +92,33 @@ class RLEBitmapCodec(IntegerSetCodec):
     def union(self, a: CompressedIntegerSet, b: CompressedIntegerSet) -> np.ndarray:
         return runstream_or(self._decode(a.payload), self._decode(b.payload))
 
+    def intersect_compressed(
+        self, a: CompressedIntegerSet, b: CompressedIntegerSet
+    ) -> CompressedIntegerSet:
+        """Run-word AND without bit expansion: run stream in, run stream
+        out, re-encoded on this codec's wire format.  The intermediate is
+        at most as long (in runs) as the operands, so chained ANDs never
+        pay the position-materialisation cost."""
+        rs = runstream_and_stream(self._decode(a.payload), self._decode(b.payload))
+        return self._wrap_stream(rs, min(a.universe, b.universe))
+
+    def union_compressed(
+        self, a: CompressedIntegerSet, b: CompressedIntegerSet
+    ) -> CompressedIntegerSet:
+        """Run-word OR without bit expansion (see :meth:`intersect_compressed`)."""
+        rs = runstream_or_stream(self._decode(a.payload), self._decode(b.payload))
+        return self._wrap_stream(rs, max(a.universe, b.universe))
+
+    def _wrap_stream(self, rs: RunStream, universe: int) -> CompressedIntegerSet:
+        payload = self._encode(rs)
+        return CompressedIntegerSet(
+            codec_name=self.name,
+            payload=payload,
+            n=runstream_cardinality(rs),
+            universe=universe,
+            size_bytes=self._payload_bytes(payload),
+        )
+
     def difference(
         self, a: CompressedIntegerSet, b: CompressedIntegerSet
     ) -> np.ndarray:
@@ -97,37 +134,11 @@ class RLEBitmapCodec(IntegerSetCodec):
     def intersect_with_array(
         self, cs: CompressedIntegerSet, values: np.ndarray
     ) -> np.ndarray:
-        """Bitmap-vs-list intersection (paper Appendix B.1's second
-        input combination): each candidate is located in the run stream
-        — O(log runs) per probe — and bit-tested, without extracting the
-        bitmap's positions."""
+        """Bitmap-vs-list intersection via :func:`runstream_probe` (no
+        position extraction; shared with VALWAH)."""
         if values.size == 0 or cs.n == 0:
             return np.empty(0, dtype=np.int64)
-        rs = self._decode(cs.payload)
-        if rs.kinds.size == 0:
-            return np.empty(0, dtype=np.int64)
-        gb = rs.group_bits
-        ends = np.cumsum(rs.counts)
-        groups = values // gb
-        run = np.searchsorted(ends, groups, side="right")
-        inside = run < rs.kinds.size
-        values, groups, run = values[inside], groups[inside], run[inside]
-        kinds = rs.kinds[run]
-        keep = kinds == FILL1
-        lit_mask = kinds == LITERAL
-        if lit_mask.any():
-            lit_counts = np.where(rs.kinds == LITERAL, rs.counts, 0)
-            lit_begin = np.cumsum(lit_counts) - lit_counts
-            run_begin = ends - rs.counts
-            lit_run = run[lit_mask]
-            word = rs.literals[
-                lit_begin[lit_run] + (groups[lit_mask] - run_begin[lit_run])
-            ]
-            bit = (
-                word >> (values[lit_mask] % gb).astype(np.uint64)
-            ) & np.uint64(1)
-            keep[lit_mask] = bit.astype(bool)
-        return values[keep]
+        return runstream_probe(self._decode(cs.payload), values)
 
     # ------------------------------------------------------------------
     # Internals

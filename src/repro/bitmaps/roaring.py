@@ -24,6 +24,7 @@ from typing import Iterable
 import numpy as np
 
 from repro.core.base import (
+    Capability,
     CompressedIntegerSet,
     IntegerSetCodec,
     difference_sorted_arrays,
@@ -60,6 +61,15 @@ class RoaringCodec(IntegerSetCodec):
     name = "Roaring"
     family = "bitmap"
     year = 2016
+
+    CAPABILITIES = frozenset(
+        {
+            Capability.INTERSECT_COMPRESSED,
+            Capability.UNION_COMPRESSED,
+            Capability.INTERSECT_WITH_ARRAY,
+            Capability.RANK_SELECT_SKIP,
+        }
+    )
 
     def __init__(self, array_limit: int = ARRAY_LIMIT) -> None:
         #: Exposed for the ablation bench sweeping the 4096 threshold.
@@ -161,6 +171,76 @@ class RoaringCodec(IntegerSetCodec):
         if not parts:
             return np.empty(0, dtype=np.int64)
         return np.concatenate(parts)
+
+    def intersect_compressed(
+        self, a: CompressedIntegerSet, b: CompressedIntegerSet
+    ) -> CompressedIntegerSet:
+        """Container-wise AND producing a Roaring payload (arXiv
+        1402.6407's native operation): only chunk keys present on both
+        sides are touched, and no container is ever expanded to
+        positions.  A bitmap∧bitmap result is demoted to an array
+        container when its cardinality falls to ``array_limit`` or
+        below, preserving the compress-time representation invariant.
+        """
+        pa: RoaringPayload = a.payload
+        pb: RoaringPayload = b.payload
+        common, ia, ib = np.intersect1d(
+            pa.keys, pb.keys, assume_unique=True, return_indices=True
+        )
+        keys: list[int] = []
+        containers: list[tuple] = []
+        total = 0
+        for key, i, j in zip(common, ia, ib):
+            out = _and_container(pa.containers[i], pb.containers[j], self.array_limit)
+            if out is None:
+                continue
+            keys.append(int(key))
+            containers.append(out)
+            total += _container_cardinality(out)
+        payload = RoaringPayload(np.array(keys, dtype=np.int64), tuple(containers))
+        return CompressedIntegerSet(
+            self.name,
+            payload,
+            total,
+            min(a.universe, b.universe),
+            _payload_size(payload),
+        )
+
+    def union_compressed(
+        self, a: CompressedIntegerSet, b: CompressedIntegerSet
+    ) -> CompressedIntegerSet:
+        """Container-wise OR producing a Roaring payload.  Chunks present
+        on one side only are carried over as-is (containers are immutable
+        by the codec contract, so sharing them is safe); merged array
+        containers that outgrow ``array_limit`` are promoted to bitmap
+        containers."""
+        pa: RoaringPayload = a.payload
+        pb: RoaringPayload = b.payload
+        map_a = {int(k): c for k, c in zip(pa.keys, pa.containers)}
+        map_b = {int(k): c for k, c in zip(pb.keys, pb.containers)}
+        keys: list[int] = []
+        containers: list[tuple] = []
+        total = 0
+        for key in np.union1d(pa.keys, pb.keys):
+            ca = map_a.get(int(key))
+            cb = map_b.get(int(key))
+            if ca is None:
+                out = cb
+            elif cb is None:
+                out = ca
+            else:
+                out = _or_container(ca, cb, self.array_limit)
+            keys.append(int(key))
+            containers.append(out)
+            total += _container_cardinality(out)
+        payload = RoaringPayload(np.array(keys, dtype=np.int64), tuple(containers))
+        return CompressedIntegerSet(
+            self.name,
+            payload,
+            total,
+            max(a.universe, b.universe),
+            _payload_size(payload),
+        )
 
     def rank(self, cs: CompressedIntegerSet, value: int) -> int:
         """Elements ≤ *value* via per-container cardinalities."""
@@ -363,6 +443,63 @@ def _xor_containers(ca: tuple, cb: tuple) -> np.ndarray:
     bit = np.uint64(1) << (arr.astype(np.uint64) % np.uint64(_WORD_BITS))
     np.bitwise_xor.at(flipped, idx, bit)
     return _bitmap_positions(flipped)
+
+
+def _and_container(ca: tuple, cb: tuple, limit: int) -> tuple | None:
+    """AND two containers into a container (or None when empty)."""
+    kind_a, da = ca
+    kind_b, db = cb
+    if kind_a == "array" and kind_b == "array":
+        out = np.intersect1d(da, db, assume_unique=True)
+        return ("array", out) if out.size else None
+    if kind_a == "array" or kind_b == "array":
+        arr, words = (da, db) if kind_a == "array" else (db, da)
+        # Result cardinality ≤ the array side's ≤ limit: always an array.
+        out = _array_vs_bitmap(arr, words).astype(np.uint16)
+        return ("array", out) if out.size else None
+    merged = da & db
+    card = int(np.bitwise_count(merged).sum())
+    if card == 0:
+        return None
+    if card <= limit:
+        return ("array", _bitmap_positions(merged).astype(np.uint16))
+    return ("bitmap", merged)
+
+
+def _or_container(ca: tuple, cb: tuple, limit: int) -> tuple:
+    """OR two containers into a container (never empty)."""
+    kind_a, da = ca
+    kind_b, db = cb
+    if kind_a == "array" and kind_b == "array":
+        out = np.union1d(da, db)
+        if out.size <= limit:
+            return ("array", out.astype(np.uint16, copy=False))
+        return ("bitmap", _words_from_lows(out.astype(np.int64)))
+    if kind_a == "bitmap" and kind_b == "bitmap":
+        return ("bitmap", da | db)
+    arr, words = (da, db) if kind_a == "array" else (db, da)
+    merged = words.copy()
+    idx = arr.astype(np.int64) // _WORD_BITS
+    bit = np.uint64(1) << (arr.astype(np.uint64) % np.uint64(_WORD_BITS))
+    np.bitwise_or.at(merged, idx, bit)
+    return ("bitmap", merged)
+
+
+def _words_from_lows(lows: np.ndarray) -> np.ndarray:
+    """Bitmap-container words for a sorted array of low 16-bit values."""
+    words = np.zeros(_BITMAP_WORDS, dtype=np.uint64)
+    widx = lows // _WORD_BITS
+    bit = np.uint64(1) << (lows.astype(np.uint64) % np.uint64(_WORD_BITS))
+    np.bitwise_or.at(words, widx, bit)
+    return words
+
+
+def _payload_size(payload: RoaringPayload) -> int:
+    """Wire size of a payload, matching the compress-time accounting."""
+    size = 0
+    for _kind, data in payload.containers:
+        size += data.nbytes + _CONTAINER_OVERHEAD
+    return size
 
 
 def _container_cardinality(container: tuple) -> int:

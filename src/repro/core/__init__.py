@@ -5,7 +5,7 @@ The public surface re-exported here is what the rest of the library (and
 downstream users writing their own codecs) build against.
 """
 
-from repro.core.base import CompressedIntegerSet, IntegerSetCodec
+from repro.core.base import Capability, CompressedIntegerSet, IntegerSetCodec
 from repro.core.decode import ArrayCache, DecodeObserver, decode
 from repro.core.errors import (
     CodecError,
@@ -26,6 +26,7 @@ from repro.core.serialize import dump, dumps, load, loads
 from repro.core.validation import as_posting_array, ensure_sorted_unique
 
 __all__ = [
+    "Capability",
     "CompressedIntegerSet",
     "IntegerSetCodec",
     "ReproError",

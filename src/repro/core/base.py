@@ -8,20 +8,64 @@ defines that contract.
 Every codec turns a validated posting array into a
 :class:`CompressedIntegerSet` and back, reports its wire size, and answers
 ``intersect``/``union`` between two of its own compressed sets.  Following
-the paper (Section 4.3), the result of an intersection or union is always an
-*uncompressed* integer array so it can be returned to the user or fed into
-the next operator of a query plan.
+the paper (Section 4.3), ``intersect``/``union`` return an *uncompressed*
+integer array so the result can be returned to the user or fed into the
+next operator of a query plan.
+
+Beyond that baseline, a codec *declares* which operations it supports
+directly on the compressed form via the :class:`Capability` protocol:
+``CAPABILITIES`` is a statically-readable class attribute (the
+``repro.analysis`` REPRO008 rule cross-checks it against the overridden
+methods) and :meth:`IntegerSetCodec.capabilities` is the instance-level
+accessor (instances may restrict it — e.g. blocked lists built without
+skip pointers).  Codecs declaring ``INTERSECT_COMPRESSED`` /
+``UNION_COMPRESSED`` additionally implement
+:meth:`IntegerSetCodec.intersect_compressed` /
+:meth:`IntegerSetCodec.union_compressed`, which stay *in* the compressed
+domain: compressed sets in, compressed set out, so a query plan can chain
+operators without ever materialising intermediate posting arrays.
 """
 
 from __future__ import annotations
 
 import abc
+import enum
 from dataclasses import dataclass
 from typing import Any, ClassVar, Iterable
 
 import numpy as np
 
 from repro.core.validation import as_posting_array
+
+
+class Capability(enum.Enum):
+    """An operation a codec supports directly on its compressed form.
+
+    Declaring a capability is a *performance contract*, not just an API
+    marker: the plan compiler routes queries through the corresponding
+    method only when the capability is declared, so a codec that declares
+    one must implement it better than the decode-everything fallback.
+
+    Members:
+        INTERSECT_COMPRESSED: :meth:`IntegerSetCodec.intersect_compressed`
+            ANDs two compressed sets into a new compressed set without
+            materialising either operand (Roaring container AND, RLE
+            run-word AND).
+        UNION_COMPRESSED: :meth:`IntegerSetCodec.union_compressed`, the
+            OR counterpart.
+        INTERSECT_WITH_ARRAY: :meth:`IntegerSetCodec.intersect_with_array`
+            probes the compressed set with a sorted candidate array
+            sub-linearly (skip pointers, container lookup) instead of the
+            default full decompression.
+        RANK_SELECT_SKIP: :meth:`IntegerSetCodec.rank` and
+            :meth:`IntegerSetCodec.select` run off per-block metadata
+            without a full decode.
+    """
+
+    INTERSECT_COMPRESSED = "intersect_compressed"
+    UNION_COMPRESSED = "union_compressed"
+    INTERSECT_WITH_ARRAY = "intersect_with_array"
+    RANK_SELECT_SKIP = "rank_select_skip"
 
 
 @dataclass(frozen=True)
@@ -67,6 +111,12 @@ class IntegerSetCodec(abc.ABC):
     name: ClassVar[str]
     family: ClassVar[str]
     year: ClassVar[int]
+
+    #: Declared compressed-domain capabilities.  Kept as a plain class
+    #: attribute (not a property) so the static analyzer can read the
+    #: declaration without importing the codec; REPRO008 enforces that a
+    #: declared capability has a matching override and vice versa.
+    CAPABILITIES: ClassVar[frozenset[Capability]] = frozenset()
 
     # ------------------------------------------------------------------
     # Core contract
@@ -115,19 +165,66 @@ class IntegerSetCodec(abc.ABC):
         """Wire size of a compressed set (the space-overhead metric)."""
         return cs.size_bytes
 
+    # ------------------------------------------------------------------
+    # Capability protocol
+    # ------------------------------------------------------------------
+    def capabilities(self) -> frozenset[Capability]:
+        """The compressed-domain operations *this instance* supports.
+
+        Defaults to the class-level declaration; codecs whose support
+        depends on construction parameters (e.g. blocked lists without
+        skip pointers) override this to return a restricted set.  The
+        query planner consults this — never ``hasattr`` probing — when
+        deciding whether an operator can stay in the compressed domain.
+        """
+        return self.CAPABILITIES
+
+    def intersect_compressed(
+        self, a: CompressedIntegerSet, b: CompressedIntegerSet
+    ) -> CompressedIntegerSet:
+        """AND two compressed sets into a *compressed* result.
+
+        Only meaningful for codecs declaring
+        :attr:`Capability.INTERSECT_COMPRESSED`; the base implementation
+        refuses so a silent fallback-to-decode can never masquerade as a
+        compressed-domain kernel.
+        """
+        raise NotImplementedError(
+            f"{self.name} does not declare Capability.INTERSECT_COMPRESSED"
+        )
+
+    def union_compressed(
+        self, a: CompressedIntegerSet, b: CompressedIntegerSet
+    ) -> CompressedIntegerSet:
+        """OR two compressed sets into a *compressed* result (see
+        :meth:`intersect_compressed`)."""
+        raise NotImplementedError(
+            f"{self.name} does not declare Capability.UNION_COMPRESSED"
+        )
+
     def intersect_many(self, sets: list[CompressedIntegerSet]) -> np.ndarray:
         """Intersect k compressed sets, shortest-first (SvS ordering).
 
         Per the paper's Appendix B.1: the first two sets are intersected on
         their compressed forms; the running (uncompressed) result is then
         intersected against each remaining compressed set via
-        :meth:`intersect_with_array`.
+        :meth:`intersect_with_array`.  Codecs declaring
+        :attr:`Capability.INTERSECT_COMPRESSED` instead chain the whole
+        fold in the compressed domain and materialise only the final
+        (smallest) result.
         """
         if not sets:
             return np.empty(0, dtype=np.int64)
         ordered = sorted(sets, key=len)
         if len(ordered) == 1:
             return self.decompress(ordered[0])
+        if Capability.INTERSECT_COMPRESSED in self.capabilities():
+            acc = ordered[0]
+            for cs in ordered[1:]:
+                if acc.n == 0:
+                    break
+                acc = self.intersect_compressed(acc, cs)
+            return self.decompress(acc)
         result = self.intersect(ordered[0], ordered[1])
         for cs in ordered[2:]:
             if result.size == 0:
@@ -185,11 +282,20 @@ class IntegerSetCodec(abc.ABC):
         return xor_sorted_arrays(self.decompress(a), self.decompress(b))
 
     def union_many(self, sets: list[CompressedIntegerSet]) -> np.ndarray:
-        """Union k compressed sets via pairwise folding."""
+        """Union k compressed sets via pairwise folding.
+
+        Codecs declaring :attr:`Capability.UNION_COMPRESSED` fold in the
+        compressed domain and materialise once at the end.
+        """
         if not sets:
             return np.empty(0, dtype=np.int64)
         if len(sets) == 1:
             return self.decompress(sets[0])
+        if Capability.UNION_COMPRESSED in self.capabilities():
+            acc = sets[0]
+            for cs in sets[1:]:
+                acc = self.union_compressed(acc, cs)
+            return self.decompress(acc)
         result = self.union(sets[0], sets[1])
         for cs in sets[2:]:
             result = union_sorted_arrays(result, self.decompress(cs))

@@ -27,6 +27,7 @@ from typing import Iterable
 import numpy as np
 
 from repro.core.base import (
+    Capability,
     CompressedIntegerSet,
     IntegerSetCodec,
     intersect_sorted_arrays,
@@ -47,6 +48,17 @@ class AdaptiveCodec(IntegerSetCodec):  # repro: noqa[REPRO001]
     name = "Adaptive"
     family = "invlist"  # arbitrary; not registered
     year = 2017
+
+    #: Only what holds across *both* inner representations regardless of
+    #: where each set landed — compressed-output kernels would need both
+    #: operands on the same inner codec, which the wrapper cannot promise,
+    #: so they are deliberately not declared.
+    CAPABILITIES = frozenset(
+        {
+            Capability.INTERSECT_WITH_ARRAY,
+            Capability.RANK_SELECT_SKIP,
+        }
+    )
 
     def __init__(
         self,

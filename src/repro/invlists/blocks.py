@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.core.arrays import gather_ranges as _gather_ranges
 from repro.core.base import (
+    Capability,
     CompressedIntegerSet,
     IntegerSetCodec,
     intersect_sorted_arrays,
@@ -67,6 +68,17 @@ class BlockedInvListCodec(IntegerSetCodec):
     #: d-gaps (no prefix sum at decode; see SIMDBP128*).
     block_relative: ClassVar[bool] = False
 
+    #: Class-level declaration; instances built with
+    #: ``skip_pointers=False`` drop :attr:`Capability.INTERSECT_WITH_ARRAY`
+    #: via :meth:`capabilities` (the probe then degrades to a full decode,
+    #: Figure 7's baseline, which must not be advertised as sub-linear).
+    CAPABILITIES: ClassVar[frozenset[Capability]] = frozenset(
+        {
+            Capability.INTERSECT_WITH_ARRAY,
+            Capability.RANK_SELECT_SKIP,
+        }
+    )
+
     def __init__(
         self,
         block_size: int = DEFAULT_BLOCK_SIZE,
@@ -82,6 +94,15 @@ class BlockedInvListCodec(IntegerSetCodec):
             "block_size": self.block_size,
             "skip_pointers": int(self.skip_pointers),
         }
+
+    def capabilities(self) -> frozenset[Capability]:
+        """Instance-level view: without skip pointers the sub-linear
+        probe is gone, so INTERSECT_WITH_ARRAY is not advertised
+        (rank/select still work — the block offsets always exist, they
+        are just not counted in the wire size)."""
+        if self.skip_pointers:
+            return self.CAPABILITIES
+        return self.CAPABILITIES - {Capability.INTERSECT_WITH_ARRAY}
 
     # ------------------------------------------------------------------
     # Codec-specific hooks

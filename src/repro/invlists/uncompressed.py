@@ -15,6 +15,7 @@ from typing import Iterable
 import numpy as np
 
 from repro.core.base import (
+    Capability,
     CompressedIntegerSet,
     IntegerSetCodec,
     intersect_sorted_arrays,
@@ -31,6 +32,18 @@ class UncompressedListCodec(IntegerSetCodec):
     name = "List"
     family = "invlist"
     year = 1970
+
+    #: The stored form *is* the uncompressed form, so compressed-domain
+    #: ops are plain sorted merges re-wrapped as int32 — declared so
+    #: delta-overlay leaves (always "List") can ride the compressed
+    #: execution path alongside capable codecs.
+    CAPABILITIES = frozenset(
+        {
+            Capability.INTERSECT_COMPRESSED,
+            Capability.UNION_COMPRESSED,
+            Capability.INTERSECT_WITH_ARRAY,
+        }
+    )
 
     def compress(
         self, values: Iterable[int] | np.ndarray, universe: int | None = None
@@ -73,4 +86,20 @@ class UncompressedListCodec(IntegerSetCodec):
     def union(self, a: CompressedIntegerSet, b: CompressedIntegerSet) -> np.ndarray:
         return union_sorted_arrays(
             a.payload.astype(np.int64), b.payload.astype(np.int64)
+        )
+
+    def intersect_compressed(
+        self, a: CompressedIntegerSet, b: CompressedIntegerSet
+    ) -> CompressedIntegerSet:
+        out = self.intersect(a, b).astype(np.int32)
+        return CompressedIntegerSet(
+            self.name, out, int(out.size), min(a.universe, b.universe), int(out.nbytes)
+        )
+
+    def union_compressed(
+        self, a: CompressedIntegerSet, b: CompressedIntegerSet
+    ) -> CompressedIntegerSet:
+        out = self.union(a, b).astype(np.int32)
+        return CompressedIntegerSet(
+            self.name, out, int(out.size), max(a.universe, b.universe), int(out.nbytes)
         )

@@ -37,6 +37,16 @@ class Leaf:
     def estimated_size(self) -> int:
         return self.cs.n
 
+    def estimated_cost(self) -> int:
+        """Probe/decode cost proxy: the compressed wire size.
+
+        Two operands of equal cardinality can differ wildly in how much
+        data an SvS probe has to touch (a dense Roaring chunk table vs a
+        sparse blocked stream), and ``size_bytes`` is the metadata we
+        already carry that tracks it.
+        """
+        return self.cs.size_bytes
+
 
 @dataclass(frozen=True)
 class And:
@@ -50,6 +60,9 @@ class And:
     def estimated_size(self) -> int:
         return min(c.estimated_size() for c in self.children)
 
+    def estimated_cost(self) -> int:
+        return min(c.estimated_cost() for c in self.children)
+
 
 @dataclass(frozen=True)
 class Or:
@@ -62,6 +75,9 @@ class Or:
 
     def estimated_size(self) -> int:
         return sum(c.estimated_size() for c in self.children)
+
+    def estimated_cost(self) -> int:
+        return sum(c.estimated_cost() for c in self.children)
 
 
 QueryExpression = Union[Leaf, And, Or]
@@ -90,12 +106,21 @@ def iter_leaves(expr: QueryExpression) -> Iterator[Leaf]:
 def and_order(
     children: tuple[QueryExpression, ...]
 ) -> list[QueryExpression]:
-    """SvS evaluation order for an And node: smallest estimate first.
+    """SvS evaluation order for an And node: smallest estimate first,
+    cheapest-to-probe first among equals.
+
+    Cardinality stays the primary key — selectivity drives how fast the
+    candidate set shrinks.  But sorting by decoded length alone ignores
+    the ``size_bytes`` metadata every compressed set carries: when two
+    operands tie on cardinality, probing the physically smaller one first
+    touches less compressed data per candidate while the candidate set is
+    still at its largest, and the bulkier operand is probed only after
+    earlier operands have thinned the candidates.
 
     Exposed (rather than inlined in the evaluator) so plan compilers can
     predict and display exactly the order execution will use.
     """
-    return sorted(children, key=lambda c: c.estimated_size())
+    return sorted(children, key=lambda c: (c.estimated_size(), c.estimated_cost()))
 
 
 def or_partition(

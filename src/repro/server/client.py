@@ -238,9 +238,8 @@ class StoreClient:
     ) -> QueryResponse:
         """Execute one query; returns the parsed response (any status).
 
-        Accepts the same query forms as the engine — AST nodes, bare
-        strings, legacy tuples (with the usual deprecation warning) —
-        and serialises the normalised AST onto the wire.
+        Accepts the same query forms as the engine — AST nodes and bare
+        term strings — and serialises the normalised AST onto the wire.
         """
         request = QueryRequest(
             query=parse_query(query),

@@ -32,16 +32,17 @@ plus the decoded values)::
 Ingest body (``POST /ingest``, writable stores only)::
 
     {
-      "v": 1,
+      "v": 2,
       "ops": [{"op": "add", "shard": "s0", "term": "news", "values": [3, 17]},
               {"op": "del", "shard": "s0", "term": "news", "values": [17]}],
       "batch_id": "b-42"             # optional, echoed back
     }
 
-Both bodies carry a versioned envelope: ``"v": 1`` today.  A request
-with an unknown major version is answered 400; a request with *no*
-``v`` field is accepted as version 1 during the legacy deprecation
-window (see docs/serving.md).
+Both bodies carry a versioned envelope: ``"v": 2`` today, with ``"v":
+1`` still accepted from older clients.  A request with an unknown
+version — or with *no* ``v`` field at all — is answered 400: the v1
+deprecation window that waved through unversioned bodies closed with
+v2 (release note in docs/serving.md).
 
 The per-request deadline travels in the :data:`DEADLINE_HEADER` header
 (milliseconds); a shed request answers 503 with a ``Retry-After``
@@ -64,9 +65,13 @@ DEADLINE_HEADER = "X-Repro-Deadline-Ms"
 MAX_BODY_BYTES = 1 << 20
 
 #: Current wire-envelope major version, sent as ``"v"`` in request
-#: bodies.  Bodies without ``v`` are treated as version 1 while the
-#: pre-envelope clients age out (docs/serving.md documents the window).
-WIRE_VERSION = 1
+#: bodies.
+WIRE_VERSION = 2
+
+#: Versions this server still answers.  v1 bodies are identical except
+#: that v1 clients were allowed to omit ``v``; that allowance ended
+#: with v2, so the field itself is now mandatory.
+SUPPORTED_WIRE_VERSIONS = frozenset({1, WIRE_VERSION})
 
 
 class ProtocolError(ReproError, ValueError):
@@ -74,20 +79,30 @@ class ProtocolError(ReproError, ValueError):
 
 
 def check_envelope(body: object) -> None:
-    """Reject request bodies with an unknown wire-envelope version.
+    """Reject request bodies with a missing or unknown envelope version.
 
-    Raises :class:`ProtocolError` (→ HTTP 400) when ``body["v"]`` is
-    present but not an accepted major version.  Absent ``v`` passes —
-    the deprecation-window allowance for pre-envelope clients.
+    Raises :class:`ProtocolError` (→ HTTP 400) unless ``body["v"]`` is
+    one of :data:`SUPPORTED_WIRE_VERSIONS`.  Since v2 the field is
+    mandatory: the legacy window that accepted unversioned bodies as v1
+    is closed.
     """
     if not isinstance(body, dict):
         return  # shape errors are reported by the request parser
     version = body.get("v")
     if version is None:
-        return
-    if not isinstance(version, int) or isinstance(version, bool) or version != WIRE_VERSION:
         raise ProtocolError(
-            f"unsupported wire version {version!r}; this server speaks v{WIRE_VERSION}"
+            "request body is missing the wire version field 'v'; "
+            f"this server speaks v{WIRE_VERSION} "
+            f"(accepted: {sorted(SUPPORTED_WIRE_VERSIONS)})"
+        )
+    if (
+        not isinstance(version, int)
+        or isinstance(version, bool)
+        or version not in SUPPORTED_WIRE_VERSIONS
+    ):
+        raise ProtocolError(
+            f"unsupported wire version {version!r}; this server speaks "
+            f"v{WIRE_VERSION} (accepted: {sorted(SUPPORTED_WIRE_VERSIONS)})"
         )
 
 

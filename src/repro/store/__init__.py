@@ -40,9 +40,9 @@ Quickstart::
     print(result.values, engine.metrics.snapshot())
 
 Queries are typed ASTs (:class:`Term` / :class:`And` / :class:`Or`);
-the legacy nested-tuple grammar still parses via :func:`parse_query`
-but emits a ``DeprecationWarning``.  The network layer over this
-package lives in :mod:`repro.server`.
+the legacy nested-tuple grammar was removed with wire protocol v2 —
+:func:`parse_query` rejects tuples outright.  The network layer over
+this package lives in :mod:`repro.server`.
 """
 
 from repro.store.cache import (
@@ -69,6 +69,7 @@ from repro.store.mapped import (
 from repro.store.metrics import LatencyHistogram, StoreMetrics
 from repro.store.plan import (
     And,
+    ExecStats,
     Or,
     Query,
     QueryNode,
@@ -126,6 +127,7 @@ __all__ = [
     "canonicalize",
     "query_from_json",
     "ShardPlan",
+    "ExecStats",
     "compile_shard_plan",
     "query_terms",
     "QueryEngine",

@@ -37,6 +37,7 @@ from repro.core.base import union_sorted_arrays
 from repro.store.cache import DecodeCache, PlanResultCache
 from repro.store.metrics import StoreMetrics
 from repro.store.plan import (
+    ExecStats,
     Query,
     QueryLike,
     ShardPlan,
@@ -64,6 +65,11 @@ class QueryResult:
     shards_queried: int = 0
     failed_shards: tuple[str, ...] = ()
     degraded_terms: tuple[str, ...] = ()
+    #: Compressed-domain kernel invocations across all shards (see
+    #: :class:`repro.store.plan.ExecStats`); 0 on plan-cache hits.
+    compressed_ops: int = 0
+    #: Full leaf materialisations across all shards; 0 on plan-cache hits.
+    decoded_ops: int = 0
     plans: list[ShardPlan] = field(default_factory=list, repr=False)
 
     @property
@@ -99,6 +105,8 @@ class QueryResult:
             "shards_queried": self.shards_queried,
             "failed_shards": list(self.failed_shards),
             "degraded_terms": list(self.degraded_terms),
+            "compressed_ops": self.compressed_ops,
+            "decoded_ops": self.decoded_ops,
         }
 
 
@@ -120,6 +128,11 @@ class QueryEngine:
             unbounded); :meth:`execute` can override it per request.
         cache_probes: forward to :meth:`ShardPlan.execute` — decode AND
             probe leaves through the cache instead of compressed probes.
+        compressed_ops: forward to :meth:`ShardPlan.execute` — evaluate
+            operators over same-codec operands with the codec's declared
+            compressed-domain kernels (the default).  ``False`` forces
+            the decode/probe baseline everywhere, which is what the perf
+            gate's decode-then-intersect arm measures.
         shard_delays: fault-injection hook — shard name → seconds slept
             before that shard is evaluated.  Lets tests, benchmarks, and
             the CI smoke job model a slow shard without touching codec
@@ -138,6 +151,7 @@ class QueryEngine:
         max_workers: int = DEFAULT_WORKERS,
         timeout_s: float | None = None,
         cache_probes: bool = False,
+        compressed_ops: bool = True,
         shard_delays: Mapping[str, float] | None = None,
     ) -> None:
         if max_workers < 1:
@@ -155,6 +169,7 @@ class QueryEngine:
         self.max_workers = max_workers
         self.timeout_s = timeout_s
         self.cache_probes = cache_probes
+        self.compressed_ops = compressed_ops
         self.shard_delays = dict(shard_delays) if shard_delays else {}
         self._pool: ThreadPoolExecutor | None = None
         self._pool_lock = maybe_witness(
@@ -205,8 +220,7 @@ class QueryEngine:
         """Run one query to completion (or deadline) and record metrics.
 
         Args:
-            query: AST node, bare term, legacy tuple, or a full
-                :class:`Query`.
+            query: AST node, bare term string, or a full :class:`Query`.
             timeout_s: per-request deadline override; ``None`` falls back
                 to the engine default.  This is how the HTTP server
                 propagates a client's deadline header into the engine's
@@ -235,6 +249,12 @@ class QueryEngine:
             failed=result.error is not None and result.values is None,
             timed_out=result.timed_out,
         )
+        # Recorded here (not per coalesced duplicate): these counters
+        # track actual evaluation work, which runs once per execution.
+        if result.compressed_ops or result.decoded_ops:
+            self.metrics.record_exec_ops(
+                result.compressed_ops, result.decoded_ops
+            )
         return result
 
     def execute_batch(
@@ -337,9 +357,8 @@ class QueryEngine:
     def _coerce(self, query: Query | QueryLike) -> Query:
         """Normalise to a :class:`Query` holding a typed-AST expression.
 
-        This is the engine's single legacy-compat chokepoint: a nested
-        tuple warns exactly once here, and every later per-shard compile
-        sees the already-normalised AST.
+        Normalisation happens exactly once here, so every later
+        per-shard compile sees the already-normalised AST.
         """
         if not isinstance(query, Query):
             query = Query(expression=query)
@@ -355,6 +374,7 @@ class QueryEngine:
 
     def _run(self, query: Query, deadline: float | None) -> QueryResult:
         t0 = time.perf_counter()
+        stats = ExecStats()
         gathered: np.ndarray | None = None
         failed: list[str] = []
         degraded: list[str] = []
@@ -401,6 +421,8 @@ class QueryEngine:
                     cache=self.cache,
                     observer=self.metrics,
                     cache_probes=self.cache_probes,
+                    compressed=self.compressed_ops,
+                    stats=stats,
                 )
             except Exception as exc:  # repro: noqa[REPRO106] -- graceful degradation: shard marked failed, error carried in the result status
                 failed.append(shard)
@@ -431,5 +453,7 @@ class QueryEngine:
             shards_queried=shards_done,
             failed_shards=tuple(failed),
             degraded_terms=tuple(dict.fromkeys(degraded)),
+            compressed_ops=stats.compressed_ops,
+            decoded_ops=stats.decoded_ops,
             plans=plans,
         )

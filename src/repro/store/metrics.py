@@ -9,7 +9,10 @@ Three instrument families, all thread-safe and all JSON-able via
   attached to the engine;
 * **decode counts** — per-codec number of actual (non-cached) decodes,
   decoded integers, and decode seconds, recorded through the
-  :class:`repro.core.decode.DecodeObserver` protocol.
+  :class:`repro.core.decode.DecodeObserver` protocol;
+* **exec-op counts** — compressed-domain kernel invocations vs full leaf
+  materialisations, aggregated from the per-query
+  :class:`repro.store.plan.ExecStats` the engine collects.
 
 The snapshot schema is documented in ``docs/query_engine.md`` and pinned
 by ``tests/store/test_metrics.py``; the bench harness's served mode and
@@ -123,6 +126,8 @@ class StoreMetrics:
         self._queries = _QueryCounters()
         self._latency = LatencyHistogram()
         self._decodes: dict[str, _CodecDecodeStats] = {}
+        self._compressed_ops = 0
+        self._decoded_ops = 0
         self._cache_stats_fn = None
         self._plan_cache_stats_fn = None
 
@@ -155,6 +160,12 @@ class StoreMetrics:
             stats.decodes += 1
             stats.integers += n
             stats.seconds += seconds
+
+    def record_exec_ops(self, compressed: int, decoded: int) -> None:
+        """Fold one query's operator counters into the running totals."""
+        with self._lock:
+            self._compressed_ops += compressed
+            self._decoded_ops += decoded
 
     def attach_cache(self, cache) -> None:
         """Source cache counters from *cache* (a DecodeCache) at snapshot."""
@@ -195,6 +206,10 @@ class StoreMetrics:
                 "latency": self._latency.as_dict(),
                 "cache": cache,
                 "plan_cache": plan_cache,
+                "exec_ops": {
+                    "compressed": self._compressed_ops,
+                    "decoded": self._decoded_ops,
+                },
                 "decodes_by_codec": {
                     name: {
                         "decodes": s.decodes,

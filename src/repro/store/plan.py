@@ -8,10 +8,11 @@ A query is a term-level boolean tree of frozen :class:`Term` /
 Bare strings coerce to :class:`Term` wherever a node is expected.  The
 AST round-trips through JSON (``node.to_json()`` /
 :func:`query_from_json`), which is what the HTTP wire protocol in
-:mod:`repro.server` carries.  The historical nested-tuple grammar
-(``("and", ("or", "news", "sports"), "2024")``) is still accepted by
-:func:`parse_query` — the single normalisation chokepoint every entry
-point calls — but emits one :class:`DeprecationWarning` per parse.
+:mod:`repro.server` carries.  :func:`parse_query` — the single
+normalisation chokepoint every entry point calls — accepts only AST
+nodes and bare term strings; the historical nested-tuple grammar
+(``("and", ("or", "news", "sports"), "2024")``) was removed together
+with wire protocol v1 (see ``docs/serving.md``).
 
 Per shard, :func:`compile_shard_plan` resolves terms to compressed sets
 and builds a :mod:`repro.ops.expressions` tree, constant-folding what
@@ -23,23 +24,30 @@ evaluator's ordering hooks (:func:`~repro.ops.expressions.and_order`,
 exactly the leaf-size-ordered SvS and per-codec compressed-OR grouping
 execution will use.
 
-Execution adds the cache dimension the plain evaluator lacks: every full
-leaf materialisation goes through :func:`repro.core.decode` keyed by
-``(shard, term, codec)``, and leaves whose decoded form is already
-cached are merged as arrays instead of re-probed through the compressed
-form.
+Execution adds two dimensions the plain evaluator lacks.  First, the
+cache: every full leaf materialisation goes through
+:func:`repro.core.decode` keyed by ``(shard, term, codec)``, and leaves
+whose decoded form is already cached are merged as arrays instead of
+re-probed through the compressed form.  Second, compressed-domain
+execution: when adjacent operands share a codec that declares
+:class:`~repro.core.base.Capability` ``INTERSECT_COMPRESSED`` /
+``UNION_COMPRESSED``, the evaluator folds them with the codec's
+compressed kernels and threads the *compressed* intermediate onward,
+materialising positions only once at the root (or at the first operator
+that cannot stay compressed).  :class:`ExecStats` counts how often each
+regime fired.
 """
 
 from __future__ import annotations
 
 import json
-import warnings
 from dataclasses import dataclass, field
 from typing import Union
 
 import numpy as np
 
 from repro.core.base import (
+    Capability,
     CompressedIntegerSet,
     IntegerSetCodec,
     difference_sorted_arrays,
@@ -48,18 +56,13 @@ from repro.core.base import (
 )
 from repro.core.decode import ArrayCache, DecodeObserver, decode
 from repro.core.registry import get_codec
+from repro.ops import expressions as ops_expr
 from repro.ops.expressions import (
     QueryExpression,
     and_order,
     or_partition,
 )
-from repro.ops.expressions import And as ExprAnd
-from repro.ops.expressions import Leaf as ExprLeaf
-from repro.ops.expressions import Or as ExprOr
 from repro.store.store import PostingStore
-
-#: The deprecated nested-tuple grammar (or a bare term name).
-TermExpression = tuple | str
 
 
 # ----------------------------------------------------------------------
@@ -86,7 +89,7 @@ def _coerce_child(child: "QueryNode | str") -> "QueryNode":
         return child
     raise TypeError(
         f"query children must be Term/And/Or nodes or term-name strings, "
-        f"got {child!r}; legacy nested tuples go through parse_query()"
+        f"got {child!r}"
     )
 
 
@@ -125,44 +128,27 @@ class Or:
 
 
 QueryNode = Union[Term, And, Or]
-#: Anything the entry points accept: an AST node, a bare term name, or
-#: the deprecated nested-tuple grammar.
-QueryLike = Union[Term, And, Or, str, tuple]
-
-_LEGACY_WARNING = (
-    "nested-tuple query expressions are deprecated; build the typed AST "
-    "instead, e.g. And(Or('a', 'b'), 'c') from repro.store"
-)
-
-
-def _from_legacy(node: TermExpression) -> QueryNode:
-    if isinstance(node, str):
-        return Term(node)
-    if not isinstance(node, tuple):
-        raise TypeError(f"not a query expression: {node!r}")
-    op, *children = node
-    if op not in ("and", "or"):
-        raise ValueError(f"unknown query operator {op!r}")
-    if not children:
-        raise ValueError(f"empty {op!r} node")
-    parts = [_from_legacy(c) for c in children]
-    return And(*parts) if op == "and" else Or(*parts)
+#: Anything the entry points accept: an AST node or a bare term name.
+QueryLike = Union[Term, And, Or, str]
 
 
 def parse_query(query: QueryLike) -> QueryNode:
     """Normalise any accepted query spelling to the typed AST.
 
-    AST nodes pass through; a bare string becomes a :class:`Term`; the
-    deprecated nested-tuple grammar is converted after emitting exactly
-    one :class:`DeprecationWarning`.
+    AST nodes pass through; a bare string becomes a :class:`Term`.  The
+    deprecated nested-tuple grammar is no longer accepted (removed with
+    wire protocol v2) — build typed nodes instead, e.g.
+    ``And(Or("a", "b"), "c")``.
     """
     if isinstance(query, (Term, And, Or)):
         return query
     if isinstance(query, str):
         return Term(query)
     if isinstance(query, tuple):
-        warnings.warn(_LEGACY_WARNING, DeprecationWarning, stacklevel=2)
-        return _from_legacy(query)
+        raise TypeError(
+            "nested-tuple query expressions were removed; build the typed "
+            "AST instead, e.g. And(Or('a', 'b'), 'c') from repro.store"
+        )
     raise TypeError(f"not a query expression: {query!r}")
 
 
@@ -245,8 +231,8 @@ class Query:
 
     Attributes:
         expression: a :class:`Term`/:class:`And`/:class:`Or` tree (bare
-            strings and legacy nested tuples are normalised by the
-            engine's entry points via :func:`parse_query`).
+            strings are normalised by the engine's entry points via
+            :func:`parse_query`).
         shards: shards to scatter over; ``None`` means every shard.
         query_id: caller-chosen label, echoed in the result.
     """
@@ -284,6 +270,36 @@ def _unwrap(cs: CompressedIntegerSet) -> CompressedIntegerSet:
 
 
 @dataclass
+class ExecStats:
+    """Operator counters for one plan execution.
+
+    ``compressed_ops`` counts compressed-domain kernel invocations —
+    ``intersect_compressed`` / ``union_compressed`` folds, SvS probes via
+    ``intersect_with_array``, and cold ``union_many`` groups — i.e. work
+    done without materialising the operands.  ``decoded_ops`` counts full
+    leaf materialisations the plan requested (decode-cache hits and
+    misses alike; the observer separates those).  The engine aggregates
+    both across shards onto the query result and the store metrics.
+    """
+
+    compressed_ops: int = 0
+    decoded_ops: int = 0
+
+    def merge(self, other: "ExecStats") -> None:
+        self.compressed_ops += other.compressed_ops
+        self.decoded_ops += other.decoded_ops
+
+
+#: What internal evaluation steps may yield: materialised positions, or a
+#: still-compressed intermediate threading through capable kernels.
+_EvalResult = Union[np.ndarray, CompressedIntegerSet]
+
+
+def _result_count(value: _EvalResult) -> int:
+    return int(value.size) if isinstance(value, np.ndarray) else value.n
+
+
+@dataclass
 class ShardPlan:
     """One shard's executable slice of a query."""
 
@@ -306,16 +322,39 @@ class ShardPlan:
         cache: ArrayCache | None = None,
         observer: DecodeObserver | None = None,
         cache_probes: bool = False,
+        compressed: bool = True,
+        stats: ExecStats | None = None,
     ) -> np.ndarray:
         """Evaluate to a sorted array, consulting/filling *cache*.
 
         With ``cache_probes=True`` every AND probe leaf is also decoded
         through the cache (array-merge instead of compressed probe) —
         higher first-query cost, fully cached steady state.
+
+        With ``compressed=True`` (the default) operators whose operands
+        share a codec declaring the matching
+        :class:`~repro.core.base.Capability` are folded in the
+        compressed domain, and intermediates stay compressed until a
+        consumer needs positions.  ``compressed=False`` forces the
+        decode/probe paths everywhere (the decode-then-merge baseline
+        the perf gate compares against).  Pass *stats* to receive the
+        per-execution operator counters.
         """
+        stats = stats if stats is not None else ExecStats()
+        # cache_probes is an explicit materialise-through-cache policy:
+        # every leaf must land in the decode cache, so compressed-domain
+        # deferral (which skips leaf materialisation entirely) is off.
+        compressed = compressed and not cache_probes
         if self.expr is None:
             return np.empty(0, dtype=np.int64)
-        return self._eval(self.expr, cache, observer, cache_probes)
+        if isinstance(self.expr, ops_expr.Leaf):
+            # A bare-leaf root always materialises through the decode
+            # cache — returning the compressed set here would bypass the
+            # keyed cache and regress repeat single-term queries.
+            stats.decoded_ops += 1
+            return self._decode_leaf(self.expr.cs, cache, observer)
+        out = self._eval(self.expr, cache, observer, cache_probes, compressed, stats)
+        return self._materialize(out, cache, observer, stats)
 
     def _key(self, cs: CompressedIntegerSet) -> tuple[str, str, str] | None:
         return self.keymap.get(id(cs))
@@ -336,28 +375,90 @@ class ShardPlan:
         key = self._key(cs)
         return cache.get(key) if key is not None else None
 
+    def _materialize(
+        self,
+        value: _EvalResult,
+        cache: ArrayCache | None,
+        observer: DecodeObserver | None,
+        stats: ExecStats,
+    ) -> np.ndarray:
+        """Positions of an evaluation step's result.
+
+        Original leaves (present in the keymap) decode through the keyed
+        cache; anonymous compressed intermediates decompress directly —
+        they are query-specific, so caching them would pin memory without
+        ever serving a later hit.
+        """
+        if isinstance(value, np.ndarray):
+            return value
+        if self._key(value) is not None:
+            stats.decoded_ops += 1
+            return self._decode_leaf(value, cache, observer)
+        return get_codec(value.codec_name).decompress(value)
+
+    @staticmethod
+    def _capable(cs: CompressedIntegerSet, cap: Capability) -> bool:
+        return cap in get_codec(cs.codec_name).capabilities()
+
     def _eval(
         self,
         expr: QueryExpression,
         cache: ArrayCache | None,
         observer: DecodeObserver | None,
         cache_probes: bool,
-    ) -> np.ndarray:
-        if isinstance(expr, ExprLeaf):
-            return self._decode_leaf(expr.cs, cache, observer)
-        if isinstance(expr, ExprOr):
-            return self._eval_or(expr, cache, observer, cache_probes)
-        return self._eval_and(expr, cache, observer, cache_probes)
+        compressed: bool,
+        stats: ExecStats,
+    ) -> _EvalResult:
+        if isinstance(expr, ops_expr.Leaf):
+            return self._eval_leaf(expr.cs, cache, observer, compressed, stats)
+        if isinstance(expr, ops_expr.Or):
+            return self._eval_or(expr, cache, observer, cache_probes, compressed, stats)
+        return self._eval_and(expr, cache, observer, cache_probes, compressed, stats)
+
+    def _eval_leaf(
+        self,
+        cs: CompressedIntegerSet,
+        cache: ArrayCache | None,
+        observer: DecodeObserver | None,
+        compressed: bool,
+        stats: ExecStats,
+    ) -> _EvalResult:
+        hit = self._cached(cs, cache)
+        if hit is not None:
+            stats.decoded_ops += 1
+            return hit
+        if compressed and self._capable(cs, Capability.INTERSECT_COMPRESSED):
+            # Defer: the consuming operator decides whether this stays on
+            # a compressed kernel or needs positions.
+            return cs
+        stats.decoded_ops += 1
+        return self._decode_leaf(cs, cache, observer)
 
     def _eval_or(
         self,
-        expr: ExprOr,
+        expr: ops_expr.Or,
         cache: ArrayCache | None,
         observer: DecodeObserver | None,
         cache_probes: bool,
-    ) -> np.ndarray:
-        result = np.empty(0, dtype=np.int64)
+        compressed: bool,
+        stats: ExecStats,
+    ) -> _EvalResult:
         groups, others = or_partition(expr.children)
+        if compressed and not others and len(groups) == 1:
+            group = groups[0]
+            codec = get_codec(group[0].codec_name)
+            if Capability.UNION_COMPRESSED in codec.capabilities() and all(
+                self._cached(cs, cache) is None for cs in group
+            ):
+                # Single-codec OR with no cached operands: fold entirely
+                # in the compressed domain and hand the compressed union
+                # to the consumer (e.g. an enclosing AND's kernels).
+                acc = group[0]
+                for cs in group[1:]:
+                    acc = codec.union_compressed(acc, cs)
+                    stats.compressed_ops += 1
+                return acc
+        result = np.empty(0, dtype=np.int64)
         for group in groups:
             # Cached leaves merge as arrays; the rest stay on the
             # codec's compressed-OR path (union_many).
@@ -371,39 +472,105 @@ class ShardPlan:
             if cold:
                 codec = get_codec(cold[0].codec_name)
                 result = union_sorted_arrays(result, codec.union_many(cold))
+                stats.compressed_ops += 1
         for child in others:
+            sub = self._eval(child, cache, observer, cache_probes, compressed, stats)
             result = union_sorted_arrays(
-                result, self._eval(child, cache, observer, cache_probes)
+                result, self._materialize(sub, cache, observer, stats)
             )
         return result
 
     def _eval_and(
         self,
-        expr: ExprAnd,
+        expr: ops_expr.And,
         cache: ArrayCache | None,
         observer: DecodeObserver | None,
         cache_probes: bool,
-    ) -> np.ndarray:
+        compressed: bool,
+        stats: ExecStats,
+    ) -> _EvalResult:
         ordered = and_order(expr.children)
-        result = self._eval(ordered[0], cache, observer, cache_probes)
+        result = self._eval(ordered[0], cache, observer, cache_probes, compressed, stats)
         for child in ordered[1:]:
-            if result.size == 0:
+            if _result_count(result) == 0:
                 break
-            if isinstance(child, ExprLeaf):
-                hit = self._cached(child.cs, cache)
-                if hit is not None:
-                    result = intersect_sorted_arrays(result, hit)
-                elif cache_probes:
-                    mine = self._decode_leaf(child.cs, cache, observer)
-                    result = intersect_sorted_arrays(result, mine)
-                else:
-                    codec = get_codec(child.cs.codec_name)
-                    result = codec.intersect_with_array(child.cs, result)
-            else:
-                result = intersect_sorted_arrays(
-                    result, self._eval(child, cache, observer, cache_probes)
+            if isinstance(child, ops_expr.Leaf):
+                result = self._and_leaf(
+                    result, child.cs, cache, observer, cache_probes, compressed, stats
                 )
+            else:
+                sub = self._eval(
+                    child, cache, observer, cache_probes, compressed, stats
+                )
+                result = self._and_pair(result, sub, cache, observer, compressed, stats)
         return result
+
+    def _and_leaf(
+        self,
+        acc: _EvalResult,
+        cs: CompressedIntegerSet,
+        cache: ArrayCache | None,
+        observer: DecodeObserver | None,
+        cache_probes: bool,
+        compressed: bool,
+        stats: ExecStats,
+    ) -> _EvalResult:
+        hit = self._cached(cs, cache)
+        if hit is not None:
+            stats.decoded_ops += 1
+            return intersect_sorted_arrays(
+                self._materialize(acc, cache, observer, stats), hit
+            )
+        if cache_probes:
+            # Explicit materialise-through-cache policy: takes precedence
+            # over compressed kernels so the steady state is fully cached.
+            stats.decoded_ops += 1
+            mine = self._decode_leaf(cs, cache, observer)
+            return intersect_sorted_arrays(
+                self._materialize(acc, cache, observer, stats), mine
+            )
+        if (
+            compressed
+            and isinstance(acc, CompressedIntegerSet)
+            and acc.codec_name == cs.codec_name
+            and self._capable(cs, Capability.INTERSECT_COMPRESSED)
+        ):
+            stats.compressed_ops += 1
+            return get_codec(cs.codec_name).intersect_compressed(acc, cs)
+        stats.compressed_ops += 1
+        return get_codec(cs.codec_name).intersect_with_array(
+            cs, self._materialize(acc, cache, observer, stats)
+        )
+
+    def _and_pair(
+        self,
+        acc: _EvalResult,
+        sub: _EvalResult,
+        cache: ArrayCache | None,
+        observer: DecodeObserver | None,
+        compressed: bool,
+        stats: ExecStats,
+    ) -> _EvalResult:
+        if (
+            compressed
+            and isinstance(acc, CompressedIntegerSet)
+            and isinstance(sub, CompressedIntegerSet)
+            and acc.codec_name == sub.codec_name
+            and self._capable(acc, Capability.INTERSECT_COMPRESSED)
+        ):
+            stats.compressed_ops += 1
+            return get_codec(acc.codec_name).intersect_compressed(acc, sub)
+        if isinstance(sub, CompressedIntegerSet) and self._capable(
+            sub, Capability.INTERSECT_WITH_ARRAY
+        ):
+            stats.compressed_ops += 1
+            return get_codec(sub.codec_name).intersect_with_array(
+                sub, self._materialize(acc, cache, observer, stats)
+            )
+        return intersect_sorted_arrays(
+            self._materialize(acc, cache, observer, stats),
+            self._materialize(sub, cache, observer, stats),
+        )
 
     # ------------------------------------------------------------------
     def describe(self) -> dict:
@@ -411,14 +578,14 @@ class ShardPlan:
         names = {cs_id: key[1] for cs_id, key in self.keymap.items()}
 
         def walk(expr: QueryExpression) -> dict:
-            if isinstance(expr, ExprLeaf):
+            if isinstance(expr, ops_expr.Leaf):
                 return {
                     "op": "leaf",
                     "term": names.get(id(expr.cs), "<anon>"),
                     "codec": expr.cs.codec_name,
                     "n": expr.cs.n,
                 }
-            if isinstance(expr, ExprOr):
+            if isinstance(expr, ops_expr.Or):
                 groups, others = or_partition(expr.children)
                 return {
                     "op": "or",
@@ -456,7 +623,7 @@ def compile_shard_plan(
     cache: ArrayCache | None = None,
     observer: DecodeObserver | None = None,
 ) -> ShardPlan:
-    """Resolve a query (AST or legacy spelling) against one shard.
+    """Resolve a query (AST node or bare term string) against one shard.
 
     The compile works against one atomic :meth:`Shard.read_state`
     snapshot, so a concurrent compaction can swap the shard's postings
@@ -529,7 +696,7 @@ def compile_shard_plan(
             f"List@{epoch}g{ver}r{'.'.join(revs)}",
         )
         plan.delta_terms.append(term)
-        return ExprLeaf(leaf)
+        return ops_expr.Leaf(leaf)
 
     def build(node: QueryNode) -> QueryExpression | None:
         if isinstance(node, Term):
@@ -549,17 +716,17 @@ def compile_shard_plan(
                 return None
             inner = _unwrap(cs)
             plan.keymap[id(inner)] = versioned(node.name, inner.codec_name)
-            return ExprLeaf(inner)
+            return ops_expr.Leaf(inner)
         parts = [build(c) for c in node.children]
         if isinstance(node, And):
             if any(p is None for p in parts):
                 return None  # ∩ with the empty set is empty
             kept = [p for p in parts if p is not None]
-            return kept[0] if len(kept) == 1 else ExprAnd(*kept)
+            return kept[0] if len(kept) == 1 else ops_expr.And(*kept)
         kept = [p for p in parts if p is not None]  # ∪ drops empty children
         if not kept:
             return None
-        return kept[0] if len(kept) == 1 else ExprOr(*kept)
+        return kept[0] if len(kept) == 1 else ops_expr.Or(*kept)
 
     plan.expr = build(root)
     return plan

@@ -1,0 +1,60 @@
+"""Deliberate REPRO008 violations (plus clean and unregistered codecs).
+
+Never imported — the analyzer only parses this file.
+"""
+
+from repro.core.base import Capability, IntegerSetCodec
+from repro.core.registry import register_codec
+
+
+@register_codec
+class PhantomKernelCodec(IntegerSetCodec):  # declared, never implemented
+    name = "PhantomKernel"
+    family = "bitmap"
+    year = 2020
+    CAPABILITIES = frozenset({Capability.INTERSECT_COMPRESSED})
+
+
+@register_codec
+class ShyKernelCodec(IntegerSetCodec):  # implemented, never declared
+    name = "ShyKernel"
+    family = "bitmap"
+    year = 2020
+    CAPABILITIES = frozenset()
+
+    def union_compressed(self, sets):
+        return sets[0]
+
+
+@register_codec
+class ComputedCapsCodec(IntegerSetCodec):  # non-literal declaration
+    name = "ComputedCaps"
+    family = "invlist"
+    year = 2021
+    CAPABILITIES = frozenset(Capability)
+
+
+@register_codec
+class HalfSkipCodec(IntegerSetCodec):  # rank without select
+    name = "HalfSkip"
+    family = "invlist"
+    year = 2021
+    CAPABILITIES = frozenset({Capability.RANK_SELECT_SKIP})
+
+    def rank(self, cs, position):
+        return 0
+
+
+@register_codec
+class HonestCodec(IntegerSetCodec):  # declaration matches overrides: clean
+    name = "Honest"
+    family = "bitmap"
+    year = 2022
+    CAPABILITIES = frozenset({Capability.INTERSECT_COMPRESSED})
+
+    def intersect_compressed(self, sets):
+        return sets[0]
+
+
+class UnregisteredCodec(IntegerSetCodec):  # unregistered: never checked
+    CAPABILITIES = frozenset({Capability.UNION_COMPRESSED})

@@ -85,6 +85,36 @@ def test_repro006_registry_completeness(check_fixture):
     assert "wrong legend list" in messages
 
 
+def test_repro008_capability_contract(check_fixture):
+    findings = check_fixture("repro008_bad.py", "REPRO008")
+    # PhantomKernel declares without overriding (11); ShyKernel overrides
+    # without declaring (19); ComputedCaps is not a literal frozenset
+    # (reported on the expression, 34); HalfSkip declares RANK_SELECT_SKIP
+    # with rank but no select (38).  Honest and the unregistered class
+    # stay clean.
+    assert lines(findings, "REPRO008") == [11, 19, 34, 38]
+    messages = " ".join(f.message for f in findings)
+    assert "never overrides intersect_compressed" in messages
+    assert "does not declare Capability.UNION_COMPRESSED" in messages
+    assert "literal frozenset" in messages
+    assert "never overrides select" in messages
+
+
+def test_repro008_registry_declarations_are_honest():
+    """The live registry passes its own capability audit: every codec's
+    CAPABILITIES literal is parseable and matched by real overrides."""
+    from pathlib import Path
+
+    from repro.analysis import AnalysisConfig, run_checks
+
+    src = Path(__file__).resolve().parents[2] / "src" / "repro"
+    findings = run_checks(
+        sorted(src.rglob("*.py")),
+        config=AnalysisConfig(select=frozenset({"REPRO008"})),
+    )
+    assert findings == []
+
+
 def test_findings_are_sorted_and_formatted(check_fixture):
     findings = check_fixture("repro002_bad.py", "REPRO002")
     assert findings == sorted(findings)
@@ -93,7 +123,9 @@ def test_findings_are_sorted_and_formatted(check_fixture):
     assert rendered.count(":") >= 3  # path:line:col: RULE message
 
 
-@pytest.mark.parametrize("code", [f"REPRO00{i}" for i in range(1, 7)])
+@pytest.mark.parametrize(
+    "code", [f"REPRO00{i}" for i in (*range(1, 7), 8)]
+)
 def test_every_rule_is_registered_with_rationale(code):
     from repro.analysis import RULES
 

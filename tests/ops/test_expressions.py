@@ -90,3 +90,21 @@ def test_estimated_sizes():
 def test_evaluate_rejects_non_expression():
     with pytest.raises(TypeError):
         evaluate("not an expression")
+
+
+def test_and_order_breaks_cardinality_ties_by_physical_size():
+    """Adversarial skew: equal-cardinality operands whose compressed
+    sizes differ by an order of magnitude.  The physically smaller
+    operand must be probed first — while the candidate set is at its
+    largest — regardless of argument order."""
+    from repro.ops import and_order
+
+    codec = get_codec("WAH")
+    n = 4_096
+    dense = codec.compress(np.arange(n), universe=1 << 20)  # one fill run
+    sparse = codec.compress(np.arange(0, n * 193, 193), universe=1 << 20)
+    assert dense.n == sparse.n == n
+    assert sparse.size_bytes > 10 * dense.size_bytes
+    cheap, bulky = Leaf(dense), Leaf(sparse)
+    assert and_order((bulky, cheap)) == [cheap, bulky]
+    assert and_order((cheap, bulky)) == [cheap, bulky]

@@ -203,13 +203,12 @@ def test_query_serialises_ast_and_deadline_header(stub):
     assert parsed["query_id"] == "q1"
 
 
-def test_legacy_tuple_query_warns_once(stub):
+def test_legacy_tuple_query_rejected_before_sending(stub):
     stub.plan = [("200", _OK_BODY)]
     client = _client(stub)
-    with pytest.warns(DeprecationWarning):
+    with pytest.raises(TypeError, match="nested-tuple"):
         client.query(("and", "a", "b"))
-    parsed = json.loads(stub.requests[0][1])
-    assert parsed["query"]["op"] == "and"
+    assert stub.requests == []  # rejected client-side, nothing hit the wire
 
 
 def test_connection_is_reused_across_requests(stub):

@@ -109,6 +109,7 @@ def _op(kind="add", shard="s0", term="t", values=(1,)):
 )
 def test_malformed_ingest_bodies_get_400(writable_engine, live_server, body):
     server = live_server(writable_engine)
+    body = {"v": WIRE_VERSION, **body}  # versioned, so the op shape is what fails
     status, _h, payload = _raw_request(
         server.port, "POST", "/ingest", json.dumps(body).encode()
     )
@@ -142,14 +143,27 @@ def test_wrong_major_version_is_400(writable_engine, live_server, path, body):
     assert "wire version" in json.loads(payload)["error"]
 
 
-def test_legacy_unversioned_bodies_still_accepted(writable_engine, live_server):
-    # Deprecation window: a body without "v" is treated as v1.
+def test_unversioned_bodies_rejected(writable_engine, live_server):
+    # The v1 deprecation window is closed: "v" is mandatory since v2.
+    server = live_server(writable_engine)
+    status, _h, payload = _raw_request(
+        server.port,
+        "POST",
+        "/ingest",
+        json.dumps({"ops": [_op(values=[1])]}).encode(),
+    )
+    assert status == 400
+    assert "wire version" in json.loads(payload)["error"]
+
+
+def test_previous_major_version_still_accepted(writable_engine, live_server):
+    # v1 clients that always sent an explicit "v" keep working.
     server = live_server(writable_engine)
     status, _h, _p = _raw_request(
         server.port,
         "POST",
         "/ingest",
-        json.dumps({"ops": [_op(values=[1])]}).encode(),
+        json.dumps({"v": 1, "ops": [_op(values=[1])]}).encode(),
     )
     assert status == 200
 

@@ -5,10 +5,13 @@ import pytest
 
 from repro.server.protocol import (
     HTTP_STATUS_FOR,
+    SUPPORTED_WIRE_VERSIONS,
+    WIRE_VERSION,
     ProtocolError,
     QueryRequest,
     QueryResponse,
     abandoned_response,
+    check_envelope,
     response_from_result,
 )
 from repro.store import And, Term
@@ -26,11 +29,22 @@ def test_request_round_trip():
 
 
 def test_request_minimal_body():
-    request = QueryRequest.from_body({"query": "a"})
+    request = QueryRequest.from_body({"v": WIRE_VERSION, "query": "a"})
     assert request.query == Term("a")
     assert request.shards is None
     assert request.query_id == ""
     assert request.strict is False
+
+
+def test_envelope_versioning():
+    assert WIRE_VERSION in SUPPORTED_WIRE_VERSIONS
+    for v in SUPPORTED_WIRE_VERSIONS:
+        check_envelope({"v": v})  # accepted versions pass silently
+    with pytest.raises(ProtocolError, match="missing the wire version"):
+        check_envelope({"query": "a"})  # the v1 unversioned window is closed
+    for bad in (WIRE_VERSION + 1, 0, True, "2"):
+        with pytest.raises(ProtocolError):
+            check_envelope({"v": bad})
 
 
 @pytest.mark.parametrize(
@@ -39,12 +53,12 @@ def test_request_minimal_body():
         None,
         [],
         "a",
-        {},  # missing query
-        {"query": {"op": "xor", "children": []}},
-        {"query": "a", "shards": "s0"},
-        {"query": "a", "shards": [1]},
-        {"query": "a", "query_id": 7},
-        {"query": "a", "strict": "yes"},
+        {"v": WIRE_VERSION},  # missing query
+        {"v": WIRE_VERSION, "query": {"op": "xor", "children": []}},
+        {"v": WIRE_VERSION, "query": "a", "shards": "s0"},
+        {"v": WIRE_VERSION, "query": "a", "shards": [1]},
+        {"v": WIRE_VERSION, "query": "a", "query_id": 7},
+        {"v": WIRE_VERSION, "query": "a", "strict": "yes"},
     ],
 )
 def test_request_rejects_malformed(body):

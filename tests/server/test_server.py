@@ -83,7 +83,7 @@ def test_malformed_bodies_get_400(engine, live_server):
 
 def test_bad_deadline_header_gets_400(engine, live_server):
     server = live_server(engine)
-    body = json.dumps({"query": "a"}).encode()
+    body = json.dumps({"v": 2, "query": "a"}).encode()
     for value in ("abc", "-5", "0"):
         status, _headers, _payload = _raw_request(
             server.port,
@@ -134,7 +134,7 @@ def test_slow_shard_abandoned_past_grace(live_server):
 def test_strict_request_escalates_degradation_to_500(live_server):
     engine = QueryEngine(make_store(), shard_delays={"s0": 0.15})
     server = live_server(engine, grace_factor=40.0)
-    body = json.dumps({"query": "a", "strict": True}).encode()
+    body = json.dumps({"v": 2, "query": "a", "strict": True}).encode()
     status, _headers, payload = _raw_request(
         server.port, "POST", "/query", body=body, headers=((DEADLINE_HEADER, "50"),)
     )
@@ -176,7 +176,7 @@ def test_client_disconnect_mid_response_leaves_server_healthy(
     engine, live_server
 ):
     server = live_server(engine)
-    body = json.dumps({"query": {"op": "term", "name": "a"}}).encode()
+    body = json.dumps({"v": 2, "query": {"op": "term", "name": "a"}}).encode()
     request = (
         b"POST /query HTTP/1.1\r\nHost: x\r\n"
         b"Content-Length: %d\r\n\r\n%s" % (len(body), body)
@@ -204,7 +204,7 @@ def test_queue_full_sheds_with_retry_after(live_server):
     server = live_server(
         engine, max_pending=2, workers=1, retry_after_s=2.5
     )
-    body = json.dumps({"query": "a"}).encode()
+    body = json.dumps({"v": 2, "query": "a"}).encode()
 
     def occupy():
         _raw_request(server.port, "POST", "/query", body=body)
@@ -234,7 +234,7 @@ def test_client_surfaces_exhausted_retries_as_unavailable(live_server):
     server = live_server(engine, max_pending=1, workers=1)
     occupant = threading.Thread(
         target=_raw_request,
-        args=(server.port, "POST", "/query", json.dumps({"query": "a"}).encode()),
+        args=(server.port, "POST", "/query", json.dumps({"v": 2, "query": "a"}).encode()),
     )
     occupant.start()
     time.sleep(0.1)

@@ -1,7 +1,6 @@
-"""The typed query AST: construction, JSON round-trip, legacy compat."""
+"""The typed query AST: construction, JSON round-trip, tuple rejection."""
 
 import json
-import warnings
 
 import numpy as np
 import pytest
@@ -52,8 +51,8 @@ def test_empty_nodes_rejected():
 
 
 def test_bad_children_rejected_with_hint():
-    with pytest.raises(TypeError, match="parse_query"):
-        And(("or", "a", "b"), "c")  # raw tuples must go through parse_query
+    with pytest.raises(TypeError, match="Term/And/Or"):
+        And(("or", "a", "b"), "c")  # raw tuples are not query nodes
     with pytest.raises(ValueError, match="non-empty string"):
         Term("")
 
@@ -67,13 +66,9 @@ def test_parse_query_passthrough_and_string_coercion():
     assert parse_query("a") == Term("a")
 
 
-def test_parse_query_legacy_tuple_warns_exactly_once():
-    with warnings.catch_warnings(record=True) as caught:
-        warnings.simplefilter("always")
-        node = parse_query(("and", ("or", "a", "b"), "c"))
-    deprecations = [w for w in caught if w.category is DeprecationWarning]
-    assert len(deprecations) == 1
-    assert node == And(Or("a", "b"), "c")
+def test_parse_query_rejects_legacy_tuples():
+    with pytest.raises(TypeError, match="nested-tuple"):
+        parse_query(("and", ("or", "a", "b"), "c"))
 
 
 def test_parse_query_rejects_non_queries():
@@ -118,20 +113,15 @@ def test_from_json_rejects_malformed(bad):
 # ----------------------------------------------------------------------
 # End-to-end equivalence: AST and legacy tuples produce identical results
 # ----------------------------------------------------------------------
-def test_ast_and_legacy_agree_end_to_end():
+def test_engine_rejects_legacy_tuple_as_failed_result():
+    # Malformed queries degrade to a failed result, never a crash.
     engine = _engine()
-    ast = engine.execute(And(Or("a", "b"), "c"))
-    with pytest.warns(DeprecationWarning):
-        legacy = engine.execute(("and", ("or", "a", "b"), "c"))
-    assert ast.ok and legacy.ok
-    assert np.array_equal(ast.values, legacy.values)
+    result = engine.execute(("and", ("or", "a", "b"), "c"))
+    assert result.status == "failed"
+    assert "nested-tuple" in result.error
 
 
-def test_engine_batch_coerces_legacy_once_per_query():
+def test_engine_batch_rejects_legacy_tuples():
     engine = _engine()
-    with warnings.catch_warnings(record=True) as caught:
-        warnings.simplefilter("always")
-        results = engine.execute_batch([("and", "a", "b"), And("a", "c")])
-    deprecations = [w for w in caught if w.category is DeprecationWarning]
-    assert len(deprecations) == 1  # only the tuple query warns
-    assert all(r.ok for r in results)
+    with pytest.raises(TypeError, match="nested-tuple"):
+        engine.execute_batch([("and", "a", "b"), And("a", "c")])

@@ -188,3 +188,37 @@ def test_mixed_codec_shards_gather():
     result = QueryEngine(store).execute("t")
     assert result.ok
     assert np.array_equal(result.values, np.arange(0, 2_000, 4))
+
+
+# ----------------------------------------------------------------------
+# Compressed-execution operator counters
+# ----------------------------------------------------------------------
+def test_exec_op_counters_by_mode():
+    store = _sharded_store()  # Roaring: full compressed-domain And
+    on = QueryEngine(store)
+    result = on.execute(And("even", "third"))
+    assert result.ok
+    assert result.compressed_ops > 0 and result.decoded_ops == 0
+    assert "compressed_ops" in result.as_dict()
+    snap = on.metrics.snapshot()
+    assert snap["exec_ops"] == {
+        "compressed": result.compressed_ops,
+        "decoded": 0,
+    }
+    off = QueryEngine(store, compressed_ops=False)
+    result = off.execute(And("even", "third"))
+    assert result.ok
+    assert result.decoded_ops > 0
+    assert off.metrics.snapshot()["exec_ops"]["decoded"] == result.decoded_ops
+
+
+def test_plan_cache_hit_reports_zero_exec_ops():
+    engine = QueryEngine(_sharded_store(), cache=DecodeCache())
+    first = engine.execute(And("even", "third"))
+    assert first.compressed_ops > 0
+    again = engine.execute(And("even", "third"))
+    assert np.array_equal(again.values, first.values)
+    assert again.compressed_ops == 0 and again.decoded_ops == 0
+    # Metrics only accumulate executions that actually ran.
+    snap = engine.metrics.snapshot()
+    assert snap["exec_ops"]["compressed"] == first.compressed_ops

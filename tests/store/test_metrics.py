@@ -98,8 +98,10 @@ def test_snapshot_is_json_serialisable():
         "latency",
         "cache",
         "plan_cache",
+        "exec_ops",
         "decodes_by_codec",
     }
+    assert parsed["exec_ops"] == {"compressed": 0, "decoded": 0}
     assert parsed["plan_cache"] is None  # none attached here
     assert set(parsed["latency"]) == {
         "count",

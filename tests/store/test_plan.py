@@ -34,13 +34,11 @@ def test_query_terms_order_and_dedup():
     assert query_terms(And(Or("b", "a"), "b", "c")) == ["b", "a", "c"]
 
 
-def test_query_terms_rejects_bad_grammar():
-    with pytest.warns(DeprecationWarning):
-        with pytest.raises(ValueError, match="unknown query operator"):
-            query_terms(("not", "a"))
-    with pytest.warns(DeprecationWarning):
-        with pytest.raises(ValueError, match="empty"):
-            query_terms(("and",))
+def test_query_terms_rejects_tuples():
+    with pytest.raises(TypeError, match="nested-tuple"):
+        query_terms(("not", "a"))
+    with pytest.raises(TypeError, match="nested-tuple"):
+        query_terms(("and",))
 
 
 def test_query_defaults():
@@ -119,7 +117,11 @@ def test_cache_probes_decodes_and_probe_leaves():
     cache = DecodeCache()
     plan = compile_shard_plan(store, "s0", And("a", "b"))
     plan.execute(cache=cache, cache_probes=False)
-    assert len(cache) == 1  # only the driver leaf materialises
+    # Both leaves share a compressed-intersect-capable codec, so the
+    # default compressed mode materialises nothing at all.
+    assert len(cache) == 0
+    plan.execute(cache=cache, cache_probes=False, compressed=False)
+    assert len(cache) == 1  # decode baseline: only the driver leaf
     cache.clear()
     plan.execute(cache=cache, cache_probes=True)
     assert len(cache) == 2  # probe leaf decoded through the cache too

@@ -68,13 +68,11 @@ def test_canonicalize_preserves_and_or_distinction():
 
 def test_canonicalize_equivalence_of_spellings():
     """Differently-spelled but equivalent queries share one key."""
-    with pytest.deprecated_call():
-        legacy = parse_query(("and", "third", "even"))
     spellings = [
         And("even", "third"),
         And("third", "even"),
         And(And("even", "third"), "even"),
-        legacy,
+        And(parse_query("even"), parse_query("third")),
     ]
     keys = {canonical_key(canonicalize(s)) for s in spellings}
     assert len(keys) == 1

@@ -110,3 +110,13 @@ def test_query_ast_exports_compose():
     node = api.And(api.Or("a", "b"), api.Term("c"))
     assert api.parse_query(node) is node
     assert api.query_from_json(node.to_json()) == node
+
+
+def test_codec_capabilities_lookup():
+    caps = api.codec_capabilities("Roaring")
+    assert isinstance(caps, frozenset)
+    assert api.Capability.INTERSECT_COMPRESSED in caps
+    assert api.Capability.RANK_SELECT_SKIP in api.codec_capabilities("PEF")
+    assert api.Capability.INTERSECT_COMPRESSED not in api.codec_capabilities("PEF")
+    with pytest.raises(api.UnknownCodecError):
+        api.codec_capabilities("NoSuchCodec")

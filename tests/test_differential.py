@@ -15,8 +15,11 @@ singleton, full-universe).
 
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
-from repro import all_codec_names
+from repro import all_codec_names, get_codec
+from repro.core.base import Capability
 from repro.datagen import markov_list, uniform_list, zipf_list
 from repro.ops import And, Leaf, Or, evaluate
 
@@ -151,3 +154,115 @@ def test_served_engine_matches_reference(codec_name, backing, tmp_path):
             result = engine.execute(expr)
             assert result.ok, result.error
             assert np.array_equal(result.values, want), expr
+
+
+# ----------------------------------------------------------------------
+# Compressed-domain execution (capability protocol)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backing", ["in-heap", "mapped"])
+def test_compressed_and_decoded_execution_agree(codec_name, backing, tmp_path):
+    """The full registry matrix: engine results with compressed-domain
+    execution ON are bit-exact with the decode-then-merge baseline
+    (``compressed_ops=False, cache_probes=True``) and the numpy
+    reference, from both the in-heap table and a mapped v3 segment."""
+    from repro.store import And, Or, PostingStore, QueryEngine
+
+    rng = np.random.default_rng(SEED + 4)
+    terms = {
+        "a": uniform_list(900, DOMAIN, rng=rng),
+        "b": zipf_list(3_000, DOMAIN, rng=rng),
+        "c": markov_list(1_400, DOMAIN, rng=rng),
+        "d": uniform_list(250, DOMAIN, rng=rng),
+    }
+    store = PostingStore()
+    shard = store.create_shard("s0", codec=get_codec(codec_name), universe=DOMAIN)
+    for term, values in terms.items():
+        shard.add(term, values)
+    if backing == "mapped":
+        store.save(tmp_path / "v3", mapped=True)
+        store = PostingStore.load(tmp_path / "v3")
+    compressed = QueryEngine(store)  # compressed execution is the default
+    baseline = QueryEngine(store, compressed_ops=False, cache_probes=True)
+    cases = {
+        And("a", "b"): _ref_and(terms["a"], terms["b"]),
+        And("d", "b", "c"): _ref_and(terms["d"], terms["b"], terms["c"]),
+        Or("a", "b", "c"): _ref_or(terms["a"], terms["b"], terms["c"]),
+        And(Or("a", "d"), "b"): _ref_and(
+            _ref_or(terms["a"], terms["d"]), terms["b"]
+        ),
+        And(Or("a", "b"), Or("c", "d")): _ref_and(
+            _ref_or(terms["a"], terms["b"]), _ref_or(terms["c"], terms["d"])
+        ),
+    }
+    for expr, want in cases.items():
+        on = compressed.execute(expr)
+        off = baseline.execute(expr)
+        assert on.ok and off.ok, (on.error, off.error)
+        assert np.array_equal(on.values, want), expr
+        assert np.array_equal(off.values, want), expr
+
+
+def test_counter_signatures_split_by_capability(codec_name):
+    """Capable codecs run a selective AND entirely in the compressed
+    domain; probe-only codecs decode the driver leaf and probe the rest."""
+    from repro.api import codec_capabilities
+    from repro.store import And, PostingStore, QueryEngine
+
+    rng = np.random.default_rng(SEED + 5)
+    store = PostingStore()
+    shard = store.create_shard("s0", codec=get_codec(codec_name), universe=DOMAIN)
+    shard.add("x", uniform_list(700, DOMAIN, rng=rng))
+    shard.add("y", uniform_list(2_000, DOMAIN, rng=rng))
+    result = QueryEngine(store).execute(And("x", "y"))
+    assert result.ok, result.error
+    assert result.compressed_ops > 0
+    if Capability.INTERSECT_COMPRESSED in codec_capabilities(codec_name):
+        assert result.decoded_ops == 0
+    else:
+        assert result.decoded_ops > 0
+
+
+#: Codecs whose compressed-domain kernels the planner can select.
+_KERNEL_CODECS = [
+    name
+    for name in all_codec_names()
+    if Capability.INTERSECT_COMPRESSED in get_codec(name).capabilities()
+]
+
+#: Degenerate operand shapes one-shot benchmarks never generate: empty,
+#: singleton, a dense single-container run, and half-domain lists (pairs
+#: drawn from opposite halves are fully disjoint).
+_operand = st.one_of(
+    st.just(()),
+    st.integers(0, DOMAIN - 1).map(lambda v: (v,)),
+    st.tuples(st.integers(0, DOMAIN - 200), st.integers(1, 150)).map(
+        lambda t: tuple(range(t[0], t[0] + t[1]))
+    ),
+    st.lists(st.integers(0, DOMAIN // 2 - 1), max_size=50, unique=True).map(
+        lambda xs: tuple(sorted(xs))
+    ),
+    st.lists(st.integers(DOMAIN // 2, DOMAIN - 1), max_size=50, unique=True).map(
+        lambda xs: tuple(sorted(xs))
+    ),
+)
+
+
+@pytest.mark.parametrize("kernel_codec", _KERNEL_CODECS)
+@settings(
+    max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+@given(left=_operand, right=_operand)
+def test_compressed_kernels_survive_degenerate_operands(
+    kernel_codec, left, right
+):
+    codec = get_codec(kernel_codec)
+    a = np.array(left, dtype=np.int64)
+    b = np.array(right, dtype=np.int64)
+    ca = codec.compress(a, universe=DOMAIN)
+    cb = codec.compress(b, universe=DOMAIN)
+    got_and = codec.intersect_compressed(ca, cb)
+    got_or = codec.union_compressed(ca, cb)
+    assert np.array_equal(codec.decompress(got_and), _ref_and(a, b))
+    assert np.array_equal(codec.decompress(got_or), _ref_or(a, b))
+    assert got_and.n == _ref_and(a, b).size
+    assert got_or.n == _ref_or(a, b).size
