@@ -1,4 +1,4 @@
-"""Concurrency and serving-contract rules, REPRO100 through REPRO107.
+"""Concurrency and serving-contract rules, REPRO100 through REPRO108.
 
 The codec rules (REPRO001–006) keep the *measured* artefacts honest;
 this family keeps the *serving* path honest under load.  Each rule
@@ -24,6 +24,10 @@ which, before this module, only code review enforced:
   wrap into the ``errors.py`` hierarchy (or carry a reasoned noqa).
 * REPRO107 — mutable state of lock-owning classes is only mutated while
   holding one of the class's locks.
+* REPRO108 — the cluster packages raise only from the unified
+  ``repro.api.errors`` tree: the router's retry/hedging machinery
+  dispatches on the tree's ``retryable`` bit, so an off-tree exception
+  silently disables failover for that path.
 
 Static analysis here is deliberately *over-approximate* where it must
 guess (calls resolve by bare name to every same-named function in the
@@ -901,3 +905,76 @@ def check_guarded_state(
                     "thread-shared state must be mutated under the lock or "
                     "documented immutable-after-init",
                 )
+
+
+# ----------------------------------------------------------------------
+# REPRO108 — cluster code raises only the unified error tree
+# ----------------------------------------------------------------------
+_ERROR_TREE = "repro.api.errors"
+
+
+def _raised_origin(mod: ModuleInfo, node: ast.Raise) -> str | None:
+    """Dotted origin of the class a ``raise`` statement instantiates.
+
+    ``raise X(...)`` and ``raise X`` resolve ``X`` through the module's
+    imports; ``raise err`` of a local binding resolves to the bare name
+    (which never lives under the error tree, so it is flagged — the
+    compliant respelling is a bare ``raise``, which keeps the original
+    class and is exempt).
+    """
+    exc = node.exc
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    if exc is None:
+        return None
+    return _call_origin(mod, exc)
+
+
+@_rule(
+    "REPRO108",
+    "cluster code raises only from the unified error tree",
+    "The router's retry, hedging, and failover paths dispatch on the "
+    "`retryable` bit of the repro.api.errors tree; an exception raised "
+    "from outside it silently disables failover for that code path and "
+    "surfaces to callers as an unclassifiable crash.",
+    doc="""\
+Every ``raise`` in the cluster packages (``cluster-packages`` in
+``[tool.repro-analysis]``, default ``repro/cluster``) must instantiate
+a class imported from ``repro.api.errors`` — the unified hierarchy
+whose ``retryable`` attribute the scatter-gather machinery routes on.
+
+Exempt: the bare re-raise ``raise`` (keeps the original class, which a
+surrounding handler already classified).  ``raise err`` of a caught
+binding is *not* exempt — respell it as a bare ``raise``, or wrap into
+the tree so the class is visible statically.
+
+Intentional escapes — exceptions that never leave the module because a
+wrapper converts them (transport internals), or that a framework
+contract requires (``argparse.ArgumentTypeError``) — carry a reasoned
+``# repro: noqa[REPRO108] -- <why>`` on the ``raise`` line;
+``--strict-noqa`` reports any that stop matching.""",
+)
+def check_cluster_error_tree(
+    model: ProjectModel, config: AnalysisConfig
+) -> Iterator[Finding]:
+    for mod in model.modules:
+        if not _path_matches(mod, config.cluster_packages):
+            continue
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            origin = _raised_origin(mod, node)
+            if origin is not None and (
+                origin == _ERROR_TREE or origin.startswith(_ERROR_TREE + ".")
+            ):
+                continue
+            shown = origin if origin is not None else ast.dump(node.exc)
+            yield _finding(
+                mod,
+                node,
+                "REPRO108",
+                f"raises {shown!r}, which is outside the {_ERROR_TREE} "
+                "tree the cluster retry machinery dispatches on; raise a "
+                "tree class, use a bare `raise` to re-raise, or add a "
+                "reasoned `# repro: noqa[REPRO108] -- why`",
+            )

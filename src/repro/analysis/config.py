@@ -15,6 +15,7 @@ codecs).  Projects embedding the analyzer can override any of it via a
     magic-numbers = [31, 32, 64, 128]   # REPRO005 literal set
     server-packages = ["repro/server"]  # REPRO100 async scope
     concurrency-packages = ["repro/store", "repro/server"]
+    cluster-packages = ["repro/cluster"]  # REPRO108 error-tree scope
     counter-families = [["_offered", "_accepted", "_shed"]]
 """
 
@@ -58,6 +59,11 @@ class AnalysisConfig:
             REPRO100 bans blocking calls inside ``async def`` bodies.
         concurrency_packages: path fragments holding thread-shared
             state, where the REPRO101–107 concurrency contracts apply.
+        cluster_packages: path fragments whose modules may raise only
+            from the unified ``repro.api.errors`` tree (REPRO108) —
+            the retry/hedging machinery dispatches on its
+            ``retryable`` bit, so an off-tree exception silently
+            disables failover.
         counter_families: attribute-name tuples (anchor first) that
             REPRO105 requires to be mutated together.
         strict_noqa: when True, suppression comments that matched no
@@ -71,6 +77,7 @@ class AnalysisConfig:
     magic_numbers: frozenset[int] = field(default=DEFAULT_MAGIC_NUMBERS)
     server_packages: tuple[str, ...] = ("repro/server",)
     concurrency_packages: tuple[str, ...] = ("repro/store", "repro/server")
+    cluster_packages: tuple[str, ...] = ("repro/cluster",)
     counter_families: tuple[tuple[str, ...], ...] = DEFAULT_COUNTER_FAMILIES
     strict_noqa: bool = False
 
@@ -114,6 +121,8 @@ def load_config(pyproject: Path | None = None) -> AnalysisConfig:
         updates["concurrency_packages"] = tuple(
             str(p) for p in table["concurrency-packages"]
         )
+    if "cluster-packages" in table:
+        updates["cluster_packages"] = tuple(str(p) for p in table["cluster-packages"])
     if "counter-families" in table:
         updates["counter_families"] = tuple(
             tuple(str(a) for a in family) for family in table["counter-families"]

@@ -18,63 +18,84 @@ Quickstart::
     both = api.intersect(a, b)          # -> np.ndarray of shared values
     either = api.union(a, b)
 
-    engine = api.open_store("/data/index")
-    result = engine.execute(api.And(api.Or("news", "sports"), "2024"))
-    print(result.status, result.values)
+    with api.connect("/data/index") as t:               # local store
+        r = t.query(api.And(api.Or("news", "sports"), "2024"))
+        print(r.status, r.values)
 
-    writer = api.open_store("/data/index", writable=True)   # WAL-backed
-    writer.store.append("shard00", "news", [42, 99])        # durable ack
-    writer.store.close()                                    # seal + compact
+    with api.connect("http://10.0.0.5:8080") as t:      # server OR cluster
+        r = t.query(api.And(api.Or("news", "sports"), "2024"))
 
-Error taxonomy (all subclasses of :class:`api.ReproError`):
+    with api.connect("/data/index", writable=True) as t:
+        t.ingest([("add", "shard00", "news", [42, 99])])  # durable ack
 
-* :class:`CodecError` — compression-layer failures
-  (:class:`InvalidInputError`, :class:`CorruptPayloadError`,
-  :class:`DomainOverflowError`, :class:`UnknownCodecError`);
-* :class:`StoreError` — posting-store failures
-  (:class:`ShardLoadError`, :class:`UnknownShardError`,
-  :class:`WalCorruptionError`, :class:`ManifestParamsError`);
-* serving-layer errors (:class:`ProtocolError`,
-  :class:`QueryRejectedError`, :class:`ServerUnavailableError`) live in
-  :mod:`repro.server` and are re-exported here for ``except`` clauses.
+:func:`connect` is the one serving entrypoint — it returns the same
+:class:`QueryTarget` surface over a local store, a single
+:mod:`repro.server` process, and a :mod:`repro.cluster` router, and its
+``query()`` results are bit-identical across the three (see
+``docs/api.md`` for the migration table from the deprecated
+``open_store`` / ``StoreClient`` entrypoints, which remain as shims
+that emit a :class:`DeprecationWarning`).
+
+Error taxonomy: every exception the library raises roots at
+:class:`api.ReproError`; the full tree — codec, store, serving, and
+cluster tiers, each annotated with the ``retryable`` bit the cluster
+router's failover keys off — is re-exported as one import surface by
+:mod:`repro.api.errors`.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Sequence
 
 import numpy as np
 
 from repro.core import (
     Capability,
-    CodecError,
     CompressedIntegerSet,
-    CorruptPayloadError,
-    DomainOverflowError,
     IntegerSetCodec,
-    InvalidInputError,
-    ReproError,
-    UnknownCodecError,
     all_codec_names,
     get_codec,
 )
 from repro.ops.intersection import svs_intersect
 from repro.ops.union import merge_union
-from repro.server.client import QueryRejectedError, ServerUnavailableError
-from repro.server.protocol import ProtocolError
-from repro.store.cache import DecodeCache
-from repro.store.engine import QueryEngine, QueryResult
-from repro.store.errors import (
+
+# The unified error tree (single source: repro.api.errors).
+from repro.api import errors
+from repro.api.errors import (
+    BackendUnavailableError,
+    ClusterError,
+    CodecError,
+    CorruptPayloadError,
+    DomainOverflowError,
+    InvalidInputError,
     ManifestParamsError,
     MappedSegmentError,
+    NoReplicaAvailableError,
+    ProtocolError,
+    QueryRejectedError,
+    ReproError,
+    ServerUnavailableError,
     ShardLoadError,
+    ShardMapError,
+    ShardMapStaleError,
     StoreError,
+    UnknownCodecError,
     UnknownShardError,
+    WalCorruptionError,
+    is_retryable,
 )
+from repro.api.targets import (
+    LocalTarget,
+    QueryTarget,
+    RemoteTarget,
+    build_engine as _build_engine,
+    connect,
+)
+from repro.store.engine import QueryEngine, QueryResult
 from repro.store.plan import And, Or, Query, Term, parse_query, query_from_json
 from repro.store.segments import WritablePostingStore
 from repro.store.store import PostingStore, migrate_store
-from repro.store.wal import WalCorruptionError
 
 __all__ = [
     # Compression
@@ -96,6 +117,11 @@ __all__ = [
     "Query",
     "parse_query",
     "query_from_json",
+    # Serving targets (the one entrypoint + its protocol surface)
+    "connect",
+    "QueryTarget",
+    "LocalTarget",
+    "RemoteTarget",
     # Store
     "open_store",
     "migrate_store",
@@ -103,7 +129,9 @@ __all__ = [
     "WritablePostingStore",
     "QueryEngine",
     "QueryResult",
-    # Errors
+    # Errors (full tree: repro.api.errors)
+    "errors",
+    "is_retryable",
     "ReproError",
     "CodecError",
     "InvalidInputError",
@@ -119,6 +147,11 @@ __all__ = [
     "ProtocolError",
     "QueryRejectedError",
     "ServerUnavailableError",
+    "ClusterError",
+    "ShardMapError",
+    "ShardMapStaleError",
+    "BackendUnavailableError",
+    "NoReplicaAvailableError",
 ]
 
 #: Facade default: the study's all-round best bitmap codec.
@@ -181,7 +214,15 @@ def open_store(
     compact_interval_s: float = 0.0,
     mapped: bool | None = None,
 ) -> QueryEngine:
-    """Load a saved store and wrap it in a ready-to-query engine.
+    """Deprecated: load a saved store into a ready-to-query engine.
+
+    Use :func:`connect` instead — ``api.connect(directory, **options)``
+    takes the same options, returns the uniform :class:`QueryTarget`
+    surface, and keeps the engine reachable as ``target.engine`` for
+    the in-process extras (``execute_batch``, ``explain``,
+    ``engine.store``).  This shim emits exactly one
+    :class:`DeprecationWarning` and will be removed with the next major
+    version.
 
     Args:
         directory: a directory written by :meth:`PostingStore.save`.
@@ -206,17 +247,19 @@ def open_store(
             read-only open always serves whichever layout the manifest
             records (v3 stores open zero-copy automatically).
     """
-    store: PostingStore
-    if writable:
-        wstore = WritablePostingStore.open(
-            directory, strict=strict, mapped=mapped
-        )
-        if compact_interval_s > 0:
-            wstore.start_compactor(compact_interval_s)
-        store = wstore
-    else:
-        store = PostingStore.load(directory, strict=strict)
-    cache = DecodeCache(max_entries=cache_entries) if cache_entries else None
-    return QueryEngine(
-        store, cache=cache, max_workers=max_workers, timeout_s=timeout_s
+    warnings.warn(
+        "repro.api.open_store() is deprecated; use repro.api.connect"
+        "(directory, ...) and reach the engine via target.engine",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _build_engine(
+        directory,
+        strict=strict,
+        cache_entries=cache_entries,
+        max_workers=max_workers,
+        timeout_s=timeout_s,
+        writable=writable,
+        compact_interval_s=compact_interval_s,
+        mapped=mapped,
     )

@@ -1,0 +1,165 @@
+"""The unified error tree: every exception the library raises, one import.
+
+Before this module the taxonomy was spread over three homes —
+:mod:`repro.core.errors` (codec failures), :mod:`repro.store.errors` +
+:mod:`repro.store.wal` (store/WAL failures), and :mod:`repro.server`
+(serving failures).  They all already rooted at :class:`ReproError`;
+this module is the single place that re-exports the whole tree, adds
+the cluster tier's exceptions, and documents the one bit of metadata
+the distributed serving layer keys off:
+
+**``retryable``** — a class attribute on every node of the tree.
+``True`` means the failure is *environmental* (overload, a dropped
+socket, a stale shard map) and the identical request may succeed when
+re-sent — the cluster router's replica failover and hedged reads act
+exactly on this bit.  ``False`` means the request or the data is the
+problem and re-sending re-fails.
+
+::
+
+    ReproError (retryable=False)
+    ├── CodecError
+    │   ├── InvalidInputError ── DomainOverflowError
+    │   └── CorruptPayloadError
+    ├── UnknownCodecError
+    ├── StoreError
+    │   ├── UnknownShardError / DuplicateShardError / DuplicateTermError
+    │   ├── ShardLoadError / ManifestParamsError / MappedSegmentError
+    │   └── WalCorruptionError
+    ├── ProtocolError                  # malformed request / response
+    ├── QueryRejectedError             # server answered 400
+    ├── ServerUnavailableError         # retryable=True: retries exhausted
+    └── ClusterError
+        ├── ShardMapError              # invalid placement / map config
+        ├── ShardMapStaleError         # retryable=True: refetch and retry
+        ├── BackendUnavailableError    # retryable=True: one backend down
+        └── NoReplicaAvailableError    # retryable=True: all replicas down
+
+``repro/cluster`` code raises *only* from this tree — enforced by
+analyzer rule REPRO108 (see ``docs/static_analysis.md``).
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import (
+    CodecError,
+    CorruptPayloadError,
+    DomainOverflowError,
+    InvalidInputError,
+    ReproError,
+    UnknownCodecError,
+)
+from repro.server.client import QueryRejectedError, ServerUnavailableError
+from repro.server.protocol import ProtocolError
+from repro.store.errors import (
+    DuplicateShardError,
+    DuplicateTermError,
+    ManifestParamsError,
+    MappedSegmentError,
+    ShardLoadError,
+    StoreError,
+    UnknownShardError,
+)
+from repro.store.wal import WalCorruptionError
+
+__all__ = [
+    "ReproError",
+    # Codec layer
+    "CodecError",
+    "InvalidInputError",
+    "DomainOverflowError",
+    "CorruptPayloadError",
+    "UnknownCodecError",
+    # Store layer
+    "StoreError",
+    "UnknownShardError",
+    "DuplicateShardError",
+    "DuplicateTermError",
+    "ShardLoadError",
+    "ManifestParamsError",
+    "MappedSegmentError",
+    "WalCorruptionError",
+    # Serving layer
+    "ProtocolError",
+    "QueryRejectedError",
+    "ServerUnavailableError",
+    # Cluster tier
+    "ClusterError",
+    "ShardMapError",
+    "ShardMapStaleError",
+    "BackendUnavailableError",
+    "NoReplicaAvailableError",
+    # Helper
+    "is_retryable",
+]
+
+
+class ClusterError(ReproError):
+    """Base class for the distributed serving tier (:mod:`repro.cluster`)."""
+
+
+class ShardMapError(ClusterError, ValueError):
+    """A shard map is structurally invalid (bad replica count, duplicate
+    backends, malformed JSON) — a configuration bug, never retryable."""
+
+
+class ShardMapStaleError(ClusterError):
+    """The caller's shard map version lags the router's (HTTP 410).
+
+    ``retryable``: refetch ``GET /shardmap`` and re-send the request
+    under the current map — :class:`repro.cluster.client.RouterClient`
+    does exactly this once per request before giving up.
+    """
+
+    retryable = True
+
+    def __init__(self, message: str, current_version: int | None = None) -> None:
+        super().__init__(message)
+        self.current_version = current_version
+
+
+class BackendUnavailableError(ClusterError):
+    """One backend could not answer (connection refused, timeout, shed).
+
+    ``retryable``: the router's fan-out treats this as "try the other
+    replica" — it is the signal hedging and failover are built on.
+    """
+
+    retryable = True
+
+    def __init__(self, backend_id: str, detail: str) -> None:
+        super().__init__(f"backend {backend_id!r}: {detail}")
+        self.backend_id = backend_id
+        self.detail = detail
+
+
+class NoReplicaAvailableError(ClusterError):
+    """Every replica holding a shard group failed to answer.
+
+    ``retryable``: backends come back; the *caller* may retry the whole
+    query, though within one request the router has already exhausted
+    its options and reports the group's shards as failed.
+    """
+
+    retryable = True
+
+    def __init__(self, shards: tuple[str, ...], attempts: int) -> None:
+        super().__init__(
+            f"no replica answered for shards {list(shards)} "
+            f"after {attempts} attempt(s)"
+        )
+        self.shards = shards
+        self.attempts = attempts
+
+
+def is_retryable(exc: BaseException) -> bool:
+    """The router/hedging predicate: may an identical retry succeed?
+
+    Reads the ``retryable`` class attribute off the unified tree;
+    non-``ReproError`` exceptions (``OSError``, ``TimeoutError``) are
+    transport-level and count as retryable — a socket error never means
+    the request itself was malformed.
+    """
+    if isinstance(exc, ReproError):
+        return bool(getattr(exc, "retryable", False))
+    return isinstance(exc, (OSError, TimeoutError))

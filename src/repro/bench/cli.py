@@ -204,6 +204,16 @@ def _quick_kwargs(exp_id: str) -> dict:
             # CI smoke compares the two segment formats side by side
             "backings": ("in-heap", "mapped"),
         }
+    if exp_id == "cluster":
+        return {
+            "n_terms": 8,
+            "list_size": 400,
+            "clients": 4,
+            "requests_per_client": 8,
+            "slow_shard_ms": 150.0,
+            "hedge_max_ms": 40.0,
+            "repeat": 1,
+        }
     return {"repeat": 1}
 
 

@@ -428,10 +428,10 @@ def closed_loop(
     import threading
     import time as _time
 
+    from repro.api import connect
     from repro.server import (
         BackgroundServer,
         ServerUnavailableError,
-        StoreClient,
         StoreServer,
     )
     from repro.store.cache import DecodeCache
@@ -482,8 +482,8 @@ def closed_loop(
         statuses: dict[str, int] = {}
 
         def run_client(qs: list) -> None:
-            with StoreClient(
-                "127.0.0.1", server.port, max_retries=0, timeout_s=30.0
+            with connect(
+                f"http://127.0.0.1:{server.port}", max_retries=0, timeout_s=30.0
             ) as client:
                 for q in qs:
                     t0 = _time.perf_counter()
@@ -507,7 +507,7 @@ def closed_loop(
             for t in threads:
                 t.join()
             wall_s = _time.perf_counter() - t0
-            with StoreClient("127.0.0.1", server.port) as probe:
+            with connect(f"http://127.0.0.1:{server.port}") as probe:
                 admission = probe.metrics()["server"]["admission"]
 
         offered = clients * requests_per_client
@@ -593,10 +593,10 @@ def churn(
     import threading
     import time as _time
 
+    from repro.api import connect
     from repro.server import (
         BackgroundServer,
         ServerUnavailableError,
-        StoreClient,
         StoreServer,
     )
     from repro.store.__main__ import synthetic_ops
@@ -655,8 +655,9 @@ def churn(
             acked = 0
 
             def run_reader(qs: list) -> None:
-                with StoreClient(
-                    "127.0.0.1", server.port, max_retries=0, timeout_s=30.0
+                with connect(
+                    f"http://127.0.0.1:{server.port}", max_retries=0,
+                    timeout_s=30.0,
                 ) as client:
                     for q in qs:
                         t0 = _time.perf_counter()
@@ -672,8 +673,9 @@ def churn(
 
             def run_writer() -> None:
                 nonlocal acked
-                with StoreClient(
-                    "127.0.0.1", server.port, max_retries=3, timeout_s=30.0
+                with connect(
+                    f"http://127.0.0.1:{server.port}", max_retries=3,
+                    timeout_s=30.0,
                 ) as client:
                     for i, batch in enumerate(batches):
                         t0 = _time.perf_counter()
@@ -696,7 +698,7 @@ def churn(
                 for t in threads:
                     t.join()
                 wall_s = _time.perf_counter() - t0
-                with StoreClient("127.0.0.1", server.port) as probe:
+                with connect(f"http://127.0.0.1:{server.port}") as probe:
                     metrics = probe.metrics()
             store.close(compact=False)
 
@@ -743,6 +745,245 @@ def churn(
     return rows
 
 
+def cluster(
+    codecs: Sequence[str] | None = None,
+    repeat: int = 1,
+    n_shards: int = 4,
+    n_terms: int = 16,
+    list_size: int = 1_000,
+    domain: int = 2**16,
+    seed: int = 20170601,
+    n_backends: int = 3,
+    replication: int = 2,
+    clients: int = 6,
+    requests_per_client: int = 10,
+    slow_shard_ms: float = 200.0,
+    hedge_max_ms: float = 50.0,
+    kill_after_fraction: float = 0.3,
+) -> list[MetricRow]:
+    """Scatter-gather serving: a router over real backend *processes*.
+
+    Not a paper experiment — this measures :mod:`repro.cluster` end to
+    end, with backends as separate ``python -m repro.server``
+    subprocesses (so the failover phase can SIGKILL one for real).  Per
+    codec, one store is saved once and served identically by
+    ``n_backends`` subprocess backends at the given ``replication``;
+    one backend (chosen so it is a cold-start primary) drags every
+    shard by ``slow_shard_ms`` — the straggler hedging exists to beat.
+    Four phases, each a fresh closed loop of ``clients`` ×
+    ``requests_per_client`` queries with no retries:
+
+    1. **baseline** — straight at one fast backend (no router);
+    2. **unhedged** — through a fresh router with hedging off: cold
+       placement sends every slow-primary group into the straggler, so
+       its p99 carries the full ``slow_shard_ms``;
+    3. **hedged** — a fresh router with the hedge-delay band capped at
+       ``hedge_max_ms``: the speculative replica rescues those groups,
+       which is the p99 cut the CI job asserts on;
+    4. **failover** — hedged router again; after ``kill_after_fraction``
+       of requests one *fast* backend is SIGKILLed mid-loop.  With
+       ``replication >= 2`` every query must still answer
+       (``status != failed``), counted in ``extra["failover"]``.
+
+    ``intersect_ms`` reports the hedged-phase p99.  ``repeat`` is
+    accepted for CLI uniformity but unused.
+    """
+    del repeat
+    import json as _json
+    import os
+    import signal
+    import subprocess
+    import sys
+    import tempfile
+    import threading
+    import time as _time
+
+    from repro.api import connect
+    from repro.cluster import Backend, ClusterRouter, ShardMap
+    from repro.server import BackgroundServer, ServerUnavailableError
+    from repro.store.__main__ import build_store
+
+    names = list(codecs) if codecs is not None else ["Roaring"]
+    rows = []
+    for name in names:
+        store = build_store(
+            n_shards, n_terms, name, "uniform", list_size, domain, seed
+        )
+        shards = tuple(sorted(store.shard_names()))
+        rng = np.random.default_rng(seed)
+
+        # Cold-start primaries are placement order, so pick the
+        # straggler as a backend that is primary for >= 1 group.
+        probe = ShardMap(
+            tuple(
+                Backend(backend_id=f"b{i}", host="127.0.0.1", port=1)
+                for i in range(n_backends)
+            ),
+            shards,
+            replication=replication,
+        )
+        slow_idx = int(probe.replicas(shards[0])[0][1:])
+        fast_idx = next(i for i in range(n_backends) if i != slow_idx)
+
+        def hot() -> str:
+            return f"t{int(rng.random() ** 2 * n_terms) % n_terms:03d}"
+
+        plans = []
+        for _c in range(clients):
+            qs: list = []
+            for q in range(requests_per_client):
+                shape = q % 3
+                if shape == 0:
+                    qs.append(Term(hot()))
+                elif shape == 1:
+                    qs.append(Or(hot(), hot()))
+                else:
+                    qs.append(And(Or(hot(), hot()), hot()))
+            plans.append(qs)
+
+        def run_loop(port: int, on_request=None) -> tuple[dict, list[float]]:
+            lock = threading.Lock()
+            latencies: list[float] = []
+            statuses: dict[str, int] = {}
+            sent = [0]
+
+            def run_client(qs: list) -> None:
+                with connect(
+                    f"http://127.0.0.1:{port}", max_retries=0, timeout_s=30.0
+                ) as target:
+                    for q in qs:
+                        with lock:
+                            sent[0] += 1
+                            n_sent = sent[0]
+                        if on_request is not None:
+                            on_request(n_sent)
+                        t0 = _time.perf_counter()
+                        try:
+                            status = target.query(q).status
+                        except ServerUnavailableError:
+                            status = "unavailable"
+                        ms = (_time.perf_counter() - t0) * 1000.0
+                        with lock:
+                            statuses[status] = statuses.get(status, 0) + 1
+                            latencies.append(ms)
+
+            threads = [
+                threading.Thread(target=run_client, args=(qs,))
+                for qs in plans
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            return statuses, sorted(latencies)
+
+        def pct(sorted_ms: list[float], p: float) -> float:
+            if not sorted_ms:
+                return float("nan")
+            return sorted_ms[min(len(sorted_ms) - 1, int(p * len(sorted_ms)))]
+
+        with tempfile.TemporaryDirectory(prefix="repro-cluster-") as tmp:
+            store_dir = os.path.join(tmp, "store")
+            store.save(store_dir)
+            procs: list[subprocess.Popen] = []
+            try:
+                backend_ports = []
+                for i in range(n_backends):
+                    argv = [
+                        sys.executable, "-m", "repro.server",
+                        "--store", store_dir, "--port", "0",
+                    ]
+                    if i == slow_idx:
+                        for shard in shards:
+                            argv += ["--slow-shard", f"{shard}:{slow_shard_ms}"]
+                    proc = subprocess.Popen(
+                        argv, stdout=subprocess.PIPE, text=True
+                    )
+                    procs.append(proc)
+                    line = proc.stdout.readline()
+                    backend_ports.append(
+                        int(_json.loads(line)["listening"].rsplit(":", 1)[1])
+                    )
+                backends = tuple(
+                    Backend(backend_id=f"b{i}", host="127.0.0.1", port=p)
+                    for i, p in enumerate(backend_ports)
+                )
+                shardmap = ShardMap(backends, shards, replication=replication)
+
+                def routed_loop(hedge: bool, on_request=None):
+                    router = ClusterRouter(
+                        shardmap, hedge=hedge, hedge_max_ms=hedge_max_ms
+                    )
+                    with BackgroundServer(router) as bg:
+                        statuses, ms = run_loop(bg.port, on_request)
+                    return router, statuses, ms
+
+                base_statuses, base_ms = run_loop(backend_ports[fast_idx])
+                _, unhedged_statuses, unhedged_ms = routed_loop(hedge=False)
+                hedged_router, hedged_statuses, hedged_ms = routed_loop(
+                    hedge=True
+                )
+
+                total = clients * requests_per_client
+                kill_at = max(1, int(total * kill_after_fraction))
+                victim = procs[fast_idx]
+                kill_lock = threading.Lock()
+                killed = [False]
+
+                def kill_one(n_sent: int) -> None:
+                    with kill_lock:
+                        if n_sent < kill_at or killed[0]:
+                            return
+                        killed[0] = True
+                    os.kill(victim.pid, signal.SIGKILL)
+                    victim.wait()
+
+                failover_router, failover_statuses, failover_ms = routed_loop(
+                    hedge=True, on_request=kill_one
+                )
+            finally:
+                for proc in procs:
+                    if proc.poll() is None:
+                        proc.kill()
+                    proc.wait()
+
+        sizes = sum(store.shard(s).size_bytes for s in store.shard_names())
+        codec = store.shard(shards[0]).codec
+        row = MetricRow(
+            name,
+            codec.family if name != "Adaptive" else "hybrid",
+            "cluster",
+            space_bytes=sizes,
+        )
+        row.intersect_ms = pct(hedged_ms, 0.99)
+        row.extra = {
+            "backends": n_backends,
+            "replication": replication,
+            "slow_backend": f"b{slow_idx}",
+            "slow_shard_ms": slow_shard_ms,
+            "baseline_p50_ms": pct(base_ms, 0.50),
+            "baseline_p99_ms": pct(base_ms, 0.99),
+            "baseline_statuses": dict(sorted(base_statuses.items())),
+            "unhedged_p99_ms": pct(unhedged_ms, 0.99),
+            "unhedged_statuses": dict(sorted(unhedged_statuses.items())),
+            "hedged_p99_ms": pct(hedged_ms, 0.99),
+            "hedged_statuses": dict(sorted(hedged_statuses.items())),
+            "hedged": hedged_router.metrics.hedged,
+            "hedge_wins": hedged_router.metrics.hedge_wins,
+            "failover": {
+                "killed_backend": f"b{fast_idx}",
+                "kill_after_requests": kill_at,
+                "p99_ms": pct(failover_ms, 0.99),
+                "statuses": dict(sorted(failover_statuses.items())),
+                "failovers": failover_router.metrics.failovers,
+                "failed": failover_statuses.get("failed", 0)
+                + failover_statuses.get("unavailable", 0),
+            },
+        }
+        rows.append(row)
+    return rows
+
+
 #: Experiment registry for the CLI and the integration tests:
 #: id → (function, metric columns to print).
 EXPERIMENTS = {
@@ -762,4 +1003,5 @@ EXPERIMENTS = {
     "served": (served, ("intersect_ms", "space_bytes")),
     "closed_loop": (closed_loop, ("intersect_ms", "space_bytes")),
     "churn": (churn, ("intersect_ms", "space_bytes")),
+    "cluster": (cluster, ("intersect_ms", "space_bytes")),
 }

@@ -1,0 +1,745 @@
+"""Scatter-gather query routing over multiple :class:`StoreServer` backends.
+
+The :class:`ClusterRouter` speaks the *same* wire protocol as a single
+server — ``POST /query``, ``POST /ingest``, ``GET /metrics``, ``GET
+/healthz`` — plus ``GET /shardmap``, so :func:`repro.api.connect`
+points at either interchangeably.  Per query it:
+
+1. resolves the requested shards to replica groups via the
+   :class:`~repro.cluster.shardmap.ShardMap` (shards with identical
+   replica sets travel in one backend request);
+2. fans the groups out concurrently, **hedging** each: if the chosen
+   replica has not answered within a delay derived from its rolling p95
+   latency, a speculative copy goes to the next replica and the first
+   answer wins (the loser is cancelled — one straggler no longer sets
+   the query's latency);
+3. fails over sequentially through remaining replicas when a request
+   errors outright, preferring backends that are not in **cooldown**
+   (a backend that sheds with 503 is deprioritised until its
+   ``Retry-After`` horizon passes — admission-aware routing);
+4. merges the partial answers: values are unioned (shards partition the
+   document space, mirroring the engine's own cross-shard union),
+   degraded flags are OR-ed, and the response ``detail`` reports the
+   distributed facts — ``replicas {answered, of}``, per-backend
+   ``failed_shards`` attribution, hedge counts, and the current
+   ``max_staleness_ms`` replication bound.
+
+The merged status keeps the single-node taxonomy (``failed`` >
+``timed_out`` > ``partial`` > ``ok``): a query only fails outright when
+*no* replica group answered; anything less is a degraded-but-useful
+answer, exactly like a single server with a slow shard.
+
+**Replication** is write-side: ``POST /ingest`` is applied durably on
+each shard's primary, acknowledged, and then *shipped* asynchronously
+to follower replicas (the same batch, re-posted to their ``/ingest``).
+Followers therefore serve reads with bounded staleness; the bound
+(age of the oldest unshipped batch) is surfaced as
+``max_staleness_ms`` in query details and router metrics.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.api.errors import BackendUnavailableError, ProtocolError, ShardMapError
+from repro.cluster.metrics import RouterMetrics
+from repro.cluster.shardmap import ShardMap
+from repro.cluster.transport import backend_request_json
+from repro.server.app import BadHttpRequest, encode_http_response, read_http_request
+from repro.server.protocol import (
+    DEADLINE_HEADER,
+    HTTP_STATUS_FOR,
+    SHARDMAP_VERSION_HEADER,
+    IngestRequest,
+    IngestResponse,
+    QueryRequest,
+    QueryResponse,
+)
+
+#: Hedge delay bounds (ms).  The delay is the chosen replica's rolling
+#: p95, clamped to this band: the floor stops a warmed-up fast backend
+#: from hedging every request, the ceiling keeps hedging useful when
+#: the p95 itself has blown up.
+DEFAULT_HEDGE_MIN_MS = 5.0
+DEFAULT_HEDGE_MAX_MS = 500.0
+#: Hedge delay before any samples exist.
+DEFAULT_HEDGE_COLD_MS = 50.0
+#: Cooldown applied when a backend sheds and sends no Retry-After.
+DEFAULT_COOLDOWN_S = 1.0
+#: Ship attempts per follower batch before it is dropped (counted).
+DEFAULT_SHIP_RETRIES = 8
+
+_SEVERITY = {"ok": 0, "partial": 1, "timed_out": 2, "failed": 3}
+
+
+class _GroupAnswer:
+    """Outcome of one replica group's scatter leg."""
+
+    __slots__ = ("shards", "backend_id", "response", "error", "attempts",
+                 "hedged")
+
+    def __init__(self, shards, backend_id=None, response=None, error=None,
+                 attempts=0, hedged=False):
+        self.shards = shards
+        self.backend_id = backend_id
+        self.response = response  # QueryResponse | None
+        self.error = error  # str | None
+        self.attempts = attempts
+        self.hedged = hedged
+
+    @property
+    def answered(self) -> bool:
+        """A usable answer: the backend executed the group's sub-query.
+
+        An answered-``failed`` response (backend 500) is *not* usable —
+        for merging purposes it degrades the group exactly like an
+        unreachable backend.
+        """
+        return self.response is not None and self.response.status != "failed"
+
+
+def _retrieve_exception(task: "asyncio.Task") -> None:
+    """Done-callback: consume a raced-and-lost leg's exception quietly."""
+    if not task.cancelled():
+        task.exception()
+
+
+class ClusterRouter:
+    """The scatter-gather front-end; lifecycle mirrors StoreServer.
+
+    Args:
+        shardmap: placement + topology (version served at /shardmap).
+        host / port: bind address; port 0 picks a free port.
+        timeout_s: per-backend-request transport timeout.
+        hedge: enable hedged (speculative) reads.
+        hedge_min_ms / hedge_max_ms / hedge_cold_ms: hedge-delay band
+            and the cold-start delay used before p95 samples exist.
+        cooldown_s: shed-backend cooldown when no Retry-After arrives.
+        ship_retries: follower-ship attempts before dropping a batch.
+
+    Run with :class:`repro.server.app.BackgroundServer` (same
+    ``start``/``stop``/``port`` surface) or ``python -m repro.cluster``.
+    """
+
+    def __init__(
+        self,
+        shardmap: ShardMap,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        timeout_s: float = 10.0,
+        hedge: bool = True,
+        hedge_min_ms: float = DEFAULT_HEDGE_MIN_MS,
+        hedge_max_ms: float = DEFAULT_HEDGE_MAX_MS,
+        hedge_cold_ms: float = DEFAULT_HEDGE_COLD_MS,
+        cooldown_s: float = DEFAULT_COOLDOWN_S,
+        ship_retries: int = DEFAULT_SHIP_RETRIES,
+    ) -> None:
+        self.map = shardmap
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+        self.hedge = hedge
+        self.hedge_min_ms = hedge_min_ms
+        self.hedge_max_ms = hedge_max_ms
+        self.hedge_cold_ms = hedge_cold_ms
+        self.cooldown_s = cooldown_s
+        self.ship_retries = ship_retries
+        self.metrics = RouterMetrics(
+            tuple(b.backend_id for b in shardmap.backends)
+        )
+        self.in_flight = 0
+        self._server: asyncio.AbstractServer | None = None
+        self._writers: set[asyncio.StreamWriter] = set()
+        # Follower replication: one FIFO + drain task per backend.
+        # Entries: (enqueue_loop_time, ingest_body_dict).
+        self._ship_queues: dict[str, asyncio.Queue] = {}
+        self._ship_tasks: list[asyncio.Task] = []
+        self._ship_oldest: dict[str, float | None] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle (BackgroundServer-compatible)
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        for backend in self.map.backends:
+            queue: asyncio.Queue = asyncio.Queue()
+            self._ship_queues[backend.backend_id] = queue
+            self._ship_oldest[backend.backend_id] = None
+            self._ship_tasks.append(
+                asyncio.create_task(self._ship_loop(backend.backend_id, queue))
+            )
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in self._ship_tasks:
+            task.cancel()
+        for task in self._ship_tasks:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._ship_tasks.clear()
+        for writer in list(self._writers):
+            writer.close()
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing (shared with StoreServer)
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        self._writers.add(writer)
+        try:
+            while True:
+                request = await read_http_request(reader)
+                if request is None:
+                    break
+                keep_alive = await self._dispatch(request, writer)
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except BadHttpRequest as exc:
+            try:
+                writer.write(
+                    encode_http_response(
+                        400, {"error": str(exc)}, keep_alive=False
+                    )
+                )
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _respond(self, writer, code, body, *, keep_alive,
+                       extra_headers=()) -> None:
+        writer.write(
+            encode_http_response(
+                code, body, keep_alive=keep_alive, extra_headers=extra_headers
+            )
+        )
+        await writer.drain()
+
+    async def _dispatch(self, request, writer) -> bool:
+        method, target, headers, body = request
+        target = target.split("?", 1)[0]
+        keep_alive = headers.get("connection", "keep-alive").lower() != "close"
+        if target == "/query" and method == "POST":
+            await self._handle_query(headers, body, writer, keep_alive)
+            return keep_alive
+        if target == "/ingest" and method == "POST":
+            await self._handle_ingest(headers, body, writer, keep_alive)
+            return keep_alive
+        if target == "/shardmap" and method == "GET":
+            await self._respond(
+                writer,
+                200,
+                self.map.to_json(),
+                keep_alive=keep_alive,
+                extra_headers=(
+                    (SHARDMAP_VERSION_HEADER, str(self.map.version)),
+                ),
+            )
+            return keep_alive
+        if target == "/healthz" and method == "GET":
+            await self._respond(
+                writer,
+                200,
+                {
+                    "status": "ok",
+                    "role": "router",
+                    "backends": len(self.map.backends),
+                    "shards": len(self.map.shards),
+                    "shard_names": sorted(self.map.shards),
+                    "replication": self.map.replication,
+                    "shardmap_version": self.map.version,
+                    "in_flight": self.in_flight,
+                },
+                keep_alive=keep_alive,
+            )
+            return keep_alive
+        if target == "/metrics" and method == "GET":
+            loop = asyncio.get_running_loop()
+            await self._respond(
+                writer,
+                200,
+                self.metrics.snapshot(
+                    now=loop.time(),
+                    shardmap_version=self.map.version,
+                    max_staleness_ms=self._max_staleness_ms(loop.time()),
+                ),
+                keep_alive=keep_alive,
+            )
+            return keep_alive
+        if target in ("/query", "/ingest"):
+            await self._respond(
+                writer, 405, {"error": f"use POST {target}"},
+                keep_alive=keep_alive,
+            )
+            return keep_alive
+        await self._respond(
+            writer, 404, {"error": f"no such endpoint: {target}"},
+            keep_alive=keep_alive,
+        )
+        return keep_alive
+
+    def _check_map_version(self, headers: dict[str, str]) -> dict | None:
+        """410 body if the caller pinned a shard-map version we don't serve."""
+        raw = headers.get(SHARDMAP_VERSION_HEADER.lower())
+        if raw is None:
+            return None
+        try:
+            pinned = int(raw)
+        except ValueError:
+            raise ProtocolError(
+                f"bad {SHARDMAP_VERSION_HEADER} header: {raw!r}"
+            ) from None
+        if pinned == self.map.version:
+            return None
+        self.metrics.stale_map_rejects += 1
+        return {
+            "error": (
+                f"shard map v{pinned} is not current; refetch GET /shardmap"
+            ),
+            "current_version": self.map.version,
+        }
+
+    # ------------------------------------------------------------------
+    # /query: scatter, hedge, gather
+    # ------------------------------------------------------------------
+    async def _handle_query(self, headers, body, writer, keep_alive) -> None:
+        loop = asyncio.get_running_loop()
+        t0 = loop.time()
+        try:
+            stale = self._check_map_version(headers)
+            if stale is not None:
+                await self._respond(
+                    writer, 410, stale, keep_alive=keep_alive,
+                    extra_headers=(
+                        (SHARDMAP_VERSION_HEADER, str(self.map.version)),
+                    ),
+                )
+                return
+            try:
+                parsed = json.loads(body.decode("utf-8")) if body else None
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise ProtocolError(
+                    f"request body is not valid JSON: {exc}"
+                ) from exc
+            request = QueryRequest.from_body(parsed)
+            shards = request.shards if request.shards is not None else self.map.shards
+            groups = self.map.groups(shards)
+        except (ProtocolError, ShardMapError) as exc:
+            await self._respond(
+                writer, 400, {"error": str(exc)}, keep_alive=keep_alive
+            )
+            self.metrics.record_query("bad_request", (loop.time() - t0) * 1000.0)
+            return
+
+        self.in_flight += 1
+        try:
+            deadline_raw = headers.get(DEADLINE_HEADER.lower())
+            answers = await asyncio.gather(
+                *(
+                    self._query_group(replicas, group_shards, request, deadline_raw)
+                    for replicas, group_shards in groups.items()
+                )
+            )
+            response = self._merge(request, answers, (loop.time() - t0) * 1000.0)
+        finally:
+            self.in_flight -= 1
+        await self._respond(
+            writer,
+            HTTP_STATUS_FOR[response.status],
+            response.to_body(),
+            keep_alive=keep_alive,
+        )
+        self.metrics.record_query(response.status, (loop.time() - t0) * 1000.0)
+
+    def _ranked(self, replicas: tuple[str, ...]) -> list[str]:
+        """Replicas by preference: out-of-cooldown first, fastest p95 first."""
+        loop = asyncio.get_running_loop()
+        now = loop.time()
+        return sorted(
+            replicas,
+            key=lambda bid: (
+                self.metrics.backend(bid).in_cooldown(now),
+                self.metrics.backend(bid).p95_ms(self.hedge_cold_ms),
+            ),
+        )
+
+    def _hedge_delay_s(self, backend_id: str) -> float:
+        p95 = self.metrics.backend(backend_id).p95_ms(self.hedge_cold_ms)
+        return min(self.hedge_max_ms, max(self.hedge_min_ms, p95)) / 1000.0
+
+    async def _fetch_group(
+        self, backend_id: str, shards, request: QueryRequest, deadline_raw
+    ) -> QueryResponse:
+        """One backend leg; raises BackendUnavailableError on any non-answer."""
+        loop = asyncio.get_running_loop()
+        backend = self.map.backend(backend_id)
+        sub = QueryRequest(
+            query=request.query,
+            shards=tuple(shards),
+            query_id=request.query_id,
+            strict=False,  # degradation is merged and escalated router-side
+        )
+        extra = ()
+        if deadline_raw is not None:
+            extra = ((DEADLINE_HEADER, deadline_raw),)
+        t0 = loop.time()
+        self.metrics.fanout_requests += 1
+        status, resp_headers, parsed = await backend_request_json(
+            backend_id, backend.host, backend.port,
+            "POST", "/query", sub.to_body(),
+            headers=extra, timeout_s=self.timeout_s,
+        )
+        latency_ms = (loop.time() - t0) * 1000.0
+        stats = self.metrics.backend(backend_id)
+        if status == 503:
+            retry_after = resp_headers.get("retry-after")
+            try:
+                cooldown = float(retry_after) if retry_after else self.cooldown_s
+            except ValueError:
+                cooldown = self.cooldown_s
+            stats.record_shed(loop.time() + max(0.0, cooldown))
+            raise BackendUnavailableError(backend_id, "shed the request (503)")
+        if status not in (200, 500):
+            stats.record_failure()
+            raise BackendUnavailableError(
+                backend_id,
+                f"HTTP {status}: {parsed.get('error', 'unexpected status')}",
+            )
+        stats.record_success(latency_ms)
+        return QueryResponse.from_body(parsed)
+
+    async def _query_group(
+        self, replicas, shards, request: QueryRequest, deadline_raw
+    ) -> _GroupAnswer:
+        """Resolve one replica group: hedge the first two, fail over the rest."""
+        order = self._ranked(replicas)
+        attempts = 0
+        errors: list[str] = []
+
+        async def leg(bid: str) -> tuple[str, QueryResponse]:
+            return bid, await self._fetch_group(bid, shards, request, deadline_raw)
+
+        primary_task = asyncio.create_task(leg(order[0]))
+        attempts += 1
+        racing: dict[asyncio.Task, str] = {primary_task: order[0]}
+        hedge_task = None
+        if self.hedge and len(order) > 1:
+            done, _ = await asyncio.wait(
+                {primary_task}, timeout=self._hedge_delay_s(order[0])
+            )
+            if not done:
+                hedge_task = asyncio.create_task(leg(order[1]))
+                attempts += 1
+                racing[hedge_task] = order[1]
+                self.metrics.hedged += 1
+
+        winner: tuple[str, QueryResponse] | None = None
+        winner_was_hedge = False
+        pending = set(racing)
+        while pending and winner is None:
+            done, pending = await asyncio.wait(
+                pending, return_when=asyncio.FIRST_COMPLETED
+            )
+            for task in done:
+                exc = task.exception()
+                if exc is None:
+                    if winner is None:
+                        winner = task.result()
+                        winner_was_hedge = task is hedge_task
+                else:
+                    errors.append(f"{racing[task]}: {exc}")
+        for task in pending:
+            task.add_done_callback(_retrieve_exception)
+            task.cancel()
+        if winner is not None:
+            if winner_was_hedge:
+                self.metrics.hedge_wins += 1
+            return _GroupAnswer(
+                shards, backend_id=winner[0], response=winner[1],
+                attempts=attempts, hedged=hedge_task is not None,
+            )
+
+        # Both raced replicas failed — sequential failover over the rest.
+        tried = {order[0]} | ({order[1]} if hedge_task is not None else set())
+        for bid in order:
+            if bid in tried:
+                continue
+            attempts += 1
+            self.metrics.failovers += 1
+            try:
+                response = (await leg(bid))[1]
+                return _GroupAnswer(
+                    shards, backend_id=bid, response=response,
+                    attempts=attempts, hedged=hedge_task is not None,
+                )
+            except BackendUnavailableError as exc:
+                errors.append(f"{bid}: {exc}")
+        return _GroupAnswer(
+            shards,
+            error="; ".join(errors) or "no replica available",
+            attempts=attempts, hedged=hedge_task is not None,
+        )
+
+    def _merge(
+        self, request: QueryRequest, answers, latency_ms: float
+    ) -> QueryResponse:
+        """Fold group answers into one wire response (union semantics).
+
+        Status composition mirrors the single-node taxonomy: ``failed``
+        only when *no* group produced a usable answer; an unreachable
+        or failed group otherwise degrades the merged result to
+        ``partial`` with its shards attributed in ``failed_shards`` —
+        the distributed analogue of the engine skipping a broken shard.
+        """
+        answered = [a for a in answers if a.answered]
+        dead = [a for a in answers if not a.answered]
+        loop = asyncio.get_running_loop()
+
+        failed_shards: list[str] = []
+        failed_backends: dict[str, list[str]] = {}
+        degraded_terms: list[str] = []
+        values: set[int] = set()
+        shards_queried = 0
+        severity = 0  # max over usable answers: ok=0 partial=1 timed_out=2
+        first_error = None
+        for a in answered:
+            r = a.response
+            severity = max(severity, min(_SEVERITY.get(r.status, 2), 2))
+            if r.values is not None:
+                values.update(r.values)
+            shards_queried += r.shards_queried
+            failed_shards.extend(r.failed_shards)
+            degraded_terms.extend(r.degraded_terms)
+            if r.error and first_error is None:
+                first_error = f"{a.backend_id}: {r.error}"
+        for a in dead:
+            failed_shards.extend(a.shards)
+            if a.response is not None:  # answered 500-failed
+                error = f"{a.backend_id}: {a.response.error or 'failed'}"
+                if a.backend_id:
+                    failed_backends.setdefault(a.backend_id, []).extend(a.shards)
+            else:
+                error = a.error
+                for part in (a.error or "").split("; "):
+                    bid = part.split(":", 1)[0]
+                    if bid in self.metrics.backends:
+                        failed_backends.setdefault(bid, []).extend(a.shards)
+            if first_error is None:
+                first_error = error
+            severity = max(severity, 1)
+
+        if not answered:
+            status = "failed"
+            out_values = None
+        else:
+            status = ("ok", "partial", "timed_out")[severity]
+            out_values = sorted(values)
+
+        detail: dict = {
+            "replicas": {"answered": len(answered), "of": len(answers)},
+            "shardmap_version": self.map.version,
+            "max_staleness_ms": round(self._max_staleness_ms(loop.time()), 3),
+        }
+        hedged = sum(1 for a in answers if a.hedged)
+        if hedged:
+            detail["hedged_groups"] = hedged
+        if failed_backends:
+            detail["failed_backends"] = {
+                bid: sorted(set(shards))
+                for bid, shards in sorted(failed_backends.items())
+            }
+        if status not in ("ok", "failed") and request.strict:
+            detail["strict_violation"] = status
+            status = "failed"
+
+        return QueryResponse(
+            status=status,
+            values=out_values if status != "failed" else None,
+            n_results=len(out_values) if (
+                out_values is not None and status != "failed"
+            ) else None,
+            latency_ms=latency_ms,
+            partial=severity >= 1,
+            timed_out=severity >= 2,
+            error=first_error,
+            shards_queried=shards_queried,
+            failed_shards=tuple(dict.fromkeys(failed_shards)),
+            degraded_terms=tuple(dict.fromkeys(degraded_terms)),
+            query_id=request.query_id,
+            detail=detail,
+        )
+
+    # ------------------------------------------------------------------
+    # /ingest: primary-durable writes + follower shipping
+    # ------------------------------------------------------------------
+    async def _handle_ingest(self, headers, body, writer, keep_alive) -> None:
+        loop = asyncio.get_running_loop()
+        t0 = loop.time()
+        try:
+            stale = self._check_map_version(headers)
+            if stale is not None:
+                await self._respond(
+                    writer, 410, stale, keep_alive=keep_alive,
+                    extra_headers=(
+                        (SHARDMAP_VERSION_HEADER, str(self.map.version)),
+                    ),
+                )
+                return
+            try:
+                parsed = json.loads(body.decode("utf-8")) if body else None
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise ProtocolError(
+                    f"request body is not valid JSON: {exc}"
+                ) from exc
+            request = IngestRequest.from_body(parsed)
+            by_primary: dict[str, list] = {}
+            by_follower: dict[str, list] = {}
+            for op in request.ops:
+                replicas = self.map.replicas(op[1])  # raises on unknown shard
+                by_primary.setdefault(replicas[0], []).append(op)
+                for follower in replicas[1:]:
+                    by_follower.setdefault(follower, []).append(op)
+        except (ProtocolError, ShardMapError) as exc:
+            await self._respond(
+                writer, 400, {"error": str(exc)}, keep_alive=keep_alive
+            )
+            return
+
+        self.metrics.ingest_batches += 1
+        outcomes = await asyncio.gather(
+            *(
+                self._ingest_primary(bid, ops, request.batch_id)
+                for bid, ops in by_primary.items()
+            ),
+            return_exceptions=True,
+        )
+        acked = 0
+        pending = 0
+        generation = 0
+        errors = []
+        for outcome in outcomes:
+            if isinstance(outcome, BaseException):
+                errors.append(str(outcome))
+                continue
+            resp = outcome
+            if resp.ok:
+                acked += resp.acked_ops
+                pending += resp.pending_ops
+                generation = max(generation, resp.generation)
+            else:
+                errors.append(resp.error or "ingest failed")
+        if errors:
+            self.metrics.ingest_failed += 1
+            response = IngestResponse(
+                status="failed",
+                acked_ops=acked,
+                latency_ms=(loop.time() - t0) * 1000.0,
+                error="; ".join(errors),
+                batch_id=request.batch_id,
+            )
+            await self._respond(
+                writer, 500, response.to_body(), keep_alive=keep_alive
+            )
+            return
+
+        # Durable on every primary — ack now, ship to followers async.
+        now = loop.time()
+        for bid, ops in by_follower.items():
+            sub = IngestRequest(ops=tuple(ops), batch_id=request.batch_id)
+            if self._ship_oldest.get(bid) is None:
+                self._ship_oldest[bid] = now
+            self._ship_queues[bid].put_nowait((now, sub.to_body()))
+        response = IngestResponse(
+            status="ok",
+            acked_ops=acked,
+            latency_ms=(loop.time() - t0) * 1000.0,
+            pending_ops=pending,
+            generation=generation,
+            batch_id=request.batch_id,
+        )
+        await self._respond(
+            writer, 200, response.to_body(), keep_alive=keep_alive
+        )
+
+    async def _ingest_primary(
+        self, backend_id: str, ops, batch_id: str
+    ) -> IngestResponse:
+        backend = self.map.backend(backend_id)
+        sub = IngestRequest(ops=tuple(ops), batch_id=batch_id)
+        status, _headers, parsed = await backend_request_json(
+            backend_id, backend.host, backend.port,
+            "POST", "/ingest", sub.to_body(), timeout_s=self.timeout_s,
+        )
+        if status not in (200, 500):
+            raise BackendUnavailableError(
+                backend_id,
+                f"HTTP {status}: {parsed.get('error', 'unexpected status')}",
+            )
+        return IngestResponse.from_body(parsed)
+
+    async def _ship_loop(self, backend_id: str, queue: asyncio.Queue) -> None:
+        """Drain one follower's ship queue; bounded retries per batch."""
+        backend = self.map.backend(backend_id)
+        loop = asyncio.get_running_loop()
+        while True:
+            enqueued_at, body = await queue.get()
+            self._ship_oldest[backend_id] = enqueued_at
+            delivered = False
+            for attempt in range(self.ship_retries):
+                try:
+                    status, _h, parsed = await backend_request_json(
+                        backend_id, backend.host, backend.port,
+                        "POST", "/ingest", body, timeout_s=self.timeout_s,
+                    )
+                    if status == 200:
+                        delivered = True
+                        break
+                    if status == 500 and parsed.get("status") == "failed":
+                        break  # the batch itself is bad; retrying re-fails
+                except BackendUnavailableError:
+                    pass
+                await asyncio.sleep(min(1.0, 0.05 * (2 ** attempt)))
+            if delivered:
+                self.metrics.shipped_batches += 1
+            else:
+                self.metrics.ship_failures += 1
+            # Advance the staleness bound to the next pending batch.
+            self._ship_oldest[backend_id] = None
+            if not queue.empty():
+                try:
+                    head = queue._queue[0]  # peek; same-loop access is safe
+                    self._ship_oldest[backend_id] = head[0]
+                except (AttributeError, IndexError):
+                    pass
+            queue.task_done()
+
+    def _max_staleness_ms(self, now: float) -> float:
+        """Worst-case follower lag: age of the oldest unshipped batch."""
+        oldest = [t for t in self._ship_oldest.values() if t is not None]
+        if not oldest:
+            return 0.0
+        return max(0.0, (now - min(oldest)) * 1000.0)

@@ -1,0 +1,240 @@
+"""Versioned, replicated shard placement via consistent hashing.
+
+A :class:`ShardMap` answers one question — *which backends hold this
+shard?* — deterministically, for every party that has the same map:
+the router, every backend, and any shard-aware client.  Placement uses
+a consistent-hash ring (each backend projected onto the ring at
+:data:`VNODES` pseudo-random points; a shard lands on the first
+:attr:`replication` *distinct* backends clockwise from its own point),
+so adding or removing one backend moves only ``~shards/backends``
+assignments instead of reshuffling everything — the property that makes
+rolling topology changes survivable.
+
+Maps are immutable and **versioned**: every topology change produces a
+new map with ``version + 1`` (:meth:`ShardMap.with_backends`).  The
+router serves its current map at ``GET /shardmap``; clients that pin a
+version send it in the :data:`~repro.server.protocol.SHARDMAP_VERSION_HEADER`
+header and are answered HTTP 410 when it lags, which is their signal to
+refetch and re-send (see :class:`repro.cluster.client.RouterClient`).
+
+Hashing is :func:`hashlib.sha1` over stable strings — *not* Python's
+``hash()``, which is salted per process and would give every process a
+different ring.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import json
+from dataclasses import dataclass
+
+from repro.api.errors import ShardMapError
+
+#: Virtual nodes per backend on the ring.  More vnodes = smoother
+#: balance (stddev of shard counts ~ 1/sqrt(vnodes)) at the cost of a
+#: longer sorted ring; 64 keeps a 3-backend ring balanced within a few
+#: percent.
+VNODES = 64
+
+
+def _ring_point(key: str) -> int:
+    """A stable 64-bit ring coordinate for *key*."""
+    return int.from_bytes(hashlib.sha1(key.encode("utf-8")).digest()[:8], "big")
+
+
+@dataclass(frozen=True)
+class Backend:
+    """One backend process: a stable identity plus its address."""
+
+    backend_id: str
+    host: str
+    port: int
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def to_json(self) -> dict:
+        return {"id": self.backend_id, "host": self.host, "port": self.port}
+
+    @classmethod
+    def from_json(cls, body: object) -> "Backend":
+        if not isinstance(body, dict):
+            raise ShardMapError(f"backend entry must be an object, got {body!r}")
+        backend_id = body.get("id")
+        host = body.get("host")
+        port = body.get("port")
+        if not isinstance(backend_id, str) or not backend_id:
+            raise ShardMapError(f"backend id must be a non-empty string: {body!r}")
+        if not isinstance(host, str) or not host:
+            raise ShardMapError(f"backend host must be a non-empty string: {body!r}")
+        if not isinstance(port, int) or isinstance(port, bool) or not 0 < port < 65536:
+            raise ShardMapError(f"backend port must be 1..65535: {body!r}")
+        return cls(backend_id=backend_id, host=host, port=port)
+
+
+class ShardMap:
+    """Immutable placement of *shards* over *backends* with replication.
+
+    Args:
+        backends: the serving processes; ids must be unique.
+        shards: every shard name the cluster serves.
+        replication: replicas per shard, ``1 <= replication <=
+            len(backends)``.
+        version: monotonically increasing topology version; bump it on
+            every change (:meth:`with_backends` does).
+    """
+
+    def __init__(
+        self,
+        backends: tuple[Backend, ...] | list[Backend],
+        shards: tuple[str, ...] | list[str],
+        *,
+        replication: int = 1,
+        version: int = 1,
+    ) -> None:
+        backends = tuple(backends)
+        shards = tuple(shards)
+        if not backends:
+            raise ShardMapError("a shard map needs at least one backend")
+        ids = [b.backend_id for b in backends]
+        if len(set(ids)) != len(ids):
+            raise ShardMapError(f"duplicate backend ids: {sorted(ids)}")
+        if len(set(shards)) != len(shards):
+            raise ShardMapError(f"duplicate shard names: {sorted(shards)}")
+        if not 1 <= replication <= len(backends):
+            raise ShardMapError(
+                f"replication must be 1..{len(backends)} "
+                f"(the backend count), got {replication}"
+            )
+        if not isinstance(version, int) or isinstance(version, bool) or version < 1:
+            raise ShardMapError(f"version must be a positive int, got {version!r}")
+        self.backends = backends
+        self.shards = shards
+        self.replication = replication
+        self.version = version
+        self._by_id = {b.backend_id: b for b in backends}
+        # The ring: sorted (point, backend_id) pairs, VNODES per backend.
+        pairs = sorted(
+            (_ring_point(f"{b.backend_id}#{v}"), b.backend_id)
+            for b in backends
+            for v in range(VNODES)
+        )
+        self._ring_points = [p for p, _ in pairs]
+        self._ring_ids = [bid for _, bid in pairs]
+        self._placement = {s: self._place(s) for s in shards}
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def _place(self, shard: str) -> tuple[str, ...]:
+        """First ``replication`` distinct backends clockwise of *shard*."""
+        start = bisect.bisect_left(self._ring_points, _ring_point(shard))
+        chosen: list[str] = []
+        n = len(self._ring_ids)
+        for i in range(n):
+            bid = self._ring_ids[(start + i) % n]
+            if bid not in chosen:
+                chosen.append(bid)
+                if len(chosen) == self.replication:
+                    break
+        return tuple(chosen)
+
+    def replicas(self, shard: str) -> tuple[str, ...]:
+        """Backend ids holding *shard*, primary first.
+
+        Raises :class:`ShardMapError` for a shard outside the map — the
+        router treats that as a client error, not a placement question.
+        """
+        try:
+            return self._placement[shard]
+        except KeyError:
+            raise ShardMapError(
+                f"shard {shard!r} is not in shard map v{self.version}"
+            ) from None
+
+    def backend(self, backend_id: str) -> Backend:
+        try:
+            return self._by_id[backend_id]
+        except KeyError:
+            raise ShardMapError(f"unknown backend id {backend_id!r}") from None
+
+    def groups(
+        self, shards: tuple[str, ...] | None = None
+    ) -> dict[tuple[str, ...], tuple[str, ...]]:
+        """Shards bucketed by replica set: ``{replica_ids: shard_names}``.
+
+        The router's scatter unit — every shard in a group lives on the
+        same replicas, so one backend request covers the whole group.
+        """
+        out: dict[tuple[str, ...], list[str]] = {}
+        for shard in self.shards if shards is None else shards:
+            out.setdefault(self.replicas(shard), []).append(shard)
+        return {k: tuple(v) for k, v in out.items()}
+
+    def followers(self, shard: str) -> tuple[str, ...]:
+        """Non-primary replicas of *shard* (replication-1 backends)."""
+        return self.replicas(shard)[1:]
+
+    # ------------------------------------------------------------------
+    # Evolution & serialization
+    # ------------------------------------------------------------------
+    def with_backends(
+        self,
+        backends: tuple[Backend, ...] | list[Backend],
+        *,
+        replication: int | None = None,
+    ) -> "ShardMap":
+        """A successor map (``version + 1``) over a new backend set."""
+        return ShardMap(
+            backends,
+            self.shards,
+            replication=self.replication if replication is None else replication,
+            version=self.version + 1,
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "version": self.version,
+            "replication": self.replication,
+            "backends": [b.to_json() for b in self.backends],
+            "shards": list(self.shards),
+        }
+
+    @classmethod
+    def from_json(cls, body: object) -> "ShardMap":
+        if isinstance(body, (str, bytes)):
+            try:
+                body = json.loads(body)
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise ShardMapError(f"shard map is not valid JSON: {exc}") from exc
+        if not isinstance(body, dict):
+            raise ShardMapError(
+                f"shard map must be a JSON object, got {type(body).__name__}"
+            )
+        raw_backends = body.get("backends")
+        raw_shards = body.get("shards")
+        if not isinstance(raw_backends, list) or not raw_backends:
+            raise ShardMapError("shard map needs a non-empty 'backends' list")
+        if not isinstance(raw_shards, list) or not all(
+            isinstance(s, str) for s in raw_shards
+        ):
+            raise ShardMapError("shard map needs a 'shards' list of names")
+        return cls(
+            [Backend.from_json(b) for b in raw_backends],
+            tuple(raw_shards),
+            replication=body.get("replication", 1),
+            version=body.get("version", 1),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ShardMap):
+            return NotImplemented
+        return self.to_json() == other.to_json()
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardMap(v{self.version}, {len(self.backends)} backends, "
+            f"{len(self.shards)} shards, r={self.replication})"
+        )

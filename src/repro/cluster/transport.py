@@ -1,0 +1,144 @@
+"""Asyncio HTTP client the router fans out over.
+
+One coroutine, :func:`backend_request`, speaks the same minimal
+HTTP/1.1 dialect :mod:`repro.server.app` serves.  Deliberately
+connection-per-request: hedged reads race two in-flight requests and
+cancel the loser, and cancelling a request on a *shared* keep-alive
+connection would poison it for the next caller (the abandoned response
+bytes are still coming).  A fresh connection makes cancellation exactly
+"close the socket" — the one operation that is always safe mid-flight.
+
+Every transport failure — refused connection, reset, timeout, garbled
+response — surfaces as :class:`~repro.api.errors.BackendUnavailableError`
+(``retryable=True``), the single signal the router's failover and
+hedging key off.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.api.errors import BackendUnavailableError
+
+#: Response bodies above this are a protocol violation, not a payload.
+MAX_RESPONSE_BYTES = 64 << 20
+
+
+async def backend_request(
+    backend_id: str,
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    body: bytes | None = None,
+    *,
+    headers: tuple[tuple[str, str], ...] = (),
+    timeout_s: float = 5.0,
+) -> tuple[int, dict[str, str], bytes]:
+    """One HTTP exchange with a backend: ``(status, headers, body)``.
+
+    Raises :class:`BackendUnavailableError` on any transport-level
+    failure; HTTP error *statuses* are returned, not raised — a 400 or
+    503 is an answer from a live backend and the router interprets it.
+    """
+    try:
+        return await asyncio.wait_for(
+            _exchange(host, port, method, path, body, headers),
+            timeout=timeout_s,
+        )
+    except asyncio.TimeoutError:
+        raise BackendUnavailableError(
+            backend_id, f"no response within {timeout_s:g}s"
+        ) from None
+    except (ConnectionError, OSError, asyncio.IncompleteReadError) as exc:
+        raise BackendUnavailableError(
+            backend_id, f"{type(exc).__name__}: {exc}"
+        ) from exc
+
+
+async def _exchange(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    body: bytes | None,
+    extra_headers: tuple[tuple[str, str], ...],
+) -> tuple[int, dict[str, str], bytes]:
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        payload = body or b""
+        lines = [
+            f"{method} {path} HTTP/1.1",
+            f"Host: {host}:{port}",
+            "Connection: close",
+            f"Content-Length: {len(payload)}",
+        ]
+        if payload:
+            lines.append("Content-Type: application/json")
+        lines += [f"{name}: {value}" for name, value in extra_headers]
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + payload)
+        await writer.drain()
+
+        status_line = await reader.readline()
+        parts = status_line.decode("latin-1").split(None, 2)
+        if len(parts) < 2 or not parts[1].isdigit():
+            raise ConnectionError(  # repro: noqa[REPRO108] -- wrapped into BackendUnavailableError by backend_request before escaping
+                f"garbled status line {status_line[:80]!r}"
+            )
+        status = int(parts[1])
+        headers: dict[str, str] = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n"):
+                break
+            if not raw:
+                raise asyncio.IncompleteReadError(partial=raw, expected=2)  # repro: noqa[REPRO108] -- wrapped into BackendUnavailableError by backend_request before escaping
+            name, sep, value = raw.decode("latin-1").partition(":")
+            if sep:
+                headers[name.strip().lower()] = value.strip()
+        length_text = headers.get("content-length")
+        if length_text is not None:
+            length = int(length_text) if length_text.isdigit() else -1
+            if not 0 <= length <= MAX_RESPONSE_BYTES:
+                raise ConnectionError(  # repro: noqa[REPRO108] -- wrapped into BackendUnavailableError by backend_request before escaping
+                    f"bad Content-Length {length_text!r}"
+                )
+            resp_body = await reader.readexactly(length) if length else b""
+        else:  # Connection: close with no length — read to EOF
+            resp_body = await reader.read(MAX_RESPONSE_BYTES)
+        return status, headers, resp_body
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def backend_request_json(
+    backend_id: str,
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    body: dict | None = None,
+    *,
+    headers: tuple[tuple[str, str], ...] = (),
+    timeout_s: float = 5.0,
+) -> tuple[int, dict[str, str], dict]:
+    """:func:`backend_request` with JSON bodies both ways."""
+    raw = json.dumps(body).encode("utf-8") if body is not None else None
+    status, resp_headers, payload = await backend_request(
+        backend_id, host, port, method, path, raw,
+        headers=headers, timeout_s=timeout_s,
+    )
+    try:
+        parsed = json.loads(payload.decode("utf-8")) if payload else {}
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise BackendUnavailableError(
+            backend_id, f"non-JSON response body for {method} {path}: {exc}"
+        ) from exc
+    if not isinstance(parsed, dict):
+        parsed = {"body": parsed}
+    return status, resp_headers, parsed

@@ -4,11 +4,26 @@ All library-raised exceptions derive from :class:`ReproError` so callers can
 catch everything from this package with a single ``except`` clause while
 still distinguishing user mistakes (:class:`InvalidInputError`) from data
 corruption (:class:`CorruptPayloadError`).
+
+Every class in the tree carries a ``retryable`` class attribute: ``True``
+means the operation failed for a transient, environmental reason (the
+server was busy, the socket dropped) and the *same* request may succeed
+if re-sent; ``False`` means re-sending the same bytes re-fails (bad
+input, corrupt data, contract violations).  The cluster router's
+failover and hedging logic keys off this single bit — see
+``repro.api.errors`` for the full annotated tree.
 """
 
 
 class ReproError(Exception):
-    """Base class for every exception raised by the repro library."""
+    """Base class for every exception raised by the repro library.
+
+    ``retryable`` defaults to ``False``: most library errors describe the
+    request or the data, and repeating them repeats the failure.
+    Transient serving-layer errors override it to ``True``.
+    """
+
+    retryable: bool = False
 
 
 class CodecError(ReproError):

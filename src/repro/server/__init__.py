@@ -16,14 +16,19 @@ shared service needs and a library call doesn't:
 
 Quickstart (see ``docs/serving.md`` for the wire protocol)::
 
-    from repro.server import BackgroundServer, StoreClient, StoreServer
+    from repro.api import connect
+    from repro.server import BackgroundServer, StoreServer
     from repro.store import And, PostingStore, QueryEngine
 
     engine = QueryEngine(store)
     with BackgroundServer(StoreServer(engine)) as server:
-        with StoreClient("127.0.0.1", server.port) as client:
+        with connect(f"http://127.0.0.1:{server.port}") as client:
             response = client.query(And("news", "2024"), deadline_ms=100)
             print(response.status, response.n_results)
+
+(:class:`StoreClient` remains exported for the transport layer, but
+direct construction is deprecated — go through
+:func:`repro.api.connect`.)
 
 Or from a shell::
 

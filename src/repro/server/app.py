@@ -65,6 +65,7 @@ _REASONS = {
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    410: "Gone",
     413: "Payload Too Large",
     500: "Internal Server Error",
     503: "Service Unavailable",
@@ -78,6 +79,48 @@ DEFAULT_WORKERS = 8
 
 class _BadRequest(Exception):
     """Internal: answer 400 with this message and keep the connection."""
+
+
+async def read_http_request(
+    reader: asyncio.StreamReader,
+) -> tuple[str, str, dict[str, str], bytes] | None:
+    """Read one HTTP/1.1 request: ``(method, target, headers, body)``.
+
+    Returns ``None`` on clean EOF between requests; raises
+    :class:`_BadRequest` on malformed input.  Module-level because the
+    cluster router (:mod:`repro.cluster.router`) serves the same wire
+    protocol and reuses this reader and :func:`_encode_response` rather
+    than growing a second HTTP implementation.
+    """
+    line = await reader.readline()
+    if not line:
+        return None  # clean EOF between requests
+    try:
+        method, target, _version = line.decode("latin-1").split()
+    except ValueError:
+        raise _BadRequest(f"malformed request line: {line[:80]!r}") from None
+    headers: dict[str, str] = {}
+    while True:
+        raw = await reader.readline()
+        if raw in (b"\r\n", b"\n"):
+            break
+        if not raw:
+            raise asyncio.IncompleteReadError(partial=raw, expected=2)
+        if len(headers) > 100:
+            raise _BadRequest("too many headers")
+        name, sep, value = raw.decode("latin-1").partition(":")
+        if not sep:
+            raise _BadRequest(f"malformed header: {raw[:80]!r}")
+        headers[name.strip().lower()] = value.strip()
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError:
+        raise _BadRequest(f"bad Content-Length: {length_text!r}") from None
+    if length < 0 or length > MAX_BODY_BYTES:
+        raise _BadRequest(f"request body too large ({length} bytes)")
+    body = await reader.readexactly(length) if length else b""
+    return method.upper(), target, headers, body
 
 
 def _encode_response(
@@ -96,6 +139,11 @@ def _encode_response(
     ]
     lines += [f"{name}: {value}" for name, value in extra_headers]
     return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + payload
+
+
+#: Public names for the HTTP plumbing the cluster router shares.
+encode_http_response = _encode_response
+BadHttpRequest = _BadRequest
 
 
 class StoreServer:
@@ -217,35 +265,7 @@ class StoreServer:
     async def _read_request(
         self, reader: asyncio.StreamReader
     ) -> tuple[str, str, dict[str, str], bytes] | None:
-        line = await reader.readline()
-        if not line:
-            return None  # clean EOF between requests
-        try:
-            method, target, _version = line.decode("latin-1").split()
-        except ValueError:
-            raise _BadRequest(f"malformed request line: {line[:80]!r}") from None
-        headers: dict[str, str] = {}
-        while True:
-            raw = await reader.readline()
-            if raw in (b"\r\n", b"\n"):
-                break
-            if not raw:
-                raise asyncio.IncompleteReadError(partial=raw, expected=2)
-            if len(headers) > 100:
-                raise _BadRequest("too many headers")
-            name, sep, value = raw.decode("latin-1").partition(":")
-            if not sep:
-                raise _BadRequest(f"malformed header: {raw[:80]!r}")
-            headers[name.strip().lower()] = value.strip()
-        length_text = headers.get("content-length", "0")
-        try:
-            length = int(length_text)
-        except ValueError:
-            raise _BadRequest(f"bad Content-Length: {length_text!r}") from None
-        if length < 0 or length > MAX_BODY_BYTES:
-            raise _BadRequest(f"request body too large ({length} bytes)")
-        body = await reader.readexactly(length) if length else b""
-        return method.upper(), target, headers, body
+        return await read_http_request(reader)
 
     async def _respond(
         self,
@@ -319,6 +339,8 @@ class StoreServer:
         return {
             "status": "ok",
             "shards": len(self.engine.store),
+            # Names too: the cluster CLI discovers placement from these.
+            "shard_names": sorted(self.engine.store.shard_names()),
             "in_flight": self.admission.pending,
         }
 
@@ -560,7 +582,7 @@ class BackgroundServer:
     Usage::
 
         with BackgroundServer(StoreServer(engine)) as server:
-            client = StoreClient("127.0.0.1", server.port)
+            client = connect(f"http://127.0.0.1:{server.port}")
             ...
     """
 

@@ -18,25 +18,35 @@ Retry policy — the part worth getting right:
   query that failed is an answer, and retrying it would re-run a query
   the server already reported as failing.
 
-Backoff for attempt *n* (0-based) is
-``min(cap, max(server Retry-After, base * 2**n))`` — capped exponential
-that never undercuts the server's own hint.  A malformed or absent
-``Retry-After`` header falls back to the computed backoff (a proxy
+Backoff for attempt *n* (0-based) is **full jitter** over a capped
+exponential ceiling: ``uniform(0, min(cap, base * 2**n))``, raised to
+the server's ``Retry-After`` hint when one is present (the hint is a
+floor the client never undercuts, itself capped at ``backoff_cap_s``).
+Deterministic capped-exponential — what this client shipped first —
+synchronises retry storms: every client shed by the same overloaded
+server sleeps the *same* schedule and re-arrives in the same wave,
+which a single server shrugs off but a router multiplying one logical
+request into N backend requests amplifies fleet-wide.  Full jitter
+(AWS architecture-blog folklore, and measurably best-in-class for
+contended retries) decorrelates the waves.  A malformed or absent
+``Retry-After`` header falls back to the jittered backoff (a proxy
 mangling a header must never crash the client).  The *sum* of backoff
 sleeps is additionally bounded by ``timeout_s``: each sleep is clamped
 to the remaining budget, and when the budget is exhausted the client
 stops retrying instead of backing off past the caller's deadline (each
 attempt itself is already bounded by the per-attempt socket timeout).
-The sleep function is injectable so tests assert the exact sequence
-without waiting it out.
+Both the sleep function and the jitter RNG are injectable so tests
+assert exact schedules without waiting them out.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import random
 import socket
 import time
+import warnings
 from typing import Callable, Sequence
 
 from repro.core.errors import ReproError
@@ -52,7 +62,15 @@ from repro.store.plan import QueryLike, parse_query
 
 
 class ServerUnavailableError(ReproError):
-    """Retries exhausted: every attempt was shed, timed out, or refused."""
+    """Retries exhausted: every attempt was shed, timed out, or refused.
+
+    ``retryable``: the failure is environmental (overload, network), so a
+    *later* identical request may succeed — this is the error the cluster
+    router's replica-failover and hedging logic treats as "try the other
+    replica".
+    """
+
+    retryable = True
 
     def __init__(self, message: str, attempts: int) -> None:
         super().__init__(message)
@@ -71,9 +89,20 @@ class StoreClient:
         timeout_s: socket timeout per attempt (connect + response).
         max_retries: retries *after* the first attempt for retryable
             failures (503 / timeout / connection error).
-        backoff_base_s: first-retry backoff; doubles per attempt.
-        backoff_cap_s: backoff ceiling.
+        backoff_base_s: backoff *ceiling* for the first retry; the
+            ceiling doubles per attempt and each sleep is drawn
+            uniformly from ``[0, ceiling]`` (full jitter).
+        backoff_cap_s: backoff ceiling cap.
         sleep: injectable sleep for tests.
+        rng: injectable jitter source (``random.Random``); seed one for
+            deterministic backoff schedules in tests.
+
+    Deprecated as a public entrypoint: construct through
+    :func:`repro.api.connect` (``api.connect("http://host:port")``)
+    which returns the uniform :class:`~repro.api.targets.QueryTarget`
+    surface.  Direct construction emits exactly one
+    :class:`DeprecationWarning`; internal callers silence it via the
+    private ``_warn_deprecated`` flag.
     """
 
     def __init__(
@@ -86,7 +115,17 @@ class StoreClient:
         backoff_base_s: float = 0.05,
         backoff_cap_s: float = 2.0,
         sleep: Callable[[float], None] = time.sleep,
+        rng: random.Random | None = None,
+        _warn_deprecated: bool = True,
     ) -> None:
+        if _warn_deprecated:
+            warnings.warn(
+                "constructing StoreClient directly is deprecated; use "
+                "repro.api.connect('http://host:port') and reach the "
+                "client via target.client",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         self.host = host
         self.port = port
         self.timeout_s = timeout_s
@@ -94,6 +133,7 @@ class StoreClient:
         self.backoff_base_s = backoff_base_s
         self.backoff_cap_s = backoff_cap_s
         self._sleep = sleep
+        self._rng = rng if rng is not None else random.Random()
         self._conn: http.client.HTTPConnection | None = None
 
     # ------------------------------------------------------------------
@@ -127,11 +167,19 @@ class StoreClient:
     # Transport with retry
     # ------------------------------------------------------------------
     def backoff_s(self, attempt: int, retry_after_s: float | None = None) -> float:
-        """Backoff before retry ``attempt`` (0-based), honouring the hint."""
-        delay = self.backoff_base_s * (2**attempt)
+        """Full-jitter backoff before retry ``attempt`` (0-based).
+
+        Draws uniformly from ``[0, min(cap, base * 2**attempt)]`` so a
+        fleet of clients shed by the same server decorrelates instead of
+        re-arriving in lockstep waves.  A server ``Retry-After`` hint is
+        a *floor* (capped at ``backoff_cap_s``): the jitter may wait
+        longer than the hint but never undercuts it.
+        """
+        ceiling = min(self.backoff_cap_s, self.backoff_base_s * (2**attempt))
+        delay = self._rng.uniform(0.0, ceiling)
         if retry_after_s is not None:
-            delay = max(delay, retry_after_s)
-        return min(self.backoff_cap_s, delay)
+            delay = max(delay, min(self.backoff_cap_s, retry_after_s))
+        return delay
 
     @staticmethod
     def _parse_retry_after(resp_headers: dict[str, str]) -> float | None:

@@ -61,6 +61,13 @@ from repro.store.wal import OP_ADD, OP_DELETE
 #: Client-requested deadline for one query, in milliseconds.
 DEADLINE_HEADER = "X-Repro-Deadline-Ms"
 
+#: Shard-map version a cluster-aware client pins its requests to.  The
+#: router answers HTTP 410 (Gone) when the pinned version lags its
+#: current map — the client must refetch ``GET /shardmap`` and re-send.
+#: Requests without the header are version-agnostic and always routed
+#: under the current map.
+SHARDMAP_VERSION_HEADER = "X-Repro-Shardmap-Version"
+
 #: Upper bound on accepted request bodies (a query AST, not a payload).
 MAX_BODY_BYTES = 1 << 20
 

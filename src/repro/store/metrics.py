@@ -97,6 +97,54 @@ class LatencyHistogram:
         }
 
 
+class RollingQuantile:
+    """Exact quantiles over a sliding window of the last *window* samples.
+
+    The cluster router derives its hedge delay from each backend's
+    *recent* p95 — the all-time log2-bucketed
+    :class:`LatencyHistogram` is the wrong instrument for that: its
+    buckets are coarse (a 2× band around the true quantile) and it
+    never forgets, so one slow warm-up minute would inflate the hedge
+    delay forever.  A few hundred exact samples with eviction track the
+    regime the backend is in *now*.
+
+    Thread-safe; ``quantile`` sorts the window (bounded, default 256
+    samples) on demand, which at router call rates is cheaper than
+    maintaining an order statistic tree.
+    """
+
+    def __init__(self, window: int = 256) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self._window = window
+        self._lock = maybe_witness("RollingQuantile._lock", threading.Lock())
+        self._samples: list[float] = []
+        self._next = 0  # ring-buffer write position once full
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            if len(self._samples) < self._window:
+                self._samples.append(value)
+            else:
+                self._samples[self._next] = value
+                self._next = (self._next + 1) % self._window
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._samples)
+
+    def quantile(self, q: float, default: float = 0.0) -> float:
+        """The q-quantile of the current window; *default* when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        with self._lock:
+            ordered = sorted(self._samples)
+        if not ordered:
+            return default
+        idx = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[idx]
+
+
 @dataclass
 class _CodecDecodeStats:
     decodes: int = 0

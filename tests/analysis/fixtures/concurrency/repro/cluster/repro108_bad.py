@@ -1,0 +1,30 @@
+"""REPRO108 violations: raises that escape the repro.api.errors tree."""
+
+import asyncio
+
+from repro.api.errors import BackendUnavailableError
+
+
+def parse_port(text):
+    try:
+        return int(text)
+    except ValueError:
+        # BAD: ValueError is a builtin, not a tree class.
+        raise ValueError(f"bad port {text!r}") from None
+
+
+async def read_exact(reader, n):
+    raw = await reader.read(n)
+    if len(raw) < n:
+        # BAD: asyncio.IncompleteReadError resolves outside the tree.
+        raise asyncio.IncompleteReadError(partial=raw, expected=n)
+    return raw
+
+
+def rethrow_by_name(backend_id):
+    try:
+        parse_port("not-a-port")
+    except BackendUnavailableError as exc:
+        # BAD: the class is invisible statically; a bare `raise` is the
+        # compliant respelling.
+        raise exc

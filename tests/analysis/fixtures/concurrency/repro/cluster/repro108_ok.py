@@ -1,0 +1,24 @@
+"""REPRO108-clean raising styles for cluster code."""
+
+from repro.api import errors
+from repro.api.errors import ShardMapError
+
+
+def direct():
+    raise ShardMapError("no backend reported any shards")
+
+
+def qualified(backend_id):
+    raise errors.BackendUnavailableError(backend_id, "connection refused")
+
+
+def reraise():
+    try:
+        direct()
+    except ShardMapError:
+        raise  # bare re-raise keeps the (already classified) class
+
+
+def contained():
+    # A reasoned escape hatch for framework contracts.
+    raise RuntimeError("framework requires this class")  # repro: noqa[REPRO108] -- fixture escape

@@ -24,6 +24,7 @@ CASES = [
     ("REPRO105", "repro105_bad.py", "repro105_ok.py", 2),
     ("REPRO106", "repro106_bad.py", "repro106_ok.py", 2),
     ("REPRO107", "repro107_bad.py", "repro107_ok.py", 3),
+    ("REPRO108", "repro108_bad.py", "repro108_ok.py", 3),
 ]
 
 
@@ -70,3 +71,22 @@ def test_repro106_suppression_carries_its_reason():
 def test_repro107_helper_called_under_lock_is_exempt():
     findings = _run("REPRO107")
     assert not any("_note" in f.message for f in findings)
+
+
+def test_repro108_names_the_escaping_class():
+    messages = {f.message.split(",")[0] for f in _run("REPRO108")}
+    assert "raises 'ValueError'" in messages
+    assert "raises 'asyncio.IncompleteReadError'" in messages
+    assert "raises 'exc'" in messages  # `raise exc` of a caught binding
+
+
+def test_repro108_suppression_carries_its_reason():
+    # The ok fixture's `contained` escapes deliberately, with a
+    # reasoned noqa: honoured by the rule, seen as used by strict-noqa.
+    findings = run_checks(
+        [CONCURRENCY],
+        config=AnalysisConfig(
+            select=frozenset({"REPRO108"}), strict_noqa=True
+        ),
+    )
+    assert all(f.path.endswith("repro108_bad.py") for f in findings)

@@ -27,7 +27,7 @@ def test_experiment_registry_covers_every_table_and_figure():
     assert set(ex.EXPERIMENTS) == {
         "fig3", "tab1", "tab2", "tab3", "fig4", "fig5", "fig6", "fig7",
         "fig8", "fig9", "fig10", "fig11", "fig12", "served", "closed_loop",
-        "churn",
+        "churn", "cluster",
     }
 
 

@@ -1,0 +1,61 @@
+"""The ISSUE's acceptance bar: ``connect()`` is transport-transparent.
+
+The same query against the same logical data must return bit-identical
+values whether the target is a local store directory, one HTTP server,
+or a replicated cluster behind the router.
+"""
+
+import pytest
+
+from repro.api import connect
+from repro.store import QueryEngine
+from repro.store.plan import And, Or
+
+from tests.server.conftest import make_store
+
+QUERIES = [
+    "a",
+    "b",
+    And("a", "b"),
+    Or("a", "c"),
+    And(Or("a", "b"), "c"),
+]
+
+
+@pytest.fixture
+def three_targets(tmp_path, cluster_factory):
+    """local dir / single server / 3x2 cluster over the same store."""
+    make_store(4).save(tmp_path / "store")
+    cluster = cluster_factory(n_backends=3, replication=2)
+    single = cluster_factory(n_backends=1, replication=1)
+    local = connect(str(tmp_path / "store"))
+    yield {
+        "local": local,
+        # The single "cluster" degenerates to one plain StoreServer hop.
+        "server": connect(f"http://127.0.0.1:{single.backend_bgs[0].port}"),
+        "cluster": connect(f"http://127.0.0.1:{cluster.port}"),
+    }
+    local.close()
+
+
+@pytest.mark.parametrize("query", QUERIES, ids=[str(q) for q in QUERIES])
+def test_values_are_bit_identical_across_targets(three_targets, query):
+    answers = {
+        name: target.query(query) for name, target in three_targets.items()
+    }
+    assert all(r.status == "ok" for r in answers.values()), {
+        name: r.status for name, r in answers.items()
+    }
+    values = {name: r.values for name, r in answers.items()}
+    assert values["local"] == values["server"] == values["cluster"]
+    assert values["local"], "queries must be non-trivial to be evidence"
+
+
+def test_shard_subset_is_also_transport_transparent(three_targets):
+    engine = QueryEngine(make_store(4))
+    shard = sorted(engine.store.shard_names())[1]
+    values = {
+        name: target.query("a", shards=[shard]).values
+        for name, target in three_targets.items()
+    }
+    assert values["local"] == values["server"] == values["cluster"]

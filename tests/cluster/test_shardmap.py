@@ -1,0 +1,120 @@
+"""ShardMap unit contract: placement, replication, versioning, wire form."""
+
+import pytest
+
+from repro.api.errors import ShardMapError
+from repro.cluster import Backend, ShardMap
+
+
+def _backends(n):
+    return tuple(
+        Backend(backend_id=f"b{i}", host="127.0.0.1", port=7000 + i)
+        for i in range(n)
+    )
+
+
+SHARDS = tuple(f"shard{i:02d}" for i in range(32))
+
+
+def test_placement_is_deterministic_across_constructions():
+    a = ShardMap(_backends(3), SHARDS, replication=2)
+    b = ShardMap(_backends(3), SHARDS, replication=2)
+    assert all(a.replicas(s) == b.replicas(s) for s in SHARDS)
+
+
+def test_replicas_are_distinct_and_replication_sized():
+    shardmap = ShardMap(_backends(4), SHARDS, replication=3)
+    for shard in SHARDS:
+        replicas = shardmap.replicas(shard)
+        assert len(replicas) == 3
+        assert len(set(replicas)) == 3
+
+
+def test_followers_are_replicas_minus_primary():
+    shardmap = ShardMap(_backends(3), SHARDS, replication=2)
+    for shard in SHARDS:
+        primary, *followers = shardmap.replicas(shard)
+        assert shardmap.followers(shard) == tuple(followers)
+        assert primary not in followers
+
+
+def test_groups_partition_the_requested_shards():
+    shardmap = ShardMap(_backends(3), SHARDS, replication=2)
+    groups = shardmap.groups()
+    seen = [s for group_shards in groups.values() for s in group_shards]
+    assert sorted(seen) == sorted(SHARDS)
+    for replicas, group_shards in groups.items():
+        assert all(shardmap.replicas(s) == replicas for s in group_shards)
+
+
+def test_adding_a_backend_moves_a_minority_of_primaries():
+    before = ShardMap(_backends(3), SHARDS, replication=2)
+    after = before.with_backends(_backends(4))
+    moved = sum(
+        1 for s in SHARDS if before.replicas(s)[0] != after.replicas(s)[0]
+    )
+    # Consistent hashing: adding 1 of 4 backends should move roughly a
+    # quarter of the primaries, never a majority (modulo-hashing would
+    # reshuffle nearly all of them).
+    assert 0 < moved <= len(SHARDS) // 2
+
+
+def test_with_backends_bumps_the_version():
+    shardmap = ShardMap(_backends(3), SHARDS, replication=2)
+    assert shardmap.version == 1
+    assert shardmap.with_backends(_backends(4)).version == 2
+
+
+def test_json_round_trip_preserves_identity():
+    shardmap = ShardMap(_backends(3), SHARDS, replication=2, version=7)
+    clone = ShardMap.from_json(shardmap.to_json())
+    assert clone == shardmap
+    assert clone.version == 7
+    assert clone.replicas(SHARDS[0]) == shardmap.replicas(SHARDS[0])
+
+
+@pytest.mark.parametrize(
+    "build",
+    [
+        lambda: ShardMap((), SHARDS),
+        lambda: ShardMap(_backends(2) + _backends(1), SHARDS),
+        lambda: ShardMap(_backends(2), SHARDS + SHARDS[:1]),
+        lambda: ShardMap(_backends(2), SHARDS, replication=3),
+        lambda: ShardMap(_backends(2), SHARDS, replication=0),
+        lambda: ShardMap(_backends(2), SHARDS, version=0),
+        lambda: Backend.from_json({"id": "", "host": "h", "port": 1}),
+        lambda: Backend.from_json({"id": "b", "host": "h", "port": 0}),
+    ],
+    ids=[
+        "no-backends", "duplicate-ids", "duplicate-shards",
+        "replication-over-backends", "replication-zero", "bad-version",
+        "empty-backend-id", "bad-port",
+    ],
+)
+def test_invalid_topologies_raise_shard_map_error(build):
+    with pytest.raises(ShardMapError):
+        build()
+
+
+def test_unknown_shard_and_backend_raise():
+    shardmap = ShardMap(_backends(2), SHARDS)
+    with pytest.raises(ShardMapError, match="not in shard map"):
+        shardmap.replicas("nope")
+    with pytest.raises(ShardMapError, match="unknown backend"):
+        shardmap.backend("b9")
+
+
+@pytest.mark.parametrize(
+    "body",
+    [
+        "not json{",
+        {"replication": 1, "shards": ["s0"]},
+        {"backends": [], "replication": 1, "shards": ["s0"]},
+        {"backends": [{"backend_id": "b0", "host": "h", "port": 1}],
+         "replication": 1},
+    ],
+    ids=["garbled", "no-backends-key", "empty-backends", "no-shards-key"],
+)
+def test_from_json_rejects_malformed_maps(body):
+    with pytest.raises(ShardMapError):
+        ShardMap.from_json(body)

@@ -14,7 +14,8 @@ import time
 import numpy as np
 import pytest
 
-from repro.server import ServerUnavailableError, StoreClient
+from repro.api import connect
+from repro.server import ServerUnavailableError
 from repro.store import And, PostingStore, QueryEngine, Term
 
 CLIENTS = 32
@@ -51,8 +52,8 @@ def test_32_connection_burst(burst_engine, live_server):
 
     def run_client(client_id: int) -> None:
         try:
-            with StoreClient(
-                "127.0.0.1", server.port, max_retries=0, timeout_s=30.0
+            with connect(
+                f"http://127.0.0.1:{server.port}", max_retries=0, timeout_s=30.0
             ) as client:
                 for r in range(REQUESTS_PER_CLIENT):
                     query = Term("a") if r % 2 else And("a", "b")
@@ -87,7 +88,7 @@ def test_32_connection_burst(burst_engine, live_server):
     assert len(outcomes) == offered
 
     # (a) The server survived the burst and still answers.
-    with StoreClient("127.0.0.1", server.port) as probe:
+    with connect(f"http://127.0.0.1:{server.port}") as probe:
         assert probe.healthz()["status"] == "ok"
         snapshot = probe.metrics()
 

@@ -2,12 +2,15 @@
 
 The stub speaks just enough HTTP to exercise every branch of the
 client's retry logic: 503 (with and without ``Retry-After``), 400, 500,
-dropped connections, and stalls past the client timeout.  The sleep
-function is injected so the exact backoff sequence is asserted without
-waiting it out.
+dropped connections, and stalls past the client timeout.  Both the
+sleep function and the jitter RNG are injected: sleeps are recorded
+instead of waited out, and a ceiling-valued RNG (:class:`_MaxRng`)
+makes the full-jitter schedule deterministic at its upper bound so the
+exponential/cap/hint arithmetic can still be asserted exactly.
 """
 
 import json
+import random
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -89,10 +92,32 @@ def stub():
     thread.join(timeout=5)
 
 
+class _MaxRng:
+    """Deterministic jitter: always draw the top of the range.
+
+    Pins full-jitter backoff to its ceiling, which equals the old
+    deterministic capped-exponential schedule — so the tests assert the
+    ceiling arithmetic exactly while production draws uniformly.
+    """
+
+    def uniform(self, low, high):
+        return high
+
+
+class _MinRng:
+    """Deterministic jitter: always draw the bottom of the range."""
+
+    def uniform(self, low, high):
+        return low
+
+
 def _client(stub, **kwargs):
     kwargs.setdefault("timeout_s", 5.0)
     kwargs.setdefault("sleep", lambda s: None)
-    return StoreClient("127.0.0.1", stub.server_address[1], **kwargs)
+    kwargs.setdefault("rng", _MaxRng())
+    return StoreClient(
+        "127.0.0.1", stub.server_address[1], _warn_deprecated=False, **kwargs
+    )
 
 
 # ----------------------------------------------------------------------
@@ -177,9 +202,15 @@ def test_500_is_returned_as_failed_response_not_raised(stub):
 # ----------------------------------------------------------------------
 # Backoff arithmetic & request shape
 # ----------------------------------------------------------------------
-def test_backoff_sequence_is_capped_exponential():
+def test_backoff_ceiling_is_capped_exponential():
     client = StoreClient(
-        "h", 1, backoff_base_s=0.05, backoff_cap_s=0.4, sleep=lambda s: None
+        "h",
+        1,
+        backoff_base_s=0.05,
+        backoff_cap_s=0.4,
+        sleep=lambda s: None,
+        rng=_MaxRng(),
+        _warn_deprecated=False,
     )
     assert [client.backoff_s(n) for n in range(5)] == [
         0.05,
@@ -190,6 +221,43 @@ def test_backoff_sequence_is_capped_exponential():
     ]
     assert client.backoff_s(0, retry_after_s=0.3) == 0.3
     assert client.backoff_s(0, retry_after_s=9.0) == 0.4  # hint capped too
+
+
+def test_backoff_is_full_jitter_within_the_ceiling():
+    client = StoreClient(
+        "h",
+        1,
+        backoff_base_s=0.05,
+        backoff_cap_s=0.4,
+        sleep=lambda s: None,
+        rng=random.Random(1234),
+        _warn_deprecated=False,
+    )
+    for attempt, ceiling in enumerate([0.05, 0.1, 0.2, 0.4, 0.4]):
+        draws = {client.backoff_s(attempt) for _ in range(32)}
+        assert all(0.0 <= d <= ceiling for d in draws)
+        assert len(draws) > 1  # actually jittered, not a constant
+
+
+def test_retry_after_hint_is_a_floor_under_jitter():
+    # Even when the jitter draws zero, the server's hint holds.
+    client = StoreClient(
+        "h",
+        1,
+        backoff_base_s=0.05,
+        backoff_cap_s=0.4,
+        sleep=lambda s: None,
+        rng=_MinRng(),
+        _warn_deprecated=False,
+    )
+    assert client.backoff_s(0) == 0.0
+    assert client.backoff_s(3, retry_after_s=0.25) == 0.25
+
+
+def test_direct_construction_emits_exactly_one_deprecation_warning():
+    with pytest.warns(DeprecationWarning, match="repro.api.connect") as rec:
+        StoreClient("h", 1)
+    assert len(rec) == 1
 
 
 def test_query_serialises_ast_and_deadline_header(stub):
@@ -294,6 +362,8 @@ def test_exhausted_retry_budget_stops_before_max_retries(stub):
         max_retries=15,
         backoff_base_s=0.15,
         backoff_cap_s=2.0,
+        rng=_MaxRng(),
+        _warn_deprecated=False,
     )  # real sleep: the wall clock is the thing under test
     t0 = time.monotonic()
     with pytest.raises(ServerUnavailableError) as exc_info:

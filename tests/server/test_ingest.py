@@ -6,7 +6,7 @@ import json
 
 import pytest
 
-from repro.server import StoreClient
+from repro.api import connect
 from repro.server.client import QueryRejectedError
 from repro.server.protocol import WIRE_VERSION
 from repro.store import QueryEngine
@@ -43,7 +43,7 @@ def writable_engine(tmp_path):
 def test_ingest_acks_only_after_wal_sync(writable_engine, live_server):
     server = live_server(writable_engine)
     store = writable_engine.store
-    with StoreClient("127.0.0.1", server.port) as client:
+    with connect(f"http://127.0.0.1:{server.port}") as client:
         resp = client.ingest(
             [("add", "s0", "news", [3, 1, 40]), ("del", "s0", "news", [3])],
             batch_id="b-7",
@@ -57,7 +57,7 @@ def test_ingest_acks_only_after_wal_sync(writable_engine, live_server):
     data_ops = [op for op in replay.ops if op["op"] != "shard"]
     assert len(data_ops) == 2
     # And the write is immediately queryable through the delta overlay.
-    with StoreClient("127.0.0.1", server.port) as client:
+    with connect(f"http://127.0.0.1:{server.port}") as client:
         result = client.query(Term("news"))
     assert result.values == [1, 40]
 
@@ -67,7 +67,7 @@ def test_ingest_then_background_compaction_preserves_results(
 ):
     server = live_server(writable_engine)
     store = writable_engine.store
-    with StoreClient("127.0.0.1", server.port) as client:
+    with connect(f"http://127.0.0.1:{server.port}") as client:
         client.ingest([("add", "s0", "t", list(range(0, 500, 5)))])
         before = client.query(Term("t")).values
         store.compact()
@@ -80,7 +80,7 @@ def test_ingest_then_background_compaction_preserves_results(
 # ----------------------------------------------------------------------
 def test_ingest_on_readonly_store_is_400(engine, live_server):
     server = live_server(engine)
-    with StoreClient("127.0.0.1", server.port) as client:
+    with connect(f"http://127.0.0.1:{server.port}") as client:
         with pytest.raises(QueryRejectedError, match="read-only"):
             client.ingest([("add", "s0", "t", [1])])
 
@@ -119,7 +119,7 @@ def test_malformed_ingest_bodies_get_400(writable_engine, live_server, body):
 
 def test_unknown_shard_is_a_failed_500_response(writable_engine, live_server):
     server = live_server(writable_engine)
-    with StoreClient("127.0.0.1", server.port) as client:
+    with connect(f"http://127.0.0.1:{server.port}") as client:
         resp = client.ingest([("add", "nope", "t", [1])])
     assert not resp.ok and resp.status == "failed"
     assert "UnknownShardError" in resp.error
@@ -185,7 +185,7 @@ def test_ingest_metrics_and_write_path_in_snapshot(
     writable_engine, live_server
 ):
     server = live_server(writable_engine)
-    with StoreClient("127.0.0.1", server.port) as client:
+    with connect(f"http://127.0.0.1:{server.port}") as client:
         client.ingest([("add", "s0", "t", [1, 2]), ("add", "s0", "u", [3])])
         client.ingest([("add", "nope", "t", [4])])  # failed batch
         snap = client.metrics()

@@ -13,10 +13,10 @@ import time
 import numpy as np
 import pytest
 
+from repro.api import connect
 from repro.server import (
     DEADLINE_HEADER,
     ServerUnavailableError,
-    StoreClient,
 )
 from repro.store import And, Or, PostingStore, QueryEngine, Term
 
@@ -49,7 +49,7 @@ def test_healthz(engine, live_server):
 def test_query_matches_in_process_result(engine, live_server):
     server = live_server(engine)
     expected = engine.execute(And(Or("a", "b"), "c"))
-    with StoreClient("127.0.0.1", server.port) as client:
+    with connect(f"http://127.0.0.1:{server.port}") as client:
         response = client.query(And(Or("a", "b"), "c"), query_id="q1")
     assert response.status == "ok"
     assert response.query_id == "q1"
@@ -58,7 +58,7 @@ def test_query_matches_in_process_result(engine, live_server):
 
 def test_query_shard_subset(engine, live_server):
     server = live_server(engine)
-    with StoreClient("127.0.0.1", server.port) as client:
+    with connect(f"http://127.0.0.1:{server.port}") as client:
         full = client.query(Term("a"))
         half = client.query(Term("a"), shards=["s0"])
     assert half.shards_queried == 1
@@ -104,7 +104,7 @@ def test_slow_shard_degrades_to_partial_within_grace(live_server):
     shards flagged partial + timed_out — not a stalled connection."""
     engine = QueryEngine(make_store(), shard_delays={"s0": 0.15})
     server = live_server(engine, grace_factor=40.0)
-    with StoreClient("127.0.0.1", server.port) as client:
+    with connect(f"http://127.0.0.1:{server.port}") as client:
         response = client.query(Term("a"), deadline_ms=50)
     assert response.status == "timed_out"
     assert response.partial and response.timed_out
@@ -118,7 +118,7 @@ def test_slow_shard_abandoned_past_grace(live_server):
     engine = QueryEngine(make_store(), shard_delays={"s0": 0.6})
     server = live_server(engine, grace_factor=1.5)
     t0 = time.perf_counter()
-    with StoreClient("127.0.0.1", server.port) as client:
+    with connect(f"http://127.0.0.1:{server.port}") as client:
         response = client.query(Term("a"), deadline_ms=50)
         elapsed = time.perf_counter() - t0
         assert response.status == "timed_out"
@@ -160,7 +160,7 @@ def test_lenient_store_serves_degraded_over_http(tmp_path, live_server):
 
     lenient = PostingStore.load(directory, strict=False)
     server = live_server(QueryEngine(lenient))
-    with StoreClient("127.0.0.1", server.port) as client:
+    with connect(f"http://127.0.0.1:{server.port}") as client:
         healthy = client.query(Term("good"))
         hurt = client.query(Or("good", "doomed"))
     assert healthy.status == "ok" and healthy.n_results == 1_000
@@ -189,7 +189,7 @@ def test_client_disconnect_mid_response_leaves_server_healthy(
     sock.sendall(request[:20])
     sock.close()  # walk away mid-request too
     time.sleep(0.3)
-    with StoreClient("127.0.0.1", server.port) as client:
+    with connect(f"http://127.0.0.1:{server.port}") as client:
         assert client.query(Term("a")).status == "ok"
         counters = client.metrics()["server"]["admission"]
     assert counters["in_flight"] == 0
@@ -222,7 +222,7 @@ def test_queue_full_sheds_with_retry_after(live_server):
     for t in occupants:
         t.join()
 
-    with StoreClient("127.0.0.1", server.port, max_retries=0) as client:
+    with connect(f"http://127.0.0.1:{server.port}", max_retries=0) as client:
         counters = client.metrics()["server"]["admission"]
     assert counters["shed"] == 1
     assert counters["accepted"] == 2
@@ -239,8 +239,8 @@ def test_client_surfaces_exhausted_retries_as_unavailable(live_server):
     occupant.start()
     time.sleep(0.1)
     sleeps = []
-    with StoreClient(
-        "127.0.0.1", server.port, max_retries=1, sleep=sleeps.append
+    with connect(
+        f"http://127.0.0.1:{server.port}", max_retries=1, sleep=sleeps.append
     ) as client:
         with pytest.raises(ServerUnavailableError):
             client.query(Term("a"))
@@ -253,7 +253,7 @@ def test_client_surfaces_exhausted_retries_as_unavailable(live_server):
 # ----------------------------------------------------------------------
 def test_metrics_snapshot_accounts_for_everything(engine, live_server):
     server = live_server(engine)
-    with StoreClient("127.0.0.1", server.port) as client:
+    with connect(f"http://127.0.0.1:{server.port}") as client:
         for _ in range(4):
             client.query(Term("a"))
         _raw_request(server.port, "POST", "/query", body=b"broken")

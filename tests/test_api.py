@@ -1,4 +1,13 @@
-"""The repro.api facade: one import covers the common paths."""
+"""The repro.api facade: one import covers the common paths.
+
+``connect()`` is the serving entrypoint under test here: dispatch to
+local / engine / remote targets, option validation, and the deprecation
+contract of the ``open_store`` / ``StoreClient`` shims.  The three-way
+bit-identity check (local store vs single server vs cluster router)
+lives in ``tests/cluster/test_bit_identity.py``.
+"""
+
+import warnings
 
 import numpy as np
 import pytest
@@ -27,54 +36,110 @@ def test_intersect_and_union():
     assert np.array_equal(api.union(a, b), expected)
 
 
-def test_open_store_round_trip(tmp_path):
+def _save_demo_store(path):
     store = api.PostingStore()
     shard = store.create_shard("s0", codec="Roaring", universe=1_000)
     shard.add("news", np.arange(0, 1_000, 2))
     shard.add("sports", np.arange(0, 1_000, 3))
-    store.save(tmp_path / "index")
+    store.save(path)
 
-    engine = api.open_store(str(tmp_path / "index"))
+
+def test_connect_local_round_trip(tmp_path):
+    _save_demo_store(tmp_path / "index")
+    with api.connect(str(tmp_path / "index")) as target:
+        assert isinstance(target, api.LocalTarget)
+        assert isinstance(target, api.QueryTarget)  # runtime protocol
+        response = target.query(api.And("news", "sports"))
+    assert response.status == "ok"
+    assert response.values == list(range(0, 1_000, 6))
+
+
+def test_connect_missing_directory_raises_os_error(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        api.connect(str(tmp_path / "absent"))
+
+
+def test_connect_wraps_existing_engine_without_owning_it(tmp_path):
+    _save_demo_store(tmp_path / "index")
+    engine = api.QueryEngine(api.PostingStore.load(tmp_path / "index"))
+    with api.connect(engine) as target:
+        assert target.engine is engine
+        assert target.query("news").status == "ok"
+    # closing the target must not close the caller's engine
+    assert engine.execute("news").ok
+    engine.close()
+
+
+def test_connect_rejects_unknown_and_misplaced_options(tmp_path):
+    _save_demo_store(tmp_path / "index")
+    with pytest.raises(TypeError, match="unexpected option"):
+        api.connect(str(tmp_path / "index"), max_retries=3)  # remote-only
+    with pytest.raises(TypeError, match="unexpected option"):
+        api.connect("http://127.0.0.1:1", writable=True)  # local-only
+    with pytest.raises(TypeError, match="path, an http:// URL"):
+        api.connect(12345)
+    with pytest.raises(ValueError, match="plain http"):
+        api.connect("https://127.0.0.1:8080")
+    with pytest.raises(ValueError, match="host:port"):
+        api.connect("http://localhost")
+
+
+def test_connect_writable_ingests_and_reopens_readonly(tmp_path):
+    with api.connect(str(tmp_path / "idx"), writable=True) as writer:
+        assert isinstance(writer.engine.store, api.WritablePostingStore)
+        writer.engine.store.create_shard("s0", codec="Roaring", universe=1_000)
+        resp = writer.ingest(
+            [("add", "s0", "news", [2, 4, 8]), ("del", "s0", "news", [4])]
+        )
+        assert resp.status == "ok"
+        assert resp.acked_ops == 2
+        assert writer.query("news").values == [2, 8]
+    # context exit sealed deltas into compressed segments
+    with api.connect(str(tmp_path / "idx")) as reader:
+        assert not isinstance(reader.engine.store, api.WritablePostingStore)
+        assert reader.query("news").values == [2, 8]
+        with pytest.raises(api.QueryRejectedError, match="read-only"):
+            reader.ingest([("add", "s0", "t", [1])])
+
+
+def test_connect_writable_with_background_compactor(tmp_path):
+    with api.connect(
+        str(tmp_path / "idx"), writable=True, compact_interval_s=0.01
+    ) as target:
+        store = target.engine.store
+        store.create_shard("s0", codec="Adaptive", universe=1_000)
+        store.append("s0", "t", list(range(100)))
+        for _ in range(500):
+            if store.shard("s0").pending_ops() == 0:
+                break
+            import time
+
+            time.sleep(0.01)
+        assert store.shard("s0").pending_ops() == 0
+        assert target.query("t").values == list(range(100))
+
+
+# ----------------------------------------------------------------------
+# Deprecated shims
+# ----------------------------------------------------------------------
+def test_open_store_shim_warns_once_and_still_works(tmp_path):
+    _save_demo_store(tmp_path / "index")
+    with pytest.warns(DeprecationWarning, match="repro.api.connect") as rec:
+        engine = api.open_store(str(tmp_path / "index"))
+    assert len(rec) == 1  # exactly one warning per call
     assert isinstance(engine, api.QueryEngine)
     result = engine.execute(api.And("news", "sports"))
     assert result.ok
     assert np.array_equal(result.values, np.arange(0, 1_000, 6))
+    engine.close()
 
 
-def test_open_store_missing_directory_raises_os_error(tmp_path):
-    with pytest.raises(FileNotFoundError):
-        api.open_store(str(tmp_path / "absent"))
-
-
-def test_open_store_writable_ingests_and_reopens_readonly(tmp_path):
-    writer = api.open_store(str(tmp_path / "idx"), writable=True)
-    assert isinstance(writer.store, api.WritablePostingStore)
-    writer.store.create_shard("s0", codec="Roaring", universe=1_000)
-    writer.store.append("s0", "news", [2, 4, 8])
-    writer.store.delete("s0", "news", [4])
-    assert writer.execute("news").values.tolist() == [2, 8]
-    writer.store.close()  # seals deltas into compressed segments
-
-    reader = api.open_store(str(tmp_path / "idx"))
-    assert not isinstance(reader.store, api.WritablePostingStore)
-    assert reader.execute("news").values.tolist() == [2, 8]
-
-
-def test_open_store_writable_with_background_compactor(tmp_path):
-    engine = api.open_store(
-        str(tmp_path / "idx"), writable=True, compact_interval_s=0.01
-    )
-    engine.store.create_shard("s0", codec="Adaptive", universe=1_000)
-    engine.store.append("s0", "t", list(range(100)))
-    for _ in range(500):
-        if engine.store.shard("s0").pending_ops() == 0:
-            break
-        import time
-
-        time.sleep(0.01)
-    assert engine.store.shard("s0").pending_ops() == 0
-    assert engine.execute("t").values.tolist() == list(range(100))
-    engine.store.close()
+def test_connect_does_not_warn(tmp_path):
+    _save_demo_store(tmp_path / "index")
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        with api.connect(str(tmp_path / "index")) as target:
+            target.query("news")
 
 
 def test_error_hierarchy_is_rooted_at_repro_error():
@@ -90,8 +155,32 @@ def test_error_hierarchy_is_rooted_at_repro_error():
         api.ProtocolError,
         api.QueryRejectedError,
         api.ServerUnavailableError,
+        api.ClusterError,
+        api.ShardMapError,
+        api.ShardMapStaleError,
+        api.BackendUnavailableError,
+        api.NoReplicaAvailableError,
     ):
         assert issubclass(exc, api.ReproError)
+
+
+def test_retryable_bit_partitions_the_tree():
+    retryable = {
+        api.ServerUnavailableError,
+        api.ShardMapStaleError,
+        api.BackendUnavailableError,
+        api.NoReplicaAvailableError,
+    }
+    for exc in retryable:
+        assert exc.retryable is True
+    for exc in (api.ReproError, api.CodecError, api.QueryRejectedError,
+                api.ShardMapError, api.StoreError):
+        assert exc.retryable is False
+    assert api.is_retryable(api.ShardMapStaleError("stale"))
+    assert not api.is_retryable(api.ShardMapError("bad map"))
+    assert api.is_retryable(ConnectionResetError("peer"))  # transport-level
+    assert api.is_retryable(TimeoutError())
+    assert not api.is_retryable(ValueError("not transport, not repro"))
 
 
 def test_bad_input_raises_facade_error():
